@@ -1,0 +1,105 @@
+// DEQUE-MICRO — substrate soundness: the Chase-Lev deque's operation costs
+// against the mutex-based reference deque, plus contended steal throughput.
+// (google-benchmark binary.)
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "deque/chase_lev_deque.hpp"
+#include "deque/locked_deque.hpp"
+
+namespace {
+
+using lhws::chase_lev_deque;
+using lhws::locked_deque;
+
+void BM_ChaseLev_PushPopBottom(benchmark::State& state) {
+  chase_lev_deque<std::int64_t> d;
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    d.push_bottom(1);
+    benchmark::DoNotOptimize(d.pop_bottom(v));
+  }
+}
+BENCHMARK(BM_ChaseLev_PushPopBottom);
+
+void BM_Locked_PushPopBottom(benchmark::State& state) {
+  locked_deque<std::int64_t> d;
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    d.push_bottom(1);
+    benchmark::DoNotOptimize(d.pop_bottom(v));
+  }
+}
+BENCHMARK(BM_Locked_PushPopBottom);
+
+void BM_ChaseLev_PushStealTop(benchmark::State& state) {
+  chase_lev_deque<std::int64_t> d;
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    d.push_bottom(1);
+    benchmark::DoNotOptimize(d.pop_top(v));
+  }
+}
+BENCHMARK(BM_ChaseLev_PushStealTop);
+
+void BM_ChaseLev_BulkPushDrain(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  chase_lev_deque<std::int64_t> d;
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < n; ++i) d.push_bottom(i);
+    while (d.pop_bottom(v)) benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_ChaseLev_BulkPushDrain)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Owner pushes/pops while a background thief hammers pop_top — the
+// production access pattern. (Runs the thief for the duration of the
+// benchmark; on a 1-core host this measures the interleaved cost.)
+void BM_ChaseLev_OwnerUnderTheft(benchmark::State& state) {
+  chase_lev_deque<std::int64_t> d;
+  std::atomic<bool> stop{false};
+  std::thread thief([&] {
+    std::int64_t v = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      benchmark::DoNotOptimize(d.pop_top(v));
+    }
+  });
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    d.push_bottom(1);
+    d.push_bottom(2);
+    benchmark::DoNotOptimize(d.pop_bottom(v));
+    benchmark::DoNotOptimize(d.pop_bottom(v));
+  }
+  stop.store(true, std::memory_order_release);
+  thief.join();
+}
+BENCHMARK(BM_ChaseLev_OwnerUnderTheft);
+
+void BM_Locked_OwnerUnderTheft(benchmark::State& state) {
+  locked_deque<std::int64_t> d;
+  std::atomic<bool> stop{false};
+  std::thread thief([&] {
+    std::int64_t v = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      benchmark::DoNotOptimize(d.pop_top(v));
+    }
+  });
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    d.push_bottom(1);
+    d.push_bottom(2);
+    benchmark::DoNotOptimize(d.pop_bottom(v));
+    benchmark::DoNotOptimize(d.pop_bottom(v));
+  }
+  stop.store(true, std::memory_order_release);
+  thief.join();
+}
+BENCHMARK(BM_Locked_OwnerUnderTheft);
+
+}  // namespace

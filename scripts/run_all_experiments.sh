@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md.
+#
+#   scripts/run_all_experiments.sh [results_dir]
+#
+# Set LHWS_BENCH_SCALE=large for paper-scale parameters (slower).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+results="${1:-$repo/results}"
+mkdir -p "$results"
+
+cmake -B "$repo/build" -G Ninja "$repo" >/dev/null
+cmake --build "$repo/build" >/dev/null
+
+echo "== tests =="
+ctest --test-dir "$repo/build" | tail -2 | tee "$results/tests.txt"
+
+for bench in "$repo"/build/bench/*; do
+  name="$(basename "$bench")"
+  echo "== $name =="
+  "$bench" | tee "$results/$name.txt"
+done
+
+echo
+echo "Results written to $results/"

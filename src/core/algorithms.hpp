@@ -1,0 +1,88 @@
+// Parallel combinators built on fork2 — the library-level analogues of the
+// paper's example programs.
+//
+//   map_reduce  — Figure 8's distMapReduce: binary divide-and-conquer over
+//                 an index range; the leaf mapper is any task-returning
+//                 callable (typically one that awaits a latency operation).
+//   parallel_for— fork-join iteration with a sequential grain.
+#pragma once
+
+#include <cstddef>
+
+#include "core/fork_join.hpp"
+#include "core/task.hpp"
+
+namespace lhws {
+
+// Figure 8. `mapper(i)` returns task<R> for leaf i; `reducer` combines two
+// R values (associative, with identity `id` for the empty range).
+template <typename R, typename Mapper, typename Reducer>
+task<R> map_reduce(std::size_t lo, std::size_t hi, R id, Mapper mapper,
+                   Reducer reducer) {
+  const std::size_t n = hi - lo;
+  if (n == 0) co_return id;
+  if (n == 1) co_return co_await mapper(lo);
+  const std::size_t piv = lo + n / 2;
+  auto [res1, res2] =
+      co_await fork2(map_reduce(lo, piv, id, mapper, reducer),
+                     map_reduce(piv, hi, id, mapper, reducer));
+  co_return reducer(std::move(res1), std::move(res2));
+}
+
+// Fork-join loop: body(i) runs for each i in [lo, hi); ranges of at most
+// `grain` indices run sequentially.
+template <typename Body>
+task<void> parallel_for(std::size_t lo, std::size_t hi, std::size_t grain,
+                        Body body) {
+  if (hi - lo <= grain) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+    co_return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  co_await fork2(parallel_for(lo, mid, grain, body),
+                 parallel_for(mid, hi, grain, body));
+}
+
+// Task-producing variant: body(i) returns task<void> (so leaves may await
+// latency operations).
+template <typename Body>
+task<void> parallel_for_tasks(std::size_t lo, std::size_t hi, Body body) {
+  const std::size_t n = hi - lo;
+  if (n == 0) co_return;
+  if (n == 1) {
+    co_await body(lo);
+    co_return;
+  }
+  const std::size_t mid = lo + n / 2;
+  co_await fork2(parallel_for_tasks(lo, mid, body),
+                 parallel_for_tasks(mid, hi, body));
+}
+
+namespace detail {
+
+template <typename T>
+task<void> when_all_range(std::vector<task<T>>& tasks, std::vector<T>& out,
+                          std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1) {
+    out[lo] = co_await std::move(tasks[lo]);
+    co_return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  co_await fork2(when_all_range(tasks, out, lo, mid),
+                 when_all_range(tasks, out, mid, hi));
+}
+
+}  // namespace detail
+
+// Runs all tasks in parallel (binary fork2 tree); awaits to a vector of
+// their results in input order. T must be default-constructible.
+template <typename T>
+task<std::vector<T>> when_all(std::vector<task<T>> tasks) {
+  std::vector<T> out(tasks.size());
+  if (!tasks.empty()) {
+    co_await detail::when_all_range(tasks, out, 0, tasks.size());
+  }
+  co_return out;
+}
+
+}  // namespace lhws

@@ -1,0 +1,144 @@
+// lhws::channel<T> — an unbounded multi-producer queue whose receive
+// operation is a latency-incurring dependence: a receiver that finds the
+// channel empty suspends exactly like any heavy edge (Fig. 3's handleChild)
+// and is delivered back to its deque by whichever sender satisfies it.
+//
+// This is the primitive behind streaming/server workloads (the paper's
+// Figure 10 takes inputs "one-by-one from a user"; a channel is that input
+// stream with multiple possible producers).
+//
+//   channel<int> ch;
+//   ch.send(42);                       // any thread or task
+//   std::optional<int> v = co_await ch.receive();   // task only
+//   ch.close();                        // receivers then get nullopt
+//
+// Engine behaviour mirrors event<T>: the LHWS engine suspends the awaiting
+// continuation; the WS engine blocks the worker.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/task.hpp"
+#include "runtime/scheduler_core.hpp"
+
+namespace lhws {
+
+template <typename T>
+class channel {
+ public:
+  channel() = default;
+  channel(const channel&) = delete;
+  channel& operator=(const channel&) = delete;
+
+  // Delivers one value. If a receiver is suspended, it is resumed with the
+  // value directly (no queue round-trip). Callable from anywhere.
+  void send(T value) {
+    receive_waiter* waiter = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      LHWS_ASSERT(!closed_ && "send on closed channel");
+      if (!waiters_.empty()) {
+        waiter = waiters_.front();
+        waiters_.pop_front();
+        waiter->result.emplace(std::move(value));
+      } else {
+        queue_.push_back(std::move(value));
+      }
+    }
+    if (waiter != nullptr) {
+      waiter->fire();
+    } else {
+      cv_.notify_one();
+    }
+  }
+
+  // Closes the channel: queued values still drain; receivers then observe
+  // nullopt. Suspended receivers are woken with nullopt immediately.
+  void close() {
+    std::deque<receive_waiter*> drained;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      closed_ = true;
+      drained.swap(waiters_);
+    }
+    for (receive_waiter* w : drained) w->fire();
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] auto receive() noexcept { return receive_awaiter{*this}; }
+
+  // Non-suspending probe (e.g. for polling loops / tests).
+  std::optional<T> try_receive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(queue_.front()));
+    queue_.pop_front();
+    return v;
+  }
+
+ private:
+  struct receive_waiter {
+    std::optional<T> result{};  // filled by the sender (empty on close)
+    rt::resume_node node{};
+    rt::runtime_deque* deque = nullptr;
+    rt::worker* owner = nullptr;
+
+    // callback(v, q): deliver the suspended receiver back to its deque.
+    void fire() {
+      const bool first = deque->deliver_resume(&node);
+      if (first) owner->enqueue_resumed_deque(deque);
+    }
+  };
+
+  struct receive_awaiter {
+    channel& ch;
+    receive_waiter waiter{};
+
+    bool await_ready() noexcept { return false; }
+
+    bool await_suspend(std::coroutine_handle<> h) {
+      rt::worker* w = rt::worker::current();
+      LHWS_ASSERT(w != nullptr &&
+                  "channel receive may only be awaited inside a run");
+      if (w->sched().config().engine == rt::engine_mode::ws) {
+        // Blocking baseline.
+        std::unique_lock<std::mutex> lock(ch.mu_);
+        w->note_blocked_wait();
+        ch.cv_.wait(lock, [&] { return !ch.queue_.empty() || ch.closed_; });
+        if (!ch.queue_.empty()) {
+          waiter.result.emplace(std::move(ch.queue_.front()));
+          ch.queue_.pop_front();
+        }
+        return false;
+      }
+      std::unique_lock<std::mutex> lock(ch.mu_);
+      if (!ch.queue_.empty()) {
+        waiter.result.emplace(std::move(ch.queue_.front()));
+        ch.queue_.pop_front();
+        return false;
+      }
+      if (ch.closed_) return false;  // nullopt result
+      // Suspend per Fig. 3: the receiver belongs to the active deque.
+      waiter.deque = w->begin_suspension();
+      waiter.owner = w;
+      waiter.node.continuation = h;
+      ch.waiters_.push_back(&waiter);
+      return true;
+    }
+
+    std::optional<T> await_resume() noexcept {
+      return std::move(waiter.result);
+    }
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  std::deque<receive_waiter*> waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace lhws

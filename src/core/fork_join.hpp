@@ -1,0 +1,77 @@
+// fork2 — the paper's binary fork primitive (Figures 8 and 10).
+//
+// co_await fork2(e1, e2) suspends the caller at a join of width two, pushes
+// e2's continuation onto the bottom of the worker's active deque (the RIGHT
+// child — stealable), and immediately runs e1 (the LEFT child / the current
+// thread's continuation, preserving the scheduler's non-preemption). The
+// last child to finish resumes the caller; the awaited value is the pair of
+// results.
+#pragma once
+
+#include <utility>
+
+#include "core/task.hpp"
+#include "runtime/scheduler_core.hpp"
+
+namespace lhws {
+
+namespace detail {
+
+// fork2 of void tasks yields unit placeholders so the pair shape is uniform.
+struct unit {};
+
+template <typename T>
+using fork_result_t = std::conditional_t<std::is_void_v<T>, unit, T>;
+
+template <typename T>
+fork_result_t<T> take_result(task<T>& t) {
+  if constexpr (std::is_void_v<T>) {
+    t.take();
+    return unit{};
+  } else {
+    return t.take();
+  }
+}
+
+template <typename A, typename B>
+struct fork2_awaiter {
+  task<A> left;
+  task<B> right;
+  join_state join{};
+
+  bool await_ready() const noexcept { return false; }
+
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    join.parent = parent;
+    left.handle().promise().join = &join;
+    right.handle().promise().join = &join;
+    rt::worker* w = rt::worker::current();
+    LHWS_ASSERT(w != nullptr &&
+                "fork2 may only be awaited inside a scheduler run");
+    // Fig. 3 ordering: the spawned (right) child is pushed first, so the
+    // left child keeps the highest priority.
+    w->push_spawn(right.handle());
+    return left.handle();
+  }
+
+  std::pair<fork_result_t<A>, fork_result_t<B>> await_resume() {
+    // Take the left result first so a left-side exception wins (both
+    // children have completed either way — the join guarantees it).
+    auto a = take_result(left);
+    auto b = take_result(right);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+}  // namespace detail
+
+// Forks two tasks; awaits to a pair of their results. The second argument
+// is the spawned (stealable) child, matching the paper's fork2(e1, e2)
+// where execution continues with e1.
+template <typename A, typename B>
+[[nodiscard]] auto fork2(task<A> e1, task<B> e2) {
+  LHWS_ASSERT(e1.valid() && e2.valid());
+  return detail::fork2_awaiter<A, B>{std::move(e1), std::move(e2)};
+}
+
+}  // namespace lhws

@@ -1,0 +1,86 @@
+// Simulated latency operations — the runtime analogue of a heavy edge of
+// known weight, and exactly how the paper's benchmark works: "the benchmark
+// simulates a latency of delta milliseconds by sleeping for delta
+// milliseconds and then immediately returning 30" (Section 6.1).
+//
+//   co_await latency(sched, 50ms, value)
+//
+// Under the LHWS engine the continuation suspends and a timer (dedicated
+// thread or worker polling, per scheduler_config::timer) completes it after
+// the delay; the worker keeps executing other continuations. Under the WS
+// engine the worker simply sleeps — the blocking baseline.
+#pragma once
+
+#include <chrono>
+
+#include "core/task.hpp"
+#include "runtime/scheduler_core.hpp"
+#include "support/timing.hpp"
+
+namespace lhws {
+
+namespace detail {
+
+template <typename T>
+struct latency_awaiter {
+  std::int64_t delay_ns;
+  T payload;
+
+  // Fired by the event hub: complete the suspension.
+  static void fire(void* arg) {
+    auto* self = static_cast<latency_awaiter*>(arg);
+    const bool first = self->deque_->deliver_resume(&self->node_);
+    if (first) self->owner_->enqueue_resumed_deque(self->deque_);
+  }
+
+  bool await_ready() const noexcept { return delay_ns <= 0; }
+
+  bool await_suspend(std::coroutine_handle<> h) {
+    rt::worker* w = rt::worker::current();
+    LHWS_ASSERT(w != nullptr &&
+                "latency may only be awaited inside a scheduler run");
+    if (w->sched().config().engine == rt::engine_mode::ws) {
+      // The blocking baseline: occupy the worker for the full latency.
+      w->note_blocked_wait();
+      const std::int64_t t0 = now_ns();
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+      w->record_trace(rt::trace_kind::blocked, t0, now_ns());
+      return false;
+    }
+    deque_ = w->begin_suspension();
+    owner_ = w;
+    node_.continuation = h;
+    // The waiter is fully installed before the timer can fire.
+    w->sched().hub().schedule(now_ns() + delay_ns, &latency_awaiter::fire,
+                              this);
+    return true;
+  }
+
+  T await_resume() noexcept { return std::move(payload); }
+
+  rt::resume_node node_{};
+  rt::runtime_deque* deque_ = nullptr;
+  rt::worker* owner_ = nullptr;
+};
+
+}  // namespace detail
+
+// Suspends for (at least) `delay`, then yields `value`. Models a remote
+// fetch / user input / blocking read of known latency.
+template <typename Rep, typename Period, typename T>
+[[nodiscard]] auto latency(std::chrono::duration<Rep, Period> delay, T value) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delay).count();
+  return detail::latency_awaiter<T>{ns, std::move(value)};
+}
+
+// Valueless suspension: co_await delay(10ms). The task sleeps without
+// occupying its worker (under the LHWS engine).
+template <typename Rep, typename Period>
+[[nodiscard]] auto delay(std::chrono::duration<Rep, Period> d) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  return detail::latency_awaiter<char>{ns, 0};
+}
+
+}  // namespace lhws

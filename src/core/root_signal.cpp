@@ -1,0 +1,12 @@
+// Out-of-line root-completion hook: breaks the header cycle between
+// core/task.hpp (which must not include the scheduler) and the runtime.
+#include "core/task.hpp"
+#include "runtime/scheduler_core.hpp"
+
+namespace lhws::detail {
+
+void signal_root_done(rt::scheduler_core& sched) noexcept {
+  sched.signal_done();
+}
+
+}  // namespace lhws::detail

@@ -1,0 +1,91 @@
+// Public scheduler facade.
+//
+//   lhws::scheduler_options opts;
+//   opts.workers = 8;
+//   opts.engine = lhws::engine::latency_hiding;   // or engine::blocking
+//   lhws::scheduler sched(opts);
+//   int result = sched.run(my_root_task());
+//
+// Each run() constructs a fresh worker pool, executes the root task to
+// completion, and records run statistics retrievable via stats().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "core/task.hpp"
+#include "runtime/scheduler_core.hpp"
+
+namespace lhws {
+
+// Friendlier public names for the two engines of the paper's comparison.
+enum class engine : std::uint8_t {
+  latency_hiding,  // the paper's LHWS algorithm (Fig. 3)
+  blocking,        // standard work stealing; latency blocks the worker
+};
+
+struct scheduler_options {
+  unsigned workers = std::thread::hardware_concurrency();
+  engine engine_kind = engine::latency_hiding;
+  rt::runtime_steal_policy steal = rt::runtime_steal_policy::random_worker;
+  rt::timer_mode timer = rt::timer_mode::dedicated_thread;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  std::size_t deque_pool_capacity = std::size_t{1} << 16;
+  // Record a Chrome trace-event timeline of the run (scheduler::trace_json).
+  bool trace = false;
+};
+
+class scheduler {
+ public:
+  explicit scheduler(const scheduler_options& opts = {}) : opts_(opts) {}
+
+  // Runs `root` to completion on a fresh worker pool; returns its result
+  // (rethrowing any exception the task chain raised). Blocks the caller.
+  template <typename T>
+  T run(task<T> root) {
+    rt::scheduler_core core(to_config());
+    root.handle().promise().root_sched = &core;
+    core.run_root(root.handle());
+    stats_ = core.last_run_stats();
+    if (opts_.trace) {
+      std::ostringstream trace_stream;
+      core.write_trace(trace_stream);
+      trace_json_ = trace_stream.str();
+    }
+    return root.take();
+  }
+
+  // Chrome trace-event JSON of the last run (empty unless options().trace).
+  // Load in chrome://tracing or ui.perfetto.dev.
+  [[nodiscard]] const std::string& trace_json() const noexcept {
+    return trace_json_;
+  }
+
+  // Statistics of the most recent run.
+  [[nodiscard]] const rt::run_stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const scheduler_options& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  [[nodiscard]] rt::scheduler_config to_config() const noexcept {
+    rt::scheduler_config cfg;
+    cfg.workers = opts_.workers;
+    cfg.engine = opts_.engine_kind == engine::latency_hiding
+                     ? rt::engine_mode::lhws
+                     : rt::engine_mode::ws;
+    cfg.policy = opts_.steal;
+    cfg.timer = opts_.timer;
+    cfg.seed = opts_.seed;
+    cfg.deque_pool_capacity = opts_.deque_pool_capacity;
+    cfg.trace = opts_.trace;
+    return cfg;
+  }
+
+  scheduler_options opts_;
+  rt::run_stats stats_{};
+  std::string trace_json_;
+};
+
+}  // namespace lhws

@@ -1,0 +1,113 @@
+// lhws::event<T> — a one-shot completion event, the runtime's
+// latency-incurring dependence (a heavy edge in the dag model).
+//
+// co_await ev behaves by engine:
+//   - LHWS: if the value is not yet set, the awaiting continuation suspends
+//     per Fig. 3's handleChild: the active deque's suspension counter is
+//     bumped and a callback is installed; whoever calls set() later delivers
+//     the continuation back to that deque (callback(v, q)) and registers
+//     the deque with its owner. The worker meanwhile runs other work — the
+//     latency is hidden.
+//   - WS (baseline): the awaiting WORKER blocks until set() — latency is
+//     not hidden, exactly the comparison scheduler of Section 6.1.
+//
+// set() may be called from any thread: a timer, another worker, or an
+// external producer thread.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
+#include "core/task.hpp"
+#include "runtime/scheduler_core.hpp"
+
+namespace lhws {
+
+template <typename T>
+class event {
+ public:
+  event() = default;
+  event(const event&) = delete;
+  event& operator=(const event&) = delete;
+
+  // Completes the event. One-shot: calling set twice is a program error.
+  void set(T value) {
+    value_.emplace(std::move(value));
+    const state old = state_.exchange(state::value_ready,
+                                      std::memory_order_acq_rel);
+    LHWS_ASSERT(old != state::value_ready && "event set twice");
+    if (old == state::waiter_installed) {
+      fire_resume();
+    }
+    // Wake a blocking (WS-engine) waiter, if any.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool ready() const noexcept {
+    return state_.load(std::memory_order_acquire) == state::value_ready;
+  }
+
+  auto operator co_await() noexcept {
+    struct awaiter {
+      event& ev;
+
+      bool await_ready() const noexcept { return ev.ready(); }
+
+      bool await_suspend(std::coroutine_handle<> h) {
+        rt::worker* w = rt::worker::current();
+        LHWS_ASSERT(w != nullptr &&
+                    "events may only be awaited inside a scheduler run");
+        if (w->sched().config().engine == rt::engine_mode::ws) {
+          // Baseline: block the worker thread until completion.
+          w->note_blocked_wait();
+          std::unique_lock<std::mutex> lock(ev.mu_);
+          ev.cv_.wait(lock, [&] { return ev.ready(); });
+          return false;  // never actually suspend
+        }
+        // LHWS: Fig. 3 lines 18-20.
+        rt::runtime_deque* q = w->begin_suspension();
+        ev.node_.continuation = h;
+        ev.deque_ = q;
+        ev.owner_ = w;
+        state expected = state::empty;
+        if (ev.state_.compare_exchange_strong(expected,
+                                              state::waiter_installed,
+                                              std::memory_order_release,
+                                              std::memory_order_acquire)) {
+          return true;  // suspended; set() will deliver the resume
+        }
+        // The value arrived between await_ready and here: do not suspend.
+        w->cancel_suspension(q);
+        return false;
+      }
+
+      T await_resume() { return std::move(*ev.value_); }
+    };
+    return awaiter{*this};
+  }
+
+ private:
+  enum class state : std::uint8_t { empty, waiter_installed, value_ready };
+
+  void fire_resume() {
+    // callback(v, q): deliver the continuation to its deque; if the deque's
+    // resumed set was empty, register the deque with its owner (Fig. 3
+    // lines 1-5).
+    const bool first = deque_->deliver_resume(&node_);
+    if (first) owner_->enqueue_resumed_deque(deque_);
+  }
+
+  std::atomic<state> state_{state::empty};
+  std::optional<T> value_{};
+  rt::resume_node node_{};
+  rt::runtime_deque* deque_ = nullptr;
+  rt::worker* owner_ = nullptr;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace lhws

@@ -1,0 +1,212 @@
+// lhws::task<T> — a lazily-started coroutine representing one user-level
+// thread in the paper's sense. Tasks compose two ways:
+//
+//   co_await some_task          — serial: run the child now, resume the
+//                                 parent when it finishes (a light edge).
+//   co_await fork2(a, b)        — the paper's fork2 (Figs. 8/10): spawn b
+//                                 as the RIGHT child (pushed to the active
+//                                 deque, stealable), run a inline as the
+//                                 LEFT child, resume the parent when both
+//                                 have joined.
+//
+// A task that performs a latency-incurring operation (core/sync.hpp,
+// core/latency.hpp) suspends without blocking its worker under the LHWS
+// engine — the algorithmic contribution this library reproduces.
+#pragma once
+
+#include <atomic>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "support/config.hpp"
+
+namespace lhws {
+
+namespace rt {
+class scheduler_core;
+}
+
+namespace detail {
+
+// Join state for fork2: both children decrement; the last one resumes the
+// parent (left-child-continues discipline: whoever finishes last carries
+// on, so no worker ever waits at a join).
+struct join_state {
+  std::atomic<unsigned> pending{2};
+  std::coroutine_handle<> parent{};
+};
+
+struct promise_base {
+  std::coroutine_handle<> continuation{};  // serial-await parent
+  join_state* join = nullptr;              // fork2 membership
+  rt::scheduler_core* root_sched = nullptr;  // set on the root task only
+  std::exception_ptr exception{};
+};
+
+void signal_root_done(rt::scheduler_core& sched) noexcept;
+
+// Decides who runs next when a task finishes (the "enabling" step).
+struct final_awaiter {
+  bool await_ready() const noexcept { return false; }
+
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) const noexcept {
+    promise_base& p = h.promise();
+    if (p.join != nullptr) {
+      if (p.join->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        return p.join->parent;  // last child enables the continuation
+      }
+      return std::noop_coroutine();  // sibling still running: back to loop
+    }
+    if (p.continuation) return p.continuation;
+    if (p.root_sched != nullptr) signal_root_done(*p.root_sched);
+    return std::noop_coroutine();
+  }
+
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] task {
+ public:
+  struct promise_type : detail::promise_base {
+    std::optional<T> value{};
+
+    task get_return_object() noexcept {
+      return task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    detail::final_awaiter final_suspend() const noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() noexcept {
+      this->exception = std::current_exception();
+    }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  task() noexcept = default;
+  explicit task(handle_type h) noexcept : handle_(h) {}
+  task(task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  task& operator=(task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  task(const task&) = delete;
+  task& operator=(const task&) = delete;
+  ~task() { destroy(); }
+
+  [[nodiscard]] handle_type handle() const noexcept { return handle_; }
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+
+  // Extracts the result after completion (rethrows a stored exception).
+  T take() {
+    promise_type& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    LHWS_ASSERT(p.value.has_value() && "task not completed");
+    return std::move(*p.value);
+  }
+
+  // Serial composition: runs the child immediately (light-edge semantics);
+  // the awaiting parent resumes when it returns.
+  auto operator co_await() && noexcept {
+    struct awaiter {
+      task child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.handle().promise().continuation = parent;
+        return child.handle();
+      }
+      T await_resume() { return child.take(); }
+    };
+    return awaiter{std::move(*this)};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  handle_type handle_ = nullptr;
+};
+
+template <>
+class [[nodiscard]] task<void> {
+ public:
+  struct promise_type : detail::promise_base {
+    bool completed = false;
+
+    task get_return_object() noexcept {
+      return task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    detail::final_awaiter final_suspend() const noexcept { return {}; }
+    void return_void() noexcept { completed = true; }
+    void unhandled_exception() noexcept {
+      this->exception = std::current_exception();
+    }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  task() noexcept = default;
+  explicit task(handle_type h) noexcept : handle_(h) {}
+  task(task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  task& operator=(task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  task(const task&) = delete;
+  task& operator=(const task&) = delete;
+  ~task() { destroy(); }
+
+  [[nodiscard]] handle_type handle() const noexcept { return handle_; }
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+
+  void take() {
+    promise_type& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    LHWS_ASSERT(p.completed && "task not completed");
+  }
+
+  auto operator co_await() && noexcept {
+    struct awaiter {
+      task child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.handle().promise().continuation = parent;
+        return child.handle();
+      }
+      void await_resume() { child.take(); }
+    };
+    return awaiter{std::move(*this)};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  handle_type handle_ = nullptr;
+};
+
+}  // namespace lhws

@@ -1,0 +1,77 @@
+#include "dag/analysis.hpp"
+
+#include <algorithm>
+
+namespace lhws::dag {
+
+std::uint64_t work(const weighted_dag& g) { return g.num_vertices(); }
+
+std::vector<weight_t> weighted_depths(const weighted_dag& g) {
+  std::vector<weight_t> depth(g.num_vertices(), 0);
+  for (const vertex_id u : g.topological_order()) {
+    for (const out_edge& e : g.out_edges(u)) {
+      depth[e.to] = std::max(depth[e.to], depth[u] + e.weight);
+    }
+  }
+  return depth;
+}
+
+weight_t span(const weighted_dag& g) {
+  const auto depth = weighted_depths(g);
+  return depth[g.final()] + 1;
+}
+
+weight_t unweighted_span(const weighted_dag& g) {
+  std::vector<weight_t> depth(g.num_vertices(), 0);
+  for (const vertex_id u : g.topological_order()) {
+    for (const out_edge& e : g.out_edges(u)) {
+      depth[e.to] = std::max(depth[e.to], depth[u] + 1);
+    }
+  }
+  return depth[g.final()] + 1;
+}
+
+std::vector<vertex_id> critical_path(const weighted_dag& g) {
+  const auto depth = weighted_depths(g);
+  // Walk backwards from the final vertex, always stepping to an in-neighbour
+  // that realizes the depth.
+  std::vector<vertex_id> path;
+  vertex_id v = g.final();
+  path.push_back(v);
+  while (v != g.root()) {
+    for (const in_edge& e : g.in_edges(v)) {
+      if (depth[e.from] + e.weight == depth[v]) {
+        v = e.from;
+        path.push_back(v);
+        break;
+      }
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+weight_t critical_path_latency(const weighted_dag& g) {
+  const auto path = critical_path(g);
+  weight_t latency = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    for (const out_edge& e : g.out_edges(path[i])) {
+      if (e.to == path[i + 1]) {
+        latency += e.weight - 1;
+        break;
+      }
+    }
+  }
+  return latency;
+}
+
+cost_summary summarize(const weighted_dag& g) {
+  return cost_summary{
+      .work = work(g),
+      .span = span(g),
+      .unweighted_span = unweighted_span(g),
+      .heavy_edges = g.num_heavy_edges(),
+  };
+}
+
+}  // namespace lhws::dag

@@ -1,0 +1,51 @@
+// Cost-model analyzers for weighted dags (paper, Section 2).
+//
+//   work  W : number of vertices — edge weights deliberately do NOT count
+//             (the paper's bound hides latency off the critical path).
+//   span  S : longest weighted path, counted in "vertex steps": the depth of
+//             the final vertex plus one, where depth(v) is the maximum sum
+//             of edge weights along any root->v path. With all-light edges
+//             this is the classical span (vertices on the longest path),
+//             which is the convention Theorem 1's W/P + S bound needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/weighted_dag.hpp"
+
+namespace lhws::dag {
+
+// W: total vertex count.
+[[nodiscard]] std::uint64_t work(const weighted_dag& g);
+
+// Weighted depth of every vertex: depth(root) = 0 and
+// depth(v) = max over in-edges (u, v, delta) of depth(u) + delta.
+[[nodiscard]] std::vector<weight_t> weighted_depths(const weighted_dag& g);
+
+// S = depth(final) + 1.
+[[nodiscard]] weight_t span(const weighted_dag& g);
+
+// The span with every edge treated as weight 1 — the classical span of the
+// underlying unweighted dag. Useful to quantify how much latency a dag
+// carries on its critical path (span(g) - unweighted_span(g)).
+[[nodiscard]] weight_t unweighted_span(const weighted_dag& g);
+
+// One root->final path realizing the span, for diagnostics and DOT output.
+[[nodiscard]] std::vector<vertex_id> critical_path(const weighted_dag& g);
+
+// Total latency on the critical path: sum over the critical path's heavy
+// edges of (delta - 1).
+[[nodiscard]] weight_t critical_path_latency(const weighted_dag& g);
+
+// Summary used throughout tests, benches and EXPERIMENTS.md tables.
+struct cost_summary {
+  std::uint64_t work = 0;
+  weight_t span = 0;
+  weight_t unweighted_span = 0;
+  std::size_t heavy_edges = 0;
+};
+
+[[nodiscard]] cost_summary summarize(const weighted_dag& g);
+
+}  // namespace lhws::dag

@@ -1,0 +1,38 @@
+#include "dag/dot_export.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace lhws::dag {
+
+void write_dot(std::ostream& os, const weighted_dag& g,
+               std::span<const vertex_id> highlight) {
+  std::vector<bool> hot(g.num_vertices(), false);
+  for (const vertex_id v : highlight) hot[v] = true;
+
+  os << "digraph lhws {\n  rankdir=TB;\n  node [shape=circle];\n";
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    os << "  v" << v;
+    if (hot[v]) os << " [style=bold,color=red]";
+    os << ";\n";
+  }
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    for (const out_edge& e : g.out_edges(u)) {
+      os << "  v" << u << " -> v" << e.to;
+      if (e.heavy()) {
+        os << " [style=bold,label=\"" << e.weight << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const weighted_dag& g, std::span<const vertex_id> highlight) {
+  std::ostringstream ss;
+  write_dot(ss, g, highlight);
+  return ss.str();
+}
+
+}  // namespace lhws::dag

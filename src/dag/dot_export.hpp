@@ -1,0 +1,20 @@
+// Graphviz/DOT rendering of weighted dags, mirroring the paper's drawing
+// convention: light edges thin, heavy edges bold and labelled with delta.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/weighted_dag.hpp"
+
+namespace lhws::dag {
+
+// Writes `g` in DOT syntax. `highlight` (optional) bolds the given vertices
+// (e.g. a critical path).
+void write_dot(std::ostream& os, const weighted_dag& g,
+               std::span<const vertex_id> highlight = {});
+
+[[nodiscard]] std::string to_dot(const weighted_dag& g,
+                                 std::span<const vertex_id> highlight = {});
+
+}  // namespace lhws::dag

@@ -1,0 +1,358 @@
+#include "dag/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace lhws::dag {
+namespace {
+
+// Appends a chain of `n` vertices (n >= 1), returning {first, last}.
+std::pair<vertex_id, vertex_id> add_chain(weighted_dag& g, std::size_t n) {
+  LHWS_ASSERT(n >= 1);
+  const vertex_id first = g.add_vertex();
+  vertex_id prev = first;
+  for (std::size_t i = 1; i < n; ++i) {
+    const vertex_id v = g.add_vertex();
+    g.add_edge(prev, v, 1);
+    prev = v;
+  }
+  return {first, prev};
+}
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  std::uint64_t bits = 0;
+  while ((std::uint64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+// Recursive map-reduce builder; returns {entry, exit} of the subdag for
+// the range [lo, hi).
+std::pair<vertex_id, vertex_id> build_map_reduce(weighted_dag& g,
+                                                 std::size_t lo,
+                                                 std::size_t hi,
+                                                 weight_t delta,
+                                                 std::size_t leaf_work) {
+  const std::size_t n = hi - lo;
+  LHWS_ASSERT(n >= 1);
+  if (n == 1) {
+    // getValue() issue vertex, heavy edge to the compute chain f(x).
+    const vertex_id get = g.add_vertex();
+    const auto [chain_first, chain_last] = add_chain(g, leaf_work);
+    g.add_edge(get, chain_first, delta);
+    return {get, chain_last};
+  }
+  const std::size_t piv = lo + n / 2;
+  const vertex_id fork = g.add_vertex();
+  const vertex_id join = g.add_vertex();
+  const auto left = build_map_reduce(g, lo, piv, delta, leaf_work);
+  const auto right = build_map_reduce(g, piv, hi, delta, leaf_work);
+  // Left child = continuation (first recursive call), right = spawned.
+  g.add_edge(fork, left.first, 1);
+  g.add_edge(fork, right.first, 1);
+  g.add_edge(left.second, join, 1);
+  g.add_edge(right.second, join, 1);
+  return {fork, join};
+}
+
+}  // namespace
+
+generated_dag map_reduce_dag(std::size_t leaves, weight_t delta,
+                             std::size_t leaf_work) {
+  LHWS_ASSERT(leaves >= 1 && delta >= 1 && leaf_work >= 1);
+  generated_dag out;
+  out.graph = weighted_dag(leaves * (3 + leaf_work));
+  build_map_reduce(out.graph, 0, leaves, delta, leaf_work);
+  LHWS_ASSERT(out.graph.validate());
+
+  out.expected_work =
+      leaves * (1 + leaf_work) + 2 * (leaves > 0 ? leaves - 1 : 0);
+  const std::uint64_t depth = ceil_log2(leaves);
+  out.expected_span = leaves == 1 ? delta + leaf_work
+                                  : 2 * depth + delta + leaf_work;
+  out.expected_suspension_width = delta > 1 ? leaves : 0;
+  return out;
+}
+
+generated_dag server_dag(std::size_t requests, weight_t delta,
+                         std::size_t handler_work) {
+  LHWS_ASSERT(requests >= 1 && delta >= 1 && handler_work >= 1);
+  generated_dag out;
+  weighted_dag& g = out.graph;
+
+  // gets[i] -> (heavy delta) -> forks[i]; forks[i] -> handler_i (left
+  // continuation), forks[i] -> gets[i+1] (spawned recursion, right child
+  // per Fig. 10's fork2(f(input), server(f, g)) with our left-first edge
+  // convention reversed: the paper spawns e2, so the recursive server call
+  // is the RIGHT child and the handler the LEFT).
+  //
+  // NOTE on edge order: add_edge order determines left/right; we add the
+  // handler edge first (left) then the recursion edge (right).
+  std::vector<vertex_id> joins(requests);
+  vertex_id prev_tail = invalid_vertex;  // feeds the next join upward
+
+  std::vector<vertex_id> gets(requests + 1);
+  std::vector<vertex_id> forks(requests);
+  std::vector<std::pair<vertex_id, vertex_id>> handlers(requests);
+
+  for (std::size_t i = 0; i <= requests; ++i) gets[i] = g.add_vertex();
+  for (std::size_t i = 0; i < requests; ++i) {
+    forks[i] = g.add_vertex();
+    handlers[i] = add_chain(g, handler_work);
+    joins[i] = g.add_vertex();
+  }
+  const vertex_id done = g.add_vertex();  // the "Done" return-0 vertex
+
+  for (std::size_t i = 0; i < requests; ++i) {
+    g.add_edge(gets[i], forks[i], delta);
+    g.add_edge(forks[i], handlers[i].first, 1);  // left: f(input)
+    g.add_edge(forks[i], gets[i + 1], 1);        // right: recursive server
+    g.add_edge(handlers[i].second, joins[i], 1);
+  }
+  g.add_edge(gets[requests], done, delta);
+  prev_tail = done;
+  for (std::size_t i = requests; i-- > 0;) {
+    g.add_edge(prev_tail, joins[i], 1);
+    prev_tail = joins[i];
+  }
+  LHWS_ASSERT(g.validate());
+
+  out.expected_work = requests * (handler_work + 3) + 2;
+  const std::uint64_t k = requests;
+  const std::uint64_t recursion_spine = (k + 1) * delta + 2 * k;
+  const std::uint64_t deepest_handler =
+      k * delta + 2 * k + handler_work - 1;
+  out.expected_span = std::max(recursion_spine, deepest_handler) + 1;
+  out.expected_suspension_width = delta > 1 ? 1 : 0;
+  return out;
+}
+
+generated_dag fib_dag(unsigned n) {
+  generated_dag out;
+  weighted_dag& g = out.graph;
+
+  // Recursion depth is only O(n) and n stays modest, so plain recursion
+  // through a generic lambda is fine.
+  auto build = [&g](auto&& self, unsigned m) -> std::pair<vertex_id, vertex_id> {
+    if (m < 2) {
+      const vertex_id leaf = g.add_vertex();
+      return {leaf, leaf};
+    }
+    const vertex_id fork = g.add_vertex();
+    const vertex_id join = g.add_vertex();
+    const auto left = self(self, m - 1);
+    const auto right = self(self, m - 2);
+    g.add_edge(fork, left.first, 1);
+    g.add_edge(fork, right.first, 1);
+    g.add_edge(left.second, join, 1);
+    g.add_edge(right.second, join, 1);
+    return {fork, join};
+  };
+  build(build, n);
+  LHWS_ASSERT(g.validate());
+
+  out.expected_work = g.num_vertices();
+  out.expected_span = n < 2 ? 1 : 2 * n - 1;
+  out.expected_suspension_width = 0;
+  return out;
+}
+
+generated_dag fork_join_tree(unsigned depth, std::size_t leaf_work) {
+  generated_dag out;
+  weighted_dag& g = out.graph;
+
+  auto build = [&](auto&& self, unsigned d) -> std::pair<vertex_id, vertex_id> {
+    if (d == 0) return add_chain(g, leaf_work);
+    const vertex_id fork = g.add_vertex();
+    const vertex_id join = g.add_vertex();
+    const auto left = self(self, d - 1);
+    const auto right = self(self, d - 1);
+    g.add_edge(fork, left.first, 1);
+    g.add_edge(fork, right.first, 1);
+    g.add_edge(left.second, join, 1);
+    g.add_edge(right.second, join, 1);
+    return {fork, join};
+  };
+  build(build, depth);
+  LHWS_ASSERT(g.validate());
+
+  const std::uint64_t leaves = std::uint64_t{1} << depth;
+  out.expected_work = leaves * leaf_work + 2 * (leaves - 1);
+  out.expected_span = 2 * depth + leaf_work;
+  out.expected_suspension_width = 0;
+  return out;
+}
+
+generated_dag chain_dag(std::size_t length, std::size_t heavy_every,
+                        weight_t delta) {
+  LHWS_ASSERT(length >= 1);
+  generated_dag out;
+  weighted_dag& g = out.graph;
+  std::size_t heavy_count = 0;
+  vertex_id prev = g.add_vertex();
+  for (std::size_t i = 1; i < length; ++i) {
+    const vertex_id v = g.add_vertex();
+    const bool heavy = heavy_every != 0 && (i % heavy_every) == 0 && delta > 1;
+    g.add_edge(prev, v, heavy ? delta : 1);
+    if (heavy) ++heavy_count;
+    prev = v;
+  }
+  LHWS_ASSERT(g.validate());
+
+  out.expected_work = length;
+  out.expected_span = length + heavy_count * (delta - 1);
+  out.expected_suspension_width = heavy_count > 0 ? 1 : 0;
+  return out;
+}
+
+generated_dag io_burst_dag(std::size_t width, weight_t base_delay) {
+  LHWS_ASSERT(width >= 1 && base_delay >= 2);
+  generated_dag out;
+  weighted_dag& g = out.graph;
+  const std::size_t k = width;
+
+  std::vector<vertex_id> spine(k), handlers(k);
+  for (std::size_t i = 0; i < k; ++i) spine[i] = g.add_vertex();
+  for (std::size_t i = 0; i < k; ++i) handlers[i] = g.add_vertex();
+  std::vector<vertex_id> joins(k > 1 ? k - 1 : 0);
+  for (auto& j : joins) j = g.add_vertex();
+
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    // Continuation (left) first so the spine runs serially on one deque.
+    g.add_edge(spine[i], spine[i + 1], 1);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    // s_i executed at round i+1 (1-based); handler ready at k+1+base_delay.
+    g.add_edge(spine[i], handlers[i], base_delay + (k - 1 - i));
+  }
+  if (k > 1) {
+    g.add_edge(handlers[0], joins[0], 1);
+    g.add_edge(handlers[1], joins[0], 1);
+    for (std::size_t m = 1; m < k - 1; ++m) {
+      g.add_edge(joins[m - 1], joins[m], 1);
+      g.add_edge(handlers[m + 1], joins[m], 1);
+    }
+  }
+  LHWS_ASSERT(g.validate());
+
+  out.expected_work = 3 * k - 1;
+  // Span path: spine to s_1's heavy edge (the largest weight), then the
+  // whole join chain: depth(h_1) = base_delay + k - 1, + (k-1) joins.
+  out.expected_span = k == 1 ? base_delay + 1 : base_delay + 2 * k - 1;
+  out.expected_suspension_width = k;
+  return out;
+}
+
+generated_dag map_reduce_fib_dag(std::size_t leaves, weight_t delta,
+                                 unsigned fib_n) {
+  LHWS_ASSERT(leaves >= 1 && delta >= 1);
+  generated_dag out;
+  weighted_dag& g = out.graph;
+
+  auto build_fib = [&g](auto&& self,
+                        unsigned m) -> std::pair<vertex_id, vertex_id> {
+    if (m < 2) {
+      const vertex_id leaf = g.add_vertex();
+      return {leaf, leaf};
+    }
+    const vertex_id fork = g.add_vertex();
+    const vertex_id join = g.add_vertex();
+    const auto left = self(self, m - 1);
+    const auto right = self(self, m - 2);
+    g.add_edge(fork, left.first, 1);
+    g.add_edge(fork, right.first, 1);
+    g.add_edge(left.second, join, 1);
+    g.add_edge(right.second, join, 1);
+    return {fork, join};
+  };
+
+  auto build = [&](auto&& self, std::size_t lo,
+                   std::size_t hi) -> std::pair<vertex_id, vertex_id> {
+    const std::size_t n = hi - lo;
+    if (n == 1) {
+      const vertex_id get = g.add_vertex();
+      const auto fib = build_fib(build_fib, fib_n);
+      g.add_edge(get, fib.first, delta);
+      return {get, fib.second};
+    }
+    const std::size_t piv = lo + n / 2;
+    const vertex_id fork = g.add_vertex();
+    const vertex_id join = g.add_vertex();
+    const auto left = self(self, lo, piv);
+    const auto right = self(self, piv, hi);
+    g.add_edge(fork, left.first, 1);
+    g.add_edge(fork, right.first, 1);
+    g.add_edge(left.second, join, 1);
+    g.add_edge(right.second, join, 1);
+    return {fork, join};
+  };
+  build(build, 0, leaves);
+  LHWS_ASSERT(g.validate());
+
+  const std::uint64_t fib_work = fib_dag(fib_n).expected_work;
+  const std::uint64_t fib_span = fib_n < 2 ? 1 : 2 * fib_n - 1;
+  const std::uint64_t depth = ceil_log2(leaves);
+  out.expected_work = leaves * (1 + fib_work) + 2 * (leaves - 1);
+  out.expected_span = leaves == 1 ? delta + fib_span
+                                  : 2 * depth + delta + fib_span;
+  out.expected_suspension_width = delta > 1 ? leaves : 0;
+  return out;
+}
+
+generated_dag random_fork_join(std::uint64_t seed, unsigned target_depth,
+                               unsigned heavy_permille, weight_t max_delta) {
+  generated_dag out;
+  weighted_dag& g = out.graph;
+  xoshiro256 rng(seed);
+
+  auto maybe_weight = [&]() -> weight_t {
+    if (max_delta >= 2 && rng.below(1000) < heavy_permille) {
+      return 2 + rng.below(max_delta - 1);
+    }
+    return 1;
+  };
+
+  // Build a series-parallel dag. Heavy edges are placed only on serial
+  // links (targets with in-degree 1), never on join in-edges, so the
+  // model's third assumption holds by construction.
+  auto build = [&](auto&& self, unsigned d) -> std::pair<vertex_id, vertex_id> {
+    if (d == 0) {
+      const std::size_t len = 1 + rng.below(3);
+      const vertex_id first = g.add_vertex();
+      vertex_id prev = first;
+      for (std::size_t i = 1; i < len; ++i) {
+        const vertex_id v = g.add_vertex();
+        g.add_edge(prev, v, maybe_weight());
+        prev = v;
+      }
+      return {first, prev};
+    }
+    if (rng.below(2) == 0) {
+      // Serial composition, heavy-eligible connecting edge.
+      const auto a = self(self, d - 1);
+      const auto b = self(self, d - 1);
+      g.add_edge(a.second, b.first, maybe_weight());
+      return {a.first, b.second};
+    }
+    // Parallel (fork-join) composition; join in-edges stay light.
+    const vertex_id fork = g.add_vertex();
+    const vertex_id join = g.add_vertex();
+    const auto a = self(self, d - 1);
+    const auto b = self(self, d - 1);
+    g.add_edge(fork, a.first, 1);
+    g.add_edge(fork, b.first, 1);
+    g.add_edge(a.second, join, 1);
+    g.add_edge(b.second, join, 1);
+    return {fork, join};
+  };
+  build(build, target_depth);
+  LHWS_ASSERT(g.validate());
+
+  out.expected_work = g.num_vertices();  // trivially exact
+  out.expected_span = 0;                 // no closed form for random dags
+  out.expected_suspension_width = std::nullopt;
+  return out;
+}
+
+}  // namespace lhws::dag

@@ -1,0 +1,92 @@
+// Generators for the dag families the paper uses, plus stress families.
+//
+// Each generator returns the dag together with its analytically known cost
+// facts, so tests can cross-check the analyzers and benches can report the
+// theory bound next to the measurement.
+//
+// Families:
+//   map_reduce_dag  — Fig. 7/8: binary fork-join over n leaves; each leaf
+//                     issues a latency-delta fetch (heavy edge) and then a
+//                     compute chain. U = n (Section 5: "it is possible for
+//                     each of the n calls to getValue() to be suspended at
+//                     once").
+//   server_dag      — Fig. 9/10: sequential input loop; each request forks
+//                     a handler. Only one getInput() can be outstanding, so
+//                     U = 1.
+//   fib_dag         — naive parallel Fibonacci, the paper's per-leaf
+//                     compute kernel; no heavy edges, U = 0.
+//   fork_join_tree  — balanced compute-only fork-join; U = 0.
+//   chain_dag       — a serial chain with a heavy edge every k vertices;
+//                     U = 1 and all latency on the critical path (the
+//                     adversarial case for latency hiding).
+//   random_fork_join— seeded random series-parallel dag with random heavy
+//                     edges on thread-internal (in-degree-1) positions;
+//                     used for property sweeps. U is not known in closed
+//                     form; the struct carries the witness bound instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dag/weighted_dag.hpp"
+
+namespace lhws::dag {
+
+struct generated_dag {
+  weighted_dag graph;
+  // Closed-form facts when the family provides them.
+  std::uint64_t expected_work = 0;
+  weight_t expected_span = 0;
+  std::optional<std::uint64_t> expected_suspension_width;
+};
+
+// Fig. 7/8. `leaves` values fetched remotely (latency `delta`), each followed
+// by `leaf_work` compute vertices, combined by a binary reduction.
+[[nodiscard]] generated_dag map_reduce_dag(std::size_t leaves, weight_t delta,
+                                           std::size_t leaf_work = 1);
+
+// Fig. 9/10. `requests` inputs taken one at a time with latency `delta`;
+// each spawns a handler of `handler_work` vertices; results reduced on the
+// way back up.
+[[nodiscard]] generated_dag server_dag(std::size_t requests, weight_t delta,
+                                       std::size_t handler_work = 1);
+
+// Naive parallel fib(n) built from fork-join vertices; compute only.
+[[nodiscard]] generated_dag fib_dag(unsigned n);
+
+// Perfect binary fork-join tree of the given depth (2^depth leaves), each
+// leaf a chain of `leaf_work` vertices; compute only.
+[[nodiscard]] generated_dag fork_join_tree(unsigned depth,
+                                           std::size_t leaf_work = 1);
+
+// Serial chain of `length` vertices with every `heavy_every`-th edge heavy
+// with latency `delta` (heavy_every == 0 means no heavy edges).
+[[nodiscard]] generated_dag chain_dag(std::size_t length,
+                                      std::size_t heavy_every, weight_t delta);
+
+// Random series-parallel dag. `heavy_permille` of eligible edges (targets of
+// in-degree 1) get a random latency in [2, max_delta].
+[[nodiscard]] generated_dag random_fork_join(std::uint64_t seed,
+                                             unsigned target_depth,
+                                             unsigned heavy_permille,
+                                             weight_t max_delta);
+
+// Burst workload engineered so that `width` suspended vertices all resume
+// in the SAME round on the same deque — the worst case for resume handling
+// and the one that forces full pfor trees (Section 3: "there can be
+// arbitrarily many resumed vertices at a check point"). A serial spine
+// s_1..s_k spawns handler h_i over a heavy edge of weight
+// base_delay + (k - i); every h_i becomes ready at round k + base_delay.
+// Handlers reduce through a join chain. U = width.
+[[nodiscard]] generated_dag io_burst_dag(std::size_t width,
+                                         weight_t base_delay);
+
+// The paper's Section 6.1 benchmark: map-reduce over `leaves` remote values
+// where each leaf, after its latency-delta fetch, computes a naive parallel
+// Fibonacci of `fib_n` ("each Fibonacci calculation computes the 30th
+// Fibonacci number" in the paper; fib_n is a knob here so simulated dags
+// stay tractable). U = leaves.
+[[nodiscard]] generated_dag map_reduce_fib_dag(std::size_t leaves,
+                                               weight_t delta, unsigned fib_n);
+
+}  // namespace lhws::dag

@@ -1,0 +1,77 @@
+#include "dag/greedy_schedule.hpp"
+
+#include <deque>
+#include <queue>
+
+#include "dag/analysis.hpp"
+
+namespace lhws::dag {
+
+greedy_result greedy_schedule(const weighted_dag& g, std::uint64_t workers) {
+  LHWS_ASSERT(workers >= 1);
+  const std::size_t n = g.num_vertices();
+
+  greedy_result res;
+  res.step_of.assign(n, 0);
+
+  std::vector<std::size_t> remaining_parents(n);
+  for (vertex_id v = 0; v < n; ++v) remaining_parents[v] = g.in_degree(v);
+
+  std::deque<vertex_id> ready;
+  // Suspended vertices keyed by the step at which they become ready.
+  using release = std::pair<std::uint64_t, vertex_id>;
+  std::priority_queue<release, std::vector<release>, std::greater<>> waiting;
+
+  ready.push_back(g.root());
+  std::uint64_t executed = 0;
+  std::uint64_t step = 0;
+
+  while (executed < n) {
+    ++step;
+    // Vertices whose latency expires at this step become ready before the
+    // step's executions (a vertex is ready delta steps after its parent).
+    while (!waiting.empty() && waiting.top().first <= step) {
+      ready.push_back(waiting.top().second);
+      waiting.pop();
+    }
+
+    res.max_ready = std::max<std::uint64_t>(res.max_ready, ready.size());
+    res.max_suspended =
+        std::max<std::uint64_t>(res.max_suspended, waiting.size());
+
+    const std::uint64_t width =
+        std::min<std::uint64_t>(workers, ready.size());
+    if (width == workers) {
+      ++res.busy_steps;
+    } else {
+      ++res.idle_steps;
+      if (width == 0) ++res.all_idle_steps;
+    }
+
+    for (std::uint64_t i = 0; i < width; ++i) {
+      const vertex_id u = ready.front();
+      ready.pop_front();
+      res.step_of[u] = step;
+      ++executed;
+      for (const out_edge& e : g.out_edges(u)) {
+        if (--remaining_parents[e.to] == 0) {
+          if (e.heavy()) {
+            waiting.emplace(step + e.weight, e.to);
+          } else {
+            ready.push_back(e.to);
+          }
+        }
+      }
+    }
+  }
+
+  res.length = step;
+  return res;
+}
+
+std::uint64_t theorem1_bound(const weighted_dag& g, std::uint64_t workers) {
+  const std::uint64_t w = work(g);
+  return (w + workers - 1) / workers + span(g);
+}
+
+}  // namespace lhws::dag

@@ -1,0 +1,37 @@
+// Greedy offline scheduling of weighted dags (paper, Theorem 1).
+//
+// A greedy schedule executes, at every step, min(P, #ready) vertices. For
+// weighted dags an enabled vertex behind a heavy edge (u, v, delta) only
+// becomes ready delta steps after u executes; steps on which every worker is
+// idle (all remaining vertices waiting out latencies) still count toward the
+// schedule length. Theorem 1: any greedy schedule has length <= W/P + S.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/weighted_dag.hpp"
+
+namespace lhws::dag {
+
+struct greedy_result {
+  std::uint64_t length = 0;       // steps until the final vertex executes
+  std::uint64_t busy_steps = 0;   // steps with all P workers executing
+  std::uint64_t idle_steps = 0;   // steps with at least one idle worker
+  std::uint64_t all_idle_steps = 0;  // steps where nobody could run
+  std::uint64_t max_ready = 0;    // peak size of the ready pool
+  std::uint64_t max_suspended = 0;  // peak enabled-but-not-ready count
+  // step[v] = 1-based step at which v executed.
+  std::vector<std::uint64_t> step_of;
+};
+
+// Simulates a greedy P-worker schedule. Ready vertices are served FIFO;
+// any greedy order satisfies Theorem 1, and FIFO keeps runs reproducible.
+[[nodiscard]] greedy_result greedy_schedule(const weighted_dag& g,
+                                            std::uint64_t workers);
+
+// Convenience: the Theorem 1 upper bound ceil(W/P) + S for this dag.
+[[nodiscard]] std::uint64_t theorem1_bound(const weighted_dag& g,
+                                           std::uint64_t workers);
+
+}  // namespace lhws::dag

@@ -1,0 +1,178 @@
+#include "dag/json_io.hpp"
+
+#include <array>
+#include <cctype>
+#include <sstream>
+
+namespace lhws::dag {
+namespace {
+
+// Minimal recursive-descent reader for exactly the documented schema.
+class reader {
+ public:
+  explicit reader(std::string_view text) : text_(text) {}
+
+  bool fail(std::string msg) {
+    if (error_.empty()) {
+      error_ = std::move(msg) + " (at offset " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool read_key(std::string& out) {
+    skip_ws();
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') out.push_back(text_[pos_++]);
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;
+    return true;
+  }
+
+  bool read_uint(std::uint64_t& out) {
+    skip_ws();
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      return fail("expected integer");
+    }
+    out = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      out = out * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string to_json(const weighted_dag& g) {
+  std::ostringstream out;
+  out << "{\n  \"lhws_dag\": 1,\n  \"vertices\": " << g.num_vertices()
+      << ",\n  \"edges\": [";
+  bool first = true;
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    for (const out_edge& e : g.out_edges(u)) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    [" << u << ", " << e.to << ", " << e.weight << "]";
+    }
+  }
+  out << (first ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+std::optional<weighted_dag> from_json(std::string_view text,
+                                      std::string* why) {
+  reader r(text);
+  auto bail = [&](const std::string& msg) -> std::optional<weighted_dag> {
+    if (why != nullptr) *why = msg.empty() ? r.error() : msg;
+    return std::nullopt;
+  };
+
+  std::uint64_t version = 0;
+  std::uint64_t vertices = 0;
+  bool saw_version = false, saw_vertices = false, saw_edges = false;
+  std::vector<std::array<std::uint64_t, 3>> edges;
+
+  if (!r.expect('{')) return bail("");
+  while (true) {
+    std::string key;
+    if (!r.read_key(key)) return bail("");
+    if (!r.expect(':')) return bail("");
+    if (key == "lhws_dag") {
+      if (!r.read_uint(version)) return bail("");
+      saw_version = true;
+    } else if (key == "vertices") {
+      if (!r.read_uint(vertices)) return bail("");
+      saw_vertices = true;
+    } else if (key == "edges") {
+      if (!r.expect('[')) return bail("");
+      if (!r.peek_is(']')) {
+        while (true) {
+          std::array<std::uint64_t, 3> e{};
+          if (!r.expect('[')) return bail("");
+          if (!r.read_uint(e[0])) return bail("");
+          if (!r.expect(',')) return bail("");
+          if (!r.read_uint(e[1])) return bail("");
+          if (!r.expect(',')) return bail("");
+          if (!r.read_uint(e[2])) return bail("");
+          if (!r.expect(']')) return bail("");
+          edges.push_back(e);
+          if (r.peek_is(',')) {
+            (void)r.expect(',');
+            continue;
+          }
+          break;
+        }
+      }
+      if (!r.expect(']')) return bail("");
+      saw_edges = true;
+    } else {
+      return bail("unknown key \"" + key + "\"");
+    }
+    if (r.peek_is(',')) {
+      (void)r.expect(',');
+      continue;
+    }
+    break;
+  }
+  if (!r.expect('}')) return bail("");
+  if (!r.at_end()) return bail("trailing content after document");
+
+  if (!saw_version || version != 1) return bail("missing or bad lhws_dag tag");
+  if (!saw_vertices || !saw_edges) return bail("missing vertices or edges");
+
+  weighted_dag g(vertices);
+  for (std::uint64_t i = 0; i < vertices; ++i) (void)g.add_vertex();
+  for (const auto& e : edges) {
+    if (e[0] >= vertices || e[1] >= vertices) {
+      return bail("edge endpoint out of range");
+    }
+    if (e[2] < 1) return bail("edge weight must be >= 1");
+    if (g.out_degree(static_cast<vertex_id>(e[0])) >= 2) {
+      return bail("vertex " + std::to_string(e[0]) + " has out-degree > 2");
+    }
+    g.add_edge(static_cast<vertex_id>(e[0]), static_cast<vertex_id>(e[1]),
+               e[2]);
+  }
+  std::string validate_msg;
+  if (!g.validate(&validate_msg)) return bail("invalid dag: " + validate_msg);
+  return g;
+}
+
+}  // namespace lhws::dag

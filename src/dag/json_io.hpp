@@ -1,0 +1,32 @@
+// JSON serialization of weighted dags.
+//
+// Schema (stable, version-tagged):
+//   {
+//     "lhws_dag": 1,
+//     "vertices": <count>,
+//     "edges": [[from, to, weight], ...]
+//   }
+//
+// The format exists so workloads can be generated once (tools/lhws_dag_gen),
+// inspected, and replayed through the simulators (tools/lhws_simulate) or
+// other tooling without recompiling. The parser is self-contained (no JSON
+// dependency), accepts arbitrary whitespace, and validates the dag's model
+// assumptions on load.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dag/weighted_dag.hpp"
+
+namespace lhws::dag {
+
+[[nodiscard]] std::string to_json(const weighted_dag& g);
+
+// Parses the schema above and validates the result. Returns nullopt and
+// (optionally) a diagnostic on malformed input or an invalid dag.
+[[nodiscard]] std::optional<weighted_dag> from_json(std::string_view text,
+                                                    std::string* why = nullptr);
+
+}  // namespace lhws::dag

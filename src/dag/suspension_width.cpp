@@ -1,0 +1,147 @@
+#include "dag/suspension_width.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace lhws::dag {
+namespace {
+
+// Weak connectivity of the subgraph induced by the vertices with
+// membership[v] == side, via BFS over both edge directions.
+bool side_connected(const weighted_dag& g, const std::vector<bool>& membership,
+                    bool side) {
+  const std::size_t n = g.num_vertices();
+  vertex_id start = invalid_vertex;
+  std::size_t side_size = 0;
+  for (vertex_id v = 0; v < n; ++v) {
+    if (membership[v] == side) {
+      if (start == invalid_vertex) start = v;
+      ++side_size;
+    }
+  }
+  if (side_size == 0) return false;  // partitions must be non-trivial
+  std::vector<bool> seen(n, false);
+  std::queue<vertex_id> frontier;
+  frontier.push(start);
+  seen[start] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const vertex_id u = frontier.front();
+    frontier.pop();
+    auto visit = [&](vertex_id w) {
+      if (membership[w] == side && !seen[w]) {
+        seen[w] = true;
+        ++reached;
+        frontier.push(w);
+      }
+    };
+    for (const out_edge& e : g.out_edges(u)) visit(e.to);
+    for (const in_edge& e : g.in_edges(u)) visit(e.from);
+  }
+  return reached == side_size;
+}
+
+std::uint64_t crossing_heavy_edges(const weighted_dag& g,
+                                   const std::vector<bool>& in_s) {
+  std::uint64_t count = 0;
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    if (!in_s[u]) continue;
+    for (const out_edge& e : g.out_edges(u)) {
+      if (e.heavy() && !in_s[e.to]) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> suspension_width_exact(const weighted_dag& g,
+                                                    std::size_t max_vertices) {
+  const std::size_t n = g.num_vertices();
+  if (g.num_heavy_edges() == 0) return 0;
+  if (n > max_vertices || n > 62) return std::nullopt;
+
+  const vertex_id s = g.root();
+  const vertex_id t = g.final();
+
+  // Free vertices are everything except root (always in S) and final
+  // (always in T).
+  std::vector<vertex_id> free_vertices;
+  for (vertex_id v = 0; v < n; ++v) {
+    if (v != s && v != t) free_vertices.push_back(v);
+  }
+  const std::size_t k = free_vertices.size();
+
+  std::uint64_t best = 0;
+  std::vector<bool> in_s(n, false);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << k); ++mask) {
+    std::fill(in_s.begin(), in_s.end(), false);
+    in_s[s] = true;
+    for (std::size_t i = 0; i < k; ++i) {
+      if ((mask >> i) & 1u) in_s[free_vertices[i]] = true;
+    }
+    // Quick reject: count before the (more expensive) connectivity checks.
+    const std::uint64_t crossing = crossing_heavy_edges(g, in_s);
+    if (crossing <= best) continue;
+    if (!side_connected(g, in_s, true)) continue;
+    if (!side_connected(g, in_s, false)) continue;
+    best = crossing;
+  }
+  return best;
+}
+
+std::uint64_t suspension_width_witness(const weighted_dag& g) {
+  // Simulate with infinitely many workers in discrete time. A vertex whose
+  // last parent executed at step r over a light edge is executed at step
+  // r + 1; over a heavy edge (u, v, delta) it is *suspended* during steps
+  // (r, r + delta) and executed at step r + delta. The number of suspended
+  // vertices at any instant equals the heavy edges crossing the
+  // executed/not-executed partition at that instant — a legal partition of
+  // Definition 1 (the paper makes this argument after the definition).
+  const std::size_t n = g.num_vertices();
+  std::vector<std::size_t> remaining_parents(n);
+  std::vector<std::uint64_t> exec_time(n, 0);
+  for (vertex_id v = 0; v < n; ++v) remaining_parents[v] = g.in_degree(v);
+
+  // Event queue keyed by execution time.
+  using event = std::pair<std::uint64_t, vertex_id>;
+  std::priority_queue<event, std::vector<event>, std::greater<>> pending;
+  pending.emplace(0, g.root());
+
+  // Suspension intervals [begin, end): vertex suspended from the step after
+  // its parent executed until it becomes ready.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+
+  while (!pending.empty()) {
+    const auto [time, u] = pending.top();
+    pending.pop();
+    exec_time[u] = time;
+    for (const out_edge& e : g.out_edges(u)) {
+      if (--remaining_parents[e.to] == 0) {
+        const std::uint64_t ready_at = time + e.weight;
+        if (e.heavy()) intervals.emplace_back(time + 1, ready_at);
+        pending.emplace(ready_at, e.to);
+      }
+    }
+  }
+
+  // Maximum interval overlap by sweeping.
+  std::vector<std::pair<std::uint64_t, int>> deltas;
+  deltas.reserve(intervals.size() * 2);
+  for (const auto& [b, e] : intervals) {
+    deltas.emplace_back(b, +1);
+    deltas.emplace_back(e, -1);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  std::uint64_t best = 0;
+  std::int64_t current = 0;
+  for (const auto& [when, d] : deltas) {
+    current += d;
+    best = std::max<std::uint64_t>(best, static_cast<std::uint64_t>(
+                                             std::max<std::int64_t>(0, current)));
+  }
+  return best;
+}
+
+}  // namespace lhws::dag

@@ -1,0 +1,42 @@
+// Suspension width U (paper, Definition 1).
+//
+// U is the maximum, over all source-sink partitions (S, T) of the dag in
+// which S and T each induce a (weakly) connected subdag, of the number of
+// heavy edges directed from S into T. It bounds the number of simultaneously
+// suspended vertices during any execution, and it is the parameter that
+// multiplies the span in the scheduler's O(W/P + S*U*(1 + lg U)) bound.
+//
+// Computing U exactly is combinatorial (it maximizes over partitions, like
+// an s-t cut but with a connectivity side condition and counting only heavy
+// edges), so this module offers three routes:
+//   1. exact enumeration for small dags (the test oracle),
+//   2. an execution witness — the largest number of heavy edges crossing any
+//      executed-prefix partition reachable by a legal schedule, which is a
+//      lower bound on U and is what the scheduler actually experiences,
+//   3. closed forms supplied by the generators for the paper's families
+//      (map-reduce: U = n; server: U = 1; compute-only dags: U = 0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dag/weighted_dag.hpp"
+
+namespace lhws::dag {
+
+// Exact U by enumerating all 2^(V-2) vertex partitions. Returns nullopt if
+// the dag has more than `max_vertices` vertices (default keeps runtime under
+// a second). Intended as a test oracle, not for production dags.
+[[nodiscard]] std::optional<std::uint64_t> suspension_width_exact(
+    const weighted_dag& g, std::size_t max_vertices = 22);
+
+// Greedy witness: executes the dag with an unbounded number of virtual
+// workers (every ready vertex runs immediately; latency delays readiness)
+// and reports the maximum number of enabled-but-not-ready vertices at any
+// time. Every value returned is achieved by a real execution prefix, so
+//   suspension_width_witness(g) <= U.
+// For the paper's families the witness is tight (tested against the exact
+// enumeration and the closed forms).
+[[nodiscard]] std::uint64_t suspension_width_witness(const weighted_dag& g);
+
+}  // namespace lhws::dag

@@ -1,0 +1,89 @@
+#include "dag/weighted_dag.hpp"
+
+#include <queue>
+
+namespace lhws::dag {
+
+bool weighted_dag::validate(std::string* why) {
+  auto fail = [&](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+
+  if (vertices_.empty()) return fail("dag has no vertices");
+
+  root_ = invalid_vertex;
+  final_ = invalid_vertex;
+  for (vertex_id v = 0; v < vertices_.size(); ++v) {
+    const vertex& info = vertices_[v];
+    if (info.in.empty()) {
+      if (root_ != invalid_vertex)
+        return fail("multiple roots: " + std::to_string(root_) + " and " +
+                    std::to_string(v));
+      root_ = v;
+    }
+    if (info.out_count == 0) {
+      if (final_ != invalid_vertex)
+        return fail("multiple final vertices: " + std::to_string(final_) +
+                    " and " + std::to_string(v));
+      final_ = v;
+    }
+    if (info.out_count > 2)
+      return fail("vertex " + std::to_string(v) + " has out-degree > 2");
+    bool heavy_in = false;
+    for (const in_edge& e : info.in) {
+      if (e.weight < 1)
+        return fail("edge into " + std::to_string(v) + " has weight 0");
+      if (e.heavy()) heavy_in = true;
+    }
+    if (heavy_in && info.in.size() != 1)
+      return fail("vertex " + std::to_string(v) +
+                  " has a heavy in-edge but in-degree " +
+                  std::to_string(info.in.size()));
+  }
+  if (root_ == invalid_vertex) return fail("no root (in-degree-0) vertex");
+  if (final_ == invalid_vertex) return fail("no final (out-degree-0) vertex");
+
+  // Acyclicity + full reachability via Kahn's algorithm.
+  std::vector<std::size_t> remaining(vertices_.size());
+  std::queue<vertex_id> ready;
+  for (vertex_id v = 0; v < vertices_.size(); ++v) {
+    remaining[v] = vertices_[v].in.size();
+    if (remaining[v] == 0) ready.push(v);
+  }
+  std::size_t seen = 0;
+  while (!ready.empty()) {
+    const vertex_id u = ready.front();
+    ready.pop();
+    ++seen;
+    for (const out_edge& e : out_edges(u)) {
+      if (--remaining[e.to] == 0) ready.push(e.to);
+    }
+  }
+  if (seen != vertices_.size()) return fail("dag contains a cycle");
+
+  return true;
+}
+
+std::vector<vertex_id> weighted_dag::topological_order() const {
+  std::vector<vertex_id> order;
+  order.reserve(vertices_.size());
+  std::vector<std::size_t> remaining(vertices_.size());
+  std::queue<vertex_id> ready;
+  for (vertex_id v = 0; v < vertices_.size(); ++v) {
+    remaining[v] = vertices_[v].in.size();
+    if (remaining[v] == 0) ready.push(v);
+  }
+  while (!ready.empty()) {
+    const vertex_id u = ready.front();
+    ready.pop();
+    order.push_back(u);
+    for (const out_edge& e : out_edges(u)) {
+      if (--remaining[e.to] == 0) ready.push(e.to);
+    }
+  }
+  LHWS_ASSERT(order.size() == vertices_.size());
+  return order;
+}
+
+}  // namespace lhws::dag

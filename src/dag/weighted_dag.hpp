@@ -1,0 +1,139 @@
+// The weighted-dag model of Section 2 of the paper.
+//
+// A parallel computation is a dag whose vertices are unit-work instructions
+// and whose edges carry positive integer latencies. An edge of weight 1
+// ("light") is an ordinary dependence; weight delta > 1 ("heavy") means the
+// target becomes *enabled* when its parent executes but *ready* only delta
+// steps later. The model's structural assumptions (one root, one final
+// vertex, out-degree <= 2, heavy targets have in-degree 1) are enforced by
+// validate().
+//
+// Edge orientation convention (paper, Section 2): when u spawns a thread
+// whose first instruction is v, v is u's RIGHT child and the continuation of
+// u's own thread is the LEFT child. Builders therefore add the continuation
+// edge first (slot 0 = left) and the spawn edge second (slot 1 = right).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/config.hpp"
+
+namespace lhws::dag {
+
+using vertex_id = std::uint32_t;
+using weight_t = std::uint64_t;
+
+inline constexpr vertex_id invalid_vertex = ~vertex_id{0};
+
+struct out_edge {
+  vertex_id to = invalid_vertex;
+  weight_t weight = 1;
+
+  [[nodiscard]] bool heavy() const noexcept { return weight > 1; }
+};
+
+struct in_edge {
+  vertex_id from = invalid_vertex;
+  weight_t weight = 1;
+
+  [[nodiscard]] bool heavy() const noexcept { return weight > 1; }
+};
+
+class weighted_dag {
+ public:
+  weighted_dag() = default;
+
+  // Reserves space for `n` vertices up front (builders know their size).
+  explicit weighted_dag(std::size_t expected_vertices) {
+    vertices_.reserve(expected_vertices);
+  }
+
+  vertex_id add_vertex() {
+    vertices_.push_back({});
+    return static_cast<vertex_id>(vertices_.size() - 1);
+  }
+
+  // Adds an edge u -> v with latency `weight` (>= 1). Edges are stored in
+  // insertion order: the first out-edge of a vertex is its left child
+  // (continuation), the second its right child (spawned thread).
+  void add_edge(vertex_id u, vertex_id v, weight_t weight = 1) {
+    LHWS_ASSERT(u < vertices_.size() && v < vertices_.size());
+    LHWS_ASSERT(weight >= 1);
+    vertex& vu = vertices_[u];
+    LHWS_ASSERT(vu.out_count < 2);
+    vu.out[vu.out_count++] = {v, weight};
+    vertices_[v].in.push_back({u, weight});
+    ++num_edges_;
+    if (weight > 1) ++num_heavy_edges_;
+  }
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept {
+    return vertices_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] std::size_t num_heavy_edges() const noexcept {
+    return num_heavy_edges_;
+  }
+
+  [[nodiscard]] unsigned out_degree(vertex_id v) const noexcept {
+    return vertices_[v].out_count;
+  }
+  [[nodiscard]] std::size_t in_degree(vertex_id v) const noexcept {
+    return vertices_[v].in.size();
+  }
+
+  // i = 0 is the left child, i = 1 the right child.
+  [[nodiscard]] const out_edge& out(vertex_id v, unsigned i) const noexcept {
+    LHWS_ASSERT(i < vertices_[v].out_count);
+    return vertices_[v].out[i];
+  }
+
+  [[nodiscard]] std::span<const out_edge> out_edges(vertex_id v) const {
+    return {vertices_[v].out.data(), vertices_[v].out_count};
+  }
+
+  [[nodiscard]] std::span<const in_edge> in_edges(vertex_id v) const {
+    return {vertices_[v].in.data(), vertices_[v].in.size()};
+  }
+
+  // True iff v has a heavy in-edge, i.e. v is a vertex that will suspend
+  // when enabled. By the model's third assumption such a vertex has
+  // in-degree exactly 1.
+  [[nodiscard]] bool suspends(vertex_id v) const {
+    const auto& in = vertices_[v].in;
+    return in.size() == 1 && in[0].heavy();
+  }
+
+  // The unique in-degree-0 vertex. Valid only on a validated dag.
+  [[nodiscard]] vertex_id root() const noexcept { return root_; }
+  // The unique out-degree-0 vertex. Valid only on a validated dag.
+  [[nodiscard]] vertex_id final() const noexcept { return final_; }
+
+  // Checks every structural assumption of Section 2. Returns true and caches
+  // root/final on success; on failure returns false and, if `why` is
+  // non-null, stores a human-readable description of the first violation.
+  bool validate(std::string* why = nullptr);
+
+  // Vertices in a topological order (parents before children). Requires a
+  // validated dag.
+  [[nodiscard]] std::vector<vertex_id> topological_order() const;
+
+ private:
+  struct vertex {
+    std::array<out_edge, 2> out{};
+    unsigned out_count = 0;
+    std::vector<in_edge> in;
+  };
+
+  std::vector<vertex> vertices_;
+  std::size_t num_edges_ = 0;
+  std::size_t num_heavy_edges_ = 0;
+  vertex_id root_ = invalid_vertex;
+  vertex_id final_ = invalid_vertex;
+};
+
+}  // namespace lhws::dag

@@ -1,0 +1,159 @@
+// Lock-free work-stealing deque of Chase and Lev (SPAA 2005), the deque the
+// paper cites ([11]) as satisfying its Table 1 interface: owner-only
+// push_bottom / pop_bottom at one end, concurrent pop_top (steal) at the
+// other, all (amortized) constant time.
+//
+// The element type is required to be a trivially-copyable word-sized value
+// (in practice a pointer): steals read slots racily, which is benign only
+// for such types. Memory ordering follows the Lê-Pop-Cohen-Nardelli
+// (PPoPP'13) C11 formalization of the algorithm.
+//
+// Growth: the circular buffer doubles when full. Retired buffers are kept on
+// a per-deque list until destruction; a concurrent thief may still be
+// reading a stale buffer pointer, so freeing eagerly would be unsound. The
+// paper's deques hold at most O(depth) entries, so this wastes at most 2x
+// the peak size — the standard engineering trade.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "support/config.hpp"
+
+namespace lhws {
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T> && (sizeof(T) <= sizeof(void*))
+class chase_lev_deque {
+  struct ring {
+    explicit ring(std::int64_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(new std::atomic<T>[static_cast<std::size_t>(cap)]) {}
+
+    [[nodiscard]] T get(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i & mask)].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) noexcept {
+      slots[static_cast<std::size_t>(i & mask)].store(
+          v, std::memory_order_relaxed);
+    }
+
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+    ring* retired_next = nullptr;
+  };
+
+ public:
+  explicit chase_lev_deque(std::int64_t initial_capacity = 64)
+      : top_(0), bottom_(0), retired_(nullptr) {
+    LHWS_ASSERT(initial_capacity > 0 &&
+                (initial_capacity & (initial_capacity - 1)) == 0);
+    buffer_.store(new ring(initial_capacity), std::memory_order_relaxed);
+  }
+
+  ~chase_lev_deque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    ring* r = retired_;
+    while (r != nullptr) {
+      ring* next = r->retired_next;
+      delete r;
+      r = next;
+    }
+  }
+
+  chase_lev_deque(const chase_lev_deque&) = delete;
+  chase_lev_deque& operator=(const chase_lev_deque&) = delete;
+
+  // Owner only.
+  void push_bottom(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    ring* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only. Returns true and writes `out` on success; false if empty.
+  bool pop_bottom(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    ring* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      out = buf->get(b);
+      if (t == b) {
+        // Last element: race against thieves with a CAS on top.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          bottom_.store(b + 1, std::memory_order_relaxed);
+          return false;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Any thread. Returns true and writes `out` on success; false if the deque
+  // was empty or the steal lost a race (the paper's "failed steal": both
+  // count as one steal attempt in the analysis).
+  bool pop_top(T& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      ring* buf = buffer_.load(std::memory_order_consume);
+      T value = buf->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return false;
+      }
+      out = value;
+      return true;
+    }
+    return false;
+  }
+
+  // Owner-observed size; approximate when thieves are active.
+  [[nodiscard]] std::int64_t size() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  [[nodiscard]] std::int64_t capacity() const noexcept {
+    return buffer_.load(std::memory_order_relaxed)->capacity;
+  }
+
+ private:
+  ring* grow(ring* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    old->retired_next = retired_;
+    retired_ = old;
+    return bigger;
+  }
+
+  alignas(cache_line_size) std::atomic<std::int64_t> top_;
+  alignas(cache_line_size) std::atomic<std::int64_t> bottom_;
+  alignas(cache_line_size) std::atomic<ring*> buffer_;
+  ring* retired_;  // owner-only
+};
+
+}  // namespace lhws

@@ -1,0 +1,22 @@
+// The deque interface the paper's Table 1 requires, expressed as a C++20
+// concept so both deque implementations (and any future one) are checked at
+// compile time against the same contract.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace lhws {
+
+template <typename D, typename T>
+concept WorkStealingDeque = requires(D d, const D cd, T v, T& out) {
+  // Owner end (Table 1: pushBottom / popBottom).
+  { d.push_bottom(v) };
+  { d.pop_bottom(out) } -> std::same_as<bool>;
+  // Thief end (Table 1: popTop).
+  { d.pop_top(out) } -> std::same_as<bool>;
+  { cd.size() } -> std::convertible_to<std::int64_t>;
+  { cd.empty() } -> std::convertible_to<bool>;
+};
+
+}  // namespace lhws

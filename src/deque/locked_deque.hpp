@@ -1,0 +1,54 @@
+// Mutex-protected reference deque.
+//
+// Serves two purposes: (1) a correctness oracle for the lock-free Chase-Lev
+// implementation in stress tests, and (2) a baseline for the DEQUE-MICRO
+// benchmark showing why work-stealing runtimes use non-blocking deques.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+namespace lhws {
+
+template <typename T>
+class locked_deque {
+ public:
+  locked_deque() = default;
+
+  locked_deque(const locked_deque&) = delete;
+  locked_deque& operator=(const locked_deque&) = delete;
+
+  void push_bottom(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(value);
+  }
+
+  bool pop_bottom(T& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    out = items_.back();
+    items_.pop_back();
+    return true;
+  }
+
+  bool pop_top(T& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    out = items_.front();
+    items_.pop_front();
+    return true;
+  }
+
+  [[nodiscard]] std::int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::int64_t>(items_.size());
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace lhws

@@ -1,0 +1,71 @@
+// The global deque array of Figure 5: gDeques, gTotalDeques, and the
+// per-worker emptyDeques recycling sets.
+//
+// Allocation uses a fixed-capacity slot array plus an atomic bump counter
+// (the paper's fetch_and_add(gTotalDeques, 1)); the fixed capacity plays the
+// role of the "acceptable for the application" fixed-size array variant the
+// paper describes. Deques are recycled through per-worker free lists and
+// never deallocated during a run, so a thief holding a stale pointer is
+// always safe (Section 3's "the chosen deque may have been freed, in which
+// case the steal will fail").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/runtime_deque.hpp"
+#include "support/config.hpp"
+#include "support/rng.hpp"
+
+namespace lhws::rt {
+
+class deque_pool {
+ public:
+  explicit deque_pool(std::size_t capacity) : slots_(capacity) {
+    LHWS_ASSERT(capacity >= 1);
+    for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~deque_pool() {
+    const std::size_t n = total_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      delete slots_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  deque_pool(const deque_pool&) = delete;
+  deque_pool& operator=(const deque_pool&) = delete;
+
+  // Figure 5's newDeque() without the emptyDeques fast path (which lives in
+  // the worker, who owns its free list): allocates the next global slot.
+  runtime_deque* allocate(std::uint32_t owner) {
+    const std::size_t i = total_.fetch_add(1, std::memory_order_acq_rel);
+    LHWS_ASSERT(i < slots_.size() &&
+                "deque pool capacity exhausted; raise scheduler_config::"
+                "deque_pool_capacity");
+    auto* q = new runtime_deque(owner);
+    slots_[i].store(q, std::memory_order_release);
+    return q;
+  }
+
+  // randomDeque(): uniform over [0, gTotalDeques). May return nullptr if
+  // the chosen slot's pointer store has not become visible yet — callers
+  // treat that as a failed steal, which the analysis already accounts for.
+  runtime_deque* random_deque(xoshiro256& rng) const {
+    const std::size_t n = total_.load(std::memory_order_acquire);
+    if (n == 0) return nullptr;
+    return slots_[rng.below(n)].load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t total_allocated() const noexcept {
+    return total_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<std::atomic<runtime_deque*>> slots_;
+  alignas(cache_line_size) std::atomic<std::size_t> total_{0};
+};
+
+}  // namespace lhws::rt

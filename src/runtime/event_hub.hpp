@@ -1,0 +1,130 @@
+// Timed-event delivery for simulated latency operations.
+//
+// The paper's prototype simulates a latency of delta milliseconds and polls
+// suspended events "when the scheduler is invoked" (Section 6, footnote 1
+// offers signal handlers or a separate thread as alternatives). Both
+// strategies are provided:
+//   - timer_mode::dedicated_thread: a timer thread sleeps until the next
+//     deadline and fires callbacks; lowest resume latency.
+//   - timer_mode::polled: workers call poll() each scheduling-loop
+//     iteration and fire due entries themselves — the paper's own scheme.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "support/timing.hpp"
+
+namespace lhws::rt {
+
+enum class timer_mode : std::uint8_t { dedicated_thread, polled };
+
+class event_hub {
+ public:
+  using fire_fn = void (*)(void*);
+
+  explicit event_hub(timer_mode mode) : mode_(mode) {
+    if (mode_ == timer_mode::dedicated_thread) {
+      thread_ = std::thread([this] { run(); });
+    }
+  }
+
+  ~event_hub() { shutdown(); }
+
+  event_hub(const event_hub&) = delete;
+  event_hub& operator=(const event_hub&) = delete;
+
+  // Registers `fire(arg)` to run at or after `deadline_ns` (now_ns clock).
+  // Thread-safe. The callback runs on the timer thread or inside a worker's
+  // poll(); it must be quick and non-blocking (ours just complete events).
+  void schedule(std::int64_t deadline_ns, fire_fn fire, void* arg) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      heap_.push(entry{deadline_ns, fire, arg});
+    }
+    if (mode_ == timer_mode::dedicated_thread) cv_.notify_one();
+  }
+
+  // Polled mode: fire everything due. Safe (and a no-op) in thread mode if
+  // called anyway. Returns the number of callbacks fired.
+  std::size_t poll() {
+    if (mode_ != timer_mode::polled) return 0;
+    return fire_due(now_ns());
+  }
+
+  [[nodiscard]] timer_mode mode() const noexcept { return mode_; }
+
+  // Stops the timer thread after firing everything already due. Entries
+  // not yet due are dropped — callers must not shut down with live waiters.
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    cv_.notify_one();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  struct entry {
+    std::int64_t deadline_ns;
+    fire_fn fire;
+    void* arg;
+
+    bool operator>(const entry& o) const noexcept {
+      return deadline_ns > o.deadline_ns;
+    }
+  };
+
+  std::size_t fire_due(std::int64_t now) {
+    std::vector<entry> due;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (!heap_.empty() && heap_.top().deadline_ns <= now) {
+        due.push_back(heap_.top());
+        heap_.pop();
+      }
+    }
+    for (const entry& e : due) e.fire(e.arg);
+    return due.size();
+  }
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+      if (heap_.empty()) {
+        cv_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+        continue;
+      }
+      const std::int64_t next = heap_.top().deadline_ns;
+      const std::int64_t now = now_ns();
+      if (now < next) {
+        cv_.wait_for(lock, std::chrono::nanoseconds(next - now));
+        continue;
+      }
+      // Fire without holding the lock.
+      std::vector<entry> due;
+      while (!heap_.empty() && heap_.top().deadline_ns <= now) {
+        due.push_back(heap_.top());
+        heap_.pop();
+      }
+      lock.unlock();
+      for (const entry& e : due) e.fire(e.arg);
+      lock.lock();
+    }
+  }
+
+  const timer_mode mode_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace lhws::rt

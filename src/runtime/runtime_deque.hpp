@@ -1,0 +1,112 @@
+// A runtime deque: the paper's per-deque state (Table 1 plus the fields of
+// Fig. 3) wrapped around a lock-free Chase-Lev core.
+//
+// Concurrency contract:
+//   - items: owner pushes/pops the bottom, anyone pops the top (Chase-Lev).
+//   - suspend_ctr: incremented by the owner when a continuation belonging
+//     to this deque suspends; decremented by whichever thread resumes it.
+//   - resumed: MPSC — resuming threads push, the owner drains.
+//   - in_ready_set / last-active flags: owner only.
+//   - freed: owner writes; thieves may racily observe a freed deque and
+//     simply fail their steal (Section 3 allows stealing from freed deques;
+//     deques are recycled, never deallocated).
+#pragma once
+
+#include <atomic>
+#include <coroutine>
+#include <cstdint>
+
+#include "deque/chase_lev_deque.hpp"
+#include "runtime/work_item.hpp"
+#include "support/mpsc_stack.hpp"
+
+namespace lhws::rt {
+
+// Intrusive node used to deliver one resumed continuation (the paper's
+// callback(v, q) payload). Lives inside the awaitable that suspended, which
+// stays alive in the suspended coroutine's frame until it is resumed.
+struct resume_node {
+  std::coroutine_handle<> continuation{};
+  resume_node* next = nullptr;
+};
+
+class runtime_deque {
+ public:
+  explicit runtime_deque(std::uint32_t owner_index)
+      : owner_(owner_index) {}
+
+  // --- Table 1 operations ----------------------------------------------
+  void push_bottom(work_item w) { items_.push_bottom(w.raw()); }
+
+  bool pop_bottom(work_item& out) {
+    std::uintptr_t bits = 0;
+    if (!items_.pop_bottom(bits)) return false;
+    out = work_item::from_raw(bits);
+    return true;
+  }
+
+  bool pop_top(work_item& out) {
+    std::uintptr_t bits = 0;
+    if (!items_.pop_top(bits)) return false;
+    out = work_item::from_raw(bits);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::int64_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::uint32_t owner() const noexcept { return owner_; }
+
+  // --- Suspension bookkeeping -------------------------------------------
+  void add_suspension() noexcept {
+    suspend_ctr_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // callback(v, q), minus the resumedDeques registration which the caller
+  // performs when this returns true (the resumed list was empty — the
+  // paper's `resumedVertices.size == 1` test).
+  bool deliver_resume(resume_node* node) noexcept {
+    const bool was_empty = resumed_.push(node);
+    suspend_ctr_.fetch_sub(1, std::memory_order_release);
+    return was_empty;
+  }
+
+  // The suspension was abandoned before a waiter was installed (the event
+  // completed first): retract the counter without a resume delivery.
+  void cancel_suspension() noexcept {
+    suspend_ctr_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Owner: detach all resumed continuations delivered since the last drain.
+  resume_node* drain_resumed() noexcept { return resumed_.pop_all(); }
+
+  [[nodiscard]] bool has_pending_suspensions() const noexcept {
+    return suspend_ctr_.load(std::memory_order_acquire) != 0;
+  }
+  [[nodiscard]] bool has_undrained_resumes() const noexcept {
+    return !resumed_.empty();
+  }
+
+  // --- Owner-only state flags -------------------------------------------
+  bool in_ready_set = false;
+
+  // Intrusive link for the owner's resumedDeques MPSC stack. A deque is
+  // registered at most once between drains (guarded by deliver_resume's
+  // was-empty return), so this single link suffices.
+  runtime_deque* next = nullptr;
+
+  void mark_freed(bool f) noexcept {
+    freed_.store(f, std::memory_order_release);
+  }
+  [[nodiscard]] bool is_freed() const noexcept {
+    return freed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  chase_lev_deque<std::uintptr_t> items_;
+  alignas(cache_line_size) std::atomic<std::uint64_t> suspend_ctr_{0};
+  mpsc_stack<resume_node> resumed_;
+  std::atomic<bool> freed_{false};
+  std::uint32_t owner_;
+};
+
+}  // namespace lhws::rt

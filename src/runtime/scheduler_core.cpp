@@ -1,0 +1,331 @@
+#include "runtime/scheduler_core.hpp"
+
+#include <ostream>
+
+#include "support/timing.hpp"
+
+namespace lhws::rt {
+
+thread_local worker* worker::tl_worker_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// worker
+// ---------------------------------------------------------------------------
+
+worker::worker(scheduler_core& sched, std::uint32_t index, std::uint64_t seed)
+    : sched_(sched), index_(index), rng_(seed) {}
+
+void worker::registry_add(runtime_deque* q) {
+  std::lock_guard<spinlock> lock(registry_lock_);
+  registry_.push_back(q);
+}
+
+void worker::registry_remove(runtime_deque* q) {
+  std::lock_guard<spinlock> lock(registry_lock_);
+  for (auto& slot : registry_) {
+    if (slot == q) {
+      slot = registry_.back();
+      registry_.pop_back();
+      return;
+    }
+  }
+  LHWS_ASSERT(false && "deque missing from registry");
+}
+
+runtime_deque* worker::new_deque() {
+  runtime_deque* q;
+  if (!empty_deques_.empty()) {
+    q = empty_deques_.back();
+    empty_deques_.pop_back();
+    q->mark_freed(false);
+  } else {
+    q = sched_.pool().allocate(index_);
+  }
+  stats.note_deque_acquired();
+  registry_add(q);
+  return q;
+}
+
+void worker::free_deque(runtime_deque* q) {
+  LHWS_ASSERT(q->empty());
+  LHWS_ASSERT(!q->in_ready_set);
+  registry_remove(q);
+  q->mark_freed(true);
+  stats.note_deque_freed();
+  empty_deques_.push_back(q);
+}
+
+void worker::push_spawn(std::coroutine_handle<> h) {
+  LHWS_ASSERT(active_ != nullptr);
+  active_->push_bottom(work_item::from_coroutine(h));
+}
+
+runtime_deque* worker::begin_suspension() {
+  LHWS_ASSERT(active_ != nullptr);
+  active_->add_suspension();
+  stats.suspensions += 1;
+  if (trace.enabled()) {
+    const std::int64_t t = now_ns();
+    trace.record(trace_kind::suspend, t, t);
+  }
+  return active_;
+}
+
+void worker::cancel_suspension(runtime_deque* q) {
+  // Completion raced ahead of the waiter installation; no resume callback
+  // will run, so take back the counter increment directly.
+  q->cancel_suspension();
+  stats.suspensions -= 1;
+}
+
+void worker::execute(work_item item) {
+  const std::int64_t t0 = trace.enabled() ? now_ns() : 0;
+  if (item.is_batch()) {
+    // The runtime pfor tree: split until a single continuation remains,
+    // pushing right halves for thieves (lg n span over n resumed leaves),
+    // then run that continuation as a normal segment.
+    batch_node* node = item.batch();
+    while (node->hi - node->lo > 1) {
+      const std::uint32_t mid = node->lo + (node->hi - node->lo) / 2;
+      auto* right = new batch_node{node->items, mid, node->hi};
+      node->hi = mid;
+      active_->push_bottom(work_item::from_batch(right));
+      stats.batch_splits += 1;
+    }
+    const std::coroutine_handle<> h = (*node->items)[node->lo];
+    delete node;
+    stats.segments_executed += 1;
+    h.resume();
+    if (trace.enabled()) trace.record(trace_kind::batch, t0, now_ns());
+    return;
+  }
+  stats.segments_executed += 1;
+  item.coroutine().resume();
+  if (trace.enabled()) trace.record(trace_kind::segment, t0, now_ns());
+}
+
+void worker::add_resumed_vertices() {
+  runtime_deque* q = resumed_deques_.pop_all();
+  while (q != nullptr) {
+    // Capture the link BEFORE draining: once drained, a concurrent
+    // deliver_resume may re-register q and overwrite q->next.
+    runtime_deque* following = q->next;
+    resume_node* chain = q->drain_resumed();
+    if (chain != nullptr) {
+      auto items = std::make_shared<std::vector<std::coroutine_handle<>>>();
+      for (resume_node* n = chain; n != nullptr; n = n->next) {
+        items->push_back(n->continuation);
+      }
+      stats.resumes_delivered += items->size();
+      stats.batches_injected += 1;
+      if (trace.enabled()) {
+        const std::int64_t t = now_ns();
+        trace.record(trace_kind::resume, t, t, items->size());
+      }
+      const auto count = static_cast<std::uint32_t>(items->size());
+      auto* batch = new batch_node{std::move(items), 0, count};
+      q->push_bottom(work_item::from_batch(batch));
+      if (q != active_ && !q->in_ready_set) {
+        q->in_ready_set = true;
+        ready_deques_.push_back(q);
+      }
+    }
+    q = following;
+  }
+}
+
+void worker::maybe_retire_active() {
+  // Fig. 3 lines 42-44, with the guards discussed in DESIGN.md: never free
+  // a deque that still has pending suspensions or undrained resumes.
+  if (active_ == nullptr) return;
+  if (!active_->empty()) return;
+  if (active_->has_pending_suspensions()) {
+    // Suspended deque: it stays owned but stops being active.
+    active_ = nullptr;
+    return;
+  }
+  if (active_->has_undrained_resumes()) return;  // about to become ready
+  runtime_deque* q = active_;
+  active_ = nullptr;
+  free_deque(q);
+}
+
+bool worker::try_switch() {
+  if (ready_deques_.empty()) return false;
+  runtime_deque* q = ready_deques_.back();
+  ready_deques_.pop_back();
+  q->in_ready_set = false;
+  active_ = q;
+  stats.deque_switches += 1;
+  if (trace.enabled()) {
+    const std::int64_t t = now_ns();
+    trace.record(trace_kind::deque_switch, t, t);
+  }
+  return true;
+}
+
+runtime_deque* worker::pick_victim() {
+  if (sched_.config().policy == runtime_steal_policy::random_deque) {
+    return sched_.pool().random_deque(rng_);
+  }
+  // Section 6 policy: random worker, then a random non-empty deque of that
+  // worker (reservoir-sampled under the victim's registry lock).
+  const std::size_t victim_index = rng_.below(sched_.num_workers());
+  worker& victim = sched_.worker_at(victim_index);
+  runtime_deque* chosen = nullptr;
+  {
+    std::lock_guard<spinlock> lock(victim.registry_lock_);
+    std::uint64_t seen = 0;
+    for (runtime_deque* q : victim.registry_) {
+      if (q->empty()) continue;
+      ++seen;
+      if (rng_.below(seen) == 0) chosen = q;
+    }
+  }
+  return chosen;
+}
+
+void worker::try_steal() {
+  stats.steal_attempts += 1;
+  runtime_deque* victim = pick_victim();
+  work_item stolen;
+  if (victim != nullptr && victim->pop_top(stolen)) {
+    stats.successful_steals += 1;
+    active_ = new_deque();
+    assigned_ = stolen;
+    if (trace.enabled()) {
+      const std::int64_t t = now_ns();
+      trace.record(trace_kind::steal, t, t);
+    }
+  } else {
+    stats.failed_steals += 1;
+  }
+}
+
+void worker::lhws_loop() {
+  backoff idle;
+  const bool polled = sched_.hub().mode() == timer_mode::polled;
+  while (!sched_.done()) {
+    if (polled) sched_.hub().poll();
+    if (!assigned_.empty()) {
+      const work_item item = assigned_;
+      assigned_ = work_item{};
+      execute(item);                      // Fig. 3 line 34 (one segment)
+      add_resumed_vertices();             // line 37
+      if (active_ != nullptr) {
+        active_->pop_bottom(assigned_);   // line 40
+      }
+      idle.reset();
+      continue;
+    }
+    // Fig. 3 lines 41-56.
+    maybe_retire_active();
+    if (!try_switch()) {
+      try_steal();
+    }
+    add_resumed_vertices();
+    if (assigned_.empty() && active_ != nullptr) {
+      active_->pop_bottom(assigned_);
+    }
+    if (assigned_.empty()) idle.pause();
+  }
+}
+
+void worker::ws_loop() {
+  // Classic work stealing: one deque, no switching, no resume machinery
+  // (latency operations block inside the awaitable and never suspend).
+  backoff idle;
+  while (!sched_.done()) {
+    if (!assigned_.empty()) {
+      const work_item item = assigned_;
+      assigned_ = work_item{};
+      execute(item);
+      if (active_->pop_bottom(assigned_)) {
+        idle.reset();
+        continue;
+      }
+      idle.reset();
+      continue;
+    }
+    stats.steal_attempts += 1;
+    runtime_deque* victim = nullptr;
+    if (sched_.num_workers() > 1) {
+      std::size_t v = rng_.below(sched_.num_workers() - 1);
+      if (v >= index_) ++v;
+      worker& vw = sched_.worker_at(v);
+      // The victim's single deque, read under its registry lock (the
+      // pointer is written by the victim thread at startup).
+      std::lock_guard<spinlock> lock(vw.registry_lock_);
+      if (!vw.registry_.empty()) victim = vw.registry_.front();
+    }
+    work_item stolen;
+    if (victim != nullptr && victim->pop_top(stolen)) {
+      stats.successful_steals += 1;
+      assigned_ = stolen;
+      idle.reset();
+    } else {
+      stats.failed_steals += 1;
+      idle.pause();
+    }
+  }
+}
+
+void worker::loop() {
+  tl_worker_ = this;
+  if (sched_.config().trace) trace.enable();
+  active_ = new_deque();
+  if (sched_.config().engine == engine_mode::lhws) {
+    lhws_loop();
+  } else {
+    ws_loop();
+  }
+  tl_worker_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// scheduler_core
+// ---------------------------------------------------------------------------
+
+scheduler_core::scheduler_core(const scheduler_config& cfg)
+    : cfg_(cfg),
+      pool_(cfg.deque_pool_capacity),
+      hub_(cfg.engine == engine_mode::ws ? timer_mode::dedicated_thread
+                                         : cfg.timer) {
+  LHWS_ASSERT(cfg_.workers >= 1);
+  splitmix64 seeder(cfg_.seed);
+  workers_.reserve(cfg_.workers);
+  for (std::uint32_t i = 0; i < cfg_.workers; ++i) {
+    workers_.push_back(std::make_unique<worker>(*this, i, seeder.next()));
+  }
+}
+
+scheduler_core::~scheduler_core() { hub_.shutdown(); }
+
+void scheduler_core::run_root(std::coroutine_handle<> root) {
+  done_.store(false, std::memory_order_release);
+  workers_[0]->assigned_ = work_item::from_coroutine(root);
+  for (auto& w : workers_) w->trace.clear();
+  run_start_ns_ = now_ns();
+
+  const stopwatch timer;
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (auto& w : workers_) {
+    threads.emplace_back([&w] { w->loop(); });
+  }
+  for (auto& t : threads) t.join();
+
+  stats_ = run_stats{};
+  for (const auto& w : workers_) stats_.absorb(w->stats);
+  stats_.total_deques_allocated = pool_.total_allocated();
+  stats_.elapsed_ms = timer.elapsed_ms();
+}
+
+void scheduler_core::write_trace(std::ostream& os) const {
+  std::vector<const trace_buffer*> buffers;
+  buffers.reserve(workers_.size());
+  for (const auto& w : workers_) buffers.push_back(&w->trace);
+  write_chrome_trace(os, buffers, run_start_ns_);
+}
+
+}  // namespace lhws::rt

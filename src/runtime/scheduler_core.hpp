@@ -1,0 +1,188 @@
+// The runtime scheduler: P worker threads executing the latency-hiding
+// work-stealing algorithm of Figure 3 (engine_mode::lhws) or classic
+// blocking work stealing (engine_mode::ws) over coroutine continuations.
+//
+// Granularity note (Section 6): "our scheduler operates at the granularity
+// of threads rather than instructions and is only invoked when the current
+// thread ends, requires synchronization (with another thread) or
+// suspends." A work item here is a coroutine continuation = one thread
+// segment; one execute() call runs one segment, then the worker performs
+// the Fig. 3 bookkeeping (addResumedVertices, popBottom / switch / steal).
+#pragma once
+
+#include <atomic>
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <iosfwd>
+#include <thread>
+#include <vector>
+
+#include "runtime/deque_pool.hpp"
+#include "runtime/event_hub.hpp"
+#include "runtime/runtime_deque.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/work_item.hpp"
+#include "support/backoff.hpp"
+#include "support/rng.hpp"
+#include "support/spinlock.hpp"
+
+namespace lhws::rt {
+
+enum class engine_mode : std::uint8_t {
+  lhws,  // latency-hiding work stealing (the paper's algorithm)
+  ws,    // classic work stealing; latency operations block the worker
+};
+
+enum class runtime_steal_policy : std::uint8_t {
+  // Section 3 / analyzed: victim is a uniformly random deque from the
+  // global array.
+  random_deque,
+  // Section 6 / implemented: victim is a random worker, then a random
+  // non-empty deque of that worker.
+  random_worker,
+};
+
+struct scheduler_config {
+  unsigned workers = std::thread::hardware_concurrency();
+  engine_mode engine = engine_mode::lhws;
+  runtime_steal_policy policy = runtime_steal_policy::random_worker;
+  timer_mode timer = timer_mode::dedicated_thread;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  std::size_t deque_pool_capacity = std::size_t{1} << 16;
+  // Record per-worker execution events for Chrome-trace export.
+  bool trace = false;
+};
+
+class scheduler_core;
+
+// One worker (one system thread). Public methods below the loop are the
+// hooks the coroutine awaitables call through the thread-local current().
+class worker {
+ public:
+  worker(scheduler_core& sched, std::uint32_t index, std::uint64_t seed);
+
+  void loop();
+
+  // The worker currently executing on this thread (null outside a run).
+  static worker* current() noexcept { return tl_worker_; }
+
+  // fork2's right-child push: the spawned continuation goes to the bottom
+  // of the active deque (Fig. 3 handleChild, ready case).
+  void push_spawn(std::coroutine_handle<> h);
+
+  // handleChild, suspended case: the suspending continuation belongs to the
+  // active deque. Returns that deque so the awaitable can target the resume
+  // callback at it.
+  runtime_deque* begin_suspension();
+  // The suspension was abandoned (the event completed before the waiter was
+  // installed): undo the counter.
+  void cancel_suspension(runtime_deque* q);
+
+  void note_blocked_wait() noexcept { stats.blocked_waits += 1; }
+
+  // Tracing hook for awaitables (blocked waits etc.). No-op unless the
+  // scheduler was configured with trace = true.
+  void record_trace(trace_kind kind, std::int64_t start_ns,
+                    std::int64_t end_ns, std::uint64_t arg = 0) {
+    trace.record(kind, start_ns, end_ns, arg);
+  }
+
+  trace_buffer trace;
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] scheduler_core& sched() noexcept { return sched_; }
+
+  worker_stats stats;
+
+ private:
+  friend class scheduler_core;
+
+  void lhws_loop();
+  void ws_loop();
+  void execute(work_item item);
+  void add_resumed_vertices();
+  void maybe_retire_active();
+  bool try_switch();
+  void try_steal();
+  runtime_deque* new_deque();
+  void free_deque(runtime_deque* q);
+  runtime_deque* pick_victim();
+
+  // Registry of this worker's allocated deques, readable by thieves under
+  // the Section 6 policy ("requires synchronization between the two
+  // workers").
+  void registry_add(runtime_deque* q);
+  void registry_remove(runtime_deque* q);
+
+  static thread_local worker* tl_worker_;
+
+  scheduler_core& sched_;
+  const std::uint32_t index_;
+  xoshiro256 rng_;
+
+  runtime_deque* active_ = nullptr;
+  work_item assigned_;
+  std::vector<runtime_deque*> ready_deques_;
+  std::vector<runtime_deque*> empty_deques_;
+  mpsc_stack<runtime_deque> resumed_deques_;  // producers: resuming threads
+
+  spinlock registry_lock_;
+  std::vector<runtime_deque*> registry_;
+
+ public:
+  // Called by resume callbacks (any thread): register q as having resumed
+  // vertices (Fig. 3 line 5).
+  void enqueue_resumed_deque(runtime_deque* q) { resumed_deques_.push(q); }
+};
+
+class scheduler_core {
+ public:
+  explicit scheduler_core(const scheduler_config& cfg);
+  ~scheduler_core();
+
+  scheduler_core(const scheduler_core&) = delete;
+  scheduler_core& operator=(const scheduler_core&) = delete;
+
+  // Runs the root continuation to completion on the worker pool; blocks the
+  // calling thread. The root must signal completion via signal_done() (the
+  // task machinery's root completion hook does this).
+  void run_root(std::coroutine_handle<> root);
+
+  void signal_done() noexcept { done_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool done() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const scheduler_config& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] deque_pool& pool() noexcept { return pool_; }
+  [[nodiscard]] event_hub& hub() noexcept { return hub_; }
+  [[nodiscard]] worker& worker_at(std::size_t i) noexcept {
+    return *workers_[i];
+  }
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return workers_.size();
+  }
+
+  // Aggregated statistics of the last completed run.
+  [[nodiscard]] const run_stats& last_run_stats() const noexcept {
+    return stats_;
+  }
+
+  // Chrome trace-event JSON of the last run (empty unless config.trace).
+  void write_trace(std::ostream& os) const;
+
+ private:
+  scheduler_config cfg_;
+  deque_pool pool_;
+  event_hub hub_;
+  std::vector<std::unique_ptr<worker>> workers_;
+  std::atomic<bool> done_{false};
+  run_stats stats_;
+  std::int64_t run_start_ns_ = 0;
+};
+
+}  // namespace lhws::rt

@@ -1,0 +1,69 @@
+// Per-worker statistics, aggregated by the scheduler after a run. These are
+// the runtime counterparts of the simulator's sim_metrics and feed the same
+// paper-claim checks (Lemma 7's deque bound, steal accounting, pfor
+// injection counts).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/config.hpp"
+
+namespace lhws::rt {
+
+struct worker_stats {
+  std::uint64_t segments_executed = 0;  // coroutine resumes (thread segments)
+  std::uint64_t batch_splits = 0;       // internal pfor vertices
+  std::uint64_t batches_injected = 0;   // addResumedVertices pfor pushes
+  std::uint64_t resumes_delivered = 0;  // continuations re-injected
+  std::uint64_t deque_switches = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t successful_steals = 0;
+  std::uint64_t failed_steals = 0;
+  std::uint64_t suspensions = 0;   // continuations that actually suspended
+  std::uint64_t blocked_waits = 0; // WS engine: blocking latency waits
+  std::uint64_t deques_owned = 0;
+  std::uint64_t max_deques_owned = 0;
+
+  void note_deque_acquired() noexcept {
+    ++deques_owned;
+    max_deques_owned = std::max(max_deques_owned, deques_owned);
+  }
+  void note_deque_freed() noexcept {
+    LHWS_ASSERT(deques_owned > 0);
+    --deques_owned;
+  }
+};
+
+struct run_stats {
+  std::uint64_t segments_executed = 0;
+  std::uint64_t batch_splits = 0;
+  std::uint64_t batches_injected = 0;
+  std::uint64_t resumes_delivered = 0;
+  std::uint64_t deque_switches = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t successful_steals = 0;
+  std::uint64_t failed_steals = 0;
+  std::uint64_t suspensions = 0;
+  std::uint64_t blocked_waits = 0;
+  std::uint64_t max_deques_per_worker = 0;
+  std::uint64_t total_deques_allocated = 0;
+  double elapsed_ms = 0.0;
+
+  void absorb(const worker_stats& w) noexcept {
+    segments_executed += w.segments_executed;
+    batch_splits += w.batch_splits;
+    batches_injected += w.batches_injected;
+    resumes_delivered += w.resumes_delivered;
+    deque_switches += w.deque_switches;
+    steal_attempts += w.steal_attempts;
+    successful_steals += w.successful_steals;
+    failed_steals += w.failed_steals;
+    suspensions += w.suspensions;
+    blocked_waits += w.blocked_waits;
+    max_deques_per_worker =
+        std::max(max_deques_per_worker, w.max_deques_owned);
+  }
+};
+
+}  // namespace lhws::rt

@@ -1,0 +1,74 @@
+#include "runtime/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace lhws::rt {
+namespace {
+
+const char* name_of(trace_kind k) {
+  switch (k) {
+    case trace_kind::segment:
+      return "segment";
+    case trace_kind::batch:
+      return "batch";
+    case trace_kind::steal:
+      return "steal";
+    case trace_kind::deque_switch:
+      return "switch";
+    case trace_kind::suspend:
+      return "suspend";
+    case trace_kind::resume:
+      return "resume";
+    case trace_kind::blocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+bool is_duration(trace_kind k) {
+  return k == trace_kind::segment || k == trace_kind::batch ||
+         k == trace_kind::blocked;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const trace_buffer*>& workers,
+                        std::int64_t origin_ns) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (workers[w] == nullptr) continue;
+    for (const trace_event& e : workers[w]->events()) {
+      if (!first) os << ",";
+      first = false;
+      // Chrome trace timestamps are microseconds (double).
+      const double ts =
+          static_cast<double>(e.start_ns - origin_ns) / 1000.0;
+      os << "\n{\"name\":\"" << name_of(e.kind) << "\",\"pid\":1,\"tid\":"
+         << w << ",\"ts\":" << ts;
+      if (is_duration(e.kind)) {
+        const double dur =
+            static_cast<double>(e.end_ns - e.start_ns) / 1000.0;
+        os << ",\"ph\":\"X\",\"dur\":" << dur;
+      } else {
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+      }
+      if (e.arg != 0) {
+        os << ",\"args\":{\"n\":" << e.arg << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+std::string to_chrome_trace(const std::vector<const trace_buffer*>& workers,
+                            std::int64_t origin_ns) {
+  std::ostringstream ss;
+  write_chrome_trace(ss, workers, origin_ns);
+  return ss.str();
+}
+
+}  // namespace lhws::rt

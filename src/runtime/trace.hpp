@@ -1,0 +1,73 @@
+// Execution tracing for the real runtime, exported as Chrome trace-event
+// JSON (load in chrome://tracing or https://ui.perfetto.dev).
+//
+// Each worker owns a lock-free (by ownership) event buffer; the scheduler
+// stitches them into one trace after the run. Recorded events:
+//   segment   — one coroutine resume (a thread segment), duration event
+//   batch     — pfor-batch splitting run
+//   steal     — successful steal (instant)
+//   switch    — deque switch (instant)
+//   suspend   — a continuation suspended (instant)
+//   resume    — a batch of continuations re-injected (instant, with count)
+//   blocked   — WS engine blocking wait, duration event
+//
+// Tracing is off by default (zero cost beyond a branch); enable via
+// scheduler_options::trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lhws::rt {
+
+enum class trace_kind : std::uint8_t {
+  segment,
+  batch,
+  steal,
+  deque_switch,
+  suspend,
+  resume,
+  blocked,
+};
+
+struct trace_event {
+  trace_kind kind;
+  std::int64_t start_ns;
+  std::int64_t end_ns;  // == start_ns for instant events
+  std::uint64_t arg;    // kind-specific (e.g. resume count)
+};
+
+class trace_buffer {
+ public:
+  void enable() noexcept { enabled_ = true; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(trace_kind kind, std::int64_t start_ns, std::int64_t end_ns,
+              std::uint64_t arg = 0) {
+    if (!enabled_) return;
+    events_.push_back({kind, start_ns, end_ns, arg});
+  }
+
+  void clear() noexcept { events_.clear(); }
+
+  [[nodiscard]] const std::vector<trace_event>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<trace_event> events_;
+};
+
+// Writes the per-worker buffers as a Chrome trace-event JSON document.
+// `origin_ns` is subtracted from every timestamp so traces start near 0.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const trace_buffer*>& workers,
+                        std::int64_t origin_ns);
+
+[[nodiscard]] std::string to_chrome_trace(
+    const std::vector<const trace_buffer*>& workers, std::int64_t origin_ns);
+
+}  // namespace lhws::rt

@@ -1,0 +1,77 @@
+// Work items: what lives in a runtime deque slot.
+//
+// A slot denotes either a suspended-coroutine continuation (a user-level
+// thread ready to run) or a pfor batch node covering a range of resumed
+// continuations (Section 3's pfor tree, in its runtime form). Both are
+// encoded in a single word — a pointer with a low tag bit — because the
+// Chase-Lev deque requires word-sized trivially-copyable entries.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/config.hpp"
+
+namespace lhws::rt {
+
+// A node of the runtime pfor tree: a view [lo, hi) over a shared vector of
+// resumed continuations. Executing a node with hi - lo > 1 splits it
+// (pushing the right half back for thieves); a single-element node resumes
+// its continuation directly.
+struct batch_node {
+  std::shared_ptr<std::vector<std::coroutine_handle<>>> items;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
+
+class work_item {
+ public:
+  work_item() = default;
+
+  static work_item from_coroutine(std::coroutine_handle<> h) noexcept {
+    work_item w;
+    w.bits_ = reinterpret_cast<std::uintptr_t>(h.address());
+    LHWS_ASSERT((w.bits_ & tag_mask) == 0);
+    return w;
+  }
+
+  // Takes ownership of the (heap-allocated) batch node.
+  static work_item from_batch(batch_node* b) noexcept {
+    work_item w;
+    w.bits_ = reinterpret_cast<std::uintptr_t>(b) | batch_tag;
+    return w;
+  }
+
+  static work_item from_raw(std::uintptr_t bits) noexcept {
+    work_item w;
+    w.bits_ = bits;
+    return w;
+  }
+
+  [[nodiscard]] std::uintptr_t raw() const noexcept { return bits_; }
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+  [[nodiscard]] bool is_batch() const noexcept {
+    return (bits_ & tag_mask) == batch_tag;
+  }
+
+  [[nodiscard]] std::coroutine_handle<> coroutine() const noexcept {
+    LHWS_ASSERT(!empty() && !is_batch());
+    return std::coroutine_handle<>::from_address(
+        reinterpret_cast<void*>(bits_));
+  }
+
+  [[nodiscard]] batch_node* batch() const noexcept {
+    LHWS_ASSERT(is_batch());
+    return reinterpret_cast<batch_node*>(bits_ & ~tag_mask);
+  }
+
+ private:
+  static constexpr std::uintptr_t batch_tag = 1;
+  static constexpr std::uintptr_t tag_mask = 1;
+
+  std::uintptr_t bits_ = 0;
+};
+
+}  // namespace lhws::rt

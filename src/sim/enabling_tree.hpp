@@ -1,0 +1,60 @@
+// Enabling-tree instrumentation (paper, Section 4.1).
+//
+// The enabling tree is an analysis device: a record of *when* each vertex
+// was made ready, with pfor trees and auxiliary chains splicing resumed
+// vertices back in at a depth matching the round they rejoined a deque. The
+// simulator, when asked, tracks the enabling-tree depth d(v) of every node
+// it schedules and reports
+//   - the enabling span S* = max d(v)  (Corollary 1: S* = O(S(1 + lg U))),
+//   - the max ratio d(v) / d_G(v) over dag vertices (Lemma 2, condition 1:
+//     d(v) <= (2 + lg U) d_G(v)).
+// The tree itself is never materialized; depths suffice for both checks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dag/analysis.hpp"
+#include "dag/weighted_dag.hpp"
+
+namespace lhws::sim {
+
+class etree_tracker {
+ public:
+  etree_tracker() = default;
+
+  explicit etree_tracker(const dag::weighted_dag& g)
+      : enabled_(true), dag_depth_(dag::weighted_depths(g)) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  // Records that a node (dag vertex or pfor vertex) entered the enabling
+  // tree at depth d.
+  void observe(std::uint64_t d) noexcept {
+    if (!enabled_) return;
+    span_ = std::max(span_, d);
+  }
+
+  // Records a dag vertex specifically, updating the Lemma 2 ratio.
+  void observe_vertex(dag::vertex_id v, std::uint64_t d) noexcept {
+    if (!enabled_) return;
+    observe(d);
+    const auto dg = dag_depth_[v];
+    if (dg > 0) {
+      ratio_ = std::max(ratio_, static_cast<double>(d) /
+                                    static_cast<double>(dg));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t enabling_span() const noexcept { return span_; }
+  [[nodiscard]] double max_depth_ratio() const noexcept { return ratio_; }
+
+ private:
+  bool enabled_ = false;
+  std::vector<dag::weight_t> dag_depth_;
+  std::uint64_t span_ = 0;
+  double ratio_ = 0.0;
+};
+
+}  // namespace lhws::sim

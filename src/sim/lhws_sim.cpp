@@ -1,0 +1,401 @@
+#include "sim/lhws_sim.hpp"
+
+#include <algorithm>
+
+namespace lhws::sim {
+namespace {
+
+// removeAny for deque sets: O(1) remove from the back.
+template <typename T>
+T* remove_any(std::vector<T*>& set) {
+  if (set.empty()) return nullptr;
+  T* out = set.back();
+  set.pop_back();
+  return out;
+}
+
+}  // namespace
+
+lhws_simulator::lhws_simulator(const dag::weighted_dag& g, sim_config cfg)
+    : graph_(&g), cfg_(cfg), exec_(g), rng_(cfg.seed) {
+  LHWS_ASSERT(cfg_.workers >= 1);
+  if (cfg_.build_enabling_tree) etree_ = etree_tracker(g);
+  workers_.resize(cfg_.workers);
+  // Fig. 3 line 26: every worker starts with a fresh (empty) active deque.
+  for (auto& w : workers_) w.active = new_deque(w);
+  // Fig. 3 lines 27-28: the root is assigned to worker zero.
+  node root;
+  root.v = graph_->root();
+  root.etree_depth = 0;
+  workers_[0].assigned = root;
+}
+
+lhws_simulator::deque_state* lhws_simulator::new_deque(worker_state& w) {
+  deque_state* q = remove_any(w.empty_deques);
+  if (q == nullptr) {
+    // fetch_and_add(gTotalDeques) + allocation (Fig. 5).
+    g_deques_.push_back(std::make_unique<deque_state>());
+    q = g_deques_.back().get();
+    q->owner = static_cast<std::uint32_t>(&w - workers_.data());
+  }
+  q->freed = false;
+  ++w.owned;
+  metrics_.max_deques_per_worker =
+      std::max(metrics_.max_deques_per_worker, w.owned);
+  std::uint64_t live = 0;
+  for (const auto& ws : workers_) live += ws.owned;
+  metrics_.max_total_deques = std::max(metrics_.max_total_deques, live);
+  return q;
+}
+
+void lhws_simulator::free_deque(worker_state& w, deque_state* q) {
+  LHWS_ASSERT(q->items.empty());
+  LHWS_ASSERT(q->suspend_ctr == 0);
+  LHWS_ASSERT(q->resumed.empty() && !q->in_resumed_set);
+  LHWS_ASSERT(!q->in_ready_set);
+  q->freed = true;
+  LHWS_ASSERT(w.owned > 0);
+  --w.owned;
+  w.empty_deques.push_back(q);
+}
+
+void lhws_simulator::callback(dag::vertex_id v, deque_state* q) {
+  // Fig. 3 lines 1-5.
+  q->resumed.push_back(v);
+  LHWS_ASSERT(q->suspend_ctr > 0);
+  --q->suspend_ctr;
+  if (!q->in_resumed_set) {
+    q->in_resumed_set = true;
+    workers_[q->owner].resumed_deques.push_back(q);
+  }
+}
+
+void lhws_simulator::handle_suspended(worker_state& w, dag::vertex_id v,
+                                      std::uint64_t ready_round) {
+  // Fig. 3 lines 18-20: the suspended vertex belongs to the active deque.
+  deque_state* q = w.active;
+  LHWS_ASSERT(q != nullptr);
+  ++q->suspend_ctr;
+  pending_resumes_.push({ready_round, v, q});
+}
+
+void lhws_simulator::push_bottom(deque_state& q, node n, std::uint64_t round) {
+  if (etree_.enabled() && !q.items.empty() &&
+      n.etree_depth < q.items.back().n.etree_depth) {
+    // Deques must stay ordered shallow(top) -> deep(bottom); see
+    // sim_metrics::depth_order_violations.
+    ++metrics_.depth_order_violations;
+  }
+  q.items.push_back({std::move(n), round});
+}
+
+bool lhws_simulator::pop_bottom(deque_state& q, node& out) {
+  if (q.items.empty()) return false;
+  out = std::move(q.items.back().n);
+  q.items.pop_back();
+  return true;
+}
+
+bool lhws_simulator::pop_top(deque_state& q, node& out) {
+  if (q.parked || q.items.empty()) return false;
+  out = std::move(q.items.front().n);
+  q.items.pop_front();
+  return true;
+}
+
+void lhws_simulator::add_resumed_vertices(worker_state& w, std::uint64_t round,
+                                          const node* just_executed) {
+  if (cfg_.injection == resume_injection::serial_repush) {
+    // Ablation: no pfor tree — queue each resumed vertex for a
+    // one-per-round owner re-push (see step()).
+    for (deque_state* q : w.resumed_deques) {
+      q->in_resumed_set = false;
+      q->parked = false;
+      for (const dag::vertex_id v : q->resumed) {
+        w.pending_inject.emplace_back(q, v);
+      }
+      q->resumed.clear();
+    }
+    w.resumed_deques.clear();
+    return;
+  }
+
+  // Fig. 3 lines 7-14, with one fix: if the deque with resumed vertices IS
+  // the active deque, it must not be added to readyDeques (the pseudocode
+  // unconditionally adds it, which would double-track the active deque).
+  for (deque_state* q : w.resumed_deques) {
+    q->in_resumed_set = false;
+    LHWS_ASSERT(!q->resumed.empty());
+    node pf;
+    pf.pfor_items =
+        std::make_shared<std::vector<dag::vertex_id>>(std::move(q->resumed));
+    q->resumed.clear();
+    pf.lo = 0;
+    pf.hi = static_cast<std::uint32_t>(pf.pfor_items->size());
+    if (etree_.enabled()) {
+      if (q == w.active && just_executed != nullptr) {
+        // Active-deque insertion (Section 4.1): joined to the just-executed
+        // vertex u, through an auxiliary vertex when u had a left child.
+        pf.etree_depth = just_executed->etree_depth + 2;
+      } else if (!q->items.empty()) {
+        // Non-active, non-empty: descend from the bottom vertex, padding
+        // with an auxiliary chain for the rounds since it was added.
+        const deque_item& bot = q->items.back();
+        pf.etree_depth = bot.n.etree_depth + (round - bot.round_added);
+      } else {
+        // Non-active, empty: descend from the last vertex executed from q.
+        pf.etree_depth =
+            q->last_exec_depth + (round - q->last_exec_round);
+      }
+      etree_.observe(pf.etree_depth);
+    }
+    // Spoonhower-variant ablation: resumed work starts a FRESH deque
+    // instead of returning to the deque it suspended from.
+    deque_state* target = q;
+    if (cfg_.fresh_deque_on_resume) target = new_deque(w);
+    q->parked = false;  // a resume unparks (park_deque_on_suspend variant)
+    push_bottom(*target, std::move(pf), round);
+    if (target != w.active && !target->in_ready_set) {
+      target->in_ready_set = true;
+      w.ready_deques.push_back(target);
+    }
+    if (target != q && q != w.active && !q->in_ready_set) {
+      if (q->items.empty() && q->suspend_ctr == 0 && q->resumed.empty() &&
+          !q->in_resumed_set) {
+        free_deque(w, q);  // origin deque fully drained; recycle it
+      } else if (!q->items.empty()) {
+        // Possible when combined with park_deque_on_suspend: the origin
+        // parked while holding items; now that it is unparked its items
+        // must become schedulable again.
+        q->in_ready_set = true;
+        w.ready_deques.push_back(q);
+      }
+    }
+  }
+  w.resumed_deques.clear();
+}
+
+lhws_simulator::exec_outcome lhws_simulator::execute_node(worker_state& w,
+                                                          const node& n,
+                                                          std::uint64_t round) {
+  exec_outcome out;
+  ++metrics_.work_tokens;
+
+  if (n.is_pfor() && !n.is_pfor_leaf()) {
+    // Internal pfor vertex: splits its range in two (the pfor tree of
+    // Section 3, lg n span over n resumed leaves).
+    ++metrics_.pfor_vertices;
+    const std::uint32_t mid = n.lo + (n.hi - n.lo) / 2;
+    node left = n, right = n;
+    left.hi = mid;
+    right.lo = mid;
+    left.etree_depth = right.etree_depth = n.etree_depth + 1;
+    if (etree_.enabled()) {
+      etree_.observe(left.etree_depth);
+    }
+    out.left = std::move(left);
+    out.right = std::move(right);
+    return out;
+  }
+
+  // A dag vertex: either a plain node or a pfor leaf (which *is* one of the
+  // resumed vertices).
+  const dag::vertex_id v = n.is_pfor() ? (*n.pfor_items)[n.lo] : n.v;
+  if (etree_.enabled()) {
+    etree_.observe_vertex(v, n.etree_depth);
+    if (w.active != nullptr) {
+      w.active->last_exec_depth = n.etree_depth;
+      w.active->last_exec_round = round;
+    }
+  }
+  const enable_result res = exec_.execute(v, round);
+  out.suspended_any = res.suspended_count > 0;
+  for (unsigned i = 0; i < res.suspended_count; ++i) {
+    handle_suspended(w, res.suspended[i].v, res.suspended[i].ready_round);
+  }
+  if (res.left != dag::invalid_vertex) {
+    node c;
+    c.v = res.left;
+    c.etree_depth = n.etree_depth + 1;
+    out.left = std::move(c);
+  }
+  if (res.right != dag::invalid_vertex) {
+    node c;
+    c.v = res.right;
+    c.etree_depth = n.etree_depth + 1;
+    out.right = std::move(c);
+  }
+  return out;
+}
+
+void lhws_simulator::step(worker_state& w, std::uint64_t round) {
+  // serial_repush ablation: the owner spends a whole round re-pushing ONE
+  // resumed vertex — this is exactly the per-vertex handling cost the pfor
+  // tree exists to avoid.
+  if (!w.pending_inject.empty()) {
+    auto [q, v] = w.pending_inject.front();
+    w.pending_inject.pop_front();
+    node n;
+    n.v = v;
+    if (etree_.enabled()) {
+      if (!q->items.empty()) {
+        const deque_item& bot = q->items.back();
+        n.etree_depth = bot.n.etree_depth + (round - bot.round_added);
+      } else {
+        n.etree_depth = q->last_exec_depth + (round - q->last_exec_round);
+      }
+      etree_.observe(n.etree_depth);
+    }
+    push_bottom(*q, std::move(n), round);
+    if (q != w.active && !q->in_ready_set) {
+      q->in_ready_set = true;
+      w.ready_deques.push_back(q);
+    }
+    ++metrics_.injection_rounds;
+    return;
+  }
+
+  if (w.assigned.has_value()) {
+    // Fig. 3 lines 33-40.
+    const node u = std::move(*w.assigned);
+    w.assigned.reset();
+    exec_outcome out = execute_node(w, u, round);
+    if (out.right.has_value()) {
+      push_bottom(*w.active, *std::move(out.right), round);
+    }
+    if (cfg_.park_deque_on_suspend && out.suspended_any) {
+      // Related-work variant: the suspending thread's whole deque parks
+      // (items unstealable until a resume); the worker moves to a fresh
+      // deque. The paper's algorithm deliberately does NOT do this.
+      w.active->parked = true;
+      ++metrics_.parks;
+      w.active = new_deque(w);
+    }
+    const bool had_resumes = !w.resumed_deques.empty();
+    add_resumed_vertices(w, round, &u);
+    if (out.left.has_value()) {
+      // pushBottom(left) immediately followed by popBottom(): the left
+      // child becomes the assigned vertex (any pfor vertices pushed by
+      // addResumedVertices sit below it, preserving the paper's priority
+      // order: left child above pfor tree above right child).
+      node left = *std::move(out.left);
+      if (had_resumes && etree_.enabled()) {
+        // Auxiliary vertex u' (Section 4.1) re-parents the left child one
+        // level deeper when a pfor was spliced in at the active deque.
+        left.etree_depth = u.etree_depth + 2;
+      }
+      w.assigned = std::move(left);
+    } else {
+      node next;
+      if (pop_bottom(*w.active, next)) w.assigned = std::move(next);
+    }
+    return;
+  }
+
+  // Fig. 3 lines 41-56.
+  if (w.active != nullptr && w.active->items.empty() &&
+      w.active->suspend_ctr == 0 && w.active->resumed.empty() &&
+      !w.active->in_resumed_set) {
+    free_deque(w, w.active);
+    w.active = nullptr;
+  }
+  deque_state* next_deque = remove_any(w.ready_deques);
+  if (next_deque != nullptr) {
+    next_deque->in_ready_set = false;
+    w.active = next_deque;
+    ++metrics_.switch_tokens;
+  } else {
+    ++metrics_.steal_attempts;
+    deque_state* victim = pick_victim(static_cast<std::uint32_t>(
+        &w - workers_.data()));
+    node stolen;
+    if (victim != nullptr && pop_top(*victim, stolen)) {
+      ++metrics_.successful_steals;
+      w.active = new_deque(w);
+      w.assigned = std::move(stolen);
+    } else {
+      ++metrics_.failed_steals;
+    }
+  }
+  // "Whether a deque switch or steal attempt occurred,
+  //  addResumedVertices() is called."
+  add_resumed_vertices(w, round, nullptr);
+  if (!w.assigned.has_value() && w.active != nullptr) {
+    node next;
+    if (pop_bottom(*w.active, next)) w.assigned = std::move(next);
+  }
+}
+
+lhws_simulator::deque_state* lhws_simulator::pick_victim(std::uint32_t thief) {
+  if (cfg_.policy == steal_policy::random_deque) {
+    // Section 3: victim chosen uniformly at random from all allocated
+    // deques; a freed (recycled-but-idle) or empty deque means the steal
+    // fails.
+    if (g_deques_.empty()) return nullptr;
+    return g_deques_[rng_.below(g_deques_.size())].get();
+  }
+  // Section 6: target a worker, then one of its non-empty deques
+  // (reservoir-sampled so every candidate is equally likely regardless of
+  // how many ready deques the victim owns).
+  const auto p = static_cast<std::uint32_t>(rng_.below(workers_.size()));
+  (void)thief;  // self-steals always fail harmlessly (all own deques empty)
+  worker_state& victim = workers_[p];
+  deque_state* chosen = nullptr;
+  std::uint64_t seen = 0;
+  auto consider = [&](deque_state* q) {
+    if (q == nullptr || q->parked || q->items.empty()) return;
+    ++seen;
+    if (rng_.below(seen) == 0) chosen = q;
+  };
+  consider(victim.active);
+  for (deque_state* q : victim.ready_deques) consider(q);
+  return chosen;
+}
+
+void lhws_simulator::process_resumes(std::uint64_t round) {
+  while (!pending_resumes_.empty() &&
+         pending_resumes_.top().ready_round <= round) {
+    const resume_event ev = pending_resumes_.top();
+    pending_resumes_.pop();
+    callback(ev.v, ev.q);
+  }
+  metrics_.max_suspended =
+      std::max<std::uint64_t>(metrics_.max_suspended, pending_resumes_.size());
+}
+
+sim_metrics lhws_simulator::run() {
+  // Safety valve against scheduler deadlock bugs: generous round budget.
+  std::uint64_t weight_sum = 0;
+  for (dag::vertex_id v = 0; v < graph_->num_vertices(); ++v) {
+    for (const dag::out_edge& e : graph_->out_edges(v)) weight_sum += e.weight;
+  }
+  const std::uint64_t max_rounds =
+      100 * (graph_->num_vertices() + weight_sum) + 100000;
+
+  std::uint64_t round = 0;
+  while (!exec_.done()) {
+    ++round;
+    LHWS_ASSERT(round <= max_rounds);
+    process_resumes(round);
+    for (auto& w : workers_) {
+      if (exec_.done()) break;
+      if (cfg_.availability_permille < 1000 &&
+          rng_.below(1000) >= cfg_.availability_permille) {
+        ++metrics_.preempted_rounds;  // kernel scheduled someone else
+        continue;
+      }
+      step(w, round);
+    }
+  }
+  metrics_.rounds = round;
+  metrics_.total_deques_allocated = g_deques_.size();
+  metrics_.enabling_span = etree_.enabling_span();
+  return metrics_;
+}
+
+sim_metrics run_lhws(const dag::weighted_dag& g, const sim_config& cfg) {
+  lhws_simulator sim(g, cfg);
+  return sim.run();
+}
+
+}  // namespace lhws::sim

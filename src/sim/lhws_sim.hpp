@@ -1,0 +1,154 @@
+// Discrete-round simulator of the latency-hiding work-stealing scheduler,
+// implementing the pseudocode of Figure 3 (and the newDeque recycling of
+// Figure 5) action-for-action with P virtual workers.
+//
+// Within a round, workers act in index order; steals observe the state left
+// by earlier workers in the same round. Suspended vertices resume at the
+// start of the round in which their latency expires (the paper's
+// "callback ... run when v resumes" between rounds). All randomness comes
+// from the seeded generator in sim_config, so runs are reproducible.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/enabling_tree.hpp"
+#include "sim/sim_engine.hpp"
+#include "sim/types.hpp"
+
+namespace lhws::sim {
+
+class lhws_simulator {
+ public:
+  lhws_simulator(const dag::weighted_dag& g, sim_config cfg);
+
+  // Runs to completion and returns the collected metrics.
+  sim_metrics run();
+
+  // The shared dependence tracker; exposes execution_rounds() for
+  // a-posteriori schedule validation (validate_execution).
+  [[nodiscard]] const dag_executor& executor() const noexcept {
+    return exec_;
+  }
+
+ private:
+  // A schedulable unit on a deque: either a dag vertex or a pfor-tree node
+  // covering resumed vertices [lo, hi) of `items`. A pfor node over a single
+  // vertex executes that vertex directly (the pfor tree's leaves *are* the
+  // resumed vertices, Section 4).
+  struct node {
+    dag::vertex_id v = dag::invalid_vertex;
+    std::shared_ptr<std::vector<dag::vertex_id>> pfor_items;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::uint64_t etree_depth = 0;
+
+    [[nodiscard]] bool is_pfor() const noexcept {
+      return pfor_items != nullptr;
+    }
+    [[nodiscard]] bool is_pfor_leaf() const noexcept {
+      return is_pfor() && hi - lo == 1;
+    }
+  };
+
+  struct deque_item {
+    node n;
+    std::uint64_t round_added = 0;
+  };
+
+  struct deque_state {
+    std::deque<deque_item> items;  // front = top (steal end), back = bottom
+    std::uint32_t owner = 0;
+    std::uint64_t suspend_ctr = 0;
+    std::vector<dag::vertex_id> resumed;  // q.resumedVertices
+    bool in_resumed_set = false;
+    // Membership flag for the owner's readyDeques. The paper's Fig. 3
+    // line 12 re-adds q unconditionally; if vertices of an already-ready
+    // deque resume again that would create a duplicate entry, whose stale
+    // copy could later be switched to after the deque was freed. We guard
+    // with this flag (see DESIGN.md, faithfulness notes).
+    bool in_ready_set = false;
+    bool freed = false;
+    // park_deque_on_suspend ablation: items unavailable until a resume.
+    bool parked = false;
+    // Enabling-tree bookkeeping: depth/round of the last vertex executed
+    // from this deque (Section 4.1's non-active-deque insertion rule).
+    std::uint64_t last_exec_depth = 0;
+    std::uint64_t last_exec_round = 0;
+  };
+
+  struct worker_state {
+    deque_state* active = nullptr;
+    std::vector<deque_state*> ready_deques;    // readyDeques
+    std::vector<deque_state*> resumed_deques;  // resumedDeques
+    std::vector<deque_state*> empty_deques;    // recycled storage (Fig. 5)
+    std::optional<node> assigned;
+    std::uint64_t owned = 0;  // allocated (non-freed) deques, for Lemma 7
+    // serial_repush ablation: resumed vertices awaiting their one-per-round
+    // owner re-push.
+    std::deque<std::pair<deque_state*, dag::vertex_id>> pending_inject;
+  };
+
+  struct resume_event {
+    std::uint64_t ready_round;
+    dag::vertex_id v;
+    deque_state* q;
+
+    bool operator>(const resume_event& o) const noexcept {
+      return ready_round > o.ready_round;
+    }
+  };
+
+  // --- Fig. 3 primitive operations -------------------------------------
+  deque_state* new_deque(worker_state& w);
+  void free_deque(worker_state& w, deque_state* q);
+  void callback(dag::vertex_id v, deque_state* q);          // lines 1-5
+  void add_resumed_vertices(worker_state& w,                 // lines 7-14
+                            std::uint64_t round,
+                            const node* just_executed);
+  void handle_suspended(worker_state& w, dag::vertex_id v,   // lines 16-20
+                        std::uint64_t ready_round);
+  void push_bottom(deque_state& q, node n, std::uint64_t round);
+  bool pop_bottom(deque_state& q, node& out);
+  bool pop_top(deque_state& q, node& out);
+
+  // One worker, one round (one loop iteration of Fig. 3 lines 31-56).
+  void step(worker_state& w, std::uint64_t round);
+
+  // Executes the assigned node; returns children via the worker-visible
+  // protocol used by step().
+  struct exec_outcome {
+    std::optional<node> left;
+    std::optional<node> right;
+    bool suspended_any = false;
+  };
+  exec_outcome execute_node(worker_state& w, const node& n,
+                            std::uint64_t round);
+
+  deque_state* pick_victim(std::uint32_t thief);
+
+  void process_resumes(std::uint64_t round);
+  void update_gauges();
+
+  const dag::weighted_dag* graph_;
+  sim_config cfg_;
+  dag_executor exec_;
+  xoshiro256 rng_;
+  sim_metrics metrics_;
+  etree_tracker etree_;
+
+  std::vector<worker_state> workers_;
+  std::vector<std::unique_ptr<deque_state>> g_deques_;  // gDeques
+  std::priority_queue<resume_event, std::vector<resume_event>,
+                      std::greater<>>
+      pending_resumes_;
+};
+
+// Convenience: construct, run, return metrics.
+[[nodiscard]] sim_metrics run_lhws(const dag::weighted_dag& g,
+                                   const sim_config& cfg);
+
+}  // namespace lhws::sim

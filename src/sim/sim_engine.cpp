@@ -1,0 +1,69 @@
+#include "sim/sim_engine.hpp"
+
+namespace lhws::sim {
+
+dag_executor::dag_executor(const dag::weighted_dag& g)
+    : graph_(&g),
+      remaining_parents_(g.num_vertices()),
+      executed_flags_(g.num_vertices(), false),
+      exec_round_(g.num_vertices(), 0) {
+  for (dag::vertex_id v = 0; v < g.num_vertices(); ++v) {
+    remaining_parents_[v] = static_cast<std::uint32_t>(g.in_degree(v));
+  }
+}
+
+enable_result dag_executor::execute(dag::vertex_id v, std::uint64_t round) {
+  LHWS_ASSERT(!executed_flags_[v]);
+  LHWS_ASSERT(remaining_parents_[v] == 0);
+  executed_flags_[v] = true;
+  exec_round_[v] = round;
+  ++executed_;
+
+  enable_result out;
+  const auto edges = graph_->out_edges(v);
+  for (unsigned i = 0; i < edges.size(); ++i) {
+    const dag::out_edge& e = edges[i];
+    if (--remaining_parents_[e.to] != 0) continue;
+    const bool is_left = (i == 0);
+    if (e.heavy()) {
+      out.suspended[out.suspended_count++] = {
+          .v = e.to, .ready_round = round + e.weight, .is_left = is_left};
+    } else if (is_left) {
+      out.left = e.to;
+    } else {
+      out.right = e.to;
+    }
+  }
+  return out;
+}
+
+bool validate_execution(const dag::weighted_dag& g,
+                        const std::vector<std::uint64_t>& exec_round,
+                        std::string* why) {
+  auto fail = [&](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+  if (exec_round.size() != g.num_vertices()) {
+    return fail("execution record has wrong size");
+  }
+  for (dag::vertex_id v = 0; v < g.num_vertices(); ++v) {
+    if (exec_round[v] == 0) {
+      return fail("vertex " + std::to_string(v) + " never executed");
+    }
+  }
+  for (dag::vertex_id v = 0; v < g.num_vertices(); ++v) {
+    for (const dag::out_edge& e : g.out_edges(v)) {
+      if (exec_round[e.to] < exec_round[v] + e.weight) {
+        return fail("vertex " + std::to_string(e.to) + " ran at round " +
+                    std::to_string(exec_round[e.to]) +
+                    " but its parent " + std::to_string(v) +
+                    " ran at round " + std::to_string(exec_round[v]) +
+                    " over an edge of weight " + std::to_string(e.weight));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace lhws::sim

@@ -1,0 +1,74 @@
+// Common machinery shared by the WS and LHWS simulators: dependence
+// tracking, the virtual-time resume queue, and execution bookkeeping.
+#pragma once
+
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "dag/weighted_dag.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace lhws::sim {
+
+// Result of executing one dag vertex: the children it enabled, classified.
+// left/right preserve the paper's edge order (left = continuation, right =
+// spawned thread). A child behind a heavy edge is reported in
+// `suspended` together with the round at which it becomes ready.
+struct enable_result {
+  dag::vertex_id left = dag::invalid_vertex;
+  dag::vertex_id right = dag::invalid_vertex;
+  struct suspension {
+    dag::vertex_id v = dag::invalid_vertex;
+    std::uint64_t ready_round = 0;
+    bool is_left = false;
+  };
+  // At most two entries (out-degree <= 2).
+  suspension suspended[2];
+  unsigned suspended_count = 0;
+};
+
+// Dependence-counting executor over a weighted dag.
+class dag_executor {
+ public:
+  explicit dag_executor(const dag::weighted_dag& g);
+
+  // Marks `v` executed in `round`; returns the children that became enabled,
+  // with heavy-edge children classified as suspensions ready at
+  // round + delta.
+  enable_result execute(dag::vertex_id v, std::uint64_t round);
+
+  [[nodiscard]] bool done() const noexcept {
+    return executed_ == graph_->num_vertices();
+  }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+  [[nodiscard]] const dag::weighted_dag& graph() const noexcept {
+    return *graph_;
+  }
+
+  // Round at which each vertex executed (0 = never). Recorded on every run;
+  // feed to validate_execution to certify schedule legality a posteriori.
+  [[nodiscard]] const std::vector<std::uint64_t>& execution_rounds()
+      const noexcept {
+    return exec_round_;
+  }
+
+ private:
+  const dag::weighted_dag* graph_;
+  std::vector<std::uint32_t> remaining_parents_;
+  std::vector<bool> executed_flags_;
+  std::vector<std::uint64_t> exec_round_;
+  std::uint64_t executed_ = 0;
+};
+
+// Certifies that a recorded execution is a legal schedule of the weighted
+// dag: every vertex ran exactly once, and no vertex ran before its latency
+// requirement expired — round(v) >= round(u) + delta for every edge
+// (u, v, delta). Returns true on success; otherwise false and, if `why` is
+// non-null, a description of the first violation.
+[[nodiscard]] bool validate_execution(
+    const dag::weighted_dag& g, const std::vector<std::uint64_t>& exec_round,
+    std::string* why = nullptr);
+
+}  // namespace lhws::sim

@@ -1,0 +1,99 @@
+// Shared types for the discrete-round scheduler simulators.
+//
+// The simulators execute weighted dags in virtual time with P virtual
+// workers, one action per worker per round, exactly as the paper's analysis
+// models execution. They exist because the scheduling claims (round counts,
+// steal counts, deque counts) are about logical rounds, independent of host
+// hardware — on this 1-core container they are the faithful way to
+// regenerate Figure 11's speedup shapes and to check Theorems 1-3 and
+// Lemma 7 quantitatively.
+#pragma once
+
+#include <cstdint>
+
+namespace lhws::sim {
+
+enum class steal_policy : std::uint8_t {
+  // Section 3 / the analyzed algorithm: the victim is a deque chosen
+  // uniformly at random from the global deque array (freed deques included;
+  // hitting one is a failed steal).
+  random_deque,
+  // Section 6's implementation deviation: pick a random worker, then a
+  // random non-empty deque of that worker ("decreases the number of failed
+  // steals because steals won't target empty deques").
+  random_worker,
+};
+
+enum class resume_injection : std::uint8_t {
+  // The paper's device: all vertices resumed to a deque since the last
+  // round are wrapped in ONE pfor-tree vertex (lg n span, stealable
+  // subtrees).
+  pfor_tree,
+  // Naive ablation: the owner re-pushes resumed vertices one per round,
+  // paying a full bookkeeping round each ("a worker cannot handle them by
+  // itself without harming performance" — Section 3). Exists to quantify
+  // why the pfor tree is needed.
+  serial_repush,
+};
+
+struct sim_config {
+  std::uint64_t workers = 1;
+  std::uint64_t seed = 42;
+  steal_policy policy = steal_policy::random_deque;
+  resume_injection injection = resume_injection::pfor_tree;
+  // Related-work ablation (Spoonhower 2009, discussed in Section 7): create
+  // a FRESH deque for each resumed batch instead of returning it to the
+  // deque it suspended from. Breaks Lemma 7's U+1 bound on deques per
+  // worker; kept as a measurable comparison point.
+  bool fresh_deque_on_resume = false;
+  // Related-work ablation (Spoonhower's other variation, and essentially
+  // Concurrent Cilk's eager promotion, Section 7): when a thread suspends,
+  // the ENTIRE active deque is parked — its remaining items become
+  // unstealable until one of the deque's suspended vertices resumes — and
+  // the worker continues on a fresh deque. The paper's algorithm instead
+  // keeps the deque's other work available; this flag measures what that
+  // choice is worth.
+  bool park_deque_on_suspend = false;
+  // When set, the LHWS simulator maintains the Section 4.1 enabling tree
+  // and reports its span (S*) in metrics.enabling_span.
+  bool build_enabling_tree = false;
+  // Multiprogrammed environment (the Arora-Blumofe-Plaxton setting the
+  // paper's analysis descends from): each round each worker is scheduled
+  // by the "kernel" independently with this probability (out of 1000).
+  // 1000 = dedicated machine (the paper's own analysis setting, [3]).
+  unsigned availability_permille = 1000;
+};
+
+// Token accounting follows Lemma 1: on every round each non-blocked worker
+// places exactly one token in the work, switch, or steal bucket.
+struct sim_metrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t work_tokens = 0;     // executed vertices incl. pfor vertices
+  std::uint64_t pfor_vertices = 0;   // internal pfor-tree vertices (W_pfor)
+  std::uint64_t switch_tokens = 0;   // deque switches (LHWS only)
+  std::uint64_t steal_attempts = 0;  // successful + failed
+  std::uint64_t successful_steals = 0;
+  std::uint64_t failed_steals = 0;
+  std::uint64_t blocked_rounds = 0;  // WS only: worker stalled on latency
+  std::uint64_t idle_rounds = 0;     // worker-rounds with nothing to do
+  std::uint64_t injection_rounds = 0;  // serial_repush: owner bookkeeping
+  std::uint64_t parks = 0;             // park_deque_on_suspend: deques parked
+  std::uint64_t preempted_rounds = 0;  // multiprogrammed: worker not scheduled
+
+  std::uint64_t max_deques_per_worker = 0;  // Lemma 7: <= U + 1
+  std::uint64_t max_total_deques = 0;
+  std::uint64_t max_suspended = 0;          // <= U by Definition 1
+  std::uint64_t total_deques_allocated = 0; // gTotalDeques at completion
+  std::uint64_t enabling_span = 0;          // S*, if instrumented
+  // Lemma 3's structural basis ("top-heavy deques" rests on Lemma 2
+  // condition 5): enabling-tree depths must be non-increasing from the
+  // bottom of every deque to its top. Counted only when the enabling tree
+  // is instrumented; must be zero.
+  std::uint64_t depth_order_violations = 0;
+
+  [[nodiscard]] double speedup_baseline_rounds(std::uint64_t t1) const {
+    return static_cast<double>(t1) / static_cast<double>(rounds);
+  }
+};
+
+}  // namespace lhws::sim

@@ -1,0 +1,113 @@
+#include "sim/ws_sim.hpp"
+
+#include <algorithm>
+
+namespace lhws::sim {
+
+ws_simulator::ws_simulator(const dag::weighted_dag& g, sim_config cfg)
+    : graph_(&g), cfg_(cfg), exec_(g), rng_(cfg.seed) {
+  LHWS_ASSERT(cfg_.workers >= 1);
+  workers_.resize(cfg_.workers);
+  workers_[0].assigned = graph_->root();
+}
+
+void ws_simulator::step(worker_state& w, std::uint64_t round) {
+  // A worker whose thread is blocked inside a latency-incurring operation
+  // does nothing until the operation completes; when it does, the thread
+  // continues with the now-ready vertex immediately (favouring the
+  // baseline: no re-dispatch cost is charged).
+  if (w.assigned == dag::invalid_vertex && !w.blocked_on.empty()) {
+    if (w.blocked_on.top().ready_round <= round) {
+      w.assigned = w.blocked_on.top().v;
+      w.blocked_on.pop();
+    } else {
+      ++metrics_.blocked_rounds;
+      return;
+    }
+  }
+
+  if (w.assigned != dag::invalid_vertex) {
+    const dag::vertex_id u = w.assigned;
+    w.assigned = dag::invalid_vertex;
+    ++metrics_.work_tokens;
+    const enable_result res = exec_.execute(u, round);
+    // Spawned child first (it must sit below the continuation's future
+    // pushes for the usual depth-first deque discipline).
+    if (res.right != dag::invalid_vertex) w.deque.push_back(res.right);
+    for (unsigned i = 0; i < res.suspended_count; ++i) {
+      // The thread performed a latency-incurring call: it blocks.
+      w.blocked_on.push({res.suspended[i].ready_round, res.suspended[i].v});
+    }
+    if (res.left != dag::invalid_vertex) {
+      w.assigned = res.left;
+    } else if (w.blocked_on.empty()) {
+      if (!w.deque.empty()) {
+        w.assigned = w.deque.back();
+        w.deque.pop_back();
+      }
+    }
+    // else: blocked — the thread cannot return to the deque.
+    return;
+  }
+
+  // Idle: become a thief. Victim = uniformly random other worker.
+  if (workers_.size() == 1) {
+    ++metrics_.idle_rounds;
+    return;
+  }
+  ++metrics_.steal_attempts;
+  auto victim_index =
+      static_cast<std::size_t>(rng_.below(workers_.size() - 1));
+  const auto self_index = static_cast<std::size_t>(&w - workers_.data());
+  if (victim_index >= self_index) ++victim_index;
+  worker_state& victim = workers_[victim_index];
+  if (!victim.deque.empty()) {
+    ++metrics_.successful_steals;
+    w.assigned = victim.deque.front();
+    victim.deque.pop_front();
+  } else {
+    ++metrics_.failed_steals;
+  }
+}
+
+sim_metrics ws_simulator::run() {
+  std::uint64_t weight_sum = 0;
+  for (dag::vertex_id v = 0; v < graph_->num_vertices(); ++v) {
+    for (const dag::out_edge& e : graph_->out_edges(v)) weight_sum += e.weight;
+  }
+  const std::uint64_t max_rounds =
+      100 * (graph_->num_vertices() + weight_sum) + 100000;
+
+  std::uint64_t round = 0;
+  while (!exec_.done()) {
+    ++round;
+    LHWS_ASSERT(round <= max_rounds);
+    std::uint64_t suspended_now = 0;
+    for (auto& w : workers_) {
+      if (exec_.done()) break;
+      if (cfg_.availability_permille < 1000 &&
+          rng_.below(1000) >= cfg_.availability_permille) {
+        ++metrics_.preempted_rounds;
+        suspended_now += w.blocked_on.size();
+        continue;
+      }
+      step(w, round);
+      suspended_now += w.blocked_on.size();
+    }
+    metrics_.max_suspended =
+        std::max(metrics_.max_suspended, suspended_now);
+  }
+  metrics_.rounds = round;
+  // Standard WS: exactly one deque per worker, always.
+  metrics_.max_deques_per_worker = 1;
+  metrics_.max_total_deques = workers_.size();
+  metrics_.total_deques_allocated = workers_.size();
+  return metrics_;
+}
+
+sim_metrics run_ws(const dag::weighted_dag& g, const sim_config& cfg) {
+  ws_simulator sim(g, cfg);
+  return sim.run();
+}
+
+}  // namespace lhws::sim

@@ -1,0 +1,63 @@
+// Discrete-round simulator of *standard* (non-latency-hiding) work
+// stealing — the paper's baseline "WS" in Figure 11.
+//
+// One deque per worker. When an executed vertex enables a child behind a
+// heavy edge, the worker BLOCKS until the child is ready (the user-level
+// thread performs a blocking call; the paper's baseline "does not hide
+// latency"). While blocked, the worker's deque remains stealable, exactly
+// as a blocked OS thread's deque would be. Workers with an empty deque
+// steal from the top of a uniformly random other worker's deque (ABP).
+#pragma once
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_engine.hpp"
+#include "sim/types.hpp"
+
+namespace lhws::sim {
+
+class ws_simulator {
+ public:
+  ws_simulator(const dag::weighted_dag& g, sim_config cfg);
+
+  sim_metrics run();
+
+  // The shared dependence tracker; exposes execution_rounds() for
+  // a-posteriori schedule validation (validate_execution).
+  [[nodiscard]] const dag_executor& executor() const noexcept {
+    return exec_;
+  }
+
+ private:
+  struct worker_state {
+    std::deque<dag::vertex_id> deque;  // front = top (steal end)
+    dag::vertex_id assigned = dag::invalid_vertex;
+    // Blocking bookkeeping: vertices this worker's thread is waiting on,
+    // ordered by the round they become ready.
+    struct pending {
+      std::uint64_t ready_round;
+      dag::vertex_id v;
+      bool operator>(const pending& o) const noexcept {
+        return ready_round > o.ready_round;
+      }
+    };
+    std::priority_queue<pending, std::vector<pending>, std::greater<>>
+        blocked_on;
+  };
+
+  void step(worker_state& w, std::uint64_t round);
+
+  const dag::weighted_dag* graph_;
+  sim_config cfg_;
+  dag_executor exec_;
+  xoshiro256 rng_;
+  sim_metrics metrics_;
+  std::vector<worker_state> workers_;
+};
+
+[[nodiscard]] sim_metrics run_ws(const dag::weighted_dag& g,
+                                 const sim_config& cfg);
+
+}  // namespace lhws::sim

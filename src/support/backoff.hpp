@@ -1,0 +1,51 @@
+// Exponential backoff for contended spin loops.
+//
+// Workers that repeatedly fail steals must not saturate the memory system;
+// the paper's analysis charges a token per steal *attempt*, and in practice
+// uncontrolled retry loops slow down the victims they target. This is the
+// standard spin-then-yield policy used by production work-stealing runtimes.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace lhws {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class backoff {
+ public:
+  // Spin with pause up to `spin_limit` rounds, doubling each time, then
+  // fall back to yielding the OS thread (essential on oversubscribed hosts).
+  void pause() noexcept {
+    if (count_ <= spin_limit) {
+      for (std::uint32_t i = 0; i < (1u << count_); ++i) cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+  [[nodiscard]] bool yielding() const noexcept { return count_ > spin_limit; }
+
+ private:
+  static constexpr std::uint32_t spin_limit = 6;  // up to 64 pauses per round
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace lhws

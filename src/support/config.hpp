@@ -1,0 +1,40 @@
+// Platform and build configuration shared by every LHWS module.
+//
+// Centralizes the small set of platform assumptions the library makes
+// (cache-line geometry, assertion policy) so the rest of the code can stay
+// portable C++20.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lhws {
+
+// Destructive interference distance. std::hardware_destructive_interference_size
+// is not universally available (and is ABI-fragile); 64 bytes is correct for
+// every x86-64 and most AArch64 parts. Used to pad per-worker hot state.
+inline constexpr std::size_t cache_line_size = 64;
+
+// Internal invariant checks. These guard algorithm invariants (deque state
+// machines, dag well-formedness, scheduler bookkeeping) rather than user
+// input, so they abort rather than throw: a failed check means the library
+// itself is wrong and unwinding would only smear the evidence.
+#if defined(LHWS_DISABLE_ASSERT)
+inline void assert_impl(bool, const char*, const char*, int) noexcept {}
+#else
+inline void assert_impl(bool ok, const char* expr, const char* file,
+                        int line) noexcept {
+  if (!ok) {
+    std::fprintf(stderr, "lhws assertion failed: %s at %s:%d\n", expr, file,
+                 line);
+    std::abort();
+  }
+}
+#endif
+
+}  // namespace lhws
+
+#define LHWS_ASSERT(expr) \
+  ::lhws::assert_impl(static_cast<bool>(expr), #expr, __FILE__, __LINE__)

@@ -1,0 +1,55 @@
+// Intrusive lock-free multi-producer single-consumer stack (Treiber stack
+// with a whole-list pop).
+//
+// This is the delivery channel behind the paper's `callback(v, q)` (Fig. 3,
+// lines 1-5): when a suspended vertex resumes, the resuming context — a
+// timer thread, an I/O completion, or another worker — pushes it onto the
+// owning deque's resumed list. Only the deque's owning worker consumes, and
+// it always drains the whole list at once (addResumedVertices), so
+// `pop_all` is the only consumer operation needed and the classic Treiber
+// ABA problem does not arise (nodes are never re-pushed while a pop races).
+#pragma once
+
+#include <atomic>
+
+namespace lhws {
+
+template <typename Node>
+concept IntrusiveNode = requires(Node n) {
+  { n.next } -> std::convertible_to<Node*>;
+};
+
+template <IntrusiveNode Node>
+class mpsc_stack {
+ public:
+  mpsc_stack() noexcept : head_(nullptr) {}
+
+  mpsc_stack(const mpsc_stack&) = delete;
+  mpsc_stack& operator=(const mpsc_stack&) = delete;
+
+  // Push from any thread. Returns true if the stack was empty beforehand —
+  // the paper uses exactly this edge (resumedVertices.size == 1) to decide
+  // whether the deque must also be registered in resumedDeques.
+  bool push(Node* node) noexcept {
+    Node* old = head_.load(std::memory_order_relaxed);
+    do {
+      node->next = old;
+    } while (!head_.compare_exchange_weak(old, node, std::memory_order_release,
+                                          std::memory_order_relaxed));
+    return old == nullptr;
+  }
+
+  // Detach the whole list (consumer only). Returned chain is LIFO order.
+  Node* pop_all() noexcept {
+    return head_.exchange(nullptr, std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  std::atomic<Node*> head_;
+};
+
+}  // namespace lhws

@@ -1,0 +1,42 @@
+// Sense-reversing spin barrier used to line up worker threads at the start
+// and end of timed regions, so that benchmark timings do not include thread
+// creation or teardown skew.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "support/backoff.hpp"
+#include "support/config.hpp"
+
+namespace lhws {
+
+class spin_barrier {
+ public:
+  explicit spin_barrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties), sense_(false) {
+    LHWS_ASSERT(parties > 0);
+  }
+
+  spin_barrier(const spin_barrier&) = delete;
+  spin_barrier& operator=(const spin_barrier&) = delete;
+
+  // Blocks until all `parties` threads have arrived. Reusable.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      backoff bo;
+      while (sense_.load(std::memory_order_acquire) != my_sense) bo.pause();
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  alignas(cache_line_size) std::atomic<std::size_t> remaining_;
+  alignas(cache_line_size) std::atomic<bool> sense_;
+};
+
+}  // namespace lhws

@@ -1,0 +1,33 @@
+// Tiny test-and-test-and-set spinlock with backoff, for rarely-contended
+// short critical sections (the per-worker deque registry used by the
+// Section 6 steal policy, which "requires synchronization between the two
+// workers").
+#pragma once
+
+#include <atomic>
+
+#include "support/backoff.hpp"
+
+namespace lhws {
+
+class spinlock {
+ public:
+  void lock() noexcept {
+    backoff bo;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) bo.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace lhws

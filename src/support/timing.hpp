@@ -1,0 +1,47 @@
+// Wall-clock timing helpers for the real runtime and benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace lhws {
+
+using clock = std::chrono::steady_clock;
+
+// Nanoseconds since an arbitrary epoch; monotonic.
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+inline double ns_to_ms(std::int64_t ns) noexcept {
+  return static_cast<double>(ns) * 1e-6;
+}
+
+inline double ns_to_s(std::int64_t ns) noexcept {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+// Measures the wall-clock lifetime of a scope.
+class stopwatch {
+ public:
+  stopwatch() noexcept : start_(now_ns()) {}
+
+  void reset() noexcept { start_ = now_ns(); }
+
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+    return now_ns() - start_;
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return ns_to_ms(elapsed_ns());
+  }
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return ns_to_s(elapsed_ns());
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace lhws

@@ -1,0 +1,165 @@
+// channel<T>: suspending receives, producer/consumer orders, close
+// semantics, and cross-engine equivalence.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+#include "core/channel.hpp"
+#include "core/fork_join.hpp"
+#include "core/latency.hpp"
+#include "core/scheduler.hpp"
+
+namespace lhws {
+namespace {
+
+using namespace std::chrono_literals;
+
+scheduler_options opts(unsigned workers, engine e = engine::latency_hiding) {
+  scheduler_options o;
+  o.workers = workers;
+  o.engine_kind = e;
+  o.seed = 5;
+  return o;
+}
+
+task<long> drain_sum(channel<int>& ch) {
+  long sum = 0;
+  for (;;) {
+    const std::optional<int> v = co_await ch.receive();
+    if (!v.has_value()) break;
+    sum += *v;
+  }
+  co_return sum;
+}
+
+task<long> send_n(channel<int>& ch, int n) {
+  for (int i = 1; i <= n; ++i) {
+    co_await delay(100us);  // interleave with the receiver
+    ch.send(i);
+  }
+  ch.close();
+  co_return n;
+}
+
+struct EngineParam {
+  engine e;
+  unsigned workers;
+};
+
+class ChannelEngines : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(ChannelEngines, QueuedValuesDrainInFifoOrder) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  channel<int> ch;
+  for (int i = 0; i < 10; ++i) ch.send(i);
+  ch.close();
+  auto root = [](channel<int>& c) -> task<bool> {
+    for (int expect = 0; expect < 10; ++expect) {
+      const auto v = co_await c.receive();
+      if (!v.has_value() || *v != expect) co_return false;
+    }
+    co_return !(co_await c.receive()).has_value();
+  };
+  EXPECT_TRUE(sched.run(root(ch)));
+}
+
+TEST_P(ChannelEngines, ProducerConsumerSum) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  channel<int> ch;
+  auto root = [](channel<int>& c) -> task<long> {
+    auto [sent, sum] = co_await fork2(send_n(c, 50), drain_sum(c));
+    co_return sum - sent;  // sum(1..50) - 50
+  };
+  EXPECT_EQ(sched.run(root(ch)), 50L * 51 / 2 - 50);
+}
+
+TEST_P(ChannelEngines, CloseWakesSuspendedReceiver) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  channel<int> ch;
+  auto root = [](channel<int>& c) -> task<bool> {
+    auto [closed, got] = co_await fork2(
+        // Left: wait a bit, then close without sending.
+        [](channel<int>& cc) -> task<bool> {
+          co_await delay(2ms);
+          cc.close();
+          co_return true;
+        }(c),
+        // Right: suspended receive must observe nullopt.
+        [](channel<int>& cc) -> task<bool> {
+          co_return !(co_await cc.receive()).has_value();
+        }(c));
+    co_return closed && got;
+  };
+  EXPECT_TRUE(sched.run(root(ch)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ChannelEngines,
+    ::testing::Values(EngineParam{engine::latency_hiding, 1},
+                      EngineParam{engine::latency_hiding, 3},
+                      EngineParam{engine::blocking, 2},
+                      EngineParam{engine::blocking, 4}));
+
+TEST(Channel, ExternalProducerThread) {
+  scheduler sched(opts(2));
+  channel<int> ch;
+  std::thread producer([&] {
+    for (int i = 0; i < 20; ++i) {
+      std::this_thread::sleep_for(500us);
+      ch.send(i);
+    }
+    ch.close();
+  });
+  auto root = [](channel<int>& c) -> task<long> { return drain_sum(c); };
+  EXPECT_EQ(sched.run(root(ch)), 19L * 20 / 2);
+  producer.join();
+}
+
+TEST(Channel, MultipleConsumersPartitionTheStream) {
+  scheduler sched(opts(2));
+  channel<int> ch;
+  for (int i = 1; i <= 100; ++i) ch.send(i);
+  ch.close();
+  auto root = [](channel<int>& c) -> task<long> {
+    auto [a, b] = co_await fork2(drain_sum(c), drain_sum(c));
+    co_return a + b;
+  };
+  EXPECT_EQ(sched.run(root(ch)), 100L * 101 / 2)
+      << "every value received exactly once across consumers";
+}
+
+TEST(Channel, TryReceiveDoesNotSuspend) {
+  channel<int> ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+  ch.send(7);
+  const auto v = ch.try_receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(Channel, SuspendedReceiverCountsAsSuspension) {
+  scheduler sched(opts(2));
+  channel<int> ch;
+  auto root = [](channel<int>& c) -> task<int> {
+    auto [v, sent] = co_await fork2(
+        [](channel<int>& cc) -> task<int> {
+          const auto got = co_await cc.receive();
+          co_return got.value_or(-1);
+        }(c),
+        [](channel<int>& cc) -> task<int> {
+          co_await delay(2ms);
+          cc.send(9);
+          cc.close();
+          co_return 1;
+        }(c));
+    co_return v;
+  };
+  EXPECT_EQ(sched.run(root(ch)), 9);
+  EXPECT_GE(sched.stats().suspensions, 1u);
+}
+
+}  // namespace
+}  // namespace lhws

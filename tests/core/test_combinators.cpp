@@ -1,0 +1,123 @@
+// when_all / delay / nested-combinator tests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/algorithms.hpp"
+#include "core/latency.hpp"
+#include "core/scheduler.hpp"
+#include "support/timing.hpp"
+
+namespace lhws {
+namespace {
+
+using namespace std::chrono_literals;
+
+scheduler_options opts(unsigned workers, engine e = engine::latency_hiding) {
+  scheduler_options o;
+  o.workers = workers;
+  o.engine_kind = e;
+  return o;
+}
+
+task<int> fetch(int v) {
+  co_return co_await latency(3ms, v);
+}
+
+TEST(WhenAll, EmptyVector) {
+  scheduler sched(opts(2));
+  auto root = []() -> task<std::size_t> {
+    auto results = co_await when_all(std::vector<task<int>>{});
+    co_return results.size();
+  };
+  EXPECT_EQ(sched.run(root()), 0u);
+}
+
+TEST(WhenAll, PreservesInputOrder) {
+  scheduler sched(opts(3));
+  auto root = []() -> task<bool> {
+    std::vector<task<int>> tasks;
+    for (int i = 0; i < 40; ++i) tasks.push_back(fetch(i));
+    const std::vector<int> results = co_await when_all(std::move(tasks));
+    for (int i = 0; i < 40; ++i) {
+      if (results[static_cast<std::size_t>(i)] != i) co_return false;
+    }
+    co_return true;
+  };
+  EXPECT_TRUE(sched.run(root()));
+}
+
+TEST(WhenAll, LatenciesOverlap) {
+  // 30 x 10ms fetches via when_all on one worker: wall << 300ms.
+  scheduler sched(opts(1));
+  auto root = []() -> task<int> {
+    std::vector<task<int>> tasks;
+    for (int i = 0; i < 30; ++i) {
+      tasks.push_back([]() -> task<int> {
+        co_return co_await latency(10ms, 1);
+      }());
+    }
+    int total = 0;
+    for (const int v : co_await when_all(std::move(tasks))) total += v;
+    co_return total;
+  };
+  const stopwatch timer;
+  EXPECT_EQ(sched.run(root()), 30);
+  EXPECT_LT(timer.elapsed_ms(), 100.0);
+}
+
+TEST(WhenAll, WorksOnBlockingEngine) {
+  scheduler sched(opts(4, engine::blocking));
+  auto root = []() -> task<int> {
+    std::vector<task<int>> tasks;
+    for (int i = 1; i <= 8; ++i) tasks.push_back(fetch(i));
+    int total = 0;
+    for (const int v : co_await when_all(std::move(tasks))) total += v;
+    co_return total;
+  };
+  EXPECT_EQ(sched.run(root()), 36);
+}
+
+TEST(Delay, SuspendsForAtLeastTheDuration) {
+  scheduler sched(opts(1));
+  auto root = []() -> task<int> {
+    co_await delay(10ms);
+    co_return 1;
+  };
+  const stopwatch timer;
+  EXPECT_EQ(sched.run(root()), 1);
+  EXPECT_GE(timer.elapsed_ms(), 9.0);
+}
+
+TEST(Delay, ZeroDurationDoesNotSuspend) {
+  scheduler sched(opts(1));
+  auto root = []() -> task<int> {
+    co_await delay(0ms);
+    co_return 2;
+  };
+  EXPECT_EQ(sched.run(root()), 2);
+  EXPECT_EQ(sched.stats().suspensions, 0u);
+}
+
+TEST(Combinators, NestedMapReduceOfWhenAll) {
+  // map_reduce whose leaves are themselves when_all fans: deep nesting of
+  // the combinator layer.
+  scheduler sched(opts(2));
+  auto leaf = [](std::size_t i) -> task<long> {
+    std::vector<task<int>> inner;
+    for (int k = 0; k < 4; ++k) {
+      inner.push_back(fetch(static_cast<int>(i)));
+    }
+    long total = 0;
+    for (const int v : co_await when_all(std::move(inner))) total += v;
+    co_return total;
+  };
+  const long got = sched.run(map_reduce<long>(
+      0, 16, 0L, leaf, [](long a, long b) { return a + b; }));
+  long expect = 0;
+  for (long i = 0; i < 16; ++i) expect += 4 * i;
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace lhws

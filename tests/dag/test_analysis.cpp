@@ -1,0 +1,106 @@
+// Work/span analyzer tests: weights must count toward the span but never
+// toward the work (the core asymmetry of the paper's cost model).
+#include <gtest/gtest.h>
+
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+
+namespace lhws::dag {
+namespace {
+
+TEST(Analysis, ChainWorkCountsVerticesOnly) {
+  const auto gen = chain_dag(10, 3, 100);
+  // 10 vertices, heavy edges at positions 3, 6, 9.
+  EXPECT_EQ(work(gen.graph), 10u);
+  EXPECT_EQ(gen.graph.num_heavy_edges(), 3u);
+}
+
+TEST(Analysis, ChainSpanIncludesLatency) {
+  const auto gen = chain_dag(10, 3, 100);
+  // Span = 10 vertices + 3 heavy edges contributing (100-1) extra each.
+  EXPECT_EQ(span(gen.graph), 10u + 3u * 99u);
+  EXPECT_EQ(unweighted_span(gen.graph), 10u);
+}
+
+TEST(Analysis, LightChainSpanEqualsLength) {
+  const auto gen = chain_dag(42, 0, 1);
+  EXPECT_EQ(span(gen.graph), 42u);
+  EXPECT_EQ(unweighted_span(gen.graph), 42u);
+}
+
+TEST(Analysis, WeightedDepthsMonotoneAlongEdges) {
+  const auto gen = map_reduce_dag(8, 50, 3);
+  const auto depth = weighted_depths(gen.graph);
+  for (vertex_id u = 0; u < gen.graph.num_vertices(); ++u) {
+    for (const out_edge& e : gen.graph.out_edges(u)) {
+      EXPECT_GE(depth[e.to], depth[u] + e.weight);
+    }
+  }
+  EXPECT_EQ(depth[gen.graph.root()], 0u);
+}
+
+TEST(Analysis, CriticalPathRealizesSpan) {
+  const auto gen = map_reduce_dag(16, 25, 4);
+  const auto path = critical_path(gen.graph);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), gen.graph.root());
+  EXPECT_EQ(path.back(), gen.graph.final());
+  // Sum weights along the path and compare with span.
+  weight_t total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    bool found = false;
+    for (const out_edge& e : gen.graph.out_edges(path[i])) {
+      if (e.to == path[i + 1]) {
+        total += e.weight;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "critical path must follow edges";
+  }
+  EXPECT_EQ(total + 1, span(gen.graph));
+}
+
+TEST(Analysis, CriticalPathLatencyOnHeavyPath) {
+  const auto gen = chain_dag(5, 2, 10);
+  // Heavy edges at positions 2 and 4: two heavy edges, each adding 9.
+  EXPECT_EQ(critical_path_latency(gen.graph), 18u);
+}
+
+TEST(Analysis, SummarizeAgreesWithIndividualAnalyzers) {
+  const auto gen = server_dag(5, 20, 2);
+  const auto s = summarize(gen.graph);
+  EXPECT_EQ(s.work, work(gen.graph));
+  EXPECT_EQ(s.span, span(gen.graph));
+  EXPECT_EQ(s.unweighted_span, unweighted_span(gen.graph));
+  EXPECT_EQ(s.heavy_edges, gen.graph.num_heavy_edges());
+}
+
+// Latency that is off the critical path must not inflate the span beyond
+// the heavier branch: two parallel branches, one heavy-short, one
+// light-long.
+TEST(Analysis, OffCriticalPathLatency) {
+  weighted_dag g;
+  const vertex_id fork = g.add_vertex();
+  // Branch A: 1 vertex behind a heavy edge of weight 5 (total depth 5).
+  const vertex_id a = g.add_vertex();
+  // Branch B: chain of 20 light vertices.
+  vertex_id prev = g.add_vertex();
+  const vertex_id b_first = prev;
+  for (int i = 1; i < 20; ++i) {
+    const vertex_id v = g.add_vertex();
+    g.add_edge(prev, v);
+    prev = v;
+  }
+  const vertex_id join = g.add_vertex();
+  g.add_edge(fork, b_first, 1);  // left = the long light chain
+  g.add_edge(fork, a, 5);        // right, heavy
+  g.add_edge(a, join);
+  g.add_edge(prev, join);
+  ASSERT_TRUE(g.validate());
+  // Depth(join) = max(5 + 1, 1 + 20) = 21; span 22.
+  EXPECT_EQ(span(g), 22u);
+}
+
+}  // namespace
+}  // namespace lhws::dag

@@ -1,0 +1,154 @@
+// Generators must produce valid dags whose analyzed costs match the closed
+// forms they advertise (cross-checking both the builders and the analyzers).
+#include <gtest/gtest.h>
+
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+
+namespace lhws::dag {
+namespace {
+
+class MapReduceSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MapReduceSizes, CostsMatchClosedForm) {
+  const std::size_t n = GetParam();
+  const auto gen = map_reduce_dag(n, 50, 3);
+  EXPECT_EQ(work(gen.graph), gen.expected_work);
+  EXPECT_EQ(span(gen.graph), gen.expected_span);
+  EXPECT_EQ(gen.graph.num_heavy_edges(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOddSizes, MapReduceSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 100,
+                                           1000, 5000));
+
+class ServerSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ServerSizes, CostsMatchClosedForm) {
+  const std::size_t k = GetParam();
+  const auto gen = server_dag(k, 30, 2);
+  EXPECT_EQ(work(gen.graph), gen.expected_work);
+  EXPECT_EQ(span(gen.graph), gen.expected_span);
+  // One getInput per request plus the final "Done" read.
+  EXPECT_EQ(gen.graph.num_heavy_edges(), k + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RequestCounts, ServerSizes,
+                         ::testing::Values(1, 2, 3, 10, 50, 500));
+
+TEST(Generators, ServerLongHandlerDominatesSpan) {
+  // handler_work >> delta: the span must come from the deepest handler.
+  const auto gen = server_dag(4, 2, 500);
+  EXPECT_EQ(span(gen.graph), gen.expected_span);
+}
+
+class FibSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FibSizes, CostsMatchClosedForm) {
+  const unsigned n = GetParam();
+  const auto gen = fib_dag(n);
+  EXPECT_EQ(work(gen.graph), gen.expected_work);
+  EXPECT_EQ(span(gen.graph), gen.expected_span);
+  EXPECT_EQ(gen.graph.num_heavy_edges(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(FibArguments, FibSizes,
+                         ::testing::Values(0, 1, 2, 3, 5, 10, 15));
+
+TEST(Generators, FibWorkFollowsFibRecurrence) {
+  // W(n) = W(n-1) + W(n-2) + 2.
+  const auto w = [](unsigned n) { return fib_dag(n).expected_work; };
+  for (unsigned n = 2; n <= 12; ++n) {
+    EXPECT_EQ(w(n), w(n - 1) + w(n - 2) + 2) << "n=" << n;
+  }
+}
+
+class TreeDepths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TreeDepths, ForkJoinTreeCosts) {
+  const unsigned d = GetParam();
+  const auto gen = fork_join_tree(d, 4);
+  EXPECT_EQ(work(gen.graph), gen.expected_work);
+  EXPECT_EQ(span(gen.graph), gen.expected_span);
+  EXPECT_EQ(*gen.expected_suspension_width, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeDepths, ::testing::Values(0, 1, 2, 5, 10));
+
+TEST(Generators, ChainCosts) {
+  const auto gen = chain_dag(100, 10, 7);
+  EXPECT_EQ(work(gen.graph), gen.expected_work);
+  EXPECT_EQ(span(gen.graph), gen.expected_span);
+}
+
+TEST(Generators, RandomForkJoinIsValidAndReproducible) {
+  for (std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    auto a = random_fork_join(seed, 6, 200, 16);
+    auto b = random_fork_join(seed, 6, 200, 16);
+    EXPECT_EQ(a.graph.num_vertices(), b.graph.num_vertices());
+    EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+    EXPECT_EQ(a.graph.num_heavy_edges(), b.graph.num_heavy_edges());
+    EXPECT_EQ(span(a.graph), span(b.graph));
+  }
+}
+
+TEST(Generators, RandomForkJoinHeavyTargetsHaveInDegreeOne) {
+  const auto gen = random_fork_join(99, 8, 300, 32);
+  const weighted_dag& g = gen.graph;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    bool heavy_in = false;
+    for (const in_edge& e : g.in_edges(v)) heavy_in |= e.heavy();
+    if (heavy_in) {
+      EXPECT_EQ(g.in_degree(v), 1u);
+    }
+  }
+}
+
+class BurstWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BurstWidths, IoBurstCostsMatchClosedForm) {
+  const std::size_t k = GetParam();
+  const auto gen = io_burst_dag(k, 50);
+  EXPECT_EQ(work(gen.graph), gen.expected_work);
+  EXPECT_EQ(span(gen.graph), gen.expected_span);
+  EXPECT_EQ(gen.graph.num_heavy_edges(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BurstWidths,
+                         ::testing::Values(1, 2, 3, 4, 16, 100, 1024));
+
+TEST(Generators, IoBurstHandlersAllReadySimultaneously) {
+  // The defining property: depth of every handler is identical, so all
+  // resumes land in the same round.
+  const auto gen = io_burst_dag(16, 30);
+  const auto depth = weighted_depths(gen.graph);
+  // Handlers are vertices [16, 32).
+  for (vertex_id h = 17; h < 32; ++h) {
+    EXPECT_EQ(depth[h], depth[16]) << "handler " << h;
+  }
+}
+
+TEST(Generators, MapReduceFibCostsMatchClosedForm) {
+  for (std::size_t n : {1u, 2u, 8u, 100u}) {
+    const auto gen = map_reduce_fib_dag(n, 40, 8);
+    EXPECT_EQ(work(gen.graph), gen.expected_work) << "n=" << n;
+    EXPECT_EQ(span(gen.graph), gen.expected_span) << "n=" << n;
+    EXPECT_EQ(gen.graph.num_heavy_edges(), n) << "n=" << n;
+  }
+}
+
+TEST(Generators, MapReduceFibDegeneratestoMapReduceForFibZero) {
+  // fib(0) is a single leaf vertex, i.e. leaf_work = 1.
+  const auto nested = map_reduce_fib_dag(32, 25, 0);
+  const auto flat = map_reduce_dag(32, 25, 1);
+  EXPECT_EQ(nested.expected_work, flat.expected_work);
+  EXPECT_EQ(nested.expected_span, flat.expected_span);
+}
+
+TEST(Generators, RandomForkJoinZeroPermilleHasNoHeavyEdges) {
+  const auto gen = random_fork_join(5, 7, 0, 32);
+  EXPECT_EQ(gen.graph.num_heavy_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace lhws::dag

@@ -1,0 +1,110 @@
+// Theorem 1: any greedy schedule of a weighted dag on P workers has length
+// at most W/P + S. Sweeps every generator family across worker counts.
+#include <gtest/gtest.h>
+
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+#include "dag/greedy_schedule.hpp"
+#include "dag/suspension_width.hpp"
+
+namespace lhws::dag {
+namespace {
+
+void expect_theorem1(const weighted_dag& g, std::uint64_t p) {
+  const auto res = greedy_schedule(g, p);
+  EXPECT_LE(res.length, theorem1_bound(g, p))
+      << "P=" << p << " W=" << work(g) << " S=" << span(g);
+  // A schedule can never beat either lower bound.
+  EXPECT_GE(res.length, (work(g) + p - 1) / p);
+  EXPECT_GE(res.length + 1, span(g));  // length >= S is off-by-one safe
+}
+
+class GreedyWorkers : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyWorkers, MapReduceMeetsTheorem1) {
+  const auto p = GetParam();
+  expect_theorem1(map_reduce_dag(100, 40, 5).graph, p);
+}
+
+TEST_P(GreedyWorkers, ServerMeetsTheorem1) {
+  const auto p = GetParam();
+  expect_theorem1(server_dag(50, 25, 8).graph, p);
+}
+
+TEST_P(GreedyWorkers, FibMeetsTheorem1) {
+  const auto p = GetParam();
+  expect_theorem1(fib_dag(14).graph, p);
+}
+
+TEST_P(GreedyWorkers, ChainMeetsTheorem1) {
+  const auto p = GetParam();
+  expect_theorem1(chain_dag(200, 7, 12).graph, p);
+}
+
+TEST_P(GreedyWorkers, RandomDagsMeetTheorem1) {
+  const auto p = GetParam();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    expect_theorem1(random_fork_join(seed, 7, 150, 20).graph, p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, GreedyWorkers,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 30, 64));
+
+TEST(GreedySchedule, SerialChainTakesExactlySpanSteps) {
+  const auto gen = chain_dag(50, 5, 9);
+  const auto res = greedy_schedule(gen.graph, 4);
+  // A chain admits no parallelism: length == span regardless of P.
+  EXPECT_EQ(res.length, span(gen.graph));
+}
+
+TEST(GreedySchedule, AllWorkersCanIdleOnLatency) {
+  // During a long latency with nothing else to do, every worker idles —
+  // the paper notes this cannot happen with unweighted dags (hence the
+  // W/P + S bound rather than ABP's W/P + S(P-1)/P).
+  const auto gen = chain_dag(10, 5, 100);
+  const auto res = greedy_schedule(gen.graph, 2);
+  EXPECT_GT(res.all_idle_steps, 0u);
+}
+
+TEST(GreedySchedule, ComputeOnlyDagNeverFullyIdles) {
+  const auto gen = fib_dag(12);
+  const auto res = greedy_schedule(gen.graph, 4);
+  EXPECT_EQ(res.all_idle_steps, 0u);
+}
+
+TEST(GreedySchedule, StepAssignmentIsAValidSchedule) {
+  const auto gen = map_reduce_dag(32, 15, 2);
+  const weighted_dag& g = gen.graph;
+  const auto res = greedy_schedule(g, 3);
+  // Every vertex executed exactly once, respecting readiness: a vertex runs
+  // strictly after its parent, and at least delta steps after it across a
+  // heavy edge.
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    ASSERT_GT(res.step_of[u], 0u) << "vertex " << u << " never executed";
+    for (const out_edge& e : g.out_edges(u)) {
+      EXPECT_GE(res.step_of[e.to], res.step_of[u] + e.weight);
+    }
+  }
+}
+
+TEST(GreedySchedule, MaxSuspendedBoundedBySuspensionWidth) {
+  const auto gen = map_reduce_dag(64, 20, 2);
+  const auto res = greedy_schedule(gen.graph, 8);
+  EXPECT_LE(res.max_suspended, 64u);
+  const auto srv = server_dag(40, 20, 3);
+  EXPECT_LE(greedy_schedule(srv.graph, 8).max_suspended, 1u);
+}
+
+TEST(GreedySchedule, MoreWorkersNeverSlower) {
+  const auto gen = map_reduce_dag(128, 10, 6);
+  std::uint64_t prev = ~0ull;
+  for (std::uint64_t p : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+    const auto res = greedy_schedule(gen.graph, p);
+    EXPECT_LE(res.length, prev) << "P=" << p;
+    prev = res.length;
+  }
+}
+
+}  // namespace
+}  // namespace lhws::dag

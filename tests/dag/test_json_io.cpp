@@ -1,0 +1,113 @@
+// JSON round-trip and parser robustness for the dag interchange format.
+#include <gtest/gtest.h>
+
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+#include "dag/json_io.hpp"
+
+namespace lhws::dag {
+namespace {
+
+void expect_roundtrip(const weighted_dag& g) {
+  const std::string json = to_json(g);
+  std::string why;
+  const auto back = from_json(json, &why);
+  ASSERT_TRUE(back.has_value()) << why;
+  EXPECT_EQ(back->num_vertices(), g.num_vertices());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  EXPECT_EQ(back->num_heavy_edges(), g.num_heavy_edges());
+  EXPECT_EQ(work(*back), work(g));
+  EXPECT_EQ(span(*back), span(g));
+  // Edge-exact: same out-lists in the same order (left/right preserved).
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(back->out_degree(v), g.out_degree(v));
+    for (unsigned i = 0; i < g.out_degree(v); ++i) {
+      EXPECT_EQ(back->out(v, i).to, g.out(v, i).to);
+      EXPECT_EQ(back->out(v, i).weight, g.out(v, i).weight);
+    }
+  }
+}
+
+TEST(JsonIo, RoundTripAllFamilies) {
+  expect_roundtrip(map_reduce_dag(17, 40, 3).graph);
+  expect_roundtrip(server_dag(9, 25, 2).graph);
+  expect_roundtrip(fib_dag(9).graph);
+  expect_roundtrip(chain_dag(30, 4, 11).graph);
+  expect_roundtrip(io_burst_dag(12, 8).graph);
+  expect_roundtrip(fork_join_tree(4, 3).graph);
+  for (std::uint64_t seed : {3ull, 9ull}) {
+    expect_roundtrip(random_fork_join(seed, 5, 300, 12).graph);
+  }
+}
+
+TEST(JsonIo, SingleVertex) {
+  weighted_dag g;
+  g.add_vertex();
+  ASSERT_TRUE(g.validate());
+  expect_roundtrip(g);
+}
+
+TEST(JsonIo, AcceptsArbitraryWhitespace) {
+  const std::string json =
+      "{ \"lhws_dag\" : 1 ,\n\t\"vertices\":3, \"edges\" : [ [0,1,1] ,"
+      "[ 1 , 2 , 7 ] ] }";
+  std::string why;
+  const auto g = from_json(json, &why);
+  ASSERT_TRUE(g.has_value()) << why;
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_heavy_edges(), 1u);
+}
+
+TEST(JsonIo, RejectsMissingVersion) {
+  std::string why;
+  EXPECT_FALSE(from_json("{\"vertices\":1,\"edges\":[]}", &why).has_value());
+  EXPECT_NE(why.find("lhws_dag"), std::string::npos);
+}
+
+TEST(JsonIo, RejectsOutOfRangeEdge) {
+  std::string why;
+  EXPECT_FALSE(
+      from_json("{\"lhws_dag\":1,\"vertices\":2,\"edges\":[[0,5,1]]}", &why)
+          .has_value());
+  EXPECT_NE(why.find("out of range"), std::string::npos);
+}
+
+TEST(JsonIo, RejectsZeroWeight) {
+  std::string why;
+  EXPECT_FALSE(
+      from_json("{\"lhws_dag\":1,\"vertices\":2,\"edges\":[[0,1,0]]}", &why)
+          .has_value());
+  EXPECT_NE(why.find("weight"), std::string::npos);
+}
+
+TEST(JsonIo, RejectsInvalidDag) {
+  // Two roots.
+  std::string why;
+  EXPECT_FALSE(
+      from_json("{\"lhws_dag\":1,\"vertices\":3,\"edges\":[[0,2,1],[1,2,1]]}",
+                &why)
+          .has_value());
+  EXPECT_NE(why.find("invalid dag"), std::string::npos);
+}
+
+TEST(JsonIo, RejectsGarbage) {
+  std::string why;
+  EXPECT_FALSE(from_json("not json at all", &why).has_value());
+  EXPECT_FALSE(from_json("", &why).has_value());
+  EXPECT_FALSE(from_json("{\"lhws_dag\":1", &why).has_value());
+  EXPECT_FALSE(
+      from_json("{\"lhws_dag\":1,\"vertices\":1,\"edges\":[]} trailing", &why)
+          .has_value());
+}
+
+TEST(JsonIo, RejectsExcessOutDegree) {
+  std::string why;
+  EXPECT_FALSE(from_json("{\"lhws_dag\":1,\"vertices\":4,"
+                         "\"edges\":[[0,1,1],[0,2,1],[0,3,1]]}",
+                         &why)
+                   .has_value());
+  EXPECT_NE(why.find("out-degree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lhws::dag

@@ -1,0 +1,109 @@
+// Suspension width (Definition 1): the exact enumerator, the execution
+// witness, and the generators' closed forms must agree where they overlap.
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "dag/suspension_width.hpp"
+
+namespace lhws::dag {
+namespace {
+
+TEST(SuspensionWidth, NoHeavyEdgesMeansZero) {
+  const auto gen = fib_dag(6);
+  EXPECT_EQ(suspension_width_exact(gen.graph).value(), 0u);
+  EXPECT_EQ(suspension_width_witness(gen.graph), 0u);
+}
+
+TEST(SuspensionWidth, MapReduceSmallExactEqualsLeafCount) {
+  // Section 5: "it is possible for each of the n calls to getValue() to be
+  // suspended at once, and so U = n."
+  for (std::size_t n : {1u, 2u, 3u, 4u}) {
+    const auto gen = map_reduce_dag(n, 10, 1);
+    const auto exact = suspension_width_exact(gen.graph);
+    ASSERT_TRUE(exact.has_value()) << "n=" << n;
+    EXPECT_EQ(*exact, n) << "n=" << n;
+    EXPECT_EQ(*gen.expected_suspension_width, n);
+  }
+}
+
+TEST(SuspensionWidth, MapReduceWitnessIsTight) {
+  for (std::size_t n : {1u, 2u, 8u, 64u, 1000u}) {
+    const auto gen = map_reduce_dag(n, 10, 1);
+    EXPECT_EQ(suspension_width_witness(gen.graph), n) << "n=" << n;
+  }
+}
+
+TEST(SuspensionWidth, ServerIsOne) {
+  // Section 5: "only one operation may be suspended at a time and U = 1."
+  for (std::size_t k : {1u, 2u, 3u}) {
+    const auto gen = server_dag(k, 10, 1);
+    const auto exact = suspension_width_exact(gen.graph);
+    ASSERT_TRUE(exact.has_value()) << "k=" << k;
+    EXPECT_EQ(*exact, 1u) << "k=" << k;
+  }
+  const auto big = server_dag(200, 10, 2);
+  EXPECT_EQ(suspension_width_witness(big.graph), 1u);
+}
+
+TEST(SuspensionWidth, ChainIsOne) {
+  const auto gen = chain_dag(12, 3, 9);
+  const auto exact = suspension_width_exact(gen.graph);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(*exact, 1u);
+  EXPECT_EQ(suspension_width_witness(gen.graph), 1u);
+}
+
+TEST(SuspensionWidth, ExactRefusesLargeDags) {
+  const auto gen = map_reduce_dag(64, 10, 1);
+  EXPECT_FALSE(suspension_width_exact(gen.graph, 22).has_value());
+}
+
+TEST(SuspensionWidth, WitnessNeverExceedsExactOnSmallRandomDags) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto gen = random_fork_join(seed, 3, 350, 8);
+    if (gen.graph.num_vertices() > 20) continue;
+    const auto exact = suspension_width_exact(gen.graph, 20);
+    if (!exact.has_value()) continue;
+    EXPECT_LE(suspension_width_witness(gen.graph), *exact)
+        << "seed=" << seed;
+  }
+}
+
+TEST(SuspensionWidth, IoBurstEqualsWidth) {
+  for (std::size_t k : {1u, 2u, 4u, 6u}) {
+    const auto gen = dag::io_burst_dag(k, 10);
+    const auto exact = suspension_width_exact(gen.graph);
+    ASSERT_TRUE(exact.has_value()) << "k=" << k;
+    EXPECT_EQ(*exact, k) << "k=" << k;
+    EXPECT_EQ(suspension_width_witness(gen.graph), k) << "k=" << k;
+  }
+  EXPECT_EQ(suspension_width_witness(dag::io_burst_dag(5000, 10).graph),
+            5000u);
+}
+
+TEST(SuspensionWidth, Figure1ExampleIsOne) {
+  // The paper's Figure 1 dag has a single heavy edge, so U = 1.
+  weighted_dag g;
+  const vertex_id fork = g.add_vertex();
+  const vertex_id mul = g.add_vertex();
+  const vertex_id input = g.add_vertex();
+  const vertex_id dbl = g.add_vertex();
+  const vertex_id add = g.add_vertex();
+  g.add_edge(fork, mul);
+  g.add_edge(fork, input);
+  g.add_edge(input, dbl, 8);
+  g.add_edge(mul, add);
+  g.add_edge(dbl, add);
+  ASSERT_TRUE(g.validate());
+  EXPECT_EQ(suspension_width_exact(g).value(), 1u);
+  EXPECT_EQ(suspension_width_witness(g), 1u);
+}
+
+TEST(SuspensionWidth, TwoIndependentFetchesGiveTwo) {
+  // Two parallel getValue branches — both can be suspended at once.
+  const auto gen = map_reduce_dag(2, 10, 1);
+  EXPECT_EQ(suspension_width_exact(gen.graph).value(), 2u);
+}
+
+}  // namespace
+}  // namespace lhws::dag

@@ -1,0 +1,126 @@
+// Structural tests for the weighted-dag model (paper, Section 2).
+#include <gtest/gtest.h>
+
+#include "dag/dot_export.hpp"
+#include "dag/weighted_dag.hpp"
+
+namespace lhws::dag {
+namespace {
+
+// The paper's Figure 1 example: fork; one branch reads input (latency
+// delta) and doubles it, the other computes 6*7; join adds.
+weighted_dag figure1_dag(weight_t delta) {
+  weighted_dag g;
+  const vertex_id fork = g.add_vertex();     // 0
+  const vertex_id mul = g.add_vertex();      // 1: y = 6 * 7 (continuation)
+  const vertex_id input = g.add_vertex();    // 2: x = input() (spawned)
+  const vertex_id dbl = g.add_vertex();      // 3: x = 2 * x
+  const vertex_id add = g.add_vertex();      // 4: x + y
+  g.add_edge(fork, mul, 1);                  // left child
+  g.add_edge(fork, input, 1);                // right child
+  g.add_edge(input, dbl, delta);             // heavy
+  g.add_edge(mul, add, 1);
+  g.add_edge(dbl, add, 1);
+  EXPECT_TRUE(g.validate());
+  return g;
+}
+
+TEST(WeightedDag, Figure1Structure) {
+  const weighted_dag g = figure1_dag(10);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.num_heavy_edges(), 1u);
+  EXPECT_EQ(g.root(), 0u);
+  EXPECT_EQ(g.final(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out(0, 0).to, 1u) << "left child is the continuation";
+  EXPECT_EQ(g.out(0, 1).to, 2u) << "right child is the spawned thread";
+  EXPECT_TRUE(g.suspends(3)) << "x = 2*x waits on the input latency";
+  EXPECT_FALSE(g.suspends(4));
+}
+
+TEST(WeightedDag, LightEdgeWhenDeltaIsOne) {
+  const weighted_dag g = figure1_dag(1);
+  EXPECT_EQ(g.num_heavy_edges(), 0u);
+  EXPECT_FALSE(g.suspends(3));
+}
+
+TEST(WeightedDag, ValidateRejectsEmpty) {
+  weighted_dag g;
+  std::string why;
+  EXPECT_FALSE(g.validate(&why));
+  EXPECT_NE(why.find("no vertices"), std::string::npos);
+}
+
+TEST(WeightedDag, ValidateRejectsMultipleRoots) {
+  weighted_dag g;
+  const vertex_id a = g.add_vertex();
+  const vertex_id b = g.add_vertex();
+  const vertex_id c = g.add_vertex();
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  std::string why;
+  EXPECT_FALSE(g.validate(&why));
+  EXPECT_NE(why.find("multiple roots"), std::string::npos);
+}
+
+TEST(WeightedDag, ValidateRejectsMultipleFinals) {
+  weighted_dag g;
+  const vertex_id a = g.add_vertex();
+  const vertex_id b = g.add_vertex();
+  const vertex_id c = g.add_vertex();
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  std::string why;
+  EXPECT_FALSE(g.validate(&why));
+  EXPECT_NE(why.find("multiple final"), std::string::npos);
+}
+
+TEST(WeightedDag, ValidateRejectsHeavyIntoJoin) {
+  // A vertex with a heavy in-edge must have in-degree 1 (third model
+  // assumption).
+  weighted_dag g;
+  const vertex_id a = g.add_vertex();
+  const vertex_id b = g.add_vertex();
+  const vertex_id c = g.add_vertex();
+  const vertex_id d = g.add_vertex();
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d, 5);  // heavy into the join
+  g.add_edge(c, d);
+  std::string why;
+  EXPECT_FALSE(g.validate(&why));
+  EXPECT_NE(why.find("heavy in-edge"), std::string::npos);
+}
+
+TEST(WeightedDag, TopologicalOrderRespectsEdges) {
+  const weighted_dag g = figure1_dag(4);
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), g.num_vertices());
+  std::vector<std::size_t> pos(g.num_vertices());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    for (const out_edge& e : g.out_edges(u)) {
+      EXPECT_LT(pos[u], pos[e.to]);
+    }
+  }
+}
+
+TEST(WeightedDag, DotExportMentionsHeavyEdges) {
+  const weighted_dag g = figure1_dag(7);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"7\""), std::string::npos);
+  EXPECT_NE(dot.find("v2 -> v3"), std::string::npos);
+}
+
+TEST(WeightedDag, SingleVertexIsItsOwnRootAndFinal) {
+  weighted_dag g;
+  const vertex_id v = g.add_vertex();
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(g.root(), v);
+  EXPECT_EQ(g.final(), v);
+}
+
+}  // namespace
+}  // namespace lhws::dag

@@ -1,0 +1,130 @@
+// Single-threaded semantics of the Chase-Lev deque plus the Table 1
+// interface concept checks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "deque/chase_lev_deque.hpp"
+#include "deque/deque_concept.hpp"
+#include "deque/locked_deque.hpp"
+
+namespace lhws {
+namespace {
+
+static_assert(WorkStealingDeque<chase_lev_deque<void*>, void*>);
+static_assert(WorkStealingDeque<chase_lev_deque<std::int64_t>, std::int64_t>);
+static_assert(WorkStealingDeque<locked_deque<void*>, void*>);
+
+TEST(ChaseLev, EmptyPopsFail) {
+  chase_lev_deque<std::int64_t> d;
+  std::int64_t out = -1;
+  EXPECT_FALSE(d.pop_bottom(out));
+  EXPECT_FALSE(d.pop_top(out));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ChaseLev, LifoAtBottom) {
+  chase_lev_deque<std::int64_t> d;
+  for (std::int64_t i = 0; i < 10; ++i) d.push_bottom(i);
+  for (std::int64_t i = 9; i >= 0; --i) {
+    std::int64_t out = -1;
+    ASSERT_TRUE(d.pop_bottom(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ChaseLev, FifoAtTop) {
+  chase_lev_deque<std::int64_t> d;
+  for (std::int64_t i = 0; i < 10; ++i) d.push_bottom(i);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    std::int64_t out = -1;
+    ASSERT_TRUE(d.pop_top(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ChaseLev, MixedEndsSeeDisjointElements) {
+  chase_lev_deque<std::int64_t> d;
+  for (std::int64_t i = 0; i < 6; ++i) d.push_bottom(i);
+  std::int64_t out = -1;
+  ASSERT_TRUE(d.pop_top(out));
+  EXPECT_EQ(out, 0);
+  ASSERT_TRUE(d.pop_bottom(out));
+  EXPECT_EQ(out, 5);
+  ASSERT_TRUE(d.pop_top(out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(d.pop_bottom(out));
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(d.size(), 2);
+}
+
+TEST(ChaseLev, GrowsPastInitialCapacity) {
+  chase_lev_deque<std::int64_t> d(4);
+  constexpr std::int64_t n = 10000;
+  for (std::int64_t i = 0; i < n; ++i) d.push_bottom(i);
+  EXPECT_GE(d.capacity(), n);
+  EXPECT_EQ(d.size(), n);
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    std::int64_t out = -1;
+    ASSERT_TRUE(d.pop_bottom(out));
+    ASSERT_EQ(out, i);
+  }
+}
+
+TEST(ChaseLev, GrowthPreservesOrderAcrossWraparound) {
+  chase_lev_deque<std::int64_t> d(8);
+  // Interleave pushes and top-pops so indices wrap the ring repeatedly.
+  std::int64_t next_push = 0, next_steal = 0;
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    for (int i = 0; i < 7; ++i) d.push_bottom(next_push++);
+    for (int i = 0; i < 5; ++i) {
+      std::int64_t out = -1;
+      ASSERT_TRUE(d.pop_top(out));
+      ASSERT_EQ(out, next_steal++);
+    }
+  }
+  // Drain; bottom pops return the most recent pushes first.
+  std::int64_t remaining = next_push - next_steal;
+  EXPECT_EQ(d.size(), remaining);
+  std::int64_t expect = next_push - 1;
+  std::int64_t out = -1;
+  while (d.pop_bottom(out)) {
+    ASSERT_EQ(out, expect--);
+  }
+  EXPECT_EQ(expect, next_steal - 1);
+}
+
+TEST(ChaseLev, SingleElementOwnerWinsRaceAlone) {
+  chase_lev_deque<std::int64_t> d;
+  d.push_bottom(42);
+  std::int64_t out = -1;
+  EXPECT_TRUE(d.pop_bottom(out));
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(d.pop_bottom(out));
+}
+
+TEST(ChaseLev, ReusableAfterDraining) {
+  chase_lev_deque<std::int64_t> d;
+  for (int round = 0; round < 50; ++round) {
+    for (std::int64_t i = 0; i < 20; ++i) d.push_bottom(i);
+    std::int64_t out;
+    while (d.pop_bottom(out)) {}
+    EXPECT_TRUE(d.empty());
+  }
+}
+
+TEST(LockedDeque, BasicSemanticsMatch) {
+  locked_deque<std::int64_t> d;
+  for (std::int64_t i = 0; i < 5; ++i) d.push_bottom(i);
+  std::int64_t out = -1;
+  ASSERT_TRUE(d.pop_top(out));
+  EXPECT_EQ(out, 0);
+  ASSERT_TRUE(d.pop_bottom(out));
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(d.size(), 3);
+}
+
+}  // namespace
+}  // namespace lhws

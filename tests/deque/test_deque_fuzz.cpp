@@ -1,0 +1,70 @@
+// Single-threaded fuzz: random operation sequences applied simultaneously
+// to the Chase-Lev deque and the locked reference deque must produce
+// identical results (sequential semantics equivalence).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "deque/chase_lev_deque.hpp"
+#include "deque/locked_deque.hpp"
+#include "support/rng.hpp"
+
+namespace lhws {
+namespace {
+
+class DequeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DequeFuzz, MatchesLockedOracle) {
+  const std::uint64_t seed = GetParam();
+  xoshiro256 rng(seed);
+  chase_lev_deque<std::int64_t> cl(4);  // small to force growth
+  locked_deque<std::int64_t> oracle;
+
+  std::int64_t next = 0;
+  for (int op = 0; op < 50000; ++op) {
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {  // push (biased so the deque grows)
+        cl.push_bottom(next);
+        oracle.push_bottom(next);
+        ++next;
+        break;
+      }
+      case 2: {  // pop bottom
+        std::int64_t a = -1, b = -1;
+        const bool ra = cl.pop_bottom(a);
+        const bool rb = oracle.pop_bottom(b);
+        ASSERT_EQ(ra, rb) << "op " << op;
+        if (ra) {
+          ASSERT_EQ(a, b) << "op " << op;
+        }
+        break;
+      }
+      case 3: {  // pop top (a steal, single-threaded here)
+        std::int64_t a = -1, b = -1;
+        const bool ra = cl.pop_top(a);
+        const bool rb = oracle.pop_top(b);
+        ASSERT_EQ(ra, rb) << "op " << op;
+        if (ra) {
+          ASSERT_EQ(a, b) << "op " << op;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(cl.size(), oracle.size()) << "op " << op;
+  }
+
+  // Drain and compare the remainder.
+  std::int64_t a = -1, b = -1;
+  while (oracle.pop_top(b)) {
+    ASSERT_TRUE(cl.pop_top(a));
+    ASSERT_EQ(a, b);
+  }
+  ASSERT_FALSE(cl.pop_top(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DequeFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace lhws

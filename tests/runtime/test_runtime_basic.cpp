@@ -1,0 +1,170 @@
+// Functional tests of the coroutine runtime: task composition, fork2
+// joins, combinators, and exception propagation — on both engines and
+// several worker counts. Correctness here means the runtime computes the
+// same values a serial execution would.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/algorithms.hpp"
+#include "core/fork_join.hpp"
+#include "core/scheduler.hpp"
+#include "core/task.hpp"
+
+namespace lhws {
+namespace {
+
+scheduler_options opts(unsigned workers, engine e = engine::latency_hiding) {
+  scheduler_options o;
+  o.workers = workers;
+  o.engine_kind = e;
+  o.seed = 12345;
+  return o;
+}
+
+task<int> just(int v) { co_return v; }
+
+task<int> add_serial(int a, int b) {
+  const int x = co_await just(a);
+  const int y = co_await just(b);
+  co_return x + y;
+}
+
+task<int> fib(unsigned n) {
+  if (n < 2) co_return static_cast<int>(n);
+  auto [a, b] = co_await fork2(fib(n - 1), fib(n - 2));
+  co_return a + b;
+}
+
+int fib_serial(unsigned n) {
+  return n < 2 ? static_cast<int>(n)
+               : fib_serial(n - 1) + fib_serial(n - 2);
+}
+
+struct EngineParam {
+  engine e;
+  unsigned workers;
+};
+
+class BothEngines : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(BothEngines, TrivialTask) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  EXPECT_EQ(sched.run(just(42)), 42);
+}
+
+TEST_P(BothEngines, SerialAwaitChains) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  EXPECT_EQ(sched.run(add_serial(20, 22)), 42);
+}
+
+TEST_P(BothEngines, Fork2ReturnsBothResults) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  auto root = []() -> task<int> {
+    auto [a, b] = co_await fork2(just(5), just(7));
+    co_return a * b;
+  };
+  EXPECT_EQ(sched.run(root()), 35);
+}
+
+TEST_P(BothEngines, NestedForkJoinFib) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  EXPECT_EQ(sched.run(fib(15)), fib_serial(15));
+}
+
+TEST_P(BothEngines, MapReduceSumsRange) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  auto mapper = [](std::size_t i) -> task<long> {
+    co_return static_cast<long>(i);
+  };
+  const long total = sched.run(map_reduce<long>(
+      0, 1000, 0L, mapper, [](long a, long b) { return a + b; }));
+  EXPECT_EQ(total, 999L * 1000 / 2);
+}
+
+TEST_P(BothEngines, ParallelForTouchesEveryIndex) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  constexpr std::size_t n = 4096;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  sched.run(parallel_for(0, n, 16, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  }));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(BothEngines, ExceptionsPropagateThroughJoins) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  auto thrower = []() -> task<int> {
+    throw std::runtime_error("leaf failure");
+    co_return 0;
+  };
+  auto root = [&]() -> task<int> {
+    auto [a, b] = co_await fork2(thrower(), just(1));
+    co_return a + b;
+  };
+  EXPECT_THROW(sched.run(root()), std::runtime_error);
+}
+
+TEST_P(BothEngines, DeepSerialRecursion) {
+  scheduler sched(opts(GetParam().workers, GetParam().e));
+  auto countdown = [](auto&& self, int n) -> task<int> {
+    if (n == 0) co_return 0;
+    co_return 1 + co_await self(self, n - 1);
+  };
+  EXPECT_EQ(sched.run(countdown(countdown, 2000)), 2000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, BothEngines,
+    ::testing::Values(EngineParam{engine::latency_hiding, 1},
+                      EngineParam{engine::latency_hiding, 2},
+                      EngineParam{engine::latency_hiding, 4},
+                      EngineParam{engine::blocking, 1},
+                      EngineParam{engine::blocking, 2},
+                      EngineParam{engine::blocking, 4}));
+
+TEST(RuntimeBasic, StatsCountSegments) {
+  scheduler sched(opts(2));
+  sched.run(fib(10));
+  const auto& s = sched.stats();
+  EXPECT_GT(s.segments_executed, 0u);
+  EXPECT_EQ(s.suspensions, 0u) << "compute-only program never suspends";
+  EXPECT_EQ(s.batches_injected, 0u);
+}
+
+TEST(RuntimeBasic, ComputeOnlyUsesOneDequePerWorker) {
+  // The U = 0 degeneration: LHWS behaves like standard work stealing.
+  scheduler sched(opts(4));
+  sched.run(fib(16));
+  EXPECT_EQ(sched.stats().max_deques_per_worker, 1u);
+  EXPECT_LE(sched.stats().total_deques_allocated, 2u * 4u)
+      << "at most one live + one recycled slot per worker";
+  EXPECT_GE(sched.stats().total_deques_allocated, 4u);
+}
+
+TEST(RuntimeBasic, RandomDequeStealPolicyWorks) {
+  scheduler_options o = opts(4);
+  o.steal = rt::runtime_steal_policy::random_deque;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fib(15)), fib_serial(15));
+}
+
+TEST(RuntimeBasic, SchedulerIsReusableAcrossRuns) {
+  scheduler sched(opts(2));
+  EXPECT_EQ(sched.run(just(1)), 1);
+  EXPECT_EQ(sched.run(just(2)), 2);
+  EXPECT_EQ(sched.run(fib(10)), fib_serial(10));
+}
+
+TEST(RuntimeBasic, ManyWorkersOnTinyTask) {
+  // More workers than work: thieves must fail gracefully and terminate.
+  scheduler sched(opts(8));
+  EXPECT_EQ(sched.run(just(9)), 9);
+}
+
+}  // namespace
+}  // namespace lhws

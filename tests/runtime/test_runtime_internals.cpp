@@ -1,0 +1,169 @@
+// Unit tests for runtime substrates used by the scheduler: the global
+// deque pool (Fig. 5), the event hub (both timer modes), work items, and
+// the runtime deque's suspension bookkeeping.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/deque_pool.hpp"
+#include "runtime/event_hub.hpp"
+#include "runtime/runtime_deque.hpp"
+#include "runtime/work_item.hpp"
+#include "support/rng.hpp"
+#include "support/timing.hpp"
+
+namespace lhws::rt {
+namespace {
+
+TEST(DequePool, AllocatesSequentialSlots) {
+  deque_pool pool(16);
+  EXPECT_EQ(pool.total_allocated(), 0u);
+  runtime_deque* a = pool.allocate(0);
+  runtime_deque* b = pool.allocate(1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.total_allocated(), 2u);
+  EXPECT_EQ(a->owner(), 0u);
+  EXPECT_EQ(b->owner(), 1u);
+}
+
+TEST(DequePool, RandomDequeCoversAllocatedSlots) {
+  deque_pool pool(16);
+  runtime_deque* deques[4];
+  for (auto& d : deques) d = pool.allocate(0);
+  xoshiro256 rng(3);
+  bool seen[4] = {};
+  for (int i = 0; i < 400; ++i) {
+    runtime_deque* q = pool.random_deque(rng);
+    ASSERT_NE(q, nullptr);
+    bool known = false;
+    for (int k = 0; k < 4; ++k) {
+      if (q == deques[k]) {
+        seen[k] = true;
+        known = true;
+      }
+    }
+    EXPECT_TRUE(known);
+  }
+  for (const bool s : seen) EXPECT_TRUE(s) << "every deque reachable";
+}
+
+TEST(DequePool, RandomDequeOnEmptyPoolIsNull) {
+  deque_pool pool(4);
+  xoshiro256 rng(1);
+  EXPECT_EQ(pool.random_deque(rng), nullptr);
+}
+
+TEST(EventHub, DedicatedThreadFiresInOrder) {
+  event_hub hub(timer_mode::dedicated_thread);
+  std::atomic<int> fired{0};
+  std::atomic<int> first{-1};
+  struct ctx {
+    std::atomic<int>* fired;
+    std::atomic<int>* first;
+    int id;
+  };
+  ctx a{&fired, &first, 1}, b{&fired, &first, 2};
+  const auto base = now_ns();
+  auto fire = [](void* p) {
+    auto* c = static_cast<ctx*>(p);
+    int expected = -1;
+    c->first->compare_exchange_strong(expected, c->id);
+    c->fired->fetch_add(1);
+  };
+  // Schedule out of order; the earlier deadline must fire first.
+  hub.schedule(base + 20'000'000, fire, &b);
+  hub.schedule(base + 5'000'000, fire, &a);
+  const stopwatch timer;
+  while (fired.load() < 2 && timer.elapsed_ms() < 2000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(fired.load(), 2);
+  EXPECT_EQ(first.load(), 1);
+}
+
+TEST(EventHub, PolledModeFiresOnlyOnPoll) {
+  event_hub hub(timer_mode::polled);
+  std::atomic<int> fired{0};
+  hub.schedule(now_ns() - 1, [](void* p) {
+    static_cast<std::atomic<int>*>(p)->fetch_add(1);
+  }, &fired);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(fired.load(), 0) << "nothing fires without a poll";
+  EXPECT_EQ(hub.poll(), 1u);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(hub.poll(), 0u) << "entries fire once";
+}
+
+TEST(EventHub, PollRespectsDeadlines) {
+  event_hub hub(timer_mode::polled);
+  std::atomic<int> fired{0};
+  hub.schedule(now_ns() + 50'000'000, [](void* p) {
+    static_cast<std::atomic<int>*>(p)->fetch_add(1);
+  }, &fired);
+  EXPECT_EQ(hub.poll(), 0u) << "not due yet";
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(WorkItem, RoundTripsCoroutineAndBatch) {
+  // Coroutine handles and batch pointers share one tagged word.
+  auto* batch = new batch_node{};
+  const work_item wb = work_item::from_batch(batch);
+  EXPECT_TRUE(wb.is_batch());
+  EXPECT_EQ(wb.batch(), batch);
+  EXPECT_FALSE(wb.empty());
+  delete batch;
+
+  const work_item we{};
+  EXPECT_TRUE(we.empty());
+}
+
+TEST(RuntimeDeque, SuspensionCounterLifecycle) {
+  runtime_deque q(0);
+  EXPECT_FALSE(q.has_pending_suspensions());
+  q.add_suspension();
+  q.add_suspension();
+  EXPECT_TRUE(q.has_pending_suspensions());
+  q.cancel_suspension();
+  resume_node node;
+  EXPECT_TRUE(q.deliver_resume(&node)) << "first resume reports empty->nonempty";
+  EXPECT_FALSE(q.has_pending_suspensions());
+  EXPECT_TRUE(q.has_undrained_resumes());
+  resume_node* chain = q.drain_resumed();
+  ASSERT_EQ(chain, &node);
+  EXPECT_EQ(chain->next, nullptr);
+  EXPECT_FALSE(q.has_undrained_resumes());
+}
+
+TEST(RuntimeDeque, SecondResumeDoesNotReportEmpty) {
+  runtime_deque q(0);
+  q.add_suspension();
+  q.add_suspension();
+  resume_node a, b;
+  EXPECT_TRUE(q.deliver_resume(&a));
+  EXPECT_FALSE(q.deliver_resume(&b))
+      << "the paper's size==1 test must fire exactly once per drain";
+  resume_node* chain = q.drain_resumed();
+  ASSERT_EQ(chain, &b);  // LIFO
+  EXPECT_EQ(chain->next, &a);
+}
+
+TEST(RuntimeDeque, WorkItemsFlowThroughBothEnds) {
+  runtime_deque q(0);
+  auto* b1 = new batch_node{};
+  auto* b2 = new batch_node{};
+  q.push_bottom(work_item::from_batch(b1));
+  q.push_bottom(work_item::from_batch(b2));
+  work_item out;
+  ASSERT_TRUE(q.pop_top(out));
+  EXPECT_EQ(out.batch(), b1);
+  ASSERT_TRUE(q.pop_bottom(out));
+  EXPECT_EQ(out.batch(), b2);
+  EXPECT_TRUE(q.empty());
+  delete b1;
+  delete b2;
+}
+
+}  // namespace
+}  // namespace lhws::rt

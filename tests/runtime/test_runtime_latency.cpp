@@ -1,0 +1,211 @@
+// Latency-hiding behaviour of the real runtime: the LHWS engine must
+// overlap latency with work (and with other latency), the WS engine must
+// pay it. Timing assertions use generous margins — this host has one core
+// and tests run under load — but the contrasts checked are multiples, not
+// percentages.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/algorithms.hpp"
+#include "core/fork_join.hpp"
+#include "core/latency.hpp"
+#include "core/scheduler.hpp"
+#include "core/sync.hpp"
+#include "support/timing.hpp"
+
+namespace lhws {
+namespace {
+
+using namespace std::chrono_literals;
+
+scheduler_options opts(unsigned workers, engine e = engine::latency_hiding) {
+  scheduler_options o;
+  o.workers = workers;
+  o.engine_kind = e;
+  o.seed = 99;
+  return o;
+}
+
+task<int> fetch_leaf(std::chrono::milliseconds delay, int value) {
+  const int got = co_await latency(delay, value);
+  co_return got * 2;
+}
+
+// n parallel fetches of `delay` each, summed.
+task<int> fan_out(std::size_t n, std::chrono::milliseconds delay) {
+  return map_reduce<int>(
+      0, n, 0,
+      [delay](std::size_t i) {
+        return fetch_leaf(delay, static_cast<int>(i));
+      },
+      [](int a, int b) { return a + b; });
+}
+
+int expected_fan_out(std::size_t n) {
+  int total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += 2 * static_cast<int>(i);
+  return total;
+}
+
+TEST(RuntimeLatency, SingleLatencyOpReturnsValue) {
+  scheduler sched(opts(1));
+  auto root = []() -> task<int> { co_return co_await latency(5ms, 123); };
+  EXPECT_EQ(sched.run(root()), 123);
+  EXPECT_EQ(sched.stats().suspensions, 1u);
+}
+
+TEST(RuntimeLatency, BlockingEngineAlsoReturnsValue) {
+  scheduler sched(opts(1, engine::blocking));
+  auto root = []() -> task<int> { co_return co_await latency(5ms, 123); };
+  EXPECT_EQ(sched.run(root()), 123);
+  EXPECT_EQ(sched.stats().suspensions, 0u);
+  EXPECT_EQ(sched.stats().blocked_waits, 1u);
+}
+
+TEST(RuntimeLatency, LhwsOverlapsParallelLatencies) {
+  // 32 fetches x 30ms on ONE worker: latency hiding runs them all
+  // concurrently, so wall time is ~30ms, not ~960ms. Assert < a third of
+  // the serial total.
+  constexpr std::size_t n = 32;
+  scheduler sched(opts(1));
+  const stopwatch timer;
+  EXPECT_EQ(sched.run(fan_out(n, 30ms)), expected_fan_out(n));
+  const double ms = timer.elapsed_ms();
+  EXPECT_LT(ms, static_cast<double>(n) * 30.0 / 3.0)
+      << "latencies must overlap";
+  EXPECT_GE(ms, 30.0 * 0.5) << "cannot beat the latency itself";
+  EXPECT_EQ(sched.stats().suspensions, n);
+}
+
+TEST(RuntimeLatency, BlockingEngineSerializesLatencies) {
+  // The same program on the blocking engine with ONE worker pays every
+  // latency in sequence.
+  constexpr std::size_t n = 8;
+  scheduler sched(opts(1, engine::blocking));
+  const stopwatch timer;
+  EXPECT_EQ(sched.run(fan_out(n, 20ms)), expected_fan_out(n));
+  EXPECT_GE(timer.elapsed_ms(), static_cast<double>(n) * 20.0 * 0.85);
+}
+
+TEST(RuntimeLatency, BlockingEngineHidesNothingButStealsHelp) {
+  // With 4 blocking workers the 8 fetches split across workers: the run
+  // should take roughly n/P latencies, clearly less than the 1-worker run.
+  constexpr std::size_t n = 8;
+  scheduler sched(opts(4, engine::blocking));
+  const stopwatch timer;
+  EXPECT_EQ(sched.run(fan_out(n, 20ms)), expected_fan_out(n));
+  EXPECT_LT(timer.elapsed_ms(), static_cast<double>(n) * 20.0 * 0.85);
+  EXPECT_GT(sched.stats().successful_steals, 0u);
+}
+
+TEST(RuntimeLatency, PolledTimerModeWorks) {
+  // The paper's own delivery scheme: events polled at scheduler
+  // invocations.
+  scheduler_options o = opts(2);
+  o.timer = rt::timer_mode::polled;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fan_out(16, 10ms)), expected_fan_out(16));
+  EXPECT_EQ(sched.stats().suspensions, 16u);
+}
+
+TEST(RuntimeLatency, RandomDequePolicyWithLatency) {
+  scheduler_options o = opts(3);
+  o.steal = rt::runtime_steal_policy::random_deque;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fan_out(24, 10ms)), expected_fan_out(24));
+}
+
+TEST(RuntimeLatency, ExternalEventCompletion) {
+  // An event satisfied by a non-worker thread (a "remote server").
+  scheduler sched(opts(2));
+  event<int> ev;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(15ms);
+    ev.set(77);
+  });
+  auto root = [&]() -> task<int> {
+    // Do some work, then wait for the remote value.
+    auto [a, b] = co_await fork2(
+        []() -> task<int> { co_return 1; }(),
+        [&]() -> task<int> { co_return co_await ev; }());
+    co_return a + b;
+  };
+  EXPECT_EQ(sched.run(root()), 78);
+  producer.join();
+}
+
+TEST(RuntimeLatency, EventAlreadySetDoesNotSuspend) {
+  scheduler sched(opts(1));
+  event<int> ev;
+  ev.set(5);
+  auto root = [&]() -> task<int> { co_return co_await ev; };
+  EXPECT_EQ(sched.run(root()), 5);
+  EXPECT_EQ(sched.stats().suspensions, 0u);
+}
+
+TEST(RuntimeLatency, Lemma7DequeBoundUEquals1) {
+  // A serial chain of latency ops: U = 1, so no worker may hold more than
+  // 2 allocated deques at once (Lemma 7).
+  scheduler sched(opts(2));
+  auto root = []() -> task<int> {
+    int total = 0;
+    for (int i = 0; i < 20; ++i) {
+      total += co_await latency(1ms, 1);
+    }
+    co_return total;
+  };
+  EXPECT_EQ(sched.run(root()), 20);
+  EXPECT_LE(sched.stats().max_deques_per_worker, 2u);
+}
+
+TEST(RuntimeLatency, SuspensionsProduceBatchesAndResumes) {
+  constexpr std::size_t n = 64;
+  scheduler sched(opts(2));
+  EXPECT_EQ(sched.run(fan_out(n, 8ms)), expected_fan_out(n));
+  const auto& s = sched.stats();
+  EXPECT_EQ(s.suspensions, n);
+  EXPECT_EQ(s.resumes_delivered, n);
+  EXPECT_GE(s.batches_injected, 1u);
+  EXPECT_LE(s.batches_injected, n);
+}
+
+TEST(RuntimeLatency, MixedComputeAndLatency) {
+  // Leaves alternate between pure compute and latency; results must match
+  // the serial sum and the run must finish well under the serial latency
+  // total.
+  constexpr std::size_t n = 40;
+  scheduler sched(opts(2));
+  auto mapper = [](std::size_t i) -> task<int> {
+    if (i % 2 == 0) {
+      co_return static_cast<int>(i);
+    }
+    co_return co_await latency(5ms, static_cast<int>(i));
+  };
+  const stopwatch timer;
+  const int total =
+      sched.run(map_reduce<int>(0, n, 0, mapper,
+                                [](int a, int b) { return a + b; }));
+  EXPECT_EQ(total, static_cast<int>(n * (n - 1) / 2));
+  EXPECT_LT(timer.elapsed_ms(), 20.0 * 5.0);
+}
+
+TEST(RuntimeLatency, ManySimultaneousSuspensions) {
+  // SCALE-SUSP smoke: thousands of concurrently suspended continuations.
+  constexpr std::size_t n = 4000;
+  scheduler sched(opts(2));
+  const stopwatch timer;
+  auto mapper = [](std::size_t) -> task<int> {
+    co_return co_await latency(25ms, 1);
+  };
+  const int total = sched.run(map_reduce<int>(
+      0, n, 0, mapper, [](int a, int b) { return a + b; }));
+  EXPECT_EQ(total, static_cast<int>(n));
+  EXPECT_LT(timer.elapsed_ms(), 4000.0) << "must not serialize 100s of latency";
+  EXPECT_EQ(sched.stats().suspensions, n);
+}
+
+}  // namespace
+}  // namespace lhws

@@ -1,0 +1,181 @@
+// Randomized stress: seeded random computation trees mixing forks, serial
+// awaits, latency suspensions, and compute — executed on every engine /
+// policy / timer-mode combination and compared against a serial oracle
+// evaluating the same recursion. Any lost continuation, duplicated
+// execution, or result race shows up as a value mismatch or a hang.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <tuple>
+
+#include "core/fork_join.hpp"
+#include "core/latency.hpp"
+#include "core/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace lhws {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Deterministic node kind derived from (seed, path): both the coroutine
+// evaluator and the serial oracle follow the identical recursion.
+enum class node_kind : std::uint8_t { leaf, fork, serial, latency_leaf };
+
+node_kind kind_of(std::uint64_t seed, std::uint64_t path, unsigned depth) {
+  if (depth == 0) {
+    return (splitmix64(seed ^ path).next() & 1) != 0 ? node_kind::leaf
+                                                     : node_kind::latency_leaf;
+  }
+  const std::uint64_t r = splitmix64(seed * 31 + path).next();
+  switch (r % 4) {
+    case 0:
+      return (r & 16) != 0 ? node_kind::leaf : node_kind::latency_leaf;
+    case 1:
+    case 2:
+      return node_kind::fork;
+    default:
+      return node_kind::serial;
+  }
+}
+
+std::uint64_t leaf_value(std::uint64_t seed, std::uint64_t path) {
+  return splitmix64(seed ^ (path * 0x9e3779b97f4a7c15ULL)).next() % 1000;
+}
+
+std::uint64_t oracle(std::uint64_t seed, std::uint64_t path, unsigned depth) {
+  switch (kind_of(seed, path, depth)) {
+    case node_kind::leaf:
+    case node_kind::latency_leaf:
+      return leaf_value(seed, path);
+    case node_kind::fork:
+      return oracle(seed, path * 2 + 1, depth - 1) ^
+             (3 * oracle(seed, path * 2 + 2, depth - 1));
+    case node_kind::serial:
+      return 7 + oracle(seed, path * 2 + 1, depth - 1);
+  }
+  return 0;
+}
+
+task<std::uint64_t> evaluate(std::uint64_t seed, std::uint64_t path,
+                             unsigned depth) {
+  switch (kind_of(seed, path, depth)) {
+    case node_kind::leaf:
+      co_return leaf_value(seed, path);
+    case node_kind::latency_leaf: {
+      const auto v = leaf_value(seed, path);
+      // Sub-millisecond latency keeps total runtime sane while still
+      // exercising real suspension/resume on every latency leaf.
+      co_return co_await latency(std::chrono::microseconds(50 + v % 400), v);
+    }
+    case node_kind::fork: {
+      auto [a, b] = co_await fork2(evaluate(seed, path * 2 + 1, depth - 1),
+                                   evaluate(seed, path * 2 + 2, depth - 1));
+      co_return a ^ (3 * b);
+    }
+    case node_kind::serial:
+      co_return 7 + co_await evaluate(seed, path * 2 + 1, depth - 1);
+  }
+  co_return 0;
+}
+
+struct StressParam {
+  std::uint64_t seed;
+  unsigned workers;
+  engine eng;
+  rt::runtime_steal_policy policy;
+  rt::timer_mode timer;
+};
+
+class RuntimeStress : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(RuntimeStress, MatchesSerialOracle) {
+  const auto param = GetParam();
+  scheduler_options o;
+  o.workers = param.workers;
+  o.engine_kind = param.eng;
+  o.steal = param.policy;
+  o.timer = param.timer;
+  o.seed = param.seed * 977 + 5;
+  scheduler sched(o);
+  const unsigned depth = 8;
+  const std::uint64_t expect = oracle(param.seed, 0, depth);
+  EXPECT_EQ(sched.run(evaluate(param.seed, 0, depth)), expect);
+}
+
+std::vector<StressParam> stress_matrix() {
+  std::vector<StressParam> out;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 5ull, 17ull}) {
+    for (unsigned workers : {1u, 2u, 4u}) {
+      out.push_back({seed, workers, engine::latency_hiding,
+                     rt::runtime_steal_policy::random_worker,
+                     rt::timer_mode::dedicated_thread});
+      out.push_back({seed, workers, engine::latency_hiding,
+                     rt::runtime_steal_policy::random_deque,
+                     rt::timer_mode::dedicated_thread});
+      out.push_back({seed, workers, engine::latency_hiding,
+                     rt::runtime_steal_policy::random_worker,
+                     rt::timer_mode::polled});
+      out.push_back({seed, workers, engine::blocking,
+                     rt::runtime_steal_policy::random_worker,
+                     rt::timer_mode::dedicated_thread});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, RuntimeStress,
+                         ::testing::ValuesIn(stress_matrix()));
+
+TEST(RuntimeStress, RepeatedRunsAreStable) {
+  // The same computation, many runs on one scheduler: flushes out state
+  // leaking between runs (deque pool reuse, stats, done-flag reset).
+  scheduler_options o;
+  o.workers = 3;
+  scheduler sched(o);
+  const std::uint64_t expect = oracle(99, 0, 7);
+  for (int run = 0; run < 20; ++run) {
+    ASSERT_EQ(sched.run(evaluate(99, 0, 7)), expect) << "run " << run;
+  }
+}
+
+std::uint64_t count_latency_leaves(std::uint64_t seed, std::uint64_t path,
+                                   unsigned depth) {
+  switch (kind_of(seed, path, depth)) {
+    case node_kind::leaf:
+      return 0;
+    case node_kind::latency_leaf:
+      return 1;
+    case node_kind::fork:
+      return count_latency_leaves(seed, path * 2 + 1, depth - 1) +
+             count_latency_leaves(seed, path * 2 + 2, depth - 1);
+    case node_kind::serial:
+      return count_latency_leaves(seed, path * 2 + 1, depth - 1);
+  }
+  return 0;
+}
+
+TEST(RuntimeStress, DeepForkTreeWithLatencyLeaves) {
+  // Pick (deterministically) a seed whose depth-11 tree has a substantial
+  // number of latency leaves, then check the suspension count matches the
+  // oracle exactly: every latency leaf suspends exactly once.
+  const unsigned depth = 11;
+  std::uint64_t seed = 0;
+  std::uint64_t leaves = 0;
+  for (std::uint64_t candidate = 0; candidate < 200; ++candidate) {
+    leaves = count_latency_leaves(candidate, 0, depth);
+    if (leaves >= 50) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_GE(leaves, 50u) << "no suitable seed found";
+  scheduler_options o;
+  o.workers = 4;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(evaluate(seed, 0, depth)), oracle(seed, 0, depth));
+  EXPECT_EQ(sched.stats().suspensions, leaves);
+}
+
+}  // namespace
+}  // namespace lhws

@@ -1,0 +1,87 @@
+// Chrome-trace export: event capture, JSON shape, and zero-cost-when-off.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/algorithms.hpp"
+#include "core/latency.hpp"
+#include "core/scheduler.hpp"
+#include "runtime/trace.hpp"
+
+namespace lhws {
+namespace {
+
+using namespace std::chrono_literals;
+
+task<int> fetchy(std::size_t) { co_return co_await latency(2ms, 1); }
+
+task<int> fanout(std::size_t n) {
+  return map_reduce<int>(0, n, 0, fetchy, [](int a, int b) { return a + b; });
+}
+
+TEST(Trace, DisabledByDefault) {
+  scheduler_options o;
+  o.workers = 2;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fanout(8)), 8);
+  EXPECT_TRUE(sched.trace_json().empty());
+}
+
+TEST(Trace, CapturesSegmentsAndSuspensions) {
+  scheduler_options o;
+  o.workers = 2;
+  o.trace = true;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fanout(16)), 16);
+  const std::string& json = sched.trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"segment\""), std::string::npos);
+  EXPECT_NE(json.find("\"suspend\""), std::string::npos);
+  EXPECT_NE(json.find("\"resume\""), std::string::npos);
+  // Duration events carry a dur field; instants carry ph:i.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(Trace, BlockingEngineRecordsBlockedSpans) {
+  scheduler_options o;
+  o.workers = 2;
+  o.engine_kind = engine::blocking;
+  o.trace = true;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fanout(4)), 4);
+  EXPECT_NE(sched.trace_json().find("\"blocked\""), std::string::npos);
+}
+
+TEST(Trace, FreshPerRun) {
+  scheduler_options o;
+  o.workers = 1;
+  o.trace = true;
+  scheduler sched(o);
+  (void)sched.run(fanout(4));
+  const auto first_size = sched.trace_json().size();
+  (void)sched.run(fanout(4));
+  // Same workload, same shape: the second trace must not accumulate the
+  // first run's events (sizes within 2x of each other).
+  EXPECT_LT(sched.trace_json().size(), first_size * 2);
+  EXPECT_GT(sched.trace_json().size(), first_size / 2);
+}
+
+TEST(TraceBuffer, RecordRespectsEnableFlag) {
+  rt::trace_buffer buf;
+  buf.record(rt::trace_kind::segment, 0, 10);
+  EXPECT_TRUE(buf.events().empty()) << "disabled buffer must drop events";
+  buf.enable();
+  buf.record(rt::trace_kind::segment, 0, 10);
+  ASSERT_EQ(buf.events().size(), 1u);
+  EXPECT_EQ(buf.events()[0].end_ns, 10);
+}
+
+TEST(TraceBuffer, ChromeJsonWellFormedForEmptyTrace) {
+  rt::trace_buffer buf;
+  const auto json = rt::to_chrome_trace({&buf}, 0);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lhws

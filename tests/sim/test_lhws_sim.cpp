@@ -1,0 +1,219 @@
+// Behavioural tests of the LHWS simulator against the paper's claims:
+// Lemma 1's token accounting, Lemma 7's deque bound, Definition 1's
+// suspension bound, and the U = 0 degeneration to standard work stealing.
+#include <gtest/gtest.h>
+
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+#include "sim/lhws_sim.hpp"
+
+namespace lhws::sim {
+namespace {
+
+using dag::chain_dag;
+using dag::fib_dag;
+using dag::fork_join_tree;
+using dag::map_reduce_dag;
+using dag::server_dag;
+
+sim_config cfg(std::uint64_t p, std::uint64_t seed = 42,
+               steal_policy pol = steal_policy::random_deque) {
+  sim_config c;
+  c.workers = p;
+  c.seed = seed;
+  c.policy = pol;
+  return c;
+}
+
+TEST(LhwsSim, SingleVertexDag) {
+  dag::weighted_dag g;
+  g.add_vertex();
+  ASSERT_TRUE(g.validate());
+  const auto m = run_lhws(g, cfg(1));
+  EXPECT_EQ(m.rounds, 1u);
+  EXPECT_EQ(m.work_tokens, 1u);
+  EXPECT_EQ(m.steal_attempts, 0u);
+}
+
+TEST(LhwsSim, SerialExecutionOfComputeDagTakesWRounds) {
+  // P = 1, no latency: the worker executes one vertex per round with no
+  // steals or switches, so rounds == W exactly.
+  const auto gen = fib_dag(10);
+  const auto m = run_lhws(gen.graph, cfg(1));
+  EXPECT_EQ(m.rounds, gen.expected_work);
+  EXPECT_EQ(m.work_tokens, gen.expected_work);
+  EXPECT_EQ(m.pfor_vertices, 0u);
+  EXPECT_EQ(m.switch_tokens, 0u);
+  EXPECT_EQ(m.steal_attempts, 0u);
+}
+
+TEST(LhwsSim, ComputeOnlyDagUsesOneDequePerWorker) {
+  // "When U = 1 ... each worker will maintain exactly one deque"; with no
+  // heavy edges at all the same holds.
+  const auto gen = fork_join_tree(8, 2);
+  for (std::uint64_t p : {1ull, 2ull, 4ull, 8ull}) {
+    const auto m = run_lhws(gen.graph, cfg(p));
+    EXPECT_EQ(m.max_deques_per_worker, 1u) << "P=" << p;
+    EXPECT_EQ(m.pfor_vertices, 0u);
+    EXPECT_EQ(m.max_suspended, 0u);
+  }
+}
+
+TEST(LhwsSim, Lemma7DequeBoundServer) {
+  // Server dag: U = 1, so no worker may own more than 2 allocated deques.
+  const auto gen = server_dag(60, 12, 5);
+  for (std::uint64_t p : {1ull, 2ull, 4ull, 8ull}) {
+    const auto m = run_lhws(gen.graph, cfg(p));
+    EXPECT_LE(m.max_deques_per_worker, 2u) << "P=" << p;
+  }
+}
+
+TEST(LhwsSim, Lemma7DequeBoundMapReduce) {
+  const std::size_t n = 32;  // U = n
+  const auto gen = map_reduce_dag(n, 25, 2);
+  for (std::uint64_t p : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+    const auto m = run_lhws(gen.graph, cfg(p));
+    EXPECT_LE(m.max_deques_per_worker, n + 1) << "P=" << p;
+  }
+}
+
+TEST(LhwsSim, MaxSuspendedBoundedByU) {
+  const auto mr = map_reduce_dag(48, 30, 2);
+  EXPECT_LE(run_lhws(mr.graph, cfg(4)).max_suspended, 48u);
+  const auto srv = server_dag(48, 30, 2);
+  EXPECT_LE(run_lhws(srv.graph, cfg(4)).max_suspended, 1u);
+}
+
+TEST(LhwsSim, Lemma1TokenAccounting) {
+  // Every worker-round places at most one token; tokens partition into
+  // work/switch/steal; W + W_pfor <= 2W; switches <= work tokens.
+  for (std::uint64_t p : {1ull, 2ull, 4ull, 8ull}) {
+    const auto gen = map_reduce_dag(64, 20, 3);
+    const auto m = run_lhws(gen.graph, cfg(p));
+    const std::uint64_t tokens =
+        m.work_tokens + m.switch_tokens + m.steal_attempts;
+    EXPECT_LE(tokens, m.rounds * p) << "P=" << p;
+    EXPECT_LE(m.work_tokens, 2 * gen.expected_work) << "P=" << p;
+    EXPECT_LE(m.switch_tokens, m.work_tokens) << "P=" << p;
+    // Lemma 1: rounds <= 4W/P + R/P (+1 round of slack for the final
+    // partially-filled round).
+    EXPECT_LE(m.rounds, (4 * gen.expected_work + m.steal_attempts) / p + 1)
+        << "P=" << p;
+  }
+}
+
+TEST(LhwsSim, WorkTokensEqualWPlusPfor) {
+  const auto gen = map_reduce_dag(64, 20, 3);
+  const auto m = run_lhws(gen.graph, cfg(4));
+  EXPECT_EQ(m.work_tokens, gen.expected_work + m.pfor_vertices);
+}
+
+TEST(LhwsSim, DeterministicForFixedSeed) {
+  const auto gen = map_reduce_dag(40, 15, 2);
+  const auto a = run_lhws(gen.graph, cfg(4, 123));
+  const auto b = run_lhws(gen.graph, cfg(4, 123));
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.steal_attempts, b.steal_attempts);
+  EXPECT_EQ(a.successful_steals, b.successful_steals);
+  EXPECT_EQ(a.total_deques_allocated, b.total_deques_allocated);
+}
+
+TEST(LhwsSim, SeedsVaryStealsButAlwaysComplete) {
+  const auto gen = map_reduce_dag(40, 15, 2);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto m = run_lhws(gen.graph, cfg(4, seed));
+    EXPECT_GE(m.work_tokens, gen.expected_work) << "seed=" << seed;
+  }
+}
+
+TEST(LhwsSim, BothStealPoliciesComplete) {
+  const auto gen = map_reduce_dag(64, 25, 3);
+  for (auto pol : {steal_policy::random_deque, steal_policy::random_worker}) {
+    for (std::uint64_t p : {2ull, 4ull, 8ull}) {
+      const auto m = run_lhws(gen.graph, cfg(p, 7, pol));
+      EXPECT_GE(m.work_tokens, gen.expected_work);
+    }
+  }
+}
+
+TEST(LhwsSim, WorkerPolicyFailsFewerSteals) {
+  // Section 6's stated motivation for the worker-then-deque policy.
+  const auto gen = map_reduce_dag(256, 40, 4);
+  std::uint64_t failed_deque = 0;
+  std::uint64_t failed_worker = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    failed_deque +=
+        run_lhws(gen.graph, cfg(8, seed, steal_policy::random_deque))
+            .failed_steals;
+    failed_worker +=
+        run_lhws(gen.graph, cfg(8, seed, steal_policy::random_worker))
+            .failed_steals;
+  }
+  EXPECT_LT(failed_worker, failed_deque);
+}
+
+TEST(LhwsSim, LatencyIsHiddenOffTheCriticalPath) {
+  // n parallel fetches with large delta: a single LHWS worker needs about
+  // max(W, delta + small) rounds, nowhere near the n*delta a blocking
+  // scheduler would burn.
+  const std::size_t n = 64;
+  const dag::weight_t delta = 2000;
+  const auto gen = map_reduce_dag(n, delta, 4);
+  const auto m = run_lhws(gen.graph, cfg(1));
+  EXPECT_LT(m.rounds, gen.expected_work + 3 * delta)
+      << "latency must overlap with work";
+  EXPECT_LT(m.rounds, n * delta / 4) << "nothing like n*delta";
+}
+
+TEST(LhwsSim, PforTreeInjectedForMassResumes) {
+  // io_burst makes all `width` suspended vertices resume in the same round
+  // on one deque: the resumed set must be re-injected through a pfor tree.
+  // With P = 1 there is exactly one batch, so exactly width - 1 internal
+  // pfor vertices (a binary tree over width leaves).
+  const std::size_t width = 128;
+  const auto gen = dag::io_burst_dag(width, 400);
+  const auto m = run_lhws(gen.graph, cfg(1));
+  EXPECT_EQ(m.pfor_vertices, width - 1);
+  EXPECT_EQ(m.work_tokens, gen.expected_work + width - 1);
+  EXPECT_EQ(m.max_suspended, width);
+}
+
+TEST(LhwsSim, PforTreeSubtreesAreStealable) {
+  // With several workers the pfor tree parallelizes resumed-vertex
+  // execution: thieves must steal pfor subtrees and total internal
+  // vertices stay exactly width - 1.
+  const std::size_t width = 256;
+  const auto gen = dag::io_burst_dag(width, 600);
+  const auto m = run_lhws(gen.graph, cfg(4));
+  EXPECT_EQ(m.pfor_vertices, width - 1);
+  EXPECT_GT(m.successful_steals, 0u);
+}
+
+TEST(LhwsSim, BurstResumeFasterWithMoreWorkers) {
+  // The pfor tree gives lg(width) span for the resumed batch, so adding
+  // workers must shorten the tail after the burst.
+  const auto gen = dag::io_burst_dag(512, 600);
+  const auto r1 = run_lhws(gen.graph, cfg(1)).rounds;
+  const auto r8 = run_lhws(gen.graph, cfg(8)).rounds;
+  EXPECT_LT(r8, r1);
+}
+
+TEST(LhwsSim, ServerRecyclesDeques) {
+  // U = 1: deque freed and reused on every suspension; the global array
+  // should stay near P + 1 despite many suspensions.
+  const auto gen = server_dag(100, 10, 3);
+  const auto m = run_lhws(gen.graph, cfg(2));
+  EXPECT_LE(m.total_deques_allocated, 2u + 2u);
+}
+
+TEST(LhwsSim, MoreWorkersDoNotIncreaseRoundsMuch) {
+  const auto gen = map_reduce_dag(256, 50, 4);
+  const auto r1 = run_lhws(gen.graph, cfg(1)).rounds;
+  const auto r4 = run_lhws(gen.graph, cfg(4)).rounds;
+  const auto r8 = run_lhws(gen.graph, cfg(8)).rounds;
+  EXPECT_LT(r4, r1);
+  EXPECT_LE(r8, r4 * 2);  // noise tolerance; must not blow up
+}
+
+}  // namespace
+}  // namespace lhws::sim

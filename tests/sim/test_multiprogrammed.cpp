@@ -1,0 +1,81 @@
+// Multiprogrammed-environment mode: workers are preempted by a simulated
+// kernel with probability (1 - availability). The schedulers must stay
+// correct under arbitrary preemption (the ABP setting), and throughput
+// should degrade roughly proportionally to the availability.
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "sim/lhws_sim.hpp"
+#include "sim/ws_sim.hpp"
+
+namespace lhws::sim {
+namespace {
+
+sim_config cfg(std::uint64_t p, unsigned avail, std::uint64_t seed = 42) {
+  sim_config c;
+  c.workers = p;
+  c.seed = seed;
+  c.availability_permille = avail;
+  return c;
+}
+
+TEST(Multiprogrammed, LhwsCompletesUnderHeavyPreemption) {
+  const auto gen = dag::map_reduce_dag(64, 40, 3);
+  for (unsigned avail : {100u, 300u, 700u}) {
+    const auto m = run_lhws(gen.graph, cfg(4, avail));
+    EXPECT_EQ(m.work_tokens - m.pfor_vertices, gen.expected_work)
+        << "avail=" << avail;
+    EXPECT_GT(m.preempted_rounds, 0u);
+  }
+}
+
+TEST(Multiprogrammed, WsCompletesUnderHeavyPreemption) {
+  const auto gen = dag::map_reduce_dag(64, 40, 3);
+  for (unsigned avail : {100u, 300u, 700u}) {
+    const auto m = run_ws(gen.graph, cfg(4, avail));
+    EXPECT_EQ(m.work_tokens, gen.expected_work) << "avail=" << avail;
+  }
+}
+
+TEST(Multiprogrammed, SchedulesRemainLegal) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto gen = dag::random_fork_join(seed, 7, 250, 25);
+    lhws_simulator sim(gen.graph, cfg(4, 250, seed));
+    (void)sim.run();
+    std::string why;
+    EXPECT_TRUE(validate_execution(gen.graph,
+                                   sim.executor().execution_rounds(), &why))
+        << "seed=" << seed << ": " << why;
+  }
+}
+
+TEST(Multiprogrammed, ThroughputTracksAvailability) {
+  // Compute-only dag, P=4: halving availability should roughly double the
+  // rounds (within generous noise bounds).
+  const auto gen = dag::fib_dag(16);
+  const auto full = run_lhws(gen.graph, cfg(4, 1000)).rounds;
+  const auto half = run_lhws(gen.graph, cfg(4, 500)).rounds;
+  EXPECT_GT(half, full * 3 / 2);
+  EXPECT_LT(half, full * 4);
+}
+
+TEST(Multiprogrammed, FullAvailabilityMatchesDedicated) {
+  const auto gen = dag::server_dag(30, 20, 3);
+  const auto a = run_lhws(gen.graph, cfg(4, 1000, 9));
+  sim_config dedicated;
+  dedicated.workers = 4;
+  dedicated.seed = 9;
+  const auto b = run_lhws(gen.graph, dedicated);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.preempted_rounds, 0u);
+}
+
+TEST(Multiprogrammed, Lemma7SurvivesPreemption) {
+  // Deque economy must not depend on timing: U + 1 still bounds the deques.
+  const auto gen = dag::server_dag(50, 30, 4);
+  const auto m = run_lhws(gen.graph, cfg(8, 300));
+  EXPECT_LE(m.max_deques_per_worker, 2u);
+}
+
+}  // namespace
+}  // namespace lhws::sim

@@ -1,0 +1,123 @@
+// A-posteriori certification: every schedule either simulator produces must
+// be LEGAL — each vertex executed exactly once, never before its parents,
+// and never before a heavy edge's latency expired. This is the strongest
+// end-to-end correctness property of the scheduling layer: any off-by-one
+// in resume timing or a lost/duplicated vertex fails it.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dag/generators.hpp"
+#include "dag/greedy_schedule.hpp"
+#include "sim/lhws_sim.hpp"
+#include "sim/ws_sim.hpp"
+
+namespace lhws::sim {
+namespace {
+
+void expect_legal_lhws(const dag::weighted_dag& g, const sim_config& cfg) {
+  lhws_simulator sim(g, cfg);
+  (void)sim.run();
+  std::string why;
+  EXPECT_TRUE(validate_execution(g, sim.executor().execution_rounds(), &why))
+      << why;
+}
+
+void expect_legal_ws(const dag::weighted_dag& g, const sim_config& cfg) {
+  ws_simulator sim(g, cfg);
+  (void)sim.run();
+  std::string why;
+  EXPECT_TRUE(validate_execution(g, sim.executor().execution_rounds(), &why))
+      << why;
+}
+
+sim_config cfg(std::uint64_t p, std::uint64_t seed) {
+  sim_config c;
+  c.workers = p;
+  c.seed = seed;
+  return c;
+}
+
+TEST(ScheduleValidity, AllFamiliesAllEngines) {
+  const dag::generated_dag families[] = {
+      dag::map_reduce_dag(64, 35, 3),  dag::server_dag(40, 25, 4),
+      dag::fib_dag(12),                dag::chain_dag(150, 9, 17),
+      dag::io_burst_dag(128, 60),      dag::fork_join_tree(6, 2),
+  };
+  for (const auto& f : families) {
+    for (std::uint64_t p : {1ull, 3ull, 8ull}) {
+      expect_legal_lhws(f.graph, cfg(p, 17));
+      expect_legal_ws(f.graph, cfg(p, 17));
+    }
+  }
+}
+
+using Param = std::tuple<std::uint64_t, std::uint64_t>;  // seed, workers
+
+class RandomScheduleValidity : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RandomScheduleValidity, LhwsSchedulesAreLegal) {
+  const auto [seed, p] = GetParam();
+  const auto gen = dag::random_fork_join(seed, 8, 250, 40);
+  for (const auto pol :
+       {steal_policy::random_deque, steal_policy::random_worker}) {
+    sim_config c = cfg(p, seed * 13 + 1);
+    c.policy = pol;
+    expect_legal_lhws(gen.graph, c);
+  }
+}
+
+TEST_P(RandomScheduleValidity, WsSchedulesAreLegal) {
+  const auto [seed, p] = GetParam();
+  const auto gen = dag::random_fork_join(seed, 8, 250, 40);
+  expect_legal_ws(gen.graph, cfg(p, seed * 7 + 5));
+}
+
+TEST_P(RandomScheduleValidity, AblationSchedulesAreLegal) {
+  const auto [seed, p] = GetParam();
+  const auto gen = dag::random_fork_join(seed, 7, 300, 25);
+  {
+    sim_config c = cfg(p, seed);
+    c.injection = resume_injection::serial_repush;
+    expect_legal_lhws(gen.graph, c);
+  }
+  {
+    sim_config c = cfg(p, seed);
+    c.fresh_deque_on_resume = true;
+    expect_legal_lhws(gen.graph, c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomScheduleValidity,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13, 21, 42),
+                       ::testing::Values(1, 2, 4, 8)));
+
+TEST(ScheduleValidity, ValidatorCatchesMissingVertex) {
+  const auto gen = dag::fib_dag(5);
+  std::vector<std::uint64_t> rounds(gen.graph.num_vertices(), 1);
+  rounds[2] = 0;
+  std::string why;
+  EXPECT_FALSE(validate_execution(gen.graph, rounds, &why));
+  EXPECT_NE(why.find("never executed"), std::string::npos);
+}
+
+TEST(ScheduleValidity, ValidatorCatchesLatencyViolation) {
+  const auto gen = dag::chain_dag(3, 1, 10);  // edges of weight 10
+  // Execute the chain at rounds 1, 2, 3 — violates the delta = 10 edges.
+  std::vector<std::uint64_t> rounds = {1, 2, 3};
+  std::string why;
+  EXPECT_FALSE(validate_execution(gen.graph, rounds, &why));
+  EXPECT_NE(why.find("weight"), std::string::npos);
+}
+
+TEST(ScheduleValidity, ValidatorAcceptsGreedyTimings) {
+  // The greedy scheduler's step assignment is a legal execution record.
+  const auto gen = dag::map_reduce_dag(32, 12, 2);
+  const auto res = dag::greedy_schedule(gen.graph, 4);
+  std::string why;
+  EXPECT_TRUE(validate_execution(gen.graph, res.step_of, &why)) << why;
+}
+
+}  // namespace
+}  // namespace lhws::sim

@@ -1,0 +1,165 @@
+// Tests for the simulator's ablation modes: serial re-push (no pfor tree)
+// and Spoonhower's fresh-deque-on-resume variant (Section 7 comparison).
+#include <gtest/gtest.h>
+
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+#include "sim/lhws_sim.hpp"
+
+namespace lhws::sim {
+namespace {
+
+sim_config cfg(std::uint64_t p, std::uint64_t seed = 42) {
+  sim_config c;
+  c.workers = p;
+  c.seed = seed;
+  return c;
+}
+
+TEST(SerialRepush, StillExecutesEverything) {
+  const auto gen = dag::map_reduce_dag(64, 40, 3);
+  sim_config c = cfg(4);
+  c.injection = resume_injection::serial_repush;
+  const auto m = run_lhws(gen.graph, c);
+  EXPECT_EQ(m.work_tokens, gen.expected_work);
+  EXPECT_EQ(m.pfor_vertices, 0u) << "no pfor tree in serial mode";
+}
+
+TEST(SerialRepush, PaysOneRoundPerResumedVertex) {
+  const std::size_t width = 200;
+  const auto gen = dag::io_burst_dag(width, 50);
+  sim_config c = cfg(1);
+  c.injection = resume_injection::serial_repush;
+  const auto m = run_lhws(gen.graph, c);
+  EXPECT_EQ(m.injection_rounds, width)
+      << "every resumed vertex costs an owner round";
+}
+
+TEST(SerialRepush, PforTreeBeatsSerialOnBursts) {
+  // The quantitative reason the paper injects pfor trees: a burst of k
+  // simultaneous resumes costs the owner k rounds serially but only the
+  // tree unfolding (parallelizable, and off the owner's critical path)
+  // with pfor.
+  const std::size_t width = 2000;
+  const auto gen = dag::io_burst_dag(width, 100);
+  sim_config pfor_cfg = cfg(8);
+  sim_config serial_cfg = cfg(8);
+  serial_cfg.injection = resume_injection::serial_repush;
+  const auto pfor_rounds = run_lhws(gen.graph, pfor_cfg).rounds;
+  const auto serial_rounds = run_lhws(gen.graph, serial_cfg).rounds;
+  EXPECT_LT(pfor_rounds, serial_rounds);
+}
+
+TEST(SerialRepush, EquivalentWhenResumesAreSparse) {
+  // Map-reduce's resumes arrive one per round: serial re-push and pfor
+  // injection should then cost about the same.
+  const auto gen = dag::map_reduce_dag(128, 60, 3);
+  sim_config a = cfg(4);
+  sim_config b = cfg(4);
+  b.injection = resume_injection::serial_repush;
+  const auto ra = run_lhws(gen.graph, a).rounds;
+  const auto rb = run_lhws(gen.graph, b).rounds;
+  EXPECT_LT(rb, ra * 3);
+  EXPECT_LT(ra, rb * 3);
+}
+
+TEST(FreshDequeOnResume, StillExecutesEverything) {
+  const auto gen = dag::map_reduce_dag(64, 40, 3);
+  sim_config c = cfg(4);
+  c.fresh_deque_on_resume = true;
+  const auto m = run_lhws(gen.graph, c);
+  EXPECT_EQ(m.work_tokens - m.pfor_vertices, gen.expected_work);
+}
+
+TEST(FreshDequeOnResume, ServerStaysCheap) {
+  // With U = 1 the variant allocates one fresh deque per resume but frees
+  // the drained origin, so the per-worker count stays small.
+  const auto gen = dag::server_dag(50, 20, 3);
+  sim_config c = cfg(2);
+  c.fresh_deque_on_resume = true;
+  const auto m = run_lhws(gen.graph, c);
+  EXPECT_LE(m.max_deques_per_worker, 3u);
+}
+
+TEST(FreshDequeOnResume, CanExceedPaperDequeBound) {
+  // The paper's variant keeps deques <= U + 1 per worker because fresh
+  // deques appear only on steals (Lemma 7). Creating deques on resumes can
+  // hold both the suspended origin and the fresh deque alive, inflating
+  // the count — measurable with a workload whose deques suspend while
+  // still having more suspensions pending.
+  const auto gen = dag::map_reduce_dag(256, 100, 2);
+  sim_config paper = cfg(2);
+  sim_config variant = cfg(2);
+  variant.fresh_deque_on_resume = true;
+  const auto mp = run_lhws(gen.graph, paper);
+  const auto mv = run_lhws(gen.graph, variant);
+  EXPECT_GE(mv.total_deques_allocated, mp.total_deques_allocated);
+}
+
+TEST(ParkOnSuspend, StillExecutesEverything) {
+  const auto gen = dag::map_reduce_dag(64, 40, 3);
+  sim_config c = cfg(4);
+  c.park_deque_on_suspend = true;
+  const auto m = run_lhws(gen.graph, c);
+  EXPECT_EQ(m.work_tokens - m.pfor_vertices, gen.expected_work);
+  EXPECT_EQ(m.parks, 64u) << "one park per suspension";
+}
+
+TEST(ParkOnSuspend, SerializesSiblingsOfSuspendedWork) {
+  // In map-reduce the deque holds the un-descended sibling subtrees when a
+  // leaf's fetch suspends; parking the deque hides them from thieves, so
+  // parallelism collapses and rounds blow up vs the paper's algorithm.
+  const auto gen = dag::map_reduce_dag(256, 300, 2);
+  sim_config paper = cfg(8);
+  sim_config parked = cfg(8);
+  parked.park_deque_on_suspend = true;
+  const auto rp = run_lhws(gen.graph, paper).rounds;
+  const auto rk = run_lhws(gen.graph, parked).rounds;
+  EXPECT_GT(rk, rp * 2)
+      << "keeping suspended deques stealable must matter here";
+}
+
+TEST(ParkOnSuspend, HarmlessWhenNothingSuspends) {
+  const auto gen = dag::fib_dag(14);
+  sim_config a = cfg(4);
+  sim_config b = cfg(4);
+  b.park_deque_on_suspend = true;
+  EXPECT_EQ(run_lhws(gen.graph, a).rounds, run_lhws(gen.graph, b).rounds);
+  EXPECT_EQ(run_lhws(gen.graph, b).parks, 0u);
+}
+
+TEST(ParkOnSuspend, SchedulesRemainLegal) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto gen = dag::random_fork_join(seed, 7, 250, 25);
+    sim_config c = cfg(4, seed);
+    c.park_deque_on_suspend = true;
+    lhws_simulator sim(gen.graph, c);
+    (void)sim.run();
+    std::string why;
+    EXPECT_TRUE(validate_execution(gen.graph,
+                                   sim.executor().execution_rounds(), &why))
+        << "seed=" << seed << ": " << why;
+  }
+}
+
+TEST(ParkOnSuspend, ComposesWithFreshDequeOnResume) {
+  const auto gen = dag::map_reduce_dag(64, 50, 2);
+  sim_config c = cfg(2);
+  c.park_deque_on_suspend = true;
+  c.fresh_deque_on_resume = true;
+  const auto m = run_lhws(gen.graph, c);
+  EXPECT_EQ(m.work_tokens - m.pfor_vertices, gen.expected_work);
+}
+
+TEST(FreshDequeOnResume, DeterministicForSeed) {
+  const auto gen = dag::map_reduce_dag(64, 30, 2);
+  sim_config c = cfg(4, 77);
+  c.fresh_deque_on_resume = true;
+  const auto a = run_lhws(gen.graph, c);
+  const auto b = run_lhws(gen.graph, c);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_deques_allocated, b.total_deques_allocated);
+}
+
+}  // namespace
+}  // namespace lhws::sim

@@ -1,0 +1,203 @@
+// Cross-cutting property sweeps: Theorem 2's round bound shape, Corollary
+// 1's enabling-span bound, LHWS-vs-WS dominance where the theory predicts
+// it, and parameterized seed/policy/worker sweeps on random dags.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+#include "dag/suspension_width.hpp"
+#include "sim/lhws_sim.hpp"
+#include "sim/ws_sim.hpp"
+
+namespace lhws::sim {
+namespace {
+
+sim_config cfg(std::uint64_t p, std::uint64_t seed = 42,
+               steal_policy pol = steal_policy::random_deque,
+               bool etree = false) {
+  sim_config c;
+  c.workers = p;
+  c.seed = seed;
+  c.policy = pol;
+  c.build_enabling_tree = etree;
+  return c;
+}
+
+double lg_factor(std::uint64_t u) {
+  return 1.0 + (u > 1 ? std::log2(static_cast<double>(u)) : 0.0);
+}
+
+// --- Theorem 2 shape: rounds = O(W/P + S*U*(1 + lg U)) ------------------
+
+TEST(SimProperties, Theorem2BoundMapReduce) {
+  // Empirical check with a generous constant: the interesting content is
+  // that rounds do NOT scale with total latency n*delta (which is what the
+  // blocking baseline pays), only with W/P plus the S*U*(1+lgU) term.
+  for (std::uint64_t p : {1ull, 2ull, 4ull, 8ull}) {
+    const auto gen = dag::map_reduce_dag(64, 100, 3);
+    const auto m = run_lhws(gen.graph, cfg(p));
+    const double u = static_cast<double>(*gen.expected_suspension_width);
+    const double bound =
+        8.0 * static_cast<double>(gen.expected_work) / static_cast<double>(p) +
+        10.0 * static_cast<double>(gen.expected_span) * u * lg_factor(64) +
+        100.0;
+    EXPECT_LE(static_cast<double>(m.rounds), bound) << "P=" << p;
+  }
+}
+
+TEST(SimProperties, Theorem2BoundServer) {
+  for (std::uint64_t p : {1ull, 2ull, 4ull}) {
+    const auto gen = dag::server_dag(40, 50, 4);
+    const auto m = run_lhws(gen.graph, cfg(p));
+    // U = 1: rounds = O(W/P + S).
+    const double bound =
+        8.0 * static_cast<double>(gen.expected_work) / static_cast<double>(p) +
+        10.0 * static_cast<double>(gen.expected_span) + 100.0;
+    EXPECT_LE(static_cast<double>(m.rounds), bound) << "P=" << p;
+  }
+}
+
+// --- Corollary 1: enabling span S* = O(S (1 + lg U)) --------------------
+
+TEST(SimProperties, Corollary1EnablingSpanMapReduce) {
+  const auto gen = dag::map_reduce_dag(64, 80, 3);
+  for (std::uint64_t p : {1ull, 2ull, 4ull, 8ull}) {
+    const auto m = run_lhws(gen.graph, cfg(p, 42, steal_policy::random_deque,
+                                           /*etree=*/true));
+    const double u = static_cast<double>(*gen.expected_suspension_width);
+    const double bound =
+        2.0 * static_cast<double>(gen.expected_span) * lg_factor(
+            static_cast<std::uint64_t>(u));
+    EXPECT_LE(static_cast<double>(m.enabling_span), bound + 4.0) << "P=" << p;
+    EXPECT_GT(m.enabling_span, 0u);
+  }
+}
+
+TEST(SimProperties, Corollary1EnablingSpanServer) {
+  const auto gen = dag::server_dag(30, 40, 5);
+  const auto m = run_lhws(gen.graph, cfg(4, 42, steal_policy::random_deque,
+                                         /*etree=*/true));
+  // U = 1: S* <= 2S (plus small additive slack for our instrumentation's
+  // conservative aux-vertex counting).
+  EXPECT_LE(static_cast<double>(m.enabling_span),
+            2.0 * static_cast<double>(gen.expected_span) + 4.0);
+}
+
+TEST(SimProperties, EnablingSpanAtLeastUnweightedDepth) {
+  // Every real execution order is at least as deep as the dag's unweighted
+  // critical path (enabling edges are dag edges).
+  const auto gen = dag::fork_join_tree(6, 3);
+  const auto m = run_lhws(gen.graph, cfg(2, 42, steal_policy::random_deque,
+                                         /*etree=*/true));
+  EXPECT_GE(m.enabling_span + 1, dag::unweighted_span(gen.graph));
+}
+
+// --- LHWS vs WS dominance -----------------------------------------------
+
+TEST(SimProperties, LhwsBeatsWsWhenLatencyDominates) {
+  const auto gen = dag::map_reduce_dag(64, 500, 2);
+  for (std::uint64_t p : {1ull, 2ull, 4ull}) {
+    const auto lh = run_lhws(gen.graph, cfg(p));
+    const auto ws = run_ws(gen.graph, cfg(p));
+    EXPECT_LT(lh.rounds * 4, ws.rounds) << "P=" << p;
+  }
+}
+
+TEST(SimProperties, LhwsMatchesWsOnComputeOnlyDags) {
+  // "our algorithm behaves identically to standard work stealing" when
+  // there are no heavy edges — round counts should be comparable (not
+  // identical: steal targets differ), certainly within 2x.
+  const auto gen = dag::fib_dag(16);
+  for (std::uint64_t p : {1ull, 2ull, 4ull}) {
+    const auto lh = run_lhws(gen.graph, cfg(p));
+    const auto ws = run_ws(gen.graph, cfg(p));
+    EXPECT_LE(lh.rounds, 2 * ws.rounds) << "P=" << p;
+    EXPECT_LE(ws.rounds, 2 * lh.rounds) << "P=" << p;
+  }
+}
+
+TEST(SimProperties, NeitherBeatsGreedyLowerBounds) {
+  const auto gen = dag::map_reduce_dag(32, 60, 4);
+  const std::uint64_t w = dag::work(gen.graph);
+  for (std::uint64_t p : {1ull, 2ull, 4ull}) {
+    EXPECT_GE(run_lhws(gen.graph, cfg(p)).rounds, w / p);
+    EXPECT_GE(run_ws(gen.graph, cfg(p)).rounds, w / p);
+  }
+}
+
+// --- Randomized sweeps ---------------------------------------------------
+
+using SweepParam = std::tuple<std::uint64_t /*seed*/, std::uint64_t /*P*/,
+                              steal_policy>;
+
+class RandomDagSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RandomDagSweep, LhwsExecutesEverythingWithinBounds) {
+  const auto [seed, p, pol] = GetParam();
+  const auto gen = dag::random_fork_join(seed, 7, 200, 30);
+  const auto m = run_lhws(gen.graph, cfg(p, seed * 31 + 7, pol));
+  // All vertices executed (work tokens = W + pfor vertices).
+  EXPECT_EQ(m.work_tokens - m.pfor_vertices, gen.graph.num_vertices());
+  // Suspensions bounded by the number of heavy edges (a weak but always
+  // valid upper bound on U).
+  EXPECT_LE(m.max_suspended, gen.graph.num_heavy_edges());
+  // Lemma 7's bound with U <= heavy edges.
+  EXPECT_LE(m.max_deques_per_worker, gen.graph.num_heavy_edges() + 1);
+}
+
+TEST_P(RandomDagSweep, WsExecutesEverything) {
+  const auto [seed, p, pol] = GetParam();
+  (void)pol;
+  const auto gen = dag::random_fork_join(seed, 7, 200, 30);
+  const auto m = run_ws(gen.graph, cfg(p, seed * 17 + 3));
+  EXPECT_EQ(m.work_tokens, gen.graph.num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomDagSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 11, 29),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(steal_policy::random_deque,
+                                         steal_policy::random_worker)));
+
+// Lemma 3's structural basis: every deque stays ordered by enabling-tree
+// depth (deep at the bottom, shallow at the top), which is what makes the
+// topmost vertex carry at least 2/3 of the deque's potential.
+TEST(SimProperties, DequesStayDepthOrdered) {
+  const dag::generated_dag families[] = {
+      dag::map_reduce_dag(64, 50, 3), dag::server_dag(40, 30, 4),
+      dag::fib_dag(13),               dag::io_burst_dag(128, 60),
+  };
+  for (const auto& f : families) {
+    for (std::uint64_t p : {1ull, 4ull, 8ull}) {
+      const auto m = run_lhws(f.graph, cfg(p, 23, steal_policy::random_deque,
+                                           /*etree=*/true));
+      EXPECT_EQ(m.depth_order_violations, 0u) << "P=" << p;
+    }
+  }
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto gen = dag::random_fork_join(seed, 7, 250, 20);
+    const auto m = run_lhws(gen.graph, cfg(4, seed, steal_policy::random_worker,
+                                           /*etree=*/true));
+    EXPECT_EQ(m.depth_order_violations, 0u) << "seed=" << seed;
+  }
+}
+
+// Witness suspension width observed by the scheduler never exceeds the
+// exact suspension width on small dags.
+TEST(SimProperties, ObservedSuspensionsRespectDefinition1) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto gen = dag::random_fork_join(seed, 3, 400, 10);
+    if (gen.graph.num_vertices() > 20) continue;
+    const auto exact = dag::suspension_width_exact(gen.graph, 20);
+    if (!exact.has_value()) continue;
+    const auto m = run_lhws(gen.graph, cfg(3, seed));
+    EXPECT_LE(m.max_suspended, *exact) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lhws::sim

@@ -1,0 +1,96 @@
+// Tests of the standard work-stealing baseline simulator (the "WS" curve
+// of Figure 11): it must execute dags correctly and, crucially, NOT hide
+// latency.
+#include <gtest/gtest.h>
+
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+#include "sim/ws_sim.hpp"
+
+namespace lhws::sim {
+namespace {
+
+using dag::chain_dag;
+using dag::fib_dag;
+using dag::map_reduce_dag;
+using dag::server_dag;
+
+sim_config cfg(std::uint64_t p, std::uint64_t seed = 42) {
+  sim_config c;
+  c.workers = p;
+  c.seed = seed;
+  return c;
+}
+
+TEST(WsSim, SerialComputeDagTakesWRounds) {
+  const auto gen = fib_dag(10);
+  const auto m = run_ws(gen.graph, cfg(1));
+  EXPECT_EQ(m.rounds, gen.expected_work);
+  EXPECT_EQ(m.blocked_rounds, 0u);
+}
+
+TEST(WsSim, SingleWorkerBlocksForFullLatency) {
+  // One worker, n leaves each with latency delta: the worker must pay every
+  // latency sequentially, so rounds >= n * (delta - 1).
+  const std::size_t n = 16;
+  const std::uint64_t delta = 100;
+  const auto gen = map_reduce_dag(n, delta, 2);
+  const auto m = run_ws(gen.graph, cfg(1));
+  EXPECT_GE(m.rounds, n * (delta - 1));
+  EXPECT_GE(m.blocked_rounds, n * (delta - 2));
+}
+
+TEST(WsSim, BlockedWorkersDequesAreStolen) {
+  // With P = 4 the other workers steal subtrees while one blocks, so the
+  // total time divides roughly by P (this is why plain WS still speeds up
+  // in Fig. 11 — just never superlinearly).
+  const std::size_t n = 32;
+  const std::uint64_t delta = 200;
+  const auto gen = map_reduce_dag(n, delta, 2);
+  const auto m1 = run_ws(gen.graph, cfg(1));
+  const auto m4 = run_ws(gen.graph, cfg(4));
+  EXPECT_GT(m4.successful_steals, 0u);
+  EXPECT_LT(m4.rounds, m1.rounds);
+  EXPECT_GT(m4.rounds, m1.rounds / 8) << "WS speedup stays near-linear";
+}
+
+TEST(WsSim, ExecutesEveryVertexExactlyOnce) {
+  const auto gen = map_reduce_dag(64, 10, 3);
+  const auto m = run_ws(gen.graph, cfg(4));
+  EXPECT_EQ(m.work_tokens, gen.expected_work);
+}
+
+TEST(WsSim, NoPforMachineryInBaseline) {
+  const auto gen = map_reduce_dag(64, 10, 3);
+  const auto m = run_ws(gen.graph, cfg(4));
+  EXPECT_EQ(m.pfor_vertices, 0u);
+  EXPECT_EQ(m.switch_tokens, 0u);
+  EXPECT_EQ(m.max_deques_per_worker, 1u);
+}
+
+TEST(WsSim, DeterministicForFixedSeed) {
+  const auto gen = map_reduce_dag(48, 20, 2);
+  const auto a = run_ws(gen.graph, cfg(4, 9));
+  const auto b = run_ws(gen.graph, cfg(4, 9));
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.steal_attempts, b.steal_attempts);
+}
+
+TEST(WsSim, ChainWithLatencyIsFullySerial) {
+  const auto gen = chain_dag(20, 4, 50);
+  const auto m = run_ws(gen.graph, cfg(4));
+  // No parallelism to exploit: length >= span - 1 regardless of workers.
+  EXPECT_GE(m.rounds + 1, gen.expected_span);
+}
+
+TEST(WsSim, ServerBlocksOnEveryInput) {
+  const std::size_t k = 20;
+  const std::uint64_t delta = 60;
+  const auto gen = server_dag(k, delta, 3);
+  const auto m = run_ws(gen.graph, cfg(2));
+  // Every getInput is on the sequential spine: all k+1 latencies are paid.
+  EXPECT_GE(m.rounds, (k + 1) * (delta - 1));
+}
+
+}  // namespace
+}  // namespace lhws::sim

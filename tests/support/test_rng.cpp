@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lhws {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  xoshiro256 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowZeroOrOneBoundReturnsZero) {
+  xoshiro256 rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  // Chi-squared-flavoured sanity: each of 8 buckets within 20% of mean.
+  xoshiro256 rng(1234);
+  constexpr std::uint64_t buckets = 8;
+  constexpr int draws = 80000;
+  std::vector<int> count(buckets, 0);
+  for (int i = 0; i < draws; ++i) ++count[rng.below(buckets)];
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(count[b], draws / buckets, draws / buckets / 5.0)
+        << "bucket " << b;
+  }
+}
+
+TEST(Rng, SplitmixExpandsSeeds) {
+  splitmix64 sm(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(sm.next());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+}  // namespace
+}  // namespace lhws

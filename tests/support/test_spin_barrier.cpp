@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/spin_barrier.hpp"
+
+namespace lhws {
+namespace {
+
+TEST(SpinBarrier, SingleThreadPassesImmediately) {
+  spin_barrier barrier(1);
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();  // reusable
+  SUCCEED();
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int threads = 4;
+  constexpr int phases = 50;
+  spin_barrier barrier(threads);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (int phase = 0; phase < phases; ++phase) {
+        phase_counter.fetch_add(1, std::memory_order_relaxed);
+        barrier.arrive_and_wait();
+        // After the barrier, every thread of this phase has incremented.
+        const int expect_min = (phase + 1) * threads;
+        if (phase_counter.load(std::memory_order_relaxed) < expect_min) {
+          violation.store(true, std::memory_order_relaxed);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(phase_counter.load(), threads * phases);
+}
+
+}  // namespace
+}  // namespace lhws

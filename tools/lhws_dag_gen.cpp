@@ -1,0 +1,120 @@
+// lhws_dag_gen — generate workload dags from the built-in families and
+// emit them as JSON (or DOT) for use with lhws_simulate or external tools.
+//
+//   lhws_dag_gen <family> [options] > dag.json
+//
+// Families and their options:
+//   map-reduce   --leaves N --delta D --leaf-work K
+//   map-reduce-fib --leaves N --delta D --fib F
+//   server       --requests N --delta D --handler K
+//   fib          --n F
+//   fork-join    --depth D --leaf-work K
+//   chain        --length L --heavy-every K --delta D
+//   io-burst     --width N --delta D
+//   random       --seed S --depth D --heavy-permille H --max-delta D
+//
+// Common options: --dot (emit Graphviz instead of JSON), --summary (print
+// W/S/U facts to stderr).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "dag/analysis.hpp"
+#include "dag/dot_export.hpp"
+#include "dag/generators.hpp"
+#include "dag/json_io.hpp"
+
+namespace {
+
+using namespace lhws::dag;
+
+std::uint64_t opt(const std::map<std::string, std::uint64_t>& opts,
+                  const std::string& key, std::uint64_t fallback) {
+  const auto it = opts.find(key);
+  return it == opts.end() ? fallback : it->second;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lhws_dag_gen <map-reduce|map-reduce-fib|server|fib|"
+               "fork-join|chain|io-burst|random> [--key value ...] "
+               "[--dot] [--summary]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string family = argv[1];
+
+  std::map<std::string, std::uint64_t> opts;
+  bool dot = false, summary = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      opts[arg.substr(2)] = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+
+  generated_dag gen;
+  if (family == "map-reduce") {
+    gen = map_reduce_dag(opt(opts, "leaves", 64), opt(opts, "delta", 50),
+                         opt(opts, "leaf-work", 3));
+  } else if (family == "map-reduce-fib") {
+    gen = map_reduce_fib_dag(opt(opts, "leaves", 64), opt(opts, "delta", 50),
+                             static_cast<unsigned>(opt(opts, "fib", 8)));
+  } else if (family == "server") {
+    gen = server_dag(opt(opts, "requests", 32), opt(opts, "delta", 50),
+                     opt(opts, "handler", 4));
+  } else if (family == "fib") {
+    gen = fib_dag(static_cast<unsigned>(opt(opts, "n", 12)));
+  } else if (family == "fork-join") {
+    gen = fork_join_tree(static_cast<unsigned>(opt(opts, "depth", 6)),
+                         opt(opts, "leaf-work", 2));
+  } else if (family == "chain") {
+    gen = chain_dag(opt(opts, "length", 100), opt(opts, "heavy-every", 10),
+                    opt(opts, "delta", 20));
+  } else if (family == "io-burst") {
+    gen = io_burst_dag(opt(opts, "width", 128), opt(opts, "delta", 50));
+  } else if (family == "random") {
+    gen = random_fork_join(opt(opts, "seed", 1),
+                           static_cast<unsigned>(opt(opts, "depth", 7)),
+                           static_cast<unsigned>(
+                               opt(opts, "heavy-permille", 200)),
+                           opt(opts, "max-delta", 30));
+  } else {
+    return usage();
+  }
+
+  if (summary) {
+    const auto s = summarize(gen.graph);
+    std::fprintf(stderr,
+                 "family=%s vertices=%zu edges=%zu heavy=%zu W=%llu S=%llu"
+                 " unweighted-S=%llu%s\n",
+                 family.c_str(), gen.graph.num_vertices(),
+                 gen.graph.num_edges(), s.heavy_edges,
+                 static_cast<unsigned long long>(s.work),
+                 static_cast<unsigned long long>(s.span),
+                 static_cast<unsigned long long>(s.unweighted_span),
+                 gen.expected_suspension_width.has_value()
+                     ? (" U=" + std::to_string(*gen.expected_suspension_width))
+                           .c_str()
+                     : "");
+  }
+
+  if (dot) {
+    std::cout << to_dot(gen.graph);
+  } else {
+    std::cout << to_json(gen.graph);
+  }
+  return 0;
+}

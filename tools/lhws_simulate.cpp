@@ -1,0 +1,186 @@
+// lhws_simulate — run a dag (JSON from lhws_dag_gen or elsewhere) through
+// the schedulers and report metrics.
+//
+//   lhws_simulate <dag.json|-> [--engine lhws|ws|greedy] [--workers P]
+//                 [--seed S] [--policy deque|worker] [--injection pfor|serial]
+//                 [--fresh-deque] [--etree] [--validate]
+//
+// The default engine is lhws. `--validate` certifies the produced schedule
+// (validate_execution) and exits non-zero on an illegal schedule.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "dag/analysis.hpp"
+#include "dag/greedy_schedule.hpp"
+#include "dag/json_io.hpp"
+#include "sim/lhws_sim.hpp"
+#include "sim/ws_sim.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lhws_simulate <dag.json|-> [--engine lhws|ws|greedy] "
+      "[--workers P] [--seed S]\n                     [--policy deque|worker] "
+      "[--injection pfor|serial] [--fresh-deque]\n                     "
+      "[--etree] [--validate]\n");
+  return 2;
+}
+
+void print_metrics(const lhws::sim::sim_metrics& m) {
+  std::printf("rounds                 %llu\n",
+              static_cast<unsigned long long>(m.rounds));
+  std::printf("work_tokens            %llu\n",
+              static_cast<unsigned long long>(m.work_tokens));
+  std::printf("pfor_vertices          %llu\n",
+              static_cast<unsigned long long>(m.pfor_vertices));
+  std::printf("switch_tokens          %llu\n",
+              static_cast<unsigned long long>(m.switch_tokens));
+  std::printf("steal_attempts         %llu (failed %llu)\n",
+              static_cast<unsigned long long>(m.steal_attempts),
+              static_cast<unsigned long long>(m.failed_steals));
+  std::printf("blocked_rounds         %llu\n",
+              static_cast<unsigned long long>(m.blocked_rounds));
+  std::printf("injection_rounds       %llu\n",
+              static_cast<unsigned long long>(m.injection_rounds));
+  std::printf("max_suspended          %llu\n",
+              static_cast<unsigned long long>(m.max_suspended));
+  std::printf("max_deques_per_worker  %llu\n",
+              static_cast<unsigned long long>(m.max_deques_per_worker));
+  std::printf("total_deques_allocated %llu\n",
+              static_cast<unsigned long long>(m.total_deques_allocated));
+  if (m.enabling_span > 0) {
+    std::printf("enabling_span          %llu\n",
+                static_cast<unsigned long long>(m.enabling_span));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  std::string engine = "lhws";
+  lhws::sim::sim_config cfg;
+  bool validate = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      engine = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.workers = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.policy = std::strcmp(v, "worker") == 0
+                       ? lhws::sim::steal_policy::random_worker
+                       : lhws::sim::steal_policy::random_deque;
+    } else if (arg == "--injection") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cfg.injection = std::strcmp(v, "serial") == 0
+                          ? lhws::sim::resume_injection::serial_repush
+                          : lhws::sim::resume_injection::pfor_tree;
+    } else if (arg == "--fresh-deque") {
+      cfg.fresh_deque_on_resume = true;
+    } else if (arg == "--etree") {
+      cfg.build_enabling_tree = true;
+    } else if (arg == "--validate") {
+      validate = true;
+    } else {
+      return usage();
+    }
+  }
+
+  // Load the dag.
+  std::string text;
+  {
+    const std::string path = argv[1];
+    if (path == "-") {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      text = buf.str();
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+  }
+  std::string why;
+  auto dag = lhws::dag::from_json(text, &why);
+  if (!dag.has_value()) {
+    std::fprintf(stderr, "bad dag: %s\n", why.c_str());
+    return 1;
+  }
+
+  const auto s = lhws::dag::summarize(*dag);
+  std::printf("dag: vertices=%zu heavy=%zu W=%llu S=%llu\n",
+              dag->num_vertices(), s.heavy_edges,
+              static_cast<unsigned long long>(s.work),
+              static_cast<unsigned long long>(s.span));
+  std::printf("engine=%s workers=%llu seed=%llu\n\n", engine.c_str(),
+              static_cast<unsigned long long>(cfg.workers),
+              static_cast<unsigned long long>(cfg.seed));
+
+  if (engine == "greedy") {
+    const auto res = lhws::dag::greedy_schedule(*dag, cfg.workers);
+    std::printf("length                 %llu\n",
+                static_cast<unsigned long long>(res.length));
+    std::printf("theorem1_bound         %llu\n",
+                static_cast<unsigned long long>(
+                    lhws::dag::theorem1_bound(*dag, cfg.workers)));
+    std::printf("busy/idle/all-idle     %llu/%llu/%llu\n",
+                static_cast<unsigned long long>(res.busy_steps),
+                static_cast<unsigned long long>(res.idle_steps),
+                static_cast<unsigned long long>(res.all_idle_steps));
+    if (validate &&
+        !lhws::sim::validate_execution(*dag, res.step_of, &why)) {
+      std::fprintf(stderr, "ILLEGAL SCHEDULE: %s\n", why.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (engine == "lhws") {
+    lhws::sim::lhws_simulator sim(*dag, cfg);
+    print_metrics(sim.run());
+    if (validate && !lhws::sim::validate_execution(
+                        *dag, sim.executor().execution_rounds(), &why)) {
+      std::fprintf(stderr, "ILLEGAL SCHEDULE: %s\n", why.c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (engine == "ws") {
+    lhws::sim::ws_simulator sim(*dag, cfg);
+    print_metrics(sim.run());
+    if (validate && !lhws::sim::validate_execution(
+                        *dag, sim.executor().execution_rounds(), &why)) {
+      std::fprintf(stderr, "ILLEGAL SCHEDULE: %s\n", why.c_str());
+      return 1;
+    }
+    return 0;
+  }
+  return usage();
+}
