@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Local mirror of the CI matrix: configure+build+ctest in the requested
+# mode, plus lint when the tools exist. Usage:
+#
+#   scripts/check.sh [plain|asan|tsan|tidy|format|all]
+#
+# Each mode builds into its own directory (build-check-<mode>) so repeated
+# runs are incremental and don't disturb the default ./build tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-plain}"
+
+run_suite() {
+  local name="$1"
+  shift
+  local dir="build-check-${name}"
+  cmake -B "${dir}" -S . -DLHWS_WERROR=ON "$@" >/dev/null
+  cmake --build "${dir}" -j "$(nproc)"
+  (cd "${dir}" && ctest --output-on-failure -j "$(nproc)")
+}
+
+run_format() {
+  if ! command -v clang-format >/dev/null; then
+    echo "check.sh: clang-format not installed, skipping" >&2
+    return 0
+  fi
+  git ls-files '*.cpp' '*.hpp' | xargs clang-format --dry-run -Werror
+}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null; then
+    echo "check.sh: clang-tidy not installed, skipping" >&2
+    return 0
+  fi
+  local dir="build-check-tidy"
+  cmake -B "${dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  git ls-files 'src/*.cpp' 'tools/*.cpp' | xargs clang-tidy -p "${dir}" --quiet
+}
+
+case "${mode}" in
+  plain)
+    run_suite plain -DCMAKE_BUILD_TYPE=Release
+    ;;
+  asan)
+    run_suite asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLHWS_ASAN_UBSAN=ON
+    ;;
+  tsan)
+    run_suite tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLHWS_TSAN=ON
+    ;;
+  format)
+    run_format
+    ;;
+  tidy)
+    run_tidy
+    ;;
+  all)
+    run_format
+    run_tidy
+    run_suite plain -DCMAKE_BUILD_TYPE=Release
+    run_suite asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLHWS_ASAN_UBSAN=ON
+    run_suite tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLHWS_TSAN=ON
+    ;;
+  *)
+    echo "usage: scripts/check.sh [plain|asan|tsan|tidy|format|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,140 @@
+// chk::atomic<T> / chk::var<T> — the instrumentation shims the checker
+// injects into the lock-free structures via the Model policy (see
+// support/atomic_model.hpp).
+//
+// chk::atomic mirrors the std::atomic surface the structures use (load,
+// store, exchange, CAS, fetch_add/sub) but routes every operation through
+// the active chk::engine, which serializes it at a scheduling point and
+// evaluates it against the store-history memory model. chk::var wraps a
+// plain (non-atomic) value and reports any access pair not ordered by
+// happens-before as a data race.
+//
+// Values are shuttled through the engine as 64-bit patterns, so T must be
+// trivially copyable and at most 8 bytes — the same constraint the deque
+// already places on its elements.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "chk/engine.hpp"
+
+namespace lhws::chk {
+
+template <typename T>
+concept ModelValue =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(std::uint64_t);
+
+template <ModelValue T>
+std::uint64_t to_bits(T v) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(T));
+  return bits;
+}
+
+template <ModelValue T>
+T from_bits(std::uint64_t bits) noexcept {
+  T v{};
+  std::memcpy(&v, &bits, sizeof(T));
+  return v;
+}
+
+template <ModelValue T>
+class atomic {
+ public:
+  atomic() : atomic(T{}) {}
+
+  explicit atomic(T initial) {
+    engine::current()->loc_register(this, to_bits(initial));
+  }
+
+  ~atomic() { engine::current()->loc_destroy(this); }
+
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order order = std::memory_order_seq_cst) const {
+    return from_bits<T>(engine::current()->atomic_load(
+        const_cast<atomic*>(this), order));
+  }
+
+  void store(T v, std::memory_order order = std::memory_order_seq_cst) {
+    engine::current()->atomic_store(this, to_bits(v), order);
+  }
+
+  T exchange(T v, std::memory_order order = std::memory_order_seq_cst) {
+    return from_bits<T>(engine::current()->atomic_rmw(
+        this, engine::rmw_kind::exchange, to_bits(v), order));
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) {
+    std::uint64_t ebits = to_bits(expected);
+    const bool ok = engine::current()->atomic_cas(this, ebits, to_bits(desired),
+                                                  success, failure);
+    expected = from_bits<T>(ebits);
+    return ok;
+  }
+
+  // The model has no spurious failures, so weak == strong.
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    return compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  T fetch_add(T v, std::memory_order order = std::memory_order_seq_cst)
+    requires std::is_integral_v<T>
+  {
+    return from_bits<T>(engine::current()->atomic_rmw(
+        this, engine::rmw_kind::add, to_bits(v), order));
+  }
+
+  T fetch_sub(T v, std::memory_order order = std::memory_order_seq_cst)
+    requires std::is_integral_v<T>
+  {
+    return from_bits<T>(engine::current()->atomic_rmw(
+        this, engine::rmw_kind::sub, to_bits(v), order));
+  }
+};
+
+// A plain variable under happens-before surveillance. Reads and writes are
+// NOT scheduling points (a data-race-free program's behaviour cannot depend
+// on their interleaving; a racy one is reported regardless of order).
+template <ModelValue T>
+class var {
+ public:
+  explicit var(T initial = T{}, const char* label = nullptr) {
+    engine::current()->var_register(this, to_bits(initial), label);
+  }
+
+  ~var() { engine::current()->var_destroy(this); }
+
+  var(const var&) = delete;
+  var& operator=(const var&) = delete;
+
+  var& operator=(T v) {
+    engine::current()->var_write(this, to_bits(v));
+    return *this;
+  }
+
+  operator T() const {  // NOLINT(google-explicit-constructor)
+    return from_bits<T>(engine::current()->var_read(const_cast<var*>(this)));
+  }
+
+  T get() const { return static_cast<T>(*this); }
+};
+
+// The checker-side Model policy: drop-in replacement for lhws::real_model.
+struct check_model {
+  template <typename T>
+  using atomic_type = chk::atomic<T>;
+
+  static void fence(std::memory_order order) {
+    engine::current()->fence(order);
+  }
+};
+
+}  // namespace lhws::chk

@@ -1,0 +1,452 @@
+#include "chk/engine.hpp"
+
+#include <algorithm>
+
+#include "support/config.hpp"
+
+namespace lhws::chk {
+
+thread_local engine* engine::tl_engine_ = nullptr;
+thread_local unsigned engine::tl_tid_ = 0;
+
+engine* engine::current() noexcept { return tl_engine_; }
+
+void engine::unbind() noexcept {
+  tl_engine_ = nullptr;
+  tl_tid_ = 0;
+}
+
+namespace {
+
+bool has_acquire(std::memory_order o) noexcept {
+  return o == std::memory_order_acquire || o == std::memory_order_consume ||
+         o == std::memory_order_acq_rel || o == std::memory_order_seq_cst;
+}
+
+bool has_release(std::memory_order o) noexcept {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+
+std::memory_order strip_release(std::memory_order o) noexcept {
+  switch (o) {
+    case std::memory_order_release:
+      return std::memory_order_relaxed;
+    case std::memory_order_acq_rel:
+    case std::memory_order_seq_cst:
+      return std::memory_order_acquire;
+    default:
+      return o;
+  }
+}
+
+std::memory_order strip_acquire(std::memory_order o) noexcept {
+  switch (o) {
+    case std::memory_order_acquire:
+    case std::memory_order_consume:
+      return std::memory_order_relaxed;
+    case std::memory_order_acq_rel:
+      return std::memory_order_release;
+    default:
+      return o;
+  }
+}
+
+}  // namespace
+
+engine::engine(unsigned num_threads, const mutation& mut,
+               decision_source& decisions, std::uint64_t max_steps)
+    : num_threads_(num_threads),
+      mut_(mut),
+      decisions_(decisions),
+      max_steps_(max_steps),
+      phase_(phase::setup) {
+  LHWS_ASSERT(num_threads >= 1 && num_threads < max_threads);
+}
+
+engine::~engine() = default;
+
+bool engine::driver_phase() const noexcept { return phase_ != phase::running; }
+
+void engine::bind_driver() noexcept {
+  tl_engine_ = this;
+  tl_tid_ = num_threads_;  // the driver pseudo-thread
+}
+
+driver_scope::~driver_scope() {
+  LHWS_ASSERT(engine::current() == &eng_);
+  engine::unbind();
+}
+
+void engine::start_threads() {
+  std::unique_lock<std::mutex> lock(mu_);
+  LHWS_ASSERT(phase_ == phase::setup);
+  const thread_state& driver = threads_[num_threads_];
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    threads_[i].clock = driver.clock;    // fork: setup happens-before bodies
+    threads_[i].visible = driver.visible;
+    threads_[i].visible.join(driver.clock);
+  }
+  live_ = num_threads_;
+  phase_ = phase::running;
+  active_ = decide(num_threads_);
+  granted_ = true;
+}
+
+void engine::enter_thread(unsigned tid) noexcept {
+  tl_engine_ = this;
+  tl_tid_ = tid;
+}
+
+void engine::exit_thread(unsigned tid) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    threads_[tid].finished = true;
+    LHWS_ASSERT(live_ > 0);
+    --live_;
+    if (active_ == tid && live_ > 0) pass_token_locked();
+  }
+  cv_.notify_all();
+  tl_engine_ = nullptr;
+  tl_tid_ = 0;
+}
+
+void engine::begin_teardown() noexcept {
+  std::unique_lock<std::mutex> lock(mu_);
+  LHWS_ASSERT(live_ == 0);
+  phase_ = phase::teardown;
+  thread_state& driver = threads_[num_threads_];
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    driver.clock.join(threads_[i].clock);  // join: bodies happen-before finish
+    driver.visible.join(threads_[i].visible);
+  }
+}
+
+std::uint32_t engine::decide(std::uint32_t n) {
+  return n <= 1 ? 0 : decisions_.choose(n);
+}
+
+void engine::pass_token_locked() {
+  std::uint32_t runnable = 0;
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    if (!threads_[i].finished) ++runnable;
+  }
+  if (runnable == 0) return;
+  std::uint32_t pick = decide(runnable);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    if (threads_[i].finished) continue;
+    if (pick == 0) {
+      active_ = i;
+      break;
+    }
+    --pick;
+  }
+  granted_ = true;
+  cv_.notify_all();
+}
+
+void engine::sched_point(std::unique_lock<std::mutex>& lock) {
+  if (driver_phase()) return;  // setup/teardown ops run uninterleaved
+  const unsigned tid = self();
+  // Exactly one decision per operation, independent of OS arrival order:
+  // a standing holder offers the token around (the decision may hand it
+  // straight back); a thread that was granted the token — whether it was
+  // already parked here or had not yet arrived — consumes the grant and
+  // runs without a second offer.
+  if (active_ == tid && !granted_) pass_token_locked();
+  cv_.wait(lock, [&] { return active_ == tid; });
+  granted_ = false;
+  ++steps_;
+  LHWS_ASSERT(steps_ <= max_steps_ &&
+              "chk step bound exceeded — unbounded loop in a test body?");
+}
+
+// --- memory-order plumbing --------------------------------------------------
+
+std::memory_order engine::mutate_load(std::memory_order o) const noexcept {
+  if (mut_.weaken_sc_op && o == std::memory_order_seq_cst) {
+    o = std::memory_order_acquire;
+  }
+  if (mut_.weaken_acquire_load) o = strip_acquire(o);
+  return o;
+}
+
+std::memory_order engine::mutate_store(std::memory_order o) const noexcept {
+  if (mut_.weaken_sc_op && o == std::memory_order_seq_cst) {
+    o = std::memory_order_acq_rel;
+  }
+  if (mut_.weaken_release_store) o = strip_release(o);
+  return o;
+}
+
+void engine::apply_acquire(thread_state& t, const store_rec& s,
+                           std::memory_order order) {
+  if (s.release.is_zero()) return;
+  if (has_acquire(order)) {
+    t.clock.join(s.release);
+  } else {
+    // A later acquire fence turns this relaxed load into a synchronizer.
+    t.acq_pending.join(s.release);
+  }
+}
+
+vclock engine::store_release_clock(const thread_state& t,
+                                   std::memory_order order) const {
+  if (has_release(order)) return t.clock;
+  return t.release_fence;  // zero clock when no release fence was issued
+}
+
+void engine::sc_interaction(thread_state& t, std::memory_order order) {
+  if (order != std::memory_order_seq_cst) return;
+  t.visible.join(sc_clock_);
+}
+
+std::size_t engine::readable_floor(const atomic_loc& l, const thread_state& t,
+                                   std::memory_order order) const {
+  std::size_t floor = l.seen[self()];
+  // The newest store already visible to this thread bounds how stale a
+  // read may be: anything older would violate coherence.
+  for (std::size_t i = l.stores.size(); i-- > floor + 1;) {
+    const store_rec& s = l.stores[i];
+    if (t.visible.covers(s.tid, s.stamp) || t.clock.covers(s.tid, s.stamp)) {
+      floor = i;
+      break;
+    }
+  }
+  // A seq_cst load may not skip the newest seq_cst store (SC total order).
+  if (order == std::memory_order_seq_cst && l.last_sc_store != SIZE_MAX) {
+    floor = std::max(floor, l.last_sc_store);
+  }
+  return floor;
+}
+
+// --- atomic locations -------------------------------------------------------
+
+engine::atomic_loc& engine::loc_of(void* loc) {
+  auto it = atomics_.find(loc);
+  LHWS_ASSERT(it != atomics_.end() &&
+              "chk::atomic used without registration (constructed outside an "
+              "active engine?)");
+  return *it->second;
+}
+
+void engine::loc_register(void* loc, std::uint64_t initial_bits) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto l = std::make_unique<atomic_loc>();
+  thread_state& t = threads_[self()];
+  const std::uint64_t stamp = ++t.clock.c[self()];
+  l->stores.push_back(store_rec{initial_bits, self(), stamp,
+                                /*release=*/t.clock});
+  l->seen.fill(0);
+  atomics_[loc] = std::move(l);
+}
+
+void engine::loc_destroy(void* loc) {
+  std::unique_lock<std::mutex> lock(mu_);
+  atomics_.erase(loc);
+}
+
+std::uint64_t engine::atomic_load(void* loc, std::memory_order order) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sched_point(lock);
+  order = mutate_load(order);
+  thread_state& t = threads_[self()];
+  sc_interaction(t, order);  // an SC load sees everything SC-published
+  atomic_loc& l = loc_of(loc);
+  const std::size_t floor = readable_floor(l, t, order);
+  const std::size_t span = l.stores.size() - floor;
+  const std::size_t idx = floor + decide(static_cast<std::uint32_t>(span));
+  l.seen[self()] = std::max(l.seen[self()], idx);
+  const store_rec& s = l.stores[idx];
+  apply_acquire(t, s, order);
+  return s.bits;
+}
+
+void engine::atomic_store(void* loc, std::uint64_t bits,
+                          std::memory_order order) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sched_point(lock);
+  order = mutate_store(order);
+  thread_state& t = threads_[self()];
+  sc_interaction(t, order);
+  atomic_loc& l = loc_of(loc);
+  const std::uint64_t stamp = ++t.clock.c[self()];
+  l.stores.push_back(
+      store_rec{bits, self(), stamp, store_release_clock(t, order)});
+  l.seen[self()] = l.stores.size() - 1;
+  if (order == std::memory_order_seq_cst) {
+    l.last_sc_store = l.stores.size() - 1;
+    sc_clock_.join(t.clock);
+  }
+}
+
+std::uint64_t engine::atomic_rmw(void* loc, rmw_kind kind,
+                                 std::uint64_t operand,
+                                 std::memory_order order) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sched_point(lock);
+  const std::memory_order load_o = mutate_load(order);
+  const std::memory_order store_o = mutate_store(order);
+  thread_state& t = threads_[self()];
+  sc_interaction(t, store_o);
+  atomic_loc& l = loc_of(loc);
+  // An RMW always reads the newest store in modification order.
+  const store_rec prev = l.stores.back();
+  apply_acquire(t, prev, load_o);
+  std::uint64_t next = 0;
+  switch (kind) {
+    case rmw_kind::add:
+      next = prev.bits + operand;
+      break;
+    case rmw_kind::sub:
+      next = prev.bits - operand;
+      break;
+    case rmw_kind::exchange:
+      next = operand;
+      break;
+  }
+  const std::uint64_t stamp = ++t.clock.c[self()];
+  // Release sequence: an RMW continues the sequence headed by the store it
+  // replaces, so an acquire read of this store also synchronizes with the
+  // earlier release stores (C++20 [atomics.order]).
+  vclock rel = store_release_clock(t, store_o);
+  rel.join(prev.release);
+  l.stores.push_back(store_rec{next, self(), stamp, rel});
+  l.seen[self()] = l.stores.size() - 1;
+  if (store_o == std::memory_order_seq_cst) {
+    l.last_sc_store = l.stores.size() - 1;
+    sc_clock_.join(t.clock);
+  }
+  return prev.bits;
+}
+
+bool engine::atomic_cas(void* loc, std::uint64_t& expected_bits,
+                        std::uint64_t desired_bits, std::memory_order success,
+                        std::memory_order failure) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sched_point(lock);
+  thread_state& t = threads_[self()];
+  atomic_loc& l = loc_of(loc);
+  const store_rec prev = l.stores.back();
+  if (prev.bits != expected_bits) {
+    // Failed CAS: a load of the current value with the failure ordering.
+    const std::memory_order fail_o = mutate_load(failure);
+    sc_interaction(t, fail_o);
+    apply_acquire(t, prev, fail_o);
+    l.seen[self()] = l.stores.size() - 1;
+    expected_bits = prev.bits;
+    return false;
+  }
+  const std::memory_order load_o = mutate_load(success);
+  const std::memory_order store_o = mutate_store(success);
+  sc_interaction(t, store_o);
+  apply_acquire(t, prev, load_o);
+  const std::uint64_t stamp = ++t.clock.c[self()];
+  // Successful CAS is an RMW: continue the release sequence (see
+  // atomic_rmw).
+  vclock rel = store_release_clock(t, store_o);
+  rel.join(prev.release);
+  l.stores.push_back(store_rec{desired_bits, self(), stamp, rel});
+  l.seen[self()] = l.stores.size() - 1;
+  if (store_o == std::memory_order_seq_cst) {
+    l.last_sc_store = l.stores.size() - 1;
+    sc_clock_.join(t.clock);
+  }
+  return true;
+}
+
+void engine::fence(std::memory_order order) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sched_point(lock);
+  if (order == std::memory_order_seq_cst && mut_.weaken_sc_fence) return;
+  thread_state& t = threads_[self()];
+  if (has_acquire(order)) {
+    t.clock.join(t.acq_pending);
+    t.acq_pending.clear();
+  }
+  if (has_release(order)) t.release_fence = t.clock;
+  if (order == std::memory_order_seq_cst) {
+    t.visible.join(sc_clock_);
+    sc_clock_.join(t.clock);
+  }
+}
+
+// --- plain (non-atomic) locations: FastTrack-style race detection -----------
+
+void engine::var_register(void* loc, std::uint64_t initial_bits,
+                          const char* label) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto v = std::make_unique<var_loc>();
+  v->bits = initial_bits;
+  v->label = label;
+  v->write_tid = self();
+  v->write_stamp = ++threads_[self()].clock.c[self()];
+  vars_[loc] = std::move(v);
+}
+
+void engine::var_destroy(void* loc) {
+  std::unique_lock<std::mutex> lock(mu_);
+  vars_.erase(loc);
+}
+
+std::uint64_t engine::var_read(void* loc) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = vars_.find(loc);
+  LHWS_ASSERT(it != vars_.end());
+  var_loc& v = *it->second;
+  thread_state& t = threads_[self()];
+  if (!t.clock.covers(v.write_tid, v.write_stamp)) {
+    failed_ = true;
+    if (failure_.empty()) {
+      failure_ = std::string("data race: read of '") +
+                 (v.label != nullptr ? v.label : "?") +
+                 "' not ordered after last write";
+    }
+  }
+  v.reads.c[self()] = t.clock.c[self()];
+  return v.bits;
+}
+
+void engine::var_write(void* loc, std::uint64_t bits) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = vars_.find(loc);
+  LHWS_ASSERT(it != vars_.end());
+  var_loc& v = *it->second;
+  thread_state& t = threads_[self()];
+  bool race = !t.clock.covers(v.write_tid, v.write_stamp);
+  for (unsigned u = 0; u < max_threads; ++u) {
+    if (v.reads.c[u] > t.clock.c[u]) race = true;
+  }
+  if (race) {
+    failed_ = true;
+    if (failure_.empty()) {
+      failure_ = std::string("data race: write of '") +
+                 (v.label != nullptr ? v.label : "?") +
+                 "' not ordered after prior accesses";
+    }
+  }
+  v.bits = bits;
+  v.write_tid = self();
+  v.write_stamp = ++t.clock.c[self()];
+  v.reads.clear();
+}
+
+// --- results ----------------------------------------------------------------
+
+void engine::fail(const std::string& message) {
+  std::unique_lock<std::mutex> lock(mu_);
+  failed_ = true;
+  if (failure_.empty()) failure_ = message;
+}
+
+bool engine::failed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return failed_;
+}
+
+std::string engine::failure() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return failure_;
+}
+
+}  // namespace lhws::chk

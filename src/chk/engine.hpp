@@ -1,0 +1,222 @@
+// The concurrency-checking engine: a relacy/loom-style virtual-thread
+// scheduler plus an operational C11-ish memory model.
+//
+// One engine instance models ONE execution of a small concurrent test:
+//   - Virtual threads are real std::threads gated by a token: exactly one
+//     runs at a time, and at every instrumented operation the token holder
+//     asks the decision source which thread runs next. Enumerating /
+//     randomizing those decisions enumerates / samples interleavings.
+//   - Atomic operations go through a store-history memory model: every
+//     atomic location keeps its full modification order, and a load may
+//     read any store that coherence, happens-before visibility, and the
+//     seq_cst total order allow. Weak behaviours (stale reads) therefore
+//     actually happen in the model, so missing fences produce real
+//     algorithmic failures (duplicated/lost elements), not just warnings.
+//   - Happens-before is tracked with vector clocks (release/acquire edges,
+//     release/acquire/seq_cst fences, fork/join). Plain `chk::var`
+//     accesses are checked FastTrack-style against those clocks and any
+//     unordered conflicting pair is reported as a data race.
+//
+// Model simplifications (all on the conservative side — they can hide a
+// weak behaviour, never invent an impossible one — except where noted):
+//   - consume is treated as acquire.
+//   - compare_exchange_weak never fails spuriously.
+//   - A failed CAS reads the latest store in modification order.
+//   - seq_cst atomic operations are also given seq_cst-fence visibility
+//     (slightly stronger than C++11, matching how the algorithms here use
+//     them).
+//
+// Deliberate weakenings ("mutations") can be switched on per run to verify
+// that the checker would catch a missing/downgraded ordering; see
+// `struct mutation`.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chk/vclock.hpp"
+
+namespace lhws::chk {
+
+// Supplies every nondeterministic choice of one execution (which thread
+// runs next, which store a load reads). Implementations: seeded random
+// sampling and depth-first exhaustive enumeration (see explore.hpp).
+class decision_source {
+ public:
+  virtual ~decision_source() = default;
+  // Returns a value in [0, n). Only called with n >= 2.
+  virtual std::uint32_t choose(std::uint32_t n) = 0;
+};
+
+// Deliberate memory-ordering downgrades, applied to every operation of the
+// matching class before it reaches the model. Mutation tests assert that
+// the checker reports a failure with one of these enabled and passes clean
+// with all of them off.
+struct mutation {
+  bool weaken_sc_fence = false;       // seq_cst fences become no-ops
+  bool weaken_release_store = false;  // release stores/RMWs become relaxed
+  bool weaken_acquire_load = false;   // acquire loads become relaxed
+  bool weaken_sc_op = false;          // seq_cst atomic ops become acq_rel
+};
+
+class engine {
+ public:
+  engine(unsigned num_threads, const mutation& mut, decision_source& decisions,
+         std::uint64_t max_steps);
+  ~engine();
+
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+
+  // The engine modeling operations on the calling thread, or nullptr when
+  // no execution is in flight (production code never has one). Defined in
+  // engine.cpp: accessing the thread_local through the cross-TU init
+  // wrapper trips a gcc -fsanitize=null false positive when inlined into
+  // other TUs, so the accessor lives next to the variable's definition.
+  static engine* current() noexcept;
+  static void unbind() noexcept;
+
+  // --- execution phases (driven by explore()) ---------------------------
+  // Driver phase: instrumentation runs immediately, attributed to the
+  // driver pseudo-thread; no scheduling decisions are consumed.
+  void bind_driver() noexcept;
+  // Transition setup -> running: fork happens-before edges to every
+  // virtual thread and pick the first token holder.
+  void start_threads();
+  // Called by virtual thread `tid` before/after running its body.
+  void enter_thread(unsigned tid) noexcept;
+  void exit_thread(unsigned tid);
+  // Transition running -> teardown: join happens-before edges back into
+  // the driver. The driver may then inspect state race-free.
+  void begin_teardown() noexcept;
+
+  // --- instrumented operations (called via chk::atomic / chk::var) ------
+  void loc_register(void* loc, std::uint64_t initial_bits);
+  void loc_destroy(void* loc);
+  std::uint64_t atomic_load(void* loc, std::memory_order order);
+  void atomic_store(void* loc, std::uint64_t bits, std::memory_order order);
+  enum class rmw_kind : std::uint8_t { add, sub, exchange };
+  std::uint64_t atomic_rmw(void* loc, rmw_kind kind, std::uint64_t operand,
+                           std::memory_order order);
+  bool atomic_cas(void* loc, std::uint64_t& expected_bits,
+                  std::uint64_t desired_bits, std::memory_order success,
+                  std::memory_order failure);
+  void fence(std::memory_order order);
+
+  void var_register(void* loc, std::uint64_t initial_bits, const char* label);
+  void var_destroy(void* loc);
+  std::uint64_t var_read(void* loc);
+  void var_write(void* loc, std::uint64_t bits);
+
+  // --- results ----------------------------------------------------------
+  // Records the first failure (invariant violation or detected race) of
+  // this execution; the execution continues so threads unwind normally.
+  void fail(const std::string& message);
+  [[nodiscard]] bool failed() const;
+  [[nodiscard]] std::string failure() const;
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+ private:
+  struct store_rec {
+    std::uint64_t bits;     // stored value
+    unsigned tid;           // storing thread
+    std::uint64_t stamp;    // storing thread's clock component at the store
+    vclock release;         // joined by acquire loads that read this store
+  };
+
+  struct atomic_loc {
+    std::vector<store_rec> stores;           // index order == modification order
+    std::array<std::size_t, max_threads> seen{};  // per-thread coherence floor
+    std::size_t last_sc_store = SIZE_MAX;    // newest seq_cst store, if any
+  };
+
+  struct var_loc {
+    std::uint64_t bits;
+    const char* label;
+    unsigned write_tid = 0;
+    std::uint64_t write_stamp = 0;  // 0 = only the initial (driver) write
+    vclock reads;                   // per-thread clock at last read
+  };
+
+  struct thread_state {
+    vclock clock;          // happens-before clock
+    vclock visible;        // stores guaranteed visible (>= clock coverage)
+    vclock release_fence;  // clock at the last release fence (zero if none)
+    vclock acq_pending;    // release clocks collected by relaxed loads
+    bool finished = false;
+  };
+
+  // Must hold mu_. Blocks until this thread holds the token, consuming one
+  // scheduling decision on entry (running phase only).
+  void sched_point(std::unique_lock<std::mutex>& lock);
+  void pass_token_locked();  // pick the next runnable thread
+  unsigned self() const noexcept { return tl_tid_; }
+  bool driver_phase() const noexcept;
+  atomic_loc& loc_of(void* loc);
+  std::uint32_t decide(std::uint32_t n);
+  std::memory_order mutate_load(std::memory_order o) const noexcept;
+  std::memory_order mutate_store(std::memory_order o) const noexcept;
+  void apply_acquire(thread_state& t, const store_rec& s,
+                     std::memory_order order);
+  vclock store_release_clock(const thread_state& t,
+                             std::memory_order order) const;
+  void sc_interaction(thread_state& t, std::memory_order order);
+  std::size_t readable_floor(const atomic_loc& l, const thread_state& t,
+                             std::memory_order order) const;
+
+  static thread_local engine* tl_engine_;
+  static thread_local unsigned tl_tid_;
+
+  const unsigned num_threads_;  // virtual threads (driver excluded)
+  const mutation mut_;
+  decision_source& decisions_;
+  const std::uint64_t max_steps_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  enum class phase : std::uint8_t { setup, running, teardown } phase_;
+  unsigned active_ = 0;    // token holder while running
+  bool granted_ = false;   // active_ was handed the token and has not yet
+                           // consumed the grant at a scheduling point
+  unsigned live_ = 0;      // unfinished virtual threads
+  std::uint64_t steps_ = 0;
+
+  std::array<thread_state, max_threads> threads_{};
+  vclock sc_clock_;  // stores published by seq_cst fences/ops so far
+  std::unordered_map<void*, std::unique_ptr<atomic_loc>> atomics_;
+  std::unordered_map<void*, std::unique_ptr<var_loc>> vars_;
+
+  bool failed_ = false;
+  std::string failure_;
+};
+
+// RAII: attribute instrumented operations on the current (driver) thread
+// to `e` for the guard's lifetime.
+class driver_scope {
+ public:
+  explicit driver_scope(engine& e) : eng_(e) { eng_.bind_driver(); }
+  ~driver_scope();
+
+  driver_scope(const driver_scope&) = delete;
+  driver_scope& operator=(const driver_scope&) = delete;
+
+ private:
+  engine& eng_;
+};
+
+// Test-visible invariant check: records a model-checker failure (with the
+// current interleaving kept exploring) instead of aborting the process.
+inline void check(bool ok, const char* message) {
+  if (!ok) {
+    engine* e = engine::current();
+    if (e != nullptr) e->fail(message);
+  }
+}
+
+}  // namespace lhws::chk

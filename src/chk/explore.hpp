@@ -1,0 +1,255 @@
+// explore<Test>() — the model-checking driver.
+//
+// A Test models one small concurrent scenario:
+//
+//   struct my_test {
+//     static constexpr unsigned num_threads = 2;
+//     my_test();              // runs single-threaded (setup)
+//     void thread(unsigned);  // runs on virtual thread [0, num_threads)
+//     void finish();          // runs single-threaded after all join;
+//                             // assert invariants via chk::check(...)
+//   };
+//
+// Each execution constructs a fresh Test, runs its threads under the
+// engine's cooperative token scheduler, and checks invariants. Two
+// strategies:
+//   - random: `iterations` executions, every nondeterministic choice drawn
+//     from a per-execution reseeded PRNG (reproducible from `seed`).
+//   - exhaustive: depth-first enumeration of the full decision tree
+//     (schedule choices AND weak-memory read choices), capped at
+//     `max_executions`.
+//
+// Test bodies must terminate under every schedule (no unbounded retry
+// loops); the engine aborts past `max_steps` scheduling points.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chk/atomic.hpp"
+#include "chk/engine.hpp"
+#include "support/config.hpp"
+#include "support/rng.hpp"
+
+namespace lhws::chk {
+
+enum class exploration_mode : std::uint8_t { random, exhaustive };
+
+struct options {
+  exploration_mode mode = exploration_mode::random;
+  std::uint64_t iterations = 10000;       // random-mode executions
+  std::uint64_t max_executions = 200000;  // exhaustive-mode safety cap
+  std::uint64_t seed = 0xc0ffee;
+  std::uint64_t max_steps = 1u << 20;
+  mutation mut{};
+  bool stop_on_failure = true;
+};
+
+struct result {
+  std::uint64_t executions = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t schedule_points = 0;
+  std::uint64_t first_failure_execution = 0;
+  bool space_exhausted = false;  // exhaustive mode enumerated everything
+  std::string first_failure;
+
+  [[nodiscard]] bool clean() const noexcept { return failures == 0; }
+};
+
+class random_source final : public decision_source {
+ public:
+  explicit random_source(std::uint64_t seed) : rng_(seed) {}
+  void reseed(std::uint64_t seed) { rng_ = xoshiro256(seed); }
+  std::uint32_t choose(std::uint32_t n) override {
+    return static_cast<std::uint32_t>(rng_.below(n));
+  }
+
+ private:
+  xoshiro256 rng_;
+};
+
+// Depth-first enumeration with replay: decisions beyond the recorded
+// prefix take branch 0 and are recorded; advance() backtracks to the
+// deepest frame with an untried branch.
+class dfs_source final : public decision_source {
+ public:
+  std::uint32_t choose(std::uint32_t n) override {
+    if (pos_ < stack_.size()) {
+      if (stack_[pos_].n != n) {
+        std::fprintf(stderr,
+                     "chk dfs divergence: pos=%zu depth=%zu recorded n=%u "
+                     "chosen=%u, replay n=%u\n",
+                     pos_, stack_.size(), stack_[pos_].n, stack_[pos_].chosen,
+                     n);
+      }
+      LHWS_ASSERT(stack_[pos_].n == n &&
+                  "nondeterministic test: decision tree changed on replay");
+      return stack_[pos_++].chosen;
+    }
+    stack_.push_back(frame{n, 0});
+    ++pos_;
+    return 0;
+  }
+
+  // Prepare the next execution; false once the space is exhausted.
+  bool advance() {
+    while (!stack_.empty() && stack_.back().chosen + 1 >= stack_.back().n) {
+      stack_.pop_back();
+    }
+    if (stack_.empty()) return false;
+    ++stack_.back().chosen;
+    pos_ = 0;
+    return true;
+  }
+
+ private:
+  struct frame {
+    std::uint32_t n;
+    std::uint32_t chosen;
+  };
+  std::vector<frame> stack_;
+  std::size_t pos_ = 0;
+};
+
+// N OS threads reused across executions; each run() dispatches body(tid)
+// to every thread and waits for all to finish. Actual interleaving within
+// a run is governed by the engine's token, not the OS.
+class vthread_pool {
+ public:
+  explicit vthread_pool(unsigned n) : n_(n) {
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~vthread_pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  vthread_pool(const vthread_pool&) = delete;
+  vthread_pool& operator=(const vthread_pool&) = delete;
+
+  void run(engine& eng, const std::function<void(unsigned)>& body) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      eng_ = &eng;
+      body_ = &body;
+      done_ = 0;
+      ++generation_;
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return done_ == n_; });
+    eng_ = nullptr;
+    body_ = nullptr;
+  }
+
+ private:
+  void worker_loop(unsigned tid) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      engine* eng = nullptr;
+      const std::function<void(unsigned)>* body = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        eng = eng_;
+        body = body_;
+      }
+      eng->enter_thread(tid);
+      (*body)(tid);
+      eng->exit_thread(tid);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++done_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  const unsigned n_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  engine* eng_ = nullptr;
+  const std::function<void(unsigned)>* body_ = nullptr;
+  unsigned done_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+template <typename Test>
+concept ExplorableTest = requires(Test t, unsigned i) {
+  { Test::num_threads } -> std::convertible_to<unsigned>;
+  t.thread(i);
+  t.finish();
+};
+
+template <ExplorableTest Test, typename... Args>
+result explore(const options& opt, const Args&... args) {
+  static_assert(Test::num_threads >= 1 &&
+                Test::num_threads < max_threads);  // +1 driver slot
+  random_source random_src(opt.seed);
+  dfs_source dfs_src;
+  decision_source& src =
+      opt.mode == exploration_mode::random
+          ? static_cast<decision_source&>(random_src)
+          : static_cast<decision_source&>(dfs_src);
+  splitmix64 seeder(opt.seed);
+  vthread_pool pool(Test::num_threads);
+  result res;
+  for (;;) {
+    if (opt.mode == exploration_mode::random &&
+        res.executions >= opt.iterations) {
+      break;
+    }
+    if (opt.mode == exploration_mode::exhaustive &&
+        res.executions >= opt.max_executions) {
+      break;
+    }
+    if (opt.mode == exploration_mode::random) random_src.reseed(seeder.next());
+    bool failed = false;
+    std::string message;
+    {
+      engine eng(Test::num_threads, opt.mut, src, opt.max_steps);
+      driver_scope scope(eng);
+      Test t(args...);
+      eng.start_threads();
+      pool.run(eng, [&t](unsigned i) { t.thread(i); });
+      eng.begin_teardown();
+      t.finish();
+      failed = eng.failed();
+      if (failed) message = eng.failure();
+      res.schedule_points += eng.steps();
+    }
+    ++res.executions;
+    if (failed) {
+      ++res.failures;
+      if (res.first_failure.empty()) {
+        res.first_failure = message;
+        res.first_failure_execution = res.executions - 1;
+      }
+      if (opt.stop_on_failure) break;
+    }
+    if (opt.mode == exploration_mode::exhaustive && !dfs_src.advance()) {
+      res.space_exhausted = true;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace lhws::chk

@@ -1,0 +1,44 @@
+// Vector clocks for the concurrency checker.
+//
+// One component per virtual thread (plus one for the explore() driver).
+// Fixed capacity keeps clocks trivially copyable and join/compare branch-
+// free; chk tests never need more than a handful of threads — the state
+// space explodes long before the clock does.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace lhws::chk {
+
+// Virtual threads per execution, including the driver pseudo-thread that
+// runs Test construction, finish() and destruction.
+inline constexpr unsigned max_threads = 8;
+
+struct vclock {
+  std::array<std::uint64_t, max_threads> c{};
+
+  void join(const vclock& o) noexcept {
+    for (unsigned i = 0; i < max_threads; ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+
+  // Does this clock cover the event `stamp` of thread `tid`? (I.e. does
+  // that event happen-before the point holding this clock.)
+  [[nodiscard]] bool covers(unsigned tid, std::uint64_t stamp) const noexcept {
+    return c[tid] >= stamp;
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    for (const std::uint64_t v : c) {
+      if (v != 0) return false;
+    }
+    return true;
+  }
+
+  void clear() noexcept { c.fill(0); }
+};
+
+}  // namespace lhws::chk

@@ -21,18 +21,25 @@
 #include <memory>
 #include <type_traits>
 
+#include "support/atomic_model.hpp"
 #include "support/config.hpp"
 
 namespace lhws {
 
-template <typename T>
+// `Model` supplies the atomic type and fences (support/atomic_model.hpp):
+// real_model for production (plain std::atomic, zero overhead), or
+// chk::check_model to run the algorithm under the model checker.
+template <typename T, typename Model = real_model>
   requires std::is_trivially_copyable_v<T> && (sizeof(T) <= sizeof(void*))
 class chase_lev_deque {
+  template <typename U>
+  using model_atomic = typename Model::template atomic_type<U>;
+
   struct ring {
     explicit ring(std::int64_t cap)
         : capacity(cap),
           mask(cap - 1),
-          slots(new std::atomic<T>[static_cast<std::size_t>(cap)]) {}
+          slots(new model_atomic<T>[static_cast<std::size_t>(cap)]) {}
 
     [[nodiscard]] T get(std::int64_t i) const noexcept {
       return slots[static_cast<std::size_t>(i & mask)].load(
@@ -45,7 +52,7 @@ class chase_lev_deque {
 
     const std::int64_t capacity;
     const std::int64_t mask;
-    std::unique_ptr<std::atomic<T>[]> slots;
+    std::unique_ptr<model_atomic<T>[]> slots;
     ring* retired_next = nullptr;
   };
 
@@ -79,7 +86,7 @@ class chase_lev_deque {
       buf = grow(buf, t, b);
     }
     buf->put(b, value);
-    std::atomic_thread_fence(std::memory_order_release);
+    Model::fence(std::memory_order_release);
     bottom_.store(b + 1, std::memory_order_relaxed);
   }
 
@@ -88,7 +95,7 @@ class chase_lev_deque {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     ring* buf = buffer_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Model::fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t <= b) {
       out = buf->get(b);
@@ -112,7 +119,7 @@ class chase_lev_deque {
   // count as one steal attempt in the analysis).
   bool pop_top(T& out) {
     std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Model::fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t < b) {
       ring* buf = buffer_.load(std::memory_order_consume);
@@ -150,9 +157,9 @@ class chase_lev_deque {
     return bigger;
   }
 
-  alignas(cache_line_size) std::atomic<std::int64_t> top_;
-  alignas(cache_line_size) std::atomic<std::int64_t> bottom_;
-  alignas(cache_line_size) std::atomic<ring*> buffer_;
+  alignas(cache_line_size) model_atomic<std::int64_t> top_;
+  alignas(cache_line_size) model_atomic<std::int64_t> bottom_;
+  alignas(cache_line_size) model_atomic<ring*> buffer_;
   ring* retired_;  // owner-only
 };
 

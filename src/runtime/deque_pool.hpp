@@ -16,36 +16,45 @@
 #include <vector>
 
 #include "runtime/runtime_deque.hpp"
+#include "support/atomic_model.hpp"
 #include "support/config.hpp"
 #include "support/rng.hpp"
 
 namespace lhws::rt {
 
-class deque_pool {
+// Generic over the deque type Q (so the checker can model the protocol
+// with a dummy payload) and the memory-model policy (real_model in
+// production, chk::check_model under the model checker). Q needs only a
+// Q(std::uint32_t owner) constructor.
+template <typename Q, typename Model = real_model>
+class basic_deque_pool {
+  template <typename U>
+  using model_atomic = typename Model::template atomic_type<U>;
+
  public:
-  explicit deque_pool(std::size_t capacity) : slots_(capacity) {
+  explicit basic_deque_pool(std::size_t capacity) : slots_(capacity) {
     LHWS_ASSERT(capacity >= 1);
     for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
   }
 
-  ~deque_pool() {
+  ~basic_deque_pool() {
     const std::size_t n = total_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
       delete slots_[i].load(std::memory_order_relaxed);
     }
   }
 
-  deque_pool(const deque_pool&) = delete;
-  deque_pool& operator=(const deque_pool&) = delete;
+  basic_deque_pool(const basic_deque_pool&) = delete;
+  basic_deque_pool& operator=(const basic_deque_pool&) = delete;
 
   // Figure 5's newDeque() without the emptyDeques fast path (which lives in
   // the worker, who owns its free list): allocates the next global slot.
-  runtime_deque* allocate(std::uint32_t owner) {
+  Q* allocate(std::uint32_t owner) {
     const std::size_t i = total_.fetch_add(1, std::memory_order_acq_rel);
     LHWS_ASSERT(i < slots_.size() &&
                 "deque pool capacity exhausted; raise scheduler_config::"
                 "deque_pool_capacity");
-    auto* q = new runtime_deque(owner);
+    auto* q = new Q(owner);
     slots_[i].store(q, std::memory_order_release);
     return q;
   }
@@ -53,7 +62,7 @@ class deque_pool {
   // randomDeque(): uniform over [0, gTotalDeques). May return nullptr if
   // the chosen slot's pointer store has not become visible yet — callers
   // treat that as a failed steal, which the analysis already accounts for.
-  runtime_deque* random_deque(xoshiro256& rng) const {
+  Q* random_deque(xoshiro256& rng) const {
     const std::size_t n = total_.load(std::memory_order_acquire);
     if (n == 0) return nullptr;
     return slots_[rng.below(n)].load(std::memory_order_acquire);
@@ -64,8 +73,11 @@ class deque_pool {
   }
 
  private:
-  std::vector<std::atomic<runtime_deque*>> slots_;
-  alignas(cache_line_size) std::atomic<std::size_t> total_{0};
+  std::vector<model_atomic<Q*>> slots_;
+  alignas(cache_line_size) model_atomic<std::size_t> total_{0};
 };
+
+// The production pool of Figure 5.
+using deque_pool = basic_deque_pool<runtime_deque>;
 
 }  // namespace lhws::rt

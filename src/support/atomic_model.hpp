@@ -1,0 +1,55 @@
+// Memory-model policy injected into the lock-free structures.
+//
+// Every lock-free structure in the tree (chase_lev_deque, mpsc_stack,
+// basic_deque_pool) takes a `Model` template parameter that supplies its
+// atomic type and thread fences. Production code uses `real_model`, which
+// aliases std::atomic / std::atomic_thread_fence directly — the indirection
+// compiles away entirely. The concurrency checker in src/chk/ supplies
+// `chk::check_model`, whose atomics route every operation through a
+// model-checking engine (deterministic interleaving exploration plus a
+// vector-clock happens-before checker) without touching the algorithm code.
+#pragma once
+
+#include <atomic>
+
+#if defined(__SANITIZE_THREAD__)
+#define LHWS_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LHWS_TSAN_ACTIVE 1
+#endif
+#endif
+
+namespace lhws {
+
+#ifdef LHWS_TSAN_ACTIVE
+namespace detail {
+inline std::atomic<unsigned>& tsan_fence_proxy() noexcept {
+  static std::atomic<unsigned> proxy{0};
+  return proxy;
+}
+}  // namespace detail
+#endif
+
+struct real_model {
+  template <typename T>
+  using atomic_type = std::atomic<T>;
+
+#ifdef LHWS_TSAN_ACTIVE
+  // ThreadSanitizer does not model atomic_thread_fence (GCC rejects it
+  // outright with -Werror=tsan), so every fence-based synchronization in
+  // the Chase-Lev deque would be reported as a race. Substitute a seq_cst
+  // RMW on one shared dummy: strictly stronger than any thread fence and
+  // fully tracked by TSan's happens-before machinery. Sanitizer builds
+  // only — production keeps the plain fence below.
+  static void fence(std::memory_order) noexcept {
+    detail::tsan_fence_proxy().fetch_add(1, std::memory_order_seq_cst);
+  }
+#else
+  static void fence(std::memory_order order) noexcept {
+    std::atomic_thread_fence(order);
+  }
+#endif
+};
+
+}  // namespace lhws

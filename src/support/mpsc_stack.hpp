@@ -12,6 +12,8 @@
 
 #include <atomic>
 
+#include "support/atomic_model.hpp"
+
 namespace lhws {
 
 template <typename Node>
@@ -19,7 +21,9 @@ concept IntrusiveNode = requires(Node n) {
   { n.next } -> std::convertible_to<Node*>;
 };
 
-template <IntrusiveNode Node>
+// `Model` supplies the atomic head (support/atomic_model.hpp): real_model
+// in production, chk::check_model under the model checker.
+template <IntrusiveNode Node, typename Model = real_model>
 class mpsc_stack {
  public:
   mpsc_stack() noexcept : head_(nullptr) {}
@@ -30,18 +34,28 @@ class mpsc_stack {
   // Push from any thread. Returns true if the stack was empty beforehand —
   // the paper uses exactly this edge (resumedVertices.size == 1) to decide
   // whether the deque must also be registered in resumedDeques.
+  //
+  // The head loads are acquire, not relaxed: a producer that observes the
+  // empty stack left by pop_all is about to re-register the owning node in
+  // an outer stack, overwriting the intrusive link the consumer read just
+  // before draining. The acquire here pairs with the release in pop_all to
+  // order that overwrite after the consumer's read of the link.
   bool push(Node* node) noexcept {
-    Node* old = head_.load(std::memory_order_relaxed);
+    Node* old = head_.load(std::memory_order_acquire);
     do {
       node->next = old;
     } while (!head_.compare_exchange_weak(old, node, std::memory_order_release,
-                                          std::memory_order_relaxed));
+                                          std::memory_order_acquire));
     return old == nullptr;
   }
 
   // Detach the whole list (consumer only). Returned chain is LIFO order.
+  // acq_rel: acquire to see the pushed nodes' contents, release so that a
+  // producer whose push observes the emptied stack is ordered after every
+  // consumer read that preceded the drain (the re-registration protocol in
+  // worker::add_resumed_vertices depends on this edge).
   Node* pop_all() noexcept {
-    return head_.exchange(nullptr, std::memory_order_acquire);
+    return head_.exchange(nullptr, std::memory_order_acq_rel);
   }
 
   [[nodiscard]] bool empty() const noexcept {
@@ -49,7 +63,7 @@ class mpsc_stack {
   }
 
  private:
-  std::atomic<Node*> head_;
+  typename Model::template atomic_type<Node*> head_;
 };
 
 }  // namespace lhws

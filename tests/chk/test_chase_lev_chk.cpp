@@ -1,0 +1,168 @@
+// Model checking the Chase-Lev deque (Lê et al. PPoPP'13 orderings)
+// under the chk engine: ≥10k random interleavings plus a bounded
+// exhaustive pass must be clean, and deliberately weakening the take/steal
+// seq_cst fences (the mutation the PPoPP'13 paper proves necessary) must
+// produce an observable duplicated/lost element.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "chk/atomic.hpp"
+#include "chk/explore.hpp"
+#include "deque/chase_lev_deque.hpp"
+
+namespace lhws {
+namespace {
+
+using chk::check;
+
+// One owner (pushes then pops from the bottom) against two thieves.
+// Every pushed value must be delivered exactly once across owner pops,
+// steals, and the final drain. Initial capacity 2 so the growth path is
+// inside the explored window.
+struct chase_lev_scenario {
+  static constexpr unsigned num_threads = 3;
+  static constexpr std::uintptr_t num_values = 4;
+
+  chase_lev_deque<std::uintptr_t, chk::check_model> deque{2};
+  // Per-thread delivery logs (disjoint slots; joined before finish()).
+  std::vector<std::uintptr_t> got[num_threads];
+
+  void thread(unsigned tid) {
+    if (tid == 0) {
+      std::uintptr_t out = 0;
+      deque.push_bottom(1);
+      deque.push_bottom(2);
+      if (deque.pop_bottom(out)) got[0].push_back(out);
+      deque.push_bottom(3);
+      deque.push_bottom(4);
+      if (deque.pop_bottom(out)) got[0].push_back(out);
+      if (deque.pop_bottom(out)) got[0].push_back(out);
+    } else {
+      std::uintptr_t out = 0;
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        if (deque.pop_top(out)) got[tid].push_back(out);
+      }
+    }
+  }
+
+  void finish() {
+    std::uintptr_t out = 0;
+    while (deque.pop_bottom(out)) got[0].push_back(out);
+    unsigned count[num_values + 1] = {};
+    for (const auto& log : got) {
+      for (const std::uintptr_t v : log) {
+        check(v >= 1 && v <= num_values, "chase_lev: impossible value");
+        if (v >= 1 && v <= num_values) ++count[v];
+      }
+    }
+    for (std::uintptr_t v = 1; v <= num_values; ++v) {
+      check(count[v] <= 1, "chase_lev: value delivered twice");
+      check(count[v] >= 1, "chase_lev: value lost");
+    }
+  }
+};
+
+TEST(ChaseLevModel, CleanOverTenThousandRandomInterleavings) {
+  chk::options opt;
+  opt.iterations = 10000;
+  const chk::result res = chk::explore<chase_lev_scenario>(opt);
+  EXPECT_EQ(res.failures, 0u)
+      << res.first_failure << " (execution " << res.first_failure_execution
+      << ")";
+  EXPECT_GE(res.executions, 10000u);
+  EXPECT_GT(res.schedule_points, res.executions * 10)
+      << "scenario too small to mean anything";
+}
+
+TEST(ChaseLevModel, CleanUnderBoundedExhaustiveExploration) {
+  chk::options opt;
+  opt.mode = chk::exploration_mode::exhaustive;
+  opt.max_executions = 30000;
+  const chk::result res = chk::explore<chase_lev_scenario>(opt);
+  EXPECT_EQ(res.failures, 0u)
+      << res.first_failure << " (execution " << res.first_failure_execution
+      << ")";
+}
+
+// Grow-path scenario: capacity 2, three pushes, so the third push resizes
+// the ring while a thief races a steal. The new buffer is published with
+// buffer_.store(..., release) precisely so a thief's consume/acquire load
+// of the pointer also acquires the copied slots; this scenario puts that
+// edge inside the explored window.
+struct chase_lev_grow_scenario {
+  static constexpr unsigned num_threads = 2;
+  static constexpr std::uintptr_t num_values = 3;
+
+  chase_lev_deque<std::uintptr_t, chk::check_model> deque{2};
+  std::vector<std::uintptr_t> got[num_threads];
+
+  void thread(unsigned tid) {
+    std::uintptr_t out = 0;
+    if (tid == 0) {
+      deque.push_bottom(1);
+      deque.push_bottom(2);
+      deque.push_bottom(3);  // grows the ring from 2 to 4 slots
+    } else {
+      if (deque.pop_top(out)) got[tid].push_back(out);
+    }
+  }
+
+  void finish() {
+    std::uintptr_t out = 0;
+    while (deque.pop_bottom(out)) got[0].push_back(out);
+    unsigned count[num_values + 1] = {};
+    for (const auto& log : got) {
+      for (const std::uintptr_t v : log) {
+        check(v >= 1 && v <= num_values, "chase_lev: impossible value");
+        if (v >= 1 && v <= num_values) ++count[v];
+      }
+    }
+    for (std::uintptr_t v = 1; v <= num_values; ++v) {
+      check(count[v] <= 1, "chase_lev: value delivered twice");
+      check(count[v] >= 1, "chase_lev: value lost");
+    }
+  }
+};
+
+// The PPoPP'13 formalization proves the seq_cst fences in take (pop_bottom)
+// and steal (pop_top) necessary: without them the owner can read a stale
+// top while a thief reads a stale bottom, and one element is taken twice.
+// The checker must reproduce that as a concrete failing interleaving.
+TEST(ChaseLevModel, WeakenedSeqCstFenceCaught) {
+  chk::options opt;
+  opt.iterations = 10000;
+  opt.mut.weaken_sc_fence = true;
+  const chk::result res = chk::explore<chase_lev_scenario>(opt);
+  EXPECT_GT(res.failures, 0u)
+      << "relaxing the take/steal seq_cst fences must be detected";
+}
+
+// The grow path must be clean as written...
+TEST(ChaseLevModel, GrowScenarioCleanExhaustive) {
+  chk::options opt;
+  opt.mode = chk::exploration_mode::exhaustive;
+  opt.max_executions = 100000;
+  const chk::result res = chk::explore<chase_lev_grow_scenario>(opt);
+  EXPECT_EQ(res.failures, 0u)
+      << res.first_failure << " (execution " << res.first_failure_execution
+      << ")";
+}
+
+// ...and the release on the grow path's buffer_ publication is load-bearing:
+// relaxed publication lets a thief that read a stale bottom pick up the new
+// ring pointer before the copied slots are visible and steal an
+// uninitialized value.
+TEST(ChaseLevModel, WeakenedBufferPublicationCaught) {
+  chk::options opt;
+  opt.mode = chk::exploration_mode::exhaustive;
+  opt.max_executions = 100000;
+  opt.mut.weaken_release_store = true;
+  const chk::result res = chk::explore<chase_lev_grow_scenario>(opt);
+  EXPECT_GT(res.failures, 0u)
+      << "relaxed ring publication must surface a bogus steal";
+}
+
+}  // namespace
+}  // namespace lhws

@@ -1,0 +1,277 @@
+// Sanity tests for the chk explorer and its memory model: the checker must
+// (a) find classic interleaving bugs, (b) exhibit weak-memory behaviours
+// when orderings are insufficient, (c) stay quiet on correct code, and
+// (d) detect plain-data races via the vector-clock checker.
+#include <gtest/gtest.h>
+
+#include "chk/atomic.hpp"
+#include "chk/engine.hpp"
+#include "chk/explore.hpp"
+#include "chk/vclock.hpp"
+
+namespace lhws::chk {
+namespace {
+
+TEST(VClock, JoinAndCovers) {
+  vclock a, b;
+  a.c[0] = 3;
+  b.c[1] = 5;
+  EXPECT_TRUE(a.covers(0, 3));
+  EXPECT_FALSE(a.covers(0, 4));
+  EXPECT_TRUE(a.covers(1, 0));
+  a.join(b);
+  EXPECT_TRUE(a.covers(0, 3));
+  EXPECT_TRUE(a.covers(1, 5));
+  EXPECT_FALSE(a.is_zero());
+  a.clear();
+  EXPECT_TRUE(a.is_zero());
+}
+
+// Two threads increment a counter with a load/store pair instead of an RMW:
+// the classic lost update. The explorer must find an interleaving where the
+// final value is 1.
+struct lost_update_test {
+  static constexpr unsigned num_threads = 2;
+  atomic<int> counter{0};
+
+  void thread(unsigned) {
+    const int v = counter.load(std::memory_order_relaxed);
+    counter.store(v + 1, std::memory_order_relaxed);
+  }
+
+  void finish() {
+    check(counter.load(std::memory_order_relaxed) == 2,
+          "lost update: counter != 2");
+  }
+};
+
+TEST(Explorer, FindsLostUpdateRandom) {
+  options opt;
+  opt.iterations = 2000;
+  const result res = explore<lost_update_test>(opt);
+  EXPECT_GT(res.failures, 0u);
+  EXPECT_NE(res.first_failure.find("lost update"), std::string::npos);
+}
+
+TEST(Explorer, FindsLostUpdateExhaustive) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  const result res = explore<lost_update_test>(opt);
+  EXPECT_GT(res.failures, 0u);
+}
+
+// The fetch_add version is correct and must stay clean over the whole
+// (small) schedule space.
+struct rmw_counter_test {
+  static constexpr unsigned num_threads = 2;
+  atomic<int> counter{0};
+
+  void thread(unsigned) { counter.fetch_add(1, std::memory_order_relaxed); }
+
+  void finish() {
+    check(counter.load(std::memory_order_relaxed) == 2, "rmw counter != 2");
+  }
+};
+
+TEST(Explorer, RmwCounterCleanExhaustive) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  const result res = explore<rmw_counter_test>(opt);
+  EXPECT_EQ(res.failures, 0u) << res.first_failure;
+  EXPECT_TRUE(res.space_exhausted);
+  EXPECT_GT(res.executions, 1u);
+}
+
+// Message passing: data is published relaxed, the flag with release;
+// the reader acquires the flag. Correct as written; with the release store
+// weakened to relaxed the reader may observe flag==1 but stale data==0 —
+// the store-history model must actually produce that stale read.
+struct message_passing_test {
+  static constexpr unsigned num_threads = 2;
+  atomic<int> data{0};
+  atomic<int> flag{0};
+
+  void thread(unsigned tid) {
+    if (tid == 0) {
+      data.store(42, std::memory_order_relaxed);
+      flag.store(1, std::memory_order_release);
+    } else {
+      if (flag.load(std::memory_order_acquire) == 1) {
+        check(data.load(std::memory_order_relaxed) == 42,
+              "stale data read after acquiring flag");
+      }
+    }
+  }
+
+  void finish() {}
+};
+
+TEST(Explorer, MessagePassingCleanExhaustive) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  const result res = explore<message_passing_test>(opt);
+  EXPECT_EQ(res.failures, 0u) << res.first_failure;
+  EXPECT_TRUE(res.space_exhausted);
+}
+
+TEST(Explorer, MessagePassingBrokenByWeakenedRelease) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  opt.mut.weaken_release_store = true;
+  const result res = explore<message_passing_test>(opt);
+  EXPECT_GT(res.failures, 0u)
+      << "weakened release must allow a stale data read";
+}
+
+TEST(Explorer, MessagePassingBrokenByWeakenedAcquire) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  opt.mut.weaken_acquire_load = true;
+  const result res = explore<message_passing_test>(opt);
+  EXPECT_GT(res.failures, 0u)
+      << "weakened acquire must allow a stale data read";
+}
+
+// Store buffering (Dekker): with only release/acquire both threads may read
+// 0 — the model must exhibit it. seq_cst fences forbid it.
+struct store_buffering_test {
+  static constexpr unsigned num_threads = 2;
+  explicit store_buffering_test(bool use_fence) : fence(use_fence) {}
+  bool fence;
+  atomic<int> x{0};
+  atomic<int> y{0};
+  int r0 = 0;
+  int r1 = 0;
+
+  void thread(unsigned tid) {
+    atomic<int>& mine = tid == 0 ? x : y;
+    atomic<int>& other = tid == 0 ? y : x;
+    mine.store(1, std::memory_order_release);
+    if (fence) check_model::fence(std::memory_order_seq_cst);
+    (tid == 0 ? r0 : r1) = other.load(std::memory_order_acquire);
+  }
+
+  void finish() {
+    check(r0 == 1 || r1 == 1, "store buffering: both threads read 0");
+  }
+};
+
+TEST(Explorer, StoreBufferingObservedWithoutFence) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  const result res = explore<store_buffering_test>(opt, false);
+  EXPECT_GT(res.failures, 0u) << "rel/acq alone cannot forbid r0==r1==0";
+}
+
+TEST(Explorer, StoreBufferingForbiddenByScFences) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  const result res = explore<store_buffering_test>(opt, true);
+  EXPECT_EQ(res.failures, 0u) << res.first_failure;
+  EXPECT_TRUE(res.space_exhausted);
+}
+
+TEST(Explorer, StoreBufferingReappearsWhenScFenceWeakened) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  opt.mut.weaken_sc_fence = true;
+  const result res = explore<store_buffering_test>(opt, true);
+  EXPECT_GT(res.failures, 0u);
+}
+
+// Same litmus expressed with seq_cst operations instead of fences: the SC
+// total order over the stores/loads themselves forbids r0 == r1 == 0, and
+// downgrading the ops to acq_rel/acquire (weaken_sc_op) re-allows it.
+struct store_buffering_sc_ops_test {
+  static constexpr unsigned num_threads = 2;
+  atomic<int> x{0};
+  atomic<int> y{0};
+  int r0 = 0;
+  int r1 = 0;
+
+  void thread(unsigned tid) {
+    atomic<int>& mine = tid == 0 ? x : y;
+    atomic<int>& other = tid == 0 ? y : x;
+    mine.store(1, std::memory_order_seq_cst);
+    (tid == 0 ? r0 : r1) = other.load(std::memory_order_seq_cst);
+  }
+
+  void finish() {
+    check(r0 == 1 || r1 == 1, "store buffering: both threads read 0");
+  }
+};
+
+TEST(Explorer, StoreBufferingForbiddenByScOps) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  const result res = explore<store_buffering_sc_ops_test>(opt);
+  EXPECT_EQ(res.failures, 0u) << res.first_failure;
+  EXPECT_TRUE(res.space_exhausted);
+}
+
+TEST(Explorer, StoreBufferingReappearsWhenScOpsWeakened) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  opt.mut.weaken_sc_op = true;
+  const result res = explore<store_buffering_sc_ops_test>(opt);
+  EXPECT_GT(res.failures, 0u)
+      << "downgraded seq_cst ops must re-allow the weak behaviour";
+}
+
+// Vector-clock race detection on plain data: an unsynchronized write/read
+// pair must be reported no matter which interleaving actually ran; adding
+// a release/acquire handshake silences it.
+struct plain_race_test {
+  static constexpr unsigned num_threads = 2;
+  explicit plain_race_test(bool synchronize) : sync(synchronize) {}
+  bool sync;
+  var<int> data{0, "plain_race.data"};
+  atomic<int> flag{0};
+
+  void thread(unsigned tid) {
+    if (tid == 0) {
+      data = 7;
+      flag.store(1, std::memory_order_release);
+    } else {
+      if (flag.load(std::memory_order_acquire) == 1 || !sync) {
+        const int v = data;
+        (void)v;
+      }
+    }
+  }
+
+  void finish() {}
+};
+
+TEST(Explorer, PlainRaceDetected) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  const result res = explore<plain_race_test>(opt, false);
+  EXPECT_GT(res.failures, 0u);
+  EXPECT_NE(res.first_failure.find("data race"), std::string::npos)
+      << res.first_failure;
+  EXPECT_NE(res.first_failure.find("plain_race.data"), std::string::npos)
+      << res.first_failure;
+}
+
+TEST(Explorer, PlainAccessRaceFreeWithHandshake) {
+  options opt;
+  opt.mode = exploration_mode::exhaustive;
+  const result res = explore<plain_race_test>(opt, true);
+  EXPECT_EQ(res.failures, 0u) << res.first_failure;
+}
+
+TEST(Explorer, RandomModeIsReproducible) {
+  options opt;
+  opt.iterations = 300;
+  opt.seed = 1234;
+  const result a = explore<lost_update_test>(opt);
+  const result b = explore<lost_update_test>(opt);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.executions, b.executions);
+  EXPECT_EQ(a.first_failure_execution, b.first_failure_execution);
+  EXPECT_EQ(a.schedule_points, b.schedule_points);
+}
+
+}  // namespace
+}  // namespace lhws::chk

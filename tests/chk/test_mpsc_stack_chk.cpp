@@ -1,0 +1,222 @@
+// Model checking the mpsc_stack resume channel: two producers race pushes
+// against a consumer draining with pop_all. The vector-clock checker
+// validates the release-CAS / acquire-exchange handshake: node fields
+// written by producers before push are read race-free by the consumer, and
+// weakening the push's release ordering is reported as a data race.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "chk/atomic.hpp"
+#include "chk/explore.hpp"
+#include "support/mpsc_stack.hpp"
+
+namespace lhws {
+namespace {
+
+using chk::check;
+
+struct chk_node {
+  chk::var<chk_node*> next{nullptr, "node.next"};
+  chk::var<std::uint64_t> payload{0, "node.payload"};
+};
+
+static_assert(IntrusiveNode<chk_node>);
+
+struct mpsc_scenario {
+  static constexpr unsigned num_threads = 3;  // 2 producers + 1 consumer
+
+  mpsc_stack<chk_node, chk::check_model> stack;
+  chk_node nodes[4];
+  unsigned delivered[num_threads] = {};  // per-thread counters
+  std::uint64_t sum[num_threads] = {};
+  unsigned per_producer_edges[2] = {};  // "was empty" push results
+
+  void drain(unsigned tid) {
+    for (chk_node* n = stack.pop_all(); n != nullptr; n = n->next) {
+      ++delivered[tid];
+      sum[tid] += n->payload;  // race-checked read of producer-written data
+    }
+  }
+
+  void thread(unsigned tid) {
+    if (tid < 2) {
+      for (unsigned k = 0; k < 2; ++k) {
+        chk_node& n = nodes[tid * 2 + k];
+        n.payload = 10 * tid + k + 1;  // written BEFORE the release push
+        if (stack.push(&n)) ++per_producer_edges[tid];
+      }
+    } else {
+      drain(tid);  // racing drain mid-stream
+    }
+  }
+
+  void finish() {
+    drain(2);  // driver drains the remainder through the consumer's log
+    unsigned total = 0;
+    std::uint64_t total_sum = 0;
+    for (unsigned t = 0; t < num_threads; ++t) {
+      total += delivered[t];
+      total_sum += sum[t];
+    }
+    check(total == 4, "mpsc: nodes lost or duplicated");
+    check(total_sum == 1 + 2 + 11 + 12, "mpsc: payload corrupted");
+    // The empty->nonempty edge fires at least once (the paper's
+    // resumedVertices.size == 1 registration test) and never more often
+    // than drains could have reset it (2 drains + initial empty).
+    const unsigned edges = per_producer_edges[0] + per_producer_edges[1];
+    check(edges >= 1, "mpsc: empty->nonempty edge never observed");
+    check(edges <= 3, "mpsc: empty->nonempty edge over-reported");
+  }
+};
+
+TEST(MpscStackModel, CleanOverTenThousandRandomInterleavings) {
+  chk::options opt;
+  opt.iterations = 10000;
+  const chk::result res = chk::explore<mpsc_scenario>(opt);
+  EXPECT_EQ(res.failures, 0u)
+      << res.first_failure << " (execution " << res.first_failure_execution
+      << ")";
+  EXPECT_GE(res.executions, 10000u);
+}
+
+TEST(MpscStackModel, CleanUnderBoundedExhaustiveExploration) {
+  chk::options opt;
+  opt.mode = chk::exploration_mode::exhaustive;
+  opt.max_executions = 30000;
+  const chk::result res = chk::explore<mpsc_scenario>(opt);
+  EXPECT_EQ(res.failures, 0u)
+      << res.first_failure << " (execution " << res.first_failure_execution
+      << ")";
+}
+
+// push's CAS success ordering is release precisely so the consumer's
+// acquire exchange synchronizes with the producer's preceding plain writes
+// (node.payload, node.next). Weakened to relaxed, the happens-before edge
+// disappears and the consumer's reads become data races.
+TEST(MpscStackModel, WeakenedReleasePushCaught) {
+  chk::options opt;
+  opt.iterations = 10000;
+  opt.mut.weaken_release_store = true;
+  const chk::result res = chk::explore<mpsc_scenario>(opt);
+  EXPECT_GT(res.failures, 0u);
+  EXPECT_NE(res.first_failure.find("data race"), std::string::npos)
+      << res.first_failure;
+}
+
+// pop_all's exchange must be acquire for the same edge, from the consumer
+// side.
+TEST(MpscStackModel, WeakenedAcquireDrainCaught) {
+  chk::options opt;
+  opt.iterations = 10000;
+  opt.mut.weaken_acquire_load = true;
+  const chk::result res = chk::explore<mpsc_scenario>(opt);
+  EXPECT_GT(res.failures, 0u);
+  EXPECT_NE(res.first_failure.find("data race"), std::string::npos)
+      << res.first_failure;
+}
+
+// Regression for the deque re-registration race found by TSan in
+// worker::add_resumed_vertices. The runtime stacks are two-level: each
+// deque owns a vertex stack (resumedVertices) and is itself a node of the
+// worker's deque stack (resumedDeques), linked through the same intrusive
+// `next` field the outer push writes. The consumer must read q->next
+// BEFORE draining q's vertex stack, because a producer that observes the
+// drained (empty) vertex stack immediately re-registers q in the outer
+// stack, overwriting q->next. That protocol is only sound if the drain's
+// store is release and the producer's head load is acquire — otherwise the
+// overwrite races with (and on arm can become visible before) the
+// consumer's link read.
+struct chk_vertex {
+  chk::var<chk_vertex*> next{nullptr, "vertex.next"};
+};
+
+struct chk_deque {
+  chk::var<chk_deque*> next{nullptr, "deque.next"};
+  mpsc_stack<chk_vertex, chk::check_model> resumed;
+};
+
+struct reregister_scenario {
+  static constexpr unsigned num_threads = 2;  // consumer + resuming producer
+
+  mpsc_stack<chk_deque, chk::check_model> outer;
+  chk_deque q;
+  chk_vertex v1, v2;
+  unsigned vertices_seen = 0;
+
+  reregister_scenario() {
+    // Pre-state (driver context, happens-before both threads): one vertex
+    // already delivered, deque registered with its worker.
+    q.resumed.push(&v1);
+    outer.push(&q);
+  }
+
+  // Mirrors worker::add_resumed_vertices.
+  void consume() {
+    for (chk_deque* d = outer.pop_all(); d != nullptr;) {
+      chk_deque* following = d->next;  // link read BEFORE the drain
+      for (chk_vertex* n = d->resumed.pop_all(); n != nullptr; n = n->next) {
+        ++vertices_seen;
+      }
+      d = following;
+    }
+  }
+
+  void thread(unsigned tid) {
+    if (tid == 0) {
+      consume();
+    } else {
+      // deliver_resume for v2: on the empty->nonempty edge, re-register the
+      // deque — this push overwrites q.next.
+      if (q.resumed.push(&v2)) outer.push(&q);
+    }
+  }
+
+  void finish() {
+    consume();  // driver drains whatever the racing consumer missed
+    check(vertices_seen == 2, "reregistration: vertex lost or duplicated");
+  }
+};
+
+TEST(MpscStackModel, ReregistrationCleanExhaustive) {
+  chk::options opt;
+  opt.mode = chk::exploration_mode::exhaustive;
+  opt.max_executions = 100000;
+  const chk::result res = chk::explore<reregister_scenario>(opt);
+  EXPECT_EQ(res.failures, 0u)
+      << res.first_failure << " (execution " << res.first_failure_execution
+      << ")";
+  EXPECT_TRUE(res.space_exhausted);
+}
+
+// Stripping the release half of pop_all's acq_rel exchange reopens the
+// race: the producer's CAS still reads the drained head, but no longer
+// synchronizes with the consumer, so the q.next overwrite races with the
+// consumer's link read.
+TEST(MpscStackModel, ReregistrationWeakenedDrainReleaseCaught) {
+  chk::options opt;
+  opt.mode = chk::exploration_mode::exhaustive;
+  opt.max_executions = 100000;
+  opt.mut.weaken_release_store = true;
+  const chk::result res = chk::explore<reregister_scenario>(opt);
+  EXPECT_GT(res.failures, 0u);
+  EXPECT_NE(res.first_failure.find("data race"), std::string::npos)
+      << res.first_failure;
+}
+
+// The consumer-side half of the same edge: the producer's acquire head
+// loads. Relaxed, the producer may order the overwrite before the drain it
+// observed.
+TEST(MpscStackModel, ReregistrationWeakenedPushAcquireCaught) {
+  chk::options opt;
+  opt.mode = chk::exploration_mode::exhaustive;
+  opt.max_executions = 100000;
+  opt.mut.weaken_acquire_load = true;
+  const chk::result res = chk::explore<reregister_scenario>(opt);
+  EXPECT_GT(res.failures, 0u);
+  EXPECT_NE(res.first_failure.find("data race"), std::string::npos)
+      << res.first_failure;
+}
+
+}  // namespace
+}  // namespace lhws

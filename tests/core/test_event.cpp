@@ -2,6 +2,7 @@
 // multiple events per task, and engine equivalence.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -77,12 +78,22 @@ TEST(Event, SeveralEventsAwaitedSequentially) {
 TEST(Event, BlockingEngineWaitsCorrectly) {
   scheduler sched(opts(2, engine::blocking));
   event<int> ev;
+  // Gate the producer on a flag the task raises immediately before the
+  // await: a fixed pre-set delay alone lets slow starts (sanitizer builds)
+  // reach set() before the await, taking the fast path and recording no
+  // blocked wait.
+  std::atomic<bool> awaiting{false};
   std::thread producer([&] {
+    while (!awaiting.load(std::memory_order_acquire)) {
+    }
     std::this_thread::sleep_for(5ms);
     ev.set(7);
   });
-  auto root = [](event<int>& e) -> task<int> { co_return co_await e; };
-  EXPECT_EQ(sched.run(root(ev)), 7);
+  auto root = [](event<int>& e, std::atomic<bool>& flag) -> task<int> {
+    flag.store(true, std::memory_order_release);
+    co_return co_await e;
+  };
+  EXPECT_EQ(sched.run(root(ev, awaiting)), 7);
   EXPECT_EQ(sched.stats().blocked_waits, 1u);
   producer.join();
 }

