@@ -9,10 +9,12 @@
 // to cover the compute).
 //
 // Defaults keep the whole sweep under ~30s; LHWS_BENCH_SCALE=large uses
-// bigger n/delta.
+// bigger n/delta. Every run is also appended to BENCH_fig11_runtime.json
+// (counters + wake-latency percentiles) for machine consumption.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -45,15 +47,84 @@ lhws::task<long> benchmark_root(std::size_t n, std::chrono::microseconds delta,
       [](long a, long b) { return (a + b) % kModulus; });
 }
 
+struct run_record {
+  std::string regime;
+  long long delta_us = 0;
+  const char* engine = "";
+  unsigned workers = 0;
+  double ms = 0;
+  lhws::rt::run_stats stats;
+  std::uint64_t wake_p50_ns = 0;
+  std::uint64_t wake_p95_ns = 0;
+  std::uint64_t wake_p99_ns = 0;
+};
+
 double time_run(lhws::engine eng, unsigned workers, std::size_t n,
-                std::chrono::microseconds delta, unsigned fib_n) {
+                std::chrono::microseconds delta, unsigned fib_n,
+                const char* regime, std::vector<run_record>& records) {
   lhws::scheduler_options opts;
   opts.workers = workers;
   opts.engine_kind = eng;
   opts.seed = 11;
+  opts.metrics = true;
   lhws::scheduler sched(opts);
   (void)sched.run(benchmark_root(n, delta, fib_n));
-  return sched.stats().elapsed_ms;
+  run_record rec;
+  rec.regime = regime;
+  rec.delta_us = delta.count();
+  rec.engine = eng == lhws::engine::latency_hiding ? "lhws" : "ws";
+  rec.workers = workers;
+  rec.ms = sched.stats().elapsed_ms;
+  rec.stats = sched.stats();
+  rec.wake_p50_ns = sched.histograms().wake_latency.quantile(0.50);
+  rec.wake_p95_ns = sched.histograms().wake_latency.quantile(0.95);
+  rec.wake_p99_ns = sched.histograms().wake_latency.quantile(0.99);
+  records.push_back(std::move(rec));
+  return records.back().ms;
+}
+
+void print_per_worker(const run_record& rec) {
+  std::printf("      per-worker (%s, P=%u):", rec.engine, rec.workers);
+  for (std::size_t w = 0; w < rec.stats.per_worker.size(); ++w) {
+    const auto& ws = rec.stats.per_worker[w];
+    std::printf("  w%zu seg=%llu steals=%llu", w,
+                static_cast<unsigned long long>(ws.segments_executed),
+                static_cast<unsigned long long>(ws.successful_steals));
+  }
+  std::printf("\n");
+}
+
+void write_json(const std::vector<run_record>& records, const char* path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "{\"bench\":\"fig11_runtime\",\"schema\":1,\"runs\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const run_record& r = records[i];
+    const auto& s = r.stats;
+    if (i != 0) out << ",";
+    out << "\n  {\"regime\":\"" << r.regime << "\",\"delta_us\":" << r.delta_us
+        << ",\"engine\":\"" << r.engine << "\",\"workers\":" << r.workers
+        << ",\"ms\":" << r.ms << ",\"segments\":" << s.segments_executed
+        << ",\"steal_attempts\":" << s.steal_attempts
+        << ",\"successful_steals\":" << s.successful_steals
+        << ",\"suspensions\":" << s.suspensions
+        << ",\"max_deques_per_worker\":" << s.max_deques_per_worker
+        << ",\"max_concurrent_suspended\":" << s.max_concurrent_suspended
+        << ",\"wake_p50_ns\":" << r.wake_p50_ns
+        << ",\"wake_p95_ns\":" << r.wake_p95_ns
+        << ",\"wake_p99_ns\":" << r.wake_p99_ns << ",\"per_worker\":[";
+    for (std::size_t w = 0; w < s.per_worker.size(); ++w) {
+      const auto& ws = s.per_worker[w];
+      if (w != 0) out << ",";
+      out << "{\"segments\":" << ws.segments_executed
+          << ",\"steals\":" << ws.successful_steals
+          << ",\"suspensions\":" << ws.suspensions
+          << ",\"max_deques_owned\":" << ws.max_deques_owned << "}";
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+  std::printf("\nmachine-readable results: %s (%zu runs)\n", path,
+              records.size());
 }
 
 }  // namespace
@@ -80,23 +151,30 @@ int main() {
               "one worker)\n",
               n, fib_n);
 
+  std::vector<run_record> records;
   int regime = 0;
   for (const auto delta : deltas) {
+    const char* rname = regime_names[regime++];
     const double t1_ws =
-        time_run(lhws::engine::blocking, 1, n, delta, fib_n);
-    std::printf("\n-- %s: delta=%lldus   T1(WS)=%.1fms\n",
-                regime_names[regime++],
+        time_run(lhws::engine::blocking, 1, n, delta, fib_n, rname, records);
+    std::printf("\n-- %s: delta=%lldus   T1(WS)=%.1fms\n", rname,
                 static_cast<long long>(delta.count()), t1_ws);
-    std::printf("   %3s %12s %12s %9s %9s\n", "P", "WS ms", "LHWS ms",
-                "WS spd", "LHWS spd");
+    std::printf("   %3s %12s %12s %9s %9s %12s\n", "P", "WS ms", "LHWS ms",
+                "WS spd", "LHWS spd", "wake p95");
     for (const unsigned p : procs) {
-      const double ws = time_run(lhws::engine::blocking, p, n, delta, fib_n);
-      const double lh =
-          time_run(lhws::engine::latency_hiding, p, n, delta, fib_n);
-      std::printf("   %3u %12.1f %12.1f %9.2f %9.2f\n", p, ws, lh, t1_ws / ws,
-                  t1_ws / lh);
+      const double ws =
+          time_run(lhws::engine::blocking, p, n, delta, fib_n, rname, records);
+      const double lh = time_run(lhws::engine::latency_hiding, p, n, delta,
+                                 fib_n, rname, records);
+      std::printf("   %3u %12.1f %12.1f %9.2f %9.2f %10.1fus\n", p, ws, lh,
+                  t1_ws / ws, t1_ws / lh,
+                  static_cast<double>(records.back().wake_p95_ns) / 1000.0);
     }
+    // Per-worker attribution for the widest LHWS run of this regime.
+    print_per_worker(records.back());
   }
+
+  write_json(records, "BENCH_fig11_runtime.json");
 
   std::printf(
       "\nShape check vs the paper: at high latency LHWS reaches its full\n"

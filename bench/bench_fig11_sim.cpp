@@ -18,8 +18,10 @@
 // Expected shape (paper, Section 6.1): LHWS superlinear vs WS(1) at large
 // delta (up to ~3x the WS speedup), still clearly ahead at the middle
 // delta, and converging to WS as delta -> 0.
+// Results also land in BENCH_fig11_sim.json for machine consumption.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "dag/analysis.hpp"
@@ -35,6 +37,16 @@ bool large_scale() {
   const char* s = std::getenv("LHWS_BENCH_SCALE");
   return s != nullptr && std::string(s) == "large";
 }
+
+struct sim_record {
+  std::string regime;
+  std::uint64_t delta = 0;
+  const char* engine = "";
+  std::uint64_t workers = 0;
+  sim::sim_metrics m;
+};
+
+std::vector<sim_record> g_records;
 
 void run_regime(const char* label, std::size_t leaves, unsigned fib_n,
                 dag::weight_t delta, const std::vector<std::uint64_t>& procs) {
@@ -64,6 +76,8 @@ void run_regime(const char* label, std::size_t leaves, unsigned fib_n,
     cfg.policy = sim::steal_policy::random_worker;
     const auto ws = sim::run_ws(gen.graph, cfg);
     const auto lh = sim::run_lhws(gen.graph, cfg);
+    g_records.push_back({label, delta, "ws", p, ws});
+    g_records.push_back({label, delta, "lhws", p, lh});
     std::printf("   %4llu %14llu %14llu %10.2f %10.2f\n",
                 static_cast<unsigned long long>(p),
                 static_cast<unsigned long long>(ws.rounds),
@@ -73,10 +87,32 @@ void run_regime(const char* label, std::size_t leaves, unsigned fib_n,
   }
 }
 
+void write_json(const char* path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "{\"bench\":\"fig11_sim\",\"schema\":1,\"runs\":[";
+  for (std::size_t i = 0; i < g_records.size(); ++i) {
+    const sim_record& r = g_records[i];
+    if (i != 0) out << ",";
+    out << "\n  {\"regime\":\"" << r.regime << "\",\"delta\":" << r.delta
+        << ",\"engine\":\"" << r.engine << "\",\"workers\":" << r.workers
+        << ",\"rounds\":" << r.m.rounds
+        << ",\"steal_attempts\":" << r.m.steal_attempts
+        << ",\"successful_steals\":" << r.m.successful_steals
+        << ",\"idle_rounds\":" << r.m.idle_rounds
+        << ",\"blocked_rounds\":" << r.m.blocked_rounds
+        << ",\"max_deques_per_worker\":" << r.m.max_deques_per_worker
+        << ",\"max_suspended\":" << r.m.max_suspended << "}";
+  }
+  out << "\n]}\n";
+  std::printf("\nmachine-readable results: %s (%zu runs)\n", path,
+              g_records.size());
+}
+
 }  // namespace
 
 int main() {
-  std::printf("=== FIG11-SIM: self-speedup vs 1-proc WS (virtual rounds) ===\n");
+  std::printf(
+      "=== FIG11-SIM: self-speedup vs 1-proc WS (virtual rounds) ===\n");
   const bool large = large_scale();
 
   // Leaf compute: fib(8) -> ~100 vertices (default) or fib(12) (large).
@@ -95,6 +131,8 @@ int main() {
              std::max<lhws::dag::weight_t>(2, leaf_work / 5), procs);
   run_regime("delta = 1ms-equivalent (~0.004x leaf work)", leaves, fib_n, 2,
              procs);
+
+  write_json("BENCH_fig11_sim.json");
 
   std::printf(
       "\nShape check vs the paper: superlinear LHWS speedup at 500ms "

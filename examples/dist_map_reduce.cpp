@@ -4,14 +4,19 @@
 // Fibonacci of each, and sum the results modulo a large constant.
 //
 //   build/examples/dist_map_reduce [n] [delta_ms] [fib_n] [workers]
+//                                  [--trace FILE]
 //
 // Runs the identical program on the latency-hiding and blocking engines and
 // prints the comparison. With the defaults (n=64, delta=25ms, fib 20,
 // workers=2) the blocking engine pays roughly n/P * delta of stalled time
-// while the latency-hiding engine overlaps all fetches.
+// while the latency-hiding engine overlaps all fetches. --trace writes a
+// Chrome/Perfetto trace of the latency-hiding run (with counter tracks)
+// suitable for lhws_trace_stats.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "core/algorithms.hpp"
 #include "core/latency.hpp"
@@ -48,25 +53,53 @@ lhws::task<long> dist_map_reduce(std::size_t n, std::chrono::milliseconds delta,
 
 double run_once(lhws::engine eng, unsigned workers, std::size_t n,
                 std::chrono::milliseconds delta, unsigned fib_n,
-                long* result_out) {
+                long* result_out, const std::string& trace_path) {
   lhws::scheduler_options opts;
   opts.workers = workers;
   opts.engine_kind = eng;
+  if (!trace_path.empty()) {
+    opts.trace = true;
+    opts.metrics = true;
+    opts.sample_interval_us = 200;
+  }
   lhws::scheduler sched(opts);
   *result_out = sched.run(dist_map_reduce(n, delta, fib_n));
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    out << sched.trace_json();
+    std::printf("  trace written to %s (%llu events dropped)\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(
+                    sched.stats().trace_events_dropped));
+  }
   return sched.stats().elapsed_ms;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
-  const auto delta =
-      std::chrono::milliseconds(argc > 2 ? std::atoi(argv[2]) : 25);
-  const unsigned fib_n =
-      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 20;
-  const unsigned workers =
-      argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 2;
+  unsigned long positional[4] = {64, 25, 20, 2};
+  int npos = 0;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--trace needs FILE\n");
+        return 2;
+      }
+      trace_path = argv[i];
+    } else if (npos < 4) {
+      positional[npos++] = std::strtoul(argv[i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const std::size_t n = positional[0];
+  const auto delta = std::chrono::milliseconds(positional[1]);
+  const auto fib_n = static_cast<unsigned>(positional[2]);
+  const auto workers = static_cast<unsigned>(positional[3]);
 
   std::printf(
       "dist_map_reduce: n=%zu delta=%lldms fib(%u) workers=%u  (U = n = "
@@ -75,10 +108,10 @@ int main(int argc, char** argv) {
 
   long r_lhws = 0, r_ws = 0;
   const double ms_lhws = run_once(lhws::engine::latency_hiding, workers, n,
-                                  delta, fib_n, &r_lhws);
+                                  delta, fib_n, &r_lhws, trace_path);
   std::printf("  latency-hiding : %8.1f ms   result=%ld\n", ms_lhws, r_lhws);
   const double ms_ws =
-      run_once(lhws::engine::blocking, workers, n, delta, fib_n, &r_ws);
+      run_once(lhws::engine::blocking, workers, n, delta, fib_n, &r_ws, {});
   std::printf("  blocking (WS)  : %8.1f ms   result=%ld\n", ms_ws, r_ws);
 
   if (r_lhws != r_ws) {

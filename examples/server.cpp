@@ -6,13 +6,27 @@
 // owns more than two deques.
 //
 //   build/examples/server [requests] [input_gap_ms] [fib_n] [workers]
+//                         [--trace FILE] [--metrics] [--metrics-out PREFIX]
+//                         [--serve PORT]
+//
+//   --trace FILE         write a Chrome/Perfetto trace of the latency-hiding
+//                        run (with counter tracks; feed to lhws_trace_stats)
+//   --metrics            dump the Prometheus exposition to stdout
+//   --metrics-out PREFIX write PREFIX.prom and PREFIX.json
+//   --serve PORT         serve /metrics and /metrics.json on 127.0.0.1:PORT
+//                        (0 = ephemeral) until stdin closes
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/fork_join.hpp"
 #include "core/latency.hpp"
 #include "core/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_http.hpp"
 
 namespace {
 
@@ -43,40 +57,157 @@ lhws::task<long> server(unsigned remaining, std::chrono::milliseconds gap,
   co_return res1 + res2;  // g
 }
 
+void print_per_worker(const lhws::rt::run_stats& s) {
+  std::printf("    %4s %9s %8s %8s %9s %7s\n", "wkr", "segments", "steals",
+              "suspend", "resumes", "maxdq");
+  for (std::size_t w = 0; w < s.per_worker.size(); ++w) {
+    const auto& ws = s.per_worker[w];
+    std::printf("    %4zu %9llu %8llu %8llu %9llu %7llu\n", w,
+                static_cast<unsigned long long>(ws.segments_executed),
+                static_cast<unsigned long long>(ws.successful_steals),
+                static_cast<unsigned long long>(ws.suspensions),
+                static_cast<unsigned long long>(ws.resumes_delivered),
+                static_cast<unsigned long long>(ws.max_deques_owned));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const unsigned requests =
-      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 20;
-  const auto gap = std::chrono::milliseconds(argc > 2 ? std::atoi(argv[2]) : 10);
-  const unsigned fib_n =
-      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 18;
-  const unsigned workers =
-      argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 2;
+  unsigned positional[4] = {20, 10, 18, 2};
+  int npos = 0;
+  std::string trace_path;
+  std::string metrics_prefix;
+  bool metrics_stdout = false;
+  bool serve = false;
+  std::uint16_t serve_port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--trace needs FILE\n");
+        return 2;
+      }
+      trace_path = argv[i];
+    } else if (arg == "--metrics") {
+      metrics_stdout = true;
+    } else if (arg == "--metrics-out") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--metrics-out needs PREFIX\n");
+        return 2;
+      }
+      metrics_prefix = argv[i];
+    } else if (arg == "--serve") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--serve needs PORT\n");
+        return 2;
+      }
+      serve = true;
+      serve_port = static_cast<std::uint16_t>(std::atoi(argv[i]));
+    } else if (npos < 4) {
+      positional[npos++] = static_cast<unsigned>(std::atoi(argv[i]));
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const unsigned requests = positional[0];
+  const auto gap = std::chrono::milliseconds(positional[1]);
+  const unsigned fib_n = positional[2];
+  const unsigned workers = positional[3];
+  const bool want_metrics =
+      metrics_stdout || !metrics_prefix.empty() || serve || !trace_path.empty();
 
   std::printf("server: %u requests, one every %lldms, handler fib(%u), "
               "workers=%u  (U = 1)\n",
               requests, static_cast<long long>(gap.count()), fib_n, workers);
 
+  lhws::obs::metrics_registry reg;
   for (const auto eng :
        {lhws::engine::latency_hiding, lhws::engine::blocking}) {
+    const bool lhws_run = eng == lhws::engine::latency_hiding;
     lhws::scheduler_options opts;
     opts.workers = workers;
     opts.engine_kind = eng;
+    if (lhws_run) {
+      opts.metrics = want_metrics;
+      if (!trace_path.empty()) {
+        opts.trace = true;
+        opts.sample_interval_us = 200;
+      }
+    }
     lhws::scheduler sched(opts);
     const long total = sched.run(server(requests, gap, fib_n));
     const auto& s = sched.stats();
     std::printf(
         "  %-15s total=%-10ld wall=%8.1fms max_deques/worker=%llu "
         "suspensions=%llu\n",
-        eng == lhws::engine::latency_hiding ? "latency-hiding" : "blocking",
-        total, s.elapsed_ms,
+        lhws_run ? "latency-hiding" : "blocking", total, s.elapsed_ms,
         static_cast<unsigned long long>(s.max_deques_per_worker),
         static_cast<unsigned long long>(s.suspensions));
+    print_per_worker(s);
+    if (lhws_run) {
+      if (!trace_path.empty()) {
+        std::ofstream out(trace_path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+          return 2;
+        }
+        out << sched.trace_json();
+        std::printf("  trace written to %s (%zu bytes, %llu events "
+                    "dropped)\n",
+                    trace_path.c_str(), sched.trace_json().size(),
+                    static_cast<unsigned long long>(s.trace_events_dropped));
+      }
+      if (want_metrics) sched.export_metrics(reg);
+    }
   }
   std::printf(
       "\nWith U = 1 (Lemma 7) the latency-hiding run never needs more than\n"
       "two deques per worker; handlers overlap the input gaps, so the\n"
       "latency-hiding wall time approaches max(total compute, total gaps).\n");
+
+  if (metrics_stdout) {
+    std::printf("\n# --- Prometheus exposition "
+                "(latency-hiding run) ---\n%s",
+                reg.prometheus_text().c_str());
+  }
+  if (!metrics_prefix.empty()) {
+    std::ofstream prom(metrics_prefix + ".prom", std::ios::binary);
+    prom << reg.prometheus_text();
+    std::ofstream json(metrics_prefix + ".json", std::ios::binary);
+    json << reg.json_text();
+    if (!prom || !json) {
+      std::fprintf(stderr, "cannot write %s.{prom,json}\n",
+                   metrics_prefix.c_str());
+      return 2;
+    }
+    std::printf("metrics written to %s.prom and %s.json\n",
+                metrics_prefix.c_str(), metrics_prefix.c_str());
+  }
+  if (serve) {
+    // The run is over, so the registry is stable; render both formats once
+    // and serve the cached text.
+    const std::string prom_text = reg.prometheus_text();
+    const std::string json_text = reg.json_text();
+    lhws::obs::metrics_http_server http;
+    if (!http.start(serve_port,
+                    [&](lhws::obs::metrics_http_server::format f) {
+                      return f == lhws::obs::metrics_http_server::format::json
+                                 ? json_text
+                                 : prom_text;
+                    })) {
+      std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", serve_port);
+      return 2;
+    }
+    std::printf("serving http://127.0.0.1:%u/metrics (and /metrics.json); "
+                "close stdin to exit\n",
+                http.port());
+    std::fflush(stdout);
+    // Block until the pipe/terminal closes so scripts can `curl` then EOF us.
+    for (int c = std::getchar(); c != EOF; c = std::getchar()) {}
+    http.stop();
+  }
   return 0;
 }

@@ -15,9 +15,17 @@ run_suite() {
   local name="$1"
   shift
   local dir="build-check-${name}"
-  cmake -B "${dir}" -S . -DLHWS_WERROR=ON "$@" >/dev/null
+  # Examples are required by the trace-audit step below; force them on in
+  # case an older cache in ${dir} disabled them.
+  cmake -B "${dir}" -S . -DLHWS_WERROR=ON -DLHWS_BUILD_EXAMPLES=ON \
+    "$@" >/dev/null
   cmake --build "${dir}" -j "$(nproc)"
   (cd "${dir}" && ctest --output-on-failure -j "$(nproc)")
+  # Mirror CI's trace audit: trace a real server run, then verify the
+  # paper's bounds on it (Lemma 7 with U = 1, steal budget).
+  (cd "${dir}" &&
+    ./examples/server 10 2 14 4 --trace trace_check.json &&
+    ./tools/lhws_trace_stats trace_check.json --check-bounds --u 1)
 }
 
 run_format() {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/task.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/scheduler_core.hpp"
 
 namespace lhws {
@@ -33,6 +34,14 @@ struct scheduler_options {
   std::size_t deque_pool_capacity = std::size_t{1} << 16;
   // Record a Chrome trace-event timeline of the run (scheduler::trace_json).
   bool trace = false;
+  // Per-worker trace buffer cap in events (0 = unbounded); overflow is
+  // dropped and counted in stats().trace_events_dropped.
+  std::size_t trace_capacity = rt::trace_buffer::kDefaultCapacity;
+  // Record per-worker latency histograms (scheduler::histograms()).
+  bool metrics = false;
+  // Background gauge sampler cadence in microseconds (0 = off); samples
+  // appear as Perfetto counter tracks in trace_json().
+  std::uint32_t sample_interval_us = 0;
 };
 
 class scheduler {
@@ -47,6 +56,7 @@ class scheduler {
     root.handle().promise().root_sched = &core;
     core.run_root(root.handle());
     stats_ = core.last_run_stats();
+    hists_ = core.last_run_histograms();
     if (opts_.trace) {
       std::ostringstream trace_stream;
       core.write_trace(trace_stream);
@@ -64,6 +74,67 @@ class scheduler {
   // Statistics of the most recent run.
   [[nodiscard]] const rt::run_stats& stats() const noexcept { return stats_; }
 
+  // Merged latency histograms of the most recent run (all-zero unless
+  // options().metrics).
+  [[nodiscard]] const obs::latency_histograms& histograms() const noexcept {
+    return hists_;
+  }
+
+  // Populates `reg` with the standard metric set of the most recent run:
+  // scheduler counters (total and per-worker) plus the four latency
+  // histograms. The registry snapshots counters at call time but borrows
+  // the histograms — export before the next run() or this scheduler's
+  // destruction.
+  void export_metrics(obs::metrics_registry& reg) const {
+    reg.add_counter("lhws_segments_total", "Coroutine segments executed",
+                    stats_.segments_executed);
+    reg.add_counter("lhws_steal_attempts_total", "Steal attempts",
+                    stats_.steal_attempts);
+    reg.add_counter("lhws_steals_total", "Successful steals",
+                    stats_.successful_steals);
+    reg.add_counter("lhws_suspensions_total", "Continuations suspended",
+                    stats_.suspensions);
+    reg.add_counter("lhws_resumes_total", "Continuations re-injected",
+                    stats_.resumes_delivered);
+    reg.add_counter("lhws_deque_switches_total", "Deque switches",
+                    stats_.deque_switches);
+    reg.add_counter("lhws_trace_events_dropped_total",
+                    "Trace events dropped at capacity",
+                    stats_.trace_events_dropped);
+    reg.add_gauge("lhws_max_deques_per_worker",
+                  "Peak deques owned by any worker (Lemma 7: <= U + 1)",
+                  static_cast<double>(stats_.max_deques_per_worker));
+    reg.add_gauge("lhws_max_concurrent_suspended",
+                  "Peak simultaneously suspended continuations (observed U)",
+                  static_cast<double>(stats_.max_concurrent_suspended));
+    reg.add_gauge("lhws_elapsed_ms", "Wall-clock time of the last run",
+                  stats_.elapsed_ms);
+    for (std::size_t w = 0; w < stats_.per_worker.size(); ++w) {
+      const rt::worker_stats& ws = stats_.per_worker[w];
+      const std::string label = "worker=\"" + std::to_string(w) + "\"";
+      reg.add_counter("lhws_worker_segments_total",
+                      "Segments executed per worker", ws.segments_executed,
+                      label);
+      reg.add_counter("lhws_worker_steals_total",
+                      "Successful steals per worker", ws.successful_steals,
+                      label);
+      reg.add_gauge("lhws_worker_max_deques_owned",
+                    "Peak deques owned per worker",
+                    static_cast<double>(ws.max_deques_owned), label);
+    }
+    reg.add_histogram("lhws_wake_latency_ns",
+                      "Resume delivery to owner drain latency",
+                      &hists_.wake_latency);
+    reg.add_histogram("lhws_steal_latency_ns", "Steal attempt latency",
+                      &hists_.steal_latency);
+    reg.add_histogram("lhws_segment_duration_ns",
+                      "Thread segment execution time",
+                      &hists_.segment_duration);
+    reg.add_histogram("lhws_deque_lifetime_ns",
+                      "Deque acquire-to-free lifetime",
+                      &hists_.deque_lifetime);
+  }
+
   [[nodiscard]] const scheduler_options& options() const noexcept {
     return opts_;
   }
@@ -80,11 +151,15 @@ class scheduler {
     cfg.seed = opts_.seed;
     cfg.deque_pool_capacity = opts_.deque_pool_capacity;
     cfg.trace = opts_.trace;
+    cfg.trace_capacity = opts_.trace_capacity;
+    cfg.metrics = opts_.metrics;
+    cfg.sample_interval_us = opts_.sample_interval_us;
     return cfg;
   }
 
   scheduler_options opts_;
   rt::run_stats stats_{};
+  obs::latency_histograms hists_{};
   std::string trace_json_;
 };
 

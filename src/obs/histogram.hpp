@@ -1,0 +1,194 @@
+// Log-bucketed latency histogram (HDR-style): power-of-two major buckets
+// subdivided into 2^kSubBits linear sub-buckets, so every recorded value
+// lands in a bucket whose width is at most value / 2^kSubBits (~3% relative
+// error with the default 5 sub-bits). This is the same log-linear scheme
+// HdrHistogram and the Go runtime use; it makes record() a handful of bit
+// operations and keeps the bucket array small and mergeable.
+//
+// Concurrency contract: record() is single-writer (each worker owns its
+// histograms); every read-side operation (count/sum/quantile/merge-source)
+// uses relaxed atomic loads and may run concurrently with the writer, e.g.
+// from the background sampler or a metrics exporter. merge() mutates the
+// destination and must not race with another writer of the destination.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/config.hpp"
+
+namespace lhws::obs {
+
+class log_histogram {
+ public:
+  // 32 sub-buckets per power of two. Values below kSubCount are recorded
+  // exactly (width-1 buckets).
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSubCount = std::uint64_t{1} << kSubBits;
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kSubCount) +
+      static_cast<std::size_t>(64 - kSubBits) *
+          static_cast<std::size_t>(kSubCount);
+
+  log_histogram() = default;
+
+  // Copying snapshots the source with relaxed loads (safe while the source's
+  // owner keeps recording; the copy is internally consistent per-bucket).
+  log_histogram(const log_histogram& o) { copy_from(o); }
+  log_histogram& operator=(const log_histogram& o) {
+    if (this != &o) copy_from(o);
+    return *this;
+  }
+
+  static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < kSubCount) return static_cast<std::size_t>(v);
+    const unsigned exp = 63U - static_cast<unsigned>(std::countl_zero(v));
+    const std::uint64_t sub = (v >> (exp - kSubBits)) - kSubCount;
+    return static_cast<std::size_t>(kSubCount) +
+           static_cast<std::size_t>(exp - kSubBits) *
+               static_cast<std::size_t>(kSubCount) +
+           static_cast<std::size_t>(sub);
+  }
+
+  // [lower_bound, lower_bound + width) is the value range of bucket i.
+  static constexpr std::uint64_t bucket_lower_bound(std::size_t i) noexcept {
+    if (i < kSubCount) return static_cast<std::uint64_t>(i);
+    const std::size_t b = (i - kSubCount) / kSubCount;
+    const std::size_t s = (i - kSubCount) % kSubCount;
+    return (kSubCount + static_cast<std::uint64_t>(s)) << b;
+  }
+
+  static constexpr std::uint64_t bucket_width(std::size_t i) noexcept {
+    if (i < kSubCount) return 1;
+    return std::uint64_t{1} << ((i - kSubCount) / kSubCount);
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // Single writer: plain compare-then-store on the atomics is race-free.
+    if (v < min_.load(std::memory_order_relaxed)) {
+      min_.store(v, std::memory_order_relaxed);
+    }
+    if (v > max_.load(std::memory_order_relaxed)) {
+      max_.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == UINT64_MAX ? 0 : m;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    LHWS_ASSERT(i < kNumBuckets);
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+
+  // Estimated q-quantile (q in [0, 1]): midpoint of the bucket holding the
+  // ceil(q * count)-th smallest recorded value. Error is bounded by one
+  // bucket width (the oracle tests assert exactly this).
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    if (rank >= n) rank = n - 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      cum += buckets_[i].load(std::memory_order_relaxed);
+      if (cum > rank) {
+        return bucket_lower_bound(i) + bucket_width(i) / 2;
+      }
+    }
+    return max();
+  }
+
+  // Adds o's counts into *this. The destination must be quiescent (no
+  // concurrent record() on *this); the source may still be written to.
+  void merge(const log_histogram& o) noexcept {
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      const std::uint64_t c = o.buckets_[i].load(std::memory_order_relaxed);
+      if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+    count_.fetch_add(o.count(), std::memory_order_relaxed);
+    sum_.fetch_add(o.sum(), std::memory_order_relaxed);
+    const std::uint64_t omin = o.min_.load(std::memory_order_relaxed);
+    if (omin < min_.load(std::memory_order_relaxed)) {
+      min_.store(omin, std::memory_order_relaxed);
+    }
+    const std::uint64_t omax = o.max_.load(std::memory_order_relaxed);
+    if (omax > max_.load(std::memory_order_relaxed)) {
+      max_.store(omax, std::memory_order_relaxed);
+    }
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void copy_from(const log_histogram& o) noexcept {
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      buckets_[i].store(o.buckets_[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+    count_.store(o.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(o.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    min_.store(o.min_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(o.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// The four latency distributions the runtime records per worker (all in
+// nanoseconds). Aggregated across workers into the run-level view after a
+// run completes.
+struct latency_histograms {
+  log_histogram wake_latency;     // resume delivery -> owner drains it
+  log_histogram steal_latency;    // one try_steal() attempt, success or not
+  log_histogram segment_duration; // one coroutine segment / batch execution
+  log_histogram deque_lifetime;   // deque acquire -> free
+
+  void merge(const latency_histograms& o) noexcept {
+    wake_latency.merge(o.wake_latency);
+    steal_latency.merge(o.steal_latency);
+    segment_duration.merge(o.segment_duration);
+    deque_lifetime.merge(o.deque_lifetime);
+  }
+
+  void reset() noexcept {
+    wake_latency.reset();
+    steal_latency.reset();
+    segment_duration.reset();
+    deque_lifetime.reset();
+  }
+};
+
+}  // namespace lhws::obs

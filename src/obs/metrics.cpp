@@ -1,0 +1,190 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace lhws::obs {
+namespace {
+
+const char* type_name(metric_type t) {
+  switch (t) {
+    case metric_type::counter:
+      return "counter";
+    case metric_type::gauge:
+      return "gauge";
+    case metric_type::histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// Gauges and bucket boundaries print through %.17g-free formatting: we only
+// ever store values that fit a double exactly or are display-only.
+void write_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  os << buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void metrics_registry::add_counter(std::string name, std::string help,
+                                   std::uint64_t value, std::string labels) {
+  metric_entry e;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.labels = std::move(labels);
+  e.type = metric_type::counter;
+  e.counter_value = value;
+  entries_.push_back(std::move(e));
+}
+
+void metrics_registry::add_gauge(std::string name, std::string help,
+                                 double value, std::string labels) {
+  metric_entry e;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.labels = std::move(labels);
+  e.type = metric_type::gauge;
+  e.gauge_value = value;
+  entries_.push_back(std::move(e));
+}
+
+void metrics_registry::add_histogram(std::string name, std::string help,
+                                     const log_histogram* hist,
+                                     std::string labels) {
+  LHWS_ASSERT(hist != nullptr);
+  metric_entry e;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.labels = std::move(labels);
+  e.type = metric_type::histogram;
+  e.hist = hist;
+  entries_.push_back(std::move(e));
+}
+
+void metrics_registry::write_prometheus(std::ostream& os) const {
+  // Emit HELP/TYPE once per metric name (entries sharing a name with
+  // different labels form one metric family).
+  std::string last_name;
+  for (const metric_entry& e : entries_) {
+    if (e.name != last_name) {
+      os << "# HELP " << e.name << " " << e.help << "\n";
+      os << "# TYPE " << e.name << " " << type_name(e.type) << "\n";
+      last_name = e.name;
+    }
+    const std::string braced =
+        e.labels.empty() ? std::string{} : "{" + e.labels + "}";
+    switch (e.type) {
+      case metric_type::counter:
+        os << e.name << braced << " " << e.counter_value << "\n";
+        break;
+      case metric_type::gauge:
+        os << e.name << braced << " ";
+        write_double(os, e.gauge_value);
+        os << "\n";
+        break;
+      case metric_type::histogram: {
+        const std::string sep = e.labels.empty() ? "" : ",";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < log_histogram::kNumBuckets; ++i) {
+          const std::uint64_t c = e.hist->bucket_count(i);
+          if (c == 0) continue;
+          cum += c;
+          const std::uint64_t le = log_histogram::bucket_lower_bound(i) +
+                                   log_histogram::bucket_width(i);
+          os << e.name << "_bucket{" << e.labels << sep << "le=\"" << le
+             << "\"} " << cum << "\n";
+        }
+        os << e.name << "_bucket{" << e.labels << sep << "le=\"+Inf\"} "
+           << e.hist->count() << "\n";
+        os << e.name << "_sum" << braced << " " << e.hist->sum() << "\n";
+        os << e.name << "_count" << braced << " " << e.hist->count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void metrics_registry::write_json(std::ostream& os) const {
+  os << "{\"lhws_metrics\":1,\"metrics\":[";
+  bool first = true;
+  for (const metric_entry& e : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n {\"name\":\"" << json_escape(e.name) << "\",\"type\":\""
+       << type_name(e.type) << "\"";
+    if (!e.labels.empty()) {
+      os << ",\"labels\":\"" << json_escape(e.labels) << "\"";
+    }
+    switch (e.type) {
+      case metric_type::counter:
+        os << ",\"value\":" << e.counter_value;
+        break;
+      case metric_type::gauge:
+        os << ",\"value\":";
+        write_double(os, e.gauge_value);
+        break;
+      case metric_type::histogram:
+        os << ",\"count\":" << e.hist->count() << ",\"sum\":" << e.hist->sum()
+           << ",\"min\":" << e.hist->min() << ",\"max\":" << e.hist->max()
+           << ",\"p50\":" << e.hist->quantile(0.50)
+           << ",\"p90\":" << e.hist->quantile(0.90)
+           << ",\"p95\":" << e.hist->quantile(0.95)
+           << ",\"p99\":" << e.hist->quantile(0.99);
+        break;
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::string metrics_registry::prometheus_text() const {
+  std::ostringstream ss;
+  write_prometheus(ss);
+  return ss.str();
+}
+
+std::string metrics_registry::json_text() const {
+  std::ostringstream ss;
+  write_json(ss);
+  return ss.str();
+}
+
+}  // namespace lhws::obs

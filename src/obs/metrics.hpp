@@ -1,0 +1,71 @@
+// Metrics registry with JSON and Prometheus text-exposition exporters.
+//
+// The registry is a snapshot container: callers add counters/gauges (value
+// captured at add time) and histograms (borrowed pointer, read with relaxed
+// loads at export time), then serialize. The runtime rebuilds a registry
+// per export — registries are cheap and this sidesteps lifetime coupling
+// with the scheduler's per-run state.
+//
+//   obs::metrics_registry reg;
+//   reg.add_counter("lhws_steals_total", "Successful steals", 42);
+//   reg.add_histogram("lhws_wake_latency_ns", "Suspend->resume wake latency",
+//                     &hist);
+//   reg.write_prometheus(std::cout);   // text exposition format
+//   reg.write_json(std::cout);         // {"lhws_metrics":1, ...}
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace lhws::obs {
+
+enum class metric_type : std::uint8_t { counter, gauge, histogram };
+
+struct metric_entry {
+  std::string name;  // Prometheus-legal: [a-zA-Z_:][a-zA-Z0-9_:]*
+  std::string help;
+  std::string labels;  // raw label body, e.g. worker="0" — may be empty
+  metric_type type = metric_type::counter;
+  std::uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  const log_histogram* hist = nullptr;  // borrowed; must outlive exports
+};
+
+class metrics_registry {
+ public:
+  void add_counter(std::string name, std::string help, std::uint64_t value,
+                   std::string labels = {});
+  void add_gauge(std::string name, std::string help, double value,
+                 std::string labels = {});
+  void add_histogram(std::string name, std::string help,
+                     const log_histogram* hist, std::string labels = {});
+
+  [[nodiscard]] const std::vector<metric_entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  // Prometheus text exposition format (version 0.0.4): HELP/TYPE comments,
+  // histograms as cumulative `_bucket{le=...}` series over the non-empty
+  // log-histogram buckets plus `_sum`/`_count`.
+  void write_prometheus(std::ostream& os) const;
+
+  // Stable machine-readable JSON:
+  //   {"lhws_metrics":1,"metrics":[{"name":...,"type":...,...}, ...]}
+  // Histograms are summarized (count/sum/min/max/p50/p90/p95/p99).
+  void write_json(std::ostream& os) const;
+
+  [[nodiscard]] std::string prometheus_text() const;
+  [[nodiscard]] std::string json_text() const;
+
+ private:
+  std::vector<metric_entry> entries_;
+};
+
+// JSON string escaping shared by the exporters and the trace writer.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace lhws::obs

@@ -1,0 +1,130 @@
+#include "obs/metrics_http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lhws::obs {
+namespace {
+
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const char* status, const char* content_type,
+                   const std::string& body) {
+  std::string head = "HTTP/1.0 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head.data(), head.size());
+  send_all(fd, body.data(), body.size());
+}
+
+}  // namespace
+
+bool metrics_http_server::start(std::uint16_t port, content_fn fn) {
+  if (running()) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  fn_ = std::move(fn);
+  listen_fd_.store(fd, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void metrics_http_server::stop() {
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() unblocks the accept(); close() after join keeps the fd
+    // valid while the loop drains.
+    ::shutdown(fd, SHUT_RDWR);
+    if (thread_.joinable()) thread_.join();
+    ::close(fd);
+  } else if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void metrics_http_server::serve_loop() {
+  for (;;) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;
+    const int conn = ::accept(lfd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or fatal) — exit the loop
+    }
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void metrics_http_server::handle_connection(int fd) {
+  // Read one request head (we only need the request line).
+  char buf[2048];
+  std::size_t got = 0;
+  while (got < sizeof(buf) - 1) {
+    const ssize_t n = ::recv(fd, buf + got, sizeof(buf) - 1 - got, 0);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+    buf[got] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  buf[got] = '\0';
+
+  if (std::strncmp(buf, "GET ", 4) != 0) {
+    send_response(fd, "405 Method Not Allowed", "text/plain",
+                  "method not allowed\n");
+    return;
+  }
+  const char* path = buf + 4;
+  const char* path_end = std::strchr(path, ' ');
+  const std::size_t path_len =
+      path_end != nullptr ? static_cast<std::size_t>(path_end - path)
+                          : std::strlen(path);
+  const std::string p(path, path_len);
+
+  if (p == "/metrics") {
+    send_response(fd, "200 OK", "text/plain; version=0.0.4",
+                  fn_(format::prometheus));
+  } else if (p == "/metrics.json") {
+    send_response(fd, "200 OK", "application/json", fn_(format::json));
+  } else {
+    send_response(fd, "404 Not Found", "text/plain", "not found\n");
+  }
+}
+
+}  // namespace lhws::obs

@@ -1,0 +1,54 @@
+// Minimal HTTP/1.0 metrics endpoint (Linux/POSIX sockets, no deps): serves
+//   GET /metrics       -> Prometheus text exposition (text/plain)
+//   GET /metrics.json  -> JSON registry dump (application/json)
+// Anything else gets a 404. One connection is handled at a time — this is a
+// scrape endpoint, not a web server; Prometheus scrapes are serial anyway.
+//
+// Content is pulled per request from a user callback, so the owner can
+// rebuild the payload as runs complete (guarding its own state as needed).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace lhws::obs {
+
+class metrics_http_server {
+ public:
+  // Returns the response body for the given format.
+  enum class format : std::uint8_t { prometheus, json };
+  using content_fn = std::function<std::string(format)>;
+
+  metrics_http_server() = default;
+  ~metrics_http_server() { stop(); }
+
+  metrics_http_server(const metrics_http_server&) = delete;
+  metrics_http_server& operator=(const metrics_http_server&) = delete;
+
+  // Binds 127.0.0.1:port (port 0 = ephemeral; see port()) and starts the
+  // accept thread. Returns false (with errno intact) if the bind fails.
+  bool start(std::uint16_t port, content_fn fn);
+
+  // Stops accepting and joins the thread (idempotent).
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return listen_fd_.load(std::memory_order_acquire) >= 0;
+  }
+  // The bound port (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  content_fn fn_;
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace lhws::obs

@@ -1,0 +1,50 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "support/config.hpp"
+
+namespace lhws::obs {
+
+void gauge_sampler::start(std::uint32_t interval_us, sample_fn fn) {
+  LHWS_ASSERT(!thread_.joinable() && "sampler already running");
+  LHWS_ASSERT(interval_us > 0);
+  fn_ = std::move(fn);
+  stopping_ = false;
+  samples_.clear();
+  thread_ = std::thread([this, interval_us] { run(interval_us); });
+}
+
+void gauge_sampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<counter_sample> gauge_sampler::take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(samples_, {});
+}
+
+void gauge_sampler::run(std::uint32_t interval_us) {
+  const auto interval = std::chrono::microseconds(interval_us);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Sample while holding mu_ — the callback touches scheduler state, not
+    // sampler state, and take() only runs after stop() joins.
+    fn_(samples_);
+    if (stopping_) return;
+    cv_.wait_for(lock, interval, [this] { return stopping_; });
+    if (stopping_) {
+      fn_(samples_);  // final reading at shutdown
+      return;
+    }
+  }
+}
+
+}  // namespace lhws::obs

@@ -1,0 +1,64 @@
+// Background gauge sampler: a thread that periodically invokes a snapshot
+// callback and accumulates timestamped per-worker counter samples. The
+// scheduler feeds the samples into the Chrome trace as counter-track ("C")
+// events, giving Perfetto time-varying views of deques owned, suspended
+// continuations, pending resumes, and steal pressure — the state Lemma 7
+// and the steal theorems reason about.
+//
+// The callback runs on the sampler thread; the scheduler's implementation
+// reads per-worker state with relaxed atomic loads and the same registry
+// spinlock thieves take, so sampling never perturbs the schedule beyond a
+// bounded lock hold.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lhws::obs {
+
+// One point-in-time reading of one worker's gauges.
+struct counter_sample {
+  std::int64_t ts_ns = 0;
+  std::uint32_t worker = 0;
+  std::uint32_t deques_owned = 0;    // registry size (Lemma 7 subject)
+  std::uint32_t suspended = 0;       // pending suspensions across its deques
+  std::uint32_t resume_ready = 0;    // deques with undrained resumes
+  std::uint64_t steal_attempts = 0;  // cumulative; deltas = steal pressure
+};
+
+class gauge_sampler {
+ public:
+  using sample_fn = std::function<void(std::vector<counter_sample>&)>;
+
+  gauge_sampler() = default;
+  ~gauge_sampler() { stop(); }
+
+  gauge_sampler(const gauge_sampler&) = delete;
+  gauge_sampler& operator=(const gauge_sampler&) = delete;
+
+  // Starts sampling every `interval_us` microseconds. One final sample is
+  // taken during stop() so short runs always get at least one reading.
+  void start(std::uint32_t interval_us, sample_fn fn);
+
+  // Stops the thread (idempotent). Samples are complete once this returns.
+  void stop();
+
+  // Moves out everything sampled since start(). Call after stop().
+  [[nodiscard]] std::vector<counter_sample> take();
+
+ private:
+  void run(std::uint32_t interval_us);
+
+  sample_fn fn_;
+  std::vector<counter_sample> samples_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace lhws::obs

@@ -19,6 +19,7 @@
 #include "deque/chase_lev_deque.hpp"
 #include "runtime/work_item.hpp"
 #include "support/mpsc_stack.hpp"
+#include "support/timing.hpp"
 
 namespace lhws::rt {
 
@@ -28,6 +29,9 @@ namespace lhws::rt {
 struct resume_node {
   std::coroutine_handle<> continuation{};
   resume_node* next = nullptr;
+  // Stamped by deliver_resume; the owner computes wake latency (delivery ->
+  // drain) from it when observability is enabled.
+  std::int64_t fire_ns = 0;
 };
 
 class runtime_deque {
@@ -65,6 +69,9 @@ class runtime_deque {
   // performs when this returns true (the resumed list was empty — the
   // paper's `resumedVertices.size == 1` test).
   bool deliver_resume(resume_node* node) noexcept {
+    // One clock read per resume delivery; resumes are latency-completion
+    // events, so this is never on the segment hot path.
+    node->fire_ns = now_ns();
     const bool was_empty = resumed_.push(node);
     suspend_ctr_.fetch_sub(1, std::memory_order_release);
     return was_empty;
@@ -79,8 +86,11 @@ class runtime_deque {
   // Owner: detach all resumed continuations delivered since the last drain.
   resume_node* drain_resumed() noexcept { return resumed_.pop_all(); }
 
+  [[nodiscard]] std::uint64_t pending_suspensions() const noexcept {
+    return suspend_ctr_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] bool has_pending_suspensions() const noexcept {
-    return suspend_ctr_.load(std::memory_order_acquire) != 0;
+    return pending_suspensions() != 0;
   }
   [[nodiscard]] bool has_undrained_resumes() const noexcept {
     return !resumed_.empty();
@@ -88,6 +98,10 @@ class runtime_deque {
 
   // --- Owner-only state flags -------------------------------------------
   bool in_ready_set = false;
+
+  // When this deque was acquired by its current owner (0 = not tracked);
+  // free_deque records the lifetime histogram from it. Owner-only.
+  std::int64_t acquired_ns = 0;
 
   // Intrusive link for the owner's resumedDeques MPSC stack. A deque is
   // registered at most once between drains (guarded by deliver_resume's

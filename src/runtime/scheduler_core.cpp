@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/sampler.hpp"
 #include "support/timing.hpp"
 
 namespace lhws::rt {
@@ -42,6 +43,7 @@ runtime_deque* worker::new_deque() {
     q = sched_.pool().allocate(index_);
   }
   stats.note_deque_acquired();
+  if (metrics_on_) q->acquired_ns = now_ns();
   registry_add(q);
   return q;
 }
@@ -52,6 +54,11 @@ void worker::free_deque(runtime_deque* q) {
   registry_remove(q);
   q->mark_freed(true);
   stats.note_deque_freed();
+  if (metrics_on_ && q->acquired_ns > 0) {
+    hist.deque_lifetime.record(
+        static_cast<std::uint64_t>(now_ns() - q->acquired_ns));
+    q->acquired_ns = 0;
+  }
   empty_deques_.push_back(q);
 }
 
@@ -64,6 +71,7 @@ runtime_deque* worker::begin_suspension() {
   LHWS_ASSERT(active_ != nullptr);
   active_->add_suspension();
   stats.suspensions += 1;
+  sched_.note_suspend_begin();
   if (trace.enabled()) {
     const std::int64_t t = now_ns();
     trace.record(trace_kind::suspend, t, t);
@@ -76,10 +84,12 @@ void worker::cancel_suspension(runtime_deque* q) {
   // will run, so take back the counter increment directly.
   q->cancel_suspension();
   stats.suspensions -= 1;
+  sched_.note_suspend_end(1);
 }
 
 void worker::execute(work_item item) {
-  const std::int64_t t0 = trace.enabled() ? now_ns() : 0;
+  const bool timed = trace.enabled() || metrics_on_;
+  const std::int64_t t0 = timed ? now_ns() : 0;
   if (item.is_batch()) {
     // The runtime pfor tree: split until a single continuation remains,
     // pushing right halves for thieves (lg n span over n resumed leaves),
@@ -96,12 +106,24 @@ void worker::execute(work_item item) {
     delete node;
     stats.segments_executed += 1;
     h.resume();
-    if (trace.enabled()) trace.record(trace_kind::batch, t0, now_ns());
+    if (timed) {
+      const std::int64_t t1 = now_ns();
+      if (trace.enabled()) trace.record(trace_kind::batch, t0, t1);
+      if (metrics_on_) {
+        hist.segment_duration.record(static_cast<std::uint64_t>(t1 - t0));
+      }
+    }
     return;
   }
   stats.segments_executed += 1;
   item.coroutine().resume();
-  if (trace.enabled()) trace.record(trace_kind::segment, t0, now_ns());
+  if (timed) {
+    const std::int64_t t1 = now_ns();
+    if (trace.enabled()) trace.record(trace_kind::segment, t0, t1);
+    if (metrics_on_) {
+      hist.segment_duration.record(static_cast<std::uint64_t>(t1 - t0));
+    }
+  }
 }
 
 void worker::add_resumed_vertices() {
@@ -112,15 +134,29 @@ void worker::add_resumed_vertices() {
     runtime_deque* following = q->next;
     resume_node* chain = q->drain_resumed();
     if (chain != nullptr) {
+      const bool timed = trace.enabled() || metrics_on_;
+      const std::int64_t drain_ns = timed ? now_ns() : 0;
       auto items = std::make_shared<std::vector<std::coroutine_handle<>>>();
       for (resume_node* n = chain; n != nullptr; n = n->next) {
         items->push_back(n->continuation);
+        if (timed) {
+          // Wake latency: resume delivery (timer/producer thread) until
+          // this drain makes the continuation stealable again.
+          const std::int64_t wake =
+              n->fire_ns > 0 && drain_ns > n->fire_ns ? drain_ns - n->fire_ns
+                                                      : 0;
+          if (metrics_on_) {
+            hist.wake_latency.record(static_cast<std::uint64_t>(wake));
+          }
+          trace.record(trace_kind::wake, drain_ns, drain_ns,
+                       static_cast<std::uint64_t>(wake));
+        }
       }
+      sched_.note_suspend_end(static_cast<std::int64_t>(items->size()));
       stats.resumes_delivered += items->size();
       stats.batches_injected += 1;
       if (trace.enabled()) {
-        const std::int64_t t = now_ns();
-        trace.record(trace_kind::resume, t, t, items->size());
+        trace.record(trace_kind::resume, drain_ns, drain_ns, items->size());
       }
       const auto count = static_cast<std::uint32_t>(items->size());
       auto* batch = new batch_node{std::move(items), 0, count};
@@ -187,6 +223,8 @@ runtime_deque* worker::pick_victim() {
 
 void worker::try_steal() {
   stats.steal_attempts += 1;
+  steal_attempts_obs_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t t0 = metrics_on_ ? now_ns() : 0;
   runtime_deque* victim = pick_victim();
   work_item stolen;
   if (victim != nullptr && victim->pop_top(stolen)) {
@@ -199,6 +237,9 @@ void worker::try_steal() {
     }
   } else {
     stats.failed_steals += 1;
+  }
+  if (metrics_on_) {
+    hist.steal_latency.record(static_cast<std::uint64_t>(now_ns() - t0));
   }
 }
 
@@ -248,6 +289,7 @@ void worker::ws_loop() {
       continue;
     }
     stats.steal_attempts += 1;
+    steal_attempts_obs_.fetch_add(1, std::memory_order_relaxed);
     runtime_deque* victim = nullptr;
     if (sched_.num_workers() > 1) {
       std::size_t v = rng_.below(sched_.num_workers() - 1);
@@ -270,9 +312,29 @@ void worker::ws_loop() {
   }
 }
 
+obs::counter_sample worker::sample_gauges(std::int64_t ts_ns) {
+  obs::counter_sample s;
+  s.ts_ns = ts_ns;
+  s.worker = index_;
+  {
+    std::lock_guard<spinlock> lock(registry_lock_);
+    s.deques_owned = static_cast<std::uint32_t>(registry_.size());
+    for (const runtime_deque* q : registry_) {
+      s.suspended += static_cast<std::uint32_t>(q->pending_suspensions());
+      if (q->has_undrained_resumes()) s.resume_ready += 1;
+    }
+  }
+  s.steal_attempts = steal_attempts_obs_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void worker::loop() {
   tl_worker_ = this;
-  if (sched_.config().trace) trace.enable();
+  if (sched_.config().trace) {
+    trace.set_capacity(sched_.config().trace_capacity);
+    trace.enable();
+  }
+  metrics_on_ = sched_.config().metrics;
   active_ = new_deque();
   if (sched_.config().engine == engine_mode::lhws) {
     lhws_loop();
@@ -304,8 +366,24 @@ scheduler_core::~scheduler_core() { hub_.shutdown(); }
 void scheduler_core::run_root(std::coroutine_handle<> root) {
   done_.store(false, std::memory_order_release);
   workers_[0]->assigned_ = work_item::from_coroutine(root);
-  for (auto& w : workers_) w->trace.clear();
+  for (auto& w : workers_) {
+    w->trace.clear();
+    w->hist.reset();
+  }
+  suspended_now_.store(0, std::memory_order_relaxed);
+  max_suspended_.store(0, std::memory_order_relaxed);
   run_start_ns_ = now_ns();
+
+  obs::gauge_sampler sampler;
+  if (cfg_.sample_interval_us > 0) {
+    sampler.start(cfg_.sample_interval_us,
+                  [this](std::vector<obs::counter_sample>& out) {
+                    const std::int64_t ts = now_ns();
+                    for (auto& w : workers_) {
+                      out.push_back(w->sample_gauges(ts));
+                    }
+                  });
+  }
 
   const stopwatch timer;
   std::vector<std::thread> threads;
@@ -314,18 +392,37 @@ void scheduler_core::run_root(std::coroutine_handle<> root) {
     threads.emplace_back([&w] { w->loop(); });
   }
   for (auto& t : threads) t.join();
+  sampler.stop();
+  samples_ = sampler.take();
 
   stats_ = run_stats{};
   for (const auto& w : workers_) stats_.absorb(w->stats);
   stats_.total_deques_allocated = pool_.total_allocated();
+  stats_.max_concurrent_suspended =
+      max_suspended_.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) {
+    stats_.trace_events_dropped += w->trace.dropped();
+  }
   stats_.elapsed_ms = timer.elapsed_ms();
+
+  run_hist_.reset();
+  if (cfg_.metrics) {
+    for (const auto& w : workers_) run_hist_.merge(w->hist);
+  }
 }
 
 void scheduler_core::write_trace(std::ostream& os) const {
   std::vector<const trace_buffer*> buffers;
   buffers.reserve(workers_.size());
   for (const auto& w : workers_) buffers.push_back(&w->trace);
-  write_chrome_trace(os, buffers, run_start_ns_);
+  trace_meta meta;
+  meta.engine = cfg_.engine == engine_mode::lhws ? "lhws" : "ws";
+  meta.max_concurrent_suspended = stats_.max_concurrent_suspended;
+  meta.dropped_events = stats_.trace_events_dropped;
+  meta.elapsed_ms = stats_.elapsed_ms;
+  meta.per_worker = &stats_.per_worker;
+  write_chrome_trace(os, buffers, run_start_ns_,
+                     samples_.empty() ? nullptr : &samples_, &meta);
 }
 
 }  // namespace lhws::rt

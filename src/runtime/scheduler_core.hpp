@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/sampler.hpp"
 #include "runtime/deque_pool.hpp"
 #include "runtime/event_hub.hpp"
 #include "runtime/runtime_deque.hpp"
@@ -53,6 +55,15 @@ struct scheduler_config {
   std::size_t deque_pool_capacity = std::size_t{1} << 16;
   // Record per-worker execution events for Chrome-trace export.
   bool trace = false;
+  // Per-worker trace buffer cap (events); overflow is dropped and counted
+  // in run_stats::trace_events_dropped. 0 = unbounded.
+  std::size_t trace_capacity = trace_buffer::kDefaultCapacity;
+  // Record per-worker latency histograms (wake, steal, segment, deque
+  // lifetime). Off by default; ~2% overhead when on (see DESIGN.md §8).
+  bool metrics = false;
+  // Background gauge sampler cadence in microseconds (0 = off). Samples
+  // become Perfetto counter tracks in the exported trace.
+  std::uint32_t sample_interval_us = 0;
 };
 
 class scheduler_core;
@@ -96,6 +107,16 @@ class worker {
 
   worker_stats stats;
 
+  // Latency histograms (nanoseconds), recorded only when the scheduler was
+  // configured with metrics = true. Single-writer (this worker); readable
+  // concurrently by the sampler/exporters.
+  obs::latency_histograms hist;
+
+  // Point-in-time gauge snapshot for the background sampler (any thread).
+  // Takes the registry spinlock — the same lock thieves take — so the hold
+  // is bounded by Lemma 7's deque count.
+  [[nodiscard]] obs::counter_sample sample_gauges(std::int64_t ts_ns);
+
  private:
   friend class scheduler_core;
 
@@ -121,6 +142,9 @@ class worker {
   scheduler_core& sched_;
   const std::uint32_t index_;
   xoshiro256 rng_;
+  bool metrics_on_ = false;
+  // Cross-thread-readable mirror of stats.steal_attempts for the sampler.
+  std::atomic<std::uint64_t> steal_attempts_obs_{0};
 
   runtime_deque* active_ = nullptr;
   work_item assigned_;
@@ -172,7 +196,39 @@ class scheduler_core {
     return stats_;
   }
 
+  // Merged per-worker latency histograms of the last completed run (empty
+  // unless config.metrics).
+  [[nodiscard]] const obs::latency_histograms& last_run_histograms()
+      const noexcept {
+    return run_hist_;
+  }
+
+  // Gauge samples collected by the background sampler during the last run
+  // (empty unless config.sample_interval_us > 0).
+  [[nodiscard]] const std::vector<obs::counter_sample>& last_counter_samples()
+      const noexcept {
+    return samples_;
+  }
+
+  // Concurrent-suspension accounting (observed bound on the suspension
+  // width U). Increment on suspension begin; decrement on cancel or drain.
+  void note_suspend_begin() noexcept {
+    const std::int64_t now =
+        suspended_now_.fetch_add(1, std::memory_order_relaxed) + 1;
+    auto snapshot = static_cast<std::uint64_t>(now);
+    std::uint64_t cur = max_suspended_.load(std::memory_order_relaxed);
+    while (snapshot > cur &&
+           !max_suspended_.compare_exchange_weak(cur, snapshot,
+                                                 std::memory_order_relaxed)) {
+    }
+  }
+  void note_suspend_end(std::int64_t n) noexcept {
+    suspended_now_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
   // Chrome trace-event JSON of the last run (empty unless config.trace).
+  // Includes thread metadata, sampler counter tracks, and the "lhws"
+  // metadata object the trace-stats CLI audits.
   void write_trace(std::ostream& os) const;
 
  private:
@@ -182,6 +238,10 @@ class scheduler_core {
   std::vector<std::unique_ptr<worker>> workers_;
   std::atomic<bool> done_{false};
   run_stats stats_;
+  obs::latency_histograms run_hist_;
+  std::vector<obs::counter_sample> samples_;
+  std::atomic<std::int64_t> suspended_now_{0};
+  std::atomic<std::uint64_t> max_suspended_{0};
   std::int64_t run_start_ns_ = 0;
 };
 

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "support/config.hpp"
 
@@ -48,9 +49,21 @@ struct run_stats {
   std::uint64_t blocked_waits = 0;
   std::uint64_t max_deques_per_worker = 0;
   std::uint64_t total_deques_allocated = 0;
+  // Peak number of simultaneously suspended continuations — an observed
+  // upper bound on the dag's suspension width U (slightly conservative:
+  // resumed-but-undrained continuations still count until the drain).
+  std::uint64_t max_concurrent_suspended = 0;
+  // Trace events rejected because a worker's buffer hit trace_capacity.
+  std::uint64_t trace_events_dropped = 0;
   double elapsed_ms = 0.0;
 
-  void absorb(const worker_stats& w) noexcept {
+  // Per-worker breakdown, in worker-index order. absorb() keeps it so the
+  // aggregation never loses attribution (benches and the trace metadata
+  // print it).
+  std::vector<worker_stats> per_worker;
+
+  void absorb(const worker_stats& w) {
+    per_worker.push_back(w);
     segments_executed += w.segments_executed;
     batch_splits += w.batch_splits;
     batches_injected += w.batches_injected;

@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "runtime/stats.hpp"
+
 namespace lhws::rt {
 namespace {
 
@@ -20,6 +22,8 @@ const char* name_of(trace_kind k) {
       return "suspend";
     case trace_kind::resume:
       return "resume";
+    case trace_kind::wake:
+      return "wake";
     case trace_kind::blocked:
       return "blocked";
   }
@@ -31,27 +35,52 @@ bool is_duration(trace_kind k) {
          k == trace_kind::blocked;
 }
 
+double to_us(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+// Perfetto groups counter tracks by (pid, name); a per-worker prefix keeps
+// each worker's gauges on separate tracks.
+void write_counter_event(std::ostream& os, bool& first, std::uint32_t worker,
+                         const char* series, double ts_us,
+                         std::uint64_t value) {
+  if (!first) os << ",";
+  first = false;
+  os << "\n{\"name\":\"w" << worker << "/" << series
+     << "\",\"ph\":\"C\",\"pid\":1,\"tid\":" << worker << ",\"ts\":" << ts_us
+     << ",\"args\":{\"" << series << "\":" << value << "}}";
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os,
                         const std::vector<const trace_buffer*>& workers,
-                        std::int64_t origin_ns) {
+                        std::int64_t origin_ns,
+                        const std::vector<obs::counter_sample>* samples,
+                        const trace_meta* meta) {
   os << "{\"traceEvents\":[";
   bool first = true;
+
+  // Metadata events: name the process and give every worker a stable,
+  // readable row ("worker 3" at tid 3, sorted by index).
+  os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+     << "\"args\":{\"name\":\"lhws\"}}";
+  first = false;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << w
+       << ",\"args\":{\"name\":\"worker " << w << "\"}}";
+    os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << w << ",\"args\":{\"sort_index\":" << w << "}}";
+  }
+
   for (std::size_t w = 0; w < workers.size(); ++w) {
     if (workers[w] == nullptr) continue;
     for (const trace_event& e : workers[w]->events()) {
       if (!first) os << ",";
       first = false;
       // Chrome trace timestamps are microseconds (double).
-      const double ts =
-          static_cast<double>(e.start_ns - origin_ns) / 1000.0;
       os << "\n{\"name\":\"" << name_of(e.kind) << "\",\"pid\":1,\"tid\":"
-         << w << ",\"ts\":" << ts;
+         << w << ",\"ts\":" << to_us(e.start_ns - origin_ns);
       if (is_duration(e.kind)) {
-        const double dur =
-            static_cast<double>(e.end_ns - e.start_ns) / 1000.0;
-        os << ",\"ph\":\"X\",\"dur\":" << dur;
+        os << ",\"ph\":\"X\",\"dur\":" << to_us(e.end_ns - e.start_ns);
       } else {
         os << ",\"ph\":\"i\",\"s\":\"t\"";
       }
@@ -61,13 +90,59 @@ void write_chrome_trace(std::ostream& os,
       os << "}";
     }
   }
-  os << "\n]}\n";
+
+  if (samples != nullptr) {
+    std::uint64_t prev_attempts[256] = {};
+    for (const obs::counter_sample& s : *samples) {
+      const double ts = to_us(s.ts_ns - origin_ns);
+      write_counter_event(os, first, s.worker, "deques_owned", ts,
+                          s.deques_owned);
+      write_counter_event(os, first, s.worker, "suspended", ts, s.suspended);
+      write_counter_event(os, first, s.worker, "resume_ready", ts,
+                          s.resume_ready);
+      // Steal pressure: attempts since the previous sample of this worker.
+      const std::uint64_t delta =
+          s.worker < 256
+              ? s.steal_attempts - prev_attempts[s.worker]
+              : s.steal_attempts;
+      if (s.worker < 256) prev_attempts[s.worker] = s.steal_attempts;
+      write_counter_event(os, first, s.worker, "steal_pressure", ts, delta);
+    }
+  }
+
+  // Top-level run metadata for tooling (Chrome/Perfetto ignore extra keys).
+  os << "\n],\"lhws\":{\"schema\":1,\"workers\":" << workers.size();
+  if (meta != nullptr) {
+    os << ",\"engine\":\"" << meta->engine << "\""
+       << ",\"max_concurrent_suspended\":" << meta->max_concurrent_suspended
+       << ",\"dropped_events\":" << meta->dropped_events
+       << ",\"elapsed_ms\":" << meta->elapsed_ms;
+    if (meta->per_worker != nullptr) {
+      os << ",\"per_worker\":[";
+      bool pw_first = true;
+      for (const worker_stats& ws : *meta->per_worker) {
+        if (!pw_first) os << ",";
+        pw_first = false;
+        os << "\n {\"segments\":" << ws.segments_executed
+           << ",\"steal_attempts\":" << ws.steal_attempts
+           << ",\"successful_steals\":" << ws.successful_steals
+           << ",\"suspensions\":" << ws.suspensions
+           << ",\"resumes_delivered\":" << ws.resumes_delivered
+           << ",\"deque_switches\":" << ws.deque_switches
+           << ",\"max_deques_owned\":" << ws.max_deques_owned << "}";
+      }
+      os << "\n]";
+    }
+  }
+  os << "}}\n";
 }
 
 std::string to_chrome_trace(const std::vector<const trace_buffer*>& workers,
-                            std::int64_t origin_ns) {
+                            std::int64_t origin_ns,
+                            const std::vector<obs::counter_sample>* samples,
+                            const trace_meta* meta) {
   std::ostringstream ss;
-  write_chrome_trace(ss, workers, origin_ns);
+  write_chrome_trace(ss, workers, origin_ns, samples, meta);
   return ss.str();
 }
 

@@ -9,18 +9,36 @@
 //   switch    — deque switch (instant)
 //   suspend   — a continuation suspended (instant)
 //   resume    — a batch of continuations re-injected (instant, with count)
+//   wake      — one resumed continuation drained; arg = delivery->drain ns
 //   blocked   — WS engine blocking wait, duration event
 //
+// The export also carries:
+//   - thread_name / process_name metadata ("M") events so workers show up
+//     as named rows instead of anonymous integers;
+//   - counter-track ("C") events from the background gauge sampler (deques
+//     owned, suspended continuations, resume-ready deques, steal pressure);
+//   - a top-level "lhws" object ({"schema":1, per-worker stats, observed
+//     suspension width, dropped-event count}) that tools/lhws_trace_stats
+//     parses to audit the paper's bounds. Chrome/Perfetto ignore extra
+//     top-level keys.
+//
 // Tracing is off by default (zero cost beyond a branch); enable via
-// scheduler_options::trace.
+// scheduler_options::trace. Buffers are bounded (scheduler_options::
+// trace_capacity events per worker); overflow drops new events and counts
+// them, so long runs degrade gracefully instead of OOMing.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "obs/sampler.hpp"
+
 namespace lhws::rt {
+
+struct worker_stats;
 
 enum class trace_kind : std::uint8_t {
   segment,
@@ -29,6 +47,7 @@ enum class trace_kind : std::uint8_t {
   deque_switch,
   suspend,
   resume,
+  wake,
   blocked,
 };
 
@@ -36,38 +55,73 @@ struct trace_event {
   trace_kind kind;
   std::int64_t start_ns;
   std::int64_t end_ns;  // == start_ns for instant events
-  std::uint64_t arg;    // kind-specific (e.g. resume count)
+  std::uint64_t arg;    // kind-specific (e.g. resume count, wake latency ns)
 };
 
 class trace_buffer {
  public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
+
   void enable() noexcept { enabled_ = true; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  // Caps the number of buffered events (0 = unlimited). Applies to future
+  // record() calls only.
+  void set_capacity(std::size_t cap) noexcept { capacity_ = cap; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   void record(trace_kind kind, std::int64_t start_ns, std::int64_t end_ns,
               std::uint64_t arg = 0) {
     if (!enabled_) return;
+    if (capacity_ != 0 && events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
     events_.push_back({kind, start_ns, end_ns, arg});
   }
 
-  void clear() noexcept { events_.clear(); }
+  void clear() noexcept {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   [[nodiscard]] const std::vector<trace_event>& events() const noexcept {
     return events_;
   }
+  // Events rejected because the buffer was at capacity.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
   bool enabled_ = false;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t dropped_ = 0;
   std::vector<trace_event> events_;
+};
+
+// Run-level context embedded in the exported trace's "lhws" object; the
+// trace-stats CLI audits the paper's bounds from it.
+struct trace_meta {
+  std::string engine;  // "lhws" or "ws"
+  std::uint64_t max_concurrent_suspended = 0;  // observed bound on U
+  std::uint64_t dropped_events = 0;
+  double elapsed_ms = 0.0;
+  const std::vector<worker_stats>* per_worker = nullptr;
 };
 
 // Writes the per-worker buffers as a Chrome trace-event JSON document.
 // `origin_ns` is subtracted from every timestamp so traces start near 0.
+// `samples` (optional) adds per-worker counter tracks; `meta` (optional)
+// enriches the top-level "lhws" object with run statistics.
 void write_chrome_trace(std::ostream& os,
                         const std::vector<const trace_buffer*>& workers,
-                        std::int64_t origin_ns);
+                        std::int64_t origin_ns,
+                        const std::vector<obs::counter_sample>* samples =
+                            nullptr,
+                        const trace_meta* meta = nullptr);
 
 [[nodiscard]] std::string to_chrome_trace(
-    const std::vector<const trace_buffer*>& workers, std::int64_t origin_ns);
+    const std::vector<const trace_buffer*>& workers, std::int64_t origin_ns,
+    const std::vector<obs::counter_sample>* samples = nullptr,
+    const trace_meta* meta = nullptr);
 
 }  // namespace lhws::rt

@@ -1,0 +1,172 @@
+// metrics_registry exporters: golden JSON output and a line-by-line parse of
+// the Prometheus text exposition (HELP/TYPE structure, cumulative buckets).
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using lhws::obs::log_histogram;
+using lhws::obs::metrics_registry;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) out.push_back(line);
+  return out;
+}
+
+TEST(Exporters, JsonGolden) {
+  metrics_registry reg;
+  reg.add_counter("lhws_steals_total", "Successful steals", 42);
+  reg.add_gauge("lhws_elapsed_ms", "Wall time", 1.5);
+  reg.add_counter("lhws_worker_segments_total", "Per-worker segments", 7,
+                  "worker=\"0\"");
+  const std::string expected =
+      "{\"lhws_metrics\":1,\"metrics\":[\n"
+      " {\"name\":\"lhws_steals_total\",\"type\":\"counter\",\"value\":42},\n"
+      " {\"name\":\"lhws_elapsed_ms\",\"type\":\"gauge\",\"value\":1.5},\n"
+      " {\"name\":\"lhws_worker_segments_total\",\"type\":\"counter\","
+      "\"labels\":\"worker=\\\"0\\\"\",\"value\":7}\n"
+      "]}\n";
+  EXPECT_EQ(reg.json_text(), expected);
+}
+
+TEST(Exporters, JsonHistogramSummary) {
+  log_histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  metrics_registry reg;
+  reg.add_histogram("lhws_wake_latency_ns", "Wake latency", &h);
+  const std::string json = reg.json_text();
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":60"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":30"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":20"), std::string::npos);  // exact: v < 32
+}
+
+TEST(Exporters, JsonEscaping) {
+  EXPECT_EQ(lhws::obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(lhws::obs::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Exporters, PrometheusCountersAndGauges) {
+  metrics_registry reg;
+  reg.add_counter("lhws_steals_total", "Successful steals", 42);
+  reg.add_gauge("lhws_elapsed_ms", "Wall time", 2.25);
+  const auto lines = lines_of(reg.prometheus_text());
+  ASSERT_EQ(lines.size(), 6U);
+  EXPECT_EQ(lines[0], "# HELP lhws_steals_total Successful steals");
+  EXPECT_EQ(lines[1], "# TYPE lhws_steals_total counter");
+  EXPECT_EQ(lines[2], "lhws_steals_total 42");
+  EXPECT_EQ(lines[3], "# HELP lhws_elapsed_ms Wall time");
+  EXPECT_EQ(lines[4], "# TYPE lhws_elapsed_ms gauge");
+  EXPECT_EQ(lines[5], "lhws_elapsed_ms 2.25");
+}
+
+TEST(Exporters, PrometheusLabeledFamilyEmitsHelpOnce) {
+  metrics_registry reg;
+  reg.add_counter("lhws_worker_steals_total", "Per-worker steals", 1,
+                  "worker=\"0\"");
+  reg.add_counter("lhws_worker_steals_total", "Per-worker steals", 2,
+                  "worker=\"1\"");
+  const auto lines = lines_of(reg.prometheus_text());
+  ASSERT_EQ(lines.size(), 4U);
+  EXPECT_EQ(lines[0], "# HELP lhws_worker_steals_total Per-worker steals");
+  EXPECT_EQ(lines[1], "# TYPE lhws_worker_steals_total counter");
+  EXPECT_EQ(lines[2], "lhws_worker_steals_total{worker=\"0\"} 1");
+  EXPECT_EQ(lines[3], "lhws_worker_steals_total{worker=\"1\"} 2");
+}
+
+TEST(Exporters, PrometheusHistogramCumulativeBuckets) {
+  log_histogram h;
+  // Three values in distinct exact buckets: 5, 10, 10, 20.
+  h.record(5);
+  h.record(10);
+  h.record(10);
+  h.record(20);
+  metrics_registry reg;
+  reg.add_histogram("lhws_seg_ns", "Segment duration", &h);
+  const auto lines = lines_of(reg.prometheus_text());
+  // HELP, TYPE, 3 buckets, +Inf, _sum, _count
+  ASSERT_EQ(lines.size(), 8U);
+  EXPECT_EQ(lines[0], "# HELP lhws_seg_ns Segment duration");
+  EXPECT_EQ(lines[1], "# TYPE lhws_seg_ns histogram");
+  // Exact buckets below 32: value v lives in [v, v+1).
+  EXPECT_EQ(lines[2], "lhws_seg_ns_bucket{le=\"6\"} 1");
+  EXPECT_EQ(lines[3], "lhws_seg_ns_bucket{le=\"11\"} 3");   // cumulative
+  EXPECT_EQ(lines[4], "lhws_seg_ns_bucket{le=\"21\"} 4");
+  EXPECT_EQ(lines[5], "lhws_seg_ns_bucket{le=\"+Inf\"} 4");
+  EXPECT_EQ(lines[6], "lhws_seg_ns_sum 45");
+  EXPECT_EQ(lines[7], "lhws_seg_ns_count 4");
+}
+
+TEST(Exporters, PrometheusHistogramWithLabels) {
+  log_histogram h;
+  h.record(1);
+  metrics_registry reg;
+  reg.add_histogram("lhws_lat_ns", "Latency", &h, "worker=\"3\"");
+  const auto lines = lines_of(reg.prometheus_text());
+  ASSERT_EQ(lines.size(), 6U);
+  EXPECT_EQ(lines[2], "lhws_lat_ns_bucket{worker=\"3\",le=\"2\"} 1");
+  EXPECT_EQ(lines[3], "lhws_lat_ns_bucket{worker=\"3\",le=\"+Inf\"} 1");
+  EXPECT_EQ(lines[4], "lhws_lat_ns_sum{worker=\"3\"} 1");
+  EXPECT_EQ(lines[5], "lhws_lat_ns_count{worker=\"3\"} 1");
+}
+
+// Structural parse: every Prometheus line must be a comment or
+// `name[{labels}] value`, bucket series must be non-decreasing, and the
+// +Inf bucket must equal _count.
+TEST(Exporters, PrometheusParsesLineByLine) {
+  log_histogram h;
+  for (std::uint64_t v = 1; v < 5000; v += 7) h.record(v);
+  metrics_registry reg;
+  reg.add_counter("lhws_a_total", "A", 1);
+  reg.add_histogram("lhws_h_ns", "H", &h);
+  reg.add_gauge("lhws_g", "G", 0.5);
+
+  std::map<std::string, std::uint64_t> last_bucket_cum;
+  std::map<std::string, std::uint64_t> inf_bucket;
+  std::map<std::string, std::uint64_t> count_series;
+  for (const std::string& line : lines_of(reg.prometheus_text())) {
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    const auto sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string key = line.substr(0, sp);
+    const std::string val = line.substr(sp + 1);
+    ASSERT_FALSE(val.empty()) << line;
+    // Metric names start with our prefix and contain no spaces.
+    EXPECT_EQ(key.rfind("lhws_", 0), 0U) << line;
+    if (key.find("_bucket{") != std::string::npos) {
+      const std::string base = key.substr(0, key.find("_bucket{"));
+      const std::uint64_t cum = std::stoull(val);
+      if (key.find("le=\"+Inf\"") != std::string::npos) {
+        inf_bucket[base] = cum;
+      } else {
+        EXPECT_GE(cum, last_bucket_cum[base]) << line;
+        last_bucket_cum[base] = cum;
+      }
+    } else if (key.size() > 6 &&
+               key.compare(key.size() - 6, 6, "_count") == 0) {
+      count_series[key.substr(0, key.size() - 6)] = std::stoull(val);
+    }
+  }
+  ASSERT_EQ(inf_bucket.size(), 1U);
+  EXPECT_EQ(inf_bucket["lhws_h_ns"], h.count());
+  EXPECT_EQ(count_series["lhws_h_ns"], h.count());
+  EXPECT_LE(last_bucket_cum["lhws_h_ns"], h.count());
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// log_histogram: bucket geometry, recording, merging, and quantile accuracy
+// against a sorted-vector oracle.
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.hpp"
+
+namespace {
+
+using lhws::obs::log_histogram;
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  // Below kSubCount every value has its own width-1 bucket.
+  for (std::uint64_t v = 0; v < log_histogram::kSubCount; ++v) {
+    const std::size_t i = log_histogram::bucket_index(v);
+    EXPECT_EQ(i, static_cast<std::size_t>(v));
+    EXPECT_EQ(log_histogram::bucket_lower_bound(i), v);
+    EXPECT_EQ(log_histogram::bucket_width(i), 1U);
+  }
+}
+
+TEST(LogHistogram, BucketIndexIsMonotonicAndContinuous) {
+  // Walk all buckets: lower bounds must tile the value space with no gaps.
+  std::uint64_t expected_lower = 0;
+  for (std::size_t i = 0; i < log_histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(log_histogram::bucket_lower_bound(i), expected_lower)
+        << "bucket " << i;
+    expected_lower += log_histogram::bucket_width(i);
+  }
+  // The last bucket's range ends exactly at 2^64 (wraps to 0).
+  EXPECT_EQ(expected_lower, 0U);
+}
+
+TEST(LogHistogram, ValueMapsIntoItsBucketRange) {
+  std::mt19937_64 rng(42);
+  for (int t = 0; t < 100000; ++t) {
+    const int bits = 1 + static_cast<int>(rng() % 63);
+    const std::uint64_t v = rng() >> (64 - bits);
+    const std::size_t i = log_histogram::bucket_index(v);
+    ASSERT_LT(i, log_histogram::kNumBuckets);
+    EXPECT_GE(v, log_histogram::bucket_lower_bound(i));
+    EXPECT_LT(v, log_histogram::bucket_lower_bound(i) +
+                     log_histogram::bucket_width(i));
+  }
+}
+
+TEST(LogHistogram, BoundaryValues) {
+  // Exact powers of two land at the start of their bucket.
+  for (unsigned exp = log_histogram::kSubBits; exp < 63; ++exp) {
+    const std::uint64_t v = std::uint64_t{1} << exp;
+    const std::size_t i = log_histogram::bucket_index(v);
+    EXPECT_EQ(log_histogram::bucket_lower_bound(i), v);
+    // The value just below is in the previous bucket.
+    EXPECT_EQ(log_histogram::bucket_index(v - 1), i - 1);
+  }
+  EXPECT_EQ(log_histogram::bucket_index(UINT64_MAX),
+            log_histogram::kNumBuckets - 1);
+}
+
+TEST(LogHistogram, RelativeErrorBound) {
+  // Bucket width <= lower_bound / kSubCount for all log buckets, i.e. ~3%
+  // max quantile error with 5 sub-bits.
+  for (std::size_t i = log_histogram::kSubCount; i < log_histogram::kNumBuckets;
+       ++i) {
+    EXPECT_LE(log_histogram::bucket_width(i) * log_histogram::kSubCount,
+              log_histogram::bucket_lower_bound(i))
+        << "bucket " << i;
+  }
+}
+
+TEST(LogHistogram, CountSumMinMax) {
+  log_histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.min(), 0U);  // empty -> 0, not UINT64_MAX
+  h.record(7);
+  h.record(100);
+  h.record(3);
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_EQ(h.sum(), 110U);
+  EXPECT_EQ(h.min(), 3U);
+  EXPECT_EQ(h.max(), 100U);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.sum(), 0U);
+}
+
+TEST(LogHistogram, QuantileMatchesOracleWithinOneBucketWidth) {
+  std::mt19937_64 rng(1234);
+  log_histogram h;
+  std::vector<std::uint64_t> oracle;
+  // A mix of scales: uniform small, log-uniform large.
+  for (int t = 0; t < 20000; ++t) {
+    std::uint64_t v = 0;
+    if (t % 2 == 0) {
+      v = rng() % 1000;
+    } else {
+      const int bits = 1 + static_cast<int>(rng() % 40);
+      v = rng() >> (64 - bits);
+    }
+    h.record(v);
+    oracle.push_back(v);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    auto rank =
+        static_cast<std::size_t>(q * static_cast<double>(oracle.size()));
+    if (rank >= oracle.size()) rank = oracle.size() - 1;
+    const std::uint64_t exact = oracle[rank];
+    const std::uint64_t est = h.quantile(q);
+    // The estimate is the midpoint of the bucket containing the exact value,
+    // so it is within one bucket width of the exact answer.
+    const std::uint64_t width =
+        log_histogram::bucket_width(log_histogram::bucket_index(exact));
+    EXPECT_LE(est > exact ? est - exact : exact - est, width)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(LogHistogram, MergeIsAssociativeAndOrderIndependent) {
+  std::mt19937_64 rng(99);
+  log_histogram a, b, c;
+  for (int t = 0; t < 5000; ++t) {
+    const std::uint64_t v = rng() % 1000000;
+    if (t % 3 == 0) a.record(v);
+    else if (t % 3 == 1) b.record(v);
+    else c.record(v);
+  }
+  // (a + b) + c
+  log_histogram ab = a;
+  ab.merge(b);
+  log_histogram abc1 = ab;
+  abc1.merge(c);
+  // a + (b + c)
+  log_histogram bc = b;
+  bc.merge(c);
+  log_histogram abc2 = a;
+  abc2.merge(bc);
+  // c + b + a
+  log_histogram abc3 = c;
+  abc3.merge(b);
+  abc3.merge(a);
+
+  EXPECT_EQ(abc1.count(), abc2.count());
+  EXPECT_EQ(abc1.sum(), abc2.sum());
+  EXPECT_EQ(abc1.min(), abc2.min());
+  EXPECT_EQ(abc1.max(), abc2.max());
+  EXPECT_EQ(abc1.count(), abc3.count());
+  EXPECT_EQ(abc1.sum(), abc3.sum());
+  for (std::size_t i = 0; i < log_histogram::kNumBuckets; ++i) {
+    ASSERT_EQ(abc1.bucket_count(i), abc2.bucket_count(i)) << "bucket " << i;
+    ASSERT_EQ(abc1.bucket_count(i), abc3.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(abc1.quantile(0.5), abc2.quantile(0.5));
+  EXPECT_EQ(abc1.quantile(0.5), abc3.quantile(0.5));
+}
+
+TEST(LogHistogram, MergeWithEmptyKeepsMinMax) {
+  log_histogram a, empty;
+  a.record(5);
+  a.record(50);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_EQ(a.min(), 5U);
+  EXPECT_EQ(a.max(), 50U);
+  log_histogram b;
+  b.merge(a);
+  EXPECT_EQ(b.min(), 5U);
+  EXPECT_EQ(b.max(), 50U);
+}
+
+TEST(LogHistogram, CopySnapshots) {
+  log_histogram a;
+  a.record(17);
+  const log_histogram snap = a;  // copy
+  a.record(1000);
+  EXPECT_EQ(snap.count(), 1U);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_EQ(snap.sum(), 17U);
+}
+
+TEST(LatencyHistograms, MergeAndReset) {
+  lhws::obs::latency_histograms a, b;
+  a.wake_latency.record(10);
+  b.wake_latency.record(20);
+  b.steal_latency.record(30);
+  a.merge(b);
+  EXPECT_EQ(a.wake_latency.count(), 2U);
+  EXPECT_EQ(a.steal_latency.count(), 1U);
+  a.reset();
+  EXPECT_TRUE(a.wake_latency.empty());
+  EXPECT_TRUE(a.steal_latency.empty());
+}
+
+}  // namespace

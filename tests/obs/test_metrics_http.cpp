@@ -1,0 +1,102 @@
+// metrics_http_server: real-socket round trips on an ephemeral port.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_http.hpp"
+
+namespace {
+
+using lhws::obs::metrics_http_server;
+
+std::string http_get(std::uint16_t port, const std::string& target,
+                     const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = method + " " + target + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+TEST(MetricsHttp, ServesPrometheusAndJson) {
+  metrics_http_server srv;
+  ASSERT_TRUE(srv.start(0, [](metrics_http_server::format f) {
+    return f == metrics_http_server::format::json
+               ? std::string("{\"ok\":1}\n")
+               : std::string("lhws_up 1\n");
+  }));
+  ASSERT_TRUE(srv.running());
+  ASSERT_NE(srv.port(), 0);
+
+  const std::string prom = http_get(srv.port(), "/metrics");
+  EXPECT_NE(prom.find("200 OK"), std::string::npos);
+  EXPECT_NE(prom.find("text/plain"), std::string::npos);
+  EXPECT_NE(prom.find("lhws_up 1"), std::string::npos);
+
+  const std::string json = http_get(srv.port(), "/metrics.json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("{\"ok\":1}"), std::string::npos);
+
+  srv.stop();
+  EXPECT_FALSE(srv.running());
+}
+
+TEST(MetricsHttp, UnknownPathIs404) {
+  metrics_http_server srv;
+  ASSERT_TRUE(srv.start(0, [](metrics_http_server::format) {
+    return std::string("x");
+  }));
+  const std::string resp = http_get(srv.port(), "/nope");
+  EXPECT_NE(resp.find("404"), std::string::npos);
+  srv.stop();
+}
+
+TEST(MetricsHttp, NonGetIs405) {
+  metrics_http_server srv;
+  ASSERT_TRUE(srv.start(0, [](metrics_http_server::format) {
+    return std::string("x");
+  }));
+  const std::string resp = http_get(srv.port(), "/metrics", "POST");
+  EXPECT_NE(resp.find("405"), std::string::npos);
+  srv.stop();
+}
+
+TEST(MetricsHttp, StopIsIdempotentAndRestartable) {
+  metrics_http_server srv;
+  ASSERT_TRUE(srv.start(0, [](metrics_http_server::format) {
+    return std::string("a");
+  }));
+  srv.stop();
+  srv.stop();
+  ASSERT_TRUE(srv.start(0, [](metrics_http_server::format) {
+    return std::string("b");
+  }));
+  const std::string resp = http_get(srv.port(), "/metrics");
+  EXPECT_NE(resp.find("\r\n\r\nb"), std::string::npos);
+  srv.stop();
+}
+
+}  // namespace

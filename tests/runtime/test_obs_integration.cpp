@@ -1,0 +1,182 @@
+// Observability wiring through the runtime: histograms fill during a run,
+// the gauge sampler lands counter tracks in the trace, thread metadata is
+// emitted, trace capacity caps surface dropped counts, and the per-worker
+// stats breakdown stays consistent with the aggregate.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "core/algorithms.hpp"
+#include "core/latency.hpp"
+#include "core/scheduler.hpp"
+#include "obs/metrics.hpp"
+
+namespace lhws {
+namespace {
+
+using namespace std::chrono_literals;
+
+task<int> fetchy(std::size_t) { co_return co_await latency(2ms, 1); }
+
+task<int> fanout(std::size_t n) {
+  return map_reduce<int>(0, n, 0, fetchy, [](int a, int b) { return a + b; });
+}
+
+TEST(ObsIntegration, HistogramsPopulatedWhenMetricsOn) {
+  scheduler_options o;
+  o.workers = 2;
+  o.metrics = true;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fanout(16)), 16);
+  const auto& h = sched.histograms();
+  EXPECT_GT(h.segment_duration.count(), 0U);
+  EXPECT_GT(h.wake_latency.count(), 0U);
+  // Every resume delivery produces one wake sample.
+  EXPECT_EQ(h.wake_latency.count(), sched.stats().resumes_delivered);
+  // Deque lifetimes: at least the root deque cycle.
+  EXPECT_GT(h.deque_lifetime.count(), 0U);
+  EXPECT_GT(h.segment_duration.sum(), 0U);
+}
+
+TEST(ObsIntegration, HistogramsEmptyWhenMetricsOff) {
+  scheduler_options o;
+  o.workers = 2;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fanout(8)), 8);
+  EXPECT_EQ(sched.histograms().segment_duration.count(), 0U);
+  EXPECT_EQ(sched.histograms().wake_latency.count(), 0U);
+}
+
+TEST(ObsIntegration, HistogramsResetBetweenRuns) {
+  scheduler_options o;
+  o.workers = 1;
+  o.metrics = true;
+  scheduler sched(o);
+  (void)sched.run(fanout(8));
+  const auto first = sched.histograms().segment_duration.count();
+  (void)sched.run(fanout(8));
+  // Same workload: counts comparable, not accumulating run over run.
+  EXPECT_LT(sched.histograms().segment_duration.count(), first * 2);
+}
+
+TEST(ObsIntegration, ThreadMetadataInTrace) {
+  scheduler_options o;
+  o.workers = 2;
+  o.trace = true;
+  scheduler sched(o);
+  (void)sched.run(fanout(8));
+  const std::string& json = sched.trace_json();
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("worker 0"), std::string::npos);
+  EXPECT_NE(json.find("worker 1"), std::string::npos);
+  EXPECT_NE(json.find("\"thread_sort_index\""), std::string::npos);
+  // Run metadata object for the trace-stats CLI.
+  EXPECT_NE(json.find("\"lhws\":{\"schema\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"per_worker\":["), std::string::npos);
+}
+
+TEST(ObsIntegration, SamplerEmitsCounterTracks) {
+  scheduler_options o;
+  o.workers = 2;
+  o.trace = true;
+  o.metrics = true;
+  o.sample_interval_us = 100;
+  scheduler sched(o);
+  (void)sched.run(fanout(32));
+  const std::string& json = sched.trace_json();
+  // The run takes >= one 2ms latency, so the 100us sampler fires; the stop
+  // path also takes a final sample unconditionally.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("w0/deques_owned"), std::string::npos);
+  EXPECT_NE(json.find("w0/steal_pressure"), std::string::npos);
+  EXPECT_NE(json.find("w1/suspended"), std::string::npos);
+}
+
+TEST(ObsIntegration, TraceCapacityDropsAreCounted) {
+  scheduler_options o;
+  o.workers = 2;
+  o.trace = true;
+  o.trace_capacity = 8;  // tiny: the fanout generates far more events
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fanout(32)), 32);
+  EXPECT_GT(sched.stats().trace_events_dropped, 0U);
+  const std::string& json = sched.trace_json();
+  // Dropped count surfaces in the trace metadata, and the trace is still
+  // well-formed with at most capacity events per worker.
+  EXPECT_NE(json.find("\"dropped_events\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"dropped_events\":0,"), std::string::npos);
+}
+
+TEST(ObsIntegration, UnboundedCapacityDropsNothing) {
+  scheduler_options o;
+  o.workers = 2;
+  o.trace = true;
+  o.trace_capacity = 0;  // unbounded
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fanout(16)), 16);
+  EXPECT_EQ(sched.stats().trace_events_dropped, 0U);
+}
+
+TEST(ObsIntegration, PerWorkerBreakdownSumsToAggregate) {
+  scheduler_options o;
+  o.workers = 3;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fanout(24)), 24);
+  const auto& s = sched.stats();
+  ASSERT_EQ(s.per_worker.size(), 3U);
+  std::uint64_t segments = 0, steals = 0, suspensions = 0, resumes = 0;
+  std::uint64_t max_deques = 0;
+  for (const auto& w : s.per_worker) {
+    segments += w.segments_executed;
+    steals += w.successful_steals;
+    suspensions += w.suspensions;
+    resumes += w.resumes_delivered;
+    max_deques = std::max(max_deques, w.max_deques_owned);
+  }
+  EXPECT_EQ(segments, s.segments_executed);
+  EXPECT_EQ(steals, s.successful_steals);
+  EXPECT_EQ(suspensions, s.suspensions);
+  EXPECT_EQ(resumes, s.resumes_delivered);
+  EXPECT_EQ(max_deques, s.max_deques_per_worker);
+}
+
+TEST(ObsIntegration, ObservedSuspensionWidthBoundsLemma7) {
+  scheduler_options o;
+  o.workers = 2;
+  o.metrics = true;
+  scheduler sched(o);
+  EXPECT_EQ(sched.run(fanout(16)), 16);
+  const auto& s = sched.stats();
+  ASSERT_GT(s.suspensions, 0U);
+  EXPECT_GT(s.max_concurrent_suspended, 0U);
+  EXPECT_LE(s.max_concurrent_suspended, 16U);  // U <= n for this dag
+  // Lemma 7 with the observed width.
+  EXPECT_LE(s.max_deques_per_worker, s.max_concurrent_suspended + 1);
+}
+
+TEST(ObsIntegration, ExportMetricsProducesFullFamily) {
+  scheduler_options o;
+  o.workers = 2;
+  o.metrics = true;
+  scheduler sched(o);
+  (void)sched.run(fanout(16));
+  obs::metrics_registry reg;
+  sched.export_metrics(reg);
+  const std::string prom = reg.prometheus_text();
+  for (const char* name :
+       {"lhws_segments_total", "lhws_steals_total", "lhws_suspensions_total",
+        "lhws_max_deques_per_worker", "lhws_max_concurrent_suspended",
+        "lhws_worker_segments_total{worker=\"0\"}",
+        "lhws_worker_segments_total{worker=\"1\"}",
+        "lhws_wake_latency_ns_count", "lhws_segment_duration_ns_bucket"}) {
+    EXPECT_NE(prom.find(name), std::string::npos) << name;
+  }
+  const std::string json = reg.json_text();
+  EXPECT_NE(json.find("\"lhws_metrics\":1"), std::string::npos);
+  EXPECT_NE(json.find("lhws_wake_latency_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lhws

@@ -1,0 +1,641 @@
+// lhws_trace_stats — parse an exported Chrome trace (runtime/trace.cpp
+// format) and report per-worker utilization, idle/steal breakdown, and wake
+// latency percentiles; with --check-bounds, audit the paper's invariants:
+//
+//   Lemma 7   max deques owned by any worker <= U + 1, checked against both
+//             the per-worker stats in the "lhws" metadata object and the
+//             sampler's deques_owned counter track;
+//   Thm 2-3   successful steals within a configurable factor of the
+//             P * S*U*(1 + lg U) overhead budget (an order-of-magnitude
+//             regression tripwire, not a proof: the theorems bound
+//             expectations and also carry a work/span term).
+//
+//   lhws_trace_stats [trace.json|-] [--check-bounds] [--u N]
+//                    [--steal-factor F] [--json]
+//
+// Exit codes: 0 ok, 1 bound violation, 2 malformed/corrupt input.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON value parser (self-contained; rejects anything that
+// is not valid JSON so corrupted traces fail loudly).
+// ---------------------------------------------------------------------------
+
+struct jvalue;
+using jobject = std::map<std::string, jvalue>;
+using jarray = std::vector<jvalue>;
+
+struct jvalue {
+  enum class kind : std::uint8_t {
+    null,
+    boolean,
+    number,
+    string,
+    array,
+    object
+  };
+  kind k = kind::null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::shared_ptr<jarray> arr;
+  std::shared_ptr<jobject> obj;
+
+  [[nodiscard]] const jvalue* find(const std::string& key) const {
+    if (k != kind::object || !obj) return nullptr;
+    const auto it = obj->find(key);
+    return it == obj->end() ? nullptr : &it->second;
+  }
+};
+
+class json_parser {
+ public:
+  explicit json_parser(std::string_view text) : text_(text) {}
+
+  std::optional<jvalue> parse(std::string* why) {
+    jvalue v;
+    if (!value(v)) {
+      if (why != nullptr) *why = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (why != nullptr) {
+        *why = "trailing garbage at offset " + std::to_string(pos_);
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg + " (at offset " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.substr(pos_, n) != lit) return fail("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool string_body(std::string& out) {
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            pos_ += 4;  // keep ASCII placeholder; trace strings are ASCII
+            c = '?';
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool value(jvalue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      ++pos_;
+      out.k = jvalue::kind::string;
+      return string_body(out.str);
+    }
+    if (c == 't') {
+      out.k = jvalue::kind::boolean;
+      out.b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.k = jvalue::kind::boolean;
+      out.b = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.k = jvalue::kind::null;
+      return literal("null");
+    }
+    return number(out);
+  }
+
+  bool number(jvalue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool any = false;
+    auto digits = [&] {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+        any = true;
+      }
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+        ++pos_;
+      }
+      digits();
+    }
+    if (!any) return fail("expected number");
+    out.k = jvalue::kind::number;
+    const std::string token(text_.substr(start, pos_ - start));
+    out.num = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  bool array(jvalue& out) {
+    ++pos_;  // '['
+    out.k = jvalue::kind::array;
+    out.arr = std::make_shared<jarray>();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      jvalue elem;
+      if (!value(elem)) return false;
+      out.arr->push_back(std::move(elem));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool object(jvalue& out) {
+    ++pos_;  // '{'
+    out.k = jvalue::kind::object;
+    out.obj = std::make_shared<jobject>();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      ++pos_;
+      std::string key;
+      if (!string_body(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      jvalue val;
+      if (!value(val)) return false;
+      (*out.obj)[key] = std::move(val);
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace model
+// ---------------------------------------------------------------------------
+
+struct worker_summary {
+  double busy_us = 0;        // segment + batch execution
+  double blocked_us = 0;     // WS-engine blocking waits
+  std::uint64_t segments = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t suspends = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t max_deques_sampled = 0;  // from the counter track
+  // From metadata (authoritative; sampling can miss peaks).
+  std::uint64_t max_deques_owned = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t successful_steals = 0;
+  std::uint64_t suspensions_meta = 0;
+};
+
+struct trace_model {
+  std::map<std::uint32_t, worker_summary> workers;
+  std::vector<std::uint64_t> wake_ns;
+  double first_ts_us = 0;
+  double last_ts_us = 0;
+  bool has_span = false;
+  std::uint64_t schema = 0;
+  std::uint64_t meta_workers = 0;
+  std::uint64_t max_concurrent_suspended = 0;
+  std::uint64_t dropped_events = 0;
+  bool has_meta_stats = false;
+  std::string engine;
+};
+
+double num_or(const jvalue* v, double fallback) {
+  return v != nullptr && v->k == jvalue::kind::number ? v->num : fallback;
+}
+
+std::uint64_t unum_or(const jvalue* v, std::uint64_t fallback) {
+  if (v == nullptr || v->k != jvalue::kind::number || v->num < 0) {
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(v->num);
+}
+
+bool build_model(const jvalue& root, trace_model& m, std::string& why) {
+  if (root.k != jvalue::kind::object) {
+    why = "top level is not an object";
+    return false;
+  }
+  const jvalue* events = root.find("traceEvents");
+  if (events == nullptr || events->k != jvalue::kind::array) {
+    why = "missing traceEvents array";
+    return false;
+  }
+  const jvalue* lhws = root.find("lhws");
+  if (lhws == nullptr || lhws->k != jvalue::kind::object) {
+    why = "missing lhws metadata object (not an lhws trace?)";
+    return false;
+  }
+  m.schema = unum_or(lhws->find("schema"), 0);
+  if (m.schema != 1) {
+    why = "unsupported lhws schema version " + std::to_string(m.schema);
+    return false;
+  }
+  m.meta_workers = unum_or(lhws->find("workers"), 0);
+  m.max_concurrent_suspended =
+      unum_or(lhws->find("max_concurrent_suspended"), 0);
+  m.dropped_events = unum_or(lhws->find("dropped_events"), 0);
+  if (const jvalue* eng = lhws->find("engine");
+      eng != nullptr && eng->k == jvalue::kind::string) {
+    m.engine = eng->str;
+  }
+  if (const jvalue* pw = lhws->find("per_worker");
+      pw != nullptr && pw->k == jvalue::kind::array) {
+    m.has_meta_stats = true;
+    std::uint32_t idx = 0;
+    for (const jvalue& w : *pw->arr) {
+      if (w.k != jvalue::kind::object) {
+        why = "per_worker entry is not an object";
+        return false;
+      }
+      worker_summary& ws = m.workers[idx];
+      ws.max_deques_owned = unum_or(w.find("max_deques_owned"), 0);
+      ws.steal_attempts = unum_or(w.find("steal_attempts"), 0);
+      ws.successful_steals = unum_or(w.find("successful_steals"), 0);
+      ws.suspensions_meta = unum_or(w.find("suspensions"), 0);
+      ++idx;
+    }
+  }
+
+  for (const jvalue& ev : *events->arr) {
+    if (ev.k != jvalue::kind::object) {
+      why = "trace event is not an object";
+      return false;
+    }
+    const jvalue* name = ev.find("name");
+    const jvalue* ph = ev.find("ph");
+    if (name == nullptr || name->k != jvalue::kind::string ||
+        ph == nullptr || ph->k != jvalue::kind::string ||
+        ev.find("pid") == nullptr || ev.find("tid") == nullptr) {
+      why = "trace event missing required name/ph/pid/tid fields";
+      return false;
+    }
+    if (ph->str == "M") continue;  // metadata events carry no ts
+    if (ev.find("ts") == nullptr) {
+      why = "non-metadata trace event missing ts";
+      return false;
+    }
+    const double ts = num_or(ev.find("ts"), 0);
+    const auto tid =
+        static_cast<std::uint32_t>(num_or(ev.find("tid"), 0));
+    const double dur = num_or(ev.find("dur"), 0);
+    if (!m.has_span || ts < m.first_ts_us) m.first_ts_us = ts;
+    if (!m.has_span || ts + dur > m.last_ts_us) m.last_ts_us = ts + dur;
+    m.has_span = true;
+
+    if (ph->str == "C") {
+      if (name->str.find("deques_owned") != std::string::npos) {
+        const jvalue* args = ev.find("args");
+        const std::uint64_t v =
+            args != nullptr ? unum_or(args->find("deques_owned"), 0) : 0;
+        worker_summary& ws = m.workers[tid];
+        ws.max_deques_sampled = std::max(ws.max_deques_sampled, v);
+      }
+      continue;
+    }
+
+    worker_summary& ws = m.workers[tid];
+    if (name->str == "segment" || name->str == "batch") {
+      ws.busy_us += dur;
+      ws.segments += 1;
+    } else if (name->str == "blocked") {
+      ws.blocked_us += dur;
+    } else if (name->str == "steal") {
+      ws.steals += 1;
+    } else if (name->str == "switch") {
+      ws.switches += 1;
+    } else if (name->str == "suspend") {
+      ws.suspends += 1;
+    } else if (name->str == "resume") {
+      const jvalue* args = ev.find("args");
+      ws.resumes += args != nullptr ? unum_or(args->find("n"), 1) : 1;
+    } else if (name->str == "wake") {
+      const jvalue* args = ev.find("args");
+      m.wake_ns.push_back(args != nullptr ? unum_or(args->find("n"), 0) : 0);
+    }
+  }
+  return true;
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lhws_trace_stats [trace.json|-] [--check-bounds] "
+               "[--u N] [--steal-factor F] [--json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool check_bounds = false;
+  bool json_out = false;
+  std::uint64_t u_override = 0;
+  bool have_u = false;
+  double steal_factor = 64.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check-bounds") {
+      check_bounds = true;
+    } else if (arg == "--json") {
+      json_out = true;
+    } else if (arg == "--u") {
+      if (++i >= argc) return usage();
+      u_override =
+          static_cast<std::uint64_t>(std::strtoull(argv[i], nullptr, 10));
+      have_u = true;
+    } else if (arg == "--steal-factor") {
+      if (++i >= argc) return usage();
+      steal_factor = std::strtod(argv[i], nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "lhws_trace_stats: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::string text;
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "lhws_trace_stats: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  std::string why;
+  json_parser parser(text);
+  const auto root = parser.parse(&why);
+  if (!root) {
+    std::fprintf(stderr, "lhws_trace_stats: invalid JSON: %s\n", why.c_str());
+    return 2;
+  }
+  trace_model m;
+  if (!build_model(*root, m, why)) {
+    std::fprintf(stderr, "lhws_trace_stats: schema check failed: %s\n",
+                 why.c_str());
+    return 2;
+  }
+
+  std::sort(m.wake_ns.begin(), m.wake_ns.end());
+  const std::uint64_t wake_p50 = percentile(m.wake_ns, 0.50);
+  const std::uint64_t wake_p95 = percentile(m.wake_ns, 0.95);
+  const std::uint64_t wake_p99 = percentile(m.wake_ns, 0.99);
+  const double span_us = m.has_span ? m.last_ts_us - m.first_ts_us : 0;
+
+  std::uint64_t total_steals = 0;
+  std::uint64_t total_attempts = 0;
+  std::uint64_t total_suspensions = 0;
+  std::uint64_t max_deques = 0;
+  for (const auto& [tid, ws] : m.workers) {
+    total_steals += ws.successful_steals;
+    total_attempts += ws.steal_attempts;
+    total_suspensions += ws.suspensions_meta;
+    max_deques = std::max(
+        {max_deques, ws.max_deques_owned, ws.max_deques_sampled});
+  }
+  if (!m.has_meta_stats) {
+    // Fall back to trace events when metadata has no per-worker stats.
+    for (const auto& [tid, ws] : m.workers) total_steals += ws.steals;
+  }
+
+  // U for the audits: --u wins; otherwise the observed concurrent-suspension
+  // peak from the run metadata.
+  const std::uint64_t u =
+      have_u ? u_override : m.max_concurrent_suspended;
+
+  if (json_out) {
+    std::printf("{\"lhws_trace_stats\":1,\"engine\":\"%s\",\"workers\":%llu,"
+                "\"span_us\":%.1f,\"wake_p50_ns\":%llu,\"wake_p95_ns\":%llu,"
+                "\"wake_p99_ns\":%llu,\"max_deques_per_worker\":%llu,"
+                "\"successful_steals\":%llu,\"steal_attempts\":%llu,"
+                "\"suspensions\":%llu,\"observed_u\":%llu,"
+                "\"dropped_events\":%llu}\n",
+                m.engine.c_str(),
+                static_cast<unsigned long long>(m.meta_workers), span_us,
+                static_cast<unsigned long long>(wake_p50),
+                static_cast<unsigned long long>(wake_p95),
+                static_cast<unsigned long long>(wake_p99),
+                static_cast<unsigned long long>(max_deques),
+                static_cast<unsigned long long>(total_steals),
+                static_cast<unsigned long long>(total_attempts),
+                static_cast<unsigned long long>(total_suspensions),
+                static_cast<unsigned long long>(m.max_concurrent_suspended),
+                static_cast<unsigned long long>(m.dropped_events));
+  } else {
+    std::printf("trace: %s  engine=%s  workers=%llu  span=%.1fms  "
+                "dropped_events=%llu\n",
+                path.c_str(), m.engine.c_str(),
+                static_cast<unsigned long long>(m.meta_workers),
+                span_us / 1000.0,
+                static_cast<unsigned long long>(m.dropped_events));
+    std::printf("%4s %10s %8s %8s %9s %9s %9s %8s\n", "tid", "busy_ms",
+                "util%", "blocked", "segments", "steals", "suspends",
+                "maxdq");
+    for (const auto& [tid, ws] : m.workers) {
+      const double util =
+          span_us > 0 ? 100.0 * ws.busy_us / span_us : 0.0;
+      std::printf("%4u %10.2f %7.1f%% %7.1fms %9llu %9llu %9llu %8llu\n",
+                  tid, ws.busy_us / 1000.0, util, ws.blocked_us / 1000.0,
+                  static_cast<unsigned long long>(ws.segments),
+                  static_cast<unsigned long long>(
+                      m.has_meta_stats ? ws.successful_steals : ws.steals),
+                  static_cast<unsigned long long>(ws.suspends),
+                  static_cast<unsigned long long>(std::max(
+                      ws.max_deques_owned, ws.max_deques_sampled)));
+    }
+    std::printf("wake latency (n=%zu): p50=%.1fus p95=%.1fus p99=%.1fus\n",
+                m.wake_ns.size(), static_cast<double>(wake_p50) / 1000.0,
+                static_cast<double>(wake_p95) / 1000.0,
+                static_cast<double>(wake_p99) / 1000.0);
+    std::printf("steals: %llu successful / %llu attempts; suspensions S=%llu; "
+                "observed U<=%llu\n",
+                static_cast<unsigned long long>(total_steals),
+                static_cast<unsigned long long>(total_attempts),
+                static_cast<unsigned long long>(total_suspensions),
+                static_cast<unsigned long long>(m.max_concurrent_suspended));
+  }
+
+  if (!check_bounds) return 0;
+
+  int rc = 0;
+
+  // --- Lemma 7: max deques per worker <= U + 1 ---------------------------
+  if (m.engine == "ws") {
+    // The blocking engine never switches deques; bound is trivially 1.
+    if (max_deques > 1) {
+      std::fprintf(stderr,
+                   "BOUND VIOLATION: ws engine worker owned %llu deques\n",
+                   static_cast<unsigned long long>(max_deques));
+      rc = 1;
+    }
+  } else if (u == 0 && total_suspensions > 0) {
+    std::fprintf(stderr,
+                 "lhws_trace_stats: cannot audit Lemma 7: no --u given and "
+                 "no observed suspension width in metadata\n");
+    rc = 1;
+  } else {
+    const std::uint64_t bound = u + 1;
+    if (max_deques > bound) {
+      std::fprintf(
+          stderr,
+          "BOUND VIOLATION (Lemma 7): max deques per worker %llu > U+1 = "
+          "%llu (U=%llu)\n",
+          static_cast<unsigned long long>(max_deques),
+          static_cast<unsigned long long>(bound),
+          static_cast<unsigned long long>(u));
+      rc = 1;
+    } else {
+      std::printf("lemma7 OK: max deques per worker %llu <= U+1 = %llu\n",
+                  static_cast<unsigned long long>(max_deques),
+                  static_cast<unsigned long long>(bound));
+    }
+  }
+
+  // --- Steal budget: successful steals vs P * S*U*(1+lg U) ---------------
+  if (m.engine != "ws" && m.meta_workers > 0) {
+    const double ueff = static_cast<double>(std::max<std::uint64_t>(u, 1));
+    const double budget =
+        steal_factor * static_cast<double>(m.meta_workers) *
+        (static_cast<double>(total_suspensions) * ueff *
+             (1.0 + std::log2(ueff)) +
+         static_cast<double>(m.meta_workers));
+    if (static_cast<double>(total_steals) > budget) {
+      std::fprintf(stderr,
+                   "BOUND VIOLATION (steal budget): %llu successful steals > "
+                   "%.0f (factor %.0f * P * (S*U*(1+lgU) + P))\n",
+                   static_cast<unsigned long long>(total_steals), budget,
+                   steal_factor);
+      rc = 1;
+    } else {
+      std::printf("steal budget OK: %llu <= %.0f\n",
+                  static_cast<unsigned long long>(total_steals), budget);
+    }
+  }
+
+  return rc;
+}
