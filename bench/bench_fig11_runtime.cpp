@@ -106,6 +106,13 @@ void write_json(const std::vector<run_record>& records, const char* path) {
         << ",\"ms\":" << r.ms << ",\"segments\":" << s.segments_executed
         << ",\"steal_attempts\":" << s.steal_attempts
         << ",\"successful_steals\":" << s.successful_steals
+        << ",\"failed_empty\":" << s.failed_empty
+        << ",\"failed_contended\":" << s.failed_contended
+        << ",\"parks\":" << s.parks
+        << ",\"park_timeouts\":" << s.park_timeouts
+        << ",\"unparks\":" << s.unparks
+        << ",\"registry_republishes\":" << s.registry_republishes
+        << ",\"resumes_direct\":" << s.resumes_direct
         << ",\"suspensions\":" << s.suspensions
         << ",\"max_deques_per_worker\":" << s.max_deques_per_worker
         << ",\"max_concurrent_suspended\":" << s.max_concurrent_suspended

@@ -1,0 +1,418 @@
+// STEAL-CONTENTION — registry lookup under thief contention.
+//
+// The PR that introduced the epoch-published deque registry claims the old
+// spinlock-guarded registry vector WAS the steal cost under contention.
+// This benchmark measures exactly that contrast on identical workloads: a
+// bench-local replica of the retired locked design vs the production
+// basic_deque_registry, probed by racing thieves while owners churn
+// registrations.
+//
+// Shapes (both from the paper's steal-heavy regimes):
+//   all_thieves — one victim, every other thread steals from it while the
+//                 owner churns add/remove at full speed. The worst case the
+//                 lock serializes.
+//   uniform     — every thread owns a registry and steals from a random
+//                 other, churning its own occasionally. The common case.
+//
+// This host has ONE hardware core: oversubscribed spinlock holders get
+// preempted mid-critical-section and convoy every thief behind them, which
+// is precisely the pathology the lock-free path removes. Results land in
+// BENCH_steal_contention.json for scripts/bench_gate.py, which enforces the
+// >= 2x all-thieves throughput floor at 8 threads and watches p95 attempt
+// latency for regressions.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "runtime/deque_registry.hpp"
+#include "support/config.hpp"
+#include "support/rng.hpp"
+#include "support/spin_barrier.hpp"
+#include "support/spinlock.hpp"
+
+namespace {
+
+using lhws::spin_barrier;
+using lhws::spinlock;
+using lhws::xoshiro256;
+using lhws::obs::log_histogram;
+
+// Stocked far above what a run can drain: emptiness is not the subject,
+// registry access is.
+constexpr long kStock = 1L << 40;
+constexpr int kDequesPerVictim = 4;
+
+struct toy_deque {
+  alignas(lhws::cache_line_size) std::atomic<long> items{kStock};
+
+  // Mimics chase_lev steal_top's outcome split: 0 empty, 1 success, 2 lost
+  // the CAS to another thief.
+  int steal_once() noexcept {
+    long v = items.load(std::memory_order_acquire);
+    if (v <= 0) return 0;
+    return items.compare_exchange_weak(v, v - 1, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)
+               ? 1
+               : 2;
+  }
+};
+
+// Replica of the retired registry: a spinlock around a vector, taken by
+// every probe and every registration (what src/runtime had before the
+// epoch registry).
+class locked_registry {
+ public:
+  void add(toy_deque* q) {
+    mu_.lock();
+    v_.push_back(q);
+    mu_.unlock();
+  }
+
+  void remove(toy_deque* q) {
+    mu_.lock();
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (v_[i] == q) {
+        v_[i] = v_.back();
+        v_.pop_back();
+        break;
+      }
+    }
+    mu_.unlock();
+  }
+
+  toy_deque* random_slot(xoshiro256& rng) {
+    mu_.lock();
+    toy_deque* q =
+        v_.empty() ? nullptr : v_[rng.below(static_cast<std::uint64_t>(v_.size()))];
+    mu_.unlock();
+    return q;
+  }
+
+ private:
+  spinlock mu_;
+  std::vector<toy_deque*> v_;
+};
+
+using epoch_registry = lhws::rt::basic_deque_registry<toy_deque>;
+
+struct thief_counters {
+  std::uint64_t attempts = 0;
+  std::uint64_t success = 0;
+  std::uint64_t failed_empty = 0;
+  std::uint64_t failed_contended = 0;
+  std::uint64_t churns = 0;
+  log_histogram latency;  // sampled: every 64th attempt
+};
+
+template <typename Reg>
+void probe_once(Reg& reg, xoshiro256& rng, thief_counters& c) {
+  const bool timed = (c.attempts & 63u) == 0;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+  toy_deque* q = reg.random_slot(rng);
+  const int r = q != nullptr ? q->steal_once() : 0;
+  if (timed) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    c.latency.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
+  ++c.attempts;
+  if (r == 1) {
+    ++c.success;
+  } else if (r == 2) {
+    ++c.failed_contended;
+  } else {
+    ++c.failed_empty;
+  }
+}
+
+template <typename Reg>
+void thief_loop(Reg& reg, std::atomic<bool>& stop, spin_barrier& bar,
+                std::uint64_t seed, thief_counters& out) {
+  xoshiro256 rng(seed);
+  bar.arrive_and_wait();
+  while (!stop.load(std::memory_order_acquire)) {
+    probe_once(reg, rng, out);
+  }
+}
+
+// The victim's owner at full churn: every iteration retires one deque and
+// republishes it (the lock-free registry's worst case for readers).
+template <typename Reg>
+void churn_loop(Reg& reg, std::vector<toy_deque*>& mine,
+                std::atomic<bool>& stop, spin_barrier& bar,
+                thief_counters& out) {
+  bar.arrive_and_wait();
+  std::size_t i = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    toy_deque* q = mine[i % mine.size()];
+    reg.remove(q);
+    reg.add(q);
+    ++out.churns;
+    ++i;
+  }
+}
+
+// Uniform shape: steal from a random other worker, churn own registry every
+// 64 probes.
+template <typename Reg>
+void uniform_loop(std::vector<Reg*>& regs, unsigned self,
+                  std::vector<toy_deque*>& mine, std::atomic<bool>& stop,
+                  spin_barrier& bar, std::uint64_t seed,
+                  thief_counters& out) {
+  xoshiro256 rng(seed);
+  const unsigned p = static_cast<unsigned>(regs.size());
+  bar.arrive_and_wait();
+  std::size_t i = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    if ((i++ & 63u) == 0) {
+      toy_deque* q = mine[i % mine.size()];
+      regs[self]->remove(q);
+      regs[self]->add(q);
+      ++out.churns;
+    }
+    unsigned victim = static_cast<unsigned>(rng.below(p - 1));
+    if (victim >= self) ++victim;
+    probe_once(*regs[victim], rng, out);
+  }
+}
+
+struct run_result {
+  std::string shape;
+  std::string mode;
+  unsigned threads = 0;
+  double duration_ms = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t success = 0;
+  std::uint64_t failed_empty = 0;
+  std::uint64_t failed_contended = 0;
+  std::uint64_t churns = 0;
+  double steals_per_sec = 0;
+  double attempts_per_sec = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+void finalize(run_result& r, std::vector<thief_counters>& per_thread,
+              double elapsed_ms) {
+  log_histogram merged;
+  for (const thief_counters& c : per_thread) {
+    r.attempts += c.attempts;
+    r.success += c.success;
+    r.failed_empty += c.failed_empty;
+    r.failed_contended += c.failed_contended;
+    r.churns += c.churns;
+    merged.merge(c.latency);
+  }
+  r.duration_ms = elapsed_ms;
+  r.steals_per_sec = static_cast<double>(r.success) / (elapsed_ms / 1000.0);
+  r.attempts_per_sec =
+      static_cast<double>(r.attempts) / (elapsed_ms / 1000.0);
+  r.p50_ns = merged.quantile(0.50);
+  r.p95_ns = merged.quantile(0.95);
+  r.p99_ns = merged.quantile(0.99);
+}
+
+template <typename Reg>
+run_result run_all_thieves(const char* mode, unsigned threads,
+                           std::chrono::milliseconds duration) {
+  std::vector<std::unique_ptr<toy_deque>> storage;
+  std::vector<toy_deque*> mine;
+  Reg reg;
+  for (int i = 0; i < kDequesPerVictim; ++i) {
+    storage.push_back(std::make_unique<toy_deque>());
+    mine.push_back(storage.back().get());
+    reg.add(mine.back());
+  }
+
+  std::atomic<bool> stop{false};
+  spin_barrier bar(threads + 1);  // + the timing thread
+  std::vector<thief_counters> counters(threads);
+  std::vector<std::thread> pool;
+  pool.emplace_back(
+      [&] { churn_loop(reg, mine, stop, bar, counters[0]); });
+  for (unsigned t = 1; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      thief_loop(reg, stop, bar, 1000 + t, counters[t]);
+    });
+  }
+
+  bar.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(duration);
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  run_result r;
+  r.shape = "all_thieves";
+  r.mode = mode;
+  r.threads = threads;
+  finalize(r, counters, ms);
+  return r;
+}
+
+template <typename Reg>
+run_result run_uniform(const char* mode, unsigned threads,
+                       std::chrono::milliseconds duration) {
+  std::vector<std::unique_ptr<toy_deque>> storage;
+  std::vector<std::unique_ptr<Reg>> regs_owned(threads);
+  std::vector<Reg*> regs;
+  std::vector<std::vector<toy_deque*>> mine(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    regs_owned[t] = std::make_unique<Reg>();
+    regs.push_back(regs_owned[t].get());
+    for (int i = 0; i < kDequesPerVictim; ++i) {
+      storage.push_back(std::make_unique<toy_deque>());
+      mine[t].push_back(storage.back().get());
+      regs[t]->add(mine[t].back());
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  spin_barrier bar(threads + 1);
+  std::vector<thief_counters> counters(threads);
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      uniform_loop(regs, t, mine[t], stop, bar, 2000 + t, counters[t]);
+    });
+  }
+
+  bar.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(duration);
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  run_result r;
+  r.shape = "uniform";
+  r.mode = mode;
+  r.threads = threads;
+  finalize(r, counters, ms);
+  return r;
+}
+
+void write_json(const std::vector<run_result>& results, const char* path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "{\"bench\":\"steal_contention\",\"schema\":1,\"runs\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const run_result& r = results[i];
+    if (i != 0) out << ",";
+    out << "\n  {\"shape\":\"" << r.shape << "\",\"mode\":\"" << r.mode
+        << "\",\"threads\":" << r.threads
+        << ",\"duration_ms\":" << r.duration_ms
+        << ",\"attempts\":" << r.attempts << ",\"success\":" << r.success
+        << ",\"failed_empty\":" << r.failed_empty
+        << ",\"failed_contended\":" << r.failed_contended
+        << ",\"churns\":" << r.churns
+        << ",\"steals_per_sec\":" << r.steals_per_sec
+        << ",\"attempts_per_sec\":" << r.attempts_per_sec
+        << ",\"p50_ns\":" << r.p50_ns << ",\"p95_ns\":" << r.p95_ns
+        << ",\"p99_ns\":" << r.p99_ns << "}";
+  }
+  out << "\n]}\n";
+  std::printf("\nmachine-readable results: %s (%zu runs)\n", path,
+              results.size());
+}
+
+const run_result* find(const std::vector<run_result>& rs,
+                       const std::string& shape, const std::string& mode,
+                       unsigned threads) {
+  for (const run_result& r : rs) {
+    if (r.shape == shape && r.mode == mode && r.threads == threads) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  const char* scale_env = std::getenv("LHWS_BENCH_SCALE");
+  const bool large =
+      scale_env != nullptr && std::string(scale_env) == "large";
+  const auto duration =
+      std::chrono::milliseconds(large ? 1000 : 300);
+  const std::vector<unsigned> thread_counts = {2, 4, 8};
+
+  std::printf("=== STEAL-CONTENTION: locked vs epoch registry ===\n");
+  std::printf("window=%lldms/config, %d deques per victim, 1-core host "
+              "(oversubscription\nmakes the spinlock convoy visible)\n",
+              static_cast<long long>(duration.count()), kDequesPerVictim);
+
+  std::vector<run_result> results;
+  for (const char* shape : {"all_thieves", "uniform"}) {
+    const bool all = std::string(shape) == "all_thieves";
+    std::printf("\n-- %s\n", shape);
+    std::printf("   %3s %7s %14s %14s %10s %10s\n", "P", "mode",
+                "steals/s", "attempts/s", "p95 us", "contended%");
+    for (const unsigned p : thread_counts) {
+      for (const char* mode : {"locked", "epoch"}) {
+        const bool locked = std::string(mode) == "locked";
+        run_result r;
+        if (all) {
+          r = locked ? run_all_thieves<locked_registry>(mode, p, duration)
+                     : run_all_thieves<epoch_registry>(mode, p, duration);
+        } else {
+          r = locked ? run_uniform<locked_registry>(mode, p, duration)
+                     : run_uniform<epoch_registry>(mode, p, duration);
+        }
+        const double contended_pct =
+            r.attempts > 0 ? 100.0 * static_cast<double>(r.failed_contended) /
+                                 static_cast<double>(r.attempts)
+                           : 0.0;
+        std::printf("   %3u %7s %14.0f %14.0f %10.2f %9.1f%%\n", r.threads,
+                    r.mode.c_str(), r.steals_per_sec, r.attempts_per_sec,
+                    static_cast<double>(r.p95_ns) / 1000.0, contended_pct);
+        results.push_back(std::move(r));
+      }
+    }
+  }
+
+  std::printf("\n-- speedup (epoch steals/s over locked)\n");
+  bool floor_ok = true;
+  for (const char* shape : {"all_thieves", "uniform"}) {
+    for (const unsigned p : thread_counts) {
+      const run_result* locked = find(results, shape, "locked", p);
+      const run_result* epoch = find(results, shape, "epoch", p);
+      if (locked == nullptr || epoch == nullptr) continue;
+      const double speedup =
+          locked->steals_per_sec > 0
+              ? epoch->steals_per_sec / locked->steals_per_sec
+              : 0.0;
+      const bool gated =
+          std::string(shape) == "all_thieves" && p >= 8;
+      if (gated && speedup < 2.0) floor_ok = false;
+      std::printf("   %-12s P=%u: %.2fx%s\n", shape, p, speedup,
+                  gated ? (speedup >= 2.0 ? "  [floor >=2x: ok]"
+                                          : "  [floor >=2x: FAIL]")
+                        : "");
+    }
+  }
+
+  write_json(results, "BENCH_steal_contention.json");
+
+  std::printf("\nShape check: the epoch registry's probe is two acquire "
+              "loads; the locked\nregistry serializes every probe behind "
+              "the owner's churn. The gap widens\nwith thief count.\n");
+  if (!floor_ok) {
+    std::printf("WARNING: all-thieves speedup floor (>=2x at P>=8) not met "
+                "on this run;\nscripts/bench_gate.py will fail it.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the steal/resume hot paths.
+
+Compares the machine-readable output of the two gating benchmarks against
+committed baselines:
+
+  BENCH_fig11_runtime.json     (bench_fig11_runtime)  — wall clock per
+      (regime, engine, workers) must not regress: the paper's headline
+      figure is the end-to-end check that hot-path changes helped.
+  BENCH_steal_contention.json  (bench_steal_contention) — epoch-registry
+      steal throughput must not drop, p95 attempt latency must not grow,
+      and the absolute floor must hold: >= 2x over the locked replica in
+      the all-thieves shape at >= 8 threads.
+
+Usage:
+  scripts/bench_gate.py [--build-dir DIR] [--baseline-dir DIR]
+                        [--threshold F] [--update]
+
+  --build-dir     where the fresh BENCH_*.json files live (default: cwd)
+  --baseline-dir  committed baselines (default: bench/baselines next to
+                  this script's repo root)
+  --threshold     relative regression tolerance (default 0.15; CI uses a
+                  looser value because runner hardware differs from the
+                  machine that recorded the baselines)
+  --update        rewrite the baselines from the fresh results and exit
+
+Absolute slacks are added on top of the relative threshold because the
+reference host has ONE core and short runs jitter: wall-clock gets +8 ms,
+p95 latency +100 ns (the clock's own granularity regime). The all-thieves
+floor takes no slack — it is the acceptance criterion, computed from the
+fresh run alone.
+
+Exit codes: 0 ok, 1 regression (or floor violation), 2 usage/missing data.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+FIG11 = "BENCH_fig11_runtime.json"
+STEAL = "BENCH_steal_contention.json"
+
+WALL_SLACK_MS = 8.0
+P95_SLACK_NS = 100.0
+FLOOR_SPEEDUP = 2.0
+FLOOR_SHAPE = "all_thieves"
+FLOOR_MIN_THREADS = 8
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as e:
+        print(f"bench_gate: {path}: malformed JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def fig11_by_key(doc):
+    return {
+        (r["regime"], r["engine"], r["workers"]): r for r in doc["runs"]
+    }
+
+
+def steal_by_key(doc):
+    return {(r["shape"], r["mode"], r["threads"]): r for r in doc["runs"]}
+
+
+def check_fig11(base, cur, threshold, failures):
+    """Wall clock per (regime, engine, workers): higher is worse."""
+    base_runs = fig11_by_key(base)
+    cur_runs = fig11_by_key(cur)
+    for key, b in sorted(base_runs.items()):
+        c = cur_runs.get(key)
+        if c is None:
+            failures.append(f"fig11 {key}: config missing from fresh run")
+            continue
+        limit = b["ms"] * (1.0 + threshold) + WALL_SLACK_MS
+        status = "ok"
+        if c["ms"] > limit:
+            failures.append(
+                f"fig11 {key}: {c['ms']:.1f} ms vs baseline "
+                f"{b['ms']:.1f} ms (limit {limit:.1f} ms)"
+            )
+            status = "REGRESSION"
+        print(
+            f"  fig11 {key[0]:>15s}/{key[1]:<4s} P={key[2]}: "
+            f"{c['ms']:9.1f} ms (base {b['ms']:9.1f}, "
+            f"limit {limit:9.1f})  {status}"
+        )
+
+
+def check_steal(base, cur, threshold, failures):
+    """Epoch throughput lower-bad, p95 higher-bad, plus the 2x floor."""
+    base_runs = steal_by_key(base)
+    cur_runs = steal_by_key(cur)
+
+    for key, b in sorted(base_runs.items()):
+        if key[1] != "epoch":
+            continue  # the locked replica is the contrast, not the product
+        c = cur_runs.get(key)
+        if c is None:
+            failures.append(f"steal {key}: config missing from fresh run")
+            continue
+        floor_tput = b["steals_per_sec"] * (1.0 - threshold)
+        limit_p95 = b["p95_ns"] * (1.0 + threshold) + P95_SLACK_NS
+        status = "ok"
+        if c["steals_per_sec"] < floor_tput:
+            failures.append(
+                f"steal {key}: {c['steals_per_sec']:.0f} steals/s vs "
+                f"baseline {b['steals_per_sec']:.0f} "
+                f"(floor {floor_tput:.0f})"
+            )
+            status = "REGRESSION"
+        if c["p95_ns"] > limit_p95:
+            failures.append(
+                f"steal {key}: p95 {c['p95_ns']} ns vs baseline "
+                f"{b['p95_ns']} ns (limit {limit_p95:.0f} ns)"
+            )
+            status = "REGRESSION"
+        print(
+            f"  steal {key[0]:>12s}/{key[1]} P={key[2]}: "
+            f"{c['steals_per_sec']:12.0f}/s (base floor {floor_tput:12.0f}) "
+            f"p95 {c['p95_ns']:5d} ns (limit {limit_p95:6.0f})  {status}"
+        )
+
+    # Absolute acceptance floor, from the fresh run alone.
+    for (shape, mode, threads), c in sorted(cur_runs.items()):
+        if shape != FLOOR_SHAPE or mode != "epoch":
+            continue
+        if threads < FLOOR_MIN_THREADS:
+            continue
+        locked = cur_runs.get((shape, "locked", threads))
+        if locked is None or locked["steals_per_sec"] <= 0:
+            failures.append(
+                f"steal floor P={threads}: no locked run to compare against"
+            )
+            continue
+        speedup = c["steals_per_sec"] / locked["steals_per_sec"]
+        status = "ok" if speedup >= FLOOR_SPEEDUP else "FLOOR VIOLATION"
+        if speedup < FLOOR_SPEEDUP:
+            failures.append(
+                f"steal floor {shape} P={threads}: {speedup:.2f}x < "
+                f"{FLOOR_SPEEDUP:.1f}x over the locked registry"
+            )
+        print(
+            f"  steal floor {shape} P={threads}: {speedup:.2f}x over "
+            f"locked (need >= {FLOOR_SPEEDUP:.1f}x)  {status}"
+        )
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(
+        description="perf-regression gate vs committed bench baselines"
+    )
+    ap.add_argument("--build-dir", default=".")
+    ap.add_argument(
+        "--baseline-dir", default=os.path.join(repo_root, "bench", "baselines")
+    )
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--update", action="store_true")
+    args = ap.parse_args()
+
+    fresh = {}
+    for name in (FIG11, STEAL):
+        doc = load(os.path.join(args.build_dir, name))
+        if doc is None:
+            print(
+                f"bench_gate: {name} not found in {args.build_dir} — run "
+                "bench_fig11_runtime and bench_steal_contention first",
+                file=sys.stderr,
+            )
+            return 2
+        fresh[name] = doc
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for name in (FIG11, STEAL):
+            dst = os.path.join(args.baseline_dir, name)
+            shutil.copyfile(os.path.join(args.build_dir, name), dst)
+            print(f"bench_gate: baseline updated: {dst}")
+        return 0
+
+    failures = []
+    for name, checker in ((FIG11, check_fig11), (STEAL, check_steal)):
+        base = load(os.path.join(args.baseline_dir, name))
+        if base is None:
+            print(
+                f"bench_gate: no baseline {name} in {args.baseline_dir} "
+                "(run with --update to record one)",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{name} vs baseline (threshold {args.threshold:.0%}):")
+        checker(base, fresh[name], args.threshold, failures)
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench_gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 # Local mirror of the CI matrix: configure+build+ctest in the requested
 # mode, plus lint when the tools exist. Usage:
 #
-#   scripts/check.sh [plain|asan|tsan|tidy|format|all]
+#   scripts/check.sh [plain|asan|tsan|tidy|format|bench|all]
 #
 # Each mode builds into its own directory (build-check-<mode>) so repeated
 # runs are incremental and don't disturb the default ./build tree.
@@ -26,6 +26,20 @@ run_suite() {
   (cd "${dir}" &&
     ./examples/server 10 2 14 4 --trace trace_check.json &&
     ./tools/lhws_trace_stats trace_check.json --check-bounds --u 1)
+}
+
+# Perf-regression gate: a non-sanitized Release build of the two gating
+# benchmarks, compared against bench/baselines by scripts/bench_gate.py.
+run_bench_gate() {
+  local dir="build-check-bench"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DLHWS_WERROR=ON \
+    >/dev/null
+  cmake --build "${dir}" -j "$(nproc)" \
+    --target bench_fig11_runtime bench_steal_contention
+  (cd "${dir}" &&
+    ./bench/bench_fig11_runtime &&
+    ./bench/bench_steal_contention &&
+    python3 ../scripts/bench_gate.py --build-dir .)
 }
 
 run_format() {
@@ -59,6 +73,9 @@ case "${mode}" in
   format)
     run_format
     ;;
+  bench|--bench)
+    run_bench_gate
+    ;;
   tidy)
     run_tidy
     ;;
@@ -70,7 +87,7 @@ case "${mode}" in
     run_suite tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLHWS_TSAN=ON
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|asan|tsan|tidy|format|all]" >&2
+    echo "usage: scripts/check.sh [plain|asan|tsan|tidy|format|bench|all]" >&2
     exit 2
     ;;
 esac

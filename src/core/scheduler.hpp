@@ -42,6 +42,12 @@ struct scheduler_options {
   // Background gauge sampler cadence in microseconds (0 = off); samples
   // appear as Perfetto counter tracks in trace_json().
   std::uint32_t sample_interval_us = 0;
+  // Adaptive idle policy (see rt::scheduler_config): spin rounds, yield
+  // rounds, then condvar park bounded by the timeout. idle_park_timeout_us
+  // = 0 disables parking; parking is also off under timer_mode::polled.
+  std::uint32_t idle_spin_limit = 6;
+  std::uint32_t idle_yield_limit = 16;
+  std::uint32_t idle_park_timeout_us = 2000;
 };
 
 class scheduler {
@@ -92,6 +98,25 @@ class scheduler {
                     stats_.steal_attempts);
     reg.add_counter("lhws_steals_total", "Successful steals",
                     stats_.successful_steals);
+    reg.add_counter("lhws_failed_steals_empty_total",
+                    "Failed steals: victim or snapshot empty",
+                    stats_.failed_empty);
+    reg.add_counter("lhws_failed_steals_contended_total",
+                    "Failed steals: lost the top CAS to another thief",
+                    stats_.failed_contended);
+    reg.add_counter("lhws_parks_total", "Idle worker parks",
+                    stats_.parks);
+    reg.add_counter("lhws_park_timeouts_total",
+                    "Parks that ended by timeout rather than a wake",
+                    stats_.park_timeouts);
+    reg.add_counter("lhws_unparks_total", "Wakes delivered to parked workers",
+                    stats_.unparks);
+    reg.add_counter("lhws_registry_republishes_total",
+                    "Deque registry epoch republishes (add/remove)",
+                    stats_.registry_republishes);
+    reg.add_counter("lhws_resumes_direct_total",
+                    "Single-resume drains injected without a batch",
+                    stats_.resumes_direct);
     reg.add_counter("lhws_suspensions_total", "Continuations suspended",
                     stats_.suspensions);
     reg.add_counter("lhws_resumes_total", "Continuations re-injected",
@@ -154,6 +179,9 @@ class scheduler {
     cfg.trace_capacity = opts_.trace_capacity;
     cfg.metrics = opts_.metrics;
     cfg.sample_interval_us = opts_.sample_interval_us;
+    cfg.idle_spin_limit = opts_.idle_spin_limit;
+    cfg.idle_yield_limit = opts_.idle_yield_limit;
+    cfg.idle_park_timeout_us = opts_.idle_park_timeout_us;
     return cfg;
   }
 

@@ -21,6 +21,7 @@
 #include <memory>
 #include <type_traits>
 
+#include "deque/deque_concept.hpp"
 #include "support/atomic_model.hpp"
 #include "support/config.hpp"
 
@@ -114,10 +115,10 @@ class chase_lev_deque {
     return false;
   }
 
-  // Any thread. Returns true and writes `out` on success; false if the deque
-  // was empty or the steal lost a race (the paper's "failed steal": both
-  // count as one steal attempt in the analysis).
-  bool pop_top(T& out) {
+  // Any thread. The paper's "failed steal" counts either failure as one
+  // attempt; the result distinguishes an empty deque from a lost CAS race
+  // so the runtime can attribute failures to placement vs. contention.
+  steal_result steal_top(T& out) {
     std::int64_t t = top_.load(std::memory_order_acquire);
     Model::fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
@@ -126,13 +127,17 @@ class chase_lev_deque {
       T value = buf->get(t);
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
-        return false;
+        return steal_result::lost_race;
       }
       out = value;
-      return true;
+      return steal_result::success;
     }
-    return false;
+    return steal_result::empty;
   }
+
+  // Any thread. Returns true and writes `out` on success; false if the deque
+  // was empty or the steal lost a race.
+  bool pop_top(T& out) { return steal_top(out) == steal_result::success; }
 
   // Owner-observed size; approximate when thieves are active.
   [[nodiscard]] std::int64_t size() const noexcept {

@@ -8,6 +8,17 @@
 
 namespace lhws {
 
+// Why a steal attempt failed. The paper's analysis charges one token per
+// attempt regardless, but the runtime distinguishes the two failure causes:
+// `empty` is a placement miss (the victim had nothing), `lost_race` is true
+// contention (another thief won the top CAS). The split feeds the
+// failed_empty / failed_contended counters.
+enum class steal_result : std::uint8_t {
+  success,
+  empty,
+  lost_race,
+};
+
 template <typename D, typename T>
 concept WorkStealingDeque = requires(D d, const D cd, T v, T& out) {
   // Owner end (Table 1: pushBottom / popBottom).
@@ -15,6 +26,7 @@ concept WorkStealingDeque = requires(D d, const D cd, T v, T& out) {
   { d.pop_bottom(out) } -> std::same_as<bool>;
   // Thief end (Table 1: popTop).
   { d.pop_top(out) } -> std::same_as<bool>;
+  { d.steal_top(out) } -> std::same_as<steal_result>;
   { cd.size() } -> std::convertible_to<std::int64_t>;
   { cd.empty() } -> std::convertible_to<bool>;
 };

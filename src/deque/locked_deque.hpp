@@ -8,6 +8,8 @@
 #include <deque>
 #include <mutex>
 
+#include "deque/deque_concept.hpp"
+
 namespace lhws {
 
 template <typename T>
@@ -37,6 +39,12 @@ class locked_deque {
     out = items_.front();
     items_.pop_front();
     return true;
+  }
+
+  // Mutex-serialized, so a steal never loses a race — it only ever finds
+  // the deque empty. Keeps the oracle interface-compatible with Chase-Lev.
+  steal_result steal_top(T& out) {
+    return pop_top(out) ? steal_result::success : steal_result::empty;
   }
 
   [[nodiscard]] std::int64_t size() const {

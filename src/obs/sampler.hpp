@@ -6,9 +6,9 @@
 // and the steal theorems reason about.
 //
 // The callback runs on the sampler thread; the scheduler's implementation
-// reads per-worker state with relaxed atomic loads and the same registry
-// spinlock thieves take, so sampling never perturbs the schedule beyond a
-// bounded lock hold.
+// reads per-worker state with relaxed atomic loads and an epoch-validated
+// registry snapshot (lock-free, bounded retries), so sampling never blocks
+// the workers it observes.
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +27,7 @@ struct counter_sample {
   std::uint32_t deques_owned = 0;    // registry size (Lemma 7 subject)
   std::uint32_t suspended = 0;       // pending suspensions across its deques
   std::uint32_t resume_ready = 0;    // deques with undrained resumes
+  std::uint32_t parked = 0;          // 1 if the worker was idle-parked
   std::uint64_t steal_attempts = 0;  // cumulative; deltas = steal pressure
 };
 

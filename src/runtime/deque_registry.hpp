@@ -1,0 +1,221 @@
+// Epoch-published per-worker deque registry — the lock-free replacement for
+// the spinlock-guarded registry vector on the steal hot path.
+//
+// The paper's Section 6 steal policy ("random worker, then a random
+// non-empty deque of that worker") needs thieves to read the victim's set
+// of owned deques. The original implementation serialized every steal
+// attempt and every deque registration behind the victim's spinlock; under
+// contention (all thieves on one victim) that lock IS the steal cost.
+//
+// This registry publishes the set as a slot array + count guarded by a
+// seqlock-style epoch:
+//
+//   - Owner-only mutation (add/remove/grow) is the rare slow path: it brackets
+//     each republish with an odd/even epoch bump (odd = publish in flight).
+//   - Thieves read with plain atomic loads and never block: the fast path is
+//     two acquire loads (array pointer, count) plus one acquire slot load.
+//   - The sampler takes a *validated* snapshot: read epoch, copy slots,
+//     re-read epoch; retry on mismatch, with a bounded-retry fallback to an
+//     unvalidated copy so a churning owner cannot starve it.
+//
+// Why unvalidated reads are safe on the steal path: slot stores are release
+// and always contain nullptr or a pointer to a live deque (deques are pool-
+// allocated and recycled, never deallocated during a run — Section 3 already
+// allows stealing from freed deques, the steal just fails). A torn snapshot
+// therefore costs at most a failed steal attempt, which the analysis charges
+// anyway. The full memory-ordering contract is DESIGN.md §9.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "support/atomic_model.hpp"
+#include "support/config.hpp"
+
+namespace lhws::rt {
+
+// Generic over the deque type Q (the checker models the protocol with a
+// dummy payload) and the memory-model policy (real_model in production,
+// chk::check_model under the model checker).
+template <typename Q, typename Model = real_model>
+class basic_deque_registry {
+  template <typename U>
+  using model_atomic = typename Model::template atomic_type<U>;
+
+  struct slot_array {
+    explicit slot_array(std::uint32_t cap)
+        : capacity(cap), slots(new model_atomic<Q*>[cap]) {
+      for (std::uint32_t i = 0; i < cap; ++i) {
+        slots[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+
+    const std::uint32_t capacity;
+    std::unique_ptr<model_atomic<Q*>[]> slots;
+    slot_array* retired_next = nullptr;
+  };
+
+ public:
+  explicit basic_deque_registry(std::uint32_t initial_capacity = 8)
+      : epoch_(0), count_(0), retired_(nullptr) {
+    LHWS_ASSERT(initial_capacity >= 1);
+    array_.store(new slot_array(initial_capacity), std::memory_order_relaxed);
+  }
+
+  ~basic_deque_registry() {
+    delete array_.load(std::memory_order_relaxed);
+    slot_array* r = retired_;
+    while (r != nullptr) {
+      slot_array* next = r->retired_next;
+      delete r;
+      r = next;
+    }
+  }
+
+  basic_deque_registry(const basic_deque_registry&) = delete;
+  basic_deque_registry& operator=(const basic_deque_registry&) = delete;
+
+  // --- Owner-only slow path (registration / retirement) -------------------
+
+  void add(Q* q) {
+    publish_begin();
+    slot_array* a = array_.load(std::memory_order_relaxed);
+    const std::uint32_t n = count_.load(std::memory_order_relaxed);
+    if (n == a->capacity) a = grow(a, n);
+    a->slots[n].store(q, std::memory_order_release);
+    count_.store(n + 1, std::memory_order_release);
+    publish_end();
+  }
+
+  void remove(Q* q) {
+    publish_begin();
+    slot_array* a = array_.load(std::memory_order_relaxed);
+    const std::uint32_t n = count_.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (a->slots[i].load(std::memory_order_relaxed) == q) {
+        // Swap-with-last. A concurrent reader holding the old count may see
+        // the moved entry twice or the stale tail — both benign (failed or
+        // duplicate-target steal, never an invalid pointer).
+        a->slots[i].store(a->slots[n - 1].load(std::memory_order_relaxed),
+                          std::memory_order_release);
+        a->slots[n - 1].store(nullptr, std::memory_order_relaxed);
+        count_.store(n - 1, std::memory_order_release);
+        publish_end();
+        return;
+      }
+    }
+    publish_end();
+    LHWS_ASSERT(false && "deque missing from registry");
+  }
+
+  // --- Any-thread read side ------------------------------------------------
+
+  // A point-in-time handle on the published array. Entries may go stale the
+  // moment it is taken; at(i) never returns an invalid pointer, only nullptr
+  // or a (possibly since-retired) live deque.
+  struct reader_view {
+    const slot_array* arr = nullptr;
+    std::uint32_t n = 0;
+
+    [[nodiscard]] Q* at(std::uint32_t i) const {
+      return arr->slots[i].load(std::memory_order_acquire);
+    }
+  };
+
+  [[nodiscard]] reader_view view() const {
+    // Array before count: a newer count paired with an older (smaller) array
+    // is the one inconsistent combination, clamped away below.
+    const slot_array* a = array_.load(std::memory_order_acquire);
+    std::uint32_t n = count_.load(std::memory_order_acquire);
+    if (n > a->capacity) n = a->capacity;
+    return reader_view{a, n};
+  }
+
+  // The steal fast path: two acquire loads (via view()) plus one slot load.
+  // Returns nullptr when the registry is empty or the probed slot is.
+  template <typename Rng>
+  [[nodiscard]] Q* random_slot(Rng& rng) const {
+    const reader_view v = view();
+    if (v.n == 0) return nullptr;
+    return v.at(static_cast<std::uint32_t>(rng.below(v.n)));
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  // Completed republishes (epoch runs odd while a publish is in flight).
+  [[nodiscard]] std::uint64_t republish_count() const noexcept {
+    return epoch_.load(std::memory_order_acquire) / 2;
+  }
+
+  // Validated (seqlock) snapshot for the sampler: copies up to `max` slots
+  // into `out` and reports whether the copy was epoch-stable. Falls back to
+  // an unvalidated best-effort copy after `max_retries` churny attempts, so
+  // a busy owner can delay but never starve observation.
+  std::uint32_t snapshot(Q** out, std::uint32_t max, bool& consistent,
+                         unsigned max_retries = 3) const {
+    for (unsigned attempt = 0; attempt < max_retries; ++attempt) {
+      const std::uint64_t e1 = epoch_.load(std::memory_order_acquire);
+      if ((e1 & 1) != 0) continue;  // publish in flight
+      const reader_view v = view();
+      const std::uint32_t n = v.n < max ? v.n : max;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        out[i] = v.arr->slots[i].load(std::memory_order_relaxed);
+      }
+      Model::fence(std::memory_order_acquire);
+      if (epoch_.load(std::memory_order_relaxed) == e1) {
+        consistent = true;
+        return n;
+      }
+    }
+    // Unvalidated fallback: acquire slot loads keep every entry individually
+    // safe to dereference even though the set may be torn.
+    consistent = false;
+    const reader_view v = view();
+    const std::uint32_t limit = v.n < max ? v.n : max;
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < limit; ++i) {
+      Q* q = v.at(i);
+      if (q != nullptr) out[n++] = q;
+    }
+    return n;
+  }
+
+ private:
+  // Seqlock writer protocol (Boehm, MSPC'12): odd store, release fence,
+  // slot/count writes, even release store. Readers pair with the release
+  // fence via their acquire fence before re-reading the epoch.
+  void publish_begin() {
+    const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    epoch_.store(e + 1, std::memory_order_relaxed);
+    Model::fence(std::memory_order_release);
+  }
+
+  void publish_end() {
+    const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    epoch_.store(e + 1, std::memory_order_release);
+  }
+
+  slot_array* grow(slot_array* old, std::uint32_t n) {
+    auto* bigger = new slot_array(old->capacity * 2);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      bigger->slots[i].store(old->slots[i].load(std::memory_order_relaxed),
+                             std::memory_order_release);
+    }
+    array_.store(bigger, std::memory_order_release);
+    // A thief may still hold the old array pointer: retire, free at dtor
+    // (same discipline as chase_lev_deque's ring buffers). Growth doubles,
+    // so retired memory is bounded by 2x the peak registry size.
+    old->retired_next = retired_;
+    retired_ = old;
+    return bigger;
+  }
+
+  alignas(cache_line_size) model_atomic<std::uint64_t> epoch_;
+  model_atomic<std::uint32_t> count_;
+  model_atomic<slot_array*> array_;
+  slot_array* retired_;  // owner-only
+};
+
+}  // namespace lhws::rt

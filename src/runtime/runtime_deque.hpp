@@ -50,10 +50,14 @@ class runtime_deque {
   }
 
   bool pop_top(work_item& out) {
+    return steal_top(out) == steal_result::success;
+  }
+
+  steal_result steal_top(work_item& out) {
     std::uintptr_t bits = 0;
-    if (!items_.pop_top(bits)) return false;
-    out = work_item::from_raw(bits);
-    return true;
+    const steal_result r = items_.steal_top(bits);
+    if (r == steal_result::success) out = work_item::from_raw(bits);
+    return r;
   }
 
   [[nodiscard]] bool empty() const noexcept { return items_.empty(); }

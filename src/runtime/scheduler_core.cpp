@@ -1,6 +1,7 @@
 #include "runtime/scheduler_core.hpp"
 
 #include <ostream>
+#include <thread>
 
 #include "obs/sampler.hpp"
 #include "support/timing.hpp"
@@ -16,23 +17,6 @@ thread_local worker* worker::tl_worker_ = nullptr;
 worker::worker(scheduler_core& sched, std::uint32_t index, std::uint64_t seed)
     : sched_(sched), index_(index), rng_(seed) {}
 
-void worker::registry_add(runtime_deque* q) {
-  std::lock_guard<spinlock> lock(registry_lock_);
-  registry_.push_back(q);
-}
-
-void worker::registry_remove(runtime_deque* q) {
-  std::lock_guard<spinlock> lock(registry_lock_);
-  for (auto& slot : registry_) {
-    if (slot == q) {
-      slot = registry_.back();
-      registry_.pop_back();
-      return;
-    }
-  }
-  LHWS_ASSERT(false && "deque missing from registry");
-}
-
 runtime_deque* worker::new_deque() {
   runtime_deque* q;
   if (!empty_deques_.empty()) {
@@ -44,14 +28,14 @@ runtime_deque* worker::new_deque() {
   }
   stats.note_deque_acquired();
   if (metrics_on_) q->acquired_ns = now_ns();
-  registry_add(q);
+  registry_.add(q);
   return q;
 }
 
 void worker::free_deque(runtime_deque* q) {
   LHWS_ASSERT(q->empty());
   LHWS_ASSERT(!q->in_ready_set);
-  registry_remove(q);
+  registry_.remove(q);
   q->mark_freed(true);
   stats.note_deque_freed();
   if (metrics_on_ && q->acquired_ns > 0) {
@@ -65,6 +49,9 @@ void worker::free_deque(runtime_deque* q) {
 void worker::push_spawn(std::coroutine_handle<> h) {
   LHWS_ASSERT(active_ != nullptr);
   active_->push_bottom(work_item::from_coroutine(h));
+  // Lifeline: freshly pushed work is stealable — hand a parked thief its
+  // token. Costs one uncontended load when nobody is parked.
+  sched_.wake_one_thief(index_);
 }
 
 runtime_deque* worker::begin_suspension() {
@@ -128,6 +115,7 @@ void worker::execute(work_item item) {
 
 void worker::add_resumed_vertices() {
   runtime_deque* q = resumed_deques_.pop_all();
+  const bool any = q != nullptr;
   while (q != nullptr) {
     // Capture the link BEFORE draining: once drained, a concurrent
     // deliver_resume may re-register q and overwrite q->next.
@@ -136,9 +124,9 @@ void worker::add_resumed_vertices() {
     if (chain != nullptr) {
       const bool timed = trace.enabled() || metrics_on_;
       const std::int64_t drain_ns = timed ? now_ns() : 0;
-      auto items = std::make_shared<std::vector<std::coroutine_handle<>>>();
+      std::int64_t count = 0;
       for (resume_node* n = chain; n != nullptr; n = n->next) {
-        items->push_back(n->continuation);
+        ++count;
         if (timed) {
           // Wake latency: resume delivery (timer/producer thread) until
           // this drain makes the continuation stealable again.
@@ -152,15 +140,30 @@ void worker::add_resumed_vertices() {
                        static_cast<std::uint64_t>(wake));
         }
       }
-      sched_.note_suspend_end(static_cast<std::int64_t>(items->size()));
-      stats.resumes_delivered += items->size();
-      stats.batches_injected += 1;
+      sched_.note_suspend_end(count);
+      stats.resumes_delivered += static_cast<std::uint64_t>(count);
       if (trace.enabled()) {
-        trace.record(trace_kind::resume, drain_ns, drain_ns, items->size());
+        trace.record(trace_kind::resume, drain_ns, drain_ns,
+                     static_cast<std::uint64_t>(count));
       }
-      const auto count = static_cast<std::uint32_t>(items->size());
-      auto* batch = new batch_node{std::move(items), 0, count};
-      q->push_bottom(work_item::from_batch(batch));
+      if (count == 1) {
+        // Single resume (the overwhelmingly common drain): push the
+        // continuation directly, skipping the batch tree and its
+        // shared_ptr/vector allocations. Same deque, same Lemma 7 bound.
+        q->push_bottom(work_item::from_coroutine(chain->continuation));
+        stats.resumes_direct += 1;
+      } else {
+        auto items = std::make_shared<std::vector<std::coroutine_handle<>>>();
+        items->reserve(static_cast<std::size_t>(count));
+        for (resume_node* n = chain; n != nullptr; n = n->next) {
+          items->push_back(n->continuation);
+        }
+        auto* batch =
+            new batch_node{std::move(items), 0,
+                           static_cast<std::uint32_t>(count)};
+        q->push_bottom(work_item::from_batch(batch));
+        stats.batches_injected += 1;
+      }
       if (q != active_ && !q->in_ready_set) {
         q->in_ready_set = true;
         ready_deques_.push_back(q);
@@ -168,6 +171,10 @@ void worker::add_resumed_vertices() {
     }
     q = following;
   }
+  // Re-injected work is stealable; offer it to one parked thief. Once per
+  // drain pass, not per deque — the first woken thief steals and its own
+  // spawn pushes cascade further wakes if more parallelism exists.
+  if (any) sched_.wake_one_thief(index_);
 }
 
 void worker::maybe_retire_active() {
@@ -205,18 +212,26 @@ runtime_deque* worker::pick_victim() {
     return sched_.pool().random_deque(rng_);
   }
   // Section 6 policy: random worker, then a random non-empty deque of that
-  // worker (reservoir-sampled under the victim's registry lock).
+  // worker — read entirely lock-free from the victim's epoch-published
+  // registry. Fast path: one random probe (three atomic loads). If the
+  // probed deque is empty, fall back to a reservoir scan over the same
+  // view for any non-empty deque. The view may be stale (a torn publish or
+  // a since-retired deque); a stale choice just fails the steal, which the
+  // analysis charges as a normal failed attempt.
   const std::size_t victim_index = rng_.below(sched_.num_workers());
   worker& victim = sched_.worker_at(victim_index);
+  const auto view = victim.registry_.view();
+  if (view.n == 0) return nullptr;
+  runtime_deque* probed =
+      view.at(static_cast<std::uint32_t>(rng_.below(view.n)));
+  if (probed != nullptr && !probed->empty()) return probed;
   runtime_deque* chosen = nullptr;
-  {
-    std::lock_guard<spinlock> lock(victim.registry_lock_);
-    std::uint64_t seen = 0;
-    for (runtime_deque* q : victim.registry_) {
-      if (q->empty()) continue;
-      ++seen;
-      if (rng_.below(seen) == 0) chosen = q;
-    }
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < view.n; ++i) {
+    runtime_deque* q = view.at(i);
+    if (q == nullptr || q->empty()) continue;
+    ++seen;
+    if (rng_.below(seen) == 0) chosen = q;
   }
   return chosen;
 }
@@ -227,7 +242,9 @@ void worker::try_steal() {
   const std::int64_t t0 = metrics_on_ ? now_ns() : 0;
   runtime_deque* victim = pick_victim();
   work_item stolen;
-  if (victim != nullptr && victim->pop_top(stolen)) {
+  const steal_result r = victim != nullptr ? victim->steal_top(stolen)
+                                           : steal_result::empty;
+  if (r == steal_result::success) {
     stats.successful_steals += 1;
     active_ = new_deque();
     assigned_ = stolen;
@@ -237,14 +254,43 @@ void worker::try_steal() {
     }
   } else {
     stats.failed_steals += 1;
+    if (r == steal_result::lost_race) {
+      stats.failed_contended += 1;
+    } else {
+      stats.failed_empty += 1;
+    }
   }
   if (metrics_on_) {
     hist.steal_latency.record(static_cast<std::uint64_t>(now_ns() - t0));
   }
 }
 
+void worker::park_idle() {
+  if (!park_enabled_) {
+    std::this_thread::yield();
+    return;
+  }
+  const std::int64_t t0 = trace.enabled() ? now_ns() : 0;
+  // Announce before publishing the parked state: the seq_cst counter bump
+  // is what push-side wake_one_thief gates on. The recheck below runs after
+  // park_begin publishes kParked, so any resume delivered before it lands
+  // either in resumed_deques_ (recheck sees it) or as an unpark token
+  // (park_begin/park_for consumes it).
+  sched_.note_parked();
+  const parker::park_result r = parker_.park_for(
+      park_timeout_, [this] { return sched_.done() || has_local_work(); });
+  sched_.note_unparked();
+  stats.parks += 1;
+  if (r == parker::park_result::timed_out) stats.park_timeouts += 1;
+  if (trace.enabled()) {
+    trace.record(trace_kind::park, t0, now_ns(),
+                 r == parker::park_result::timed_out ? 1 : 0);
+  }
+}
+
 void worker::lhws_loop() {
-  backoff idle;
+  idle_backoff idle(sched_.config().idle_spin_limit,
+                    sched_.config().idle_yield_limit);
   const bool polled = sched_.hub().mode() == timer_mode::polled;
   while (!sched_.done()) {
     if (polled) sched_.hub().poll();
@@ -268,14 +314,15 @@ void worker::lhws_loop() {
     if (assigned_.empty() && active_ != nullptr) {
       active_->pop_bottom(assigned_);
     }
-    if (assigned_.empty()) idle.pause();
+    if (assigned_.empty() && idle.pause()) park_idle();
   }
 }
 
 void worker::ws_loop() {
   // Classic work stealing: one deque, no switching, no resume machinery
   // (latency operations block inside the awaitable and never suspend).
-  backoff idle;
+  idle_backoff idle(sched_.config().idle_spin_limit,
+                    sched_.config().idle_yield_limit);
   while (!sched_.done()) {
     if (!assigned_.empty()) {
       const work_item item = assigned_;
@@ -295,19 +342,26 @@ void worker::ws_loop() {
       std::size_t v = rng_.below(sched_.num_workers() - 1);
       if (v >= index_) ++v;
       worker& vw = sched_.worker_at(v);
-      // The victim's single deque, read under its registry lock (the
-      // pointer is written by the victim thread at startup).
-      std::lock_guard<spinlock> lock(vw.registry_lock_);
-      if (!vw.registry_.empty()) victim = vw.registry_.front();
+      // The victim's single deque, published through its registry at
+      // startup; a pair of acquire loads, no lock.
+      const auto view = vw.registry_.view();
+      if (view.n > 0) victim = view.at(0);
     }
     work_item stolen;
-    if (victim != nullptr && victim->pop_top(stolen)) {
+    const steal_result r = victim != nullptr ? victim->steal_top(stolen)
+                                             : steal_result::empty;
+    if (r == steal_result::success) {
       stats.successful_steals += 1;
       assigned_ = stolen;
       idle.reset();
     } else {
       stats.failed_steals += 1;
-      idle.pause();
+      if (r == steal_result::lost_race) {
+        stats.failed_contended += 1;
+      } else {
+        stats.failed_empty += 1;
+      }
+      if (idle.pause()) park_idle();
     }
   }
 }
@@ -316,14 +370,20 @@ obs::counter_sample worker::sample_gauges(std::int64_t ts_ns) {
   obs::counter_sample s;
   s.ts_ns = ts_ns;
   s.worker = index_;
-  {
-    std::lock_guard<spinlock> lock(registry_lock_);
-    s.deques_owned = static_cast<std::uint32_t>(registry_.size());
-    for (const runtime_deque* q : registry_) {
-      s.suspended += static_cast<std::uint32_t>(q->pending_suspensions());
-      if (q->has_undrained_resumes()) s.resume_ready += 1;
-    }
+  // Epoch-validated snapshot; under heavy owner churn the bounded retries
+  // fall back to an unvalidated (still pointer-safe) copy.
+  std::vector<runtime_deque*> snap(registry_.size() + 8);
+  bool consistent = false;
+  const std::uint32_t n = registry_.snapshot(
+      snap.data(), static_cast<std::uint32_t>(snap.size()), consistent);
+  s.deques_owned = n;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const runtime_deque* q = snap[i];
+    if (q == nullptr) continue;
+    s.suspended += static_cast<std::uint32_t>(q->pending_suspensions());
+    if (q->has_undrained_resumes()) s.resume_ready += 1;
   }
+  s.parked = parker_.is_parked() ? 1 : 0;
   s.steal_attempts = steal_attempts_obs_.load(std::memory_order_relaxed);
   return s;
 }
@@ -335,6 +395,12 @@ void worker::loop() {
     trace.enable();
   }
   metrics_on_ = sched_.config().metrics;
+  // Parking needs the event hub on its own thread: under the polled timer
+  // mode a parked worker would stop driving timer completions.
+  park_enabled_ = sched_.config().idle_park_timeout_us > 0 &&
+                  sched_.hub().mode() != timer_mode::polled;
+  park_timeout_ =
+      std::chrono::microseconds(sched_.config().idle_park_timeout_us);
   active_ = new_deque();
   if (sched_.config().engine == engine_mode::lhws) {
     lhws_loop();
@@ -361,7 +427,16 @@ scheduler_core::scheduler_core(const scheduler_config& cfg)
   }
 }
 
-scheduler_core::~scheduler_core() { hub_.shutdown(); }
+scheduler_core::~scheduler_core() {
+  hub_.shutdown();
+  // An external event setter or channel producer can still be inside a
+  // worker's parker — between its token exchange and the condvar signal —
+  // after the run completed. Drain those stragglers before the workers (and
+  // their parkers) are destroyed with the other members below.
+  while (external_wakes_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
 
 void scheduler_core::run_root(std::coroutine_handle<> root) {
   done_.store(false, std::memory_order_release);
@@ -396,7 +471,13 @@ void scheduler_core::run_root(std::coroutine_handle<> root) {
   samples_ = sampler.take();
 
   stats_ = run_stats{};
-  for (const auto& w : workers_) stats_.absorb(w->stats);
+  for (const auto& w : workers_) {
+    // Fold the cross-thread wake counter and the registry's epoch counter
+    // into the per-worker stats now that every thread has joined.
+    w->stats.unparks = w->unparks_obs_.load(std::memory_order_relaxed);
+    w->stats.registry_republishes = w->registry_.republish_count();
+    stats_.absorb(w->stats);
+  }
   stats_.total_deques_allocated = pool_.total_allocated();
   stats_.max_concurrent_suspended =
       max_suspended_.load(std::memory_order_relaxed);

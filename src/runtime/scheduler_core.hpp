@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <coroutine>
 #include <cstdint>
 #include <memory>
@@ -21,14 +22,15 @@
 #include "obs/histogram.hpp"
 #include "obs/sampler.hpp"
 #include "runtime/deque_pool.hpp"
+#include "runtime/deque_registry.hpp"
 #include "runtime/event_hub.hpp"
 #include "runtime/runtime_deque.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/work_item.hpp"
 #include "support/backoff.hpp"
+#include "support/parker.hpp"
 #include "support/rng.hpp"
-#include "support/spinlock.hpp"
 
 namespace lhws::rt {
 
@@ -64,6 +66,16 @@ struct scheduler_config {
   // Background gauge sampler cadence in microseconds (0 = off). Samples
   // become Perfetto counter tracks in the exported trace.
   std::uint32_t sample_interval_us = 0;
+  // Adaptive idle policy: an idle worker spins `idle_spin_limit` exponential
+  // pause rounds, yields `idle_yield_limit` rounds, then parks on a condvar
+  // until a lifeline wake (resume delivery / spawn push / shutdown) or
+  // `idle_park_timeout_us` elapses. The timeout bounds the latency of the
+  // one unavoidable push-vs-park race (DESIGN.md §9); 0 disables parking
+  // entirely (spin/yield only). Parking is also disabled under the polled
+  // timer mode, where workers must keep polling the event hub.
+  std::uint32_t idle_spin_limit = 6;
+  std::uint32_t idle_yield_limit = 16;
+  std::uint32_t idle_park_timeout_us = 2000;
 };
 
 class scheduler_core;
@@ -113,9 +125,20 @@ class worker {
   obs::latency_histograms hist;
 
   // Point-in-time gauge snapshot for the background sampler (any thread).
-  // Takes the registry spinlock — the same lock thieves take — so the hold
-  // is bounded by Lemma 7's deque count.
+  // Lock-free: takes an epoch-validated registry snapshot (bounded retries,
+  // best-effort fallback), so sampling never blocks the owner or thieves.
   [[nodiscard]] obs::counter_sample sample_gauges(std::int64_t ts_ns);
+
+  // Lifeline wake (any thread): deliver a park token to this worker.
+  // Returns true iff the worker was parked and this call was the wake that
+  // reached it. Lock-free unless the target is actually blocked.
+  bool wake() noexcept {
+    if (!parker_.unpark()) return false;
+    unparks_obs_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  [[nodiscard]] bool is_parked() const noexcept { return parker_.is_parked(); }
 
  private:
   friend class scheduler_core;
@@ -131,11 +154,15 @@ class worker {
   void free_deque(runtime_deque* q);
   runtime_deque* pick_victim();
 
-  // Registry of this worker's allocated deques, readable by thieves under
-  // the Section 6 policy ("requires synchronization between the two
-  // workers").
-  void registry_add(runtime_deque* q);
-  void registry_remove(runtime_deque* q);
+  // Idle tail of the adaptive ladder: announce, recheck, block. Bounded by
+  // the configured park timeout.
+  void park_idle();
+  // Local wake conditions rechecked after the parked state is published.
+  [[nodiscard]] bool has_local_work() const noexcept {
+    return !resumed_deques_.empty() ||
+           !ready_deques_.empty() ||
+           (active_ != nullptr && !active_->empty());
+  }
 
   static thread_local worker* tl_worker_;
 
@@ -143,8 +170,13 @@ class worker {
   const std::uint32_t index_;
   xoshiro256 rng_;
   bool metrics_on_ = false;
+  bool park_enabled_ = false;
+  std::chrono::microseconds park_timeout_{0};
   // Cross-thread-readable mirror of stats.steal_attempts for the sampler.
   std::atomic<std::uint64_t> steal_attempts_obs_{0};
+  // Wakes delivered TO this worker; written by arbitrary waker threads,
+  // folded into stats.unparks after the run.
+  std::atomic<std::uint64_t> unparks_obs_{0};
 
   runtime_deque* active_ = nullptr;
   work_item assigned_;
@@ -152,13 +184,25 @@ class worker {
   std::vector<runtime_deque*> empty_deques_;
   mpsc_stack<runtime_deque> resumed_deques_;  // producers: resuming threads
 
-  spinlock registry_lock_;
-  std::vector<runtime_deque*> registry_;
+  // Registry of this worker's allocated deques, readable by thieves under
+  // the Section 6 policy. Epoch-published: thieves and the sampler read it
+  // with atomic loads only; add/remove (owner-only, rare) republish.
+  basic_deque_registry<runtime_deque> registry_;
+  parker parker_;
 
  public:
   // Called by resume callbacks (any thread): register q as having resumed
-  // vertices (Fig. 3 line 5).
-  void enqueue_resumed_deque(runtime_deque* q) { resumed_deques_.push(q); }
+  // vertices (Fig. 3 line 5), then wake the owner if it parked. The wake is
+  // unconditional (a state RMW, not a gated check), so a resume can never
+  // be lost to the park/deliver race — see DESIGN.md §9.
+  //
+  // Worker threads are joined before the scheduler is torn down, but an
+  // external deliverer (event setter, channel producer, timer thread) can
+  // still be inside the parker — between its token exchange and the condvar
+  // signal — after the run completes. Those callers bracket the access with
+  // the teardown guard so ~scheduler_core waits them out. (Defined after
+  // scheduler_core below — it needs the complete type.)
+  void enqueue_resumed_deque(runtime_deque* q);
 };
 
 class scheduler_core {
@@ -174,9 +218,54 @@ class scheduler_core {
   // task machinery's root completion hook does this).
   void run_root(std::coroutine_handle<> root);
 
-  void signal_done() noexcept { done_.store(true, std::memory_order_release); }
+  void signal_done() noexcept {
+    done_.store(true, std::memory_order_release);
+    wake_all();
+  }
   [[nodiscard]] bool done() const noexcept {
     return done_.load(std::memory_order_acquire);
+  }
+
+  // --- Parking coordination ----------------------------------------------
+  // Workers announce (seq_cst) before publishing their parked state so the
+  // push-side gate below pairs with it; see DESIGN.md §9 for the residual
+  // race and its timeout bound.
+  void note_parked() noexcept {
+    parked_count_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  void note_unparked() noexcept {
+    parked_count_.fetch_sub(1, std::memory_order_release);
+  }
+
+  // Push-side lifeline: wake one parked worker so freshly pushed work gets
+  // a thief. The common case (nobody parked) is a single uncontended load.
+  // Returns true iff a wake was delivered.
+  bool wake_one_thief(std::uint32_t self) noexcept {
+    if (parked_count_.load(std::memory_order_seq_cst) == 0) return false;
+    const std::size_t n = workers_.size();
+    for (std::size_t i = 1; i <= n; ++i) {
+      worker& w = *workers_[(self + i) % n];
+      if (w.is_parked() && w.wake()) return true;
+    }
+    return false;
+  }
+
+  void wake_all() noexcept {
+    for (auto& w : workers_) w->wake();
+  }
+
+  // --- Teardown guard for external wakers ---------------------------------
+  // Counts non-worker threads currently inside a worker's parker. The
+  // increment needs no ordering of its own: it is sequenced before the
+  // resume push, and that push happens-before run completion (and thus the
+  // destructor's drain loop), so coherence already makes it visible there.
+  // The decrement releases the parker accesses it covers; the drain loop
+  // acquires them.
+  void external_wake_begin() noexcept {
+    external_wakes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void external_wake_end() noexcept {
+    external_wakes_.fetch_sub(1, std::memory_order_release);
   }
 
   [[nodiscard]] const scheduler_config& config() const noexcept {
@@ -237,6 +326,8 @@ class scheduler_core {
   event_hub hub_;
   std::vector<std::unique_ptr<worker>> workers_;
   std::atomic<bool> done_{false};
+  alignas(cache_line_size) std::atomic<std::uint32_t> parked_count_{0};
+  alignas(cache_line_size) std::atomic<std::uint32_t> external_wakes_{0};
   run_stats stats_;
   obs::latency_histograms run_hist_;
   std::vector<obs::counter_sample> samples_;
@@ -244,5 +335,18 @@ class scheduler_core {
   std::atomic<std::uint64_t> max_suspended_{0};
   std::int64_t run_start_ns_ = 0;
 };
+
+inline void worker::enqueue_resumed_deque(runtime_deque* q) {
+  worker* self = tl_worker_;
+  if (self != nullptr && &self->sched_ == &sched_) {
+    resumed_deques_.push(q);
+    wake();
+    return;
+  }
+  sched_.external_wake_begin();
+  resumed_deques_.push(q);
+  wake();
+  sched_.external_wake_end();
+}
 
 }  // namespace lhws::rt

@@ -20,9 +20,16 @@ struct worker_stats {
   std::uint64_t deque_switches = 0;
   std::uint64_t steal_attempts = 0;
   std::uint64_t successful_steals = 0;
-  std::uint64_t failed_steals = 0;
+  std::uint64_t failed_steals = 0;         // = failed_empty + failed_contended
+  std::uint64_t failed_empty = 0;          // victim/snapshot had no work
+  std::uint64_t failed_contended = 0;      // lost the top CAS to another thief
   std::uint64_t suspensions = 0;   // continuations that actually suspended
   std::uint64_t blocked_waits = 0; // WS engine: blocking latency waits
+  std::uint64_t resumes_direct = 0;    // single-resume fast path (no batch)
+  std::uint64_t parks = 0;             // idle parks entered
+  std::uint64_t park_timeouts = 0;     // parks that ended by timeout
+  std::uint64_t unparks = 0;           // wakes delivered to this worker parked
+  std::uint64_t registry_republishes = 0;  // epoch registry add/remove count
   std::uint64_t deques_owned = 0;
   std::uint64_t max_deques_owned = 0;
 
@@ -45,8 +52,15 @@ struct run_stats {
   std::uint64_t steal_attempts = 0;
   std::uint64_t successful_steals = 0;
   std::uint64_t failed_steals = 0;
+  std::uint64_t failed_empty = 0;
+  std::uint64_t failed_contended = 0;
   std::uint64_t suspensions = 0;
   std::uint64_t blocked_waits = 0;
+  std::uint64_t resumes_direct = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t park_timeouts = 0;
+  std::uint64_t unparks = 0;
+  std::uint64_t registry_republishes = 0;
   std::uint64_t max_deques_per_worker = 0;
   std::uint64_t total_deques_allocated = 0;
   // Peak number of simultaneously suspended continuations — an observed
@@ -72,8 +86,15 @@ struct run_stats {
     steal_attempts += w.steal_attempts;
     successful_steals += w.successful_steals;
     failed_steals += w.failed_steals;
+    failed_empty += w.failed_empty;
+    failed_contended += w.failed_contended;
     suspensions += w.suspensions;
     blocked_waits += w.blocked_waits;
+    resumes_direct += w.resumes_direct;
+    parks += w.parks;
+    park_timeouts += w.park_timeouts;
+    unparks += w.unparks;
+    registry_republishes += w.registry_republishes;
     max_deques_per_worker =
         std::max(max_deques_per_worker, w.max_deques_owned);
   }

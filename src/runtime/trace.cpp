@@ -26,13 +26,15 @@ const char* name_of(trace_kind k) {
       return "wake";
     case trace_kind::blocked:
       return "blocked";
+    case trace_kind::park:
+      return "park";
   }
   return "?";
 }
 
 bool is_duration(trace_kind k) {
   return k == trace_kind::segment || k == trace_kind::batch ||
-         k == trace_kind::blocked;
+         k == trace_kind::blocked || k == trace_kind::park;
 }
 
 double to_us(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }
@@ -100,6 +102,7 @@ void write_chrome_trace(std::ostream& os,
       write_counter_event(os, first, s.worker, "suspended", ts, s.suspended);
       write_counter_event(os, first, s.worker, "resume_ready", ts,
                           s.resume_ready);
+      write_counter_event(os, first, s.worker, "parked", ts, s.parked);
       // Steal pressure: attempts since the previous sample of this worker.
       const std::uint64_t delta =
           s.worker < 256
@@ -126,9 +129,15 @@ void write_chrome_trace(std::ostream& os,
         os << "\n {\"segments\":" << ws.segments_executed
            << ",\"steal_attempts\":" << ws.steal_attempts
            << ",\"successful_steals\":" << ws.successful_steals
+           << ",\"failed_empty\":" << ws.failed_empty
+           << ",\"failed_contended\":" << ws.failed_contended
            << ",\"suspensions\":" << ws.suspensions
            << ",\"resumes_delivered\":" << ws.resumes_delivered
            << ",\"deque_switches\":" << ws.deque_switches
+           << ",\"parks\":" << ws.parks
+           << ",\"park_timeouts\":" << ws.park_timeouts
+           << ",\"unparks\":" << ws.unparks
+           << ",\"registry_republishes\":" << ws.registry_republishes
            << ",\"max_deques_owned\":" << ws.max_deques_owned << "}";
       }
       os << "\n]";

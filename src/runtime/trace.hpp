@@ -11,6 +11,8 @@
 //   resume    — a batch of continuations re-injected (instant, with count)
 //   wake      — one resumed continuation drained; arg = delivery->drain ns
 //   blocked   — WS engine blocking wait, duration event
+//   park      — idle worker blocked on its parker, duration event; arg = 1
+//               if the park ended by timeout rather than a wake
 //
 // The export also carries:
 //   - thread_name / process_name metadata ("M") events so workers show up
@@ -49,6 +51,7 @@ enum class trace_kind : std::uint8_t {
   resume,
   wake,
   blocked,
+  park,
 };
 
 struct trace_event {

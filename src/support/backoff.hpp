@@ -48,4 +48,40 @@ class backoff {
   std::uint32_t count_ = 0;
 };
 
+// The three-stage idle ladder behind adaptive parking: spin (exponential
+// pause), then yield, then tell the caller to park. The ladder itself never
+// blocks — the caller owns the park (worker::park_idle), because parking
+// needs scheduler-level bookkeeping (parked-count gate, recheck, wake
+// accounting) that doesn't belong here.
+class idle_backoff {
+ public:
+  idle_backoff(std::uint32_t spin_limit, std::uint32_t yield_limit) noexcept
+      : spin_limit_(spin_limit), yield_limit_(yield_limit) {}
+
+  // One idle round. Returns true when the spin+yield budget is exhausted
+  // and the caller should park; the budget stays exhausted (a parked worker
+  // that times out parks again immediately) until reset().
+  bool pause() noexcept {
+    if (count_ < spin_limit_) {
+      const std::uint32_t shift = count_ < 16 ? count_ : 16;
+      for (std::uint32_t i = 0; i < (1u << shift); ++i) cpu_relax();
+      ++count_;
+      return false;
+    }
+    if (count_ < spin_limit_ + yield_limit_) {
+      std::this_thread::yield();
+      ++count_;
+      return false;
+    }
+    return true;
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  const std::uint32_t spin_limit_;
+  const std::uint32_t yield_limit_;
+  std::uint32_t count_ = 0;
+};
+
 }  // namespace lhws

@@ -1,0 +1,146 @@
+// Three-state thread parker for adaptive idle blocking.
+//
+// Workers that exhaust their spin/yield budget park here instead of burning
+// a core; resume deliveries and fresh pushes unpark them (the "lifeline"
+// wake). The protocol is the classic Rust-std / crossbeam parker:
+//
+//   states: kRunning (awake) -> kParked (asleep or committing to sleep)
+//                            -> kNotified (a wake arrived)
+//
+//   park:   exchange(kParked);       // announce intent, acq_rel
+//           if prev == kNotified: consume the token, return immediately
+//           <caller rechecks its wake condition HERE — after the announce>
+//           sleep while state == kParked (condvar, bounded by timeout)
+//           exchange(kRunning)       // consume a token that raced the wakeup
+//
+//   unpark: exchange(kNotified);     // acq_rel
+//           if prev == kParked: the waiter may be on the condvar -> signal
+//
+// Both sides RMW the *same* atomic, so the store ordering between "I am
+// going to sleep" and "there is a wake for you" is total — the Dekker-style
+// flag/flag race that loses wakeups with two separate variables cannot
+// happen. The one residual race (condvar check-then-wait) is closed by the
+// waker acquiring the mutex between the state exchange and notify_one.
+//
+// parker_core is the lock-free state machine alone, templated on the memory
+// model so src/chk/ can exhaustively explore it (and prove the lost-wakeup
+// mutations fail); parker adds the OS blocking layer.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "support/atomic_model.hpp"
+
+namespace lhws {
+
+template <typename Model = real_model>
+class parker_core {
+  template <typename U>
+  using model_atomic = typename Model::template atomic_type<U>;
+
+ public:
+  static constexpr std::uint32_t kRunning = 0;
+  static constexpr std::uint32_t kParked = 1;
+  static constexpr std::uint32_t kNotified = 2;
+
+  // Waiter: announce intent to sleep. Returns the previous state — if
+  // kNotified, a token was pending and the caller must park_cancel() and
+  // skip the sleep entirely.
+  std::uint32_t park_begin() noexcept {
+    return state_.exchange(kParked, std::memory_order_acq_rel);
+  }
+
+  // Waiter: abandon the park (pending token consumed, or the post-announce
+  // recheck found work).
+  void park_cancel() noexcept {
+    state_.store(kRunning, std::memory_order_relaxed);
+  }
+
+  // Waiter, under the OS mutex: keep sleeping only while still kParked.
+  [[nodiscard]] bool should_sleep() const noexcept {
+    return state_.load(std::memory_order_acquire) == kParked;
+  }
+
+  // Waiter: leave the parked state. Returns true if a notification arrived
+  // (even one that raced the timeout), so the token is never lost.
+  bool park_end() noexcept {
+    return state_.exchange(kRunning, std::memory_order_acq_rel) == kNotified;
+  }
+
+  // Waker (any thread): deposit a token. Returns true iff the waiter was in
+  // kParked — only then might it be blocked and need the OS-level signal.
+  bool unpark() noexcept {
+    return state_.exchange(kNotified, std::memory_order_acq_rel) == kParked;
+  }
+
+  // Racy peek for wake-target selection (is this worker worth signalling?).
+  [[nodiscard]] bool is_parked() const noexcept {
+    return state_.load(std::memory_order_relaxed) == kParked;
+  }
+
+ private:
+  model_atomic<std::uint32_t> state_{kRunning};
+};
+
+// The OS layer: condvar blocking with a timeout so a missed push-side wake
+// (see DESIGN.md §9) degrades to bounded latency, never to deadlock.
+class parker {
+ public:
+  // Result of one park attempt, for the caller's accounting.
+  enum class park_result : std::uint8_t {
+    notified,   // woken by unpark (possibly before sleeping at all)
+    timed_out,  // timeout elapsed with no token
+  };
+
+  // `recheck` runs after the parked state is published but before blocking;
+  // return true to abort the park (e.g. work arrived through a path that
+  // does not unpark). This is the load that makes the protocol safe against
+  // wakes delivered before park_begin.
+  template <typename Recheck>
+  park_result park_for(std::chrono::microseconds timeout, Recheck&& recheck) {
+    if (core_.park_begin() == parker_core<>::kNotified) {
+      core_.park_cancel();
+      return park_result::notified;
+    }
+    if (recheck()) {
+      // A token may still arrive between the recheck and this cancel; it
+      // stays deposited (kNotified) and the next park_begin consumes it —
+      // one spurious fast wake, never a lost one.
+      return core_.park_end() ? park_result::notified
+                              : park_result::timed_out;
+    }
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      while (core_.should_sleep()) {
+        if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+      }
+    }
+    return core_.park_end() ? park_result::notified : park_result::timed_out;
+  }
+
+  // Any thread. Returns true iff this call delivered a wake to a parked (or
+  // parking) waiter — i.e. the caller's signal was the one that mattered.
+  bool unpark() {
+    if (!core_.unpark()) return false;
+    // Close the condvar race: the waiter may be between should_sleep() and
+    // wait_until(). Passing through the mutex orders this notify after the
+    // waiter either blocks (and hears it) or re-reads the state (and skips
+    // the wait).
+    { std::lock_guard<std::mutex> lk(mu_); }
+    cv_.notify_one();
+    return true;
+  }
+
+  [[nodiscard]] bool is_parked() const noexcept { return core_.is_parked(); }
+
+ private:
+  parker_core<> core_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace lhws

@@ -1,7 +1,8 @@
 // Tiny test-and-test-and-set spinlock with backoff, for rarely-contended
-// short critical sections (the per-worker deque registry used by the
-// Section 6 steal policy, which "requires synchronization between the two
-// workers").
+// short critical sections. The per-worker deque registry that motivated it
+// is now lock-free (runtime/deque_registry.hpp, DESIGN.md §9);
+// bench_steal_contention keeps this class as the faithful replica of that
+// retired design and measures exactly what the replacement bought.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,92 @@
+// Unit semantics of the three-state parker: token-before-park fast path,
+// bounded timeout, recheck abort, the core state machine, and threaded
+// delivery where no token may ever be lost.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "support/parker.hpp"
+#include "support/timing.hpp"
+
+namespace lhws {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr auto kLong = std::chrono::microseconds(10'000'000);  // 10s guard
+
+TEST(ParkerCore, StateMachineTransitions) {
+  parker_core<> c;
+  EXPECT_FALSE(c.is_parked());
+  EXPECT_EQ(c.park_begin(), parker_core<>::kRunning);
+  EXPECT_TRUE(c.is_parked());
+  EXPECT_FALSE(c.park_end()) << "no token was deposited";
+  EXPECT_FALSE(c.is_parked());
+
+  // A token deposited while running is kept for the next park_begin.
+  EXPECT_FALSE(c.unpark()) << "nobody parked: no OS signal needed";
+  EXPECT_EQ(c.park_begin(), parker_core<>::kNotified);
+  c.park_cancel();
+
+  // The token was consumed: the next park starts clean, and an unpark
+  // against a parked waiter reports that a signal is required.
+  EXPECT_EQ(c.park_begin(), parker_core<>::kRunning);
+  EXPECT_TRUE(c.unpark());
+  EXPECT_TRUE(c.park_end()) << "the racing token must be harvested";
+}
+
+TEST(Parker, TokenBeforeParkReturnsImmediately) {
+  parker p;
+  p.unpark();  // deposited while running
+  const stopwatch timer;
+  EXPECT_EQ(p.park_for(kLong, [] { return false; }),
+            parker::park_result::notified);
+  EXPECT_LT(timer.elapsed_ms(), 1000.0) << "must not reach the condvar wait";
+}
+
+TEST(Parker, TimeoutElapsesWithoutToken) {
+  parker p;
+  const stopwatch timer;
+  EXPECT_EQ(p.park_for(5000us, [] { return false; }),
+            parker::park_result::timed_out);
+  EXPECT_GE(timer.elapsed_ms(), 2.0) << "must actually sleep until timeout";
+  EXPECT_FALSE(p.is_parked());
+}
+
+TEST(Parker, RecheckAbortsParkWithoutSleeping) {
+  parker p;
+  const stopwatch timer;
+  EXPECT_EQ(p.park_for(kLong, [] { return true; }),
+            parker::park_result::timed_out);
+  EXPECT_LT(timer.elapsed_ms(), 1000.0);
+  EXPECT_FALSE(p.is_parked());
+}
+
+TEST(Parker, ThreadedDeliveryNeverLosesTokens) {
+  // A waker delivers exactly 20 tokens, each gated on seeing the waiter
+  // parked. Every token is either consumed by the in-flight park or stays
+  // deposited for the next one, so the waiter must collect all 20 even if
+  // some parks time out on a loaded host.
+  constexpr int kTokens = 20;
+  parker p;
+  std::thread waker([&] {
+    for (int i = 0; i < kTokens; ++i) {
+      while (!p.is_parked()) std::this_thread::yield();
+      p.unpark();
+    }
+  });
+  int got = 0;
+  while (got < kTokens) {
+    if (p.park_for(100'000us, [] { return false; }) ==
+        parker::park_result::notified) {
+      ++got;
+    }
+  }
+  waker.join();
+  EXPECT_EQ(got, kTokens);
+}
+
+}  // namespace
+}  // namespace lhws

@@ -276,6 +276,7 @@ class json_parser {
 struct worker_summary {
   double busy_us = 0;        // segment + batch execution
   double blocked_us = 0;     // WS-engine blocking waits
+  double parked_us = 0;      // idle-park duration events
   std::uint64_t segments = 0;
   std::uint64_t steals = 0;
   std::uint64_t switches = 0;
@@ -286,6 +287,12 @@ struct worker_summary {
   std::uint64_t max_deques_owned = 0;
   std::uint64_t steal_attempts = 0;
   std::uint64_t successful_steals = 0;
+  std::uint64_t failed_empty = 0;
+  std::uint64_t failed_contended = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t park_timeouts = 0;
+  std::uint64_t unparks = 0;
+  std::uint64_t registry_republishes = 0;
   std::uint64_t suspensions_meta = 0;
 };
 
@@ -355,6 +362,12 @@ bool build_model(const jvalue& root, trace_model& m, std::string& why) {
       ws.max_deques_owned = unum_or(w.find("max_deques_owned"), 0);
       ws.steal_attempts = unum_or(w.find("steal_attempts"), 0);
       ws.successful_steals = unum_or(w.find("successful_steals"), 0);
+      ws.failed_empty = unum_or(w.find("failed_empty"), 0);
+      ws.failed_contended = unum_or(w.find("failed_contended"), 0);
+      ws.parks = unum_or(w.find("parks"), 0);
+      ws.park_timeouts = unum_or(w.find("park_timeouts"), 0);
+      ws.unparks = unum_or(w.find("unparks"), 0);
+      ws.registry_republishes = unum_or(w.find("registry_republishes"), 0);
       ws.suspensions_meta = unum_or(w.find("suspensions"), 0);
       ++idx;
     }
@@ -403,6 +416,8 @@ bool build_model(const jvalue& root, trace_model& m, std::string& why) {
       ws.segments += 1;
     } else if (name->str == "blocked") {
       ws.blocked_us += dur;
+    } else if (name->str == "park") {
+      ws.parked_us += dur;
     } else if (name->str == "steal") {
       ws.steals += 1;
     } else if (name->str == "switch") {
@@ -510,11 +525,25 @@ int main(int argc, char** argv) {
   std::uint64_t total_steals = 0;
   std::uint64_t total_attempts = 0;
   std::uint64_t total_suspensions = 0;
+  std::uint64_t total_failed_empty = 0;
+  std::uint64_t total_failed_contended = 0;
+  std::uint64_t total_parks = 0;
+  std::uint64_t total_park_timeouts = 0;
+  std::uint64_t total_unparks = 0;
+  std::uint64_t total_republishes = 0;
   std::uint64_t max_deques = 0;
+  double total_parked_us = 0;
   for (const auto& [tid, ws] : m.workers) {
     total_steals += ws.successful_steals;
     total_attempts += ws.steal_attempts;
     total_suspensions += ws.suspensions_meta;
+    total_failed_empty += ws.failed_empty;
+    total_failed_contended += ws.failed_contended;
+    total_parks += ws.parks;
+    total_park_timeouts += ws.park_timeouts;
+    total_unparks += ws.unparks;
+    total_republishes += ws.registry_republishes;
+    total_parked_us += ws.parked_us;
     max_deques = std::max(
         {max_deques, ws.max_deques_owned, ws.max_deques_sampled});
   }
@@ -533,6 +562,9 @@ int main(int argc, char** argv) {
                 "\"span_us\":%.1f,\"wake_p50_ns\":%llu,\"wake_p95_ns\":%llu,"
                 "\"wake_p99_ns\":%llu,\"max_deques_per_worker\":%llu,"
                 "\"successful_steals\":%llu,\"steal_attempts\":%llu,"
+                "\"failed_empty\":%llu,\"failed_contended\":%llu,"
+                "\"parks\":%llu,\"park_timeouts\":%llu,\"unparks\":%llu,"
+                "\"parked_us\":%.1f,\"registry_republishes\":%llu,"
                 "\"suspensions\":%llu,\"observed_u\":%llu,"
                 "\"dropped_events\":%llu}\n",
                 m.engine.c_str(),
@@ -543,6 +575,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(max_deques),
                 static_cast<unsigned long long>(total_steals),
                 static_cast<unsigned long long>(total_attempts),
+                static_cast<unsigned long long>(total_failed_empty),
+                static_cast<unsigned long long>(total_failed_contended),
+                static_cast<unsigned long long>(total_parks),
+                static_cast<unsigned long long>(total_park_timeouts),
+                static_cast<unsigned long long>(total_unparks),
+                total_parked_us,
+                static_cast<unsigned long long>(total_republishes),
                 static_cast<unsigned long long>(total_suspensions),
                 static_cast<unsigned long long>(m.max_concurrent_suspended),
                 static_cast<unsigned long long>(m.dropped_events));
@@ -572,12 +611,22 @@ int main(int argc, char** argv) {
                 m.wake_ns.size(), static_cast<double>(wake_p50) / 1000.0,
                 static_cast<double>(wake_p95) / 1000.0,
                 static_cast<double>(wake_p99) / 1000.0);
-    std::printf("steals: %llu successful / %llu attempts; suspensions S=%llu; "
+    std::printf("steals: %llu successful / %llu attempts "
+                "(failed: %llu empty, %llu contended); suspensions S=%llu; "
                 "observed U<=%llu\n",
                 static_cast<unsigned long long>(total_steals),
                 static_cast<unsigned long long>(total_attempts),
+                static_cast<unsigned long long>(total_failed_empty),
+                static_cast<unsigned long long>(total_failed_contended),
                 static_cast<unsigned long long>(total_suspensions),
                 static_cast<unsigned long long>(m.max_concurrent_suspended));
+    std::printf("parking: %llu parks (%llu timeouts), %llu unparks, "
+                "%.1fms parked; registry republishes=%llu\n",
+                static_cast<unsigned long long>(total_parks),
+                static_cast<unsigned long long>(total_park_timeouts),
+                static_cast<unsigned long long>(total_unparks),
+                total_parked_us / 1000.0,
+                static_cast<unsigned long long>(total_republishes));
   }
 
   if (!check_bounds) return 0;
