@@ -5,9 +5,17 @@
 // getInput is ever outstanding, so U = 1 — and by Lemma 7 no worker ever
 // owns more than two deques.
 //
+// With --listen the simulated getInput() latency is replaced by REAL
+// socket latency: the server binds a loopback TCP port, the accept loop
+// forks a handler per connection (same Figure 10 recursion, over real
+// heavy edges), and each request optionally awaits a downstream loopback
+// RPC to its own port — the Figure 11 workload shape over actual sockets.
+//
 //   build/examples/server [requests] [input_gap_ms] [fib_n] [workers]
 //                         [--trace FILE] [--metrics] [--metrics-out PREFIX]
 //                         [--serve PORT]
+//                         [--listen PORT] [--clients C] [--rpc-depth D]
+//                         [--ws]
 //
 //   --trace FILE         write a Chrome/Perfetto trace of the latency-hiding
 //                        run (with counter tracks; feed to lhws_trace_stats)
@@ -15,16 +23,38 @@
 //   --metrics-out PREFIX write PREFIX.prom and PREFIX.json
 //   --serve PORT         serve /metrics and /metrics.json on 127.0.0.1:PORT
 //                        (0 = ephemeral) until stdin closes
+//   --listen PORT        real-TCP mode: serve fib RPCs on 127.0.0.1:PORT
+//                        (0 = ephemeral). Wire format: request is 8 bytes
+//                        {u32le fib_n, u32le rpc_depth}; fib_n == 0 means
+//                        "Done" (Figure 10's stop token); response is a
+//                        u64le result. In this mode `requests` and
+//                        `input_gap_ms` drive the in-process clients.
+//   --clients C          in-process blocking client threads (default 0:
+//                        serve external clients until someone sends Done)
+//   --rpc-depth D        each request awaits D chained downstream RPCs to
+//                        the server's own port (Figure 11 shape)
+//   --ws                 TCP mode only: use the blocking work-stealing
+//                        engine instead of latency hiding
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/fork_join.hpp"
 #include "core/latency.hpp"
 #include "core/scheduler.hpp"
+#include "io/async_ops.hpp"
+#include "io/reactor.hpp"
+#include "io/socket.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_http.hpp"
 
@@ -71,6 +101,255 @@ void print_per_worker(const lhws::rt::run_stats& s) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Real-TCP mode (--listen): Figure 10 with the latency edges made of real
+// socket waits delivered by the io::reactor.
+
+void put_le32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+void put_le64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+std::uint32_t get_le32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+unsigned long long fib_seq(unsigned n) {
+  unsigned long long a = 0, b = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned long long t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+// Reads exactly n bytes (0 = clean EOF before any byte). The deadline is
+// absolute and covers the whole record.
+lhws::task<long> read_exact(lhws::io::reactor& r, lhws::io::socket& s,
+                            void* buf, std::size_t n,
+                            lhws::io::op_deadline d = {}) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const long got = co_await lhws::io::async_read(r, s, p + done, n - done, d);
+    if (got == -ETIMEDOUT) co_return got;
+    if (got <= 0) co_return got == 0 && done == 0 ? 0 : -ECONNRESET;
+    done += static_cast<std::size_t>(got);
+  }
+  co_return static_cast<long>(done);
+}
+
+struct tcp_state {
+  lhws::io::reactor& r;
+  lhws::io::socket& listener;
+  std::uint16_t port;
+  std::atomic<bool> stop{false};
+  std::atomic<unsigned long long> served{0};
+};
+
+// Per-connection handler: each request reads 8 bytes, runs the parallel
+// fib handler, optionally awaits a chained downstream RPC to our own port
+// (Figure 11's service dependency, over a real loopback socket), and
+// writes the 8-byte result. Every socket wait is a heavy edge: the worker
+// suspends and the reactor resumes it through the deque economy.
+lhws::task<long> serve_connection(tcp_state& st, int cfd) {
+  lhws::io::socket conn(st.r, cfd);
+  for (;;) {
+    unsigned char req[8];
+    const long got = co_await read_exact(st.r, conn, req, sizeof req);
+    if (got == 0) co_return 0;  // peer closed: this connection is done
+    if (got < 0) co_return got;
+    const std::uint32_t n = get_le32(req);
+    const std::uint32_t depth = get_le32(req + 4);
+    if (n == 0) {  // "Done"
+      st.stop.store(true, std::memory_order_release);
+      co_return 0;
+    }
+    std::uint64_t result =
+        static_cast<std::uint64_t>(co_await fib(n));
+    if (depth > 0) {
+      lhws::io::socket ds = lhws::io::socket::create_tcp(st.r);
+      if (!ds.valid()) co_return -EBADF;
+      const auto dl = lhws::io::with_deadline(std::chrono::seconds(10));
+      long rc = co_await lhws::io::async_connect(st.r, ds, st.port, dl);
+      if (rc != 0) co_return rc;
+      unsigned char sub[8];
+      put_le32(sub, n);
+      put_le32(sub + 4, depth - 1);
+      rc = co_await lhws::io::async_write(st.r, ds, sub, sizeof sub, dl);
+      if (rc < 0) co_return rc;
+      unsigned char resp[8];
+      rc = co_await read_exact(st.r, ds, resp, sizeof resp, dl);
+      if (rc <= 0) co_return rc == 0 ? -ECONNRESET : rc;
+      result += get_le64(resp);
+    }
+    unsigned char resp[8];
+    put_le64(resp, result);
+    const long put =
+        co_await lhws::io::async_write(st.r, conn, resp, sizeof resp);
+    if (put < 0) co_return put;
+    st.served.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// Figure 10's recursion over real accepts: each arriving connection forks
+// its handler against the rest of the loop. The accept deadline is how the
+// loop polls the stop flag without busy-waiting.
+lhws::task<long> accept_loop(tcp_state& st) {
+  for (;;) {
+    if (st.stop.load(std::memory_order_acquire)) co_return 0;
+    const long fd = co_await lhws::io::async_accept(
+        st.r, st.listener,
+        lhws::io::with_deadline(std::chrono::milliseconds(100)));
+    if (fd == -ETIMEDOUT) continue;
+    if (fd < 0) co_return fd;
+    auto [rest, one] = co_await lhws::fork2(
+        accept_loop(st), serve_connection(st, static_cast<int>(fd)));
+    co_return rest != 0 ? rest : one;
+  }
+}
+
+// Blocking in-process client: one connection, `requests` paced requests,
+// verifying result == (depth + 1) * fib(n).
+void run_client(std::uint16_t port, unsigned requests,
+                std::chrono::milliseconds gap, unsigned fib_n, unsigned depth,
+                std::atomic<unsigned long long>& ok) {
+  const int fd = lhws::io::connect_loopback_blocking(port);
+  if (fd < 0) return;
+  const std::uint64_t expected =
+      std::uint64_t{depth + 1u} * fib_seq(fib_n);
+  for (unsigned i = 0; i < requests; ++i) {
+    unsigned char req[8];
+    put_le32(req, fib_n);
+    put_le32(req + 4, depth);
+    if (lhws::io::write_full_fd(fd, req, sizeof req) !=
+        static_cast<long>(sizeof req)) {
+      break;
+    }
+    unsigned char resp[8];
+    if (lhws::io::read_full_fd(fd, resp, sizeof resp) !=
+            static_cast<long>(sizeof resp) ||
+        get_le64(resp) != expected) {
+      break;
+    }
+    ok.fetch_add(1, std::memory_order_relaxed);
+    if (gap.count() > 0) std::this_thread::sleep_for(gap);
+  }
+  ::close(fd);
+}
+
+int run_tcp(unsigned requests, std::chrono::milliseconds gap, unsigned fib_n,
+            unsigned workers, std::uint16_t listen_port, unsigned clients,
+            unsigned rpc_depth, bool use_ws, const std::string& trace_path,
+            bool want_metrics, lhws::obs::metrics_registry& reg) {
+  lhws::io::reactor r;
+  lhws::io::socket listener = lhws::io::socket::listen_loopback(r, listen_port);
+  if (!listener.valid()) {
+    std::fprintf(stderr, "cannot listen on 127.0.0.1:%u\n", listen_port);
+    return 2;
+  }
+  tcp_state st{r, listener, listener.local_port()};
+  std::printf("server: listening on 127.0.0.1:%u  engine=%s workers=%u "
+              "rpc_depth=%u handler=fib(%u)\n",
+              st.port, use_ws ? "blocking" : "latency-hiding", workers,
+              rpc_depth, fib_n);
+  if (clients > 0) {
+    std::printf("        %u in-process clients x %u requests, one every "
+                "%lldms\n",
+                clients, requests, static_cast<long long>(gap.count()));
+  } else {
+    std::printf("        waiting for external clients; send {0,0} to stop\n");
+  }
+  std::fflush(stdout);
+
+  lhws::scheduler_options opts;
+  opts.workers = workers;
+  opts.engine_kind =
+      use_ws ? lhws::engine::blocking : lhws::engine::latency_hiding;
+  opts.metrics = want_metrics;
+  if (!trace_path.empty()) {
+    opts.trace = true;
+    opts.sample_interval_us = 200;
+  }
+  lhws::scheduler sched(opts);
+
+  std::atomic<unsigned long long> ok{0};
+  std::thread controller;
+  if (clients > 0) {
+    controller = std::thread([&] {
+      std::vector<std::thread> cs;
+      cs.reserve(clients);
+      for (unsigned c = 0; c < clients; ++c) {
+        cs.emplace_back(run_client, st.port, requests, gap, fib_n, rpc_depth,
+                        std::ref(ok));
+      }
+      for (auto& t : cs) t.join();
+      // All clients are done: send Figure 10's "Done" token.
+      const int fd = lhws::io::connect_loopback_blocking(st.port);
+      if (fd >= 0) {
+        unsigned char done[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        lhws::io::write_full_fd(fd, done, sizeof done);
+        ::close(fd);
+      }
+    });
+  }
+  const long rc = sched.run(accept_loop(st));
+  if (controller.joinable()) controller.join();
+
+  const auto& s = sched.stats();
+  std::printf("  served=%llu wall=%.1fms suspensions=%llu blocked_waits=%llu "
+              "max_deques/worker=%llu fd_peak=%llu timeouts=%llu\n",
+              st.served.load(), s.elapsed_ms,
+              static_cast<unsigned long long>(s.suspensions),
+              static_cast<unsigned long long>(s.blocked_waits),
+              static_cast<unsigned long long>(s.max_deques_per_worker),
+              static_cast<unsigned long long>(r.peak_registered_fds()),
+              static_cast<unsigned long long>(r.timeouts_fired()));
+  print_per_worker(s);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+    out << sched.trace_json();
+    std::printf("  trace written to %s (%zu bytes)\n", trace_path.c_str(),
+                sched.trace_json().size());
+  }
+  if (want_metrics) {
+    sched.export_metrics(reg);
+    r.export_metrics(reg);
+  }
+  if (rc != 0) {
+    std::fprintf(stderr, "accept loop failed: %ld\n", rc);
+    return 1;
+  }
+  const unsigned long long expect_ok =
+      static_cast<unsigned long long>(clients) * requests;
+  if (clients > 0 && ok.load() != expect_ok) {
+    std::fprintf(stderr, "client verification failed: %llu/%llu responses\n",
+                 ok.load(), expect_ok);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,10 +360,36 @@ int main(int argc, char** argv) {
   bool metrics_stdout = false;
   bool serve = false;
   std::uint16_t serve_port = 0;
+  bool listen_mode = false;
+  std::uint16_t listen_port = 0;
+  unsigned clients = 0;
+  unsigned rpc_depth = 0;
+  bool use_ws = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--trace") {
+    if (arg == "--listen") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--listen needs PORT\n");
+        return 2;
+      }
+      listen_mode = true;
+      listen_port = static_cast<std::uint16_t>(std::atoi(argv[i]));
+    } else if (arg == "--clients") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--clients needs COUNT\n");
+        return 2;
+      }
+      clients = static_cast<unsigned>(std::atoi(argv[i]));
+    } else if (arg == "--rpc-depth") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--rpc-depth needs DEPTH\n");
+        return 2;
+      }
+      rpc_depth = static_cast<unsigned>(std::atoi(argv[i]));
+    } else if (arg == "--ws") {
+      use_ws = true;
+    } else if (arg == "--trace") {
       if (++i >= argc) {
         std::fprintf(stderr, "--trace needs FILE\n");
         return 2;
@@ -119,54 +424,66 @@ int main(int argc, char** argv) {
   const bool want_metrics =
       metrics_stdout || !metrics_prefix.empty() || serve || !trace_path.empty();
 
-  std::printf("server: %u requests, one every %lldms, handler fib(%u), "
-              "workers=%u  (U = 1)\n",
-              requests, static_cast<long long>(gap.count()), fib_n, workers);
-
   lhws::obs::metrics_registry reg;
-  for (const auto eng :
-       {lhws::engine::latency_hiding, lhws::engine::blocking}) {
-    const bool lhws_run = eng == lhws::engine::latency_hiding;
-    lhws::scheduler_options opts;
-    opts.workers = workers;
-    opts.engine_kind = eng;
-    if (lhws_run) {
-      opts.metrics = want_metrics;
-      if (!trace_path.empty()) {
-        opts.trace = true;
-        opts.sample_interval_us = 200;
-      }
+  if (listen_mode) {
+    if (use_ws && rpc_depth > 0) {
+      std::fprintf(stderr,
+                   "warning: --ws with --rpc-depth > 0 can deadlock when "
+                   "every worker blocks awaiting a downstream handler\n");
     }
-    lhws::scheduler sched(opts);
-    const long total = sched.run(server(requests, gap, fib_n));
-    const auto& s = sched.stats();
-    std::printf(
-        "  %-15s total=%-10ld wall=%8.1fms max_deques/worker=%llu "
-        "suspensions=%llu\n",
-        lhws_run ? "latency-hiding" : "blocking", total, s.elapsed_ms,
-        static_cast<unsigned long long>(s.max_deques_per_worker),
-        static_cast<unsigned long long>(s.suspensions));
-    print_per_worker(s);
-    if (lhws_run) {
-      if (!trace_path.empty()) {
-        std::ofstream out(trace_path, std::ios::binary);
-        if (!out) {
-          std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
-          return 2;
+    const int rc = run_tcp(requests, gap, fib_n, workers, listen_port,
+                           clients, rpc_depth, use_ws, trace_path,
+                           want_metrics, reg);
+    if (rc != 0) return rc;
+  } else {
+    std::printf("server: %u requests, one every %lldms, handler fib(%u), "
+                "workers=%u  (U = 1)\n",
+                requests, static_cast<long long>(gap.count()), fib_n, workers);
+
+    for (const auto eng :
+         {lhws::engine::latency_hiding, lhws::engine::blocking}) {
+      const bool lhws_run = eng == lhws::engine::latency_hiding;
+      lhws::scheduler_options opts;
+      opts.workers = workers;
+      opts.engine_kind = eng;
+      if (lhws_run) {
+        opts.metrics = want_metrics;
+        if (!trace_path.empty()) {
+          opts.trace = true;
+          opts.sample_interval_us = 200;
         }
-        out << sched.trace_json();
-        std::printf("  trace written to %s (%zu bytes, %llu events "
-                    "dropped)\n",
-                    trace_path.c_str(), sched.trace_json().size(),
-                    static_cast<unsigned long long>(s.trace_events_dropped));
       }
-      if (want_metrics) sched.export_metrics(reg);
+      lhws::scheduler sched(opts);
+      const long total = sched.run(server(requests, gap, fib_n));
+      const auto& s = sched.stats();
+      std::printf(
+          "  %-15s total=%-10ld wall=%8.1fms max_deques/worker=%llu "
+          "suspensions=%llu\n",
+          lhws_run ? "latency-hiding" : "blocking", total, s.elapsed_ms,
+          static_cast<unsigned long long>(s.max_deques_per_worker),
+          static_cast<unsigned long long>(s.suspensions));
+      print_per_worker(s);
+      if (lhws_run) {
+        if (!trace_path.empty()) {
+          std::ofstream out(trace_path, std::ios::binary);
+          if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+            return 2;
+          }
+          out << sched.trace_json();
+          std::printf("  trace written to %s (%zu bytes, %llu events "
+                      "dropped)\n",
+                      trace_path.c_str(), sched.trace_json().size(),
+                      static_cast<unsigned long long>(s.trace_events_dropped));
+        }
+        if (want_metrics) sched.export_metrics(reg);
+      }
     }
+    std::printf(
+        "\nWith U = 1 (Lemma 7) the latency-hiding run never needs more than\n"
+        "two deques per worker; handlers overlap the input gaps, so the\n"
+        "latency-hiding wall time approaches max(total compute, total gaps).\n");
   }
-  std::printf(
-      "\nWith U = 1 (Lemma 7) the latency-hiding run never needs more than\n"
-      "two deques per worker; handlers overlap the input gaps, so the\n"
-      "latency-hiding wall time approaches max(total compute, total gaps).\n");
 
   if (metrics_stdout) {
     std::printf("\n# --- Prometheus exposition "

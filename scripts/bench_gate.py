@@ -11,6 +11,10 @@ committed baselines:
       steal throughput must not drop, p95 attempt latency must not grow,
       and the absolute floor must hold: >= 2x over the locked replica in
       the all-thieves shape at >= 8 threads.
+  BENCH_rpc_loopback.json      (bench_rpc_loopback) — real-socket RPC
+      throughput per (engine, clients, rpc_depth) must not drop, LHWS p95
+      RTT must not grow, and the latency-hiding floor must hold: LHWS
+      >= 1.3x WS throughput when connections outnumber workers.
 
 Usage:
   scripts/bench_gate.py [--build-dir DIR] [--baseline-dir DIR]
@@ -41,12 +45,19 @@ import sys
 
 FIG11 = "BENCH_fig11_runtime.json"
 STEAL = "BENCH_steal_contention.json"
+RPC = "BENCH_rpc_loopback.json"
 
 WALL_SLACK_MS = 8.0
 P95_SLACK_NS = 100.0
 FLOOR_SPEEDUP = 2.0
 FLOOR_SHAPE = "all_thieves"
 FLOOR_MIN_THREADS = 8
+# Real sockets jitter more than in-process timers: generous absolute slack
+# on throughput, and RTT p95 only gated for LHWS (the WS p95 sits on the
+# cliff between served-immediately and wait-your-turn connections).
+RPC_RPS_SLACK = 100.0
+RPC_P95_SLACK_US = 500.0
+RPC_FLOOR_SPEEDUP = 1.3
 
 
 def load(path):
@@ -153,6 +164,71 @@ def check_steal(base, cur, threshold, failures):
         )
 
 
+def rpc_by_key(doc):
+    return {(r["engine"], r["clients"], r["rpc_depth"]): r for r in doc["runs"]}
+
+
+def check_rpc(base, cur, threshold, failures):
+    """Real-socket RPC throughput lower-bad, LHWS RTT p95 higher-bad, and
+    the latency-hiding floor computed from the fresh run alone."""
+    base_runs = rpc_by_key(base)
+    cur_runs = rpc_by_key(cur)
+    for key, b in sorted(base_runs.items()):
+        c = cur_runs.get(key)
+        if c is None:
+            failures.append(f"rpc {key}: config missing from fresh run")
+            continue
+        floor_rps = b["rps"] * (1.0 - threshold) - RPC_RPS_SLACK
+        status = "ok"
+        if c["rps"] < floor_rps:
+            failures.append(
+                f"rpc {key}: {c['rps']:.0f} req/s vs baseline "
+                f"{b['rps']:.0f} (floor {floor_rps:.0f})"
+            )
+            status = "REGRESSION"
+        p95_note = ""
+        if key[0] == "lhws":
+            limit_p95 = b["p95_us"] * (1.0 + threshold) + RPC_P95_SLACK_US
+            p95_note = f" p95 {c['p95_us']}us (limit {limit_p95:.0f})"
+            if c["p95_us"] > limit_p95:
+                failures.append(
+                    f"rpc {key}: p95 {c['p95_us']} us vs baseline "
+                    f"{b['p95_us']} us (limit {limit_p95:.0f} us)"
+                )
+                status = "REGRESSION"
+        print(
+            f"  rpc {key[0]:>4s} clients={key[1]} depth={key[2]}: "
+            f"{c['rps']:8.0f} req/s (base floor {floor_rps:8.0f})"
+            f"{p95_note}  {status}"
+        )
+
+    # Absolute acceptance floor, from the fresh run alone: LHWS must beat
+    # WS by RPC_FLOOR_SPEEDUP when connections outnumber workers.
+    for (engine, clients, depth), c in sorted(cur_runs.items()):
+        if engine != "lhws" or depth != 0:
+            continue
+        if clients <= c.get("workers", 0):
+            continue
+        ws = cur_runs.get(("ws", clients, depth))
+        if ws is None or ws["rps"] <= 0:
+            failures.append(
+                f"rpc floor clients={clients}: no ws run to compare against"
+            )
+            continue
+        speedup = c["rps"] / ws["rps"]
+        status = "ok" if speedup >= RPC_FLOOR_SPEEDUP else "FLOOR VIOLATION"
+        if speedup < RPC_FLOOR_SPEEDUP:
+            failures.append(
+                f"rpc floor clients={clients}: {speedup:.2f}x < "
+                f"{RPC_FLOOR_SPEEDUP:.1f}x over blocking WS"
+            )
+        print(
+            f"  rpc floor clients={clients} P={c.get('workers', 0)}: "
+            f"{speedup:.2f}x over ws (need >= {RPC_FLOOR_SPEEDUP:.1f}x)  "
+            f"{status}"
+        )
+
+
 def main():
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     ap = argparse.ArgumentParser(
@@ -167,12 +243,13 @@ def main():
     args = ap.parse_args()
 
     fresh = {}
-    for name in (FIG11, STEAL):
+    for name in (FIG11, STEAL, RPC):
         doc = load(os.path.join(args.build_dir, name))
         if doc is None:
             print(
                 f"bench_gate: {name} not found in {args.build_dir} — run "
-                "bench_fig11_runtime and bench_steal_contention first",
+                "bench_fig11_runtime, bench_steal_contention, and "
+                "bench_rpc_loopback first",
                 file=sys.stderr,
             )
             return 2
@@ -180,14 +257,18 @@ def main():
 
     if args.update:
         os.makedirs(args.baseline_dir, exist_ok=True)
-        for name in (FIG11, STEAL):
+        for name in (FIG11, STEAL, RPC):
             dst = os.path.join(args.baseline_dir, name)
             shutil.copyfile(os.path.join(args.build_dir, name), dst)
             print(f"bench_gate: baseline updated: {dst}")
         return 0
 
     failures = []
-    for name, checker in ((FIG11, check_fig11), (STEAL, check_steal)):
+    for name, checker in (
+        (FIG11, check_fig11),
+        (STEAL, check_steal),
+        (RPC, check_rpc),
+    ):
         base = load(os.path.join(args.baseline_dir, name))
         if base is None:
             print(

@@ -28,17 +28,18 @@ run_suite() {
     ./tools/lhws_trace_stats trace_check.json --check-bounds --u 1)
 }
 
-# Perf-regression gate: a non-sanitized Release build of the two gating
+# Perf-regression gate: a non-sanitized Release build of the gating
 # benchmarks, compared against bench/baselines by scripts/bench_gate.py.
 run_bench_gate() {
   local dir="build-check-bench"
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DLHWS_WERROR=ON \
     >/dev/null
   cmake --build "${dir}" -j "$(nproc)" \
-    --target bench_fig11_runtime bench_steal_contention
+    --target bench_fig11_runtime bench_steal_contention bench_rpc_loopback
   (cd "${dir}" &&
     ./bench/bench_fig11_runtime &&
     ./bench/bench_steal_contention &&
+    ./bench/bench_rpc_loopback &&
     python3 ../scripts/bench_gate.py --build-dir .)
 }
 

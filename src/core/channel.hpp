@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "core/task.hpp"
+#include "runtime/resume_handle.hpp"
 #include "runtime/scheduler_core.hpp"
 
 namespace lhws {
@@ -82,15 +83,10 @@ class channel {
  private:
   struct receive_waiter {
     std::optional<T> result{};  // filled by the sender (empty on close)
-    rt::resume_node node{};
-    rt::runtime_deque* deque = nullptr;
-    rt::worker* owner = nullptr;
+    rt::resume_handle resume{};
 
     // callback(v, q): deliver the suspended receiver back to its deque.
-    void fire() {
-      const bool first = deque->deliver_resume(&node);
-      if (first) owner->enqueue_resumed_deque(deque);
-    }
+    void fire() { resume.fire(); }
   };
 
   struct receive_awaiter {
@@ -122,9 +118,7 @@ class channel {
       }
       if (ch.closed_) return false;  // nullopt result
       // Suspend per Fig. 3: the receiver belongs to the active deque.
-      waiter.deque = w->begin_suspension();
-      waiter.owner = w;
-      waiter.node.continuation = h;
+      waiter.resume.arm(w, h);
       ch.waiters_.push_back(&waiter);
       return true;
     }

@@ -14,6 +14,7 @@
 #include <chrono>
 
 #include "core/task.hpp"
+#include "runtime/resume_handle.hpp"
 #include "runtime/scheduler_core.hpp"
 #include "support/timing.hpp"
 
@@ -28,9 +29,7 @@ struct latency_awaiter {
 
   // Fired by the event hub: complete the suspension.
   static void fire(void* arg) {
-    auto* self = static_cast<latency_awaiter*>(arg);
-    const bool first = self->deque_->deliver_resume(&self->node_);
-    if (first) self->owner_->enqueue_resumed_deque(self->deque_);
+    static_cast<latency_awaiter*>(arg)->resume_.fire();
   }
 
   bool await_ready() const noexcept { return delay_ns <= 0; }
@@ -47,9 +46,7 @@ struct latency_awaiter {
       w->record_trace(rt::trace_kind::blocked, t0, now_ns());
       return false;
     }
-    deque_ = w->begin_suspension();
-    owner_ = w;
-    node_.continuation = h;
+    resume_.arm(w, h);
     // The waiter is fully installed before the timer can fire.
     w->sched().hub().schedule(now_ns() + delay_ns, &latency_awaiter::fire,
                               this);
@@ -58,9 +55,7 @@ struct latency_awaiter {
 
   T await_resume() noexcept { return std::move(payload); }
 
-  rt::resume_node node_{};
-  rt::runtime_deque* deque_ = nullptr;
-  rt::worker* owner_ = nullptr;
+  rt::resume_handle resume_{};
 };
 
 }  // namespace detail

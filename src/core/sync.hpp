@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "core/task.hpp"
+#include "runtime/resume_handle.hpp"
 #include "runtime/scheduler_core.hpp"
 
 namespace lhws {
@@ -69,10 +70,7 @@ class event {
           return false;  // never actually suspend
         }
         // LHWS: Fig. 3 lines 18-20.
-        rt::runtime_deque* q = w->begin_suspension();
-        ev.node_.continuation = h;
-        ev.deque_ = q;
-        ev.owner_ = w;
+        ev.resume_.arm(w, h);
         state expected = state::empty;
         if (ev.state_.compare_exchange_strong(expected,
                                               state::waiter_installed,
@@ -81,7 +79,7 @@ class event {
           return true;  // suspended; set() will deliver the resume
         }
         // The value arrived between await_ready and here: do not suspend.
-        w->cancel_suspension(q);
+        ev.resume_.cancel();
         return false;
       }
 
@@ -93,19 +91,12 @@ class event {
  private:
   enum class state : std::uint8_t { empty, waiter_installed, value_ready };
 
-  void fire_resume() {
-    // callback(v, q): deliver the continuation to its deque; if the deque's
-    // resumed set was empty, register the deque with its owner (Fig. 3
-    // lines 1-5).
-    const bool first = deque_->deliver_resume(&node_);
-    if (first) owner_->enqueue_resumed_deque(deque_);
-  }
+  // callback(v, q) of Fig. 3, via the shared glue in rt::resume_handle.
+  void fire_resume() { resume_.fire(); }
 
   std::atomic<state> state_{state::empty};
   std::optional<T> value_{};
-  rt::resume_node node_{};
-  rt::runtime_deque* deque_ = nullptr;
-  rt::worker* owner_ = nullptr;
+  rt::resume_handle resume_{};
   std::mutex mu_;
   std::condition_variable cv_;
 };

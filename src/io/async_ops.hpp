@@ -1,0 +1,351 @@
+// Coroutine socket and timer ops over io::reactor — heavy edges with
+// *measured* δ.
+//
+//   long got = co_await io::async_read(r, s, buf, n);
+//   long fd  = co_await io::async_accept(r, listener);
+//   co_await io::sleep_for(r, 2ms);
+//   long got = co_await io::async_read(r, s, buf, n, io::with_deadline(5ms));
+//
+// Every op is a retry loop around the non-blocking syscall: attempt, and
+// on EAGAIN suspend on the fd's dir_gate until the reactor delivers an
+// edge, then attempt again (edges are hints, not guarantees — a stale
+// sticky bit or a peer draining the buffer first just means one more
+// EAGAIN). Results are ssize_t-flavoured: >= 0 on success (bytes, or an
+// accepted fd), 0 for EOF, and -errno on failure — -ETIMEDOUT when a
+// with_deadline expires.
+//
+// Engine split mirrors core/latency.hpp: under LHWS the continuation
+// suspends through rt::resume_handle and the worker moves on (the latency
+// is hidden); under plain WS the worker blocks in poll(2) — the Section
+// 6.1 baseline, which is exactly what bench_rpc_loopback measures.
+//
+// with_deadline: the deadline-wheel entry and the io completion race for
+// ownership of the suspended waiter through an exact dir_gate claim; the
+// loser never touches it. The full arm/fire ordering argument is DESIGN.md
+// §10; the cancel-vs-complete race is stress-tested in
+// tests/io/test_deadline.cpp and the gate handoff is model-checked in
+// tests/chk/test_io_gate_chk.cpp.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <coroutine>
+#include <cstdint>
+
+#include "core/task.hpp"
+#include "io/reactor.hpp"
+#include "io/socket.hpp"
+#include "runtime/scheduler_core.hpp"
+#include "support/timing.hpp"
+
+namespace lhws::io {
+
+// Absolute per-op deadline (now_ns clock); 0 = none. Build one with
+// with_deadline() and pass it as the op's trailing argument.
+struct op_deadline {
+  std::int64_t deadline_ns = 0;
+};
+
+// The per-op cancellation wrapper: co_await async_read(r, s, buf, n,
+// with_deadline(5ms)) resolves to -ETIMEDOUT if the wheel fires first.
+template <typename Rep, typename Period>
+[[nodiscard]] inline op_deadline with_deadline(
+    std::chrono::duration<Rep, Period> d) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  return op_deadline{now_ns() + ns};
+}
+
+namespace detail {
+
+// One suspension on an fd direction. The protocol comments live in
+// io/dir_gate.hpp (gate handoff) and DESIGN.md §10 (deadline ordering).
+class io_wait_awaiter {
+ public:
+  io_wait_awaiter(reactor& r, reactor::fd_entry& e, int dir, op_kind kind,
+                  std::int64_t deadline_ns) noexcept
+      : r_(r), e_(e), dir_(dir), kind_(kind), deadline_ns_(deadline_ns) {}
+
+  bool await_ready() noexcept {
+    if (e_.gate[dir_].consume_ready()) {
+      w_.status = wait_status::ready;
+      return true;  // an edge already arrived: retry the syscall
+    }
+    return false;
+  }
+
+  bool await_suspend(std::coroutine_handle<> h) {
+    rt::worker* wk = rt::worker::current();
+    LHWS_ASSERT(wk != nullptr &&
+                "io ops may only be awaited inside a scheduler run");
+    if (wk->sched().config().engine == rt::engine_mode::ws) {
+      block_in_place(wk);
+      return false;
+    }
+    w_.kind = kind_;
+    w_.armed_ns = now_ns();
+    // Set before publish: after the gate hands the waiter to a completer
+    // this frame may be resumed (and freed) on another worker at any time.
+    suspended_ = true;
+    w_.resume.arm(wk, h);
+    if (deadline_ns_ != 0) {
+      // Scheduled before publish so the io completion can always find (and
+      // cancel) the token; the wheel's fire only touches w_ after winning
+      // an exact gate claim, so this early arm is safe.
+      w_.deadline_token = r_.schedule_deadline(deadline_ns_, &e_, dir_, &w_);
+    }
+    e_.gate[dir_].publish(&w_);
+    if (e_.gate[dir_].consume_ready()) {
+      // An edge raced the publish. Either the reactor missed the waiter
+      // (sticky bit set: reclaim and retry) or it claimed and fired it
+      // (we lost the exact claim: a resume is already on its way).
+      if (e_.gate[dir_].take(&w_)) {
+        if (w_.deadline_token != 0) {
+          r_.cancel(w_.deadline_token);  // losing this race is fine: the
+          w_.deadline_token = 0;         // wheel's exact claim also lost
+        }
+        w_.resume.cancel();
+        w_.status = wait_status::ready;
+        suspended_ = false;
+        return false;
+      }
+      return true;
+    }
+    if (w_.deadline_token != 0 && !r_.pending(w_.deadline_token)) {
+      // The deadline was collected inside the install window. If its fire
+      // ran before our publish, its exact claim failed and the timeout
+      // would be lost — reclaim and report it ourselves. If the fire is
+      // concurrent, exactly one of us wins the claim.
+      if (e_.gate[dir_].take(&w_)) {
+        w_.resume.cancel();
+        w_.status = wait_status::timed_out;
+        suspended_ = false;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  wait_status await_resume() noexcept {
+    if (suspended_) {
+      // Recorded by the resuming worker, not the reactor: trace buffers
+      // are single-writer per worker.
+      if (rt::worker* wk = rt::worker::current()) {
+        wk->record_trace(rt::trace_kind::io_wake, w_.armed_ns, now_ns(),
+                         static_cast<std::uint64_t>(w_.kind) + 1);
+      }
+    }
+    return w_.status;
+  }
+
+ private:
+  // WS baseline: occupy the worker in poll(2) for the full latency.
+  void block_in_place(rt::worker* wk) {
+    wk->note_blocked_wait();
+    const std::int64_t t0 = now_ns();
+    const short want =
+        dir_ == reactor::kRead ? static_cast<short>(POLLIN)
+                               : static_cast<short>(POLLOUT);
+    for (;;) {
+      int timeout_ms = -1;
+      if (deadline_ns_ != 0) {
+        const std::int64_t rel = deadline_ns_ - now_ns();
+        if (rel <= 0) {
+          w_.status = wait_status::timed_out;
+          break;
+        }
+        timeout_ms = static_cast<int>((rel + 999'999) / 1'000'000);
+      }
+      pollfd p{};
+      p.fd = e_.fd;
+      p.events = want;
+      const int rc = ::poll(&p, 1, timeout_ms);
+      if (rc > 0 || (rc < 0 && errno != EINTR)) {
+        w_.status = wait_status::ready;  // let the syscall report errors
+        break;
+      }
+      if (rc == 0) {
+        w_.status = wait_status::timed_out;
+        break;
+      }
+    }
+    wk->record_trace(rt::trace_kind::blocked, t0, now_ns());
+  }
+
+  reactor& r_;
+  reactor::fd_entry& e_;
+  int dir_;
+  op_kind kind_;
+  std::int64_t deadline_ns_;
+  io_waiter w_{};
+  bool suspended_ = false;
+};
+
+// Timer-only heavy edge: scheduling on the wheel is the publication point;
+// the frame is off-limits between schedule_sleep and resumption.
+class sleep_awaiter {
+ public:
+  sleep_awaiter(reactor& r, std::int64_t deadline_ns) noexcept
+      : r_(r), deadline_ns_(deadline_ns) {}
+
+  bool await_ready() const noexcept { return deadline_ns_ <= now_ns(); }
+
+  bool await_suspend(std::coroutine_handle<> h) {
+    rt::worker* wk = rt::worker::current();
+    LHWS_ASSERT(wk != nullptr &&
+                "sleep_until may only be awaited inside a scheduler run");
+    if (wk->sched().config().engine == rt::engine_mode::ws) {
+      wk->note_blocked_wait();
+      const std::int64_t t0 = now_ns();
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(deadline_ns_ - t0));
+      wk->record_trace(rt::trace_kind::blocked, t0, now_ns());
+      return false;
+    }
+    w_.kind = op_kind::sleep;
+    w_.armed_ns = now_ns();
+    suspended_ = true;
+    w_.resume.arm(wk, h);
+    r_.schedule_sleep(deadline_ns_, &w_);
+    return true;
+  }
+
+  void await_resume() noexcept {
+    if (suspended_) {
+      if (rt::worker* wk = rt::worker::current()) {
+        wk->record_trace(rt::trace_kind::io_wake, w_.armed_ns, now_ns(),
+                         static_cast<std::uint64_t>(op_kind::sleep) + 1);
+      }
+    }
+  }
+
+ private:
+  reactor& r_;
+  std::int64_t deadline_ns_;
+  io_waiter w_{};
+  bool suspended_ = false;
+};
+
+}  // namespace detail
+
+// Suspends until deadline_ns (now_ns clock); a deadline in the past never
+// suspends. The reactor's timerfd wheel is the completer.
+[[nodiscard]] inline auto sleep_until(reactor& r, std::int64_t deadline_ns) {
+  return detail::sleep_awaiter(r, deadline_ns);
+}
+
+template <typename Rep, typename Period>
+[[nodiscard]] inline auto sleep_for(reactor& r,
+                                    std::chrono::duration<Rep, Period> d) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  return detail::sleep_awaiter(r, now_ns() + ns);
+}
+
+// Reads up to n bytes. Returns bytes read (> 0), 0 on EOF (or n == 0 —
+// never suspends), or -errno / -ETIMEDOUT.
+inline task<long> async_read(reactor& r, socket& s, void* buf, std::size_t n,
+                             op_deadline dl = {}) {
+  if (n == 0) co_return 0;
+  for (;;) {
+    const ssize_t got = ::read(s.fd(), buf, n);
+    if (got >= 0) co_return static_cast<long>(got);
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      co_return -static_cast<long>(errno);
+    }
+    const wait_status st = co_await detail::io_wait_awaiter(
+        r, *s.entry(), reactor::kRead, op_kind::read, dl.deadline_ns);
+    if (st == wait_status::timed_out) co_return -ETIMEDOUT;
+  }
+}
+
+// Writes the FULL buffer (looping over partial sends; SIGPIPE suppressed).
+// Returns n, or -errno / -ETIMEDOUT (bytes already sent are then lost to
+// the caller — close the connection on error).
+inline task<long> async_write(reactor& r, socket& s, const void* buf,
+                              std::size_t n, op_deadline dl = {}) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::send(s.fd(), p + done, n - done, MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const wait_status st = co_await detail::io_wait_awaiter(
+          r, *s.entry(), reactor::kWrite, op_kind::write, dl.deadline_ns);
+      if (st == wait_status::timed_out) co_return -ETIMEDOUT;
+      continue;
+    }
+    co_return put < 0 ? -static_cast<long>(errno) : -EIO;
+  }
+  co_return static_cast<long>(done);
+}
+
+// Accepts one connection from a listening socket. Returns the new fd
+// (non-blocking, NOT yet registered — adopt it with socket(r, fd)), or
+// -errno / -ETIMEDOUT.
+inline task<long> async_accept(reactor& r, socket& listener,
+                               op_deadline dl = {}) {
+  for (;;) {
+    const int fd =
+        ::accept4(listener.fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) co_return fd;
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      co_return -static_cast<long>(errno);
+    }
+    const wait_status st = co_await detail::io_wait_awaiter(
+        r, *listener.entry(), reactor::kRead, op_kind::accept,
+        dl.deadline_ns);
+    if (st == wait_status::timed_out) co_return -ETIMEDOUT;
+  }
+}
+
+// Connects s to 127.0.0.1:port. Returns 0, or -errno / -ETIMEDOUT.
+inline task<long> async_connect(reactor& r, socket& s, std::uint16_t port,
+                                op_deadline dl = {}) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    co_return 0;
+  }
+  if (errno != EINPROGRESS && errno != EINTR && errno != EAGAIN &&
+      errno != EALREADY) {
+    co_return -static_cast<long>(errno);
+  }
+  for (;;) {
+    const wait_status st = co_await detail::io_wait_awaiter(
+        r, *s.entry(), reactor::kWrite, op_kind::connect, dl.deadline_ns);
+    if (st == wait_status::timed_out) co_return -ETIMEDOUT;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      co_return -static_cast<long>(errno);
+    }
+    if (err != 0) co_return -static_cast<long>(err);
+    // Readiness can be stale (a pre-connect HUP edge latched the sticky
+    // bit): getpeername tells connected from still-in-progress apart.
+    sockaddr_in peer{};
+    socklen_t plen = sizeof(peer);
+    if (::getpeername(s.fd(), reinterpret_cast<sockaddr*>(&peer), &plen) ==
+        0) {
+      co_return 0;
+    }
+    if (errno != ENOTCONN) co_return -static_cast<long>(errno);
+  }
+}
+
+}  // namespace lhws::io

@@ -1,0 +1,89 @@
+// io::dir_gate — the lock-free reactor→worker handoff for one (fd,
+// direction) pair under edge-triggered epoll.
+//
+// Edge-triggered notification is fire-and-forget: the kernel reports a
+// readiness EDGE once, and if nobody is listening at that instant the
+// information is gone. The gate makes the edge durable with two atomics:
+//
+//   waiter_  — the armed io_waiter installed by a suspending worker
+//              (null when no op is outstanding on this direction), and
+//   ready_   — a sticky flag recording an edge that found no waiter.
+//
+// Protocol (at most ONE outstanding op per direction — enforced by the
+// awaitables; the reactor thread is the only edge deliverer):
+//
+//   reactor, per edge:    set_ready();               // latch FIRST
+//                         w = take_any();            // then claim
+//                         if (w) { consume_ready(); fire(w); }
+//
+//   worker, after EAGAIN: if (consume_ready()) retry the syscall;
+//                         arm + publish(w);
+//                         if (consume_ready())       // edge raced publish
+//                           if (take(w)) { cancel suspension; retry; }
+//                           else          suspend;   // reactor fired w
+//                         else            suspend;
+//
+// Both orderings matter. The worker's post-publish recheck closes the
+// window where an edge lands between the failed syscall and the publish;
+// the reactor latching BEFORE claiming closes the dual window where the
+// worker publishes and suspends between an empty claim and the latch
+// (claim-then-latch strands the edge in ready_ with nobody left to read
+// it). Deleting the worker recheck is a lost wakeup, and weakening the
+// publish release breaks the transfer of the armed waiter's plain fields —
+// all three orderings are pinned by the model checks and mutation tests in
+// tests/chk/test_io_gate_chk.cpp, which explore this header via
+// chk::check_model (the same Model-policy scheme as support/parker.hpp).
+// A delivered-then-reclaimed edge can cost one spurious syscall retry;
+// edges are hints, so that is benign (io/async_ops.hpp loops).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/atomic_model.hpp"
+
+namespace lhws::io {
+
+template <typename Model = real_model>
+class dir_gate {
+  template <typename U>
+  using model_atomic = typename Model::template atomic_type<U>;
+
+ public:
+  // Worker: consume a sticky readiness edge. True means the fd may have
+  // become ready since the last syscall — retry it before suspending.
+  bool consume_ready() noexcept {
+    return ready_.exchange(0, std::memory_order_acq_rel) != 0;
+  }
+
+  // Worker: publish the armed waiter. The release pairs with take_any()'s
+  // acquire so the reactor observes the fully armed waiter fields.
+  void publish(void* w) noexcept {
+    waiter_.store(w, std::memory_order_release);
+  }
+
+  // Exact claim: remove `w` iff it is still the installed waiter. Used by
+  // the worker's post-publish reclaim and by the deadline wheel — exact so
+  // a stale claimer can never steal a newer waiter. The winner (and only
+  // the winner) owns `w`.
+  bool take(void* w) noexcept {
+    void* expected = w;
+    return waiter_.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire);
+  }
+
+  // Reactor: claim whatever waiter is installed; null if none.
+  void* take_any() noexcept {
+    return waiter_.exchange(nullptr, std::memory_order_acq_rel);
+  }
+
+  // Reactor: record an edge that found no waiter.
+  void set_ready() noexcept { ready_.store(1, std::memory_order_release); }
+
+ private:
+  model_atomic<void*> waiter_{nullptr};
+  model_atomic<std::uint32_t> ready_{0};
+};
+
+}  // namespace lhws::io

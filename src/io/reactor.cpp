@@ -1,0 +1,363 @@
+#include "io/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "support/config.hpp"
+#include "support/timing.hpp"
+
+namespace lhws::io {
+
+namespace {
+
+// epoll_event.data values reserved for the reactor's own fds; real
+// registrations carry an fd_entry pointer, which is never 0 or 1.
+constexpr std::uint64_t kWakeTag = 0;
+constexpr std::uint64_t kTimerTag = 1;
+
+constexpr std::int64_t kNsPerSec = 1'000'000'000;
+
+// Any of these means a read()-side syscall will make progress (data, EOF,
+// or a pending error to collect); writable-ish likewise for the write side.
+constexpr std::uint32_t kReadableMask =
+    EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR | EPOLLPRI;
+constexpr std::uint32_t kWritableMask = EPOLLOUT | EPOLLHUP | EPOLLERR;
+
+void drain_fd(int fd) {
+  std::uint64_t buf = 0;
+  const ssize_t r = ::read(fd, &buf, sizeof(buf));
+  (void)r;  // non-blocking; EAGAIN just means nothing was pending
+}
+
+}  // namespace
+
+const char* op_name(op_kind k) noexcept {
+  switch (k) {
+    case op_kind::accept:
+      return "accept";
+    case op_kind::connect:
+      return "connect";
+    case op_kind::read:
+      return "read";
+    case op_kind::write:
+      return "write";
+    case op_kind::sleep:
+      return "sleep";
+  }
+  return "unknown";
+}
+
+reactor::reactor() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  LHWS_ASSERT(epfd_ >= 0 && "epoll_create1 failed");
+  wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  LHWS_ASSERT(wakefd_ >= 0 && "eventfd failed");
+  timerfd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  LHWS_ASSERT(timerfd_ >= 0 && "timerfd_create failed");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  int rc = ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev);
+  LHWS_ASSERT(rc == 0 && "epoll_ctl(wakefd) failed");
+  ev.data.u64 = kTimerTag;
+  rc = ::epoll_ctl(epfd_, EPOLL_CTL_ADD, timerfd_, &ev);
+  LHWS_ASSERT(rc == 0 && "epoll_ctl(timerfd) failed");
+  (void)rc;
+
+  thread_ = std::thread([this] { loop(); });
+}
+
+reactor::~reactor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  kick();
+  if (thread_.joinable()) thread_.join();
+  // Entries still registered at teardown (sockets outliving the reactor
+  // violate the contract, but don't compound it with a leak).
+  for (fd_entry* e : entries_) delete e;
+  entries_.clear();
+  ::close(timerfd_);
+  ::close(wakefd_);
+  ::close(epfd_);
+}
+
+void reactor::kick() {
+  std::uint64_t one = 1;
+  const ssize_t r = ::write(wakefd_, &one, sizeof(one));
+  (void)r;  // eventfd writes only fail if the counter saturates — still a wake
+}
+
+reactor::fd_entry* reactor::register_fd(int fd) {
+  auto* e = new fd_entry;
+  e->fd = fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+  ev.data.ptr = e;
+  const int rc = ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  LHWS_ASSERT(rc == 0 && "epoll_ctl(ADD) failed");
+  (void)rc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.insert(e);
+  }
+  const std::uint64_t cur =
+      registered_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t peak = peak_registered_.load(std::memory_order_relaxed);
+  while (cur > peak && !peak_registered_.compare_exchange_weak(
+                           peak, cur, std::memory_order_relaxed)) {
+  }
+  return e;
+}
+
+void reactor::deregister_fd(fd_entry* e) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) {
+    // Reactor thread is gone (post-run teardown): remove inline.
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, e->fd, nullptr);
+    entries_.erase(e);
+    delete e;
+    registered_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  dereg_q_.push_back(e);
+  const std::uint64_t ticket = ++dereg_posted_;
+  lock.unlock();
+  kick();
+  lock.lock();
+  dereg_cv_.wait(lock,
+                 [&] { return dereg_done_ >= ticket || stopped_; });
+  if (stopped_ && dereg_done_ < ticket) {
+    // The loop exited without draining (shouldn't happen — it drains on the
+    // way out), but never leave the caller with a registered entry.
+    entries_.erase(e);
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, e->fd, nullptr);
+    delete e;
+    registered_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void reactor::process_deregs() {
+  std::vector<fd_entry*> q;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    q.swap(dereg_q_);
+  }
+  for (fd_entry* e : q) {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, e->fd, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.erase(e);
+    }
+    delete e;
+    registered_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (!q.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      dereg_done_ += q.size();
+    }
+    dereg_cv_.notify_all();
+  }
+}
+
+std::uint64_t reactor::enqueue_deadline_locked(
+    std::unique_lock<std::mutex>& lock, deadline_entry e) {
+  (void)lock;
+  e.token = next_token_++;
+  live_deadlines_.insert(e.token);
+  const std::int64_t deadline_ns = e.deadline_ns;
+  deadlines_.push(e);
+  if (armed_deadline_ns_ == 0 || deadline_ns < armed_deadline_ns_) {
+    arm_timerfd_locked(deadline_ns);
+  }
+  return e.token;
+}
+
+void reactor::arm_timerfd_locked(std::int64_t next_deadline_ns) {
+  armed_deadline_ns_ = next_deadline_ns;
+  itimerspec its{};
+  if (next_deadline_ns != 0) {
+    std::int64_t rel = next_deadline_ns - now_ns();
+    if (rel < 1) rel = 1;  // already due: fire as soon as possible
+    its.it_value.tv_sec = static_cast<time_t>(rel / kNsPerSec);
+    its.it_value.tv_nsec = static_cast<long>(rel % kNsPerSec);
+  }
+  const int rc = ::timerfd_settime(timerfd_, 0, &its, nullptr);
+  LHWS_ASSERT(rc == 0 && "timerfd_settime failed");
+  (void)rc;
+}
+
+std::uint64_t reactor::schedule_deadline(std::int64_t deadline_ns, fd_entry* e,
+                                         int dir, io_waiter* w) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return enqueue_deadline_locked(lock,
+                                 deadline_entry{deadline_ns, 0, w, e, dir});
+}
+
+void reactor::schedule_sleep(std::int64_t deadline_ns, io_waiter* w) {
+  std::unique_lock<std::mutex> lock(mu_);
+  enqueue_deadline_locked(lock,
+                          deadline_entry{deadline_ns, 0, w, nullptr, 0});
+}
+
+bool reactor::cancel(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_deadlines_.erase(token) != 0;
+}
+
+bool reactor::pending(std::uint64_t token) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_deadlines_.count(token) != 0;
+}
+
+std::size_t reactor::deadlines_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_deadlines_.size();
+}
+
+void reactor::complete(io_waiter* w, wait_status st) {
+  if (st == wait_status::ready && w->deadline_token != 0) {
+    // Cancellation may lose (the deadline fire is collected or running on
+    // this very thread earlier in the batch) — then its exact gate claim
+    // already failed or will fail, and it never touches `w`.
+    cancel(w->deadline_token);
+  }
+  w->status = st;
+  std::int64_t delta = now_ns() - w->armed_ns;
+  if (delta < 0) delta = 0;
+  delta_hist_[static_cast<std::size_t>(w->kind)].record(
+      static_cast<std::uint64_t>(delta));
+  if (st == wait_status::timed_out) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Last touch: the resumed coroutine frame (which holds `w`) may be
+  // destroyed the instant the resume is delivered.
+  w->resume.fire();
+}
+
+void reactor::fire_gate(dir_gate<>& gate) {
+  // Latch FIRST, then claim. A worker publishing between the two steps is
+  // covered either way: published before the claim → we fire it; published
+  // after → its post-publish recheck consumes the latch and reclaims.
+  // Claim-then-latch has a lost-wakeup window (worker publishes and
+  // suspends between our empty claim and the latch) — the model checker
+  // finds it in three executions (tests/chk/test_io_gate_chk.cpp).
+  gate.set_ready();
+  void* w = gate.take_any();
+  if (w != nullptr) {
+    gate.consume_ready();  // absorb our own latch: the claim delivers it
+    complete(static_cast<io_waiter*>(w), wait_status::ready);
+  }
+}
+
+void reactor::dispatch_fd(fd_entry* e, std::uint32_t events) {
+  if ((events & kReadableMask) != 0) fire_gate(e->gate[kRead]);
+  if ((events & kWritableMask) != 0) fire_gate(e->gate[kWrite]);
+}
+
+void reactor::fire_due_deadlines() {
+  std::vector<deadline_entry> due;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::int64_t now = now_ns();
+    while (!deadlines_.empty() && deadlines_.top().deadline_ns <= now) {
+      if (live_deadlines_.erase(deadlines_.top().token) != 0) {
+        due.push_back(deadlines_.top());
+      }
+      deadlines_.pop();
+    }
+    arm_timerfd_locked(deadlines_.empty() ? 0 : deadlines_.top().deadline_ns);
+  }
+  for (const deadline_entry& d : due) {
+    if (d.e != nullptr) {
+      // with_deadline expiry: only the exact gate claim grants ownership of
+      // the waiter. Losing the claim means the io completion (earlier in
+      // this batch, or a worker-side reclaim) owns it — strict no-op, so a
+      // freed frame is never dereferenced.
+      if (d.e->gate[d.dir].take(d.w)) complete(d.w, wait_status::timed_out);
+    } else {
+      complete(d.w, wait_status::ready);  // sleep_until edge
+    }
+  }
+}
+
+void reactor::loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event evs[kMaxEvents];
+  bool running = true;
+  while (running) {
+    const int n = ::epoll_wait(epfd_, evs, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    const auto batch = static_cast<std::uint64_t>(n);
+    if (batch > peak_batch_.load(std::memory_order_relaxed)) {
+      peak_batch_.store(batch, std::memory_order_relaxed);
+    }
+    bool timer_due = false;
+    bool kicked = false;
+    for (int i = 0; i < n; ++i) {
+      if (evs[i].data.u64 == kWakeTag) {
+        kicked = true;
+      } else if (evs[i].data.u64 == kTimerTag) {
+        timer_due = true;
+      } else {
+        dispatch_fd(static_cast<fd_entry*>(evs[i].data.ptr), evs[i].events);
+      }
+    }
+    if (timer_due) {
+      drain_fd(timerfd_);
+      fire_due_deadlines();
+    }
+    if (kicked) {
+      drain_fd(wakefd_);
+      process_deregs();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) running = false;
+    }
+  }
+  // Drain once more so no deregister_fd caller is left waiting, then mark
+  // the thread gone (later deregistrations run inline).
+  process_deregs();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  dereg_cv_.notify_all();
+}
+
+void reactor::export_metrics(obs::metrics_registry& reg) const {
+  reg.add_gauge("lhws_io_registered_fds", "Sockets currently registered",
+                static_cast<double>(registered_fds()));
+  reg.add_gauge("lhws_io_registered_fds_peak", "Peak registered sockets",
+                static_cast<double>(peak_registered_fds()));
+  reg.add_counter("lhws_io_epoll_wakeups_total", "epoll_wait returns",
+                  epoll_wakeups());
+  reg.add_gauge("lhws_io_ready_batch_peak",
+                "Largest ready-event batch from one epoll_wait",
+                static_cast<double>(peak_ready_batch()));
+  reg.add_gauge("lhws_io_deadlines_pending",
+                "Deadline-wheel entries scheduled and not yet fired",
+                static_cast<double>(deadlines_pending()));
+  reg.add_counter("lhws_io_timeouts_total", "with_deadline expirations fired",
+                  timeouts_fired());
+  for (std::size_t k = 0; k < kNumOpKinds; ++k) {
+    reg.add_histogram(
+        "lhws_io_observed_delta_ns", "Observed delta (arm to completion)",
+        &delta_hist_[k],
+        std::string("op=\"") + op_name(static_cast<op_kind>(k)) + "\"");
+  }
+}
+
+}  // namespace lhws::io

@@ -1,0 +1,200 @@
+// io::reactor — real heavy edges: an epoll-backed event loop that turns
+// kernel readiness and timer expiry into LHWS resume deliveries.
+//
+// The paper models a heavy edge as any "latency-incurring operation such
+// as communication or I/O" (§1); until this subsystem, the runtime could
+// only *simulate* one (core/latency.hpp sleeps on the event hub). The
+// reactor makes δ a measured quantity: a suspended socket op or deadline
+// completes when the kernel says so, and the completion flows through the
+// exact same rt::resume_handle path as every simulated edge — so the
+// Lemma 7 deque economy, the direct-push/batched-resume split and the
+// parker's unconditional resume unpark (DESIGN.md §9) all apply unchanged.
+//
+// One background thread owns the epoll set. Three kinds of wakeup:
+//   - eventfd:  shutdown + deregistration kicks (never holds user data),
+//   - timerfd:  the deadline wheel (sleep_until and with_deadline), always
+//               armed at the earliest pending deadline,
+//   - sockets:  edge-triggered (EPOLLIN|EPOLLOUT|EPOLLET|EPOLLRDHUP),
+//               registered once per fd and demultiplexed into a per-
+//               direction dir_gate (io/dir_gate.hpp).
+//
+// Everything the reactor thread does per event is O(1) and non-blocking:
+// claim the gate's waiter and fire its resume_handle (or latch the sticky
+// ready bit). The worker side of the handoff lives in io/async_ops.hpp.
+//
+// Thread-safety: register_fd / schedule_* / cancel are callable from any
+// thread. deregister_fd is synchronous — it hands the entry to the reactor
+// thread and waits for the EPOLL_CTL_DEL + free, which serializes entry
+// teardown against in-flight deadline fires (a deadline fire may still
+// inspect the entry's gates after a cancel() raced it; see DESIGN.md §10).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "io/dir_gate.hpp"
+#include "obs/histogram.hpp"
+#include "runtime/resume_handle.hpp"
+
+namespace lhws::obs {
+class metrics_registry;
+}
+
+namespace lhws::io {
+
+// Op taxonomy for observed-δ accounting and trace/stats labelling. Keep in
+// sync with op_name() and tools/lhws_trace_stats.
+enum class op_kind : std::uint8_t { accept, connect, read, write, sleep };
+inline constexpr std::size_t kNumOpKinds = 5;
+
+[[nodiscard]] const char* op_name(op_kind k) noexcept;
+
+enum class wait_status : std::uint8_t { ready, timed_out };
+
+// The armed waiter for one suspended io op. Lives inside the awaitable
+// (and therefore the suspended coroutine frame); ownership is transferred
+// through a dir_gate claim or a deadline-wheel pop — whoever wins the
+// claim is the unique completer and must not touch the waiter after
+// resume.fire() returns.
+struct io_waiter {
+  rt::resume_handle resume{};
+  std::int64_t armed_ns = 0;     // suspension start (now_ns clock)
+  std::uint64_t deadline_token = 0;  // 0 = no with_deadline attached
+  op_kind kind = op_kind::read;
+  wait_status status = wait_status::ready;
+};
+
+class reactor {
+ public:
+  static constexpr int kRead = 0;   // EPOLLIN-side gate index
+  static constexpr int kWrite = 1;  // EPOLLOUT-side gate index
+
+  // Per-registered-fd state. Stable address from register_fd until
+  // deregister_fd; freed only by the reactor thread.
+  struct fd_entry {
+    int fd = -1;
+    dir_gate<> gate[2];
+  };
+
+  reactor();
+  ~reactor();
+  reactor(const reactor&) = delete;
+  reactor& operator=(const reactor&) = delete;
+
+  // Adds a non-blocking fd to the epoll set (edge-triggered, both
+  // directions, armed once for the fd's lifetime). Thread-safe.
+  fd_entry* register_fd(int fd);
+
+  // Removes the fd and frees the entry. Blocks until the reactor thread
+  // has performed the removal. Contract: no op may be suspended on either
+  // gate (complete or time out every op before closing its socket).
+  void deregister_fd(fd_entry* e);
+
+  // --- deadline wheel -----------------------------------------------------
+  // Arms `w` to be fired with wait_status::timed_out at deadline_ns unless
+  // the io completion claims it first; the fire only touches `w` after
+  // winning an exact gate claim, so a completed (and freed) waiter is
+  // never dereferenced. Returns a token for cancel()/pending().
+  std::uint64_t schedule_deadline(std::int64_t deadline_ns, fd_entry* e,
+                                  int dir, io_waiter* w);
+
+  // Pure timer edge (sleep_until): fires `w` with wait_status::ready at or
+  // after deadline_ns. The waiter must already be armed; scheduling is the
+  // publication point.
+  void schedule_sleep(std::int64_t deadline_ns, io_waiter* w);
+
+  // True iff the entry was removed before its fire was collected. False
+  // means the fire already ran or is running on the reactor thread.
+  bool cancel(std::uint64_t token);
+
+  // True while the entry is scheduled and its fire has not been collected.
+  [[nodiscard]] bool pending(std::uint64_t token) const;
+
+  // --- observability ------------------------------------------------------
+  // Observed δ (arm → completion) per op type. The reactor thread is the
+  // single writer; concurrent readers are safe (obs/histogram.hpp).
+  [[nodiscard]] const obs::log_histogram& delta_hist(op_kind k) const noexcept {
+    return delta_hist_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t registered_fds() const noexcept {
+    return registered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t peak_registered_fds() const noexcept {
+    return peak_registered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t epoll_wakeups() const noexcept {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t peak_ready_batch() const noexcept {
+    return peak_batch_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t timeouts_fired() const noexcept {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t deadlines_pending() const;
+
+  // Registers lhws_io_* gauges/counters and the per-op δ histograms.
+  void export_metrics(obs::metrics_registry& reg) const;
+
+ private:
+  struct deadline_entry {
+    std::int64_t deadline_ns;
+    std::uint64_t token;
+    io_waiter* w;
+    fd_entry* e;  // null for sleep entries
+    int dir;
+
+    bool operator>(const deadline_entry& o) const noexcept {
+      return deadline_ns > o.deadline_ns;
+    }
+  };
+
+  void loop();
+  void dispatch_fd(fd_entry* e, std::uint32_t events);
+  void fire_gate(dir_gate<>& gate);
+  // Completes `w` (exclusive ownership required): cancels an attached
+  // deadline on the ready path, records δ, fires the resume. Reactor
+  // thread only — the δ histograms are single-writer.
+  void complete(io_waiter* w, wait_status st);
+  void fire_due_deadlines();
+  void process_deregs();
+  std::uint64_t enqueue_deadline_locked(std::unique_lock<std::mutex>& lock,
+                                        deadline_entry e);
+  void arm_timerfd_locked(std::int64_t next_deadline_ns);
+  void kick();
+
+  int epfd_ = -1;
+  int wakefd_ = -1;
+  int timerfd_ = -1;
+  std::thread thread_;
+
+  mutable std::mutex mu_;
+  std::priority_queue<deadline_entry, std::vector<deadline_entry>,
+                      std::greater<>>
+      deadlines_;
+  std::unordered_set<std::uint64_t> live_deadlines_;
+  std::uint64_t next_token_ = 1;
+  std::int64_t armed_deadline_ns_ = 0;  // 0 = timerfd disarmed
+  std::unordered_set<fd_entry*> entries_;
+  std::vector<fd_entry*> dereg_q_;
+  std::uint64_t dereg_posted_ = 0;
+  std::uint64_t dereg_done_ = 0;
+  std::condition_variable dereg_cv_;
+  bool stop_ = false;
+  bool stopped_ = false;  // reactor thread has exited
+
+  obs::log_histogram delta_hist_[kNumOpKinds];
+  std::atomic<std::uint64_t> registered_{0};
+  std::atomic<std::uint64_t> peak_registered_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> peak_batch_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+};
+
+}  // namespace lhws::io

@@ -1,0 +1,129 @@
+#include "io/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lhws::io {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+socket::socket(reactor& r, int fd) : reactor_(&r), fd_(fd) {
+  set_nonblocking(fd_);
+  entry_ = r.register_fd(fd_);
+}
+
+socket socket::create_tcp(reactor& r) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return socket{};
+  return socket(r, fd);
+}
+
+socket socket::listen_loopback(reactor& r, std::uint16_t port, int backlog) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return socket{};
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return socket{};
+  }
+  return socket(r, fd);
+}
+
+std::uint16_t socket::local_port() const {
+  if (fd_ < 0) return 0;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+void socket::close() {
+  if (entry_ != nullptr) {
+    reactor_->deregister_fd(entry_);
+    entry_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reactor_ = nullptr;
+}
+
+int connect_loopback_blocking(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -errno;
+  const sockaddr_in addr = loopback_addr(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    return -err;
+  }
+}
+
+long read_full_fd(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::read(fd, p + done, n - done);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) return done == 0 ? 0 : -ECONNRESET;  // EOF
+    if (errno == EINTR) continue;
+    return -static_cast<long>(errno);
+  }
+  return static_cast<long>(done);
+}
+
+long write_full_fd(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return put < 0 ? -static_cast<long>(errno) : -EIO;
+  }
+  return static_cast<long>(done);
+}
+
+}  // namespace lhws::io

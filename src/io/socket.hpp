@@ -1,0 +1,81 @@
+// io::socket — a non-blocking socket fd registered with a reactor, plus
+// the small set of plain-fd helpers tests and benches use for blocking
+// client threads that live outside the scheduler.
+//
+// A socket owns both the fd and its reactor registration; destruction
+// deregisters (synchronously — see reactor::deregister_fd) before closing,
+// so a recycled fd number can never collide with a stale epoll entry.
+// Contract inherited from the reactor: destroy a socket only when no op is
+// suspended on it.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "io/reactor.hpp"
+
+namespace lhws::io {
+
+class socket {
+ public:
+  socket() = default;
+
+  // Adopts `fd`: forces O_NONBLOCK and registers it with `r`.
+  socket(reactor& r, int fd);
+
+  socket(socket&& o) noexcept
+      : reactor_(std::exchange(o.reactor_, nullptr)),
+        entry_(std::exchange(o.entry_, nullptr)),
+        fd_(std::exchange(o.fd_, -1)) {}
+  socket& operator=(socket&& o) noexcept {
+    if (this != &o) {
+      close();
+      reactor_ = std::exchange(o.reactor_, nullptr);
+      entry_ = std::exchange(o.entry_, nullptr);
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  socket(const socket&) = delete;
+  socket& operator=(const socket&) = delete;
+  ~socket() { close(); }
+
+  // A fresh AF_INET TCP socket (non-blocking, registered).
+  static socket create_tcp(reactor& r);
+
+  // A TCP socket bound to 127.0.0.1 and listening; pass port 0 for an
+  // ephemeral port and read it back with local_port(). Invalid on error.
+  static socket listen_loopback(reactor& r, std::uint16_t port,
+                                int backlog = 128);
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] reactor::fd_entry* entry() const noexcept { return entry_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  // The locally bound port (0 on error) — for ephemeral listeners.
+  [[nodiscard]] std::uint16_t local_port() const;
+
+  // Deregisters and closes now (idempotent).
+  void close();
+
+ private:
+  reactor* reactor_ = nullptr;
+  reactor::fd_entry* entry_ = nullptr;
+  int fd_ = -1;
+};
+
+// --- blocking-side helpers (client threads outside the scheduler) ---------
+
+// Connects a plain BLOCKING TCP socket to 127.0.0.1:port. Returns the fd,
+// or -errno.
+int connect_loopback_blocking(std::uint16_t port);
+
+// Reads exactly n bytes. Returns n, 0 on clean EOF before any byte, or
+// -errno (short reads after EOF mid-record also return -ECONNRESET).
+long read_full_fd(int fd, void* buf, std::size_t n);
+
+// Writes exactly n bytes (SIGPIPE suppressed). Returns n or -errno.
+long write_full_fd(int fd, const void* buf, std::size_t n);
+
+}  // namespace lhws::io

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "support/timing.hpp"
@@ -26,6 +27,8 @@ enum class timer_mode : std::uint8_t { dedicated_thread, polled };
 class event_hub {
  public:
   using fire_fn = void (*)(void*);
+  // Handle for cancel(); monotonically increasing, never reused, never 0.
+  using token = std::uint64_t;
 
   explicit event_hub(timer_mode mode) : mode_(mode) {
     if (mode_ == timer_mode::dedicated_thread) {
@@ -41,12 +44,33 @@ class event_hub {
   // Registers `fire(arg)` to run at or after `deadline_ns` (now_ns clock).
   // Thread-safe. The callback runs on the timer thread or inside a worker's
   // poll(); it must be quick and non-blocking (ours just complete events).
-  void schedule(std::int64_t deadline_ns, fire_fn fire, void* arg) {
+  // The returned token cancels the entry (see cancel()).
+  token schedule(std::int64_t deadline_ns, fire_fn fire, void* arg) {
+    token id = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      heap_.push(entry{deadline_ns, fire, arg});
+      id = next_id_++;
+      live_.insert(id);
+      heap_.push(entry{deadline_ns, fire, arg, id});
     }
     if (mode_ == timer_mode::dedicated_thread) cv_.notify_one();
+    return id;
+  }
+
+  // Removes a scheduled entry so an abandoned waiter is never fired.
+  // Returns true iff the callback is guaranteed not to run; false means it
+  // already ran or its fire is in flight — the caller must then assume the
+  // callback touches (or touched) the waiter. Thread-safe; cancelling an
+  // already-fired or already-cancelled token is a harmless no-op.
+  bool cancel(token id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_.erase(id) != 0;
+  }
+
+  // Entries scheduled but neither fired nor cancelled (test/debug aid).
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_.size();
   }
 
   // Polled mode: fire everything due. Safe (and a no-op) in thread mode if
@@ -59,12 +83,15 @@ class event_hub {
   [[nodiscard]] timer_mode mode() const noexcept { return mode_; }
 
   // Stops the timer thread after firing everything already due. Entries
-  // not yet due are dropped — callers must not shut down with live waiters.
+  // not yet due are dropped without their callbacks ever running (a
+  // suspended waiter would be stranded — complete or cancel() it first);
+  // the drop itself is safe and regression-tested.
   void shutdown() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) return;
       stopping_ = true;
+      live_.clear();  // dropped entries are no longer pending
     }
     cv_.notify_one();
     if (thread_.joinable()) thread_.join();
@@ -75,20 +102,27 @@ class event_hub {
     std::int64_t deadline_ns;
     fire_fn fire;
     void* arg;
+    token id;
 
     bool operator>(const entry& o) const noexcept {
       return deadline_ns > o.deadline_ns;
     }
   };
 
+  // Pops due entries that are still live (lazy cancellation: cancelled
+  // entries stay in the heap and are discarded here). Caller holds mu_.
+  void collect_due_locked(std::int64_t now, std::vector<entry>& due) {
+    while (!heap_.empty() && heap_.top().deadline_ns <= now) {
+      if (live_.erase(heap_.top().id) != 0) due.push_back(heap_.top());
+      heap_.pop();
+    }
+  }
+
   std::size_t fire_due(std::int64_t now) {
     std::vector<entry> due;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      while (!heap_.empty() && heap_.top().deadline_ns <= now) {
-        due.push_back(heap_.top());
-        heap_.pop();
-      }
+      collect_due_locked(now, due);
     }
     for (const entry& e : due) e.fire(e.arg);
     return due.size();
@@ -109,10 +143,7 @@ class event_hub {
       }
       // Fire without holding the lock.
       std::vector<entry> due;
-      while (!heap_.empty() && heap_.top().deadline_ns <= now) {
-        due.push_back(heap_.top());
-        heap_.pop();
-      }
+      collect_due_locked(now, due);
       lock.unlock();
       for (const entry& e : due) e.fire(e.arg);
       lock.lock();
@@ -120,9 +151,11 @@ class event_hub {
   }
 
   const timer_mode mode_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::priority_queue<entry, std::vector<entry>, std::greater<>> heap_;
+  std::unordered_set<token> live_;
+  token next_id_ = 1;
   bool stopping_ = false;
   std::thread thread_;
 };

@@ -1,0 +1,78 @@
+// rt::resume_handle — the waiter half of a heavy edge, shared by every
+// suspending awaitable (core/latency.hpp, core/sync.hpp, core/channel.hpp,
+// io/async_ops.hpp).
+//
+// Fig. 3's handleChild splits a latency-incurring operation into two
+// halves: the worker-side arm (charge the suspension to the active deque,
+// remember the continuation) and the completer-side fire (deliver the
+// continuation back to that deque; if it was the deque's first undrained
+// resume, register the deque with its owner — Fig. 3 lines 1-5). Before
+// this header each awaitable carried its own copy of that glue; now they
+// all arm/fire one resume_handle, so the Lemma 7 deque accounting and the
+// direct-push/batched-resume split (DESIGN.md §9) live behind a single
+// choke point.
+#pragma once
+
+#include <coroutine>
+
+#include "runtime/scheduler_core.hpp"
+#include "support/config.hpp"
+
+namespace lhws::rt {
+
+// Lifetime: a resume_handle lives inside the awaitable (and therefore the
+// suspended coroutine's frame). Once fire() delivers the resume, the frame
+// may be resumed — and destroyed — by another worker immediately, so the
+// firing thread must not touch the handle after fire() returns.
+class resume_handle {
+ public:
+  // Worker side: charge the suspension to w's active deque and remember the
+  // continuation. Must run on the suspending worker, before the handle is
+  // published to any completer.
+  void arm(worker* w, std::coroutine_handle<> h) {
+    LHWS_ASSERT(deque_ == nullptr && "resume_handle armed twice");
+    deque_ = w->begin_suspension();
+    owner_ = w;
+    node_.continuation = h;
+  }
+
+  // Completer side (any thread): deliver the continuation back to its
+  // deque; register the deque with its owner on the first undrained resume.
+  // The node push inside deliver_resume is the publication point: from then
+  // on a worker may resume, finish, and destroy the coroutine frame — and
+  // this handle with it — so everything the delivery still needs is copied
+  // out first. A completer that is not a worker of this scheduler (reactor
+  // thread, event setter, channel producer) can additionally outlive the
+  // run itself: the root can complete and ~scheduler_core free the deque
+  // while such a thread sits between the push and the suspension-counter
+  // decrement. External callers therefore bracket the whole delivery with
+  // the teardown guard, which the destructor drains before freeing deques.
+  // Same-scheduler workers skip the guard: they are joined before teardown.
+  void fire() {
+    runtime_deque* const q = deque_;
+    worker* const o = owner_;
+    scheduler_core& core = o->sched();
+    worker* const self = worker::current();
+    const bool external = self == nullptr || &self->sched() != &core;
+    if (external) core.external_wake_begin();
+    const bool first = q->deliver_resume(&node_);
+    if (first) o->enqueue_resumed_deque(q);
+    if (external) core.external_wake_end();
+  }
+
+  // Worker side: the suspension was abandoned before any completer saw the
+  // handle (the completion won an install race) — retract the counter.
+  void cancel() {
+    owner_->cancel_suspension(deque_);
+    deque_ = nullptr;
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return deque_ != nullptr; }
+
+ private:
+  resume_node node_{};
+  runtime_deque* deque_ = nullptr;
+  worker* owner_ = nullptr;
+};
+
+}  // namespace lhws::rt

@@ -429,10 +429,11 @@ scheduler_core::scheduler_core(const scheduler_config& cfg)
 
 scheduler_core::~scheduler_core() {
   hub_.shutdown();
-  // An external event setter or channel producer can still be inside a
-  // worker's parker — between its token exchange and the condvar signal —
-  // after the run completed. Drain those stragglers before the workers (and
-  // their parkers) are destroyed with the other members below.
+  // An external completer (reactor thread, event setter, channel producer)
+  // can still be inside resume_handle::fire() — between the node push that
+  // let the run finish and its last deque/parker access — after the run
+  // completed. Drain those stragglers before the deques and workers are
+  // destroyed with the other members below.
   while (external_wakes_.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }

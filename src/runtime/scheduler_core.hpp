@@ -191,18 +191,17 @@ class worker {
   parker parker_;
 
  public:
-  // Called by resume callbacks (any thread): register q as having resumed
-  // vertices (Fig. 3 line 5), then wake the owner if it parked. The wake is
-  // unconditional (a state RMW, not a gated check), so a resume can never
-  // be lost to the park/deliver race — see DESIGN.md §9.
-  //
-  // Worker threads are joined before the scheduler is torn down, but an
-  // external deliverer (event setter, channel producer, timer thread) can
-  // still be inside the parker — between its token exchange and the condvar
-  // signal — after the run completes. Those callers bracket the access with
-  // the teardown guard so ~scheduler_core waits them out. (Defined after
-  // scheduler_core below — it needs the complete type.)
-  void enqueue_resumed_deque(runtime_deque* q);
+  // Called by resume_handle::fire() (any thread): register q as having
+  // resumed vertices (Fig. 3 line 5), then wake the owner if it parked. The
+  // wake is unconditional (a state RMW, not a gated check), so a resume can
+  // never be lost to the park/deliver race — see DESIGN.md §9. Teardown
+  // safety is the caller's job: fire() holds the external-completer guard
+  // across the whole delivery, so ~scheduler_core waits out any non-worker
+  // thread still in here.
+  void enqueue_resumed_deque(runtime_deque* q) {
+    resumed_deques_.push(q);
+    wake();
+  }
 };
 
 class scheduler_core {
@@ -254,13 +253,14 @@ class scheduler_core {
     for (auto& w : workers_) w->wake();
   }
 
-  // --- Teardown guard for external wakers ---------------------------------
-  // Counts non-worker threads currently inside a worker's parker. The
-  // increment needs no ordering of its own: it is sequenced before the
-  // resume push, and that push happens-before run completion (and thus the
-  // destructor's drain loop), so coherence already makes it visible there.
-  // The decrement releases the parker accesses it covers; the drain loop
-  // acquires them.
+  // --- Teardown guard for external completers -----------------------------
+  // Counts non-worker threads currently delivering a resume (the whole
+  // fire(): node push, suspension-counter decrement, deque registration,
+  // parker wake). The increment needs no ordering of its own: it is
+  // sequenced before the resume push, and that push happens-before run
+  // completion (and thus the destructor's drain loop), so coherence already
+  // makes it visible there. The decrement releases the delivery accesses it
+  // covers; the drain loop acquires them.
   void external_wake_begin() noexcept {
     external_wakes_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -335,18 +335,5 @@ class scheduler_core {
   std::atomic<std::uint64_t> max_suspended_{0};
   std::int64_t run_start_ns_ = 0;
 };
-
-inline void worker::enqueue_resumed_deque(runtime_deque* q) {
-  worker* self = tl_worker_;
-  if (self != nullptr && &self->sched_ == &sched_) {
-    resumed_deques_.push(q);
-    wake();
-    return;
-  }
-  sched_.external_wake_begin();
-  resumed_deques_.push(q);
-  wake();
-  sched_.external_wake_end();
-}
 
 }  // namespace lhws::rt

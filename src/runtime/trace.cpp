@@ -28,13 +28,16 @@ const char* name_of(trace_kind k) {
       return "blocked";
     case trace_kind::park:
       return "park";
+    case trace_kind::io_wake:
+      return "io_wake";
   }
   return "?";
 }
 
 bool is_duration(trace_kind k) {
   return k == trace_kind::segment || k == trace_kind::batch ||
-         k == trace_kind::blocked || k == trace_kind::park;
+         k == trace_kind::blocked || k == trace_kind::park ||
+         k == trace_kind::io_wake;
 }
 
 double to_us(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }

@@ -52,6 +52,7 @@ enum class trace_kind : std::uint8_t {
   wake,
   blocked,
   park,
+  io_wake,  // suspended io op: arm -> completion delivered (arg = op + 1)
 };
 
 struct trace_event {

@@ -1,0 +1,173 @@
+// Model checking the reactor→worker handoff (io::dir_gate) under
+// edge-triggered delivery. Two properties:
+//
+//  1. No lost edge: one reactor edge against one worker arm/suspend must
+//     end with the worker either retrying the syscall (it absorbed the
+//     edge) or being fired (the reactor claimed its waiter) — never parked
+//     with the edge dropped. Deleting the worker's post-publish recheck is
+//     exactly that bug and must be caught as a mutation.
+//
+//  2. Publication: when the reactor claims a waiter, the acquire side of
+//     take_any() must receive every plain field the worker wrote before
+//     publish() — weakening the publish release is a data race on the
+//     armed waiter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "chk/atomic.hpp"
+#include "chk/explore.hpp"
+#include "io/dir_gate.hpp"
+
+namespace lhws {
+namespace {
+
+using chk::check;
+
+using gate = io::dir_gate<chk::check_model>;
+
+// Thread 0 is the reactor delivering ONE readiness edge; thread 1 is a
+// worker that saw EAGAIN and runs the full arm protocol. `waiter_slot`
+// stands in for the io_waiter: its plain field is the publication payload.
+struct handoff_scenario {
+  static constexpr unsigned num_threads = 2;
+
+  gate g;
+  chk::var<std::uint32_t> armed{0, "io_gate.waiter_fields"};
+  int waiter_slot = 0;  // address-only stand-in for the io_waiter
+  bool fired = false;   // reactor claimed + fired the waiter
+  bool retried = false; // worker absorbed the edge and retried the syscall
+  bool suspended = false;
+
+  void thread(unsigned tid) {
+    if (tid == 0) {
+      // Reactor, per edge: latch FIRST, then claim (reactor::fire_gate).
+      // Claim-then-latch loses the edge when the worker publishes and
+      // suspends between the empty claim and the latch — the checker found
+      // that ordering bug in an earlier draft of fire_gate.
+      g.set_ready();
+      void* w = g.take_any();
+      if (w != nullptr) {
+        g.consume_ready();  // absorb our own latch: the claim delivers it
+        fired = true;
+        const std::uint32_t v = armed;  // race-checked acquire-side read
+        check(v == 7, "io gate: waiter claimed before it was armed");
+      }
+    } else {
+      // Worker, after EAGAIN.
+      if (g.consume_ready()) {
+        retried = true;
+        return;
+      }
+      armed = 7;  // the arm: resume_handle + deadline token + op fields
+      g.publish(&waiter_slot);
+      if (g.consume_ready()) {
+        if (g.take(&waiter_slot)) {
+          retried = true;  // reclaimed: cancel suspension, retry syscall
+          return;
+        }
+        suspended = true;  // reactor fired us concurrently
+        return;
+      }
+      suspended = true;
+    }
+  }
+
+  void finish() {
+    // The single edge must land somewhere: absorbed by the worker's retry
+    // or delivered as a fire. A suspended worker with no fire pending is a
+    // hung connection.
+    check(retried || fired, "io gate: readiness edge lost");
+    check(!(retried && fired), "io gate: edge delivered twice");
+    if (suspended) {
+      check(fired, "io gate: worker suspended but nobody owns its waiter");
+    }
+  }
+};
+
+TEST(IoGateModel, CleanOverTenThousandRandomInterleavings) {
+  chk::options opt;
+  opt.iterations = 10000;
+  const chk::result res = chk::explore<handoff_scenario>(opt);
+  EXPECT_EQ(res.failures, 0u)
+      << res.first_failure << " (execution " << res.first_failure_execution
+      << ")";
+  EXPECT_GE(res.executions, 10000u);
+}
+
+TEST(IoGateModel, CleanUnderBoundedExhaustiveExploration) {
+  chk::options opt;
+  opt.mode = chk::exploration_mode::exhaustive;
+  opt.max_executions = 30000;
+  const chk::result res = chk::explore<handoff_scenario>(opt);
+  EXPECT_EQ(res.failures, 0u)
+      << res.first_failure << " (execution " << res.first_failure_execution
+      << ")";
+}
+
+// publish() is the release store that transfers the armed waiter's plain
+// fields to the reactor; relaxing it severs the edge into take_any()'s
+// acquire and the claim reads a half-armed waiter.
+TEST(IoGateModel, WeakenedPublishReleaseCaught) {
+  chk::options opt;
+  opt.iterations = 10000;
+  opt.mut.weaken_release_store = true;
+  const chk::result res = chk::explore<handoff_scenario>(opt);
+  EXPECT_GT(res.failures, 0u);
+  EXPECT_NE(res.first_failure.find("data race"), std::string::npos)
+      << res.first_failure;
+}
+
+// The protocol mutation dir_gate exists to rule out: a worker that
+// publishes and commits to suspend WITHOUT rechecking the sticky bit. In
+// the schedule where the reactor runs entirely between the failed syscall
+// and the publish (it latched ready_ and its claim saw no waiter), nobody
+// ever fires the waiter — a lost wakeup. The reactor here is the CORRECT
+// latch-then-claim form, so the only injected bug is the missing recheck.
+struct deleted_recheck_scenario {
+  static constexpr unsigned num_threads = 2;
+
+  gate g;
+  int waiter_slot = 0;
+  bool fired = false;
+  bool retried = false;
+  bool suspended = false;
+
+  void thread(unsigned tid) {
+    if (tid == 0) {
+      g.set_ready();
+      void* w = g.take_any();
+      if (w != nullptr) {
+        g.consume_ready();
+        fired = true;
+      }
+    } else {
+      if (g.consume_ready()) {
+        retried = true;
+        return;
+      }
+      g.publish(&waiter_slot);
+      // BUG under test: no post-publish consume_ready() recheck.
+      suspended = true;
+    }
+  }
+
+  void finish() {
+    check(!(suspended && !fired),
+          "io gate: lost wakeup — edge latched as sticky-ready while the "
+          "waiter suspended unobserved");
+  }
+};
+
+TEST(IoGateModel, DeletedRecheckLostWakeupCaught) {
+  chk::options opt;
+  opt.mode = chk::exploration_mode::exhaustive;
+  opt.max_executions = 30000;
+  const chk::result res = chk::explore<deleted_recheck_scenario>(opt);
+  EXPECT_GT(res.failures, 0u);
+  EXPECT_NE(res.first_failure.find("lost wakeup"), std::string::npos)
+      << res.first_failure;
+}
+
+}  // namespace
+}  // namespace lhws

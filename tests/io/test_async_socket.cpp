@@ -1,0 +1,255 @@
+// Real-socket heavy edges: accept/connect/read/write over loopback TCP
+// with the LHWS engine suspending on every EAGAIN. Includes the satellite
+// edge cases: zero-byte reads, EOF, and peer reset during a suspended
+// write.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/fork_join.hpp"
+#include "core/scheduler.hpp"
+#include "io/async_ops.hpp"
+#include "io/reactor.hpp"
+#include "io/socket.hpp"
+
+namespace lhws {
+namespace {
+
+using namespace std::chrono_literals;
+
+scheduler_options opts(unsigned workers, engine e = engine::latency_hiding) {
+  scheduler_options o;
+  o.workers = workers;
+  o.engine_kind = e;
+  o.seed = 11;
+  return o;
+}
+
+// Reads exactly n bytes with async ops (0 = clean EOF before any byte).
+task<long> read_exact(io::reactor& r, io::socket& s, void* buf,
+                      std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const long got = co_await io::async_read(r, s, p + done, n - done);
+    if (got <= 0) co_return got == 0 && done == 0 ? 0 : -ECONNRESET;
+    done += static_cast<std::size_t>(got);
+  }
+  co_return static_cast<long>(done);
+}
+
+// In-scheduler echo of `total` bytes: accept one connection, echo until
+// the byte budget is met, return bytes echoed.
+task<long> echo_once(io::reactor& r, io::socket& listener,
+                     std::size_t total) {
+  const long fd = co_await io::async_accept(r, listener);
+  if (fd < 0) co_return fd;
+  io::socket conn(r, static_cast<int>(fd));
+  std::vector<unsigned char> buf(4096);
+  std::size_t echoed = 0;
+  while (echoed < total) {
+    const long got =
+        co_await io::async_read(r, conn, buf.data(), buf.size());
+    if (got <= 0) co_return got;
+    const long put = co_await io::async_write(
+        r, conn, buf.data(), static_cast<std::size_t>(got));
+    if (put < 0) co_return put;
+    echoed += static_cast<std::size_t>(got);
+  }
+  co_return static_cast<long>(echoed);
+}
+
+// In-scheduler client: connect, send `payload`, read it back, verify.
+task<long> echo_client(io::reactor& r, std::uint16_t port,
+                       const std::vector<unsigned char>& payload) {
+  io::socket s = io::socket::create_tcp(r);
+  if (!s.valid()) co_return -1;
+  const long rc = co_await io::async_connect(r, s, port);
+  if (rc != 0) co_return rc;
+  const long put =
+      co_await io::async_write(r, s, payload.data(), payload.size());
+  if (put < 0) co_return put;
+  std::vector<unsigned char> back(payload.size());
+  const long got = co_await read_exact(r, s, back.data(), back.size());
+  if (got <= 0) co_return got - 1000;  // distinguish from success
+  co_return back == payload ? static_cast<long>(payload.size()) : -999;
+}
+
+TEST(AsyncSocket, EchoRoundTripWithinOneScheduler) {
+  io::reactor r;
+  scheduler sched(opts(2));
+  io::socket listener = io::socket::listen_loopback(r, 0);
+  ASSERT_TRUE(listener.valid());
+  const std::uint16_t port = listener.local_port();
+  std::vector<unsigned char> payload(64 * 1024);
+  std::iota(payload.begin(), payload.end(), 0);
+  auto root = [&]() -> task<long> {
+    auto [served, got] =
+        co_await fork2(echo_once(r, listener, payload.size()),
+                       echo_client(r, port, payload));
+    co_return served == static_cast<long>(payload.size()) ? got : -served;
+  };
+  EXPECT_EQ(sched.run(root()), static_cast<long>(payload.size()));
+  // 64 KiB through default socket buffers forces suspensions on both
+  // sides; the paper's economy must hold (bounded deques — checked
+  // internally by runtime asserts) while δ lands in the read histograms.
+  EXPECT_GT(sched.stats().suspensions, 0u);
+}
+
+TEST(AsyncSocket, ZeroByteReadNeverSuspends) {
+  io::reactor r;
+  scheduler sched(opts(1));
+  io::socket listener = io::socket::listen_loopback(r, 0);
+  ASSERT_TRUE(listener.valid());
+  const std::uint16_t port = listener.local_port();
+  auto root = [&]() -> task<long> {
+    io::socket s = io::socket::create_tcp(r);
+    const long rc = co_await io::async_connect(r, s, port);
+    if (rc != 0) co_return rc;
+    const std::uint64_t before = sched.stats().suspensions;
+    char byte = 0;
+    const long got = co_await io::async_read(r, s, &byte, 0);
+    // n == 0 resolves immediately even though no data is pending.
+    co_return got == 0 && sched.stats().suspensions == before ? 0 : -1;
+  };
+  EXPECT_EQ(sched.run(root()), 0);
+}
+
+TEST(AsyncSocket, ReadReturnsZeroOnEof) {
+  io::reactor r;
+  scheduler sched(opts(1));
+  io::socket listener = io::socket::listen_loopback(r, 0);
+  ASSERT_TRUE(listener.valid());
+  const std::uint16_t port = listener.local_port();
+  std::thread peer([port] {
+    const int fd = io::connect_loopback_blocking(port);
+    ASSERT_GE(fd, 0);
+    std::this_thread::sleep_for(10ms);  // let the reader suspend first
+    ::close(fd);
+  });
+  auto root = [&]() -> task<long> {
+    const long fd = co_await io::async_accept(r, listener);
+    if (fd < 0) co_return fd;
+    io::socket conn(r, static_cast<int>(fd));
+    char byte = 0;
+    co_return co_await io::async_read(r, conn, &byte, 1);
+  };
+  EXPECT_EQ(sched.run(root()), 0);
+  peer.join();
+}
+
+TEST(AsyncSocket, PeerResetDuringSuspendedWriteSurfacesError) {
+  io::reactor r;
+  scheduler sched(opts(1));
+  io::socket listener = io::socket::listen_loopback(r, 0);
+  ASSERT_TRUE(listener.valid());
+  const std::uint16_t port = listener.local_port();
+  std::atomic<int> peer_fd{-1};
+  std::thread peer([&] {
+    const int fd = io::connect_loopback_blocking(port);
+    ASSERT_GE(fd, 0);
+    peer_fd.store(fd);
+    // Never read; wait for the writer to fill both socket buffers and
+    // suspend, then reset the connection (SO_LINGER 0 => RST on close).
+    std::this_thread::sleep_for(50ms);
+    linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd);
+  });
+  auto root = [&]() -> task<long> {
+    const long fd = co_await io::async_accept(r, listener);
+    if (fd < 0) co_return fd;
+    io::socket conn(r, static_cast<int>(fd));
+    // Shrink the send buffer so the 8 MiB payload cannot possibly fit.
+    const int small = 4096;
+    ::setsockopt(conn.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+    std::vector<unsigned char> blob(8 * 1024 * 1024, 0xAB);
+    co_return co_await io::async_write(r, conn, blob.data(), blob.size());
+  };
+  const long rc = sched.run(root());
+  // The write was parked mid-buffer when the RST arrived: it must fail
+  // (ECONNRESET or EPIPE depending on which syscall sees it), not hang or
+  // report success.
+  EXPECT_TRUE(rc == -ECONNRESET || rc == -EPIPE) << "rc=" << rc;
+  EXPECT_GT(sched.stats().suspensions, 0u);
+  peer.join();
+}
+
+TEST(AsyncSocket, WsEngineServesTheSameEcho) {
+  io::reactor r;
+  scheduler sched(opts(2, engine::blocking));
+  io::socket listener = io::socket::listen_loopback(r, 0);
+  ASSERT_TRUE(listener.valid());
+  const std::uint16_t port = listener.local_port();
+  std::vector<unsigned char> payload(16 * 1024, 0x5C);
+  auto root = [&]() -> task<long> {
+    auto [served, got] =
+        co_await fork2(echo_once(r, listener, payload.size()),
+                       echo_client(r, port, payload));
+    co_return served == static_cast<long>(payload.size()) ? got : -served;
+  };
+  EXPECT_EQ(sched.run(root()), static_cast<long>(payload.size()));
+  EXPECT_EQ(sched.stats().suspensions, 0u) << "ws engine must block instead";
+  EXPECT_GT(sched.stats().blocked_waits, 0u);
+}
+
+TEST(AsyncSocket, ManyConcurrentConnections) {
+  // 8 clients against one accept loop on 2 workers: connection handlers
+  // are forked per accept, all suspending on their own sockets.
+  constexpr int kConns = 8;
+  io::reactor r;
+  scheduler sched(opts(2));
+  io::socket listener = io::socket::listen_loopback(r, 0);
+  ASSERT_TRUE(listener.valid());
+  const std::uint16_t port = listener.local_port();
+
+  std::function<task<long>(int)> accept_n = [&](int remaining) -> task<long> {
+    if (remaining == 0) co_return 0;
+    const long fd = co_await io::async_accept(r, listener);
+    if (fd < 0) co_return fd;
+    auto handle = [&r](int cfd) -> task<long> {
+      io::socket conn(r, cfd);
+      char byte = 0;
+      const long got = co_await io::async_read(r, conn, &byte, 1);
+      if (got != 1) co_return -1;
+      co_return co_await io::async_write(r, conn, &byte, 1);
+    };
+    auto [rest, one] = co_await fork2(accept_n(remaining - 1),
+                                      handle(static_cast<int>(fd)));
+    co_return rest == 0 && one == 1 ? 0 : -1;
+  };
+
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kConns);
+  for (int i = 0; i < kConns; ++i) {
+    clients.emplace_back([&ok, port] {
+      const int fd = io::connect_loopback_blocking(port);
+      if (fd < 0) return;
+      char byte = 0x42;
+      if (io::write_full_fd(fd, &byte, 1) == 1 &&
+          io::read_full_fd(fd, &byte, 1) == 1 && byte == 0x42) {
+        ok.fetch_add(1);
+      }
+      ::close(fd);
+    });
+  }
+  EXPECT_EQ(sched.run(accept_n(kConns)), 0);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kConns);
+}
+
+}  // namespace
+}  // namespace lhws

@@ -1,0 +1,153 @@
+// Reactor timer edges (sleep_until / sleep_for) and observability surface.
+// Socket ops are covered in test_async_socket.cpp; deadline races in
+// test_deadline.cpp.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "core/algorithms.hpp"
+#include "core/scheduler.hpp"
+#include "io/async_ops.hpp"
+#include "io/reactor.hpp"
+#include "io/socket.hpp"
+#include "obs/metrics.hpp"
+#include "support/timing.hpp"
+
+namespace lhws {
+namespace {
+
+using namespace std::chrono_literals;
+
+scheduler_options opts(unsigned workers, engine e = engine::latency_hiding) {
+  scheduler_options o;
+  o.workers = workers;
+  o.engine_kind = e;
+  o.seed = 7;
+  return o;
+}
+
+TEST(Reactor, StartStopIsClean) {
+  io::reactor r;
+  EXPECT_EQ(r.registered_fds(), 0u);
+  EXPECT_EQ(r.deadlines_pending(), 0u);
+}
+
+TEST(Reactor, RegisterDeregisterTracksGauges) {
+  io::reactor r;
+  {
+    io::socket l = io::socket::listen_loopback(r, 0);
+    ASSERT_TRUE(l.valid());
+    EXPECT_NE(l.local_port(), 0);
+    EXPECT_EQ(r.registered_fds(), 1u);
+  }
+  EXPECT_EQ(r.registered_fds(), 0u);
+  EXPECT_EQ(r.peak_registered_fds(), 1u);
+}
+
+TEST(Reactor, SleepUntilInThePastDoesNotSuspend) {
+  io::reactor r;
+  scheduler sched(opts(1));
+  auto root = [&]() -> task<int> {
+    co_await io::sleep_until(r, now_ns() - 1'000'000);
+    co_return 1;
+  };
+  EXPECT_EQ(sched.run(root()), 1);
+  EXPECT_EQ(sched.stats().suspensions, 0u);
+  EXPECT_EQ(r.delta_hist(io::op_kind::sleep).count(), 0u);
+}
+
+TEST(Reactor, SleepForSuspendsAndWaitsOutTheDelay) {
+  io::reactor r;
+  scheduler sched(opts(1));
+  const stopwatch timer;
+  auto root = [&]() -> task<int> {
+    co_await io::sleep_for(r, 20ms);
+    co_return 1;
+  };
+  EXPECT_EQ(sched.run(root()), 1);
+  EXPECT_GE(timer.elapsed_ms(), 18.0);
+  EXPECT_EQ(sched.stats().suspensions, 1u);
+  // The observed δ ends up in the reactor's sleep histogram.
+  EXPECT_EQ(r.delta_hist(io::op_kind::sleep).count(), 1u);
+  EXPECT_GE(r.delta_hist(io::op_kind::sleep).quantile(0.5), 15'000'000u);
+}
+
+TEST(Reactor, ConcurrentSleepsOverlapOnOneWorker) {
+  // 16 sleeps x 30ms on ONE worker: real timer edges must overlap exactly
+  // like simulated ones (test_runtime_latency.cpp's contrast).
+  constexpr std::size_t n = 16;
+  io::reactor r;
+  scheduler sched(opts(1));
+  const stopwatch timer;
+  auto root = [&]() -> task<int> {
+    co_return co_await map_reduce<int>(
+        0, n, 0,
+        [&r](std::size_t) -> task<int> {
+          co_await io::sleep_for(r, 30ms);
+          co_return 1;
+        },
+        [](int a, int b) { return a + b; });
+  };
+  EXPECT_EQ(sched.run(root()), static_cast<int>(n));
+  EXPECT_LT(timer.elapsed_ms(), static_cast<double>(n) * 30.0 / 3.0)
+      << "sleeps must overlap, not serialize";
+  EXPECT_EQ(r.delta_hist(io::op_kind::sleep).count(), n);
+}
+
+TEST(Reactor, TeardownWaitsOutInFlightCompletions) {
+  // Regression (TSan): the reactor thread delivers the resume that lets the
+  // root finish, and the scheduler is destroyed right behind it. The node
+  // push inside deliver_resume publishes the continuation, so the reactor
+  // can still be between that push and its suspension-counter decrement
+  // when ~scheduler_core frees the deque pool — unless fire() holds the
+  // external-completer guard across the whole delivery. Hammer exactly that
+  // window: the sleep completion is the run's last act, and the scheduler
+  // dies immediately after run() returns.
+  io::reactor r;
+  for (int i = 0; i < 100; ++i) {
+    scheduler sched(opts(1));
+    auto root = [&]() -> task<int> {
+      co_await io::sleep_for(r, 300us);
+      co_return 1;
+    };
+    ASSERT_EQ(sched.run(root()), 1);
+  }
+}
+
+TEST(Reactor, WsEngineSleepBlocksTheWorker) {
+  io::reactor r;
+  scheduler sched(opts(1, engine::blocking));
+  auto root = [&]() -> task<int> {
+    co_await io::sleep_for(r, 5ms);
+    co_return 1;
+  };
+  EXPECT_EQ(sched.run(root()), 1);
+  EXPECT_EQ(sched.stats().suspensions, 0u);
+  EXPECT_EQ(sched.stats().blocked_waits, 1u);
+}
+
+TEST(Reactor, ExportMetricsPublishesIoSurface) {
+  io::reactor r;
+  {
+    scheduler sched(opts(1));
+    auto root = [&]() -> task<int> {
+      co_await io::sleep_for(r, 2ms);
+      co_return 1;
+    };
+    ASSERT_EQ(sched.run(root()), 1);
+  }
+  obs::metrics_registry reg;
+  r.export_metrics(reg);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("lhws_io_registered_fds"), std::string::npos);
+  EXPECT_NE(text.find("lhws_io_epoll_wakeups_total"), std::string::npos);
+  EXPECT_NE(text.find("lhws_io_deadlines_pending"), std::string::npos);
+  EXPECT_NE(text.find("lhws_io_observed_delta_ns"), std::string::npos);
+  EXPECT_NE(text.find("op=\"sleep\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lhws

@@ -1,0 +1,114 @@
+// event_hub scheduling, cancellation, and shutdown semantics — including
+// the regression the header long documented but never tested: shutting
+// down with pending not-yet-due entries must drop them without firing
+// (and without crashing or hanging).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/event_hub.hpp"
+#include "support/timing.hpp"
+
+namespace lhws::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+void set_flag(void* arg) {
+  static_cast<std::atomic<bool>*>(arg)->store(true,
+                                              std::memory_order_release);
+}
+
+bool wait_for_flag(const std::atomic<bool>& flag,
+                   std::chrono::milliseconds budget) {
+  const auto give_up = std::chrono::steady_clock::now() + budget;
+  while (!flag.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() > give_up) return false;
+    std::this_thread::sleep_for(200us);
+  }
+  return true;
+}
+
+TEST(EventHub, TokensAreUniqueAndNonZero) {
+  event_hub hub(timer_mode::polled);
+  std::atomic<bool> a{false};
+  const auto far = now_ns() + 3'600'000'000'000LL;
+  const event_hub::token t1 = hub.schedule(far, &set_flag, &a);
+  const event_hub::token t2 = hub.schedule(far, &set_flag, &a);
+  EXPECT_NE(t1, 0u);
+  EXPECT_NE(t2, 0u);
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(hub.pending(), 2u);
+  EXPECT_TRUE(hub.cancel(t1));
+  EXPECT_TRUE(hub.cancel(t2));
+  EXPECT_EQ(hub.pending(), 0u);
+}
+
+TEST(EventHub, CancelPreventsFire) {
+  event_hub hub(timer_mode::dedicated_thread);
+  std::atomic<bool> cancelled_fired{false};
+  std::atomic<bool> kept_fired{false};
+  const event_hub::token doomed =
+      hub.schedule(now_ns() + 20'000'000, &set_flag, &cancelled_fired);
+  hub.schedule(now_ns() + 20'000'000, &set_flag, &kept_fired);
+  EXPECT_TRUE(hub.cancel(doomed));
+  EXPECT_FALSE(hub.cancel(doomed)) << "second cancel must be a no-op";
+  ASSERT_TRUE(wait_for_flag(kept_fired, 2000ms));
+  // The sibling with the same deadline fired; the cancelled one must not
+  // have (they were collected by the same heap sweep).
+  EXPECT_FALSE(cancelled_fired.load());
+  EXPECT_EQ(hub.pending(), 0u);
+}
+
+TEST(EventHub, CancelAfterFireReturnsFalse) {
+  event_hub hub(timer_mode::dedicated_thread);
+  std::atomic<bool> fired{false};
+  const event_hub::token t = hub.schedule(now_ns() + 1'000'000, &set_flag,
+                                          &fired);
+  ASSERT_TRUE(wait_for_flag(fired, 2000ms));
+  EXPECT_FALSE(hub.cancel(t));
+}
+
+TEST(EventHub, PolledModeCancelSkipsDueEntry) {
+  event_hub hub(timer_mode::polled);
+  std::atomic<bool> fired{false};
+  const event_hub::token t = hub.schedule(now_ns() - 1, &set_flag, &fired);
+  EXPECT_TRUE(hub.cancel(t));
+  EXPECT_EQ(hub.poll(), 0u) << "cancelled entry must not fire";
+  EXPECT_FALSE(fired.load());
+}
+
+// The regression test: entries scheduled far in the future when shutdown()
+// runs are dropped — their callbacks never run, shutdown doesn't block on
+// them, and the destructor after an explicit shutdown stays idempotent.
+TEST(EventHub, ShutdownWithPendingNotYetDueEntries) {
+  std::atomic<bool> fired{false};
+  {
+    event_hub hub(timer_mode::dedicated_thread);
+    const auto far = now_ns() + 3'600'000'000'000LL;  // one hour out
+    hub.schedule(far, &set_flag, &fired);
+    hub.schedule(far + 1, &set_flag, &fired);
+    EXPECT_EQ(hub.pending(), 2u);
+    const stopwatch timer;
+    hub.shutdown();
+    // Dropping must not wait out the deadlines.
+    EXPECT_LT(timer.elapsed_ms(), 1000.0);
+    EXPECT_EQ(hub.pending(), 0u);
+    // Destructor runs a second shutdown — must be a no-op.
+  }
+  EXPECT_FALSE(fired.load()) << "not-yet-due entries must be dropped";
+}
+
+TEST(EventHub, ShutdownStillFiresAlreadyDueEntries) {
+  event_hub hub(timer_mode::dedicated_thread);
+  std::atomic<bool> fired{false};
+  hub.schedule(now_ns() + 500'000, &set_flag, &fired);
+  ASSERT_TRUE(wait_for_flag(fired, 2000ms));
+  hub.shutdown();
+  EXPECT_TRUE(fired.load());
+}
+
+}  // namespace
+}  // namespace lhws::rt

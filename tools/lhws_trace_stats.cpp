@@ -296,9 +296,16 @@ struct worker_summary {
   std::uint64_t suspensions_meta = 0;
 };
 
+// Mirrors io::op_kind (arg n in io_wake events is op + 1 so a zero arg is
+// never dropped by the serializer).
+constexpr std::size_t kNumIoOps = 5;
+constexpr const char* kIoOpNames[kNumIoOps] = {"accept", "connect", "read",
+                                               "write", "sleep"};
+
 struct trace_model {
   std::map<std::uint32_t, worker_summary> workers;
   std::vector<std::uint64_t> wake_ns;
+  std::vector<std::uint64_t> io_wake_ns[kNumIoOps];  // observed delta per op
   double first_ts_us = 0;
   double last_ts_us = 0;
   bool has_span = false;
@@ -430,6 +437,16 @@ bool build_model(const jvalue& root, trace_model& m, std::string& why) {
     } else if (name->str == "wake") {
       const jvalue* args = ev.find("args");
       m.wake_ns.push_back(args != nullptr ? unum_or(args->find("n"), 0) : 0);
+    } else if (name->str == "io_wake") {
+      // Duration = observed delta of a suspended io op (arm -> completion);
+      // args.n identifies the op (op_kind + 1).
+      const jvalue* args = ev.find("args");
+      const std::uint64_t n =
+          args != nullptr ? unum_or(args->find("n"), 0) : 0;
+      if (n >= 1 && n <= kNumIoOps) {
+        m.io_wake_ns[n - 1].push_back(
+            static_cast<std::uint64_t>(dur * 1000.0));  // us -> ns
+      }
     }
   }
   return true;
@@ -520,6 +537,7 @@ int main(int argc, char** argv) {
   const std::uint64_t wake_p50 = percentile(m.wake_ns, 0.50);
   const std::uint64_t wake_p95 = percentile(m.wake_ns, 0.95);
   const std::uint64_t wake_p99 = percentile(m.wake_ns, 0.99);
+  for (auto& v : m.io_wake_ns) std::sort(v.begin(), v.end());
   const double span_us = m.has_span ? m.last_ts_us - m.first_ts_us : 0;
 
   std::uint64_t total_steals = 0;
@@ -557,6 +575,25 @@ int main(int argc, char** argv) {
   const std::uint64_t u =
       have_u ? u_override : m.max_concurrent_suspended;
 
+  // Per-io-op observed-delta percentiles, shared by both output formats.
+  std::string io_ops_json = "[";
+  bool first_io = true;
+  for (std::size_t op = 0; op < kNumIoOps; ++op) {
+    auto& v = m.io_wake_ns[op];
+    if (v.empty()) continue;
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"op\":\"%s\",\"n\":%zu,\"p50_ns\":%llu,"
+                  "\"p95_ns\":%llu,\"p99_ns\":%llu}",
+                  first_io ? "" : ",", kIoOpNames[op], v.size(),
+                  static_cast<unsigned long long>(percentile(v, 0.50)),
+                  static_cast<unsigned long long>(percentile(v, 0.95)),
+                  static_cast<unsigned long long>(percentile(v, 0.99)));
+    io_ops_json += buf;
+    first_io = false;
+  }
+  io_ops_json += "]";
+
   if (json_out) {
     std::printf("{\"lhws_trace_stats\":1,\"engine\":\"%s\",\"workers\":%llu,"
                 "\"span_us\":%.1f,\"wake_p50_ns\":%llu,\"wake_p95_ns\":%llu,"
@@ -566,7 +603,7 @@ int main(int argc, char** argv) {
                 "\"parks\":%llu,\"park_timeouts\":%llu,\"unparks\":%llu,"
                 "\"parked_us\":%.1f,\"registry_republishes\":%llu,"
                 "\"suspensions\":%llu,\"observed_u\":%llu,"
-                "\"dropped_events\":%llu}\n",
+                "\"dropped_events\":%llu,\"io_ops\":%s}\n",
                 m.engine.c_str(),
                 static_cast<unsigned long long>(m.meta_workers), span_us,
                 static_cast<unsigned long long>(wake_p50),
@@ -584,7 +621,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total_republishes),
                 static_cast<unsigned long long>(total_suspensions),
                 static_cast<unsigned long long>(m.max_concurrent_suspended),
-                static_cast<unsigned long long>(m.dropped_events));
+                static_cast<unsigned long long>(m.dropped_events),
+                io_ops_json.c_str());
   } else {
     std::printf("trace: %s  engine=%s  workers=%llu  span=%.1fms  "
                 "dropped_events=%llu\n",
@@ -611,6 +649,16 @@ int main(int argc, char** argv) {
                 m.wake_ns.size(), static_cast<double>(wake_p50) / 1000.0,
                 static_cast<double>(wake_p95) / 1000.0,
                 static_cast<double>(wake_p99) / 1000.0);
+    for (std::size_t op = 0; op < kNumIoOps; ++op) {
+      auto& v = m.io_wake_ns[op];
+      if (v.empty()) continue;
+      std::printf("io %-7s observed delta (n=%zu): p50=%.1fus p95=%.1fus "
+                  "p99=%.1fus\n",
+                  kIoOpNames[op], v.size(),
+                  static_cast<double>(percentile(v, 0.50)) / 1000.0,
+                  static_cast<double>(percentile(v, 0.95)) / 1000.0,
+                  static_cast<double>(percentile(v, 0.99)) / 1000.0);
+    }
     std::printf("steals: %llu successful / %llu attempts "
                 "(failed: %llu empty, %llu contended); suspensions S=%llu; "
                 "observed U<=%llu\n",
