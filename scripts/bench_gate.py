@@ -15,6 +15,10 @@ committed baselines:
       throughput per (engine, clients, rpc_depth) must not drop, LHWS p95
       RTT must not grow, and the latency-hiding floor must hold: LHWS
       >= 1.3x WS throughput when connections outnumber workers.
+  BENCH_alloc_churn.json       (bench_alloc_churn) — slab-mode allocator
+      throughput per (shape, threads) must not drop, and the recycling
+      floor must hold: slab >= 1.3x the operator-new baseline in the
+      fork-heavy shape at >= 8 threads.
 
 Usage:
   scripts/bench_gate.py [--build-dir DIR] [--baseline-dir DIR]
@@ -46,6 +50,7 @@ import sys
 FIG11 = "BENCH_fig11_runtime.json"
 STEAL = "BENCH_steal_contention.json"
 RPC = "BENCH_rpc_loopback.json"
+ALLOC = "BENCH_alloc_churn.json"
 
 WALL_SLACK_MS = 8.0
 P95_SLACK_NS = 100.0
@@ -58,6 +63,12 @@ FLOOR_MIN_THREADS = 8
 RPC_RPS_SLACK = 100.0
 RPC_P95_SLACK_US = 500.0
 RPC_FLOOR_SPEEDUP = 1.3
+ALLOC_FLOOR_SPEEDUP = 1.3
+ALLOC_FLOOR_SHAPE = "fork_heavy"
+ALLOC_FLOOR_MIN_THREADS = 8
+# Shapes with a throughput baseline; fib_runtime rows are informational
+# end-to-end wall clock and jitter too much on a 1-core host to gate.
+ALLOC_GATED_SHAPES = ("fork_heavy", "suspend_heavy")
 
 
 def load(path):
@@ -229,6 +240,62 @@ def check_rpc(base, cur, threshold, failures):
         )
 
 
+def alloc_by_key(doc):
+    return {(r["shape"], r["mode"], r["threads"]): r for r in doc["runs"]}
+
+
+def check_alloc(base, cur, threshold, failures):
+    """Slab-mode throughput lower-bad, plus the 1.3x recycling floor."""
+    base_runs = alloc_by_key(base)
+    cur_runs = alloc_by_key(cur)
+
+    for key, b in sorted(base_runs.items()):
+        if key[1] != "slab" or key[0] not in ALLOC_GATED_SHAPES:
+            continue  # the operator-new rows are the contrast, not the product
+        c = cur_runs.get(key)
+        if c is None:
+            failures.append(f"alloc {key}: config missing from fresh run")
+            continue
+        floor_ops = b["ops_per_sec"] * (1.0 - threshold)
+        status = "ok"
+        if c["ops_per_sec"] < floor_ops:
+            failures.append(
+                f"alloc {key}: {c['ops_per_sec']:.0f} blocks/s vs baseline "
+                f"{b['ops_per_sec']:.0f} (floor {floor_ops:.0f})"
+            )
+            status = "REGRESSION"
+        print(
+            f"  alloc {key[0]:>13s}/{key[1]} P={key[2]}: "
+            f"{c['ops_per_sec']:12.0f}/s (base floor {floor_ops:12.0f})  "
+            f"{status}"
+        )
+
+    # Absolute acceptance floor, from the fresh run alone.
+    for (shape, mode, threads), c in sorted(cur_runs.items()):
+        if shape != ALLOC_FLOOR_SHAPE or mode != "slab":
+            continue
+        if threads < ALLOC_FLOOR_MIN_THREADS:
+            continue
+        new = cur_runs.get((shape, "new", threads))
+        if new is None or new["ops_per_sec"] <= 0:
+            failures.append(
+                f"alloc floor P={threads}: no operator-new run to compare "
+                "against"
+            )
+            continue
+        speedup = c["ops_per_sec"] / new["ops_per_sec"]
+        status = "ok" if speedup >= ALLOC_FLOOR_SPEEDUP else "FLOOR VIOLATION"
+        if speedup < ALLOC_FLOOR_SPEEDUP:
+            failures.append(
+                f"alloc floor {shape} P={threads}: {speedup:.2f}x < "
+                f"{ALLOC_FLOOR_SPEEDUP:.1f}x over the operator-new baseline"
+            )
+        print(
+            f"  alloc floor {shape} P={threads}: {speedup:.2f}x over "
+            f"new (need >= {ALLOC_FLOOR_SPEEDUP:.1f}x)  {status}"
+        )
+
+
 def main():
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     ap = argparse.ArgumentParser(
@@ -243,13 +310,13 @@ def main():
     args = ap.parse_args()
 
     fresh = {}
-    for name in (FIG11, STEAL, RPC):
+    for name in (FIG11, STEAL, RPC, ALLOC):
         doc = load(os.path.join(args.build_dir, name))
         if doc is None:
             print(
                 f"bench_gate: {name} not found in {args.build_dir} — run "
-                "bench_fig11_runtime, bench_steal_contention, and "
-                "bench_rpc_loopback first",
+                "bench_fig11_runtime, bench_steal_contention, "
+                "bench_rpc_loopback, and bench_alloc_churn first",
                 file=sys.stderr,
             )
             return 2
@@ -257,7 +324,7 @@ def main():
 
     if args.update:
         os.makedirs(args.baseline_dir, exist_ok=True)
-        for name in (FIG11, STEAL, RPC):
+        for name in (FIG11, STEAL, RPC, ALLOC):
             dst = os.path.join(args.baseline_dir, name)
             shutil.copyfile(os.path.join(args.build_dir, name), dst)
             print(f"bench_gate: baseline updated: {dst}")
@@ -268,6 +335,7 @@ def main():
         (FIG11, check_fig11),
         (STEAL, check_steal),
         (RPC, check_rpc),
+        (ALLOC, check_alloc),
     ):
         base = load(os.path.join(args.baseline_dir, name))
         if base is None:

@@ -35,11 +35,13 @@ run_bench_gate() {
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DLHWS_WERROR=ON \
     >/dev/null
   cmake --build "${dir}" -j "$(nproc)" \
-    --target bench_fig11_runtime bench_steal_contention bench_rpc_loopback
+    --target bench_fig11_runtime bench_steal_contention bench_rpc_loopback \
+    bench_alloc_churn
   (cd "${dir}" &&
     ./bench/bench_fig11_runtime &&
     ./bench/bench_steal_contention &&
     ./bench/bench_rpc_loopback &&
+    ./bench/bench_alloc_churn &&
     python3 ../scripts/bench_gate.py --build-dir .)
 }
 

@@ -134,6 +134,26 @@ class scheduler {
                   static_cast<double>(stats_.max_concurrent_suspended));
     reg.add_gauge("lhws_elapsed_ms", "Wall-clock time of the last run",
                   stats_.elapsed_ms);
+    reg.add_counter("lhws_alloc_magazine_hits_total",
+                    "Slab allocations served from a local magazine free list",
+                    stats_.alloc.magazine_hits);
+    reg.add_counter("lhws_alloc_magazine_misses_total",
+                    "Slab allocations that took the refill path",
+                    stats_.alloc.magazine_misses);
+    reg.add_counter("lhws_alloc_remote_pushes_total",
+                    "Cross-thread frees routed to a remote-free list",
+                    stats_.alloc.remote_pushes);
+    reg.add_counter("lhws_alloc_remote_drained_total",
+                    "Remote frees reclaimed by owning magazines",
+                    stats_.alloc.remote_drained);
+    reg.add_counter("lhws_alloc_fallback_total",
+                    "Allocations served by the headered operator-new fallback",
+                    stats_.alloc.fallback_allocs);
+    reg.add_gauge("lhws_alloc_magazine_hit_rate",
+                  "Fraction of slab-eligible allocations served locally",
+                  stats_.alloc.hit_rate());
+    reg.add_gauge("lhws_alloc_slab_bytes", "Live slab footprint in bytes",
+                  static_cast<double>(stats_.alloc.slab_bytes));
     for (std::size_t w = 0; w < stats_.per_worker.size(); ++w) {
       const rt::worker_stats& ws = stats_.per_worker[w];
       const std::string label = "worker=\"" + std::to_string(w) + "\"";

@@ -20,6 +20,7 @@
 #include <optional>
 #include <utility>
 
+#include "mem/slab.hpp"
 #include "support/config.hpp"
 
 namespace lhws {
@@ -43,6 +44,16 @@ struct promise_base {
   join_state* join = nullptr;              // fork2 membership
   rt::scheduler_core* root_sched = nullptr;  // set on the root task only
   std::exception_ptr exception{};
+
+  // Coroutine frames come from the slab: a fork2-heavy run allocates and
+  // frees two frames per fork, and under work stealing a frame born on one
+  // worker routinely dies on another — exactly the local-reuse +
+  // remote-free pattern src/mem/ is built for. Inherited by every
+  // task<T>::promise_type, so this covers all task frames. Frames larger
+  // than the biggest bucket (or allocated after thread teardown) silently
+  // take the allocator's headered ::operator new fallback.
+  static void* operator new(std::size_t n) { return mem::allocate(n); }
+  static void operator delete(void* p) noexcept { mem::deallocate(p); }
 };
 
 void signal_root_done(rt::scheduler_core& sched) noexcept;

@@ -12,7 +12,12 @@
 // a per-deque list until destruction; a concurrent thief may still be
 // reading a stale buffer pointer, so freeing eagerly would be unsound. The
 // paper's deques hold at most O(depth) entries, so this wastes at most 2x
-// the peak size — the standard engineering trade.
+// the peak size — the standard engineering trade. Ring objects and their
+// slot arrays come from the per-worker slab (src/mem/slab.hpp), so both the
+// initial ring of every pool-recycled deque and each doubling recycle
+// through the owning worker's magazine instead of hitting the global heap;
+// rings freed off-thread (pool teardown, a deque retired while owned by a
+// different worker) ride the slab's remote-free list.
 #pragma once
 
 #include <atomic>
@@ -22,6 +27,7 @@
 #include <type_traits>
 
 #include "deque/deque_concept.hpp"
+#include "mem/slab.hpp"
 #include "support/atomic_model.hpp"
 #include "support/config.hpp"
 
@@ -37,10 +43,28 @@ class chase_lev_deque {
   using model_atomic = typename Model::template atomic_type<U>;
 
   struct ring {
+    // Slots are carved from the slab rather than new[]: check_model atomics
+    // are non-trivial, so construction/destruction is explicit per slot.
+    static_assert(alignof(model_atomic<T>) <= 2 * sizeof(void*));
+
     explicit ring(std::int64_t cap)
         : capacity(cap),
           mask(cap - 1),
-          slots(new model_atomic<T>[static_cast<std::size_t>(cap)]) {}
+          slots(static_cast<model_atomic<T>*>(mem::allocate(
+              static_cast<std::size_t>(cap) * sizeof(model_atomic<T>)))) {
+      for (std::int64_t i = 0; i < cap; ++i) std::construct_at(slots + i);
+    }
+
+    ~ring() {
+      for (std::int64_t i = 0; i < capacity; ++i) std::destroy_at(slots + i);
+      mem::deallocate(slots);
+    }
+
+    ring(const ring&) = delete;
+    ring& operator=(const ring&) = delete;
+
+    static void* operator new(std::size_t n) { return mem::allocate(n); }
+    static void operator delete(void* p) noexcept { mem::deallocate(p); }
 
     [[nodiscard]] T get(std::int64_t i) const noexcept {
       return slots[static_cast<std::size_t>(i & mask)].load(
@@ -53,7 +77,7 @@ class chase_lev_deque {
 
     const std::int64_t capacity;
     const std::int64_t mask;
-    std::unique_ptr<model_atomic<T>[]> slots;
+    model_atomic<T>* const slots;
     ring* retired_next = nullptr;
   };
 

@@ -1,0 +1,217 @@
+// Slab allocator cold paths: magazine lifecycle (create / orphan / adopt),
+// the refill path that drains remote frees, and slab carving. See
+// src/mem/slab.hpp for the design overview and DESIGN.md §11 for the
+// ownership argument.
+#include "mem/slab.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lhws::mem {
+namespace {
+
+// Slab chunk geometry. 64 KiB amortizes the ::operator new call across ~15
+// blocks even for the largest bucket; the first 16 bytes of every chunk
+// hold the intrusive chain link that lets the owning magazine free it.
+constexpr std::size_t kSlabBytes = 64 * 1024;
+constexpr std::size_t kSlabLinkBytes = 16;
+static_assert(kSlabBytes >
+              kSlabLinkBytes + kBlockHeaderSize + kMaxBucketPayload);
+
+// Process-wide counters for the paths that have no owning magazine.
+std::atomic<std::uint64_t> g_fallback_allocs{0};
+std::atomic<std::uint64_t> g_slabs_allocated{0};
+std::atomic<std::uint64_t> g_slab_bytes{0};
+
+bool initial_enabled() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once before threads spawn
+  const char* env = std::getenv("LHWS_SLAB");
+  if (env == nullptr) return true;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{initial_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+// Owns every magazine ever created (live and orphaned) so that block
+// headers can keep pointing at them for the life of the process. A Meyers
+// singleton is destroyed after main-thread TLS cleanup ([basic.start.term]),
+// so the main thread's tl_guard retirement always finds it alive.
+class slab_registry {
+ public:
+  static slab_registry& instance() {
+    static slab_registry r;
+    return r;
+  }
+
+  magazine* acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (orphans_ != nullptr) {
+      magazine* m = orphans_;
+      orphans_ = m->next_orphan_;
+      m->next_orphan_ = nullptr;
+      ++magazines_adopted_;
+      return m;
+    }
+    all_.push_back(std::make_unique<magazine>());
+    ++magazines_created_;
+    return all_.back().get();
+  }
+
+  void retire(magazine* m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    m->next_orphan_ = orphans_;
+    orphans_ = m;
+  }
+
+  void accumulate(slab_totals& t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& m : all_) {
+      t.magazine_hits += m->hits();
+      t.magazine_misses += m->misses();
+      t.remote_pushes += m->remote_pushes();
+      t.remote_drained += m->remote_drained();
+    }
+    t.magazines_created += magazines_created_;
+    t.magazines_adopted += magazines_adopted_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<magazine>> all_;
+  magazine* orphans_ = nullptr;
+  std::uint64_t magazines_created_ = 0;
+  std::uint64_t magazines_adopted_ = 0;
+};
+
+namespace {
+
+// Thread-exit hook: a non-trivially-destructible TLS object whose
+// destructor parks this thread's magazine on the orphan list. Any later
+// TLS destructor that frees slab memory goes through the remote path (the
+// magazine is still alive, just unowned); any later allocation falls back
+// to headered ::operator new because tl_dead blocks re-binding.
+struct tl_guard {
+  ~tl_guard() {
+    if (detail::tl_mag != nullptr) {
+      slab_registry::instance().retire(detail::tl_mag);
+      detail::tl_mag = nullptr;
+    }
+    detail::tl_dead = true;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+thread_local constinit magazine* tl_mag = nullptr;
+thread_local constinit bool tl_dead = false;
+
+magazine* bind_magazine() {
+  if (tl_dead) return nullptr;
+  static thread_local tl_guard guard;
+  (void)guard;
+  tl_mag = slab_registry::instance().acquire();
+  return tl_mag;
+}
+
+}  // namespace detail
+
+magazine::magazine() = default;
+
+magazine::~magazine() {
+  // Only the registry destroys magazines, at process teardown; every block
+  // is dead by then, so dropping the free lists and slab chain is safe.
+  void* chunk = slabs_;
+  while (chunk != nullptr) {
+    void* next = nullptr;
+    std::memcpy(&next, chunk, sizeof(next));
+    ::operator delete(chunk);
+    chunk = next;
+  }
+}
+
+void* magazine::refill_alloc(unsigned b) {
+  bump(misses_);
+
+  // Reclaim everything other threads freed back to us since the last miss.
+  // The chain nodes carry their bucket in the block header, so one drain
+  // refills every bucket, not just the one that missed.
+  free_node* chain = remote_.pop_all();
+  std::uint64_t drained = 0;
+  while (chain != nullptr) {
+    free_node* next = chain->next;
+    const unsigned nb = detail::header_of(chain)->bucket;
+    chain->next = local_[nb];
+    local_[nb] = chain;
+    chain = next;
+    ++drained;
+  }
+  if (drained != 0) {
+    remote_drained_.store(
+        remote_drained_.load(std::memory_order_relaxed) + drained,
+        std::memory_order_relaxed);
+  }
+
+  if (free_node* n = local_[b]) {
+    local_[b] = n->next;
+    return n;
+  }
+
+  const std::size_t stride = kBlockHeaderSize + bucket_payload(b);
+  if (static_cast<std::size_t>(bump_end_[b] - bump_ptr_[b]) < stride) {
+    new_slab(b);
+  }
+  char* raw = bump_ptr_[b];
+  bump_ptr_[b] += stride;
+  auto* h = reinterpret_cast<block_header*>(raw);
+  h->owner = this;
+  h->bucket = b;
+  h->magic = kBlockMagic;
+  return raw + kBlockHeaderSize;
+}
+
+void magazine::new_slab(unsigned b) {
+  void* chunk = ::operator new(kSlabBytes);
+  std::memcpy(chunk, &slabs_, sizeof(slabs_));
+  slabs_ = chunk;
+  bump_ptr_[b] = static_cast<char*>(chunk) + kSlabLinkBytes;
+  bump_end_[b] = static_cast<char*>(chunk) + kSlabBytes;
+  g_slabs_allocated.fetch_add(1, std::memory_order_relaxed);
+  g_slab_bytes.fetch_add(kSlabBytes, std::memory_order_relaxed);
+}
+
+void* fallback_alloc(std::size_t size) {
+  g_fallback_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* raw = ::operator new(kBlockHeaderSize + size);
+  auto* h = static_cast<block_header*>(raw);
+  h->owner = nullptr;
+  h->bucket = 0;
+  h->magic = kBlockMagic;
+  return static_cast<char*>(raw) + kBlockHeaderSize;
+}
+
+slab_totals totals() {
+  slab_totals t;
+  slab_registry::instance().accumulate(t);
+  t.fallback_allocs = g_fallback_allocs.load(std::memory_order_relaxed);
+  t.slabs_allocated = g_slabs_allocated.load(std::memory_order_relaxed);
+  t.slab_bytes = g_slab_bytes.load(std::memory_order_relaxed);
+  return t;
+}
+
+bool enabled() noexcept { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace lhws::mem

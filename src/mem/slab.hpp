@@ -1,0 +1,241 @@
+// Per-worker slab allocator with thread-local magazine caches — the
+// allocation-aware runtime layer (DESIGN.md §11).
+//
+// The four hot allocation sites of the runtime (coroutine frames from
+// fork2, pfor batch nodes and their continuation buffers, and Chase-Lev
+// ring buffers) all funnel through this allocator:
+//
+//   - Sizes are rounded to power-of-two buckets (64..4096 payload bytes);
+//     anything larger takes a headered ::operator new fallback so free()
+//     can always dispatch from the block header alone.
+//   - Each thread owns a `magazine`: per-bucket intrusive free lists plus
+//     bump regions carved from slabs. The alloc/free fast path is a plain
+//     pointer pop/push — no atomic read-modify-write, no lock.
+//   - A free from the wrong thread (a frame finished on the worker that
+//     stole it, ring buffers released by the pool teardown, a block handed
+//     to the reactor) is pushed onto the OWNING magazine's lock-free MPSC
+//     remote-free list and reclaimed in a batch on the owner's next refill.
+//     The push/drain protocol is the same release-CAS / acquire-exchange
+//     handshake as the runtime's resume channel (support/mpsc_stack.hpp);
+//     tests/chk/test_slab_chk.cpp model-checks it, including the
+//     drain-then-reuse edge.
+//   - Magazines outlive their threads: a worker's exit parks its magazine
+//     on a global orphan list (remote frees keep landing safely), and the
+//     next new thread adopts it, free lists and slabs intact. Magazine
+//     count is therefore bounded by the peak concurrent thread count, and
+//     slab memory by each magazine's own high-water mark — recycling,
+//     never growth, in steady state (the Lemma 7 economy argument, §11).
+//
+// `LHWS_SLAB=0` in the environment disables the slab at process start;
+// set_enabled() toggles it at runtime (bench_alloc_churn uses this for an
+// in-process default-new baseline). Disabling only changes where NEW
+// blocks come from — frees always dispatch on the header, so mixed-mode
+// operation is safe.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#include "support/config.hpp"
+#include "support/mpsc_stack.hpp"
+
+namespace lhws::mem {
+
+class magazine;
+class slab_registry;  // slab.cpp: owns all magazines + the orphan list
+
+// Every block (slab-carved or fallback) is preceded by one header so that
+// deallocate() can dispatch with no external lookup. 16 bytes keeps the
+// payload at the default operator-new alignment.
+struct block_header {
+  magazine* owner;       // nullptr: headered ::operator new fallback
+  std::uint32_t bucket;  // bucket index (slab blocks only)
+  std::uint32_t magic;   // carve-time canary, checked on every free
+};
+static_assert(sizeof(block_header) == 16);
+
+inline constexpr std::uint32_t kBlockMagic = 0x51ab51abu;
+inline constexpr std::size_t kBlockHeaderSize = sizeof(block_header);
+
+// Payload buckets: 64 << b for b in [0, kNumBuckets). 64 bytes floors the
+// batch-node/resume-node class; 4096 covers every coroutine frame and the
+// common ring sizes, beyond which the fallback path is cold anyway.
+inline constexpr unsigned kNumBuckets = 7;
+[[nodiscard]] constexpr std::size_t bucket_payload(unsigned b) noexcept {
+  return std::size_t{64} << b;
+}
+inline constexpr std::size_t kMaxBucketPayload =
+    bucket_payload(kNumBuckets - 1);
+
+// Smallest bucket whose payload fits `size`, or kNumBuckets if oversize.
+[[nodiscard]] constexpr unsigned bucket_for(std::size_t size) noexcept {
+  unsigned b = 0;
+  while (b < kNumBuckets && bucket_payload(b) < size) ++b;
+  return b;
+}
+
+// A freed block's payload doubles as its free-list link.
+struct free_node {
+  free_node* next = nullptr;
+};
+
+namespace detail {
+// The calling thread's magazine; constinit so the access compiles to a
+// plain TLS load (no init-wrapper call on the hot path). Null until the
+// first slab allocation on this thread, and again after thread teardown
+// (tl_dead distinguishes the two).
+extern thread_local constinit magazine* tl_mag;
+extern thread_local constinit bool tl_dead;
+
+// Cold path: create or adopt a magazine and bind it to this thread.
+// Returns nullptr during thread teardown (callers fall back to the
+// headered-new path).
+magazine* bind_magazine();
+
+[[nodiscard]] inline block_header* header_of(void* payload) noexcept {
+  return static_cast<block_header*>(payload) - 1;
+}
+}  // namespace detail
+
+// Aggregate allocator counters (summed over every magazine, live and
+// orphaned, plus the global fallback/slab counters).
+struct slab_totals {
+  std::uint64_t magazine_hits = 0;      // allocs served by a local free list
+  std::uint64_t magazine_misses = 0;    // allocs that took the refill path
+  std::uint64_t remote_pushes = 0;      // frees routed to a remote list
+  std::uint64_t remote_drained = 0;     // remote frees reclaimed by owners
+  std::uint64_t slabs_allocated = 0;    // slab chunks ever carved
+  std::uint64_t slab_bytes = 0;         // live bytes held in slabs
+  std::uint64_t fallback_allocs = 0;    // oversize / disabled / teardown
+  std::uint64_t magazines_created = 0;  // distinct magazines ever built
+  std::uint64_t magazines_adopted = 0;  // orphan handoffs to new threads
+};
+
+[[nodiscard]] slab_totals totals();
+
+// Runtime kill switch (also settable via LHWS_SLAB=0 before first use).
+// Affects only where new blocks come from; frees always follow the header.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+// One thread's cache: per-bucket free lists and bump regions, plus the
+// MPSC list other threads free into. Instances are owned by the global
+// registry and never destroyed while any block referencing them can still
+// be freed (they are recycled through the orphan list instead).
+class magazine {
+ public:
+  magazine();
+  ~magazine();
+
+  magazine(const magazine&) = delete;
+  magazine& operator=(const magazine&) = delete;
+
+  // Owner-thread alloc fast path. Returns nullptr for oversize requests
+  // (caller takes the fallback path).
+  [[nodiscard]] void* try_alloc(std::size_t size) {
+    const unsigned b = bucket_for(size);
+    if (b >= kNumBuckets) return nullptr;
+    free_node* n = local_[b];
+    if (n != nullptr) [[likely]] {
+      local_[b] = n->next;
+      bump(hits_);
+      return n;
+    }
+    return refill_alloc(b);
+  }
+
+  // Free dispatch: owner thread pushes the plain local list; any other
+  // thread pushes the lock-free remote list, reclaimed on the owner's next
+  // refill. `h` is the block's header (already validated by the caller).
+  void release(void* payload, block_header* h) noexcept {
+    auto* n = static_cast<free_node*>(payload);
+    if (this == detail::tl_mag) {
+      n->next = local_[h->bucket];
+      local_[h->bucket] = n;
+    } else {
+      remote_pushes_.fetch_add(1, std::memory_order_relaxed);
+      remote_.push(n);
+    }
+  }
+
+  // Owner-written, cross-thread-readable counters (plain single-writer
+  // stores; totals() sums them with relaxed loads).
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t remote_pushes() const noexcept {
+    return remote_pushes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t remote_drained() const noexcept {
+    return remote_drained_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class slab_registry;
+
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    // Single-writer counter: a relaxed load+store pair is a plain add on
+    // every target we build for, unlike an atomic RMW.
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  // Miss path (slab.cpp): drain the remote list into the local lists, then
+  // serve from them or carve a fresh block from a slab.
+  [[nodiscard]] void* refill_alloc(unsigned b);
+  void new_slab(unsigned b);
+
+  free_node* local_[kNumBuckets] = {};
+  char* bump_ptr_[kNumBuckets] = {};
+  char* bump_end_[kNumBuckets] = {};
+
+  // Slabs owned by this magazine (head of an intrusive chain; the chunk's
+  // first bytes hold the link). Freed only by the global registry teardown.
+  void* slabs_ = nullptr;
+
+  // Keep the cross-thread-written remote list and counters off the owner's
+  // hot line.
+  alignas(cache_line_size) mpsc_stack<free_node> remote_;
+  std::atomic<std::uint64_t> remote_pushes_{0};
+  alignas(cache_line_size) std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> remote_drained_{0};
+
+  // Orphan-list link, guarded by the registry mutex (slab.cpp).
+  magazine* next_orphan_ = nullptr;
+};
+
+// Headered fallback for oversize requests, disabled mode, and thread
+// teardown. The header's null owner routes the matching free to
+// ::operator delete.
+[[nodiscard]] void* fallback_alloc(std::size_t size);
+
+// The allocator entry points. 16-byte payload alignment always (the
+// default new alignment); callers needing more must not use the slab.
+[[nodiscard]] inline void* allocate(std::size_t size) {
+  if (enabled()) [[likely]] {
+    magazine* m = detail::tl_mag;
+    if (m == nullptr && !detail::tl_dead) m = detail::bind_magazine();
+    if (m != nullptr) {
+      if (void* p = m->try_alloc(size)) return p;
+    }
+  }
+  return fallback_alloc(size);
+}
+
+inline void deallocate(void* payload) noexcept {
+  if (payload == nullptr) return;
+  block_header* h = detail::header_of(payload);
+  LHWS_ASSERT(h->magic == kBlockMagic && "slab free of a foreign pointer");
+  if (h->owner == nullptr) {
+    ::operator delete(static_cast<void*>(h));
+    return;
+  }
+  h->owner->release(payload, h);
+}
+
+}  // namespace lhws::mem

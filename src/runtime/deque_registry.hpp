@@ -42,16 +42,23 @@ class basic_deque_registry {
   template <typename U>
   using model_atomic = typename Model::template atomic_type<U>;
 
+  // One published pointer per cache line: an owner republish (swap-with-last
+  // writes two slots) invalidates only the lines it actually changed, never
+  // the line a thief is concurrently probing for an unrelated deque.
+  struct padded_slot {
+    alignas(cache_line_size) model_atomic<Q*> ptr;
+  };
+
   struct slot_array {
     explicit slot_array(std::uint32_t cap)
-        : capacity(cap), slots(new model_atomic<Q*>[cap]) {
+        : capacity(cap), slots(new padded_slot[cap]) {
       for (std::uint32_t i = 0; i < cap; ++i) {
-        slots[i].store(nullptr, std::memory_order_relaxed);
+        slots[i].ptr.store(nullptr, std::memory_order_relaxed);
       }
     }
 
     const std::uint32_t capacity;
-    std::unique_ptr<model_atomic<Q*>[]> slots;
+    std::unique_ptr<padded_slot[]> slots;
     slot_array* retired_next = nullptr;
   };
 
@@ -82,7 +89,7 @@ class basic_deque_registry {
     slot_array* a = array_.load(std::memory_order_relaxed);
     const std::uint32_t n = count_.load(std::memory_order_relaxed);
     if (n == a->capacity) a = grow(a, n);
-    a->slots[n].store(q, std::memory_order_release);
+    a->slots[n].ptr.store(q, std::memory_order_release);
     count_.store(n + 1, std::memory_order_release);
     publish_end();
   }
@@ -92,13 +99,14 @@ class basic_deque_registry {
     slot_array* a = array_.load(std::memory_order_relaxed);
     const std::uint32_t n = count_.load(std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < n; ++i) {
-      if (a->slots[i].load(std::memory_order_relaxed) == q) {
+      if (a->slots[i].ptr.load(std::memory_order_relaxed) == q) {
         // Swap-with-last. A concurrent reader holding the old count may see
         // the moved entry twice or the stale tail — both benign (failed or
         // duplicate-target steal, never an invalid pointer).
-        a->slots[i].store(a->slots[n - 1].load(std::memory_order_relaxed),
-                          std::memory_order_release);
-        a->slots[n - 1].store(nullptr, std::memory_order_relaxed);
+        a->slots[i].ptr.store(
+            a->slots[n - 1].ptr.load(std::memory_order_relaxed),
+            std::memory_order_release);
+        a->slots[n - 1].ptr.store(nullptr, std::memory_order_relaxed);
         count_.store(n - 1, std::memory_order_release);
         publish_end();
         return;
@@ -118,7 +126,7 @@ class basic_deque_registry {
     std::uint32_t n = 0;
 
     [[nodiscard]] Q* at(std::uint32_t i) const {
-      return arr->slots[i].load(std::memory_order_acquire);
+      return arr->slots[i].ptr.load(std::memory_order_acquire);
     }
   };
 
@@ -161,7 +169,7 @@ class basic_deque_registry {
       const reader_view v = view();
       const std::uint32_t n = v.n < max ? v.n : max;
       for (std::uint32_t i = 0; i < n; ++i) {
-        out[i] = v.arr->slots[i].load(std::memory_order_relaxed);
+        out[i] = v.arr->slots[i].ptr.load(std::memory_order_relaxed);
       }
       Model::fence(std::memory_order_acquire);
       if (epoch_.load(std::memory_order_relaxed) == e1) {
@@ -200,7 +208,7 @@ class basic_deque_registry {
   slot_array* grow(slot_array* old, std::uint32_t n) {
     auto* bigger = new slot_array(old->capacity * 2);
     for (std::uint32_t i = 0; i < n; ++i) {
-      bigger->slots[i].store(old->slots[i].load(std::memory_order_relaxed),
+      bigger->slots[i].ptr.store(old->slots[i].ptr.load(std::memory_order_relaxed),
                              std::memory_order_release);
     }
     array_.store(bigger, std::memory_order_release);

@@ -24,6 +24,13 @@ namespace lhws::rt {
 // suspended coroutine's frame). Once fire() delivers the resume, the frame
 // may be resumed — and destroyed — by another worker immediately, so the
 // firing thread must not touch the handle after fire() returns.
+//
+// Allocation: the embedded resume_node is part of the coroutine frame, so a
+// suspension costs no allocation of its own — and because task frames come
+// from the per-worker slab (promise_base::operator new, src/mem/slab.hpp),
+// the node's memory recycles with the frame through the owning worker's
+// magazine, including the cross-thread case where a reactor-completed frame
+// dies on a different worker than the one that allocated it.
 class resume_handle {
  public:
   // Worker side: charge the suspension to w's active deque and remember the

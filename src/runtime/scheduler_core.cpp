@@ -3,6 +3,7 @@
 #include <ostream>
 #include <thread>
 
+#include "mem/slab.hpp"
 #include "obs/sampler.hpp"
 #include "support/timing.hpp"
 
@@ -82,15 +83,19 @@ void worker::execute(work_item item) {
     // pushing right halves for thieves (lg n span over n resumed leaves),
     // then run that continuation as a normal segment.
     batch_node* node = item.batch();
+    batch_block* const blk = node->block;
     while (node->hi - node->lo > 1) {
+      // Splits copy only the block pointer — the leaf-counted batch_block
+      // needs no refcount traffic until a leaf actually executes.
       const std::uint32_t mid = node->lo + (node->hi - node->lo) / 2;
-      auto* right = new batch_node{node->items, mid, node->hi};
+      auto* right = new batch_node{blk, mid, node->hi};
       node->hi = mid;
       active_->push_bottom(work_item::from_batch(right));
       stats.batch_splits += 1;
     }
-    const std::coroutine_handle<> h = (*node->items)[node->lo];
+    const std::coroutine_handle<> h = blk->items()[node->lo];
     delete node;
+    blk->release_leaf();
     stats.segments_executed += 1;
     h.resume();
     if (timed) {
@@ -153,14 +158,18 @@ void worker::add_resumed_vertices() {
         q->push_bottom(work_item::from_coroutine(chain->continuation));
         stats.resumes_direct += 1;
       } else {
-        auto items = std::make_shared<std::vector<std::coroutine_handle<>>>();
-        items->reserve(static_cast<std::size_t>(count));
+        // One exact-size block sized from the drained count (no vector
+        // growth, no shared_ptr control block), filled straight off the
+        // chain, plus one root node over [0, count).
+        batch_block* blk =
+            batch_block::create(static_cast<std::uint32_t>(count));
+        std::coroutine_handle<>* out = blk->items();
+        std::uint32_t i = 0;
         for (resume_node* n = chain; n != nullptr; n = n->next) {
-          items->push_back(n->continuation);
+          out[i++] = n->continuation;
         }
         auto* batch =
-            new batch_node{std::move(items), 0,
-                           static_cast<std::uint32_t>(count)};
+            new batch_node{blk, 0, static_cast<std::uint32_t>(count)};
         q->push_bottom(work_item::from_batch(batch));
         stats.batches_injected += 1;
       }
@@ -449,6 +458,7 @@ void scheduler_core::run_root(std::coroutine_handle<> root) {
   suspended_now_.store(0, std::memory_order_relaxed);
   max_suspended_.store(0, std::memory_order_relaxed);
   run_start_ns_ = now_ns();
+  const mem::slab_totals alloc_before = mem::totals();
 
   obs::gauge_sampler sampler;
   if (cfg_.sample_interval_us > 0) {
@@ -485,6 +495,22 @@ void scheduler_core::run_root(std::coroutine_handle<> root) {
   for (const auto& w : workers_) {
     stats_.trace_events_dropped += w->trace.dropped();
   }
+  // Allocator activity attributed to this run: counter deltas across the
+  // process-global slab (worker threads have joined, so their magazines are
+  // orphaned-but-counted; external completers still churning contribute to
+  // the next run's delta, same as any cross-run attribution).
+  const mem::slab_totals alloc_after = mem::totals();
+  stats_.alloc.magazine_hits =
+      alloc_after.magazine_hits - alloc_before.magazine_hits;
+  stats_.alloc.magazine_misses =
+      alloc_after.magazine_misses - alloc_before.magazine_misses;
+  stats_.alloc.remote_pushes =
+      alloc_after.remote_pushes - alloc_before.remote_pushes;
+  stats_.alloc.remote_drained =
+      alloc_after.remote_drained - alloc_before.remote_drained;
+  stats_.alloc.fallback_allocs =
+      alloc_after.fallback_allocs - alloc_before.fallback_allocs;
+  stats_.alloc.slab_bytes = alloc_after.slab_bytes;
   stats_.elapsed_ms = timer.elapsed_ms();
 
   run_hist_.reset();
@@ -503,6 +529,7 @@ void scheduler_core::write_trace(std::ostream& os) const {
   meta.dropped_events = stats_.trace_events_dropped;
   meta.elapsed_ms = stats_.elapsed_ms;
   meta.per_worker = &stats_.per_worker;
+  meta.alloc = &stats_.alloc;
   write_chrome_trace(os, buffers, run_start_ns_,
                      samples_.empty() ? nullptr : &samples_, &meta);
 }

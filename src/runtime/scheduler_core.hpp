@@ -117,7 +117,10 @@ class worker {
   [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
   [[nodiscard]] scheduler_core& sched() noexcept { return sched_; }
 
-  worker_stats stats;
+  // Owner-hot, written every scheduling step; keep off the lines that
+  // thieves, wakers, and the sampler write (the alignas-grouped members
+  // below).
+  alignas(cache_line_size) worker_stats stats;
 
   // Latency histograms (nanoseconds), recorded only when the scheduler was
   // configured with metrics = true. Single-writer (this worker); readable
@@ -172,23 +175,28 @@ class worker {
   bool metrics_on_ = false;
   bool park_enabled_ = false;
   std::chrono::microseconds park_timeout_{0};
-  // Cross-thread-readable mirror of stats.steal_attempts for the sampler.
-  std::atomic<std::uint64_t> steal_attempts_obs_{0};
-  // Wakes delivered TO this worker; written by arbitrary waker threads,
-  // folded into stats.unparks after the run.
-  std::atomic<std::uint64_t> unparks_obs_{0};
-
   runtime_deque* active_ = nullptr;
   work_item assigned_;
   std::vector<runtime_deque*> ready_deques_;
   std::vector<runtime_deque*> empty_deques_;
-  mpsc_stack<runtime_deque> resumed_deques_;  // producers: resuming threads
+
+  // --- Cross-thread-written state, one cache line per writer pattern ------
+  // Mirror counters: steal_attempts_obs_ is owner-written / sampler-read;
+  // unparks_obs_ is written by arbitrary waker threads. Both are folded
+  // into stats after the run.
+  alignas(cache_line_size) std::atomic<std::uint64_t> steal_attempts_obs_{0};
+  std::atomic<std::uint64_t> unparks_obs_{0};
+
+  // Producers: resuming threads (workers, timer, reactor). The owner drains.
+  alignas(cache_line_size) mpsc_stack<runtime_deque> resumed_deques_;
 
   // Registry of this worker's allocated deques, readable by thieves under
   // the Section 6 policy. Epoch-published: thieves and the sampler read it
   // with atomic loads only; add/remove (owner-only, rare) republish.
-  basic_deque_registry<runtime_deque> registry_;
-  parker parker_;
+  alignas(cache_line_size) basic_deque_registry<runtime_deque> registry_;
+
+  // Park/wake handshake word, hammered by wakers while the owner spins.
+  alignas(cache_line_size) parker parker_;
 
  public:
   // Called by resume_handle::fire() (any thread): register q as having

@@ -43,6 +43,26 @@ struct worker_stats {
   }
 };
 
+// Slab-allocator activity attributed to one run: counter deltas between
+// run start and end (the allocator itself is process-global; see
+// mem::totals()), plus the absolute live slab footprint at run end.
+struct alloc_run_stats {
+  std::uint64_t magazine_hits = 0;    // allocs served from a local free list
+  std::uint64_t magazine_misses = 0;  // allocs that took the refill path
+  std::uint64_t remote_pushes = 0;    // cross-thread frees routed remotely
+  std::uint64_t remote_drained = 0;   // remote frees reclaimed by owners
+  std::uint64_t fallback_allocs = 0;  // oversize / disabled-mode allocations
+  std::uint64_t slab_bytes = 0;       // live slab footprint (absolute)
+
+  // Fraction of slab-eligible allocations served without a refill.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = magazine_hits + magazine_misses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(magazine_hits) / static_cast<double>(total);
+  }
+};
+
 struct run_stats {
   std::uint64_t segments_executed = 0;
   std::uint64_t batch_splits = 0;
@@ -69,6 +89,8 @@ struct run_stats {
   std::uint64_t max_concurrent_suspended = 0;
   // Trace events rejected because a worker's buffer hit trace_capacity.
   std::uint64_t trace_events_dropped = 0;
+  // Slab-allocator deltas for this run (zeroes when the slab is disabled).
+  alloc_run_stats alloc;
   double elapsed_ms = 0.0;
 
   // Per-worker breakdown, in worker-index order. absorb() keeps it so the

@@ -123,6 +123,15 @@ void write_chrome_trace(std::ostream& os,
        << ",\"max_concurrent_suspended\":" << meta->max_concurrent_suspended
        << ",\"dropped_events\":" << meta->dropped_events
        << ",\"elapsed_ms\":" << meta->elapsed_ms;
+    if (meta->alloc != nullptr) {
+      const alloc_run_stats& a = *meta->alloc;
+      os << ",\"alloc\":{\"magazine_hits\":" << a.magazine_hits
+         << ",\"magazine_misses\":" << a.magazine_misses
+         << ",\"remote_pushes\":" << a.remote_pushes
+         << ",\"remote_drained\":" << a.remote_drained
+         << ",\"fallback_allocs\":" << a.fallback_allocs
+         << ",\"slab_bytes\":" << a.slab_bytes << "}";
+    }
     if (meta->per_worker != nullptr) {
       os << ",\"per_worker\":[";
       bool pw_first = true;

@@ -41,6 +41,7 @@
 namespace lhws::rt {
 
 struct worker_stats;
+struct alloc_run_stats;
 
 enum class trace_kind : std::uint8_t {
   segment,
@@ -110,6 +111,8 @@ struct trace_meta {
   std::uint64_t dropped_events = 0;
   double elapsed_ms = 0.0;
   const std::vector<worker_stats>* per_worker = nullptr;
+  // Slab-allocator deltas for the run (optional "alloc" object).
+  const alloc_run_stats* alloc = nullptr;
 };
 
 // Writes the per-worker buffers as a Chrome trace-event JSON document.

@@ -7,24 +7,68 @@
 // Chase-Lev deque requires word-sized trivially-copyable entries.
 #pragma once
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
-#include <memory>
-#include <vector>
+#include <type_traits>
 
+#include "mem/slab.hpp"
 #include "support/config.hpp"
 
 namespace lhws::rt {
 
-// A node of the runtime pfor tree: a view [lo, hi) over a shared vector of
-// resumed continuations. Executing a node with hi - lo > 1 splits it
-// (pushing the right half back for thieves); a single-element node resumes
-// its continuation directly.
+// The shared continuation buffer behind a runtime pfor tree: one slab block
+// holding [header | n coroutine handles]. Ownership is leaf-counted —
+// `pending` starts at the leaf count, so SPLITTING a node costs zero atomic
+// operations (it only copies the block pointer; contrast the previous
+// shared_ptr<vector> design, whose every split bumped an atomic control
+// block). Each executed leaf pays one fetch_sub; the last one frees the
+// block back to its owning worker's magazine (or its remote list, when a
+// thief ran the last leaf).
+struct batch_block {
+  std::atomic<std::uint32_t> pending;
+  std::uint32_t count;
+
+  static batch_block* create(std::uint32_t n) {
+    LHWS_ASSERT(n >= 1);
+    void* raw = mem::allocate(sizeof(batch_block) +
+                              std::size_t{n} * sizeof(std::coroutine_handle<>));
+    auto* b = ::new (raw) batch_block;
+    b->pending.store(n, std::memory_order_relaxed);
+    b->count = n;
+    return b;
+  }
+
+  [[nodiscard]] std::coroutine_handle<>* items() noexcept {
+    return reinterpret_cast<std::coroutine_handle<>*>(this + 1);
+  }
+
+  // Called once per executed leaf; the last call releases the block. The
+  // acq_rel pairing makes every leaf's reads of items() happen-before the
+  // free, whichever worker ends up last.
+  void release_leaf() noexcept {
+    if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      mem::deallocate(this);
+    }
+  }
+};
+static_assert(std::is_trivially_destructible_v<batch_block>);
+static_assert(sizeof(batch_block) % alignof(std::coroutine_handle<>) == 0);
+
+// A node of the runtime pfor tree: a view [lo, hi) over a batch_block.
+// Executing a node with hi - lo > 1 splits it (pushing the right half back
+// for thieves); a single-element node resumes its continuation directly.
+// Trivially copyable — the split path is two plain stores and a slab
+// allocation, nothing atomic.
 struct batch_node {
-  std::shared_ptr<std::vector<std::coroutine_handle<>>> items;
+  batch_block* block = nullptr;
   std::uint32_t lo = 0;
   std::uint32_t hi = 0;
+
+  static void* operator new(std::size_t n) { return mem::allocate(n); }
+  static void operator delete(void* p) noexcept { mem::deallocate(p); }
 };
+static_assert(std::is_trivially_copyable_v<batch_node>);
 
 class work_item {
  public:
@@ -37,7 +81,7 @@ class work_item {
     return w;
   }
 
-  // Takes ownership of the (heap-allocated) batch node.
+  // Takes ownership of the (slab-allocated) batch node.
   static work_item from_batch(batch_node* b) noexcept {
     work_item w;
     w.bits_ = reinterpret_cast<std::uintptr_t>(b) | batch_tag;

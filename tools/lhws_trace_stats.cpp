@@ -315,6 +315,14 @@ struct trace_model {
   std::uint64_t dropped_events = 0;
   bool has_meta_stats = false;
   std::string engine;
+  // Slab-allocator block ("alloc"), present from schema 1 + PR 5 traces.
+  bool has_alloc = false;
+  std::uint64_t alloc_hits = 0;
+  std::uint64_t alloc_misses = 0;
+  std::uint64_t alloc_remote_pushes = 0;
+  std::uint64_t alloc_remote_drained = 0;
+  std::uint64_t alloc_fallback = 0;
+  std::uint64_t alloc_slab_bytes = 0;
 };
 
 double num_or(const jvalue* v, double fallback) {
@@ -355,6 +363,16 @@ bool build_model(const jvalue& root, trace_model& m, std::string& why) {
   if (const jvalue* eng = lhws->find("engine");
       eng != nullptr && eng->k == jvalue::kind::string) {
     m.engine = eng->str;
+  }
+  if (const jvalue* alloc = lhws->find("alloc");
+      alloc != nullptr && alloc->k == jvalue::kind::object) {
+    m.has_alloc = true;
+    m.alloc_hits = unum_or(alloc->find("magazine_hits"), 0);
+    m.alloc_misses = unum_or(alloc->find("magazine_misses"), 0);
+    m.alloc_remote_pushes = unum_or(alloc->find("remote_pushes"), 0);
+    m.alloc_remote_drained = unum_or(alloc->find("remote_drained"), 0);
+    m.alloc_fallback = unum_or(alloc->find("fallback_allocs"), 0);
+    m.alloc_slab_bytes = unum_or(alloc->find("slab_bytes"), 0);
   }
   if (const jvalue* pw = lhws->find("per_worker");
       pw != nullptr && pw->k == jvalue::kind::array) {
@@ -594,6 +612,22 @@ int main(int argc, char** argv) {
   }
   io_ops_json += "]";
 
+  std::string alloc_json = "null";
+  if (m.has_alloc) {
+    char abuf[256];
+    std::snprintf(abuf, sizeof abuf,
+                  "{\"magazine_hits\":%llu,\"magazine_misses\":%llu,"
+                  "\"remote_pushes\":%llu,\"remote_drained\":%llu,"
+                  "\"fallback_allocs\":%llu,\"slab_bytes\":%llu}",
+                  static_cast<unsigned long long>(m.alloc_hits),
+                  static_cast<unsigned long long>(m.alloc_misses),
+                  static_cast<unsigned long long>(m.alloc_remote_pushes),
+                  static_cast<unsigned long long>(m.alloc_remote_drained),
+                  static_cast<unsigned long long>(m.alloc_fallback),
+                  static_cast<unsigned long long>(m.alloc_slab_bytes));
+    alloc_json = abuf;
+  }
+
   if (json_out) {
     std::printf("{\"lhws_trace_stats\":1,\"engine\":\"%s\",\"workers\":%llu,"
                 "\"span_us\":%.1f,\"wake_p50_ns\":%llu,\"wake_p95_ns\":%llu,"
@@ -603,7 +637,7 @@ int main(int argc, char** argv) {
                 "\"parks\":%llu,\"park_timeouts\":%llu,\"unparks\":%llu,"
                 "\"parked_us\":%.1f,\"registry_republishes\":%llu,"
                 "\"suspensions\":%llu,\"observed_u\":%llu,"
-                "\"dropped_events\":%llu,\"io_ops\":%s}\n",
+                "\"dropped_events\":%llu,\"io_ops\":%s,\"alloc\":%s}\n",
                 m.engine.c_str(),
                 static_cast<unsigned long long>(m.meta_workers), span_us,
                 static_cast<unsigned long long>(wake_p50),
@@ -622,7 +656,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total_suspensions),
                 static_cast<unsigned long long>(m.max_concurrent_suspended),
                 static_cast<unsigned long long>(m.dropped_events),
-                io_ops_json.c_str());
+                io_ops_json.c_str(), alloc_json.c_str());
   } else {
     std::printf("trace: %s  engine=%s  workers=%llu  span=%.1fms  "
                 "dropped_events=%llu\n",
@@ -675,6 +709,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total_unparks),
                 total_parked_us / 1000.0,
                 static_cast<unsigned long long>(total_republishes));
+    if (m.has_alloc) {
+      const std::uint64_t eligible = m.alloc_hits + m.alloc_misses;
+      const double hit_rate =
+          eligible > 0
+              ? 100.0 * static_cast<double>(m.alloc_hits) /
+                    static_cast<double>(eligible)
+              : 0.0;
+      std::printf("alloc: magazine hit rate %.1f%% (%llu hits, %llu misses); "
+                  "remote frees %llu pushed / %llu drained; "
+                  "fallback %llu; slab %.1f KiB\n",
+                  hit_rate, static_cast<unsigned long long>(m.alloc_hits),
+                  static_cast<unsigned long long>(m.alloc_misses),
+                  static_cast<unsigned long long>(m.alloc_remote_pushes),
+                  static_cast<unsigned long long>(m.alloc_remote_drained),
+                  static_cast<unsigned long long>(m.alloc_fallback),
+                  static_cast<double>(m.alloc_slab_bytes) / 1024.0);
+    }
   }
 
   if (!check_bounds) return 0;
