@@ -2,7 +2,7 @@
 # Local mirror of the CI matrix: configure+build+ctest in the requested
 # mode, plus lint when the tools exist. Usage:
 #
-#   scripts/check.sh [plain|asan|tsan|tidy|format|bench|all]
+#   scripts/check.sh [plain|asan|tsan|tidy|format|bench|lint|all]
 #
 # Each mode builds into its own directory (build-check-<mode>) so repeated
 # runs are incremental and don't disturb the default ./build tree.
@@ -50,7 +50,21 @@ run_format() {
     echo "check.sh: clang-format not installed, skipping" >&2
     return 0
   fi
-  git ls-files '*.cpp' '*.hpp' | xargs clang-format --dry-run -Werror
+  # Lint fixtures are exempt: LINT-EXPECT annotations anchor to exact
+  # lines, and a reflow would silently move the expectations.
+  git ls-files '*.cpp' '*.hpp' ':!tests/lint/fixtures/*' |
+    xargs clang-format --dry-run -Werror
+}
+
+# Invariant lint (DESIGN.md §12): build lhws_lint and run the full
+# lint_check.py gate — fixtures, src/ cleanliness, meta-test, NOLINT audit.
+# Mirrors CI's invariant-lint job.
+run_invariant_lint() {
+  local dir="build-check-lint"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DLHWS_LINT=ON \
+    >/dev/null
+  cmake --build "${dir}" -j "$(nproc)" --target lhws_lint
+  python3 scripts/lint_check.py all --bin "${dir}/tools/lint/lhws_lint"
 }
 
 run_tidy() {
@@ -82,15 +96,19 @@ case "${mode}" in
   tidy)
     run_tidy
     ;;
+  lint)
+    run_invariant_lint
+    ;;
   all)
     run_format
     run_tidy
+    run_invariant_lint
     run_suite plain -DCMAKE_BUILD_TYPE=Release
     run_suite asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLHWS_ASAN_UBSAN=ON
     run_suite tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLHWS_TSAN=ON
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|asan|tsan|tidy|format|bench|all]" >&2
+    echo "usage: scripts/check.sh [plain|asan|tsan|tidy|format|bench|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Driver for the lhws_lint invariant linter (DESIGN.md §12).
+
+Modes:
+  fixtures  run lhws_lint over tests/lint/fixtures/*.cpp and require the
+            emitted diagnostic set to EXACTLY match the `// LINT-EXPECT:`
+            annotations (so every unannotated line doubles as a passing
+            true negative), and that each of LHWS001..005 has at least two
+            annotated true positives across the corpus.
+  tree      run lhws_lint over all of src/ and require zero unsuppressed
+            diagnostics (reasonless ALLOWs surface as LHWS900 and fail).
+  meta      seed one known violation per rule into a scratch TU and assert
+            the linter exits non-zero naming that rule; a clean TU must
+            exit zero.  Guards against the linter silently matching
+            nothing.
+  nolint    audit every clang-tidy NOLINT/NOLINTNEXTLINE in src/: it must
+            name the suppressed checks in parentheses AND carry a
+            justification after them.
+  all       every mode above; non-zero exit if any fails.
+
+Annotations understood in fixtures:
+  // LINT-EXPECT: LHWS00N            expect that rule on THIS line
+  // LINT-EXPECT-AT: <line> LHWS00N  expect that rule on another line
+                                     (for diagnostics on comment lines,
+                                     e.g. the LHWS900/901 allow audit)
+"""
+
+import argparse
+import glob
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURE_DIR = os.path.join(ROOT, "tests", "lint", "fixtures")
+RULES = ["LHWS001", "LHWS002", "LHWS003", "LHWS004", "LHWS005"]
+MIN_TPS_PER_RULE = 2
+
+DIAG_RE = re.compile(r"^(.*?):(\d+):(\d+): warning: .* \[(LHWS\d+)\]$")
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*(LHWS\d+(?:\s*,\s*LHWS\d+)*)")
+EXPECT_AT_RE = re.compile(r"//\s*LINT-EXPECT-AT:\s*(\d+)\s+(LHWS\d+)")
+NOLINT_RE = re.compile(r"NOLINT(NEXTLINE)?\b(\(([^)]*)\))?(.*)")
+
+
+def run_lint(lint_bin, args):
+    """Run lhws_lint; return (exit_code, {(line, rule)}, raw_output)."""
+    proc = subprocess.run(
+        [lint_bin] + args, capture_output=True, text=True, cwd=ROOT
+    )
+    out = proc.stdout + proc.stderr
+    diags = set()
+    for line in out.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if m:
+            diags.add((int(m.group(2)), m.group(4)))
+    return proc.returncode, diags, out
+
+
+def parse_expectations(path):
+    expected = set()
+    with open(path, encoding="utf-8") as f:
+        for lineno, text in enumerate(f, 1):
+            m = EXPECT_RE.search(text)
+            if m:
+                for rule in re.split(r"\s*,\s*", m.group(1)):
+                    expected.add((lineno, rule))
+            m = EXPECT_AT_RE.search(text)
+            if m:
+                expected.add((int(m.group(1)), m.group(2)))
+    return expected
+
+
+def mode_fixtures(lint_bin):
+    fixtures = sorted(glob.glob(os.path.join(FIXTURE_DIR, "*.cpp")))
+    if not fixtures:
+        print(f"FAIL fixtures: no fixtures found under {FIXTURE_DIR}")
+        return False
+    ok = True
+    tp_counts = {r: 0 for r in RULES}
+    for path in fixtures:
+        rel = os.path.relpath(path, ROOT)
+        expected = parse_expectations(path)
+        code, got, raw = run_lint(
+            lint_bin, ["--backend=token", "--seqcst-scope=ALL", path]
+        )
+        if code not in (0, 1):
+            print(f"FAIL {rel}: linter exited {code}\n{raw}")
+            ok = False
+            continue
+        missing = expected - got
+        unexpected = got - expected
+        if missing or unexpected:
+            ok = False
+            print(f"FAIL {rel}:")
+            for line, rule in sorted(missing):
+                print(f"  missed true positive: expected {rule} at line {line}")
+            for line, rule in sorted(unexpected):
+                print(f"  false positive (broken true negative): "
+                      f"{rule} at line {line}")
+        else:
+            print(f"ok   {rel}: {len(expected)} expected diagnostics matched, "
+                  f"0 spurious")
+        for _, rule in expected:
+            if rule in tp_counts:
+                tp_counts[rule] += 1
+    for rule, n in tp_counts.items():
+        if n < MIN_TPS_PER_RULE:
+            ok = False
+            print(f"FAIL corpus: rule {rule} has {n} annotated true "
+                  f"positives, need >= {MIN_TPS_PER_RULE}")
+    return ok
+
+
+def src_files():
+    out = []
+    for ext in ("hpp", "cpp"):
+        out += glob.glob(os.path.join(ROOT, "src", "**", f"*.{ext}"),
+                         recursive=True)
+    return sorted(out)
+
+
+def mode_tree(lint_bin):
+    files = src_files()
+    code, diags, raw = run_lint(lint_bin, ["--backend=token"] + files)
+    if code == 0:
+        print(f"ok   tree: {len(files)} files in src/ clean "
+              f"(0 unsuppressed diagnostics)")
+        return True
+    print(f"FAIL tree: lhws_lint exited {code} on src/ "
+          f"({len(diags)} diagnostics)")
+    print(raw)
+    return False
+
+
+# One seeded violation per rule; each must make the linter exit non-zero
+# and name the rule.  Kept minimal on purpose: if matching regresses to
+# "never fires", this is the test that notices.
+META_VIOLATIONS = {
+    "LHWS001": """\
+#include <mutex>
+struct task { struct promise_type {}; };
+std::mutex mu;
+task f() {
+  std::lock_guard<std::mutex> g(mu);
+  co_await something();
+}
+""",
+    "LHWS002": """\
+struct task { struct promise_type {}; };
+task f(int fd, char* buf) {
+  ::read(fd, buf, 16);
+  co_return;
+}
+""",
+    "LHWS003": """\
+void f() {
+  int x = 0;
+  auto bad = [&]() -> int {
+    co_await something();
+    co_return x;
+  };
+}
+""",
+    "LHWS004": """\
+#include <atomic>
+std::atomic<int> a{0};
+int f() { return a.load(); }
+""",
+    "LHWS005": """\
+struct task { struct promise_type {}; };
+task f(int a, int b) {
+  fork2(a, b);
+  co_return;
+}
+""",
+}
+
+META_CLEAN = """\
+int add(int a, int b) { return a + b; }
+"""
+
+
+def mode_meta(lint_bin):
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="lhws_lint_meta.") as tmp:
+        for rule, source in sorted(META_VIOLATIONS.items()):
+            path = os.path.join(tmp, f"seed_{rule}.cpp")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(source)
+            code, diags, raw = run_lint(
+                lint_bin, ["--backend=token", "--seqcst-scope=ALL", path]
+            )
+            hit = any(r == rule for _, r in diags)
+            if code != 1 or not hit:
+                ok = False
+                print(f"FAIL meta: seeded {rule} violation not caught "
+                      f"(exit={code})\n{raw}")
+            else:
+                print(f"ok   meta: seeded {rule} violation caught, exit 1")
+        clean = os.path.join(tmp, "clean.cpp")
+        with open(clean, "w", encoding="utf-8") as f:
+            f.write(META_CLEAN)
+        code, diags, raw = run_lint(
+            lint_bin, ["--backend=token", "--seqcst-scope=ALL", clean]
+        )
+        if code != 0 or diags:
+            ok = False
+            print(f"FAIL meta: clean TU produced diagnostics "
+                  f"(exit={code})\n{raw}")
+        else:
+            print("ok   meta: clean TU exits 0 with no diagnostics")
+    return ok
+
+
+def mode_nolint():
+    ok = True
+    total = 0
+    for path in src_files():
+        with open(path, encoding="utf-8") as f:
+            for lineno, text in enumerate(f, 1):
+                idx = text.find("NOLINT")
+                if idx < 0:
+                    continue
+                total += 1
+                rel = os.path.relpath(path, ROOT)
+                m = NOLINT_RE.match(text[idx:])
+                checks = m.group(3) if m else None
+                reason = (m.group(4) or "").strip(" -—:\t\n") if m else ""
+                if not checks or not checks.strip():
+                    ok = False
+                    print(f"FAIL nolint: {rel}:{lineno}: blanket NOLINT — "
+                          f"name the suppressed checks in parentheses")
+                elif not reason:
+                    ok = False
+                    print(f"FAIL nolint: {rel}:{lineno}: "
+                          f"NOLINT({checks}) has no justification")
+                else:
+                    print(f"ok   nolint: {rel}:{lineno}: "
+                          f"NOLINT({checks}) — {reason}")
+    print(f"ok   nolint: {total} NOLINT comment(s) audited"
+          if ok else f"FAIL nolint: audit failed over {total} comment(s)")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("mode",
+                    choices=["fixtures", "tree", "meta", "nolint", "all"])
+    ap.add_argument("--bin",
+                    default=os.path.join(ROOT, "build", "tools", "lint",
+                                         "lhws_lint"),
+                    help="path to the lhws_lint binary")
+    args = ap.parse_args()
+
+    needs_bin = args.mode in ("fixtures", "tree", "meta", "all")
+    if needs_bin and not os.path.isfile(args.bin):
+        print(f"error: lhws_lint not found at {args.bin} "
+              f"(build with -DLHWS_LINT=ON)")
+        return 2
+
+    results = {}
+    if args.mode in ("fixtures", "all"):
+        results["fixtures"] = mode_fixtures(args.bin)
+    if args.mode in ("tree", "all"):
+        results["tree"] = mode_tree(args.bin)
+    if args.mode in ("meta", "all"):
+        results["meta"] = mode_meta(args.bin)
+    if args.mode in ("nolint", "all"):
+        results["nolint"] = mode_nolint()
+
+    failed = [m for m, r in results.items() if not r]
+    if failed:
+        print(f"\nlint_check: FAILED modes: {', '.join(failed)}")
+        return 1
+    print(f"\nlint_check: all modes passed ({', '.join(results)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,7 +120,7 @@ class var {
     return *this;
   }
 
-  operator T() const {  // NOLINT(google-explicit-constructor)
+  operator T() const {  // NOLINT(google-explicit-constructor) — mirrors std::atomic's implicit conversion so checked code reads identically
     return from_bits<T>(engine::current()->var_read(const_cast<var*>(this)));
   }
 

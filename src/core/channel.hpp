@@ -89,7 +89,7 @@ class channel {
     void fire() { resume.fire(); }
   };
 
-  struct receive_awaiter {
+  struct [[nodiscard]] receive_awaiter {
     channel& ch;
     receive_waiter waiter{};
 

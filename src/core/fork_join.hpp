@@ -34,7 +34,7 @@ fork_result_t<T> take_result(task<T>& t) {
 }
 
 template <typename A, typename B>
-struct fork2_awaiter {
+struct [[nodiscard]] fork2_awaiter {
   task<A> left;
   task<B> right;
   join_state join{};

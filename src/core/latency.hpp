@@ -23,7 +23,7 @@ namespace lhws {
 namespace detail {
 
 template <typename T>
-struct latency_awaiter {
+struct [[nodiscard]] latency_awaiter {
   std::int64_t delay_ns;
   T payload;
 

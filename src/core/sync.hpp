@@ -52,8 +52,8 @@ class event {
     return state_.load(std::memory_order_acquire) == state::value_ready;
   }
 
-  auto operator co_await() noexcept {
-    struct awaiter {
+  [[nodiscard]] auto operator co_await() noexcept {
+    struct [[nodiscard]] awaiter {
       event& ev;
 
       bool await_ready() const noexcept { return ev.ready(); }

@@ -120,12 +120,16 @@ class chase_lev_deque {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     ring* buf = buffer_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
+    // seq_cst: pairs with steal_top's fence — whichever lands second in
+    // the SC order sees the other side's write (DESIGN.md §7).
     Model::fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t <= b) {
       out = buf->get(b);
       if (t == b) {
-        // Last element: race against thieves with a CAS on top.
+        // Last element: race against thieves with a CAS on top. seq_cst
+        // kept per the published proof; §7 records it is not independently
+        // load-bearing given the fences (acq_rel survives exhaustive chk).
         if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                           std::memory_order_relaxed)) {
           bottom_.store(b + 1, std::memory_order_relaxed);
@@ -144,11 +148,14 @@ class chase_lev_deque {
   // so the runtime can attribute failures to placement vs. contention.
   steal_result steal_top(T& out) {
     std::int64_t t = top_.load(std::memory_order_acquire);
+    // seq_cst: the steal-side half of the take/steal fence pair; closes
+    // the double-pop window (DESIGN.md §7).
     Model::fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t < b) {
       ring* buf = buffer_.load(std::memory_order_consume);
       T value = buf->get(t);
+      // seq_cst kept per the published proof (DESIGN.md §7, CAS note).
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         return steal_result::lost_race;

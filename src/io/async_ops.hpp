@@ -66,7 +66,7 @@ namespace detail {
 
 // One suspension on an fd direction. The protocol comments live in
 // io/dir_gate.hpp (gate handoff) and DESIGN.md §10 (deadline ordering).
-class io_wait_awaiter {
+class [[nodiscard]] io_wait_awaiter {
  public:
   io_wait_awaiter(reactor& r, reactor::fd_entry& e, int dir, op_kind kind,
                   std::int64_t deadline_ns) noexcept
@@ -189,7 +189,7 @@ class io_wait_awaiter {
 
 // Timer-only heavy edge: scheduling on the wheel is the publication point;
 // the frame is off-limits between schedule_sleep and resumption.
-class sleep_awaiter {
+class [[nodiscard]] sleep_awaiter {
  public:
   sleep_awaiter(reactor& r, std::int64_t deadline_ns) noexcept
       : r_(r), deadline_ns_(deadline_ns) {}
@@ -250,10 +250,13 @@ template <typename Rep, typename Period>
 
 // Reads up to n bytes. Returns bytes read (> 0), 0 on EOF (or n == 0 —
 // never suspends), or -errno / -ETIMEDOUT.
-inline task<long> async_read(reactor& r, socket& s, void* buf, std::size_t n,
-                             op_deadline dl = {}) {
+[[nodiscard]] inline task<long> async_read(reactor& r, socket& s, void* buf,
+                                           std::size_t n,
+                                           op_deadline dl = {}) {
   if (n == 0) co_return 0;
   for (;;) {
+    // LHWS-LINT-ALLOW(LHWS002): non-blocking fd — EAGAIN suspends on the
+    // dir_gate below, so the syscall never occupies the worker.
     const ssize_t got = ::read(s.fd(), buf, n);
     if (got >= 0) co_return static_cast<long>(got);
     if (errno == EINTR) continue;
@@ -269,11 +272,14 @@ inline task<long> async_read(reactor& r, socket& s, void* buf, std::size_t n,
 // Writes the FULL buffer (looping over partial sends; SIGPIPE suppressed).
 // Returns n, or -errno / -ETIMEDOUT (bytes already sent are then lost to
 // the caller — close the connection on error).
-inline task<long> async_write(reactor& r, socket& s, const void* buf,
-                              std::size_t n, op_deadline dl = {}) {
+[[nodiscard]] inline task<long> async_write(reactor& r, socket& s,
+                                            const void* buf, std::size_t n,
+                                            op_deadline dl = {}) {
   const auto* p = static_cast<const unsigned char*>(buf);
   std::size_t done = 0;
   while (done < n) {
+    // LHWS-LINT-ALLOW(LHWS002): non-blocking fd — EAGAIN suspends on the
+    // dir_gate below, so the syscall never occupies the worker.
     const ssize_t put = ::send(s.fd(), p + done, n - done, MSG_NOSIGNAL);
     if (put > 0) {
       done += static_cast<std::size_t>(put);
@@ -294,11 +300,13 @@ inline task<long> async_write(reactor& r, socket& s, const void* buf,
 // Accepts one connection from a listening socket. Returns the new fd
 // (non-blocking, NOT yet registered — adopt it with socket(r, fd)), or
 // -errno / -ETIMEDOUT.
-inline task<long> async_accept(reactor& r, socket& listener,
-                               op_deadline dl = {}) {
+[[nodiscard]] inline task<long> async_accept(reactor& r, socket& listener,
+                                             op_deadline dl = {}) {
   for (;;) {
-    const int fd =
-        ::accept4(listener.fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    // LHWS-LINT-ALLOW(LHWS002): non-blocking listener — EAGAIN suspends on
+    // the dir_gate below, so the syscall never occupies the worker.
+    const int fd = ::accept4(listener.fd(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd >= 0) co_return fd;
     if (errno == EINTR) continue;
     if (errno != EAGAIN && errno != EWOULDBLOCK) {
@@ -312,12 +320,15 @@ inline task<long> async_accept(reactor& r, socket& listener,
 }
 
 // Connects s to 127.0.0.1:port. Returns 0, or -errno / -ETIMEDOUT.
-inline task<long> async_connect(reactor& r, socket& s, std::uint16_t port,
-                                op_deadline dl = {}) {
+[[nodiscard]] inline task<long> async_connect(reactor& r, socket& s,
+                                              std::uint16_t port,
+                                              op_deadline dl = {}) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // LHWS-LINT-ALLOW(LHWS002): non-blocking socket — EINPROGRESS suspends on
+  // the dir_gate below, so the syscall never occupies the worker.
   if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) == 0) {
     co_return 0;

@@ -235,8 +235,10 @@ class scheduler_core {
 
   // --- Parking coordination ----------------------------------------------
   // Workers announce (seq_cst) before publishing their parked state so the
-  // push-side gate below pairs with it; see DESIGN.md §9 for the residual
-  // race and its timeout bound.
+  // push-side gate below pairs with it — a Dekker-style handshake: both
+  // sides need SC so the parker's increment and the pusher's load agree on
+  // one total order (DESIGN.md §7 seq_cst inventory; §9 has the residual
+  // race and its timeout bound).
   void note_parked() noexcept {
     parked_count_.fetch_add(1, std::memory_order_seq_cst);
   }

@@ -41,7 +41,8 @@ struct real_model {
   // the Chase-Lev deque would be reported as a race. Substitute a seq_cst
   // RMW on one shared dummy: strictly stronger than any thread fence and
   // fully tracked by TSan's happens-before machinery. Sanitizer builds
-  // only — production keeps the plain fence below.
+  // only — production keeps the plain fence below. (DESIGN.md §7, "TSan
+  // and fences".)
   static void fence(std::memory_order) noexcept {
     detail::tsan_fence_proxy().fetch_add(1, std::memory_order_seq_cst);
   }

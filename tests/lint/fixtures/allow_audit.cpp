@@ -1,0 +1,34 @@
+// Fixture: the suppression audit (LHWS900/LHWS901). ALLOW comments are a
+// contract: they must carry a reason (else LHWS900, and the underlying
+// diagnostic still stands) and they must actually suppress something
+// (else LHWS901 — stale suppressions rot into lies about the code).
+#include <unistd.h>
+
+#include "lint_stubs.hpp"
+
+// Case 1: reasonless ALLOW. Two diagnostics: LHWS900 on the ALLOW line,
+// and the un-suppressed LHWS002 on the syscall itself.
+stub::task<long> case_reasonless(int fd, char* buf) {
+  // LHWS-LINT-ALLOW(LHWS002):
+  long got = ::read(fd, buf, 64);  // LINT-EXPECT: LHWS002
+  co_return got;
+}
+// The ALLOW above sits one line before its target; annotate it here so the
+// expectation list stays adjacent to the code it describes:
+// LINT-EXPECT-AT: 12 LHWS900
+
+// Case 2: reasoned but unused ALLOW — nothing on the target line trips
+// LHWS004, so the suppression is dead weight.
+// LHWS-LINT-ALLOW(LHWS004): historical — the atomic was removed in a refactor.
+int case_unused() {  // (plain code, no diagnostic to eat)
+  return 0;
+}
+// LINT-EXPECT-AT: 22 LHWS901
+
+// Case 3: reasoned AND used — the happy path. No diagnostic of any kind.
+stub::task<long> case_used(int fd, const char* buf) {
+  // LHWS-LINT-ALLOW(LHWS002): fixture — deliberate raw syscall to prove a
+  // reasoned, used ALLOW is silent.
+  long put = ::write(fd, buf, 32);
+  co_return put;
+}

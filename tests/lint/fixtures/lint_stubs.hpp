@@ -1,0 +1,43 @@
+// Minimal stand-ins so the LHWS001–LHWS005 fixtures read as plausible C++
+// without depending on the library headers. The token backend never
+// compiles the fixtures; the AST backend parses them stand-alone with
+// -Wno-everything, so unresolved details are harmless.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+
+namespace stub {
+
+template <typename T>
+struct task {
+  struct promise_type {
+    task get_return_object() { return {}; }
+    std::suspend_always initial_suspend() { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void unhandled_exception() {}
+    void return_value(T) {}
+  };
+};
+
+template <>
+struct task<void> {
+  struct promise_type {
+    task get_return_object() { return {}; }
+    std::suspend_always initial_suspend() { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void unhandled_exception() {}
+    void return_void() {}
+  };
+};
+
+struct trivially_awaitable {
+  bool await_ready() { return true; }
+  void await_suspend(std::coroutine_handle<>) {}
+  int await_resume() { return 0; }
+};
+
+trivially_awaitable some_event();
+int touch_shared_state();
+
+}  // namespace stub

@@ -1,0 +1,56 @@
+// Fixture: LHWS001 suspend-with-lock. Self-contained stand-ins for the
+// real types — the linter reasons structurally, so these fixtures never
+// need to compile against the library (and must not: several encode bugs
+// [[nodiscard]] would reject).
+//
+// True positives carry a trailing LINT-EXPECT annotation; every other
+// line doubles as a true-negative (scripts/lint_check.py requires the
+// emitted set to match the expected set EXACTLY, so a spurious diagnostic
+// on any unannotated line fails the fixture).
+#include <mutex>
+
+#include "lint_stubs.hpp"
+
+std::mutex mu;
+
+// TP 1: a lock_guard alive across a co_await in the same scope.
+stub::task<int> tp_guard_spans_await() {
+  std::lock_guard<std::mutex> g(mu);
+  co_await stub::some_event();  // LINT-EXPECT: LHWS001
+  co_return 1;
+}
+
+// TP 2: a unique_lock in an outer scope, co_await in a nested block.
+stub::task<void> tp_unique_lock_nested_await(bool flag) {
+  std::unique_lock<std::mutex> lk(mu);
+  if (flag) {
+    co_await stub::some_event();  // LINT-EXPECT: LHWS001
+  }
+}
+
+// TP 3: scoped_lock with CTAD (no template argument list).
+stub::task<void> tp_scoped_lock_ctad() {
+  std::scoped_lock g(mu);
+  co_await stub::some_event();  // LINT-EXPECT: LHWS001
+}
+
+// TN 1: the guard's scope closes before the suspension point.
+stub::task<int> tn_guard_scope_closed() {
+  {
+    std::lock_guard<std::mutex> g(mu);
+    stub::touch_shared_state();
+  }
+  co_await stub::some_event();
+  co_return 2;
+}
+
+// TN 2: a guard in a non-coroutine function suspends nothing.
+int tn_guard_no_coroutine() {
+  std::lock_guard<std::mutex> g(mu);
+  return stub::touch_shared_state();
+}
+
+// TN 3: co_await with no guard anywhere in scope.
+stub::task<void> tn_await_without_guard() {
+  co_await stub::some_event();
+}

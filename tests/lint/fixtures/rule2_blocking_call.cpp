@@ -1,0 +1,56 @@
+// Fixture: LHWS002 blocking-call-on-worker. A raw blocking syscall inside
+// a coroutine body occupies the worker for the full latency — the paper's
+// whole point is that latency must instead be a heavy δ edge the scheduler
+// can hide (suspend via the src/io/ awaitables).
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <unistd.h>
+
+#include "lint_stubs.hpp"
+
+namespace io {
+struct reactor;
+struct socket;
+stub::trivially_awaitable async_read(reactor&, socket&, void*, std::size_t);
+}  // namespace io
+
+// TP 1: raw ::read inside a coroutine.
+stub::task<int> tp_raw_read(int fd, char* buf) {
+  long got = ::read(fd, buf, 64);  // LINT-EXPECT: LHWS002
+  co_return static_cast<int>(got);
+}
+
+// TP 2: thread sleep inside a coroutine (latency the scheduler never sees).
+stub::task<void> tp_thread_sleep() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // LINT-EXPECT: LHWS002
+  co_await stub::some_event();
+}
+
+// TP 3: usleep, unqualified spelling.
+stub::task<void> tp_usleep() {
+  usleep(1000);  // LINT-EXPECT: LHWS002
+  co_return;
+}
+
+// TN 1: the same syscall in a plain function is the caller's business —
+// only worker coroutines are the scheduler's concern.
+long tn_read_outside_coroutine(int fd, char* buf) {
+  return ::read(fd, buf, 64);
+}
+
+// TN 2: the async awaitable is exactly the sanctioned alternative.
+stub::task<int> tn_async_read(io::reactor& r, io::socket& s, char* buf) {
+  int got = co_await io::async_read(r, s, buf, 64);
+  co_return got;
+}
+
+// TN 3 (suppression path): an intentional raw syscall with a reasoned
+// ALLOW — the suppression must eat the diagnostic AND count as used, so
+// neither LHWS002 nor LHWS901 may appear.
+stub::task<long> tn_allowed_write(int fd, const char* buf) {
+  // LHWS-LINT-ALLOW(LHWS002): fixture — exercising the suppression path
+  // end to end (reasoned, used, multi-line comment).
+  long put = ::write(fd, buf, 64);
+  co_return put;
+}

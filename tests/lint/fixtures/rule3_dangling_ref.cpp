@@ -1,0 +1,56 @@
+// Fixture: LHWS003 dangling-ref-across-suspend. A coroutine lambda's
+// by-reference captures live in the closure object; the coroutine frame
+// outlives it (the frame suspends, the closure temporary is destroyed
+// with the caller's statement), so every such reference dangles at the
+// first resumption.
+#include <vector>
+
+#include "lint_stubs.hpp"
+
+// TP 1: capture-default by reference in a coroutine lambda.
+void tp_capture_default_ref() {
+  int local = 7;
+  auto bad = [&]() -> stub::task<int> {  // LINT-EXPECT: LHWS003
+    co_await stub::some_event();
+    co_return local;
+  };
+  (void)bad;
+}
+
+// TP 2: a named by-reference capture.
+void tp_named_ref_capture(std::vector<int>& rows) {
+  auto bad = [&rows]() -> stub::task<void> {  // LINT-EXPECT: LHWS003
+    co_await stub::some_event();
+    rows.clear();
+  };
+  (void)bad;
+}
+
+// TP 3: a reference parameter of a coroutine lambda (parameters are copied
+// into the frame — references are not).
+void tp_ref_param() {
+  auto bad = [](std::vector<int>& rows) -> stub::task<void> {  // LINT-EXPECT: LHWS003
+    co_await stub::some_event();
+    rows.clear();
+  };
+  (void)bad;
+}
+
+// TN 1: by-value captures are copied into the closure, which the coroutine
+// frame keeps alive via its own copy semantics in this codebase's usage.
+void tn_value_capture() {
+  int local = 7;
+  auto ok = [local]() -> stub::task<int> {
+    co_await stub::some_event();
+    co_return local;
+  };
+  (void)ok;
+}
+
+// TN 2: a by-reference capture in a NON-coroutine lambda is ordinary C++ —
+// no suspension point, no dangling window.
+int tn_ref_capture_plain_lambda() {
+  int local = 7;
+  auto ok = [&] { return local + 1; };
+  return ok();
+}

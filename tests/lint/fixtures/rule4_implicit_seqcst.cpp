@@ -1,0 +1,78 @@
+// Fixture: LHWS004 implicit-seq-cst. In the lock-free directories every
+// memory ordering must be a deliberate, §7-documented decision — a
+// defaulted seq_cst either hides a missing contract or taxes the hot path
+// with an unneeded full fence. (The runner passes --seqcst-scope=ALL so
+// this fixture participates regardless of its path.)
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> counter{0};
+std::atomic<bool> flag{false};
+
+// TP 1: defaulted load.
+std::uint64_t tp_default_load() {
+  return counter.load();  // LINT-EXPECT: LHWS004
+}
+
+// TP 2: defaulted store.
+void tp_default_store() {
+  flag.store(true);  // LINT-EXPECT: LHWS004
+}
+
+// TP 3: defaulted RMW.
+void tp_default_fetch_add() {
+  counter.fetch_add(1);  // LINT-EXPECT: LHWS004
+}
+
+// TP 4: operator forms are implicit seq_cst RMWs/stores in disguise.
+void tp_operator_forms() {
+  counter++;  // LINT-EXPECT: LHWS004
+  counter += 2;  // LINT-EXPECT: LHWS004
+  flag = true;  // LINT-EXPECT: LHWS004
+}
+
+// TP 5: compare_exchange with no ordering arguments.
+bool tp_default_cas(bool expect) {
+  return flag.compare_exchange_strong(expect, true);  // LINT-EXPECT: LHWS004
+}
+
+// TN 1: explicit orderings, single- and dual-order CAS forms.
+std::uint64_t tn_explicit_orders(bool expect) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  flag.store(true, std::memory_order_release);
+  if (flag.compare_exchange_strong(expect, false, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+  while (!flag.compare_exchange_weak(expect, true,
+                                     std::memory_order_relaxed)) {
+  }
+  return counter.load(std::memory_order_acquire);
+}
+
+// Documented limitation of the token backend: it matches method NAMES
+// structurally (it cannot resolve the receiver's type), so atomic-sounding
+// methods on plain types are flagged too. That bias is deliberate — in the
+// seqcst-scope directories a `.store()/.load()` pair on a non-atomic is
+// itself suspicious, and an ALLOW documents the exception. The AST backend
+// checks the real type and stays silent here.
+struct plain_buffer {
+  void store(int) {}
+  int load() { return 0; }
+};
+int limitation_plain_methods() {
+  plain_buffer b;
+  b.store(1);  // LINT-EXPECT: LHWS004
+  return b.load();  // LINT-EXPECT: LHWS004
+}
+
+// TN 2: method names outside the atomic vocabulary are never touched.
+struct queue_like {
+  void push(int) {}
+  int pop() { return 0; }
+};
+int tn_unrelated_methods() {
+  queue_like q;
+  q.push(1);
+  return q.pop();
+}

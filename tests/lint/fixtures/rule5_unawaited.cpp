@@ -1,0 +1,62 @@
+// Fixture: LHWS005 unawaited-awaitable. Calling a spawning/suspending API
+// and dropping the result on the floor either leaks the child computation
+// (a task<> that never runs) or silently skips the suspension the caller
+// thought they scheduled. [[nodiscard]] catches the library types at
+// compile time; this rule catches the same shape structurally, including
+// in code the compiler never sees (fixtures, templates never instantiated).
+#include <chrono>
+#include <thread>
+
+#include "lint_stubs.hpp"
+
+namespace lhws {
+stub::trivially_awaitable fork2(int, int);
+stub::trivially_awaitable latency(std::chrono::milliseconds);
+stub::trivially_awaitable sleep_for(std::chrono::milliseconds);
+stub::trivially_awaitable when_all(int, int);
+}  // namespace lhws
+
+namespace io {
+struct reactor;
+struct socket;
+stub::trivially_awaitable async_connect(reactor&, socket&);
+}  // namespace io
+
+// TP 1: fork2 result discarded — the fork never happens.
+stub::task<void> tp_dropped_fork(int a, int b) {
+  lhws::fork2(a, b);  // LINT-EXPECT: LHWS005
+  co_return;
+}
+
+// TP 2: a latency edge constructed and thrown away — the δ the scheduler
+// was supposed to hide never suspends anyone.
+stub::task<void> tp_dropped_latency() {
+  lhws::latency(std::chrono::milliseconds(10));  // LINT-EXPECT: LHWS005
+  co_await stub::some_event();
+}
+
+// TP 3: async I/O op discarded — the connect is never driven.
+stub::task<void> tp_dropped_connect(io::reactor& r, io::socket& s) {
+  io::async_connect(r, s);  // LINT-EXPECT: LHWS005
+  co_return;
+}
+
+// TN 1: awaited — the normal shape.
+stub::task<void> tn_awaited(int a, int b) {
+  co_await lhws::fork2(a, b);
+  co_await lhws::sleep_for(std::chrono::milliseconds(1));
+}
+
+// TN 2: bound to a variable and awaited later; the intermediate binding is
+// a consumption, not a discard.
+stub::task<void> tn_bound_then_awaited(int a, int b) {
+  auto pending = lhws::when_all(a, b);
+  co_await pending;
+}
+
+// TN 3: std::this_thread::sleep_for shares a name with the awaitable but
+// is the thread API, not ours — must not be flagged by THIS rule (rule 2
+// owns it, and only inside coroutines).
+void tn_thread_sleep_name_collision() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

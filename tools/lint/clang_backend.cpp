@@ -1,0 +1,345 @@
+// AST backend: the same five rules as token_rules.cpp, implemented on the
+// real clang AST via libTooling + ASTMatchers. Compiled only when the
+// build finds clang dev libraries (find_package(Clang)); tools/lint/
+// CMakeLists.txt prints a graceful skip otherwise and the token backend
+// carries the CI gate alone.
+//
+// The AST view is strictly more precise than the token view: guard
+// liveness is computed from real scopes, "coroutine body" is
+// CoroutineBodyStmt rather than a keyword heuristic, and rule 4 verifies
+// the receiver really is a std::atomic specialization.
+#include "lint_core.hpp"
+
+#ifdef LHWS_LINT_HAVE_CLANG
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/AST/StmtCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/ArgumentsAdjusters.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+namespace lhws::lint {
+namespace {
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+// Matchers for nodes the stock library does not cover on older clangs.
+AST_MATCHER(Stmt, lhwsIsCoroutineBody) {
+  return isa<CoroutineBodyStmt>(&Node);
+}
+
+struct sink {
+  const lint_options* opt = nullptr;
+  std::vector<diagnostic>* out = nullptr;
+
+  void add(const ASTContext& ctx, SourceLocation loc, rule r,
+           std::string msg) const {
+    const SourceManager& sm = ctx.getSourceManager();
+    if (loc.isInvalid()) return;
+    loc = sm.getExpansionLoc(loc);
+    diagnostic d;
+    d.file = sm.getFilename(loc).str();
+    d.line = static_cast<int>(sm.getExpansionLineNumber(loc));
+    d.col = static_cast<int>(sm.getExpansionColumnNumber(loc));
+    d.id = r;
+    d.message = std::move(msg);
+    if (!d.file.empty()) out->push_back(std::move(d));
+  }
+};
+
+bool is_lock_guard_type(QualType qt) {
+  qt = qt.getCanonicalType();
+  const auto* rec = qt->getAsCXXRecordDecl();
+  if (rec == nullptr) return false;
+  const StringRef name = rec->getName();
+  return name == "lock_guard" || name == "unique_lock" ||
+         name == "scoped_lock" || name == "shared_lock";
+}
+
+bool is_std_atomic_type(QualType qt) {
+  qt = qt.getCanonicalType();
+  const auto* rec = qt->getAsCXXRecordDecl();
+  if (rec == nullptr) return false;
+  if (rec->getName() != "atomic" && rec->getName() != "atomic_flag")
+    return false;
+  const DeclContext* dc = rec->getDeclContext();
+  return dc != nullptr && dc->isStdNamespace();
+}
+
+// Innermost function-ish ancestor whose body contains `s`; null when none.
+const FunctionDecl* enclosing_function(ASTContext& ctx, const Stmt* s) {
+  DynTypedNodeList parents = ctx.getParents(*s);
+  while (!parents.empty()) {
+    const DynTypedNode& n = parents[0];
+    if (const auto* fd = n.get<FunctionDecl>()) return fd;
+    if (const auto* lam = n.get<LambdaExpr>()) return lam->getCallOperator();
+    parents = ctx.getParents(n);
+  }
+  return nullptr;
+}
+
+bool in_coroutine(ASTContext& ctx, const Stmt* s) {
+  const FunctionDecl* fd = enclosing_function(ctx, s);
+  return fd != nullptr && fd->getBody() != nullptr &&
+         isa<CoroutineBodyStmt>(fd->getBody());
+}
+
+// Rule 1: co_await while a lock guard declared earlier in an enclosing
+// scope of the same function is still alive.
+class suspend_with_lock_cb : public MatchFinder::MatchCallback {
+ public:
+  explicit suspend_with_lock_cb(sink s) : s_(s) {}
+
+  void run(const MatchFinder::MatchResult& res) override {
+    const auto* await = res.Nodes.getNodeAs<CoawaitExpr>("await");
+    if (await == nullptr) return;
+    ASTContext& ctx = *res.Context;
+    const SourceManager& sm = ctx.getSourceManager();
+    const FunctionDecl* fn = enclosing_function(ctx, await);
+    // Walk up through the enclosing compound statements; any guard decl
+    // textually before the co_await in one of them is alive across it.
+    DynTypedNodeList parents = ctx.getParents(*await);
+    while (!parents.empty()) {
+      const DynTypedNode& n = parents[0];
+      if (const auto* fd = n.get<FunctionDecl>()) {
+        if (fd == fn) break;
+      }
+      if (const auto* cs = n.get<CompoundStmt>()) {
+        for (const Stmt* child : cs->body()) {
+          const auto* ds = dyn_cast<DeclStmt>(child);
+          if (ds == nullptr) continue;
+          for (const Decl* d : ds->decls()) {
+            const auto* vd = dyn_cast<VarDecl>(d);
+            if (vd == nullptr || !is_lock_guard_type(vd->getType())) continue;
+            if (sm.isBeforeInTranslationUnit(vd->getLocation(),
+                                             await->getBeginLoc())) {
+              s_.add(ctx, await->getBeginLoc(), rule::suspend_with_lock,
+                     "co_await while a " +
+                         vd->getType().getAsString() +
+                         " is held — release the lock before suspending");
+              return;
+            }
+          }
+        }
+      }
+      parents = ctx.getParents(n);
+    }
+  }
+
+ private:
+  sink s_;
+};
+
+// Rule 2: blocking libc call inside a coroutine body.
+class blocking_call_cb : public MatchFinder::MatchCallback {
+ public:
+  explicit blocking_call_cb(sink s) : s_(s) {}
+
+  void run(const MatchFinder::MatchResult& res) override {
+    const auto* call = res.Nodes.getNodeAs<CallExpr>("call");
+    if (call == nullptr || !in_coroutine(*res.Context, call)) return;
+    const FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) return;
+    s_.add(*res.Context, call->getBeginLoc(), rule::blocking_call_on_worker,
+           "blocking call " + callee->getNameAsString() +
+               " inside a coroutine — use the src/io/ async_* awaitables "
+               "or sleep_until so the latency becomes a heavy edge");
+  }
+
+ private:
+  sink s_;
+};
+
+// Rule 3: by-reference captures / reference parameters of coroutine
+// lambdas.
+class dangling_ref_cb : public MatchFinder::MatchCallback {
+ public:
+  explicit dangling_ref_cb(sink s) : s_(s) {}
+
+  void run(const MatchFinder::MatchResult& res) override {
+    const auto* lam = res.Nodes.getNodeAs<LambdaExpr>("lam");
+    if (lam == nullptr) return;
+    const CXXMethodDecl* op = lam->getCallOperator();
+    if (op == nullptr || op->getBody() == nullptr ||
+        !isa<CoroutineBodyStmt>(op->getBody()))
+      return;
+    ASTContext& ctx = *res.Context;
+    for (const LambdaCapture& cap : lam->captures()) {
+      if (cap.getCaptureKind() == LCK_ByRef) {
+        s_.add(ctx, cap.getLocation(), rule::dangling_ref_across_suspend,
+               "by-reference capture in a coroutine lambda — the frame "
+               "outlives the closure; capture by value");
+        break;
+      }
+    }
+    for (const ParmVarDecl* p : op->parameters()) {
+      if (p->getType()->isReferenceType()) {
+        s_.add(ctx, p->getLocation(), rule::dangling_ref_across_suspend,
+               "reference parameter of a coroutine lambda — references are "
+               "not copied into the frame and may dangle after the first "
+               "suspension");
+        break;
+      }
+    }
+  }
+
+ private:
+  sink s_;
+};
+
+// Rule 4: atomic operation without an explicit memory_order argument.
+class implicit_seq_cst_cb : public MatchFinder::MatchCallback {
+ public:
+  explicit implicit_seq_cst_cb(sink s) : s_(s) {}
+
+  void run(const MatchFinder::MatchResult& res) override {
+    ASTContext& ctx = *res.Context;
+    const SourceManager& sm = ctx.getSourceManager();
+    if (const auto* m = res.Nodes.getNodeAs<CXXMemberCallExpr>("member")) {
+      const Expr* obj = m->getImplicitObjectArgument();
+      if (obj == nullptr || !is_std_atomic_type(obj->getType())) return;
+      if (!in_scope(sm, m->getBeginLoc())) return;
+      // Explicit iff any argument is a std::memory_order.
+      for (const Expr* arg : m->arguments()) {
+        QualType at = arg->getType().getCanonicalType();
+        if (const auto* et = at->getAs<EnumType>()) {
+          if (et->getDecl()->getName() == "memory_order") return;
+        }
+      }
+      const CXXMethodDecl* md = m->getMethodDecl();
+      s_.add(ctx, m->getBeginLoc(), rule::implicit_seq_cst,
+             "." + (md ? md->getNameAsString() : std::string("op")) +
+                 " with defaulted memory_order_seq_cst — make the ordering "
+                 "explicit (DESIGN.md §7)");
+      return;
+    }
+    if (const auto* o = res.Nodes.getNodeAs<CXXOperatorCallExpr>("oper")) {
+      if (o->getNumArgs() == 0 ||
+          !is_std_atomic_type(o->getArg(0)->getType()))
+        return;
+      if (!in_scope(sm, o->getBeginLoc())) return;
+      s_.add(ctx, o->getBeginLoc(), rule::implicit_seq_cst,
+             "overloaded atomic operator is an implicit seq_cst access — "
+             "spell it as load/store/fetch_* with an explicit order");
+    }
+  }
+
+ private:
+  bool in_scope(const SourceManager& sm, SourceLocation loc) const {
+    return s_.opt->seqcst_in_scope(
+        sm.getFilename(sm.getExpansionLoc(loc)).str());
+  }
+  sink s_;
+};
+
+// Rule 5: a discarded prvalue of an awaitable type used as a statement.
+class unawaited_cb : public MatchFinder::MatchCallback {
+ public:
+  explicit unawaited_cb(sink s) : s_(s) {}
+
+  void run(const MatchFinder::MatchResult& res) override {
+    const auto* e = res.Nodes.getNodeAs<Expr>("expr");
+    if (e == nullptr) return;
+    QualType qt = e->getType().getCanonicalType();
+    const auto* rec = qt->getAsCXXRecordDecl();
+    if (rec == nullptr) return;
+    const StringRef name = rec->getName();
+    static const std::set<std::string> awaitables = {
+        "task",          "fork2_awaiter", "latency_awaiter",
+        "sleep_awaiter", "io_wait_awaiter", "receive_awaiter"};
+    if (awaitables.count(name.str()) == 0) return;
+    s_.add(*res.Context, e->getBeginLoc(), rule::unawaited_awaitable,
+           "discarded " + name.str() +
+               " temporary — a task/awaitable that is never co_awaited "
+               "silently drops its work");
+  }
+
+ private:
+  sink s_;
+};
+
+}  // namespace
+
+bool run_ast_rules(const std::string& compdb_dir,
+                   const std::vector<std::string>& files,
+                   const lint_options& opt, std::vector<diagnostic>& out) {
+  std::string err;
+  std::unique_ptr<tooling::CompilationDatabase> db;
+  if (!compdb_dir.empty()) {
+    db = tooling::CompilationDatabase::loadFromDirectory(compdb_dir, err);
+  }
+  if (db == nullptr) {
+    db = std::make_unique<tooling::FixedCompilationDatabase>(
+        ".", std::vector<std::string>{"-std=c++20"});
+  }
+  tooling::ClangTool tool(*db, files);
+  tool.appendArgumentsAdjuster(
+      tooling::getInsertArgumentAdjuster("-Wno-everything"));
+  tool.appendArgumentsAdjuster(
+      tooling::getInsertArgumentAdjuster("-fsyntax-only"));
+
+  sink s{&opt, &out};
+  MatchFinder finder;
+
+  suspend_with_lock_cb r1(s);
+  blocking_call_cb r2(s);
+  dangling_ref_cb r3(s);
+  implicit_seq_cst_cb r4(s);
+  unawaited_cb r5(s);
+
+  if (opt.rule_enabled(rule::suspend_with_lock)) {
+    finder.addMatcher(coawaitExpr().bind("await"), &r1);
+  }
+  if (opt.rule_enabled(rule::blocking_call_on_worker)) {
+    finder.addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::read", "::write", "::accept", "::accept4",
+                     "::connect", "::poll", "::select", "::recv", "::send",
+                     "::recvfrom", "::sendto", "::pread", "::pwrite",
+                     "::sleep", "::usleep", "::nanosleep",
+                     "::std::this_thread::sleep_for",
+                     "::std::this_thread::sleep_until"))))
+            .bind("call"),
+        &r2);
+  }
+  if (opt.rule_enabled(rule::dangling_ref_across_suspend)) {
+    finder.addMatcher(lambdaExpr().bind("lam"), &r3);
+  }
+  if (opt.rule_enabled(rule::implicit_seq_cst)) {
+    finder.addMatcher(cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName(
+                                            "load", "store", "exchange",
+                                            "fetch_add", "fetch_sub",
+                                            "fetch_and", "fetch_or",
+                                            "fetch_xor", "test_and_set",
+                                            "compare_exchange_strong",
+                                            "compare_exchange_weak"))))
+                          .bind("member"),
+                      &r4);
+    finder.addMatcher(cxxOperatorCallExpr().bind("oper"), &r4);
+  }
+  if (opt.rule_enabled(rule::unawaited_awaitable)) {
+    finder.addMatcher(
+        exprWithCleanups(hasParent(compoundStmt())).bind("expr"), &r5);
+    finder.addMatcher(
+        cxxBindTemporaryExpr(hasParent(compoundStmt())).bind("expr"), &r5);
+  }
+
+  // A nonzero run() just means some TU had parse errors (e.g. a fixture
+  // that does not compile stand-alone); matches already found still count.
+  (void)tool.run(tooling::newFrontendActionFactory(&finder).get());
+  return true;
+}
+
+}  // namespace lhws::lint
+
+#endif  // LHWS_LINT_HAVE_CLANG

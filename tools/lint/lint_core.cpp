@@ -1,0 +1,169 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace lhws::lint {
+
+const std::vector<rule_info>& all_rules() {
+  static const std::vector<rule_info> table = {
+      {rule::suspend_with_lock, "LHWS001", "suspend-with-lock",
+       "a lock_guard/unique_lock/scoped_lock lifetime spans a co_await"},
+      {rule::blocking_call_on_worker, "LHWS002", "blocking-call-on-worker",
+       "raw blocking syscall or sleep inside a coroutine body"},
+      {rule::dangling_ref_across_suspend, "LHWS003",
+       "dangling-ref-across-suspend",
+       "by-reference capture in a coroutine lambda outlives the closure"},
+      {rule::implicit_seq_cst, "LHWS004", "implicit-seq-cst",
+       "atomic op relying on defaulted memory_order_seq_cst in a lock-free "
+       "directory"},
+      {rule::unawaited_awaitable, "LHWS005", "unawaited-awaitable",
+       "discarded task<>/awaitable temporary silently drops work"},
+      {rule::reasonless_suppression, "LHWS900", "reasonless-suppression",
+       "LHWS-LINT-ALLOW with an empty reason"},
+      {rule::unused_suppression, "LHWS901", "unused-suppression",
+       "LHWS-LINT-ALLOW that suppressed no diagnostic"},
+  };
+  return table;
+}
+
+std::string_view rule_code(rule r) {
+  for (const rule_info& ri : all_rules())
+    if (ri.id == r) return ri.code;
+  return "LHWS???";
+}
+
+std::string_view rule_slug(rule r) {
+  for (const rule_info& ri : all_rules())
+    if (ri.id == r) return ri.slug;
+  return "unknown";
+}
+
+namespace {
+
+struct allow_comment {
+  int line = 0;
+  int target_line = 0;  // first code line at/after the comment
+  std::vector<std::string> rules;  // ids or slugs, as written
+  std::string reason;
+  bool used = false;
+
+  bool covers(rule r) const {
+    for (const std::string& s : rules) {
+      if (s == rule_code(r) || s == rule_slug(r)) return true;
+    }
+    return false;
+  }
+};
+
+std::string trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// True when the line holds no code — blank, or a // comment only.
+bool comment_only(std::string_view text) {
+  std::string t = trim(text);
+  return t.empty() || t.rfind("//", 0) == 0;
+}
+
+// Parses every `LHWS-LINT-ALLOW(<rules>): <reason>` in `source`. An ALLOW
+// written as a trailing comment covers its own line; an ALLOW written as a
+// comment line covers the first code line below it (comment continuation
+// lines are skipped, so multi-line reasons work).
+std::vector<allow_comment> parse_allows(const std::string& source) {
+  std::vector<std::string_view> lines;
+  {
+    size_t pos = 0;
+    while (pos <= source.size()) {
+      size_t eol = source.find('\n', pos);
+      if (eol == std::string::npos) eol = source.size();
+      lines.emplace_back(source.data() + pos, eol - pos);
+      pos = eol + 1;
+      if (eol == source.size()) break;
+    }
+  }
+  std::vector<allow_comment> out;
+  int line = 1;
+  size_t pos = 0;
+  while (pos < source.size()) {
+    size_t eol = source.find('\n', pos);
+    if (eol == std::string::npos) eol = source.size();
+    std::string_view text(source.data() + pos, eol - pos);
+    size_t at = text.find("LHWS-LINT-ALLOW");
+    if (at != std::string_view::npos) {
+      allow_comment a;
+      a.line = line;
+      std::string_view rest = text.substr(at + 15);
+      if (!rest.empty() && rest.front() == '(') {
+        size_t close = rest.find(')');
+        if (close != std::string_view::npos) {
+          std::string_view list = rest.substr(1, close - 1);
+          size_t s = 0;
+          while (s <= list.size()) {
+            size_t c = list.find(',', s);
+            if (c == std::string_view::npos) c = list.size();
+            std::string item = trim(list.substr(s, c - s));
+            if (!item.empty()) a.rules.push_back(item);
+            s = c + 1;
+          }
+          std::string_view tail = rest.substr(close + 1);
+          if (!tail.empty() && tail.front() == ':') tail.remove_prefix(1);
+          a.reason = trim(tail);
+        }
+      }
+      a.target_line = a.line;
+      if (comment_only(text)) {
+        size_t j = static_cast<size_t>(a.line);  // 0-based index of next line
+        while (j < lines.size() && comment_only(lines[j])) ++j;
+        if (j < lines.size()) a.target_line = static_cast<int>(j) + 1;
+      }
+      out.push_back(std::move(a));
+    }
+    pos = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+}  // namespace
+
+void apply_suppressions(const std::string& path, const std::string& source,
+                        std::vector<diagnostic>& diags) {
+  std::vector<allow_comment> allows = parse_allows(source);
+
+  std::vector<diagnostic> kept;
+  kept.reserve(diags.size());
+  for (diagnostic& d : diags) {
+    bool suppressed = false;
+    for (allow_comment& a : allows) {
+      if ((a.line == d.line || a.target_line == d.line) && a.covers(d.id)) {
+        a.used = true;
+        // A reasonless ALLOW does not suppress: the audit below fires and
+        // the original diagnostic stands, so the build stays red either way.
+        if (!a.reason.empty()) suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+  diags = std::move(kept);
+
+  for (const allow_comment& a : allows) {
+    if (a.reason.empty()) {
+      diags.push_back({path, a.line, 1, rule::reasonless_suppression,
+                       "LHWS-LINT-ALLOW without a reason — every suppression "
+                       "must justify itself"});
+    } else if (!a.used) {
+      diags.push_back({path, a.line, 1, rule::unused_suppression,
+                       "LHWS-LINT-ALLOW suppressed no diagnostic — stale or "
+                       "misplaced; delete it or move it to the offending "
+                       "line"});
+    }
+  }
+}
+
+}  // namespace lhws::lint

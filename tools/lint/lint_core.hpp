@@ -1,0 +1,112 @@
+// lhws_lint — static enforcement of the scheduler invariants that the
+// dynamic tooling (src/chk/ model checker, TSan matrix) can only catch per
+// interleaving. Five rules, each a structural property of the source that
+// must hold for the paper's bounds to apply:
+//
+//   LHWS001 suspend-with-lock        a lock guard alive across co_await
+//   LHWS002 blocking-call-on-worker  raw blocking syscall in a coroutine
+//   LHWS003 dangling-ref-across-suspend  by-ref captures in a coroutine
+//                                        lambda (frame outlives the closure)
+//   LHWS004 implicit-seq-cst         defaulted memory_order in the
+//                                        lock-free directories
+//   LHWS005 unawaited-awaitable      a discarded task<> / awaitable
+//
+// Plus two audit diagnostics that keep the suppression mechanism honest:
+//
+//   LHWS900 reasonless-suppression   LHWS-LINT-ALLOW with an empty reason
+//   LHWS901 unused-suppression       LHWS-LINT-ALLOW that suppressed nothing
+//
+// A diagnostic on line L is suppressed by `// LHWS-LINT-ALLOW(<rule>):
+// <reason>` on line L or L-1, where <rule> is the numeric id or the slug
+// (comma-separated list accepted). The rationale catalogue is DESIGN.md
+// §12 "Static invariants".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lhws::lint {
+
+enum class rule : int {
+  suspend_with_lock = 1,
+  blocking_call_on_worker = 2,
+  dangling_ref_across_suspend = 3,
+  implicit_seq_cst = 4,
+  unawaited_awaitable = 5,
+  reasonless_suppression = 900,
+  unused_suppression = 901,
+};
+
+struct rule_info {
+  rule id;
+  std::string_view code;  // "LHWS001"
+  std::string_view slug;  // "suspend-with-lock"
+  std::string_view what;  // one-line description for --list-rules
+};
+
+// Stable table; order is the report order in --list-rules.
+const std::vector<rule_info>& all_rules();
+
+std::string_view rule_code(rule r);
+std::string_view rule_slug(rule r);
+
+struct diagnostic {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  rule id{};
+  std::string message;
+
+  bool operator<(const diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (col != o.col) return col < o.col;
+    return static_cast<int>(id) < static_cast<int>(o.id);
+  }
+};
+
+struct lint_options {
+  // Rule-4 scope: a file participates iff its path contains one of these
+  // substrings. The single entry "ALL" means every file (fixture mode).
+  std::vector<std::string> seqcst_scope = {
+      "src/deque", "src/runtime", "src/mem", "src/io", "src/support"};
+  // Empty = all rules enabled.
+  std::vector<rule> only_rules;
+
+  bool rule_enabled(rule r) const {
+    if (only_rules.empty()) return true;
+    for (rule x : only_rules)
+      if (x == r) return true;
+    return false;
+  }
+  bool seqcst_in_scope(std::string_view path) const {
+    for (const std::string& s : seqcst_scope) {
+      if (s == "ALL") return true;
+      if (path.find(s) != std::string_view::npos) return true;
+    }
+    return false;
+  }
+};
+
+// Token-level backend: analyzes one file's source text, appending
+// diagnostics (unsuppressed AND suppressed alike; the caller filters).
+void run_token_rules(const std::string& path, const std::string& source,
+                     const lint_options& opt, std::vector<diagnostic>& out);
+
+// Suppression pass: removes diagnostics covered by an LHWS-LINT-ALLOW on
+// the same or preceding line, then appends LHWS900 (empty reason) and
+// LHWS901 (allow that matched nothing) audit diagnostics.
+void apply_suppressions(const std::string& path, const std::string& source,
+                        std::vector<diagnostic>& diags);
+
+#ifdef LHWS_LINT_HAVE_CLANG
+// AST backend (clang libTooling): analyzes the translation units in the
+// compilation database at `compdb_dir`, restricted to `files` when
+// non-empty. Returns false on a hard tooling error.
+bool run_ast_rules(const std::string& compdb_dir,
+                   const std::vector<std::string>& files,
+                   const lint_options& opt, std::vector<diagnostic>& out);
+#endif
+
+}  // namespace lhws::lint

@@ -1,0 +1,730 @@
+// Token-level backend: a C++-aware lexer plus a brace-scope classifier,
+// strong enough to enforce the five invariants on this codebase without
+// clang dev libraries. The AST backend (clang_backend.cpp) implements the
+// same rules on the real AST when libTooling is available; this backend is
+// what guarantees the invariants are enforced *everywhere*, including
+// containers with no clang dev packages.
+//
+// Deliberate approximations (all conservative for this codebase's style,
+// and all escapable via LHWS-LINT-ALLOW):
+//   - a "function body" is a brace block introduced by `(...)` that is not
+//     a control statement head; lambdas are `[...](...){ }` or `[...]{ }`;
+//   - a guard's lifetime is its enclosing brace scope (early .unlock() is
+//     not modeled);
+//   - rule 4's operator-form detection tracks names declared as
+//     `std::atomic<...>` / `model_atomic<...>` within the same file.
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "lint_core.hpp"
+
+namespace lhws::lint {
+namespace {
+
+enum class tk : std::uint8_t { ident, number, str, chr, punct };
+
+struct token {
+  tk kind;
+  std::string text;
+  int line;
+  int col;
+};
+
+// --- Lexer ----------------------------------------------------------------
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<token> lex(const std::string& src) {
+  std::vector<token> out;
+  int line = 1, col = 1;
+  size_t i = 0;
+  const size_t n = src.size();
+
+  auto advance = [&](size_t k) {
+    for (size_t j = 0; j < k && i < n; ++j, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Preprocessor line (only when # is the first non-ws token on the line).
+    if (c == '#' && col >= 1) {
+      bool line_start = true;
+      for (size_t j = i; j-- > 0;) {
+        if (src[j] == '\n') break;
+        if (!std::isspace(static_cast<unsigned char>(src[j]))) {
+          line_start = false;
+          break;
+        }
+      }
+      if (line_start) {
+        // Consume to end of line, honoring backslash continuations.
+        while (i < n) {
+          size_t eol = src.find('\n', i);
+          if (eol == std::string::npos) {
+            advance(n - i);
+            break;
+          }
+          size_t last = eol;
+          while (last > i &&
+                 std::isspace(static_cast<unsigned char>(src[last - 1])) &&
+                 src[last - 1] != '\n')
+            --last;
+          bool cont = last > i && src[last - 1] == '\\';
+          advance(eol - i + 1);
+          if (!cont) break;
+        }
+        continue;
+      }
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t eol = src.find('\n', i);
+      advance((eol == std::string::npos ? n : eol) - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      advance((end == std::string::npos ? n : end + 2) - i);
+      continue;
+    }
+    // Raw strings.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      std::string close = ")" + delim + "\"";
+      size_t end = src.find(close, p);
+      int l = line, cl = col;
+      advance((end == std::string::npos ? n : end + close.size()) - i);
+      out.push_back({tk::str, "R\"...\"", l, cl});
+      continue;
+    }
+    // Strings / chars.
+    if (c == '"' || c == '\'') {
+      char q = c;
+      int l = line, cl = col;
+      size_t p = i + 1;
+      while (p < n && src[p] != q) {
+        if (src[p] == '\\') ++p;
+        ++p;
+      }
+      advance((p < n ? p + 1 : n) - i);
+      out.push_back({q == '"' ? tk::str : tk::chr, std::string(1, q), l, cl});
+      continue;
+    }
+    // Identifiers / keywords.
+    if (ident_start(c)) {
+      size_t p = i;
+      while (p < n && ident_char(src[p])) ++p;
+      out.push_back({tk::ident, src.substr(i, p - i), line, col});
+      advance(p - i);
+      continue;
+    }
+    // Numbers (incl. hex / separators / suffixes — coarse).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t p = i;
+      while (p < n && (ident_char(src[p]) || src[p] == '\'' ||
+                       ((src[p] == '+' || src[p] == '-') && p > i &&
+                        (src[p - 1] == 'e' || src[p - 1] == 'E' ||
+                         src[p - 1] == 'p' || src[p - 1] == 'P'))))
+        ++p;
+      out.push_back({tk::number, src.substr(i, p - i), line, col});
+      advance(p - i);
+      continue;
+    }
+    // Multi-char punctuators we care about.
+    static const char* two[] = {"::", "->", "++", "--", "+=", "-=", "|=",
+                                "&=", "^=", "<<", ">>", "<=", ">=", "==",
+                                "!=", "&&", "||"};
+    std::string t(1, c);
+    if (i + 1 < n) {
+      std::string pair = src.substr(i, 2);
+      for (const char* p2 : two) {
+        if (pair == p2) {
+          t = pair;
+          break;
+        }
+      }
+    }
+    out.push_back({tk::punct, t, line, col});
+    advance(t.size());
+  }
+  return out;
+}
+
+// --- Scope tree -----------------------------------------------------------
+
+enum class scope_kind : std::uint8_t {
+  file,
+  function,  // free/member function body (incl. ctor bodies)
+  lambda,    // lambda body
+  klass,     // class/struct/union/enum body
+  block,     // control statement or bare block — transparent
+  init,      // braced initializer — transparent
+  ns,        // namespace body — transparent
+};
+
+struct scope {
+  scope_kind kind;
+  int open = -1;           // token index of '{' (-1 for file scope)
+  int close = -1;          // token index of matching '}'
+  int parent = -1;
+  int lambda_intro = -1;   // '[' token index for lambdas
+  int lambda_params_end = -1;  // ')' of the param list, or -1
+  bool coroutine = false;  // contains co_await/co_return/co_yield directly
+};
+
+struct scope_tree {
+  std::vector<token> toks;
+  std::vector<scope> scopes;
+  std::vector<int> scope_of;  // innermost scope per token
+
+  const token& at(int i) const { return toks[static_cast<size_t>(i)]; }
+};
+
+int match_back(const std::vector<token>& t, int close_idx, const char* open,
+               const char* close) {
+  int depth = 0;
+  for (int j = close_idx; j >= 0; --j) {
+    if (t[static_cast<size_t>(j)].text == close) ++depth;
+    else if (t[static_cast<size_t>(j)].text == open && --depth == 0) return j;
+  }
+  return -1;
+}
+
+// `<`/`>` aware: a `>>` token closes two template levels.
+int match_fwd(const std::vector<token>& t, int open_idx, const char* open,
+              const char* close) {
+  const bool angles = open[0] == '<';
+  int depth = 0;
+  for (int j = open_idx; j < static_cast<int>(t.size()); ++j) {
+    const std::string& s = t[static_cast<size_t>(j)].text;
+    if (s == open) ++depth;
+    else if (s == close && --depth == 0) return j;
+    else if (angles && s == ">>" && (depth -= 2) <= 0) return j;
+  }
+  return -1;
+}
+
+bool is_control_kw(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch";
+}
+
+// Classifies the brace at token index i. Sets *intro/*params_end for
+// lambdas.
+scope_kind classify_brace(const std::vector<token>& t, int i,
+                          bool pending_class, bool pending_ns, int* intro,
+                          int* params_end) {
+  if (i == 0) return scope_kind::block;
+  // Walk back over trailing-return-type / specifier tokens to the nearest
+  // interesting anchor: ')', ']', or a statement boundary.
+  int j = i - 1;
+  int budget = 64;
+  while (j > 0 && budget-- > 0) {
+    const std::string& s = t[static_cast<size_t>(j)].text;
+    if (s == ")" || s == "]" || s == ";" || s == "{" || s == "}" ||
+        s == "=" || s == "," || s == "(" || s == "return" ||
+        s == "co_return" || s == "co_yield" || s == "co_await" ||
+        s == "else" || s == "do" || s == "try")
+      break;
+    if (s == ">") {
+      // Skip a balanced template-argument list in a trailing return type.
+      int open = match_back(t, j, "<", ">");
+      if (open <= 0) break;
+      j = open - 1;
+      continue;
+    }
+    --j;
+  }
+  const std::string& anchor = t[static_cast<size_t>(j)].text;
+  if (anchor == "]") {
+    if (intro) *intro = match_back(t, j, "[", "]");
+    return scope_kind::lambda;
+  }
+  if (anchor == ")") {
+    int open = match_back(t, j, "(", ")");
+    if (open > 0) {
+      const token& before = t[static_cast<size_t>(open - 1)];
+      if (is_control_kw(before.text)) return scope_kind::block;
+      if (before.text == "constexpr" && open > 1 &&
+          t[static_cast<size_t>(open - 2)].text == "if")
+        return scope_kind::block;
+      if (before.text == "]") {
+        if (intro) *intro = match_back(t, open - 1, "[", "]");
+        if (params_end) *params_end = j;
+        return scope_kind::lambda;
+      }
+      if (before.text == "noexcept") {
+        // noexcept(expr): keep walking back past it.
+        return classify_brace(t, open, pending_class, pending_ns, intro,
+                              params_end);
+      }
+      if (pending_class) return scope_kind::klass;
+      return scope_kind::function;
+    }
+    return scope_kind::block;
+  }
+  if (anchor == "else" || anchor == "do" || anchor == "try")
+    return scope_kind::block;
+  if (anchor == "=" || anchor == "," || anchor == "(" || anchor == "return" ||
+      anchor == "co_return" || anchor == "co_yield" || anchor == "co_await")
+    return scope_kind::init;
+  if (pending_ns) return scope_kind::ns;
+  if (pending_class) return scope_kind::klass;
+  return scope_kind::block;
+}
+
+scope_tree build_scopes(const std::string& src) {
+  scope_tree st;
+  st.toks = lex(src);
+  st.scopes.push_back({scope_kind::file, -1, -1, -1, -1, -1, false});
+  st.scope_of.resize(st.toks.size(), 0);
+
+  int cur = 0;
+  // Per open scope: "a class/namespace head is pending" flags, cleared on
+  // ';' (a declaration ended without a body).
+  std::vector<std::pair<bool, bool>> pending;  // {class, ns}
+  pending.emplace_back(false, false);
+  std::vector<int> stack{0};
+
+  for (int i = 0; i < static_cast<int>(st.toks.size()); ++i) {
+    const token& t = st.toks[static_cast<size_t>(i)];
+    st.scope_of[static_cast<size_t>(i)] = cur;
+    if (t.kind == tk::ident) {
+      if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+          t.text == "enum")
+        pending.back().first = true;
+      else if (t.text == "namespace")
+        pending.back().second = true;
+      continue;
+    }
+    if (t.text == ";") {
+      pending.back() = {false, false};
+      continue;
+    }
+    if (t.text == "{") {
+      int intro = -1, params_end = -1;
+      scope_kind k = classify_brace(st.toks, i, pending.back().first,
+                                    pending.back().second, &intro,
+                                    &params_end);
+      pending.back() = {false, false};
+      scope s;
+      s.kind = k;
+      s.open = i;
+      s.parent = cur;
+      s.lambda_intro = intro;
+      s.lambda_params_end = params_end;
+      st.scopes.push_back(s);
+      cur = static_cast<int>(st.scopes.size()) - 1;
+      stack.push_back(cur);
+      pending.emplace_back(false, false);
+      st.scope_of[static_cast<size_t>(i)] = cur;
+      continue;
+    }
+    if (t.text == "}") {
+      st.scope_of[static_cast<size_t>(i)] = cur;
+      if (stack.size() > 1) {
+        st.scopes[static_cast<size_t>(cur)].close = i;
+        stack.pop_back();
+        pending.pop_back();
+        cur = stack.back();
+      }
+      continue;
+    }
+  }
+  // Close any unterminated scopes at EOF (defensive).
+  for (scope& s : st.scopes) {
+    if (s.open >= 0 && s.close < 0)
+      s.close = static_cast<int>(st.toks.size()) - 1;
+  }
+
+  // Mark coroutine bodies: the innermost enclosing function/lambda of every
+  // co_* keyword.
+  for (int i = 0; i < static_cast<int>(st.toks.size()); ++i) {
+    const std::string& s = st.toks[static_cast<size_t>(i)].text;
+    if (s != "co_await" && s != "co_return" && s != "co_yield") continue;
+    int sc = st.scope_of[static_cast<size_t>(i)];
+    while (sc > 0) {
+      scope_kind k = st.scopes[static_cast<size_t>(sc)].kind;
+      if (k == scope_kind::function || k == scope_kind::lambda) {
+        st.scopes[static_cast<size_t>(sc)].coroutine = true;
+        break;
+      }
+      if (k == scope_kind::klass) break;  // member fn bodies nest deeper
+      sc = st.scopes[static_cast<size_t>(sc)].parent;
+    }
+  }
+  return st;
+}
+
+// Iterates the DIRECT token range of scope `sc` — i.e. tokens inside it but
+// not inside nested function/lambda/class scopes (control/init blocks are
+// transparent). Calls fn(i) for each such token index.
+template <typename Fn>
+void for_direct_tokens(const scope_tree& st, int sc, Fn&& fn) {
+  const scope& s = st.scopes[static_cast<size_t>(sc)];
+  int i = s.open + 1;
+  const int end = s.close;
+  while (i < end && i >= 0) {
+    int isc = st.scope_of[static_cast<size_t>(i)];
+    if (isc != sc) {
+      // Entered a nested scope: transparent kinds recurse naturally via
+      // scope_of (their tokens still get visited); opaque kinds are skipped.
+      // Find the innermost child of `sc` on the path.
+      int child = isc;
+      while (st.scopes[static_cast<size_t>(child)].parent != sc &&
+             st.scopes[static_cast<size_t>(child)].parent >= 0)
+        child = st.scopes[static_cast<size_t>(child)].parent;
+      scope_kind k = st.scopes[static_cast<size_t>(child)].kind;
+      if (k == scope_kind::function || k == scope_kind::lambda ||
+          k == scope_kind::klass || k == scope_kind::ns) {
+        i = st.scopes[static_cast<size_t>(child)].close + 1;
+        continue;
+      }
+    }
+    fn(i);
+    ++i;
+  }
+}
+
+// --- Rules ----------------------------------------------------------------
+
+const std::set<std::string>& lock_types() {
+  static const std::set<std::string> s = {"lock_guard", "unique_lock",
+                                          "scoped_lock", "shared_lock"};
+  return s;
+}
+
+// Rule 1: lock guard alive across co_await.
+void rule_suspend_with_lock(const std::string& path, const scope_tree& st,
+                            std::vector<diagnostic>& out) {
+  for (int sc = 1; sc < static_cast<int>(st.scopes.size()); ++sc) {
+    const scope& s = st.scopes[static_cast<size_t>(sc)];
+    if (s.kind != scope_kind::function && s.kind != scope_kind::lambda)
+      continue;
+    struct guard {
+      std::string type;
+      int line;
+      int depth;
+    };
+    std::vector<guard> live;
+    int depth = 0;
+    for_direct_tokens(st, sc, [&](int i) {
+      const token& t = st.at(i);
+      if (t.text == "{") {
+        ++depth;
+        return;
+      }
+      if (t.text == "}") {
+        while (!live.empty() && live.back().depth >= depth) live.pop_back();
+        --depth;
+        return;
+      }
+      if (t.kind == tk::ident && lock_types().count(t.text) > 0) {
+        // A declaration, not a mention: next token must open template args
+        // or name the variable directly.
+        if (i + 1 < static_cast<int>(st.toks.size())) {
+          const std::string& nxt = st.at(i + 1).text;
+          if (nxt == "<" || st.at(i + 1).kind == tk::ident)
+            live.push_back({t.text, t.line, depth});
+        }
+        return;
+      }
+      if (t.text == "co_await" && !live.empty()) {
+        out.push_back(
+            {path, t.line, t.col, rule::suspend_with_lock,
+             "co_await while a " + live.back().type + " (declared line " +
+                 std::to_string(live.back().line) +
+                 ") is held — the lock blocks every worker that resumes "
+                 "here; release it before suspending"});
+      }
+    });
+  }
+}
+
+// Rule 2: raw blocking call inside a coroutine body.
+void rule_blocking_call(const std::string& path, const scope_tree& st,
+                        std::vector<diagnostic>& out) {
+  // Set A must be global-namespace-qualified (`::read`) to count — plain
+  // `read(` is too ambiguous at token level. Set B counts in any spelling.
+  static const std::set<std::string> set_a = {
+      "read",  "write",  "accept", "accept4", "connect",  "poll",
+      "select", "recv",  "send",   "recvfrom", "sendto",  "pread",
+      "pwrite", "fsync", "flock"};
+  static const std::set<std::string> set_b = {"sleep", "usleep", "nanosleep"};
+
+  for (int sc = 1; sc < static_cast<int>(st.scopes.size()); ++sc) {
+    const scope& s = st.scopes[static_cast<size_t>(sc)];
+    if (!s.coroutine) continue;
+    for_direct_tokens(st, sc, [&](int i) {
+      const token& t = st.toks[static_cast<size_t>(i)];
+      if (t.kind != tk::ident) return;
+      if (i + 1 >= static_cast<int>(st.toks.size()) ||
+          st.at(i + 1).text != "(")
+        return;
+      const std::string prev = i > 0 ? st.at(i - 1).text : "";
+      const std::string prev2 = i > 1 ? st.at(i - 2).text : "";
+      auto diag = [&](const std::string& what) {
+        out.push_back(
+            {path, t.line, t.col, rule::blocking_call_on_worker,
+             "blocking call " + what +
+                 " inside a coroutine occupies the worker for the full "
+                 "latency — use the src/io/ async_* awaitables or "
+                 "sleep_until so the latency becomes a heavy edge"});
+      };
+      if (set_a.count(t.text) > 0 && prev == "::" &&
+          (i < 2 || st.at(i - 2).kind != tk::ident)) {
+        diag("::" + t.text);
+        return;
+      }
+      if (set_b.count(t.text) > 0 && prev != "." && prev != "->" &&
+          prev != "::") {
+        diag(t.text);
+        return;
+      }
+      if ((t.text == "sleep_for" || t.text == "sleep_until") &&
+          prev == "::" && prev2 == "this_thread") {
+        diag("std::this_thread::" + t.text);
+        return;
+      }
+    });
+  }
+}
+
+// Rule 3: by-reference captures in a coroutine lambda.
+void rule_dangling_ref(const std::string& path, const scope_tree& st,
+                       std::vector<diagnostic>& out) {
+  for (int sc = 1; sc < static_cast<int>(st.scopes.size()); ++sc) {
+    const scope& s = st.scopes[static_cast<size_t>(sc)];
+    if (s.kind != scope_kind::lambda || !s.coroutine) continue;
+    if (s.lambda_intro < 0) continue;
+    int close = match_fwd(st.toks, s.lambda_intro, "[", "]");
+    if (close < 0) continue;
+    for (int i = s.lambda_intro + 1; i < close; ++i) {
+      const token& t = st.at(i);
+      if (t.text == "&" || t.text == "&&") {
+        out.push_back(
+            {path, t.line, t.col, rule::dangling_ref_across_suspend,
+             "by-reference capture in a coroutine lambda — the coroutine "
+             "frame outlives the closure object, so the reference dangles "
+             "after the first suspension point; capture by value or pass "
+             "as an argument"});
+        break;  // one diagnostic per lambda
+      }
+    }
+    // Reference parameters of the coroutine lambda are the same hazard:
+    // they are not copied into the frame.
+    if (s.lambda_params_end > 0) {
+      int popen = match_back(st.toks, s.lambda_params_end, "(", ")");
+      for (int i = popen + 1; i > 0 && i < s.lambda_params_end; ++i) {
+        const token& t = st.at(i);
+        if ((t.text == "&" || t.text == "&&") && i + 1 <= s.lambda_params_end &&
+            st.at(i + 1).kind == tk::ident) {
+          out.push_back(
+              {path, t.line, t.col, rule::dangling_ref_across_suspend,
+               "reference parameter of a coroutine lambda — parameters are "
+               "copied into the frame but references are not; the referent "
+               "may be gone after the first suspension point"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+// Rule 4: implicit seq_cst in the lock-free directories.
+void rule_implicit_seq_cst(const std::string& path, const scope_tree& st,
+                           std::vector<diagnostic>& out) {
+  static const std::set<std::string> methods = {
+      "load",      "store",     "exchange",    "fetch_add",
+      "fetch_sub", "fetch_and", "fetch_or",    "fetch_xor",
+      "test_and_set", "compare_exchange_strong", "compare_exchange_weak"};
+
+  const auto& toks = st.toks;
+  const int n = static_cast<int>(toks.size());
+
+  // Pass 1: names declared as atomics in this file.
+  std::set<std::string> atomic_vars;
+  for (int i = 0; i + 1 < n; ++i) {
+    const token& t = toks[static_cast<size_t>(i)];
+    if (t.kind != tk::ident ||
+        (t.text != "atomic" && t.text != "model_atomic" &&
+         t.text != "atomic_flag"))
+      continue;
+    int j = i + 1;
+    if (toks[static_cast<size_t>(j)].text == "<") {
+      j = match_fwd(toks, j, "<", ">");
+      if (j < 0) continue;
+      ++j;
+    }
+    if (j < n && toks[static_cast<size_t>(j)].kind == tk::ident) {
+      const std::string& after =
+          j + 1 < n ? toks[static_cast<size_t>(j + 1)].text : "";
+      if (after == "{" || after == ";" || after == "[" || after == "=")
+        atomic_vars.insert(toks[static_cast<size_t>(j)].text);
+    }
+  }
+
+  auto diag = [&](const token& t, const std::string& msg) {
+    out.push_back({path, t.line, t.col, rule::implicit_seq_cst, msg});
+  };
+
+  // Pass 2: method calls without a memory_order argument.
+  for (int i = 1; i + 1 < n; ++i) {
+    const token& t = toks[static_cast<size_t>(i)];
+    if (t.kind != tk::ident || methods.count(t.text) == 0) continue;
+    const std::string& prev = toks[static_cast<size_t>(i - 1)].text;
+    if (prev != "." && prev != "->") continue;
+    if (toks[static_cast<size_t>(i + 1)].text != "(") continue;
+    int close = match_fwd(toks, i + 1, "(", ")");
+    if (close < 0) continue;
+    bool has_order = false;
+    for (int j = i + 2; j < close; ++j) {
+      const std::string& s = toks[static_cast<size_t>(j)].text;
+      if (s.rfind("memory_order", 0) == 0) {
+        has_order = true;
+        break;
+      }
+    }
+    if (!has_order) {
+      diag(t, "." + t.text +
+                  " with defaulted memory_order_seq_cst — every ordering in "
+                  "the lock-free directories must be explicit and tied to a "
+                  "DESIGN.md §7 contract");
+    }
+  }
+
+  // Pass 3: operator forms on known atomic names (++ -- += -= |= &= ^= =).
+  if (!atomic_vars.empty()) {
+    static const std::set<std::string> compound = {"++", "--", "+=", "-=",
+                                                   "|=", "&=", "^="};
+    for (int i = 0; i < n; ++i) {
+      const token& t = toks[static_cast<size_t>(i)];
+      if (t.kind != tk::ident || atomic_vars.count(t.text) == 0) continue;
+      const std::string prev = i > 0 ? toks[static_cast<size_t>(i - 1)].text
+                                     : std::string(";");
+      if (prev == "." || prev == "->" || prev == "::") continue;
+      const std::string next =
+          i + 1 < n ? toks[static_cast<size_t>(i + 1)].text : std::string();
+      if (compound.count(next) > 0 || prev == "++" || prev == "--") {
+        const std::string& op = compound.count(next) > 0 ? next : prev;
+        diag(t, "operator " + op + " on std::atomic `" + t.text +
+                    "` is an implicit seq_cst RMW — spell it as fetch_* "
+                    "with an explicit order");
+        continue;
+      }
+      if (next == "=" &&
+          (prev == ";" || prev == "{" || prev == "}" || prev == "(" ||
+           prev == ",")) {
+        diag(t, "assignment to std::atomic `" + t.text +
+                    "` is an implicit seq_cst store — spell it as "
+                    ".store(v, order)");
+      }
+    }
+  }
+}
+
+// Rule 5: discarded awaitable temporary.
+void rule_unawaited(const std::string& path, const scope_tree& st,
+                    std::vector<diagnostic>& out) {
+  static const std::set<std::string> awaitable_fns = {
+      "fork2",         "latency",       "delay",
+      "sleep_for",     "sleep_until",   "async_read",
+      "async_write",   "async_accept",  "async_connect",
+      "map_reduce",    "parallel_for",  "parallel_for_tasks",
+      "when_all",      "receive"};
+
+  for (int sc = 1; sc < static_cast<int>(st.scopes.size()); ++sc) {
+    const scope& s = st.scopes[static_cast<size_t>(sc)];
+    if (s.kind != scope_kind::function && s.kind != scope_kind::lambda)
+      continue;
+    // Split the direct token stream into statements at top-level ';'.
+    std::vector<int> stmt;
+    int paren = 0;
+    auto flush = [&]() {
+      if (stmt.empty()) return;
+      bool consumed = false;
+      for (int idx : stmt) {
+        const std::string& x = st.at(idx).text;
+        if (x == "co_await" || x == "co_return" || x == "co_yield" ||
+            x == "return" || x == "=" || x == "+=" || x == "-=" ||
+            x == "void") {
+          consumed = true;
+          break;
+        }
+      }
+      if (!consumed) {
+        for (size_t k = 0; k + 1 < stmt.size(); ++k) {
+          const token& t = st.at(stmt[k]);
+          // std::this_thread::sleep_for is rule 2's business, not a
+          // discarded awaitable.
+          if (k >= 2 && st.at(stmt[k - 1]).text == "::" &&
+              st.at(stmt[k - 2]).text == "this_thread")
+            continue;
+          if (t.kind == tk::ident && awaitable_fns.count(t.text) > 0 &&
+              st.at(stmt[k + 1]).text == "(") {
+            out.push_back(
+                {path, t.line, t.col, rule::unawaited_awaitable,
+                 "result of " + t.text +
+                     "(...) is discarded — a task/awaitable that is never "
+                     "co_awaited silently drops its work (and for task<>, "
+                     "destroys the coroutine before it runs)"});
+            break;
+          }
+        }
+      }
+      stmt.clear();
+    };
+    for_direct_tokens(st, sc, [&](int i) {
+      const token& t = st.at(i);
+      if (t.text == "(") ++paren;
+      else if (t.text == ")") --paren;
+      if ((t.text == ";" && paren == 0) || t.text == "{" || t.text == "}") {
+        flush();
+        return;
+      }
+      stmt.push_back(i);
+    });
+    flush();
+  }
+}
+
+}  // namespace
+
+void run_token_rules(const std::string& path, const std::string& source,
+                     const lint_options& opt, std::vector<diagnostic>& out) {
+  scope_tree st = build_scopes(source);
+  if (opt.rule_enabled(rule::suspend_with_lock))
+    rule_suspend_with_lock(path, st, out);
+  if (opt.rule_enabled(rule::blocking_call_on_worker))
+    rule_blocking_call(path, st, out);
+  if (opt.rule_enabled(rule::dangling_ref_across_suspend))
+    rule_dangling_ref(path, st, out);
+  if (opt.rule_enabled(rule::implicit_seq_cst) &&
+      opt.seqcst_in_scope(path))
+    rule_implicit_seq_cst(path, st, out);
+  if (opt.rule_enabled(rule::unawaited_awaitable))
+    rule_unawaited(path, st, out);
+}
+
+}  // namespace lhws::lint
