@@ -21,6 +21,7 @@
 #include "core/algorithms.hpp"
 #include "core/latency.hpp"
 #include "core/scheduler.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -38,6 +39,19 @@ lhws::task<long> leaf(std::chrono::microseconds delta, unsigned fib_n) {
   const auto x =
       static_cast<unsigned>(co_await lhws::latency(delta, fib_n));
   co_return co_await fib(x);
+}
+
+// Span-instrumented leaf for the overhead rows: every leaf is a request
+// scope, so the spans-on run pays the begin/end + per-edge span cost at
+// full density (the worst case for the <= 5% overhead gate).
+lhws::task<long> leaf_spanned(std::chrono::microseconds delta,
+                              unsigned fib_n) {
+  co_await lhws::obs::begin_request();
+  const auto x =
+      static_cast<unsigned>(co_await lhws::latency(delta, fib_n));
+  const long r = co_await fib(x);
+  co_await lhws::obs::end_request();
+  co_return r;
 }
 
 lhws::task<long> benchmark_root(std::size_t n, std::chrono::microseconds delta,
@@ -61,18 +75,28 @@ struct run_record {
 
 double time_run(lhws::engine eng, unsigned workers, std::size_t n,
                 std::chrono::microseconds delta, unsigned fib_n,
-                const char* regime, std::vector<run_record>& records) {
+                const char* regime, std::vector<run_record>& records,
+                bool spans = false) {
   lhws::scheduler_options opts;
   opts.workers = workers;
   opts.engine_kind = eng;
   opts.seed = 11;
   opts.metrics = true;
+  opts.spans = spans;
   lhws::scheduler sched(opts);
-  (void)sched.run(benchmark_root(n, delta, fib_n));
+  if (spans) {
+    (void)sched.run(lhws::map_reduce<long>(
+        0, n, 0L,
+        [delta, fib_n](std::size_t) { return leaf_spanned(delta, fib_n); },
+        [](long a, long b) { return (a + b) % kModulus; }));
+  } else {
+    (void)sched.run(benchmark_root(n, delta, fib_n));
+  }
   run_record rec;
   rec.regime = regime;
   rec.delta_us = delta.count();
-  rec.engine = eng == lhws::engine::latency_hiding ? "lhws" : "ws";
+  rec.engine = spans ? "lhws+spans"
+                     : (eng == lhws::engine::latency_hiding ? "lhws" : "ws");
   rec.workers = workers;
   rec.ms = sched.stats().elapsed_ms;
   rec.stats = sched.stats();
@@ -168,17 +192,26 @@ int main() {
                 static_cast<long long>(delta.count()), t1_ws);
     std::printf("   %3s %12s %12s %9s %9s %12s\n", "P", "WS ms", "LHWS ms",
                 "WS spd", "LHWS spd", "wake p95");
+    double lh4 = 0.0;
     for (const unsigned p : procs) {
       const double ws =
           time_run(lhws::engine::blocking, p, n, delta, fib_n, rname, records);
       const double lh = time_run(lhws::engine::latency_hiding, p, n, delta,
                                  fib_n, rname, records);
+      if (p == 4) lh4 = lh;
       std::printf("   %3u %12.1f %12.1f %9.2f %9.2f %10.1fus\n", p, ws, lh,
                   t1_ws / ws, t1_ws / lh,
                   static_cast<double>(records.back().wake_p95_ns) / 1000.0);
     }
     // Per-worker attribution for the widest LHWS run of this regime.
     print_per_worker(records.back());
+    // Span-overhead row (bench_gate.py compares it against the plain lhws
+    // P=4 row of the same fresh run, <= 5% wall-clock): every leaf opens a
+    // request scope around its latency edge.
+    const double sp4 = time_run(lhws::engine::latency_hiding, 4, n, delta,
+                                fib_n, rname, records, /*spans=*/true);
+    std::printf("   spans-on (P=4): %.1fms vs %.1fms (%+.1f%%)\n", sp4, lh4,
+                lh4 > 0 ? 100.0 * (sp4 - lh4) / lh4 : 0.0);
   }
 
   write_json(records, "BENCH_fig11_runtime.json");

@@ -27,8 +27,17 @@
 //                        (0 = ephemeral). Wire format: request is 8 bytes
 //                        {u32le fib_n, u32le rpc_depth}; fib_n == 0 means
 //                        "Done" (Figure 10's stop token); response is a
-//                        u64le result. In this mode `requests` and
-//                        `input_gap_ms` drive the in-process clients.
+//                        u64le result. If fib_n's high bit (0x80000000) is
+//                        set, 12 more bytes follow: {u64le trace_id, u32le
+//                        parent_span} — the causal-span wire extension; the
+//                        request then joins that distributed trace as a
+//                        child. In this mode `requests` and `input_gap_ms`
+//                        drive the in-process clients.
+//   --spans              record causal spans (DESIGN.md §13): every request
+//                        opens a span scope, downstream RPCs carry the wire
+//                        extension, and the trace gains flow events plus
+//                        "spans"/"requests" metadata for
+//                        `lhws_trace_stats --spans`
 //   --clients C          in-process blocking client threads (default 0:
 //                        serve external clients until someone sends Done)
 //   --rpc-depth D        each request awaits D chained downstream RPCs to
@@ -57,6 +66,7 @@
 #include "io/socket.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_http.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -78,9 +88,14 @@ lhws::task<long> handle(unsigned input) { return fib(input); }
 lhws::task<long> server(unsigned remaining, std::chrono::milliseconds gap,
                         unsigned fib_n) {
   // getInput(): the next request arrives after `gap` of latency; 0 plays
-  // the role of "Done".
+  // the role of "Done". Under --spans each getInput edge is its own
+  // request scope (the fork2 join awaits the whole remaining recursion,
+  // so a handler-scoped request would span every later input too); both
+  // awaits are no-ops when spans are off.
+  const bool traced = co_await lhws::obs::begin_request();
   const unsigned input =
       co_await lhws::latency(gap, remaining == 0 ? 0u : fib_n);
+  if (traced) co_await lhws::obs::end_request();
   if (input == 0) co_return 0;
   auto [res1, res2] = co_await lhws::fork2(
       handle(input), server(remaining - 1, gap, fib_n));
@@ -169,18 +184,34 @@ struct tcp_state {
 // writes the 8-byte result. Every socket wait is a heavy edge: the worker
 // suspends and the reactor resumes it through the deque economy.
 lhws::task<long> serve_connection(tcp_state& st, int cfd) {
+  // fib_n high bit on the wire: the causal-span extension follows.
+  constexpr std::uint32_t kTraceFlag = 0x80000000u;
   lhws::io::socket conn(st.r, cfd);
   for (;;) {
     unsigned char req[8];
     const long got = co_await read_exact(st.r, conn, req, sizeof req);
     if (got == 0) co_return 0;  // peer closed: this connection is done
     if (got < 0) co_return got;
-    const std::uint32_t n = get_le32(req);
+    const std::uint32_t n_raw = get_le32(req);
     const std::uint32_t depth = get_le32(req + 4);
+    std::uint64_t wire_trace = 0;
+    std::uint32_t wire_parent = 0;
+    if ((n_raw & kTraceFlag) != 0) {
+      unsigned char ext[12];
+      const long egot = co_await read_exact(st.r, conn, ext, sizeof ext);
+      if (egot <= 0) co_return egot == 0 ? -ECONNRESET : egot;
+      wire_trace = get_le64(ext);
+      wire_parent = get_le32(ext + 8);
+    }
+    const std::uint32_t n = n_raw & ~kTraceFlag;
     if (n == 0) {  // "Done"
       st.stop.store(true, std::memory_order_release);
       co_return 0;
     }
+    // Request scope: header read -> response written. With a wire trace id
+    // the record joins the upstream trace (remote_parent links the trees).
+    const bool traced =
+        co_await lhws::obs::begin_request(wire_trace, wire_parent);
     std::uint64_t result =
         static_cast<std::uint64_t>(co_await fib(n));
     if (depth > 0) {
@@ -189,10 +220,20 @@ lhws::task<long> serve_connection(tcp_state& st, int cfd) {
       const auto dl = lhws::io::with_deadline(std::chrono::seconds(10));
       long rc = co_await lhws::io::async_connect(st.r, ds, st.port, dl);
       if (rc != 0) co_return rc;
-      unsigned char sub[8];
+      unsigned char sub[20];
+      std::size_t sub_len = 8;
       put_le32(sub, n);
       put_le32(sub + 4, depth - 1);
-      rc = co_await lhws::io::async_write(st.r, ds, sub, sizeof sub, dl);
+      if (traced) {
+        // Propagate the trace across the RPC: the downstream request
+        // becomes a child of whatever span we are currently under.
+        const lhws::obs::span_ref cur = co_await lhws::obs::current_span();
+        put_le32(sub, n | kTraceFlag);
+        put_le64(sub + 8, cur.trace_id);
+        put_le32(sub + 16, cur.span_id);
+        sub_len = 20;
+      }
+      rc = co_await lhws::io::async_write(st.r, ds, sub, sub_len, dl);
       if (rc < 0) co_return rc;
       unsigned char resp[8];
       rc = co_await read_exact(st.r, ds, resp, sizeof resp, dl);
@@ -204,6 +245,7 @@ lhws::task<long> serve_connection(tcp_state& st, int cfd) {
     const long put =
         co_await lhws::io::async_write(st.r, conn, resp, sizeof resp);
     if (put < 0) co_return put;
+    if (traced) co_await lhws::obs::end_request();
     st.served.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -256,8 +298,9 @@ void run_client(std::uint16_t port, unsigned requests,
 
 int run_tcp(unsigned requests, std::chrono::milliseconds gap, unsigned fib_n,
             unsigned workers, std::uint16_t listen_port, unsigned clients,
-            unsigned rpc_depth, bool use_ws, const std::string& trace_path,
-            bool want_metrics, lhws::obs::metrics_registry& reg) {
+            unsigned rpc_depth, bool use_ws, bool want_spans,
+            const std::string& trace_path, bool want_metrics,
+            lhws::obs::metrics_registry& reg) {
   lhws::io::reactor r;
   lhws::io::socket listener = lhws::io::socket::listen_loopback(r, listen_port);
   if (!listener.valid()) {
@@ -283,6 +326,7 @@ int run_tcp(unsigned requests, std::chrono::milliseconds gap, unsigned fib_n,
   opts.engine_kind =
       use_ws ? lhws::engine::blocking : lhws::engine::latency_hiding;
   opts.metrics = want_metrics;
+  opts.spans = want_spans;
   if (!trace_path.empty()) {
     opts.trace = true;
     opts.sample_interval_us = 200;
@@ -313,6 +357,12 @@ int run_tcp(unsigned requests, std::chrono::milliseconds gap, unsigned fib_n,
   if (controller.joinable()) controller.join();
 
   const auto& s = sched.stats();
+  if (want_spans) {
+    std::printf("  spans=%llu requests=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(s.span_records),
+                static_cast<unsigned long long>(s.request_records),
+                static_cast<unsigned long long>(s.span_records_dropped));
+  }
   std::printf("  served=%llu wall=%.1fms suspensions=%llu blocked_waits=%llu "
               "max_deques/worker=%llu fd_peak=%llu timeouts=%llu\n",
               st.served.load(), s.elapsed_ms,
@@ -365,6 +415,7 @@ int main(int argc, char** argv) {
   unsigned clients = 0;
   unsigned rpc_depth = 0;
   bool use_ws = false;
+  bool want_spans = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -389,6 +440,8 @@ int main(int argc, char** argv) {
       rpc_depth = static_cast<unsigned>(std::atoi(argv[i]));
     } else if (arg == "--ws") {
       use_ws = true;
+    } else if (arg == "--spans") {
+      want_spans = true;
     } else if (arg == "--trace") {
       if (++i >= argc) {
         std::fprintf(stderr, "--trace needs FILE\n");
@@ -432,8 +485,8 @@ int main(int argc, char** argv) {
                    "every worker blocks awaiting a downstream handler\n");
     }
     const int rc = run_tcp(requests, gap, fib_n, workers, listen_port,
-                           clients, rpc_depth, use_ws, trace_path,
-                           want_metrics, reg);
+                           clients, rpc_depth, use_ws, want_spans,
+                           trace_path, want_metrics, reg);
     if (rc != 0) return rc;
   } else {
     std::printf("server: %u requests, one every %lldms, handler fib(%u), "
@@ -448,6 +501,7 @@ int main(int argc, char** argv) {
       opts.engine_kind = eng;
       if (lhws_run) {
         opts.metrics = want_metrics;
+        opts.spans = want_spans;
         if (!trace_path.empty()) {
           opts.trace = true;
           opts.sample_interval_us = 200;

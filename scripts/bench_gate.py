@@ -63,6 +63,11 @@ FLOOR_MIN_THREADS = 8
 RPC_RPS_SLACK = 100.0
 RPC_P95_SLACK_US = 500.0
 RPC_FLOOR_SPEEDUP = 1.3
+# Causal-span overhead ceiling: the "lhws+spans" fig11 rows (every leaf a
+# request scope) must stay within 5% wall clock of the plain "lhws" rows of
+# the SAME fresh run, plus the usual 1-core jitter slack.
+SPANS_OVERHEAD = 0.05
+SPANS_WORKERS = 4
 ALLOC_FLOOR_SPEEDUP = 1.3
 ALLOC_FLOOR_SHAPE = "fork_heavy"
 ALLOC_FLOOR_MIN_THREADS = 8
@@ -113,6 +118,44 @@ def check_fig11(base, cur, threshold, failures):
             f"  fig11 {key[0]:>15s}/{key[1]:<4s} P={key[2]}: "
             f"{c['ms']:9.1f} ms (base {b['ms']:9.1f}, "
             f"limit {limit:9.1f})  {status}"
+        )
+
+
+def check_fig11_spans(cur, failures):
+    """Spans-on vs spans-off overhead, from the fresh run alone: the
+    "lhws+spans" row of each regime must stay within SPANS_OVERHEAD of the
+    plain "lhws" row at the same worker count."""
+    cur_runs = fig11_by_key(cur)
+    seen = 0
+    for (regime, engine, workers), c in sorted(cur_runs.items()):
+        if engine != "lhws+spans" or workers != SPANS_WORKERS:
+            continue
+        plain = cur_runs.get((regime, "lhws", workers))
+        if plain is None or plain["ms"] <= 0:
+            failures.append(
+                f"fig11 spans {regime}: no plain lhws P={workers} row to "
+                "compare against"
+            )
+            continue
+        seen += 1
+        limit = plain["ms"] * (1.0 + SPANS_OVERHEAD) + WALL_SLACK_MS
+        status = "ok"
+        if c["ms"] > limit:
+            failures.append(
+                f"fig11 spans {regime}: {c['ms']:.1f} ms vs spans-off "
+                f"{plain['ms']:.1f} ms (limit {limit:.1f} ms, "
+                f"> {SPANS_OVERHEAD:.0%} overhead)"
+            )
+            status = "OVERHEAD VIOLATION"
+        print(
+            f"  fig11 spans {regime:>15s} P={workers}: {c['ms']:9.1f} ms "
+            f"vs {plain['ms']:9.1f} ms spans-off (limit {limit:9.1f})  "
+            f"{status}"
+        )
+    if seen == 0:
+        failures.append(
+            "fig11 spans: no lhws+spans rows in the fresh run (old bench "
+            "binary?)"
         )
 
 
@@ -347,6 +390,9 @@ def main():
             return 2
         print(f"{name} vs baseline (threshold {args.threshold:.0%}):")
         checker(base, fresh[name], args.threshold, failures)
+
+    print(f"{FIG11} spans-on overhead (<= {SPANS_OVERHEAD:.0%}):")
+    check_fig11_spans(fresh[FIG11], failures)
 
     if failures:
         print(f"\nbench_gate: {len(failures)} regression(s):")

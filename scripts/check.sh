@@ -26,6 +26,13 @@ run_suite() {
   (cd "${dir}" &&
     ./examples/server 10 2 14 4 --trace trace_check.json &&
     ./tools/lhws_trace_stats trace_check.json --check-bounds --u 1)
+  # Mirror CI's span audit (DESIGN.md §13): record a span-instrumented RPC
+  # run over the loopback server, then check tree closure, the critical-path
+  # decomposition, and the hop budget.
+  (cd "${dir}" &&
+    ./examples/server 6 0 12 2 --listen 0 --clients 3 --rpc-depth 1 \
+      --spans --trace span_check.json &&
+    ./tools/lhws_trace_stats span_check.json --spans --u 8)
 }
 
 # Perf-regression gate: a non-sanitized Release build of the gating

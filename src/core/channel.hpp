@@ -95,7 +95,8 @@ class channel {
 
     bool await_ready() noexcept { return false; }
 
-    bool await_suspend(std::coroutine_handle<> h) {
+    template <typename Promise>
+    bool await_suspend(std::coroutine_handle<Promise> h) {
       rt::worker* w = rt::worker::current();
       LHWS_ASSERT(w != nullptr &&
                   "channel receive may only be awaited inside a run");
@@ -118,7 +119,7 @@ class channel {
       }
       if (ch.closed_) return false;  // nullopt result
       // Suspend per Fig. 3: the receiver belongs to the active deque.
-      waiter.resume.arm(w, h);
+      waiter.resume.arm(w, h, obs::promise_span(h), obs::span_kind::channel);
       ch.waiters_.push_back(&waiter);
       return true;
     }

@@ -41,10 +41,17 @@ struct [[nodiscard]] fork2_awaiter {
 
   bool await_ready() const noexcept { return false; }
 
-  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+  template <typename Parent>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Parent> parent) {
     join.parent = parent;
     left.handle().promise().join = &join;
     right.handle().promise().join = &join;
+    // Both children belong to the parent's request: copy the span context
+    // by value before the right child becomes stealable.
+    if (obs::span_context* ctx = obs::promise_span(parent)) {
+      left.handle().promise().span = *ctx;
+      right.handle().promise().span = *ctx;
+    }
     rt::worker* w = rt::worker::current();
     LHWS_ASSERT(w != nullptr &&
                 "fork2 may only be awaited inside a scheduler run");

@@ -34,7 +34,8 @@ struct [[nodiscard]] latency_awaiter {
 
   bool await_ready() const noexcept { return delay_ns <= 0; }
 
-  bool await_suspend(std::coroutine_handle<> h) {
+  template <typename Promise>
+  bool await_suspend(std::coroutine_handle<Promise> h) {
     rt::worker* w = rt::worker::current();
     LHWS_ASSERT(w != nullptr &&
                 "latency may only be awaited inside a scheduler run");
@@ -46,7 +47,7 @@ struct [[nodiscard]] latency_awaiter {
       w->record_trace(rt::trace_kind::blocked, t0, now_ns());
       return false;
     }
-    resume_.arm(w, h);
+    resume_.arm(w, h, obs::promise_span(h), obs::span_kind::timer);
     // The waiter is fully installed before the timer can fire.
     w->sched().hub().schedule(now_ns() + delay_ns, &latency_awaiter::fire,
                               this);

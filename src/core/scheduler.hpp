@@ -42,6 +42,15 @@ struct scheduler_options {
   // Background gauge sampler cadence in microseconds (0 = off); samples
   // appear as Perfetto counter tracks in trace_json().
   std::uint32_t sample_interval_us = 0;
+  // Causal span tracing (DESIGN.md §13): per-request critical-path
+  // accumulators and per-heavy-edge span records (scheduler::spans(),
+  // scheduler::requests(), and the trace's flow events + "spans"/"requests"
+  // metadata). Off by default and zero-cost when off; a request must also
+  // opt in with co_await obs::begin_request().
+  bool spans = false;
+  // Per-worker span-record cap; overflow is dropped and counted in
+  // stats().span_records_dropped.
+  std::uint64_t span_capacity = std::uint64_t{1} << 20;
   // Adaptive idle policy (see rt::scheduler_config): spin rounds, yield
   // rounds, then condvar park bounded by the timeout. idle_park_timeout_us
   // = 0 disables parking; parking is also off under timer_mode::polled.
@@ -63,6 +72,8 @@ class scheduler {
     core.run_root(root.handle());
     stats_ = core.last_run_stats();
     hists_ = core.last_run_histograms();
+    spans_ = core.last_run_spans();
+    requests_ = core.last_run_requests();
     if (opts_.trace) {
       std::ostringstream trace_stream;
       core.write_trace(trace_stream);
@@ -84,6 +95,17 @@ class scheduler {
   // options().metrics).
   [[nodiscard]] const obs::latency_histograms& histograms() const noexcept {
     return hists_;
+  }
+
+  // Committed heavy-edge spans / completed request records of the most
+  // recent run (empty unless options().spans and some request opened a
+  // scope via obs::begin_request).
+  [[nodiscard]] const std::vector<obs::span_record>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<obs::request_record>& requests()
+      const noexcept {
+    return requests_;
   }
 
   // Populates `reg` with the standard metric set of the most recent run:
@@ -126,6 +148,13 @@ class scheduler {
     reg.add_counter("lhws_trace_events_dropped_total",
                     "Trace events dropped at capacity",
                     stats_.trace_events_dropped);
+    reg.add_counter("lhws_spans_total", "Heavy-edge spans committed",
+                    stats_.span_records);
+    reg.add_counter("lhws_requests_total", "Request records completed",
+                    stats_.request_records);
+    reg.add_counter("lhws_span_records_dropped_total",
+                    "Span records dropped at the per-worker capacity",
+                    stats_.span_records_dropped);
     reg.add_gauge("lhws_max_deques_per_worker",
                   "Peak deques owned by any worker (Lemma 7: <= U + 1)",
                   static_cast<double>(stats_.max_deques_per_worker));
@@ -199,6 +228,8 @@ class scheduler {
     cfg.trace_capacity = opts_.trace_capacity;
     cfg.metrics = opts_.metrics;
     cfg.sample_interval_us = opts_.sample_interval_us;
+    cfg.spans = opts_.spans;
+    cfg.span_capacity = opts_.span_capacity;
     cfg.idle_spin_limit = opts_.idle_spin_limit;
     cfg.idle_yield_limit = opts_.idle_yield_limit;
     cfg.idle_park_timeout_us = opts_.idle_park_timeout_us;
@@ -208,6 +239,8 @@ class scheduler {
   scheduler_options opts_;
   rt::run_stats stats_{};
   obs::latency_histograms hists_{};
+  std::vector<obs::span_record> spans_;
+  std::vector<obs::request_record> requests_;
   std::string trace_json_;
 };
 

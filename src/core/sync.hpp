@@ -52,41 +52,43 @@ class event {
     return state_.load(std::memory_order_acquire) == state::value_ready;
   }
 
-  [[nodiscard]] auto operator co_await() noexcept {
-    struct [[nodiscard]] awaiter {
-      event& ev;
+  // Class-scope awaiter: local structs cannot hold the member template
+  // await_suspend needs to see the awaiting promise (span inheritance).
+  struct [[nodiscard]] awaiter {
+    event& ev;
 
-      bool await_ready() const noexcept { return ev.ready(); }
+    bool await_ready() const noexcept { return ev.ready(); }
 
-      bool await_suspend(std::coroutine_handle<> h) {
-        rt::worker* w = rt::worker::current();
-        LHWS_ASSERT(w != nullptr &&
-                    "events may only be awaited inside a scheduler run");
-        if (w->sched().config().engine == rt::engine_mode::ws) {
-          // Baseline: block the worker thread until completion.
-          w->note_blocked_wait();
-          std::unique_lock<std::mutex> lock(ev.mu_);
-          ev.cv_.wait(lock, [&] { return ev.ready(); });
-          return false;  // never actually suspend
-        }
-        // LHWS: Fig. 3 lines 18-20.
-        ev.resume_.arm(w, h);
-        state expected = state::empty;
-        if (ev.state_.compare_exchange_strong(expected,
-                                              state::waiter_installed,
-                                              std::memory_order_release,
-                                              std::memory_order_acquire)) {
-          return true;  // suspended; set() will deliver the resume
-        }
-        // The value arrived between await_ready and here: do not suspend.
-        ev.resume_.cancel();
-        return false;
+    template <typename Promise>
+    bool await_suspend(std::coroutine_handle<Promise> h) {
+      rt::worker* w = rt::worker::current();
+      LHWS_ASSERT(w != nullptr &&
+                  "events may only be awaited inside a scheduler run");
+      if (w->sched().config().engine == rt::engine_mode::ws) {
+        // Baseline: block the worker thread until completion.
+        w->note_blocked_wait();
+        std::unique_lock<std::mutex> lock(ev.mu_);
+        ev.cv_.wait(lock, [&] { return ev.ready(); });
+        return false;  // never actually suspend
       }
+      // LHWS: Fig. 3 lines 18-20.
+      ev.resume_.arm(w, h, obs::promise_span(h), obs::span_kind::event);
+      state expected = state::empty;
+      if (ev.state_.compare_exchange_strong(expected,
+                                            state::waiter_installed,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire)) {
+        return true;  // suspended; set() will deliver the resume
+      }
+      // The value arrived between await_ready and here: do not suspend.
+      ev.resume_.cancel();
+      return false;
+    }
 
-      T await_resume() { return std::move(*ev.value_); }
-    };
-    return awaiter{*this};
-  }
+    T await_resume() { return std::move(*ev.value_); }
+  };
+
+  [[nodiscard]] auto operator co_await() noexcept { return awaiter{*this}; }
 
  private:
   enum class state : std::uint8_t { empty, waiter_installed, value_ready };

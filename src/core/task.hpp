@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "mem/slab.hpp"
+#include "obs/span.hpp"
 #include "support/config.hpp"
 
 namespace lhws {
@@ -44,6 +45,10 @@ struct promise_base {
   join_state* join = nullptr;              // fork2 membership
   rt::scheduler_core* root_sched = nullptr;  // set on the root task only
   std::exception_ptr exception{};
+  // Causal-span context (DESIGN.md §13): which request this thread segment
+  // belongs to and where it sits in the span tree. Copied parent->child at
+  // serial awaits and fork2; {nullptr, 0} outside a request scope.
+  obs::span_context span{};
 
   // Coroutine frames come from the slab: a fork2-heavy run allocates and
   // frees two frames per fork, and under work stealing a frame born on one
@@ -127,20 +132,29 @@ class [[nodiscard]] task {
   }
 
   // Serial composition: runs the child immediately (light-edge semantics);
-  // the awaiting parent resumes when it returns.
-  auto operator co_await() && noexcept {
-    struct awaiter {
-      task child;
-      bool await_ready() const noexcept { return false; }
-      std::coroutine_handle<> await_suspend(
-          std::coroutine_handle<> parent) noexcept {
-        child.handle().promise().continuation = parent;
-        return child.handle();
+  // the awaiting parent resumes when it returns. Class-scope awaiter: local
+  // structs cannot hold the member template await_suspend needs to see the
+  // parent's promise (for span-context inheritance).
+  struct awaiter {
+    task child;
+    bool await_ready() const noexcept { return false; }
+    template <typename Parent>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Parent> parent) noexcept {
+      promise_type& p = child.handle().promise();
+      p.continuation = parent;
+      // Light edge: the child joins the parent's request (span context
+      // copied by value; spans the child opens branch off the parent's
+      // current tree position).
+      if (obs::span_context* ctx = obs::promise_span(parent)) {
+        p.span = *ctx;
       }
-      T await_resume() { return child.take(); }
-    };
-    return awaiter{std::move(*this)};
-  }
+      return child.handle();
+    }
+    T await_resume() { return child.take(); }
+  };
+
+  auto operator co_await() && noexcept { return awaiter{std::move(*this)}; }
 
  private:
   void destroy() noexcept {
@@ -195,19 +209,11 @@ class [[nodiscard]] task<void> {
     LHWS_ASSERT(p.completed && "task not completed");
   }
 
-  auto operator co_await() && noexcept {
-    struct awaiter {
-      task child;
-      bool await_ready() const noexcept { return false; }
-      std::coroutine_handle<> await_suspend(
-          std::coroutine_handle<> parent) noexcept {
-        child.handle().promise().continuation = parent;
-        return child.handle();
-      }
-      void await_resume() { child.take(); }
-    };
-    return awaiter{std::move(*this)};
-  }
+  // Defined after the class: a nested struct of an explicit specialization
+  // is compiled in place, where task<void> is still incomplete.
+  struct awaiter;
+
+  awaiter operator co_await() && noexcept;
 
  private:
   void destroy() noexcept {
@@ -219,5 +225,25 @@ class [[nodiscard]] task<void> {
 
   handle_type handle_ = nullptr;
 };
+
+struct task<void>::awaiter {
+  task child;
+  bool await_ready() const noexcept { return false; }
+  template <typename Parent>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Parent> parent) noexcept {
+    promise_type& p = child.handle().promise();
+    p.continuation = parent;
+    if (obs::span_context* ctx = obs::promise_span(parent)) {
+      p.span = *ctx;
+    }
+    return child.handle();
+  }
+  void await_resume() { child.take(); }
+};
+
+inline task<void>::awaiter task<void>::operator co_await() && noexcept {
+  return awaiter{std::move(*this)};
+}
 
 }  // namespace lhws

@@ -64,6 +64,24 @@ template <typename Rep, typename Period>
 
 namespace detail {
 
+// Span classification for the causal-trace layer (obs/span.hpp): one
+// span_kind per io op so --spans breakdowns separate accept/connect/rw/δ.
+[[nodiscard]] inline obs::span_kind span_kind_of(op_kind k) noexcept {
+  switch (k) {
+    case op_kind::accept:
+      return obs::span_kind::io_accept;
+    case op_kind::connect:
+      return obs::span_kind::io_connect;
+    case op_kind::read:
+      return obs::span_kind::io_read;
+    case op_kind::write:
+      return obs::span_kind::io_write;
+    case op_kind::sleep:
+      return obs::span_kind::io_sleep;
+  }
+  return obs::span_kind::io_sleep;
+}
+
 // One suspension on an fd direction. The protocol comments live in
 // io/dir_gate.hpp (gate handoff) and DESIGN.md §10 (deadline ordering).
 class [[nodiscard]] io_wait_awaiter {
@@ -80,7 +98,8 @@ class [[nodiscard]] io_wait_awaiter {
     return false;
   }
 
-  bool await_suspend(std::coroutine_handle<> h) {
+  template <typename Promise>
+  bool await_suspend(std::coroutine_handle<Promise> h) {
     rt::worker* wk = rt::worker::current();
     LHWS_ASSERT(wk != nullptr &&
                 "io ops may only be awaited inside a scheduler run");
@@ -93,7 +112,7 @@ class [[nodiscard]] io_wait_awaiter {
     // Set before publish: after the gate hands the waiter to a completer
     // this frame may be resumed (and freed) on another worker at any time.
     suspended_ = true;
-    w_.resume.arm(wk, h);
+    w_.resume.arm(wk, h, obs::promise_span(h), span_kind_of(kind_));
     if (deadline_ns_ != 0) {
       // Scheduled before publish so the io completion can always find (and
       // cancel) the token; the wheel's fire only touches w_ after winning
@@ -196,7 +215,8 @@ class [[nodiscard]] sleep_awaiter {
 
   bool await_ready() const noexcept { return deadline_ns_ <= now_ns(); }
 
-  bool await_suspend(std::coroutine_handle<> h) {
+  template <typename Promise>
+  bool await_suspend(std::coroutine_handle<Promise> h) {
     rt::worker* wk = rt::worker::current();
     LHWS_ASSERT(wk != nullptr &&
                 "sleep_until may only be awaited inside a scheduler run");
@@ -211,7 +231,7 @@ class [[nodiscard]] sleep_awaiter {
     w_.kind = op_kind::sleep;
     w_.armed_ns = now_ns();
     suspended_ = true;
-    w_.resume.arm(wk, h);
+    w_.resume.arm(wk, h, obs::promise_span(h), obs::span_kind::io_sleep);
     r_.schedule_sleep(deadline_ns_, &w_);
     return true;
   }

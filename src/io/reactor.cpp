@@ -1,5 +1,6 @@
 #include "io/reactor.hpp"
 
+#include <pthread.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/timerfd.h>
@@ -72,6 +73,11 @@ reactor::reactor() {
   (void)rc;
 
   thread_ = std::thread([this] { loop(); });
+#if defined(__linux__)
+  // Name the thread so it shows up as "lhws-reactor" in /proc, perf, and
+  // debuggers (15-char limit on Linux); trace output names its row too.
+  ::pthread_setname_np(thread_.native_handle(), "lhws-reactor");
+#endif
 }
 
 reactor::~reactor() {

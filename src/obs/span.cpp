@@ -1,0 +1,101 @@
+// Scheduler-facing glue for the causal span layer (DESIGN.md §13). Lives
+// out of line so span.hpp stays a leaf header: task.hpp and the runtime
+// both include it, and only this TU needs scheduler_core.
+#include "obs/span.hpp"
+
+#include <atomic>
+
+#include "runtime/scheduler_core.hpp"
+#include "support/timing.hpp"
+
+namespace lhws::obs {
+
+const char* span_kind_name(span_kind k) noexcept {
+  switch (k) {
+    case span_kind::timer:
+      return "timer";
+    case span_kind::event:
+      return "event";
+    case span_kind::channel:
+      return "channel";
+    case span_kind::io_accept:
+      return "io_accept";
+    case span_kind::io_connect:
+      return "io_connect";
+    case span_kind::io_read:
+      return "io_read";
+    case span_kind::io_write:
+      return "io_write";
+    case span_kind::io_sleep:
+      return "io_sleep";
+  }
+  return "unknown";
+}
+
+namespace {
+std::atomic<std::uint32_t> g_span_id{1};
+std::atomic<std::uint64_t> g_trace_seq{1};
+
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::uint32_t next_span_id() noexcept {
+  return g_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_trace_id() noexcept {
+  // Time-seeded once so independent processes on one loopback wire don't
+  // collide; the counter keeps ids unique within the process.
+  static const std::uint64_t seed =
+      splitmix64(static_cast<std::uint64_t>(now_ns()));
+  const std::uint64_t id =
+      splitmix64(seed + g_trace_seq.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;
+}
+
+namespace detail {
+
+trace_state* begin_request_impl(std::uint64_t wire_trace_id,
+                                std::uint32_t remote_parent) {
+  rt::worker* w = rt::worker::current();
+  if (w == nullptr || !w->spans_enabled()) return nullptr;
+  auto* st = new trace_state;
+  st->trace_id = wire_trace_id != 0 ? wire_trace_id : next_trace_id();
+  st->root_span = next_span_id();
+  st->remote_parent = wire_trace_id != 0 ? remote_parent : 0;
+  st->begin_ns = now_ns();
+  st->resume_running_at(st->begin_ns);
+  w->sched().adopt_trace_state(st);
+  return st;
+}
+
+void end_request_impl(span_context& ctx) {
+  trace_state* st = ctx.state;
+  if (st == nullptr) return;
+  ctx.state = nullptr;
+  ctx.span_id = 0;
+  rt::worker* w = rt::worker::current();
+  request_record rec;
+  rec.trace_id = st->trace_id;
+  rec.root_span = st->root_span;
+  rec.remote_parent = st->remote_parent;
+  rec.begin_ns = st->begin_ns;
+  rec.end_ns = now_ns();
+  st->pause_running(rec.end_ns);
+  rec.running_ns = st->running_ns.load(std::memory_order_relaxed);
+  rec.deque_ns = st->deque_ns.load(std::memory_order_relaxed);
+  rec.delta_ns = st->delta_ns.load(std::memory_order_relaxed);
+  rec.wake_ns = st->wake_ns.load(std::memory_order_relaxed);
+  rec.spans = st->spans.load(std::memory_order_relaxed);
+  rec.hops = st->hops.load(std::memory_order_relaxed);
+  if (w != nullptr) w->spans.emit_request(rec);
+}
+
+}  // namespace detail
+
+}  // namespace lhws::obs

@@ -1,0 +1,390 @@
+// Causal span tracing with per-request critical-path attribution
+// (DESIGN.md §13).
+//
+// A *request* is a unit of latency the user cares about (one RPC, one
+// server iteration). begin_request() allocates a `trace_state` — the
+// per-request critical-path accumulator — and plants a `span_context`
+// {state, current span id} in the awaiting coroutine's promise. The
+// context rides the promise through every structural edge (serial
+// co_await, fork2) by a plain copy, and every *heavy* edge (timer, event,
+// channel, real I/O — anything that arms an rt::resume_handle) opens a
+// span: the arm pauses the request's running clock and stamps the resume
+// node; the fire/drain/execute path stamps the remaining timestamps; the
+// executing worker commits a `span_record` and restarts the running clock.
+//
+// On a serial request spine this is an exact decomposition (one
+// CLOCK_MONOTONIC clock throughout):
+//
+//   end - begin = running + Σ over spans (δ + wake + deque-wait)
+//     δ     = fire_ns  - arm_ns    observed suspension latency (paper's δ)
+//     wake  = drain_ns - fire_ns   resume delivery -> owner drained it
+//     deque = exec_ns  - drain_ns  Lemma 7 deque-wait (enqueue->dequeue)
+//
+// fork2 children inherit the parent context by value, so spans opened on
+// a branch attach to the tree (closed under reconstruction) but the
+// running clock stays with the spine; the workloads we audit
+// (examples/server) suspend only on the spine, where the sum is exact.
+//
+// Everything is off unless `scheduler_options::spans` is set: contexts
+// stay {nullptr, 0}, the arm overload bails on the null state, and
+// LHWS_SPANS_COMPILED=0 folds the span code out entirely. Records and
+// trace_state objects are slab-allocated (src/mem/), sinks are per-worker
+// single-writer, and the accumulator's counters are relaxed atomics —
+// commits are ordered against begin/end by the resume handoff itself.
+#pragma once
+
+#include <atomic>
+#include <coroutine>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "mem/slab.hpp"
+#include "support/timing.hpp"
+
+#ifndef LHWS_SPANS_COMPILED
+#define LHWS_SPANS_COMPILED 1
+#endif
+
+namespace lhws::obs {
+
+inline constexpr bool kSpansCompiled = LHWS_SPANS_COMPILED != 0;
+
+// Heavy-edge classification, stamped on every span. Values are stable:
+// they appear in trace JSON and lhws_trace_stats decodes them by index.
+enum class span_kind : std::uint8_t {
+  timer = 0,       // core/latency.hpp (simulated δ)
+  event = 1,       // core/sync.hpp event<T>
+  channel = 2,     // core/channel.hpp receive
+  io_accept = 3,   // io/async_ops.hpp per-op kinds
+  io_connect = 4,
+  io_read = 5,
+  io_write = 6,
+  io_sleep = 7,
+};
+inline constexpr unsigned kNumSpanKinds = 8;
+
+[[nodiscard]] const char* span_kind_name(span_kind k) noexcept;
+
+// Process-wide span-id allocator. Ids are unique across every request and
+// scheduler in the process (the loopback server runs client and server
+// requests in one process; per-request counters would collide in the
+// merged trace). 0 is reserved: "no span" / root parent.
+[[nodiscard]] std::uint32_t next_span_id() noexcept;
+
+// Fresh 64-bit trace id: a process-global counter mixed through
+// splitmix64 with a once-per-process time seed, never 0.
+[[nodiscard]] std::uint64_t next_trace_id() noexcept;
+
+// Per-request critical-path accumulator. Allocated by begin_request,
+// registered with the owning scheduler_core, and freed after the run's
+// workers join — so every arm/commit/end that dereferences it happens
+// strictly before the free.
+struct trace_state {
+  std::uint64_t trace_id = 0;
+  std::uint32_t root_span = 0;      // span id of the request itself
+  std::uint32_t remote_parent = 0;  // wire-propagated parent span (or 0)
+  std::int64_t begin_ns = 0;
+
+  // Running-clock protocol: `last_run_start` holds the timestamp the
+  // spine last started executing, or 0 while suspended. arm() exchanges
+  // it out and banks the elapsed slice; commit/end restart or close it.
+  // Relaxed is enough: the exchange makes pause idempotent against the
+  // (workload-dependent) case of a branch arming concurrently, and every
+  // pause/resume pair on the spine is ordered by the resume handoff.
+  std::atomic<std::int64_t> last_run_start{0};
+  std::atomic<std::int64_t> running_ns{0};
+  std::atomic<std::int64_t> delta_ns{0};
+  std::atomic<std::int64_t> wake_ns{0};
+  std::atomic<std::int64_t> deque_ns{0};
+  std::atomic<std::uint32_t> spans{0};
+  std::atomic<std::uint32_t> hops{0};
+
+  trace_state* next = nullptr;  // scheduler_core's reclamation list
+
+  void pause_running(std::int64_t now) noexcept {
+    const std::int64_t started =
+        last_run_start.exchange(0, std::memory_order_relaxed);
+    if (started > 0 && now > started) {
+      running_ns.fetch_add(now - started, std::memory_order_relaxed);
+    }
+  }
+  void resume_running_at(std::int64_t t) noexcept {
+    last_run_start.store(t, std::memory_order_relaxed);
+  }
+
+  static void* operator new(std::size_t size) {
+    return mem::allocate(size);
+  }
+  static void operator delete(void* p) noexcept { mem::deallocate(p); }
+};
+
+// The context planted in every task promise (16 bytes). Copied — never
+// shared — across structural edges; `state == nullptr` means "no request
+// in scope" and short-circuits every span path.
+struct span_context {
+  trace_state* state = nullptr;
+  std::uint32_t span_id = 0;  // current position in the span tree
+};
+
+// One committed heavy-edge span. Timestamps are absolute now_ns().
+struct span_record {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_span = 0;
+  std::int64_t arm_ns = 0;
+  std::int64_t fire_ns = 0;
+  std::int64_t drain_ns = 0;
+  std::int64_t exec_ns = 0;
+  std::uint16_t hops = 0;  // steal hops the resumed item took
+  std::uint8_t kind = 0;   // span_kind
+  std::uint8_t arm_worker = 0;
+  std::uint8_t exec_worker = 0;
+};
+
+// One completed request: the critical-path breakdown snapshot at
+// end_request. On a serial spine, end-begin == running + deque + delta +
+// wake exactly; lhws_trace_stats --spans audits this.
+struct request_record {
+  std::uint64_t trace_id = 0;
+  std::uint32_t root_span = 0;
+  std::uint32_t remote_parent = 0;
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  std::int64_t running_ns = 0;
+  std::int64_t deque_ns = 0;
+  std::int64_t delta_ns = 0;
+  std::int64_t wake_ns = 0;
+  std::uint32_t spans = 0;
+  std::uint32_t hops = 0;
+};
+
+// Per-worker span storage: slab-chunked span records (single writer — the
+// owning worker's execute loop) plus the handful of request records the
+// worker happened to close. Chunks are sized to land exactly in the slab's
+// largest bucket so a sink never touches the headered fallback path.
+class span_sink {
+ public:
+  span_sink() = default;
+  ~span_sink() { release_chunks(); }
+
+  span_sink(const span_sink&) = delete;
+  span_sink& operator=(const span_sink&) = delete;
+
+  void emit(const span_record& rec) {
+    if (count_ >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    if (tail_ == nullptr || tail_->count == chunk::kSlots) {
+      auto* c = static_cast<chunk*>(mem::allocate(sizeof(chunk)));
+      c->next = nullptr;
+      c->count = 0;
+      if (tail_ == nullptr) {
+        head_ = tail_ = c;
+      } else {
+        tail_->next = c;
+        tail_ = c;
+      }
+    }
+    tail_->slots[tail_->count++] = rec;
+    ++count_;
+  }
+
+  void emit_request(const request_record& rec) { requests_.push_back(rec); }
+
+  // Appends every record to `out` (in emission order) without clearing.
+  void drain_into(std::vector<span_record>& out) const {
+    for (const chunk* c = head_; c != nullptr; c = c->next) {
+      out.insert(out.end(), c->slots, c->slots + c->count);
+    }
+  }
+
+  [[nodiscard]] const std::vector<request_record>& requests() const noexcept {
+    return requests_;
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  void set_capacity(std::uint64_t cap) noexcept { capacity_ = cap; }
+
+  void clear() {
+    release_chunks();
+    head_ = tail_ = nullptr;
+    count_ = dropped_ = 0;
+    requests_.clear();
+  }
+
+ private:
+  struct chunk {
+    chunk* next;
+    std::uint32_t count;
+    std::uint32_t pad;
+    static constexpr std::size_t kSlots =
+        (mem::kMaxBucketPayload - 16) / sizeof(span_record);
+    span_record slots[kSlots];
+  };
+  static_assert(sizeof(chunk) <= mem::kMaxBucketPayload,
+                "span chunks must fit the largest slab bucket");
+
+  void release_chunks() noexcept {
+    chunk* c = head_;
+    while (c != nullptr) {
+      chunk* n = c->next;
+      mem::deallocate(c);
+      c = n;
+    }
+  }
+
+  chunk* head_ = nullptr;
+  chunk* tail_ = nullptr;
+  std::uint64_t count_ = 0;
+  std::uint64_t capacity_ = std::uint64_t{1} << 20;
+  std::uint64_t dropped_ = 0;
+  std::vector<request_record> requests_;
+};
+
+// Extracts the span context out of an arbitrary coroutine handle. The
+// runtime's generic paths only hold type-erased handles; awaiters see the
+// concrete promise. Three overloads:
+//   - type-erased handle: no promise to look at — nullptr;
+//   - promise with a `span` member (task's promise_base): its context;
+//   - any other promise: nullptr (constraint subsumption prefers the
+//     middle overload when both match).
+[[nodiscard]] inline span_context* promise_span(
+    std::coroutine_handle<> /*h*/) noexcept {
+  return nullptr;
+}
+
+template <typename Promise>
+  requires requires(Promise& p) { p.span; }
+[[nodiscard]] span_context* promise_span(
+    std::coroutine_handle<Promise> h) noexcept {
+  return &h.promise().span;
+}
+
+template <typename Promise>
+[[nodiscard]] span_context* promise_span(
+    std::coroutine_handle<Promise> /*h*/) noexcept {
+  return nullptr;
+}
+
+// --- scheduler-facing glue (span.cpp; needs worker/scheduler_core) -----
+
+namespace detail {
+// Allocates + registers a trace_state on the current worker's scheduler.
+// Returns nullptr when spans are disabled or off a worker thread.
+[[nodiscard]] trace_state* begin_request_impl(std::uint64_t wire_trace_id,
+                                              std::uint32_t remote_parent);
+// Closes the accumulator and emits the request record to the current
+// worker's sink. No-op when `ctx.state` is null.
+void end_request_impl(span_context& ctx);
+}  // namespace detail
+
+// Banks a completed heavy-edge span into the request accumulator and the
+// sink, and restarts the running clock at exec_ns. Timestamps are clamped
+// monotone (fire >= arm >= 0 etc.) so a coarse clock can never produce a
+// negative component.
+template <typename Sink>
+inline void commit_span(Sink& sink, trace_state* st, std::uint32_t span_id,
+                        std::uint32_t parent_span, std::uint8_t kind,
+                        std::uint8_t arm_worker, std::uint8_t exec_worker,
+                        std::uint16_t hops, std::int64_t arm_ns,
+                        std::int64_t fire_ns, std::int64_t drain_ns,
+                        std::int64_t exec_ns) {
+  if (fire_ns < arm_ns) fire_ns = arm_ns;
+  if (drain_ns < fire_ns) drain_ns = fire_ns;
+  if (exec_ns < drain_ns) exec_ns = drain_ns;
+  st->delta_ns.fetch_add(fire_ns - arm_ns, std::memory_order_relaxed);
+  st->wake_ns.fetch_add(drain_ns - fire_ns, std::memory_order_relaxed);
+  st->deque_ns.fetch_add(exec_ns - drain_ns, std::memory_order_relaxed);
+  st->hops.fetch_add(hops, std::memory_order_relaxed);
+  st->resume_running_at(exec_ns);
+  span_record rec;
+  rec.trace_id = st->trace_id;
+  rec.span_id = span_id;
+  rec.parent_span = parent_span;
+  rec.arm_ns = arm_ns;
+  rec.fire_ns = fire_ns;
+  rec.drain_ns = drain_ns;
+  rec.exec_ns = exec_ns;
+  rec.hops = hops;
+  rec.kind = kind;
+  rec.arm_worker = arm_worker;
+  rec.exec_worker = exec_worker;
+  sink.emit(rec);
+}
+
+// --- request-scope awaitables ------------------------------------------
+//
+// These never actually suspend: await_suspend sees the concrete promise
+// (to reach its span context), does the bookkeeping, and returns false.
+// co_await is just the only portable way to reach the promise.
+
+// `bool began = co_await obs::begin_request();` opens a request scope on
+// the awaiting coroutine. Pass a wire-propagated (trace_id, parent span)
+// to attach this request as a child of a remote caller's span; 0 starts a
+// fresh trace. Returns false (and plants nothing) when spans are off.
+struct [[nodiscard]] begin_request {
+  std::uint64_t wire_trace_id = 0;
+  std::uint32_t remote_parent = 0;
+  bool began = false;
+
+  explicit begin_request(std::uint64_t trace_id = 0,
+                         std::uint32_t parent = 0) noexcept
+      : wire_trace_id(trace_id), remote_parent(parent) {}
+
+  [[nodiscard]] bool await_ready() const noexcept { return !kSpansCompiled; }
+  template <typename Promise>
+  bool await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    if (span_context* ctx = promise_span(h)) {
+      if (trace_state* st =
+              detail::begin_request_impl(wire_trace_id, remote_parent)) {
+        ctx->state = st;
+        ctx->span_id = st->root_span;
+        began = true;
+      }
+    }
+    return false;  // never suspends
+  }
+  [[nodiscard]] bool await_resume() const noexcept { return began; }
+};
+
+// `co_await obs::end_request();` closes the current request scope (no-op
+// if none is open) and emits its request_record.
+struct [[nodiscard]] end_request {
+  [[nodiscard]] bool await_ready() const noexcept { return !kSpansCompiled; }
+  template <typename Promise>
+  bool await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    if (span_context* ctx = promise_span(h)) {
+      detail::end_request_impl(*ctx);
+    }
+    return false;
+  }
+  void await_resume() const noexcept {}
+};
+
+struct span_ref {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+};
+
+// `span_ref s = co_await obs::current_span();` — the (trace id, span id)
+// to stamp onto an outgoing downstream request, or {0, 0} outside a
+// request scope.
+struct [[nodiscard]] current_span {
+  span_ref ref{};
+
+  [[nodiscard]] bool await_ready() const noexcept { return !kSpansCompiled; }
+  template <typename Promise>
+  bool await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    if (span_context* ctx = promise_span(h); ctx && ctx->state) {
+      ref.trace_id = ctx->state->trace_id;
+      ref.span_id = ctx->span_id;
+    }
+    return false;
+  }
+  [[nodiscard]] span_ref await_resume() const noexcept { return ref; }
+};
+
+}  // namespace lhws::obs

@@ -43,6 +43,35 @@ class resume_handle {
     node_.continuation = h;
   }
 
+  // Span-aware arm (DESIGN.md §13): additionally opens a span on the
+  // awaiting request — pauses its running clock, stamps the resume node,
+  // and advances the context's current span id. No-op beyond plain arm()
+  // when spans are compiled out, the promise has no context, or no request
+  // scope is open (ctx->state == nullptr) — so the disabled path costs one
+  // null test.
+  void arm(worker* w, std::coroutine_handle<> h, obs::span_context* ctx,
+           obs::span_kind kind) {
+    arm(w, h);
+    if (!obs::kSpansCompiled || ctx == nullptr || ctx->state == nullptr) {
+      return;
+    }
+    obs::trace_state* st = ctx->state;
+    const std::int64_t t = now_ns();
+    st->pause_running(t);
+    node_.span_state = st;
+    node_.span_id = obs::next_span_id();
+    node_.span_parent = ctx->span_id;
+    node_.span_arm_ns = t;
+    node_.span_kind = static_cast<std::uint8_t>(kind);
+    node_.span_arm_worker = static_cast<std::uint8_t>(w->index());
+    st->spans.fetch_add(1, std::memory_order_relaxed);
+    // The continuation resumes past this suspension, so its position in
+    // the span tree moves to the new span. Remembered for cancel().
+    armed_ctx_ = ctx;
+    prev_span_id_ = ctx->span_id;
+    ctx->span_id = node_.span_id;
+  }
+
   // Completer side (any thread): deliver the continuation back to its
   // deque; register the deque with its owner on the first undrained resume.
   // The node push inside deliver_resume is the publication point: from then
@@ -72,6 +101,15 @@ class resume_handle {
   void cancel() {
     owner_->cancel_suspension(deque_);
     deque_ = nullptr;
+    if (obs::kSpansCompiled && node_.span_state != nullptr) {
+      // Roll the span back exactly: the pause banked running time up to
+      // arm_ns, so restarting the clock AT arm_ns loses nothing, and the
+      // context returns to its pre-arm tree position.
+      node_.span_state->resume_running_at(node_.span_arm_ns);
+      node_.span_state->spans.fetch_sub(1, std::memory_order_relaxed);
+      armed_ctx_->span_id = prev_span_id_;
+      node_.span_state = nullptr;
+    }
   }
 
   [[nodiscard]] bool armed() const noexcept { return deque_ != nullptr; }
@@ -80,6 +118,8 @@ class resume_handle {
   resume_node node_{};
   runtime_deque* deque_ = nullptr;
   worker* owner_ = nullptr;
+  obs::span_context* armed_ctx_ = nullptr;
+  std::uint32_t prev_span_id_ = 0;
 };
 
 }  // namespace lhws::rt

@@ -21,6 +21,10 @@
 #include "support/mpsc_stack.hpp"
 #include "support/timing.hpp"
 
+namespace lhws::obs {
+struct trace_state;
+}  // namespace lhws::obs
+
 namespace lhws::rt {
 
 // Intrusive node used to deliver one resumed continuation (the paper's
@@ -32,6 +36,16 @@ struct resume_node {
   // Stamped by deliver_resume; the owner computes wake latency (delivery ->
   // drain) from it when observability is enabled.
   std::int64_t fire_ns = 0;
+  // Causal-span stamp (DESIGN.md §13), written by the span-aware arm()
+  // overload on the suspending worker and read back by the owner's drain.
+  // Null state = no span on this suspension; none of these fields are
+  // touched by the completer, so non-span paths pay nothing.
+  obs::trace_state* span_state = nullptr;
+  std::int64_t span_arm_ns = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t span_parent = 0;
+  std::uint8_t span_kind = 0;
+  std::uint8_t span_arm_worker = 0;
 };
 
 class runtime_deque {

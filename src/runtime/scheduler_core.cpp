@@ -88,12 +88,29 @@ void worker::execute(work_item item) {
       // Splits copy only the block pointer — the leaf-counted batch_block
       // needs no refcount traffic until a leaf actually executes.
       const std::uint32_t mid = node->lo + (node->hi - node->lo) / 2;
-      auto* right = new batch_node{blk, mid, node->hi};
+      auto* right = new batch_node{blk, mid, node->hi, node->hops};
       node->hi = mid;
       active_->push_bottom(work_item::from_batch(right));
       stats.batch_splits += 1;
     }
     const std::coroutine_handle<> h = blk->items()[node->lo];
+    if constexpr (obs::kSpansCompiled) {
+      if (blk->spanned != 0) {
+        // Commit the leaf's span before the leaf runs, so the request's
+        // running clock restarts at exec and the continuation observes a
+        // fully banked suspension. The slot must be read out before
+        // release_leaf — the last leaf frees the block.
+        const batch_span_slot slot = blk->span_slots()[node->lo];
+        if (slot.state != nullptr) {
+          const std::int64_t texec = t0 != 0 ? t0 : now_ns();
+          obs::commit_span(spans, slot.state, slot.span_id, slot.parent_span,
+                           slot.kind, slot.arm_worker,
+                           static_cast<std::uint8_t>(index_),
+                           static_cast<std::uint16_t>(node->hops),
+                           slot.arm_ns, slot.fire_ns, blk->drain_ns, texec);
+        }
+      }
+    }
     delete node;
     blk->release_leaf();
     stats.segments_executed += 1;
@@ -106,6 +123,31 @@ void worker::execute(work_item item) {
       }
     }
     return;
+  }
+  if constexpr (obs::kSpansCompiled) {
+    if (item.is_span()) {
+      // Spanned single-resume fast path: commit, free the carrier, run.
+      span_carrier* const sc = item.span();
+      const std::coroutine_handle<> h = sc->continuation;
+      if (sc->state != nullptr) {
+        const std::int64_t texec = t0 != 0 ? t0 : now_ns();
+        obs::commit_span(spans, sc->state, sc->span_id, sc->parent_span,
+                         sc->kind, sc->arm_worker,
+                         static_cast<std::uint8_t>(index_), sc->hops,
+                         sc->arm_ns, sc->fire_ns, sc->drain_ns, texec);
+      }
+      delete sc;
+      stats.segments_executed += 1;
+      h.resume();
+      if (timed) {
+        const std::int64_t t1 = now_ns();
+        if (trace.enabled()) trace.record(trace_kind::segment, t0, t1);
+        if (metrics_on_) {
+          hist.segment_duration.record(static_cast<std::uint64_t>(t1 - t0));
+        }
+      }
+      return;
+    }
   }
   stats.segments_executed += 1;
   item.coroutine().resume();
@@ -128,10 +170,14 @@ void worker::add_resumed_vertices() {
     resume_node* chain = q->drain_resumed();
     if (chain != nullptr) {
       const bool timed = trace.enabled() || metrics_on_;
-      const std::int64_t drain_ns = timed ? now_ns() : 0;
+      // Spans need the drain timestamp even when tracing/metrics are off:
+      // it is the deque-wait start of every span in this chain.
+      const std::int64_t drain_ns = timed || spans_on_ ? now_ns() : 0;
       std::int64_t count = 0;
+      bool spanned = false;
       for (resume_node* n = chain; n != nullptr; n = n->next) {
         ++count;
+        if (obs::kSpansCompiled && n->span_state != nullptr) spanned = true;
         if (timed) {
           // Wake latency: resume delivery (timer/producer thread) until
           // this drain makes the continuation stealable again.
@@ -155,19 +201,45 @@ void worker::add_resumed_vertices() {
         // Single resume (the overwhelmingly common drain): push the
         // continuation directly, skipping the batch tree and its
         // shared_ptr/vector allocations. Same deque, same Lemma 7 bound.
-        q->push_bottom(work_item::from_coroutine(chain->continuation));
+        if (obs::kSpansCompiled && spanned) {
+          // Spanned variant: a slab carrier keeps the node's stamp alive
+          // past the frame's resumption (the node lives in the frame).
+          auto* sc = new span_carrier;
+          sc->continuation = chain->continuation;
+          sc->state = chain->span_state;
+          sc->arm_ns = chain->span_arm_ns;
+          sc->fire_ns = chain->fire_ns;
+          sc->drain_ns = drain_ns;
+          sc->span_id = chain->span_id;
+          sc->parent_span = chain->span_parent;
+          sc->kind = chain->span_kind;
+          sc->arm_worker = chain->span_arm_worker;
+          q->push_bottom(work_item::from_span(sc));
+        } else {
+          q->push_bottom(work_item::from_coroutine(chain->continuation));
+        }
         stats.resumes_direct += 1;
       } else {
         // One exact-size block sized from the drained count (no vector
         // growth, no shared_ptr control block), filled straight off the
         // chain, plus one root node over [0, count).
-        batch_block* blk =
-            batch_block::create(static_cast<std::uint32_t>(count));
+        batch_block* blk = batch_block::create(
+            static_cast<std::uint32_t>(count), obs::kSpansCompiled && spanned);
         std::coroutine_handle<>* out = blk->items();
+        batch_span_slot* slots = blk->spanned != 0 ? blk->span_slots()
+                                                   : nullptr;
         std::uint32_t i = 0;
         for (resume_node* n = chain; n != nullptr; n = n->next) {
-          out[i++] = n->continuation;
+          out[i] = n->continuation;
+          if (slots != nullptr) {
+            slots[i] = batch_span_slot{n->span_state,  n->span_arm_ns,
+                                       n->fire_ns,     n->span_id,
+                                       n->span_parent, n->span_kind,
+                                       n->span_arm_worker};
+          }
+          ++i;
         }
+        if (blk->spanned != 0) blk->drain_ns = drain_ns;
         auto* batch =
             new batch_node{blk, 0, static_cast<std::uint32_t>(count)};
         q->push_bottom(work_item::from_batch(batch));
@@ -255,6 +327,18 @@ void worker::try_steal() {
                                            : steal_result::empty;
   if (r == steal_result::success) {
     stats.successful_steals += 1;
+    if constexpr (obs::kSpansCompiled) {
+      // Span hop accounting: the stolen item changed workers. The thief
+      // owns the node/carrier from here on, so the bump is single-writer.
+      if (spans_on_) {
+        if (stolen.is_batch()) {
+          stolen.batch()->hops += 1;
+        } else if (stolen.is_span()) {
+          span_carrier* sc = stolen.span();
+          if (sc->hops < UINT16_MAX) sc->hops += 1;
+        }
+      }
+    }
     active_ = new_deque();
     assigned_ = stolen;
     if (trace.enabled()) {
@@ -404,6 +488,8 @@ void worker::loop() {
     trace.enable();
   }
   metrics_on_ = sched_.config().metrics;
+  spans_on_ = obs::kSpansCompiled && sched_.config().spans;
+  if (spans_on_) spans.set_capacity(sched_.config().span_capacity);
   // Parking needs the event hub on its own thread: under the polled timer
   // mode a parked worker would stop driving timer completions.
   park_enabled_ = sched_.config().idle_park_timeout_us > 0 &&
@@ -454,6 +540,7 @@ void scheduler_core::run_root(std::coroutine_handle<> root) {
   for (auto& w : workers_) {
     w->trace.clear();
     w->hist.reset();
+    w->spans.clear();
   }
   suspended_now_.store(0, std::memory_order_relaxed);
   max_suspended_.store(0, std::memory_order_relaxed);
@@ -517,6 +604,26 @@ void scheduler_core::run_root(std::coroutine_handle<> root) {
   if (cfg_.metrics) {
     for (const auto& w : workers_) run_hist_.merge(w->hist);
   }
+
+  // Span aggregation + trace_state reclamation. Workers have joined, so
+  // sinks are quiescent and nothing can dereference an adopted state
+  // anymore (arms, commits, and request hooks all run on worker threads).
+  span_records_.clear();
+  request_records_.clear();
+  for (const auto& w : workers_) {
+    w->spans.drain_into(span_records_);
+    const auto& reqs = w->spans.requests();
+    request_records_.insert(request_records_.end(), reqs.begin(), reqs.end());
+    stats_.span_records_dropped += w->spans.dropped();
+  }
+  stats_.span_records = span_records_.size();
+  stats_.request_records = request_records_.size();
+  obs::trace_state* st = trace_states_.pop_all();
+  while (st != nullptr) {
+    obs::trace_state* following = st->next;
+    delete st;
+    st = following;
+  }
 }
 
 void scheduler_core::write_trace(std::ostream& os) const {
@@ -530,6 +637,16 @@ void scheduler_core::write_trace(std::ostream& os) const {
   meta.elapsed_ms = stats_.elapsed_ms;
   meta.per_worker = &stats_.per_worker;
   meta.alloc = &stats_.alloc;
+  meta.spans = span_records_.empty() ? nullptr : &span_records_;
+  meta.requests = request_records_.empty() ? nullptr : &request_records_;
+  meta.span_records_dropped = stats_.span_records_dropped;
+  // I/O spans route their delivery step through the reactor's named row.
+  for (const auto& rec : span_records_) {
+    if (rec.kind >= static_cast<std::uint8_t>(obs::span_kind::io_accept)) {
+      meta.reactor_row = true;
+      break;
+    }
+  }
   write_chrome_trace(os, buffers, run_start_ns_,
                      samples_.empty() ? nullptr : &samples_, &meta);
 }

@@ -21,6 +21,7 @@
 
 #include "obs/histogram.hpp"
 #include "obs/sampler.hpp"
+#include "obs/span.hpp"
 #include "runtime/deque_pool.hpp"
 #include "runtime/deque_registry.hpp"
 #include "runtime/event_hub.hpp"
@@ -66,6 +67,13 @@ struct scheduler_config {
   // Background gauge sampler cadence in microseconds (0 = off). Samples
   // become Perfetto counter tracks in the exported trace.
   std::uint32_t sample_interval_us = 0;
+  // Causal span tracing (DESIGN.md §13): per-request critical-path
+  // accumulators + per-heavy-edge span records. Off by default; requests
+  // must also opt in via obs::begin_request.
+  bool spans = false;
+  // Per-worker span-record cap; overflow is dropped and counted in
+  // run_stats::span_records_dropped.
+  std::uint64_t span_capacity = std::uint64_t{1} << 20;
   // Adaptive idle policy: an idle worker spins `idle_spin_limit` exponential
   // pause rounds, yields `idle_yield_limit` rounds, then parks on a condvar
   // until a lifeline wake (resume delivery / spawn push / shutdown) or
@@ -113,6 +121,12 @@ class worker {
   }
 
   trace_buffer trace;
+
+  // Span-record sink (DESIGN.md §13), single-writer: only this worker's
+  // execute loop / request hooks emit. Populated only when spans_enabled().
+  obs::span_sink spans;
+
+  [[nodiscard]] bool spans_enabled() const noexcept { return spans_on_; }
 
   [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
   [[nodiscard]] scheduler_core& sched() noexcept { return sched_; }
@@ -173,6 +187,7 @@ class worker {
   const std::uint32_t index_;
   xoshiro256 rng_;
   bool metrics_on_ = false;
+  bool spans_on_ = false;
   bool park_enabled_ = false;
   std::chrono::microseconds park_timeout_{0};
   runtime_deque* active_ = nullptr;
@@ -309,6 +324,24 @@ class scheduler_core {
     return samples_;
   }
 
+  // --- Causal spans (DESIGN.md §13) --------------------------------------
+  // Takes ownership of a request accumulator for end-of-run reclamation.
+  // Called by obs::begin_request on a worker thread; MPSC push, never
+  // popped until after the workers join, so every arm/commit/end that
+  // dereferences the state happens strictly before the free.
+  void adopt_trace_state(obs::trace_state* st) { trace_states_.push(st); }
+
+  // Span/request records aggregated across workers at the end of the last
+  // run (empty unless config.spans and some request opened a scope).
+  [[nodiscard]] const std::vector<obs::span_record>& last_run_spans()
+      const noexcept {
+    return span_records_;
+  }
+  [[nodiscard]] const std::vector<obs::request_record>& last_run_requests()
+      const noexcept {
+    return request_records_;
+  }
+
   // Concurrent-suspension accounting (observed bound on the suspension
   // width U). Increment on suspension begin; decrement on cancel or drain.
   void note_suspend_begin() noexcept {
@@ -341,6 +374,9 @@ class scheduler_core {
   run_stats stats_;
   obs::latency_histograms run_hist_;
   std::vector<obs::counter_sample> samples_;
+  mpsc_stack<obs::trace_state> trace_states_;
+  std::vector<obs::span_record> span_records_;
+  std::vector<obs::request_record> request_records_;
   std::atomic<std::int64_t> suspended_now_{0};
   std::atomic<std::uint64_t> max_suspended_{0};
   std::int64_t run_start_ns_ = 0;

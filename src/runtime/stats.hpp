@@ -89,6 +89,13 @@ struct run_stats {
   std::uint64_t max_concurrent_suspended = 0;
   // Trace events rejected because a worker's buffer hit trace_capacity.
   std::uint64_t trace_events_dropped = 0;
+  // Causal spans (DESIGN.md §13): committed heavy-edge spans, completed
+  // request records, and span records rejected at the per-worker cap.
+  // Run-level only — filled from the worker sinks after the join, not by
+  // absorb().
+  std::uint64_t span_records = 0;
+  std::uint64_t request_records = 0;
+  std::uint64_t span_records_dropped = 0;
   // Slab-allocator deltas for this run (zeroes when the slab is disabled).
   alloc_run_stats alloc;
   double elapsed_ms = 0.0;

@@ -75,6 +75,22 @@ void write_chrome_trace(std::ostream& os,
     os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
        << w << ",\"args\":{\"sort_index\":" << w << "}}";
   }
+  const std::size_t reactor_tid = workers.size();
+  const std::size_t requests_tid = workers.size() + 1;
+  if (meta != nullptr && meta->reactor_row) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << reactor_tid << ",\"args\":{\"name\":\"reactor\"}}";
+    os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << reactor_tid << ",\"args\":{\"sort_index\":" << reactor_tid << "}}";
+  }
+  if (meta != nullptr && meta->requests != nullptr &&
+      !meta->requests->empty()) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << requests_tid << ",\"args\":{\"name\":\"requests\"}}";
+    os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << requests_tid << ",\"args\":{\"sort_index\":" << requests_tid
+       << "}}";
+  }
 
   for (std::size_t w = 0; w < workers.size(); ++w) {
     if (workers[w] == nullptr) continue;
@@ -116,6 +132,49 @@ void write_chrome_trace(std::ostream& os,
     }
   }
 
+  // Causal spans: one flow (ph "s"/"t"/"f") per heavy-edge span linking the
+  // arm site, the reactor delivery (io kinds only), and the resume site;
+  // one "X" slice per completed request on the "requests" row.
+  if (meta != nullptr && meta->spans != nullptr) {
+    for (const obs::span_record& sp : *meta->spans) {
+      const char* name = obs::span_kind_name(
+          static_cast<obs::span_kind>(sp.kind));
+      const std::uint64_t flow_id =
+          sp.trace_id * 1000003ULL + sp.span_id;  // unique per (trace, span)
+      if (!first) os << ",";
+      first = false;
+      os << "\n{\"name\":\"" << name << "\",\"cat\":\"span\",\"ph\":\"s\","
+         << "\"pid\":1,\"tid\":" << static_cast<unsigned>(sp.arm_worker)
+         << ",\"ts\":" << to_us(sp.arm_ns - origin_ns) << ",\"id\":"
+         << flow_id << "}";
+      if (sp.kind >= static_cast<std::uint8_t>(obs::span_kind::io_accept)) {
+        os << ",\n{\"name\":\"" << name << "\",\"cat\":\"span\",\"ph\":\"t\","
+           << "\"pid\":1,\"tid\":" << reactor_tid << ",\"ts\":"
+           << to_us(sp.fire_ns - origin_ns) << ",\"id\":" << flow_id << "}";
+      }
+      os << ",\n{\"name\":\"" << name << "\",\"cat\":\"span\",\"ph\":\"f\","
+         << "\"bp\":\"e\",\"pid\":1,\"tid\":"
+         << static_cast<unsigned>(sp.exec_worker) << ",\"ts\":"
+         << to_us(sp.exec_ns - origin_ns) << ",\"id\":" << flow_id
+         << ",\"args\":{\"span\":" << sp.span_id << ",\"parent\":"
+         << sp.parent_span << ",\"hops\":" << sp.hops << "}}";
+    }
+  }
+  if (meta != nullptr && meta->requests != nullptr) {
+    for (const obs::request_record& rq : *meta->requests) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n{\"name\":\"request\",\"cat\":\"request\",\"ph\":\"X\","
+         << "\"pid\":1,\"tid\":" << requests_tid << ",\"ts\":"
+         << to_us(rq.begin_ns - origin_ns) << ",\"dur\":"
+         << to_us(rq.end_ns - rq.begin_ns) << ",\"args\":{\"trace_id\":"
+         << rq.trace_id << ",\"spans\":" << rq.spans << ",\"running_us\":"
+         << to_us(rq.running_ns) << ",\"deque_us\":" << to_us(rq.deque_ns)
+         << ",\"delta_us\":" << to_us(rq.delta_ns) << ",\"wake_us\":"
+         << to_us(rq.wake_ns) << "}}";
+    }
+  }
+
   // Top-level run metadata for tooling (Chrome/Perfetto ignore extra keys).
   os << "\n],\"lhws\":{\"schema\":1,\"workers\":" << workers.size();
   if (meta != nullptr) {
@@ -131,6 +190,44 @@ void write_chrome_trace(std::ostream& os,
          << ",\"remote_drained\":" << a.remote_drained
          << ",\"fallback_allocs\":" << a.fallback_allocs
          << ",\"slab_bytes\":" << a.slab_bytes << "}";
+    }
+    os << ",\"span_records_dropped\":" << meta->span_records_dropped;
+    if (meta->spans != nullptr) {
+      // Nanosecond timestamps (origin-relative): the --spans audit needs
+      // exact component sums, not the microsecond doubles of the timeline.
+      os << ",\"spans\":[";
+      bool sp_first = true;
+      for (const obs::span_record& sp : *meta->spans) {
+        if (!sp_first) os << ",";
+        sp_first = false;
+        os << "\n {\"trace_id\":" << sp.trace_id << ",\"span\":" << sp.span_id
+           << ",\"parent\":" << sp.parent_span << ",\"kind\":\""
+           << obs::span_kind_name(static_cast<obs::span_kind>(sp.kind))
+           << "\",\"arm_ns\":" << (sp.arm_ns - origin_ns) << ",\"fire_ns\":"
+           << (sp.fire_ns - origin_ns) << ",\"drain_ns\":"
+           << (sp.drain_ns - origin_ns) << ",\"exec_ns\":"
+           << (sp.exec_ns - origin_ns) << ",\"hops\":" << sp.hops
+           << ",\"arm_worker\":" << static_cast<unsigned>(sp.arm_worker)
+           << ",\"exec_worker\":" << static_cast<unsigned>(sp.exec_worker)
+           << "}";
+      }
+      os << "\n]";
+    }
+    if (meta->requests != nullptr) {
+      os << ",\"requests\":[";
+      bool rq_first = true;
+      for (const obs::request_record& rq : *meta->requests) {
+        if (!rq_first) os << ",";
+        rq_first = false;
+        os << "\n {\"trace_id\":" << rq.trace_id << ",\"root_span\":"
+           << rq.root_span << ",\"remote_parent\":" << rq.remote_parent
+           << ",\"begin_ns\":" << (rq.begin_ns - origin_ns) << ",\"end_ns\":"
+           << (rq.end_ns - origin_ns) << ",\"running_ns\":" << rq.running_ns
+           << ",\"deque_ns\":" << rq.deque_ns << ",\"delta_ns\":"
+           << rq.delta_ns << ",\"wake_ns\":" << rq.wake_ns << ",\"spans\":"
+           << rq.spans << ",\"hops\":" << rq.hops << "}";
+      }
+      os << "\n]";
     }
     if (meta->per_worker != nullptr) {
       os << ",\"per_worker\":[";

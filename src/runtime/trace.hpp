@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "obs/sampler.hpp"
+#include "obs/span.hpp"
 
 namespace lhws::rt {
 
@@ -113,6 +114,15 @@ struct trace_meta {
   const std::vector<worker_stats>* per_worker = nullptr;
   // Slab-allocator deltas for the run (optional "alloc" object).
   const alloc_run_stats* alloc = nullptr;
+  // Causal spans (DESIGN.md §13): emitted as Perfetto flow events linking
+  // suspend -> resume across worker rows, request slices on a dedicated
+  // "requests" row, and "spans"/"requests" arrays in the "lhws" object.
+  const std::vector<obs::span_record>* spans = nullptr;
+  const std::vector<obs::request_record>* requests = nullptr;
+  std::uint64_t span_records_dropped = 0;
+  // Adds a named "reactor" metadata row (tid = worker count); io-kind span
+  // flows route their delivery step through it.
+  bool reactor_row = false;
 };
 
 // Writes the per-worker buffers as a Chrome trace-event JSON document.

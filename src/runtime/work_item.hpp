@@ -15,7 +15,24 @@
 #include "mem/slab.hpp"
 #include "support/config.hpp"
 
+namespace lhws::obs {
+struct trace_state;
+}  // namespace lhws::obs
+
 namespace lhws::rt {
+
+// Per-continuation span stamp carried through a spanned batch tree
+// (DESIGN.md §13): the resume_node fields, frozen at drain time. `state ==
+// nullptr` marks an unspanned continuation inside a spanned block.
+struct batch_span_slot {
+  obs::trace_state* state;
+  std::int64_t arm_ns;
+  std::int64_t fire_ns;
+  std::uint32_t span_id;
+  std::uint32_t parent_span;
+  std::uint8_t kind;
+  std::uint8_t arm_worker;
+};
 
 // The shared continuation buffer behind a runtime pfor tree: one slab block
 // holding [header | n coroutine handles]. Ownership is leaf-counted —
@@ -28,19 +45,35 @@ namespace lhws::rt {
 struct batch_block {
   std::atomic<std::uint32_t> pending;
   std::uint32_t count;
+  // Span support (DESIGN.md §13): when `spanned` != 0 the block carries a
+  // batch_span_slot per item after the handle array, and `drain_ns` is the
+  // owner's drain timestamp shared by every slot (one drain, one clock
+  // read). Both are written once before the block is published.
+  std::int64_t drain_ns;
+  std::uint32_t spanned;
 
-  static batch_block* create(std::uint32_t n) {
+  static batch_block* create(std::uint32_t n, bool with_spans = false) {
     LHWS_ASSERT(n >= 1);
-    void* raw = mem::allocate(sizeof(batch_block) +
-                              std::size_t{n} * sizeof(std::coroutine_handle<>));
+    std::size_t bytes =
+        sizeof(batch_block) + std::size_t{n} * sizeof(std::coroutine_handle<>);
+    if (with_spans) bytes += std::size_t{n} * sizeof(batch_span_slot);
+    void* raw = mem::allocate(bytes);
     auto* b = ::new (raw) batch_block;
     b->pending.store(n, std::memory_order_relaxed);
     b->count = n;
+    b->drain_ns = 0;
+    b->spanned = with_spans ? 1 : 0;
     return b;
   }
 
   [[nodiscard]] std::coroutine_handle<>* items() noexcept {
     return reinterpret_cast<std::coroutine_handle<>*>(this + 1);
+  }
+
+  // Valid only when `spanned`; aligned because the header and the handle
+  // array are both multiples of the slot's 8-byte alignment.
+  [[nodiscard]] batch_span_slot* span_slots() noexcept {
+    return reinterpret_cast<batch_span_slot*>(items() + count);
   }
 
   // Called once per executed leaf; the last call releases the block. The
@@ -54,6 +87,8 @@ struct batch_block {
 };
 static_assert(std::is_trivially_destructible_v<batch_block>);
 static_assert(sizeof(batch_block) % alignof(std::coroutine_handle<>) == 0);
+static_assert(sizeof(batch_block) % alignof(batch_span_slot) == 0 &&
+              sizeof(std::coroutine_handle<>) % alignof(batch_span_slot) == 0);
 
 // A node of the runtime pfor tree: a view [lo, hi) over a batch_block.
 // Executing a node with hi - lo > 1 splits it (pushing the right half back
@@ -64,11 +99,33 @@ struct batch_node {
   batch_block* block = nullptr;
   std::uint32_t lo = 0;
   std::uint32_t hi = 0;
+  // Steal-hop count for the spans in [lo, hi): bumped each time a thief
+  // steals this node, inherited by both halves of a split.
+  std::uint32_t hops = 0;
 
   static void* operator new(std::size_t n) { return mem::allocate(n); }
   static void operator delete(void* p) noexcept { mem::deallocate(p); }
 };
 static_assert(std::is_trivially_copyable_v<batch_node>);
+
+// Deque slot for a single spanned continuation (the count == 1 direct-push
+// fast path of add_resumed_vertices, span-tracing variant): the resume_node
+// stamp plus the drain timestamp, slab-allocated and freed by execute().
+struct span_carrier {
+  std::coroutine_handle<> continuation{};
+  obs::trace_state* state = nullptr;
+  std::int64_t arm_ns = 0;
+  std::int64_t fire_ns = 0;
+  std::int64_t drain_ns = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_span = 0;
+  std::uint16_t hops = 0;
+  std::uint8_t kind = 0;
+  std::uint8_t arm_worker = 0;
+
+  static void* operator new(std::size_t n) { return mem::allocate(n); }
+  static void operator delete(void* p) noexcept { mem::deallocate(p); }
+};
 
 class work_item {
  public:
@@ -88,6 +145,13 @@ class work_item {
     return w;
   }
 
+  // Takes ownership of the (slab-allocated) span carrier.
+  static work_item from_span(span_carrier* s) noexcept {
+    work_item w;
+    w.bits_ = reinterpret_cast<std::uintptr_t>(s) | span_tag;
+    return w;
+  }
+
   static work_item from_raw(std::uintptr_t bits) noexcept {
     work_item w;
     w.bits_ = bits;
@@ -99,9 +163,12 @@ class work_item {
   [[nodiscard]] bool is_batch() const noexcept {
     return (bits_ & tag_mask) == batch_tag;
   }
+  [[nodiscard]] bool is_span() const noexcept {
+    return (bits_ & tag_mask) == span_tag;
+  }
 
   [[nodiscard]] std::coroutine_handle<> coroutine() const noexcept {
-    LHWS_ASSERT(!empty() && !is_batch());
+    LHWS_ASSERT(!empty() && !is_batch() && !is_span());
     return std::coroutine_handle<>::from_address(
         reinterpret_cast<void*>(bits_));
   }
@@ -111,9 +178,17 @@ class work_item {
     return reinterpret_cast<batch_node*>(bits_ & ~tag_mask);
   }
 
+  [[nodiscard]] span_carrier* span() const noexcept {
+    LHWS_ASSERT(is_span());
+    return reinterpret_cast<span_carrier*>(bits_ & ~tag_mask);
+  }
+
  private:
+  // Two tag bits: slab blocks and coroutine frames are >= 16-aligned, so
+  // the low two bits of every encoded pointer are free.
   static constexpr std::uintptr_t batch_tag = 1;
-  static constexpr std::uintptr_t tag_mask = 1;
+  static constexpr std::uintptr_t span_tag = 2;
+  static constexpr std::uintptr_t tag_mask = 3;
 
   std::uintptr_t bits_ = 0;
 };

@@ -1,0 +1,248 @@
+// Causal span tracing (DESIGN.md §13): sink mechanics, the trace_state
+// running-clock protocol, commit_span accounting, and end-to-end request
+// decomposition through a real scheduler run.
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/latency.hpp"
+#include "core/scheduler.hpp"
+#include "core/sync.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using lhws::obs::request_record;
+using lhws::obs::span_kind;
+using lhws::obs::span_record;
+using lhws::obs::span_sink;
+using lhws::obs::trace_state;
+
+TEST(SpanSink, EmitDrainClearRoundTrip) {
+  span_sink sink;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    span_record r{};
+    r.trace_id = 7;
+    r.span_id = i;
+    sink.emit(r);
+  }
+  EXPECT_EQ(sink.size(), 1000U);
+  EXPECT_EQ(sink.dropped(), 0U);
+  std::vector<span_record> out;
+  sink.drain_into(out);
+  ASSERT_EQ(out.size(), 1000U);
+  for (std::uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(out[i].span_id, i);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0U);
+  out.clear();
+  sink.drain_into(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpanSink, CapacityDropsAndCounts) {
+  span_sink sink;
+  sink.set_capacity(10);
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    span_record r{};
+    r.span_id = i;
+    sink.emit(r);
+  }
+  EXPECT_EQ(sink.size(), 10U);
+  EXPECT_EQ(sink.dropped(), 15U);
+  std::vector<span_record> out;
+  sink.drain_into(out);
+  ASSERT_EQ(out.size(), 10U);
+  EXPECT_EQ(out.back().span_id, 9U);  // first 10 kept, later ones dropped
+}
+
+TEST(TraceState, RunningClockPauseResumeBanking) {
+  trace_state st;
+  st.resume_running_at(100);
+  st.pause_running(350);  // banks 250
+  EXPECT_EQ(st.running_ns.load(), 250);
+  st.pause_running(400);  // already paused: no double banking
+  EXPECT_EQ(st.running_ns.load(), 250);
+  st.resume_running_at(1000);
+  st.pause_running(1001);
+  EXPECT_EQ(st.running_ns.load(), 251);
+}
+
+TEST(TraceState, CommitSpanClampsAndAccumulates) {
+  trace_state st;
+  // Timestamp 0 is the "paused" sentinel, so the clock starts at 10.
+  st.resume_running_at(10);
+  st.pause_running(60);  // running: 50 up to the arm
+  span_sink sink;
+  // Monotone stamps: arm=50 fire=80 drain=95 exec=100.
+  lhws::obs::commit_span(sink, &st, /*span_id=*/2, /*parent_span=*/1,
+                         static_cast<std::uint8_t>(span_kind::timer),
+                         /*arm_worker=*/0, /*exec_worker=*/1, /*hops=*/3,
+                         /*arm_ns=*/50, /*fire_ns=*/80, /*drain_ns=*/95,
+                         /*exec_ns=*/100);
+  EXPECT_EQ(st.delta_ns.load(), 30);
+  EXPECT_EQ(st.wake_ns.load(), 15);
+  EXPECT_EQ(st.deque_ns.load(), 5);
+  EXPECT_EQ(st.hops.load(), 3U);
+  // The running clock restarted at exec: pausing 20ns later banks 20 more.
+  st.pause_running(120);
+  EXPECT_EQ(st.running_ns.load(), 70);
+  ASSERT_EQ(sink.size(), 1U);
+  std::vector<span_record> out;
+  sink.drain_into(out);
+  EXPECT_EQ(out[0].span_id, 2U);
+  EXPECT_EQ(out[0].parent_span, 1U);
+  EXPECT_EQ(out[0].hops, 3U);
+
+  // Out-of-order stamps (a completer's clock read raced the arm) clamp to
+  // monotone rather than going negative.
+  trace_state st2;
+  st2.resume_running_at(10);
+  st2.pause_running(200);
+  lhws::obs::commit_span(sink, &st2, 4, 3,
+                         static_cast<std::uint8_t>(span_kind::event), 0, 0, 0,
+                         /*arm_ns=*/200, /*fire_ns=*/150, /*drain_ns=*/140,
+                         /*exec_ns=*/260);
+  EXPECT_EQ(st2.delta_ns.load(), 0);
+  EXPECT_EQ(st2.wake_ns.load(), 0);
+  EXPECT_EQ(st2.deque_ns.load(), 60);
+}
+
+TEST(SpanIds, FreshAndNonZero) {
+  const std::uint32_t a = lhws::obs::next_span_id();
+  const std::uint32_t b = lhws::obs::next_span_id();
+  EXPECT_NE(a, 0U);
+  EXPECT_NE(b, 0U);
+  EXPECT_NE(a, b);
+  const std::uint64_t t1 = lhws::obs::next_trace_id();
+  const std::uint64_t t2 = lhws::obs::next_trace_id();
+  EXPECT_NE(t1, 0U);
+  EXPECT_NE(t2, 0U);
+  EXPECT_NE(t1, t2);
+}
+
+// One request scope around two heavy edges (timer latencies). The span
+// layer must record exactly those spans, chain them off the request root,
+// and decompose end-to-end latency with zero residual (one clock, exact
+// pause/resume accounting on the serial spine).
+lhws::task<long> traced_request(unsigned edges) {
+  const bool began = co_await lhws::obs::begin_request();
+  long acc = began ? 1 : 0;
+  for (unsigned i = 0; i < edges; ++i) {
+    acc += co_await lhws::latency(std::chrono::milliseconds(2), 1L);
+  }
+  co_await lhws::obs::end_request();
+  co_return acc;
+}
+
+TEST(SpanEndToEnd, RequestDecompositionIsExact) {
+  lhws::scheduler_options opts;
+  opts.workers = 2;
+  opts.spans = true;
+  lhws::scheduler sched(opts);
+  const long got = sched.run(traced_request(3));
+  EXPECT_EQ(got, 4);  // began + 3 latency values
+
+  ASSERT_EQ(sched.requests().size(), 1U);
+  const request_record& rq = sched.requests()[0];
+  EXPECT_EQ(sched.stats().request_records, 1U);
+  EXPECT_EQ(rq.spans, 3U);
+  ASSERT_EQ(sched.spans().size(), 3U);
+
+  // Exact decomposition: end - begin == running + delta + wake + deque.
+  const std::int64_t total = rq.end_ns - rq.begin_ns;
+  const std::int64_t parts =
+      rq.running_ns + rq.delta_ns + rq.wake_ns + rq.deque_ns;
+  EXPECT_EQ(total, parts);
+  EXPECT_GE(rq.delta_ns, 3 * 1'500'000);  // three ~2ms timer waits
+
+  // Tree closure: spans chain root -> s1 -> s2 -> s3 on the serial spine.
+  // Records drain per-worker, not in spine order, so collect ids first.
+  std::set<std::uint32_t> known{rq.root_span};
+  for (const span_record& sp : sched.spans()) known.insert(sp.span_id);
+  std::size_t closed = 0;
+  for (const span_record& sp : sched.spans()) {
+    EXPECT_EQ(sp.trace_id, rq.trace_id);
+    EXPECT_EQ(sp.kind, static_cast<std::uint8_t>(span_kind::timer));
+    if (known.count(sp.parent_span) != 0) ++closed;
+    // Stamps are monotone after commit clamping.
+    EXPECT_LE(sp.arm_ns, sp.fire_ns);
+    EXPECT_LE(sp.fire_ns, sp.drain_ns);
+    EXPECT_LE(sp.drain_ns, sp.exec_ns);
+  }
+  EXPECT_EQ(closed, 3U);
+}
+
+TEST(SpanEndToEnd, WireContextJoinsRemoteTrace) {
+  lhws::scheduler_options opts;
+  opts.workers = 1;
+  opts.spans = true;
+  lhws::scheduler sched(opts);
+  const std::uint64_t wire_trace = 0xfeedfacecafef00dULL;
+  const std::uint32_t wire_parent = 77;
+  sched.run([](std::uint64_t t, std::uint32_t p) -> lhws::task<long> {
+    const bool began = co_await lhws::obs::begin_request(t, p);
+    co_await lhws::latency(std::chrono::milliseconds(1), 1L);
+    co_await lhws::obs::end_request();
+    co_return began ? 1 : 0;
+  }(wire_trace, wire_parent));
+  ASSERT_EQ(sched.requests().size(), 1U);
+  EXPECT_EQ(sched.requests()[0].trace_id, wire_trace);
+  EXPECT_EQ(sched.requests()[0].remote_parent, wire_parent);
+  ASSERT_EQ(sched.spans().size(), 1U);
+  EXPECT_EQ(sched.spans()[0].trace_id, wire_trace);
+}
+
+TEST(SpanEndToEnd, DisabledByDefaultCostsNothing) {
+  lhws::scheduler_options opts;
+  opts.workers = 2;
+  ASSERT_FALSE(opts.spans);
+  lhws::scheduler sched(opts);
+  const long got = sched.run(traced_request(2));
+  EXPECT_EQ(got, 2);  // begin_request() reported "not began"
+  EXPECT_TRUE(sched.spans().empty());
+  EXPECT_TRUE(sched.requests().empty());
+  EXPECT_EQ(sched.stats().span_records, 0U);
+  EXPECT_EQ(sched.stats().request_records, 0U);
+}
+
+TEST(SpanEndToEnd, ReadyEventProducesNoSpan) {
+  // A heavy-edge primitive that never suspends (value already there) must
+  // not create a span: arm/cancel rolls the context back.
+  lhws::scheduler_options opts;
+  opts.workers = 1;
+  opts.spans = true;
+  lhws::scheduler sched(opts);
+  sched.run([]() -> lhws::task<long> {
+    co_await lhws::obs::begin_request();
+    lhws::event<int> ev;
+    ev.set(5);
+    const int v = co_await ev;  // await_ready fast path
+    co_await lhws::obs::end_request();
+    co_return v;
+  }());
+  ASSERT_EQ(sched.requests().size(), 1U);
+  EXPECT_EQ(sched.requests()[0].spans, 0U);
+  EXPECT_TRUE(sched.spans().empty());
+  // No suspension: the whole scope is running time.
+  const request_record& rq = sched.requests()[0];
+  EXPECT_EQ(rq.end_ns - rq.begin_ns, rq.running_ns);
+}
+
+TEST(SpanEndToEnd, SinkCapacityDropsAreCounted) {
+  lhws::scheduler_options opts;
+  opts.workers = 1;
+  opts.spans = true;
+  opts.span_capacity = 2;
+  lhws::scheduler sched(opts);
+  sched.run(traced_request(5));
+  EXPECT_EQ(sched.spans().size(), 2U);
+  EXPECT_EQ(sched.stats().span_records_dropped, 3U);
+  // The request-level accumulators still saw every edge.
+  ASSERT_EQ(sched.requests().size(), 1U);
+  EXPECT_EQ(sched.requests()[0].spans, 5U);
+}
+
+}  // namespace

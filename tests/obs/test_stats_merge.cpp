@@ -1,0 +1,113 @@
+// Quantile accuracy of merged histograms and run_stats::absorb aggregation:
+// the run-level numbers the bench gate and trace metadata report are built
+// by merging per-worker state, so merging must not degrade accuracy beyond
+// the documented one-bucket bound.
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.hpp"
+#include "runtime/stats.hpp"
+
+namespace {
+
+using lhws::obs::log_histogram;
+
+// |estimate - oracle| must stay within the width of the oracle's bucket
+// (quantile() returns the midpoint of the bucket holding the rank-th
+// value, and the oracle value lives in that same bucket).
+void expect_within_one_bucket(std::uint64_t est, std::uint64_t oracle) {
+  const std::size_t b = log_histogram::bucket_index(oracle);
+  const std::uint64_t w = log_histogram::bucket_width(b);
+  const std::uint64_t lo = log_histogram::bucket_lower_bound(b);
+  EXPECT_GE(est, lo) << "oracle=" << oracle;
+  EXPECT_LT(est, lo + w) << "oracle=" << oracle;
+}
+
+TEST(HistogramMerge, SkewedPerWorkerMergeMatchesOracle) {
+  // Three workers with deliberately skewed, non-overlapping latency
+  // profiles: a fast path (~1us), a heavy tail (~1ms), and a uniform
+  // mid-range. The merged histogram must agree with a sorted-vector oracle
+  // over the pooled samples at every probed quantile.
+  std::mt19937_64 rng(12345);
+  log_histogram workers[3];
+  std::vector<std::uint64_t> oracle;
+
+  auto record = [&](std::size_t w, std::uint64_t v) {
+    workers[w].record(v);
+    oracle.push_back(v);
+  };
+  for (int i = 0; i < 20000; ++i) record(0, 800 + rng() % 400);  // ~1us
+  for (int i = 0; i < 500; ++i) {
+    record(1, 900'000 + rng() % 200'000);  // ~1ms tail
+  }
+  for (int i = 0; i < 5000; ++i) record(2, rng() % 100'000);  // mid
+
+  log_histogram merged;
+  for (const auto& w : workers) merged.merge(w);
+  ASSERT_EQ(merged.count(), oracle.size());
+
+  std::sort(oracle.begin(), oracle.end());
+  for (const double q : {0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+    auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(oracle.size()));
+    if (rank >= oracle.size()) rank = oracle.size() - 1;
+    expect_within_one_bucket(merged.quantile(q), oracle[rank]);
+  }
+}
+
+TEST(HistogramMerge, MergeOrderDoesNotMatter) {
+  std::mt19937_64 rng(7);
+  log_histogram a, b, ab, ba;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v1 = rng() % 1000;
+    const std::uint64_t v2 = 1'000'000 + rng() % 1000;
+    a.record(v1);
+    b.record(v2);
+  }
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+  ASSERT_EQ(ab.count(), ba.count());
+  for (std::size_t i = 0; i < log_histogram::kNumBuckets; ++i) {
+    ASSERT_EQ(ab.bucket_count(i), ba.bucket_count(i)) << "bucket " << i;
+  }
+  for (const double q : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(ab.quantile(q), ba.quantile(q));
+  }
+}
+
+TEST(RunStatsAbsorb, SumsAndPeaksAcrossWorkers) {
+  lhws::rt::run_stats rs;
+  for (std::uint64_t w = 0; w < 4; ++w) {
+    lhws::rt::worker_stats ws{};
+    ws.segments_executed = 100 * (w + 1);
+    ws.steal_attempts = 10 * (w + 1);
+    ws.successful_steals = w;
+    ws.suspensions = 5 + w;
+    ws.resumes_delivered = 5 + w;
+    ws.deque_switches = 2 * w;
+    ws.max_deques_owned = w == 2 ? 7 : 2;  // peak on worker 2
+    rs.absorb(ws);
+  }
+  EXPECT_EQ(rs.segments_executed, 100U + 200U + 300U + 400U);
+  EXPECT_EQ(rs.steal_attempts, 10U + 20U + 30U + 40U);
+  EXPECT_EQ(rs.successful_steals, 0U + 1U + 2U + 3U);
+  EXPECT_EQ(rs.suspensions, 5U + 6U + 7U + 8U);
+  EXPECT_EQ(rs.resumes_delivered, 5U + 6U + 7U + 8U);
+  EXPECT_EQ(rs.deque_switches, 0U + 2U + 4U + 6U);
+  // absorb takes the max, not the sum, for the Lemma 7 bound.
+  EXPECT_EQ(rs.max_deques_per_worker, 7U);
+  // Attribution preserved for the trace metadata.
+  ASSERT_EQ(rs.per_worker.size(), 4U);
+  EXPECT_EQ(rs.per_worker[2].max_deques_owned, 7U);
+  // Span counters are run-level (filled after the join), not absorbed.
+  EXPECT_EQ(rs.span_records, 0U);
+  EXPECT_EQ(rs.request_records, 0U);
+}
+
+}  // namespace

@@ -62,17 +62,25 @@ TEST(RuntimeParking, ParkedWorkersWakeForResumesAndFinish) {
   // resumed proves no wake was lost; the 2ms park timeout would otherwise
   // turn a lost wake into a visible hang, not a silent pass.
   constexpr std::size_t n = 48;
-  scheduler sched(parky_opts(4));
   int want = 0;
   for (std::size_t i = 0; i < n; ++i) want += static_cast<int>(i);
-  EXPECT_EQ(sched.run(fan_out(n, 10ms)), want);
-  const auto& s = sched.stats();
-  EXPECT_EQ(s.suspensions, n);
-  EXPECT_EQ(s.resumes_delivered, n);
-  EXPECT_GT(s.parks, 0u);
-  // Parks end either by a delivered wake or by the bounded timeout; the
-  // accounting must agree.
-  EXPECT_LE(s.park_timeouts, s.parks);
+  // On a heavily loaded host the idle yield rounds can outlast the whole
+  // latency window, in which case no worker ever reaches the park state.
+  // The correctness checks hold on every attempt; only the parks > 0
+  // liveness check retries with a wider window instead of flaking.
+  std::uint64_t parks = 0;
+  for (int attempt = 0; attempt < 3 && parks == 0; ++attempt) {
+    scheduler sched(parky_opts(4));
+    EXPECT_EQ(sched.run(fan_out(n, 40ms)), want);
+    const auto& s = sched.stats();
+    EXPECT_EQ(s.suspensions, n);
+    EXPECT_EQ(s.resumes_delivered, n);
+    // Parks end either by a delivered wake or by the bounded timeout; the
+    // accounting must agree.
+    EXPECT_LE(s.park_timeouts, s.parks);
+    parks = s.parks;
+  }
+  EXPECT_GT(parks, 0u);
 }
 
 TEST(RuntimeParking, WakeLatencyStaysMeasuredUnderParking) {

@@ -10,7 +10,20 @@
 //             regression tripwire, not a proof: the theorems bound
 //             expectations and also carry a work/span term).
 //
-//   lhws_trace_stats [trace.json|-] [--check-bounds] [--u N]
+// With --spans, audit the causal-span layer (DESIGN.md §13) instead:
+// reconstruct span trees from the "lhws" object's spans/requests arrays,
+// require >= 99% of spans to close into a tree rooted at a request, check
+// every request's component breakdown (running + delta + wake + deque)
+// sums to its end-to-end latency within max(1%, 20us), report per-component
+// p50/p99/p999, and tripwire per-request steal hops against the Thm 2-3
+// shape factor*(spans+1)*U*(1+lg U).
+//
+// Truncated input (e.g. a crash mid-write) is salvaged instead of rejected:
+// complete events are recovered from the traceEvents array, the tally is
+// reported, and bound audits that need the (lost) metadata are skipped.
+// Inputs with no recoverable events still fail with exit 2.
+//
+//   lhws_trace_stats [trace.json|-] [--check-bounds] [--spans] [--u N]
 //                    [--steal-factor F] [--json]
 //
 // Exit codes: 0 ok, 1 bound violation, 2 malformed/corrupt input.
@@ -302,10 +315,42 @@ constexpr std::size_t kNumIoOps = 5;
 constexpr const char* kIoOpNames[kNumIoOps] = {"accept", "connect", "read",
                                                "write", "sleep"};
 
+// One committed heavy-edge span from the "lhws".spans array (origin-relative
+// nanosecond timestamps, exact — unlike the microsecond timeline doubles).
+struct span_entry {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span = 0;
+  std::uint32_t parent = 0;
+  std::string kind;
+  std::int64_t arm_ns = 0;
+  std::int64_t fire_ns = 0;
+  std::int64_t drain_ns = 0;
+  std::int64_t exec_ns = 0;
+  std::uint64_t hops = 0;
+};
+
+// One completed request scope from the "lhws".requests array.
+struct request_entry {
+  std::uint64_t trace_id = 0;
+  std::uint32_t root_span = 0;
+  std::uint32_t remote_parent = 0;
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  std::int64_t running_ns = 0;
+  std::int64_t deque_ns = 0;
+  std::int64_t delta_ns = 0;
+  std::int64_t wake_ns = 0;
+  std::uint64_t spans = 0;
+  std::uint64_t hops = 0;
+};
+
 struct trace_model {
   std::map<std::uint32_t, worker_summary> workers;
   std::vector<std::uint64_t> wake_ns;
   std::vector<std::uint64_t> io_wake_ns[kNumIoOps];  // observed delta per op
+  std::vector<span_entry> spans;
+  std::vector<request_entry> requests;
+  std::uint64_t span_records_dropped = 0;
   double first_ts_us = 0;
   double last_ts_us = 0;
   bool has_span = false;
@@ -374,6 +419,54 @@ bool build_model(const jvalue& root, trace_model& m, std::string& why) {
     m.alloc_fallback = unum_or(alloc->find("fallback_allocs"), 0);
     m.alloc_slab_bytes = unum_or(alloc->find("slab_bytes"), 0);
   }
+  m.span_records_dropped = unum_or(lhws->find("span_records_dropped"), 0);
+  if (const jvalue* sp = lhws->find("spans");
+      sp != nullptr && sp->k == jvalue::kind::array) {
+    for (const jvalue& s : *sp->arr) {
+      if (s.k != jvalue::kind::object) {
+        why = "spans entry is not an object";
+        return false;
+      }
+      span_entry e;
+      e.trace_id = unum_or(s.find("trace_id"), 0);
+      e.span = static_cast<std::uint32_t>(unum_or(s.find("span"), 0));
+      e.parent = static_cast<std::uint32_t>(unum_or(s.find("parent"), 0));
+      if (const jvalue* k = s.find("kind");
+          k != nullptr && k->k == jvalue::kind::string) {
+        e.kind = k->str;
+      }
+      e.arm_ns = static_cast<std::int64_t>(num_or(s.find("arm_ns"), 0));
+      e.fire_ns = static_cast<std::int64_t>(num_or(s.find("fire_ns"), 0));
+      e.drain_ns = static_cast<std::int64_t>(num_or(s.find("drain_ns"), 0));
+      e.exec_ns = static_cast<std::int64_t>(num_or(s.find("exec_ns"), 0));
+      e.hops = unum_or(s.find("hops"), 0);
+      m.spans.push_back(std::move(e));
+    }
+  }
+  if (const jvalue* rq = lhws->find("requests");
+      rq != nullptr && rq->k == jvalue::kind::array) {
+    for (const jvalue& r : *rq->arr) {
+      if (r.k != jvalue::kind::object) {
+        why = "requests entry is not an object";
+        return false;
+      }
+      request_entry e;
+      e.trace_id = unum_or(r.find("trace_id"), 0);
+      e.root_span = static_cast<std::uint32_t>(unum_or(r.find("root_span"), 0));
+      e.remote_parent =
+          static_cast<std::uint32_t>(unum_or(r.find("remote_parent"), 0));
+      e.begin_ns = static_cast<std::int64_t>(num_or(r.find("begin_ns"), 0));
+      e.end_ns = static_cast<std::int64_t>(num_or(r.find("end_ns"), 0));
+      e.running_ns =
+          static_cast<std::int64_t>(num_or(r.find("running_ns"), 0));
+      e.deque_ns = static_cast<std::int64_t>(num_or(r.find("deque_ns"), 0));
+      e.delta_ns = static_cast<std::int64_t>(num_or(r.find("delta_ns"), 0));
+      e.wake_ns = static_cast<std::int64_t>(num_or(r.find("wake_ns"), 0));
+      e.spans = unum_or(r.find("spans"), 0);
+      e.hops = unum_or(r.find("hops"), 0);
+      m.requests.push_back(e);
+    }
+  }
   if (const jvalue* pw = lhws->find("per_worker");
       pw != nullptr && pw->k == jvalue::kind::array) {
     m.has_meta_stats = true;
@@ -412,6 +505,14 @@ bool build_model(const jvalue& root, trace_model& m, std::string& why) {
       return false;
     }
     if (ph->str == "M") continue;  // metadata events carry no ts
+    // Span flows and request slices live on synthetic rows (reactor /
+    // requests); the authoritative copies are in the "lhws" object, so
+    // they don't feed the per-worker aggregation.
+    if (const jvalue* cat = ev.find("cat");
+        cat != nullptr && cat->k == jvalue::kind::string &&
+        (cat->str == "span" || cat->str == "request")) {
+      continue;
+    }
     if (ev.find("ts") == nullptr) {
       why = "non-metadata trace event missing ts";
       return false;
@@ -477,11 +578,214 @@ std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double q) {
   return sorted[rank];
 }
 
+// ---------------------------------------------------------------------------
+// Truncated-trace salvage: a crash mid-write leaves a syntactically broken
+// document. Recover every complete event object from the traceEvents array
+// (balanced-brace scan, string-aware; each candidate is still re-parsed
+// strictly) and synthesize a minimal root so the normal reporting path
+// runs. Returns nullopt if not even one event can be recovered.
+// ---------------------------------------------------------------------------
+std::optional<jvalue> salvage_truncated(const std::string& text,
+                                        std::size_t* salvaged) {
+  const std::size_t key = text.find("\"traceEvents\"");
+  if (key == std::string::npos) return std::nullopt;
+  const std::size_t open = text.find('[', key);
+  if (open == std::string::npos) return std::nullopt;
+
+  jvalue events;
+  events.k = jvalue::kind::array;
+  events.arr = std::make_shared<jarray>();
+  std::size_t i = open + 1;
+  for (;;) {
+    while (i < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
+            text[i] == ',')) {
+      ++i;
+    }
+    if (i >= text.size() || text[i] != '{') break;
+    const std::size_t start = i;
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    std::size_t end = std::string::npos;
+    for (std::size_t j = start; j < text.size(); ++j) {
+      const char c = text[j];
+      if (in_string) {
+        if (escaped) {
+          escaped = false;
+        } else if (c == '\\') {
+          escaped = true;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          end = j + 1;
+          break;
+        }
+      }
+    }
+    if (end == std::string::npos) break;  // truncated mid-object: stop here
+    json_parser event_parser(std::string_view(text).substr(start, end - start));
+    auto ev = event_parser.parse(nullptr);
+    if (!ev) break;
+    events.arr->push_back(std::move(*ev));
+    i = end;
+  }
+  if (events.arr->empty()) return std::nullopt;
+  *salvaged = events.arr->size();
+
+  // Minimal metadata stand-in: the real "lhws" object lives at the end of
+  // the document and is gone in any truncation worth salvaging.
+  jvalue meta;
+  meta.k = jvalue::kind::object;
+  meta.obj = std::make_shared<jobject>();
+  jvalue schema;
+  schema.k = jvalue::kind::number;
+  schema.num = 1.0;
+  (*meta.obj)["schema"] = std::move(schema);
+
+  jvalue root;
+  root.k = jvalue::kind::object;
+  root.obj = std::make_shared<jobject>();
+  (*root.obj)["traceEvents"] = std::move(events);
+  (*root.obj)["lhws"] = std::move(meta);
+  return root;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: lhws_trace_stats [trace.json|-] [--check-bounds] "
-               "[--u N] [--steal-factor F] [--json]\n");
+               "[--spans] [--u N] [--steal-factor F] [--json]\n");
   return 2;
+}
+
+// --spans audit (see the file header). Returns 0 ok / 1 violation.
+int audit_spans(const trace_model& m, std::uint64_t u, double steal_factor) {
+  if (m.requests.empty()) {
+    std::fprintf(stderr,
+                 "lhws_trace_stats: --spans: no request records in trace "
+                 "(run with --spans / scheduler_options::spans?)\n");
+    return 1;
+  }
+  int rc = 0;
+
+  // --- Tree closure: every span's parent must be a request root or another
+  // span of the same trace (>= 99%). ------------------------------------
+  std::map<std::uint64_t, std::vector<std::uint32_t>> ids_by_trace;
+  for (const request_entry& r : m.requests) {
+    ids_by_trace[r.trace_id].push_back(r.root_span);
+  }
+  for (const span_entry& s : m.spans) {
+    ids_by_trace[s.trace_id].push_back(s.span);
+  }
+  for (auto& [tid, ids] : ids_by_trace) std::sort(ids.begin(), ids.end());
+  std::size_t orphans = 0;
+  for (const span_entry& s : m.spans) {
+    const auto& ids = ids_by_trace[s.trace_id];
+    if (!std::binary_search(ids.begin(), ids.end(), s.parent)) ++orphans;
+  }
+  const double closed =
+      m.spans.empty()
+          ? 1.0
+          : 1.0 - static_cast<double>(orphans) /
+                      static_cast<double>(m.spans.size());
+  std::printf("spans: %zu records across %zu requests; closed trees %.2f%% "
+              "(%zu orphans); %llu dropped\n",
+              m.spans.size(), m.requests.size(), 100.0 * closed, orphans,
+              static_cast<unsigned long long>(m.span_records_dropped));
+  if (closed < 0.99) {
+    std::fprintf(stderr,
+                 "SPAN VIOLATION: only %.2f%% of spans close into a request "
+                 "tree (need >= 99%%)\n",
+                 100.0 * closed);
+    rc = 1;
+  }
+
+  // --- Component sums: end-to-end latency must equal the critical-path
+  // decomposition within max(1%, 20us). ----------------------------------
+  std::size_t sum_violations = 0;
+  double worst_err_us = 0.0;
+  std::vector<std::uint64_t> e2e, running, deque_w, delta_w, wake_w;
+  for (const request_entry& r : m.requests) {
+    const std::int64_t total = r.end_ns - r.begin_ns;
+    const std::int64_t parts =
+        r.running_ns + r.deque_ns + r.delta_ns + r.wake_ns;
+    const double err_ns = std::abs(static_cast<double>(total - parts));
+    const double tol_ns =
+        std::max(0.01 * static_cast<double>(total), 20000.0);
+    worst_err_us = std::max(worst_err_us, err_ns / 1000.0);
+    if (err_ns > tol_ns) ++sum_violations;
+    e2e.push_back(static_cast<std::uint64_t>(std::max<std::int64_t>(total, 0)));
+    running.push_back(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(r.running_ns, 0)));
+    deque_w.push_back(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(r.deque_ns, 0)));
+    delta_w.push_back(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(r.delta_ns, 0)));
+    wake_w.push_back(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(r.wake_ns, 0)));
+  }
+  auto report = [](const char* label, std::vector<std::uint64_t>& v) {
+    std::sort(v.begin(), v.end());
+    std::printf("  %-11s p50=%9.1fus  p99=%9.1fus  p999=%9.1fus\n", label,
+                static_cast<double>(percentile(v, 0.50)) / 1000.0,
+                static_cast<double>(percentile(v, 0.99)) / 1000.0,
+                static_cast<double>(percentile(v, 0.999)) / 1000.0);
+  };
+  std::printf("request critical-path breakdown (n=%zu):\n", e2e.size());
+  report("e2e", e2e);
+  report("running", running);
+  report("deque-wait", deque_w);
+  report("delta-wait", delta_w);
+  report("wake", wake_w);
+  if (sum_violations > 0) {
+    std::fprintf(stderr,
+                 "SPAN VIOLATION: %zu requests whose component sum misses "
+                 "end-to-end latency by more than max(1%%, 20us) "
+                 "(worst %.1fus)\n",
+                 sum_violations, worst_err_us);
+    rc = 1;
+  } else {
+    std::printf("component sums OK: worst error %.1fus\n", worst_err_us);
+  }
+
+  // --- Thm 2-3 tripwire: per-request steal hops vs the suspension-driven
+  // overhead shape factor * (spans+1) * U * (1 + lg U). ------------------
+  const double ueff = static_cast<double>(std::max<std::uint64_t>(u, 1));
+  std::size_t hop_violations = 0;
+  double worst_budget = 0.0;
+  std::uint64_t worst_hops = 0;
+  for (const request_entry& r : m.requests) {
+    const double budget = steal_factor *
+                          static_cast<double>(r.spans + 1) * ueff *
+                          (1.0 + std::log2(ueff));
+    if (static_cast<double>(r.hops) > budget) {
+      ++hop_violations;
+      if (r.hops > worst_hops) {
+        worst_hops = r.hops;
+        worst_budget = budget;
+      }
+    }
+  }
+  if (hop_violations > 0) {
+    std::fprintf(stderr,
+                 "SPAN VIOLATION (steal budget): %zu requests exceed "
+                 "factor*(spans+1)*U*(1+lgU) hops (worst %llu > %.0f)\n",
+                 hop_violations,
+                 static_cast<unsigned long long>(worst_hops), worst_budget);
+    rc = 1;
+  } else {
+    std::printf("per-request hop budget OK (factor=%.0f, U=%.0f)\n",
+                steal_factor, ueff);
+  }
+  return rc;
 }
 
 }  // namespace
@@ -489,6 +793,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::string path;
   bool check_bounds = false;
+  bool spans_mode = false;
   bool json_out = false;
   std::uint64_t u_override = 0;
   bool have_u = false;
@@ -498,6 +803,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--check-bounds") {
       check_bounds = true;
+    } else if (arg == "--spans") {
+      spans_mode = true;
     } else if (arg == "--json") {
       json_out = true;
     } else if (arg == "--u") {
@@ -539,10 +846,22 @@ int main(int argc, char** argv) {
 
   std::string why;
   json_parser parser(text);
-  const auto root = parser.parse(&why);
+  auto root = parser.parse(&why);
+  bool salvaged = false;
+  std::size_t salvaged_events = 0;
   if (!root) {
-    std::fprintf(stderr, "lhws_trace_stats: invalid JSON: %s\n", why.c_str());
-    return 2;
+    // Truncated mid-write? Recover what parses before giving up.
+    root = salvage_truncated(text, &salvaged_events);
+    if (!root) {
+      std::fprintf(stderr, "lhws_trace_stats: invalid JSON: %s\n",
+                   why.c_str());
+      return 2;
+    }
+    salvaged = true;
+    std::fprintf(stderr,
+                 "lhws_trace_stats: warning: input is truncated; salvaged "
+                 "%zu complete events, run metadata lost\n",
+                 salvaged_events);
   }
   trace_model m;
   if (!build_model(*root, m, why)) {
@@ -728,9 +1047,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!check_bounds) return 0;
-
   int rc = 0;
+  if (spans_mode) {
+    if (salvaged) {
+      std::fprintf(stderr,
+                   "lhws_trace_stats: --spans audit skipped: span metadata "
+                   "was lost in the truncation\n");
+    } else {
+      rc = audit_spans(m, u, steal_factor);
+    }
+  }
+  if (!check_bounds) return rc;
+  if (salvaged) {
+    std::fprintf(stderr,
+                 "lhws_trace_stats: bound audit skipped: run metadata was "
+                 "lost in the truncation\n");
+    return rc;
+  }
 
   // --- Lemma 7: max deques per worker <= U + 1 ---------------------------
   if (m.engine == "ws") {
