@@ -12,14 +12,18 @@
 // The gated comparison runs rpc_depth=0 for both engines (depth > 0 can
 // hard-deadlock blocking WS: every worker blocks awaiting a downstream
 // handler that needs a worker). An ungated LHWS-only depth=1 run records
-// the chained-RPC shape.
+// the chained-RPC shape. A second pair contrasts reactor shards=1 vs
+// shards=P at P=8 so the sharded completion plane's rps win is directly
+// visible (gated only on hosts with ≥ 8 hardware threads).
+//
+// The serving path is the shared sharded rpc_server (src/load/) — the
+// same code bench_load drives open-loop.
 //
 // Results append to BENCH_rpc_loopback.json for scripts/bench_gate.py.
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -29,118 +33,17 @@
 #include <thread>
 #include <vector>
 
-#include "core/fork_join.hpp"
 #include "core/scheduler.hpp"
-#include "io/async_ops.hpp"
-#include "io/reactor.hpp"
 #include "io/socket.hpp"
+#include "load/rpc_server.hpp"
 #include "support/timing.hpp"
 
 namespace {
 
 using namespace std::chrono_literals;
 
-lhws::task<long> fib(unsigned n) {
-  if (n < 2) co_return n;
-  auto [a, b] = co_await lhws::fork2(fib(n - 1), fib(n - 2));
-  co_return a + b;
-}
-
-void put_le32(unsigned char* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
-  }
-}
-
-void put_le64(unsigned char* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
-  }
-}
-
-std::uint32_t get_le32(const unsigned char* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
-  return v;
-}
-
-std::uint64_t get_le64(const unsigned char* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
-  return v;
-}
-
-lhws::task<long> read_exact(lhws::io::reactor& r, lhws::io::socket& s,
-                            void* buf, std::size_t n,
-                            lhws::io::op_deadline d = {}) {
-  auto* p = static_cast<unsigned char*>(buf);
-  std::size_t done = 0;
-  while (done < n) {
-    const long got = co_await lhws::io::async_read(r, s, p + done, n - done, d);
-    if (got == -ETIMEDOUT) co_return got;
-    if (got <= 0) co_return got == 0 && done == 0 ? 0 : -ECONNRESET;
-    done += static_cast<std::size_t>(got);
-  }
-  co_return static_cast<long>(done);
-}
-
-struct server_state {
-  lhws::io::reactor& r;
-  lhws::io::socket& listener;
-  std::uint16_t port;
-  std::atomic<bool> stop{false};
-};
-
-lhws::task<long> serve_connection(server_state& st, int cfd) {
-  lhws::io::socket conn(st.r, cfd);
-  for (;;) {
-    unsigned char req[8];
-    const long got = co_await read_exact(st.r, conn, req, sizeof req);
-    if (got == 0) co_return 0;
-    if (got < 0) co_return got;
-    const std::uint32_t n = get_le32(req);
-    const std::uint32_t depth = get_le32(req + 4);
-    if (n == 0) {
-      st.stop.store(true, std::memory_order_release);
-      co_return 0;
-    }
-    std::uint64_t result = static_cast<std::uint64_t>(co_await fib(n));
-    if (depth > 0) {
-      lhws::io::socket ds = lhws::io::socket::create_tcp(st.r);
-      if (!ds.valid()) co_return -EBADF;
-      const auto dl = lhws::io::with_deadline(10s);
-      long rc = co_await lhws::io::async_connect(st.r, ds, st.port, dl);
-      if (rc != 0) co_return rc;
-      unsigned char sub[8];
-      put_le32(sub, n);
-      put_le32(sub + 4, depth - 1);
-      rc = co_await lhws::io::async_write(st.r, ds, sub, sizeof sub, dl);
-      if (rc < 0) co_return rc;
-      unsigned char resp[8];
-      rc = co_await read_exact(st.r, ds, resp, sizeof resp, dl);
-      if (rc <= 0) co_return rc == 0 ? -ECONNRESET : rc;
-      result += get_le64(resp);
-    }
-    unsigned char resp[8];
-    put_le64(resp, result);
-    const long put =
-        co_await lhws::io::async_write(st.r, conn, resp, sizeof resp);
-    if (put < 0) co_return put;
-  }
-}
-
-lhws::task<long> accept_loop(server_state& st) {
-  for (;;) {
-    if (st.stop.load(std::memory_order_acquire)) co_return 0;
-    const long fd = co_await lhws::io::async_accept(
-        st.r, st.listener, lhws::io::with_deadline(100ms));
-    if (fd == -ETIMEDOUT) continue;
-    if (fd < 0) co_return fd;
-    auto [rest, one] = co_await lhws::fork2(
-        accept_loop(st), serve_connection(st, static_cast<int>(fd)));
-    co_return rest != 0 ? rest : one;
-  }
-}
+using lhws::load::get_le64;
+using lhws::load::put_le32;
 
 struct run_record {
   const char* engine = "";
@@ -148,6 +51,7 @@ struct run_record {
   unsigned clients = 0;
   unsigned requests_per_client = 0;
   unsigned rpc_depth = 0;
+  unsigned shards = 1;
   unsigned fib_n = 0;
   long long gap_ms = 0;
   double duration_ms = 0;
@@ -201,14 +105,17 @@ std::uint64_t quantile_us(std::vector<std::uint64_t>& sorted_ns, double q) {
 
 run_record run_one(lhws::engine eng, unsigned workers, unsigned clients,
                    unsigned requests, std::chrono::milliseconds gap,
-                   unsigned fib_n, unsigned depth) {
-  lhws::io::reactor r;
-  lhws::io::socket listener = lhws::io::socket::listen_loopback(r, 0);
-  server_state st{r, listener, listener.local_port()};
+                   unsigned fib_n, unsigned depth, unsigned shards = 1) {
+  lhws::load::rpc_server srv(shards);
+  if (!srv.valid()) {
+    std::fprintf(stderr, "cannot start %u-shard server\n", shards);
+    std::exit(1);
+  }
 
   lhws::scheduler_options opts;
   opts.workers = workers;
   opts.engine_kind = eng;
+  opts.reactor_shards = shards;
   opts.seed = 7;
   lhws::scheduler sched(opts);
 
@@ -221,7 +128,7 @@ run_record run_one(lhws::engine eng, unsigned workers, unsigned clients,
     cs.reserve(clients);
     for (unsigned c = 0; c < clients; ++c) {
       cs.emplace_back([&, c] {
-        ok.fetch_add(run_client(st.port, requests, gap, fib_n, depth,
+        ok.fetch_add(run_client(srv.port(), requests, gap, fib_n, depth,
                                 rtts[c]),
                      std::memory_order_relaxed);
       });
@@ -229,14 +136,9 @@ run_record run_one(lhws::engine eng, unsigned workers, unsigned clients,
     for (auto& t : cs) t.join();
     duration_ms =
         static_cast<double>(lhws::now_ns() - t0) / 1e6;
-    const int fd = lhws::io::connect_loopback_blocking(st.port);
-    if (fd >= 0) {
-      unsigned char done[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-      lhws::io::write_full_fd(fd, done, sizeof done);
-      ::close(fd);
-    }
+    lhws::load::send_done(srv.port());
   });
-  const long rc = sched.run(accept_loop(st));
+  const long rc = sched.run(srv.root());
   controller.join();
   if (rc != 0) {
     std::fprintf(stderr, "accept loop failed: %ld\n", rc);
@@ -261,6 +163,7 @@ run_record run_one(lhws::engine eng, unsigned workers, unsigned clients,
   rec.clients = clients;
   rec.requests_per_client = requests;
   rec.rpc_depth = depth;
+  rec.shards = shards;
   rec.fib_n = fib_n;
   rec.gap_ms = gap.count();
   rec.duration_ms = duration_ms;
@@ -277,9 +180,11 @@ run_record run_one(lhws::engine eng, unsigned workers, unsigned clients,
 }
 
 void print_record(const run_record& r) {
-  std::printf("  %-4s P=%u clients=%u depth=%u: %7.1f ms  %8.1f req/s  "
+  std::printf("  %-4s P=%u clients=%u depth=%u shards=%u: %7.1f ms  "
+              "%8.1f req/s  "
               "p50=%lluus p95=%lluus p99=%lluus  susp=%llu blocked=%llu\n",
-              r.engine, r.workers, r.clients, r.rpc_depth, r.duration_ms,
+              r.engine, r.workers, r.clients, r.rpc_depth, r.shards,
+              r.duration_ms,
               r.rps, static_cast<unsigned long long>(r.p50_us),
               static_cast<unsigned long long>(r.p95_us),
               static_cast<unsigned long long>(r.p99_us),
@@ -289,14 +194,16 @@ void print_record(const run_record& r) {
 
 void write_json(const std::vector<run_record>& records, const char* path) {
   std::ofstream out(path, std::ios::binary);
-  out << "{\"bench\":\"rpc_loopback\",\"schema\":1,\"runs\":[";
+  out << "{\"bench\":\"rpc_loopback\",\"schema\":1,\"hw_concurrency\":"
+      << std::thread::hardware_concurrency() << ",\"runs\":[";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const run_record& r = records[i];
     if (i != 0) out << ",";
     out << "\n  {\"engine\":\"" << r.engine << "\",\"workers\":" << r.workers
         << ",\"clients\":" << r.clients
         << ",\"requests_per_client\":" << r.requests_per_client
-        << ",\"rpc_depth\":" << r.rpc_depth << ",\"fib_n\":" << r.fib_n
+        << ",\"rpc_depth\":" << r.rpc_depth << ",\"shards\":" << r.shards
+        << ",\"fib_n\":" << r.fib_n
         << ",\"gap_ms\":" << r.gap_ms << ",\"duration_ms\":" << r.duration_ms
         << ",\"requests\":" << r.requests << ",\"rps\":" << r.rps
         << ",\"p50_us\":" << r.p50_us << ",\"p95_us\":" << r.p95_us
@@ -346,6 +253,29 @@ int main() {
   records.push_back(run_one(lhws::engine::latency_hiding, workers, clients,
                             requests, gap, fib_n, 1));
   print_record(records.back());
+
+  // The sharding contrast: same LHWS workload at P=8, one reactor shard vs
+  // one per worker. With shards == P every completion is a same-core
+  // direct push; with one shard the lone completer thread serializes
+  // deliver_resume for all 8 workers. Gated at >= 1.2x rps only on hosts
+  // with >= 8 hardware threads (a 1-core CI box can't show the win).
+  const unsigned shard_workers = 8;
+  const unsigned shard_clients = large ? 24 : 16;
+  const unsigned shard_requests = large ? 60 : 20;
+  const auto shard_gap = 1ms;
+  for (const unsigned shards : {1u, shard_workers}) {
+    records.push_back(run_one(lhws::engine::latency_hiding, shard_workers,
+                              shard_clients, shard_requests, shard_gap,
+                              fib_n, 0, shards));
+    print_record(records.back());
+  }
+  const double shard_speedup =
+      records[records.size() - 2].rps > 0
+          ? records.back().rps / records[records.size() - 2].rps
+          : 0;
+  std::printf("  -> shards=%u/shards=1 throughput: %.2fx (hw=%u)\n",
+              shard_workers, shard_speedup,
+              std::thread::hardware_concurrency());
 
   write_json(records, "BENCH_rpc_loopback.json");
 

@@ -42,6 +42,10 @@
 //                        serve external clients until someone sends Done)
 //   --rpc-depth D        each request awaits D chained downstream RPCs to
 //                        the server's own port (Figure 11 shape)
+//   --shards N           TCP mode only: reactor shards for the sharded io
+//                        plane (DESIGN.md §14). Default 0 = one per worker.
+//                        Each shard owns a SO_REUSEPORT listener and every
+//                        accepted connection stays on its accepting shard.
 //   --ws                 TCP mode only: use the blocking work-stealing
 //                        engine instead of latency hiding
 #include <unistd.h>
@@ -62,6 +66,7 @@
 #include "core/latency.hpp"
 #include "core/scheduler.hpp"
 #include "io/async_ops.hpp"
+#include "io/buffer.hpp"
 #include "io/reactor.hpp"
 #include "io/socket.hpp"
 #include "obs/metrics.hpp"
@@ -172,24 +177,49 @@ lhws::task<long> read_exact(lhws::io::reactor& r, lhws::io::socket& s,
 
 struct tcp_state {
   lhws::io::reactor& r;
-  lhws::io::socket& listener;
+  // One SO_REUSEPORT listener per reactor shard (DESIGN.md §14): the
+  // kernel spreads incoming connections over them, and each accept loop
+  // pins its connections to its listener's shard.
+  std::vector<lhws::io::socket>& listeners;
   std::uint16_t port;
   std::atomic<bool> stop{false};
   std::atomic<unsigned long long> served{0};
 };
+
+// Per-connection scratch layout inside one smallest-bucket slab block:
+// request header, span wire extension, downstream request, downstream
+// response, response. Slab-backed so connection churn recycles through the
+// magazines instead of the system allocator.
+constexpr std::size_t kReqOff = 0;    // 8 bytes
+constexpr std::size_t kExtOff = 8;    // 12 bytes
+constexpr std::size_t kSubOff = 20;   // 20 bytes
+constexpr std::size_t kDsOff = 40;    // 8 bytes
+constexpr std::size_t kRespOff = 48;  // 8 bytes
+constexpr std::size_t kConnScratch = 56;
 
 // Per-connection handler: each request reads 8 bytes, runs the parallel
 // fib handler, optionally awaits a chained downstream RPC to our own port
 // (Figure 11's service dependency, over a real loopback socket), and
 // writes the 8-byte result. Every socket wait is a heavy edge: the worker
 // suspends and the reactor resumes it through the deque economy.
-lhws::task<long> serve_connection(tcp_state& st, int cfd) {
+lhws::task<long> serve_connection(tcp_state& st, int cfd, unsigned shard) {
   // fib_n high bit on the wire: the causal-span extension follows.
   constexpr std::uint32_t kTraceFlag = 0x80000000u;
-  lhws::io::socket conn(st.r, cfd);
+  // Small request/response protocol: without TCP_NODELAY every reply waits
+  // out the delayed-ACK timer. Failure is non-fatal (still correct).
+  lhws::io::set_tcp_nodelay(cfd);
+  // Pin the connection to its accepting listener's shard so every
+  // completion for it fires on the same reactor lane.
+  lhws::io::socket conn(st.r, cfd, shard);
+  lhws::io::conn_buffer buf(kConnScratch);
+  if (!buf.valid()) co_return -ENOMEM;
+  unsigned char* const req = buf.span(kReqOff, 8);
+  unsigned char* const ext = buf.span(kExtOff, 12);
+  unsigned char* const sub = buf.span(kSubOff, 20);
+  unsigned char* const dsr = buf.span(kDsOff, 8);
+  unsigned char* const resp = buf.span(kRespOff, 8);
   for (;;) {
-    unsigned char req[8];
-    const long got = co_await read_exact(st.r, conn, req, sizeof req);
+    const long got = co_await read_exact(st.r, conn, req, 8);
     if (got == 0) co_return 0;  // peer closed: this connection is done
     if (got < 0) co_return got;
     const std::uint32_t n_raw = get_le32(req);
@@ -197,8 +227,7 @@ lhws::task<long> serve_connection(tcp_state& st, int cfd) {
     std::uint64_t wire_trace = 0;
     std::uint32_t wire_parent = 0;
     if ((n_raw & kTraceFlag) != 0) {
-      unsigned char ext[12];
-      const long egot = co_await read_exact(st.r, conn, ext, sizeof ext);
+      const long egot = co_await read_exact(st.r, conn, ext, 12);
       if (egot <= 0) co_return egot == 0 ? -ECONNRESET : egot;
       wire_trace = get_le64(ext);
       wire_parent = get_le32(ext + 8);
@@ -220,7 +249,6 @@ lhws::task<long> serve_connection(tcp_state& st, int cfd) {
       const auto dl = lhws::io::with_deadline(std::chrono::seconds(10));
       long rc = co_await lhws::io::async_connect(st.r, ds, st.port, dl);
       if (rc != 0) co_return rc;
-      unsigned char sub[20];
       std::size_t sub_len = 8;
       put_le32(sub, n);
       put_le32(sub + 4, depth - 1);
@@ -235,36 +263,60 @@ lhws::task<long> serve_connection(tcp_state& st, int cfd) {
       }
       rc = co_await lhws::io::async_write(st.r, ds, sub, sub_len, dl);
       if (rc < 0) co_return rc;
-      unsigned char resp[8];
-      rc = co_await read_exact(st.r, ds, resp, sizeof resp, dl);
+      rc = co_await read_exact(st.r, ds, dsr, 8, dl);
       if (rc <= 0) co_return rc == 0 ? -ECONNRESET : rc;
-      result += get_le64(resp);
+      result += get_le64(dsr);
     }
-    unsigned char resp[8];
     put_le64(resp, result);
-    const long put =
-        co_await lhws::io::async_write(st.r, conn, resp, sizeof resp);
+    const long put = co_await lhws::io::async_write(st.r, conn, resp, 8);
     if (put < 0) co_return put;
     if (traced) co_await lhws::obs::end_request();
     st.served.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-// Figure 10's recursion over real accepts: each arriving connection forks
-// its handler against the rest of the loop. The accept deadline is how the
-// loop polls the stop flag without busy-waiting.
-lhws::task<long> accept_loop(tcp_state& st) {
+// Transient accept failure: the listener is fine, the process (or kernel)
+// is out of a resource right now. Back off instead of aborting — churn
+// tests hit EMFILE exactly when the server is most loaded.
+bool accept_should_backoff(long err) {
+  return err == -EMFILE || err == -ENFILE || err == -ENOBUFS ||
+         err == -ENOMEM || err == -ECONNABORTED;
+}
+
+// Figure 10's recursion over real accepts, one loop per shard listener:
+// each arriving connection forks its handler against the rest of the loop.
+// The accept deadline is how the loop polls the stop flag without
+// busy-waiting.
+lhws::task<long> accept_loop(tcp_state& st, unsigned shard) {
   for (;;) {
     if (st.stop.load(std::memory_order_acquire)) co_return 0;
     const long fd = co_await lhws::io::async_accept(
-        st.r, st.listener,
+        st.r, st.listeners[shard],
         lhws::io::with_deadline(std::chrono::milliseconds(100)));
     if (fd == -ETIMEDOUT) continue;
-    if (fd < 0) co_return fd;
+    if (fd < 0) {
+      if (accept_should_backoff(fd)) {
+        // Out of fds (or a connection died in the backlog): let in-flight
+        // connections finish and retry rather than killing the server.
+        co_await lhws::io::sleep_for(st.r, std::chrono::milliseconds(10));
+        continue;
+      }
+      co_return fd;
+    }
     auto [rest, one] = co_await lhws::fork2(
-        accept_loop(st), serve_connection(st, static_cast<int>(fd)));
+        accept_loop(st, shard),
+        serve_connection(st, static_cast<int>(fd), shard));
     co_return rest != 0 ? rest : one;
   }
+}
+
+// Root of the TCP run: fork one accept loop per shard listener.
+lhws::task<long> accept_all(tcp_state& st, unsigned lo, unsigned hi) {
+  if (hi - lo == 1) co_return co_await accept_loop(st, lo);
+  const unsigned mid = lo + (hi - lo) / 2;
+  auto [a, b] = co_await lhws::fork2(accept_all(st, lo, mid),
+                                     accept_all(st, mid, hi));
+  co_return a != 0 ? a : b;
 }
 
 // Blocking in-process client: one connection, `requests` paced requests,
@@ -298,20 +350,37 @@ void run_client(std::uint16_t port, unsigned requests,
 
 int run_tcp(unsigned requests, std::chrono::milliseconds gap, unsigned fib_n,
             unsigned workers, std::uint16_t listen_port, unsigned clients,
-            unsigned rpc_depth, bool use_ws, bool want_spans,
+            unsigned rpc_depth, unsigned shards, bool use_ws, bool want_spans,
             const std::string& trace_path, bool want_metrics,
             lhws::obs::metrics_registry& reg) {
-  lhws::io::reactor r;
-  lhws::io::socket listener = lhws::io::socket::listen_loopback(r, listen_port);
-  if (!listener.valid()) {
+  lhws::scheduler_options opts;
+  opts.workers = workers;
+  opts.reactor_shards = shards;
+  const unsigned nshards = opts.resolved_reactor_shards();
+  lhws::io::reactor r(nshards);
+  // One SO_REUSEPORT listener per shard: bind the first on the requested
+  // (possibly ephemeral) port, then the rest on whatever it got.
+  std::vector<lhws::io::socket> listeners;
+  listeners.reserve(nshards);
+  listeners.push_back(lhws::io::socket::listen_reuseport(r, listen_port, 0));
+  if (!listeners[0].valid()) {
     std::fprintf(stderr, "cannot listen on 127.0.0.1:%u\n", listen_port);
     return 2;
   }
-  tcp_state st{r, listener, listener.local_port()};
+  const std::uint16_t port = listeners[0].local_port();
+  for (unsigned sh = 1; sh < nshards; ++sh) {
+    listeners.push_back(lhws::io::socket::listen_reuseport(r, port, sh));
+    if (!listeners.back().valid()) {
+      std::fprintf(stderr, "cannot bind shard %u listener on port %u\n", sh,
+                   port);
+      return 2;
+    }
+  }
+  tcp_state st{r, listeners, port};
   std::printf("server: listening on 127.0.0.1:%u  engine=%s workers=%u "
-              "rpc_depth=%u handler=fib(%u)\n",
+              "shards=%u rpc_depth=%u handler=fib(%u)\n",
               st.port, use_ws ? "blocking" : "latency-hiding", workers,
-              rpc_depth, fib_n);
+              nshards, rpc_depth, fib_n);
   if (clients > 0) {
     std::printf("        %u in-process clients x %u requests, one every "
                 "%lldms\n",
@@ -321,8 +390,6 @@ int run_tcp(unsigned requests, std::chrono::milliseconds gap, unsigned fib_n,
   }
   std::fflush(stdout);
 
-  lhws::scheduler_options opts;
-  opts.workers = workers;
   opts.engine_kind =
       use_ws ? lhws::engine::blocking : lhws::engine::latency_hiding;
   opts.metrics = want_metrics;
@@ -353,7 +420,7 @@ int run_tcp(unsigned requests, std::chrono::milliseconds gap, unsigned fib_n,
       }
     });
   }
-  const long rc = sched.run(accept_loop(st));
+  const long rc = sched.run(accept_all(st, 0, nshards));
   if (controller.joinable()) controller.join();
 
   const auto& s = sched.stats();
@@ -414,6 +481,7 @@ int main(int argc, char** argv) {
   std::uint16_t listen_port = 0;
   unsigned clients = 0;
   unsigned rpc_depth = 0;
+  unsigned shards = 0;
   bool use_ws = false;
   bool want_spans = false;
 
@@ -438,6 +506,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       rpc_depth = static_cast<unsigned>(std::atoi(argv[i]));
+    } else if (arg == "--shards") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--shards needs COUNT\n");
+        return 2;
+      }
+      shards = static_cast<unsigned>(std::atoi(argv[i]));
     } else if (arg == "--ws") {
       use_ws = true;
     } else if (arg == "--spans") {
@@ -485,7 +559,7 @@ int main(int argc, char** argv) {
                    "every worker blocks awaiting a downstream handler\n");
     }
     const int rc = run_tcp(requests, gap, fib_n, workers, listen_port,
-                           clients, rpc_depth, use_ws, want_spans,
+                           clients, rpc_depth, shards, use_ws, want_spans,
                            trace_path, want_metrics, reg);
     if (rc != 0) return rc;
   } else {

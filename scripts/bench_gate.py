@@ -19,6 +19,15 @@ committed baselines:
       throughput per (shape, threads) must not drop, and the recycling
       floor must hold: slab >= 1.3x the operator-new baseline in the
       fork-heavy shape at >= 8 threads.
+  BENCH_load.json              (bench_load) — open-loop SLO gate per
+      scenario: completion ratio >= 95%, throughput must not drop vs the
+      baseline, and p99 latency (measured from the scheduled arrival, so
+      coordinated omission is impossible) must not grow.
+
+The rpc_loopback shards=P vs shards=1 rows additionally gate the sharded
+reactor's throughput win (>= 1.2x at P=8) — but only on hosts with >= 8
+hardware threads; on smaller hosts the extra shard threads oversubscribe
+the cores and the pair is reported informationally.
 
 Usage:
   scripts/bench_gate.py [--build-dir DIR] [--baseline-dir DIR]
@@ -51,6 +60,7 @@ FIG11 = "BENCH_fig11_runtime.json"
 STEAL = "BENCH_steal_contention.json"
 RPC = "BENCH_rpc_loopback.json"
 ALLOC = "BENCH_alloc_churn.json"
+LOAD = "BENCH_load.json"
 
 WALL_SLACK_MS = 8.0
 P95_SLACK_NS = 100.0
@@ -71,6 +81,16 @@ SPANS_WORKERS = 4
 ALLOC_FLOOR_SPEEDUP = 1.3
 ALLOC_FLOOR_SHAPE = "fork_heavy"
 ALLOC_FLOOR_MIN_THREADS = 8
+# Sharded-reactor floor: shards=P must beat shards=1 by this much at P=8,
+# enforced only when the host actually has >= 8 hardware threads.
+RPC_SHARD_FLOOR = 1.2
+RPC_SHARD_MIN_HW = 8
+# Open-loop SLOs. Completion is absolute (from the fresh run alone); rps
+# and p99 are relative to the baseline with generous absolute slack — an
+# open-loop tail on a 1-core shared runner jitters by whole milliseconds.
+LOAD_MIN_COMPLETION = 0.95
+LOAD_RPS_SLACK = 100.0
+LOAD_P99_SLACK_US = 10000.0
 # Shapes with a throughput baseline; fib_runtime rows are informational
 # end-to-end wall clock and jitter too much on a 1-core host to gate.
 ALLOC_GATED_SHAPES = ("fork_heavy", "suspend_heavy")
@@ -219,7 +239,11 @@ def check_steal(base, cur, threshold, failures):
 
 
 def rpc_by_key(doc):
-    return {(r["engine"], r["clients"], r["rpc_depth"]): r for r in doc["runs"]}
+    # shards defaults to 1 so pre-sharding baselines keep their keys.
+    return {
+        (r["engine"], r["clients"], r["rpc_depth"], r.get("shards", 1)): r
+        for r in doc["runs"]
+    }
 
 
 def check_rpc(base, cur, threshold, failures):
@@ -251,24 +275,28 @@ def check_rpc(base, cur, threshold, failures):
                 )
                 status = "REGRESSION"
         print(
-            f"  rpc {key[0]:>4s} clients={key[1]} depth={key[2]}: "
+            f"  rpc {key[0]:>4s} clients={key[1]} depth={key[2]} "
+            f"shards={key[3]}: "
             f"{c['rps']:8.0f} req/s (base floor {floor_rps:8.0f})"
             f"{p95_note}  {status}"
         )
 
     # Absolute acceptance floor, from the fresh run alone: LHWS must beat
-    # WS by RPC_FLOOR_SPEEDUP when connections outnumber workers.
-    for (engine, clients, depth), c in sorted(cur_runs.items()):
-        if engine != "lhws" or depth != 0:
+    # WS by RPC_FLOOR_SPEEDUP when connections outnumber workers. Only the
+    # unsharded rows participate (the WS contrast runs with one shard), and
+    # only shapes that actually have a WS counterpart — the shard-contrast
+    # control row (shards=1 at the shard shape) is LHWS-only by design. At
+    # least one WS contrast must exist, or the floor gate has vanished.
+    ws_floor_checks = 0
+    for (engine, clients, depth, shards), c in sorted(cur_runs.items()):
+        if engine != "lhws" or depth != 0 or shards != 1:
             continue
         if clients <= c.get("workers", 0):
             continue
-        ws = cur_runs.get(("ws", clients, depth))
+        ws = cur_runs.get(("ws", clients, depth, 1))
         if ws is None or ws["rps"] <= 0:
-            failures.append(
-                f"rpc floor clients={clients}: no ws run to compare against"
-            )
             continue
+        ws_floor_checks += 1
         speedup = c["rps"] / ws["rps"]
         status = "ok" if speedup >= RPC_FLOOR_SPEEDUP else "FLOOR VIOLATION"
         if speedup < RPC_FLOOR_SPEEDUP:
@@ -280,6 +308,38 @@ def check_rpc(base, cur, threshold, failures):
             f"  rpc floor clients={clients} P={c.get('workers', 0)}: "
             f"{speedup:.2f}x over ws (need >= {RPC_FLOOR_SPEEDUP:.1f}x)  "
             f"{status}"
+        )
+    if ws_floor_checks == 0:
+        failures.append("rpc floor: no ws contrast run found")
+
+    # Sharded-reactor floor: shards=P vs shards=1 at the same shape. The
+    # win needs real cores for the shard threads, so hosts below
+    # RPC_SHARD_MIN_HW report the ratio without gating it.
+    hw = cur.get("hw_concurrency", 0)
+    for (engine, clients, depth, shards), c in sorted(cur_runs.items()):
+        if engine != "lhws" or depth != 0 or shards <= 1:
+            continue
+        single = cur_runs.get((engine, clients, depth, 1))
+        if single is None or single["rps"] <= 0:
+            failures.append(
+                f"rpc shard floor clients={clients}: no shards=1 run to "
+                "compare against"
+            )
+            continue
+        speedup = c["rps"] / single["rps"]
+        if hw >= RPC_SHARD_MIN_HW:
+            status = "ok" if speedup >= RPC_SHARD_FLOOR else "FLOOR VIOLATION"
+            if speedup < RPC_SHARD_FLOOR:
+                failures.append(
+                    f"rpc shard floor clients={clients} shards={shards}: "
+                    f"{speedup:.2f}x < {RPC_SHARD_FLOOR:.1f}x over shards=1"
+                )
+        else:
+            status = f"informational (hw={hw} < {RPC_SHARD_MIN_HW})"
+        print(
+            f"  rpc shard floor clients={clients} shards={shards}: "
+            f"{speedup:.2f}x over shards=1 (need >= {RPC_SHARD_FLOOR:.1f}x "
+            f"at hw >= {RPC_SHARD_MIN_HW})  {status}"
         )
 
 
@@ -339,6 +399,66 @@ def check_alloc(base, cur, threshold, failures):
         )
 
 
+def load_by_key(doc):
+    return {r["scenario"]: r for r in doc["runs"]}
+
+
+def check_load(base, cur, threshold, failures):
+    """Open-loop SLOs: completion ratio absolute, rps/p99 vs baseline."""
+    base_runs = load_by_key(base)
+    cur_runs = load_by_key(cur)
+
+    for scenario, c in sorted(cur_runs.items()):
+        ratio = c.get("completion_ratio", 0.0)
+        status = "ok"
+        if ratio < LOAD_MIN_COMPLETION:
+            failures.append(
+                f"load {scenario}: completion {ratio:.1%} < "
+                f"{LOAD_MIN_COMPLETION:.0%} SLO"
+            )
+            status = "SLO VIOLATION"
+        print(
+            f"  load {scenario:>14s} completion: {ratio:7.1%} of "
+            f"{c['attempted']} offered (need >= {LOAD_MIN_COMPLETION:.0%})"
+            f"  {status}"
+        )
+
+    for scenario, b in sorted(base_runs.items()):
+        c = cur_runs.get(scenario)
+        if c is None:
+            failures.append(f"load {scenario}: scenario missing from fresh run")
+            continue
+        if c.get("connections") != b.get("connections"):
+            # A different offered load (LHWS_LOAD_CONNS override) makes the
+            # relative comparison meaningless; the completion SLO above
+            # still gates it.
+            print(
+                f"  load {scenario:>14s}: {c.get('connections')} conns vs "
+                f"baseline {b.get('connections')} — relative check skipped"
+            )
+            continue
+        floor_rps = b["rps"] * (1.0 - threshold) - LOAD_RPS_SLACK
+        limit_p99 = b["p99_us"] * (1.0 + threshold) + LOAD_P99_SLACK_US
+        status = "ok"
+        if c["rps"] < floor_rps:
+            failures.append(
+                f"load {scenario}: {c['rps']:.0f} req/s vs baseline "
+                f"{b['rps']:.0f} (floor {floor_rps:.0f})"
+            )
+            status = "REGRESSION"
+        if c["p99_us"] > limit_p99:
+            failures.append(
+                f"load {scenario}: p99 {c['p99_us']} us vs baseline "
+                f"{b['p99_us']} us (limit {limit_p99:.0f} us)"
+            )
+            status = "REGRESSION"
+        print(
+            f"  load {scenario:>14s}: {c['rps']:8.0f} req/s "
+            f"(base floor {floor_rps:8.0f}) p99 {c['p99_us']}us "
+            f"(limit {limit_p99:.0f})  {status}"
+        )
+
+
 def main():
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     ap = argparse.ArgumentParser(
@@ -353,13 +473,14 @@ def main():
     args = ap.parse_args()
 
     fresh = {}
-    for name in (FIG11, STEAL, RPC, ALLOC):
+    for name in (FIG11, STEAL, RPC, ALLOC, LOAD):
         doc = load(os.path.join(args.build_dir, name))
         if doc is None:
             print(
                 f"bench_gate: {name} not found in {args.build_dir} — run "
                 "bench_fig11_runtime, bench_steal_contention, "
-                "bench_rpc_loopback, and bench_alloc_churn first",
+                "bench_rpc_loopback, bench_alloc_churn, and bench_load "
+                "first",
                 file=sys.stderr,
             )
             return 2
@@ -367,7 +488,7 @@ def main():
 
     if args.update:
         os.makedirs(args.baseline_dir, exist_ok=True)
-        for name in (FIG11, STEAL, RPC, ALLOC):
+        for name in (FIG11, STEAL, RPC, ALLOC, LOAD):
             dst = os.path.join(args.baseline_dir, name)
             shutil.copyfile(os.path.join(args.build_dir, name), dst)
             print(f"bench_gate: baseline updated: {dst}")
@@ -379,6 +500,7 @@ def main():
         (STEAL, check_steal),
         (RPC, check_rpc),
         (ALLOC, check_alloc),
+        (LOAD, check_load),
     ):
         base = load(os.path.join(args.baseline_dir, name))
         if base is None:

@@ -43,12 +43,16 @@ run_bench_gate() {
     >/dev/null
   cmake --build "${dir}" -j "$(nproc)" \
     --target bench_fig11_runtime bench_steal_contention bench_rpc_loopback \
-    bench_alloc_churn
+    bench_alloc_churn bench_load
+  # bench_load mirrors CI's load-gate shape: >= 512 open-loop connections
+  # on 4 server workers/shards (the committed baseline is recorded at this
+  # configuration).
   (cd "${dir}" &&
     ./bench/bench_fig11_runtime &&
     ./bench/bench_steal_contention &&
     ./bench/bench_rpc_loopback &&
     ./bench/bench_alloc_churn &&
+    LHWS_LOAD_CONNS=512 LHWS_LOAD_WORKERS=4 ./bench/bench_load &&
     python3 ../scripts/bench_gate.py --build-dir .)
 }
 

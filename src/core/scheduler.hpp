@@ -57,6 +57,15 @@ struct scheduler_options {
   std::uint32_t idle_spin_limit = 6;
   std::uint32_t idle_yield_limit = 16;
   std::uint32_t idle_park_timeout_us = 2000;
+  // Reactor shards for the sharded io plane (DESIGN.md §14). 0 = one shard
+  // per worker, the co-location default; the value is resolved by
+  // resolved_reactor_shards() at the point the io::reactor is constructed.
+  unsigned reactor_shards = 0;
+
+  [[nodiscard]] unsigned resolved_reactor_shards() const noexcept {
+    if (reactor_shards != 0) return reactor_shards;
+    return workers != 0 ? workers : 1;
+  }
 };
 
 class scheduler {
@@ -233,6 +242,7 @@ class scheduler {
     cfg.idle_spin_limit = opts_.idle_spin_limit;
     cfg.idle_yield_limit = opts_.idle_yield_limit;
     cfg.idle_park_timeout_us = opts_.idle_park_timeout_us;
+    cfg.reactor_shards = opts_.resolved_reactor_shards();
     return cfg;
   }
 

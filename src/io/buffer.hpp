@@ -1,0 +1,78 @@
+// io::conn_buffer — per-connection scratch memory on the slab magazines
+// (DESIGN.md §11, §14).
+//
+// Connection churn is an allocation storm if every accept heap-allocates
+// its read/write buffers: at thousands of connects per second the malloc
+// lock becomes a hidden serialization point right next to the reactor hot
+// path. A conn_buffer is one slab block (largest bucket by default, 8 KiB
+// payload) carved from the accepting thread's magazine and recycled back
+// on close — so steady-state churn allocates nothing from the system, and
+// a buffer freed on a different worker than the one that carved it rides
+// the magazine's remote-free list exactly like a stolen coroutine frame.
+#pragma once
+
+#include <cstddef>
+
+#include "mem/slab.hpp"
+#include "support/config.hpp"
+
+namespace lhws::io {
+
+class conn_buffer {
+ public:
+  conn_buffer() = default;
+
+  // One slab block of at least `size` bytes. Sizes above the largest
+  // bucket take the allocator's headered fallback — legal, but defeats
+  // recycling; keep per-connection buffers within mem::kMaxBucketPayload.
+  explicit conn_buffer(std::size_t size)
+      : data_(static_cast<unsigned char*>(mem::allocate(size))),
+        size_(size) {}
+
+  conn_buffer(conn_buffer&& o) noexcept : data_(o.data_), size_(o.size_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  conn_buffer& operator=(conn_buffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      data_ = o.data_;
+      size_ = o.size_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  conn_buffer(const conn_buffer&) = delete;
+  conn_buffer& operator=(const conn_buffer&) = delete;
+  ~conn_buffer() { reset(); }
+
+  // Returns the block to its owning magazine (possibly via the remote-free
+  // list) and leaves the buffer empty.
+  void reset() noexcept {
+    if (data_ != nullptr) {
+      mem::deallocate(data_);
+      data_ = nullptr;
+      size_ = 0;
+    }
+  }
+
+  [[nodiscard]] unsigned char* data() noexcept { return data_; }
+  [[nodiscard]] const unsigned char* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool valid() const noexcept { return data_ != nullptr; }
+
+  // A sub-span view [off, off+len) for splitting one block into rx/tx
+  // halves without a second allocation.
+  [[nodiscard]] unsigned char* span(std::size_t off, std::size_t len) noexcept {
+    LHWS_ASSERT(off + len <= size_);
+    (void)len;
+    return data_ + off;
+  }
+
+ private:
+  unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lhws::io

@@ -7,9 +7,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "obs/metrics.hpp"
+#include "runtime/runtime_deque.hpp"
 #include "support/config.hpp"
 #include "support/timing.hpp"
 
@@ -17,7 +20,7 @@ namespace lhws::io {
 
 namespace {
 
-// epoll_event.data values reserved for the reactor's own fds; real
+// epoll_event.data values reserved for a shard's own fds; real
 // registrations carry an fd_entry pointer, which is never 0 or 1.
 constexpr std::uint64_t kWakeTag = 0;
 constexpr std::uint64_t kTimerTag = 1;
@@ -54,67 +57,95 @@ const char* op_name(op_kind k) noexcept {
   return "unknown";
 }
 
-reactor::reactor() {
-  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  LHWS_ASSERT(epfd_ >= 0 && "epoll_create1 failed");
-  wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  LHWS_ASSERT(wakefd_ >= 0 && "eventfd failed");
-  timerfd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
-  LHWS_ASSERT(timerfd_ >= 0 && "timerfd_create failed");
+reactor::reactor(unsigned shards) {
+  if (shards == 0) shards = 1;
+  if (shards > kMaxShards) shards = kMaxShards;
+  nshards_ = shards;
+  shards_.reserve(nshards_);
+  for (unsigned i = 0; i < nshards_; ++i) {
+    auto s = std::make_unique<shard>();
+    s->index = i;
+    s->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    LHWS_ASSERT(s->epfd >= 0 && "epoll_create1 failed");
+    s->wakefd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    LHWS_ASSERT(s->wakefd >= 0 && "eventfd failed");
+    s->timerfd = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+    LHWS_ASSERT(s->timerfd >= 0 && "timerfd_create failed");
 
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kWakeTag;
-  int rc = ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev);
-  LHWS_ASSERT(rc == 0 && "epoll_ctl(wakefd) failed");
-  ev.data.u64 = kTimerTag;
-  rc = ::epoll_ctl(epfd_, EPOLL_CTL_ADD, timerfd_, &ev);
-  LHWS_ASSERT(rc == 0 && "epoll_ctl(timerfd) failed");
-  (void)rc;
-
-  thread_ = std::thread([this] { loop(); });
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    int rc = ::epoll_ctl(s->epfd, EPOLL_CTL_ADD, s->wakefd, &ev);
+    LHWS_ASSERT(rc == 0 && "epoll_ctl(wakefd) failed");
+    ev.data.u64 = kTimerTag;
+    rc = ::epoll_ctl(s->epfd, EPOLL_CTL_ADD, s->timerfd, &ev);
+    LHWS_ASSERT(rc == 0 && "epoll_ctl(timerfd) failed");
+    (void)rc;
+    shards_.push_back(std::move(s));
+  }
+  for (auto& sp : shards_) {
+    shard* s = sp.get();
+    s->thread = std::thread([this, s] { loop(*s); });
 #if defined(__linux__)
-  // Name the thread so it shows up as "lhws-reactor" in /proc, perf, and
-  // debuggers (15-char limit on Linux); trace output names its row too.
-  ::pthread_setname_np(thread_.native_handle(), "lhws-reactor");
+    // Name the thread so it shows up in /proc, perf, and debuggers (15-char
+    // limit on Linux); trace output names the reactor/<shard> rows too.
+    char name[16];
+    if (nshards_ == 1) {
+      std::snprintf(name, sizeof(name), "lhws-reactor");
+    } else {
+      std::snprintf(name, sizeof(name), "lhws-r/%u", s->index);
+    }
+    ::pthread_setname_np(s->thread.native_handle(), name);
 #endif
+  }
 }
 
 reactor::~reactor() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+  for (auto& sp : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(sp->mu);
+      sp->stop = true;
+    }
+    kick(*sp);
   }
-  kick();
-  if (thread_.joinable()) thread_.join();
-  // Entries still registered at teardown (sockets outliving the reactor
-  // violate the contract, but don't compound it with a leak).
-  for (fd_entry* e : entries_) delete e;
-  entries_.clear();
-  ::close(timerfd_);
-  ::close(wakefd_);
-  ::close(epfd_);
+  for (auto& sp : shards_) {
+    if (sp->thread.joinable()) sp->thread.join();
+    // Entries still registered at teardown (sockets outliving the reactor
+    // violate the contract, but don't compound it with a leak).
+    for (fd_entry* e : sp->entries) delete e;
+    sp->entries.clear();
+    ::close(sp->timerfd);
+    ::close(sp->wakefd);
+    ::close(sp->epfd);
+  }
 }
 
-void reactor::kick() {
+void reactor::kick(shard& s) {
   std::uint64_t one = 1;
-  const ssize_t r = ::write(wakefd_, &one, sizeof(one));
+  const ssize_t r = ::write(s.wakefd, &one, sizeof(one));
   (void)r;  // eventfd writes only fail if the counter saturates — still a wake
 }
 
 reactor::fd_entry* reactor::register_fd(int fd) {
+  return register_fd(fd, shard_of(fd));
+}
+
+reactor::fd_entry* reactor::register_fd(int fd, unsigned shard_hint) {
+  shard& s = *shards_[shard_hint % nshards_];
   auto* e = new fd_entry;
   e->fd = fd;
+  e->shard = s.index;
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
   ev.data.ptr = e;
-  const int rc = ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  const int rc = ::epoll_ctl(s.epfd, EPOLL_CTL_ADD, fd, &ev);
   LHWS_ASSERT(rc == 0 && "epoll_ctl(ADD) failed");
   (void)rc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_.insert(e);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.entries.insert(e);
   }
+  s.registered.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t cur =
       registered_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::uint64_t peak = peak_registered_.load(std::memory_order_relaxed);
@@ -125,71 +156,73 @@ reactor::fd_entry* reactor::register_fd(int fd) {
 }
 
 void reactor::deregister_fd(fd_entry* e) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (stopped_) {
-    // Reactor thread is gone (post-run teardown): remove inline.
-    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, e->fd, nullptr);
-    entries_.erase(e);
+  shard& s = *shards_[e->shard];
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.stopped) {
+    // Shard thread is gone (post-run teardown): remove inline.
+    ::epoll_ctl(s.epfd, EPOLL_CTL_DEL, e->fd, nullptr);
+    s.entries.erase(e);
     delete e;
+    s.registered.fetch_sub(1, std::memory_order_relaxed);
     registered_.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
-  dereg_q_.push_back(e);
-  const std::uint64_t ticket = ++dereg_posted_;
+  s.dereg_q.push_back(e);
+  const std::uint64_t ticket = ++s.dereg_posted;
   lock.unlock();
-  kick();
+  kick(s);
   lock.lock();
-  dereg_cv_.wait(lock,
-                 [&] { return dereg_done_ >= ticket || stopped_; });
-  if (stopped_ && dereg_done_ < ticket) {
+  s.dereg_cv.wait(lock, [&] { return s.dereg_done >= ticket || s.stopped; });
+  if (s.stopped && s.dereg_done < ticket) {
     // The loop exited without draining (shouldn't happen — it drains on the
     // way out), but never leave the caller with a registered entry.
-    entries_.erase(e);
-    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, e->fd, nullptr);
+    s.entries.erase(e);
+    ::epoll_ctl(s.epfd, EPOLL_CTL_DEL, e->fd, nullptr);
     delete e;
+    s.registered.fetch_sub(1, std::memory_order_relaxed);
     registered_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
-void reactor::process_deregs() {
+void reactor::process_deregs(shard& s) {
   std::vector<fd_entry*> q;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    q.swap(dereg_q_);
+    std::lock_guard<std::mutex> lock(s.mu);
+    q.swap(s.dereg_q);
   }
   for (fd_entry* e : q) {
-    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, e->fd, nullptr);
+    ::epoll_ctl(s.epfd, EPOLL_CTL_DEL, e->fd, nullptr);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      entries_.erase(e);
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.entries.erase(e);
     }
     delete e;
+    s.registered.fetch_sub(1, std::memory_order_relaxed);
     registered_.fetch_sub(1, std::memory_order_relaxed);
   }
   if (!q.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      dereg_done_ += q.size();
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.dereg_done += q.size();
     }
-    dereg_cv_.notify_all();
+    s.dereg_cv.notify_all();
   }
 }
 
-std::uint64_t reactor::enqueue_deadline_locked(
-    std::unique_lock<std::mutex>& lock, deadline_entry e) {
-  (void)lock;
-  e.token = next_token_++;
-  live_deadlines_.insert(e.token);
+std::uint64_t reactor::enqueue_deadline(shard& s, deadline_entry e) {
+  std::unique_lock<std::mutex> lock(s.mu);
+  e.token = make_token(s, s.next_seq++);
+  s.live_deadlines.insert(e.token);
   const std::int64_t deadline_ns = e.deadline_ns;
-  deadlines_.push(e);
-  if (armed_deadline_ns_ == 0 || deadline_ns < armed_deadline_ns_) {
-    arm_timerfd_locked(deadline_ns);
+  s.deadlines.push(e);
+  if (s.armed_deadline_ns == 0 || deadline_ns < s.armed_deadline_ns) {
+    arm_timerfd_locked(s, deadline_ns);
   }
   return e.token;
 }
 
-void reactor::arm_timerfd_locked(std::int64_t next_deadline_ns) {
-  armed_deadline_ns_ = next_deadline_ns;
+void reactor::arm_timerfd_locked(shard& s, std::int64_t next_deadline_ns) {
+  s.armed_deadline_ns = next_deadline_ns;
   itimerspec its{};
   if (next_deadline_ns != 0) {
     std::int64_t rel = next_deadline_ns - now_ns();
@@ -197,40 +230,47 @@ void reactor::arm_timerfd_locked(std::int64_t next_deadline_ns) {
     its.it_value.tv_sec = static_cast<time_t>(rel / kNsPerSec);
     its.it_value.tv_nsec = static_cast<long>(rel % kNsPerSec);
   }
-  const int rc = ::timerfd_settime(timerfd_, 0, &its, nullptr);
+  const int rc = ::timerfd_settime(s.timerfd, 0, &its, nullptr);
   LHWS_ASSERT(rc == 0 && "timerfd_settime failed");
   (void)rc;
 }
 
 std::uint64_t reactor::schedule_deadline(std::int64_t deadline_ns, fd_entry* e,
                                          int dir, io_waiter* w) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return enqueue_deadline_locked(lock,
-                                 deadline_entry{deadline_ns, 0, w, e, dir});
+  // The fd's own shard, so the expiry fire and the io completion stay
+  // serialized on one thread (see header).
+  shard& s = *shards_[e->shard];
+  return enqueue_deadline(s, deadline_entry{deadline_ns, 0, w, e, dir});
 }
 
 void reactor::schedule_sleep(std::int64_t deadline_ns, io_waiter* w) {
-  std::unique_lock<std::mutex> lock(mu_);
-  enqueue_deadline_locked(lock,
-                          deadline_entry{deadline_ns, 0, w, nullptr, 0});
+  const std::uint64_t i = sleep_rr_.fetch_add(1, std::memory_order_relaxed);
+  shard& s = *shards_[static_cast<std::size_t>(i % nshards_)];
+  enqueue_deadline(s, deadline_entry{deadline_ns, 0, w, nullptr, 0});
 }
 
 bool reactor::cancel(std::uint64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return live_deadlines_.erase(token) != 0;
+  shard& s = shard_of_token(token);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.live_deadlines.erase(token) != 0;
 }
 
 bool reactor::pending(std::uint64_t token) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return live_deadlines_.count(token) != 0;
+  shard& s = shard_of_token(token);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.live_deadlines.count(token) != 0;
 }
 
 std::size_t reactor::deadlines_pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return live_deadlines_.size();
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    total += sp->live_deadlines.size();
+  }
+  return total;
 }
 
-void reactor::complete(io_waiter* w, wait_status st) {
+void reactor::complete(shard& s, io_waiter* w, wait_status st) {
   if (st == wait_status::ready && w->deadline_token != 0) {
     // Cancellation may lose (the deadline fire is collected or running on
     // this very thread earlier in the batch) — then its exact gate claim
@@ -240,17 +280,17 @@ void reactor::complete(io_waiter* w, wait_status st) {
   w->status = st;
   std::int64_t delta = now_ns() - w->armed_ns;
   if (delta < 0) delta = 0;
-  delta_hist_[static_cast<std::size_t>(w->kind)].record(
+  s.delta_hist[static_cast<std::size_t>(w->kind)].record(
       static_cast<std::uint64_t>(delta));
   if (st == wait_status::timed_out) {
-    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    s.timeouts.fetch_add(1, std::memory_order_relaxed);
   }
   // Last touch: the resumed coroutine frame (which holds `w`) may be
   // destroyed the instant the resume is delivered.
   w->resume.fire();
 }
 
-void reactor::fire_gate(dir_gate<>& gate) {
+void reactor::fire_gate(shard& s, dir_gate<>& gate) {
   // Latch FIRST, then claim. A worker publishing between the two steps is
   // covered either way: published before the claim → we fire it; published
   // after → its post-publish recheck consumes the latch and reclaims.
@@ -261,27 +301,28 @@ void reactor::fire_gate(dir_gate<>& gate) {
   void* w = gate.take_any();
   if (w != nullptr) {
     gate.consume_ready();  // absorb our own latch: the claim delivers it
-    complete(static_cast<io_waiter*>(w), wait_status::ready);
+    complete(s, static_cast<io_waiter*>(w), wait_status::ready);
   }
 }
 
-void reactor::dispatch_fd(fd_entry* e, std::uint32_t events) {
-  if ((events & kReadableMask) != 0) fire_gate(e->gate[kRead]);
-  if ((events & kWritableMask) != 0) fire_gate(e->gate[kWrite]);
+void reactor::dispatch_fd(shard& s, fd_entry* e, std::uint32_t events) {
+  if ((events & kReadableMask) != 0) fire_gate(s, e->gate[kRead]);
+  if ((events & kWritableMask) != 0) fire_gate(s, e->gate[kWrite]);
 }
 
-void reactor::fire_due_deadlines() {
+void reactor::fire_due_deadlines(shard& s) {
   std::vector<deadline_entry> due;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(s.mu);
     const std::int64_t now = now_ns();
-    while (!deadlines_.empty() && deadlines_.top().deadline_ns <= now) {
-      if (live_deadlines_.erase(deadlines_.top().token) != 0) {
-        due.push_back(deadlines_.top());
+    while (!s.deadlines.empty() && s.deadlines.top().deadline_ns <= now) {
+      if (s.live_deadlines.erase(s.deadlines.top().token) != 0) {
+        due.push_back(s.deadlines.top());
       }
-      deadlines_.pop();
+      s.deadlines.pop();
     }
-    arm_timerfd_locked(deadlines_.empty() ? 0 : deadlines_.top().deadline_ns);
+    arm_timerfd_locked(s,
+                       s.deadlines.empty() ? 0 : s.deadlines.top().deadline_ns);
   }
   for (const deadline_entry& d : due) {
     if (d.e != nullptr) {
@@ -289,27 +330,30 @@ void reactor::fire_due_deadlines() {
       // the waiter. Losing the claim means the io completion (earlier in
       // this batch, or a worker-side reclaim) owns it — strict no-op, so a
       // freed frame is never dereferenced.
-      if (d.e->gate[d.dir].take(d.w)) complete(d.w, wait_status::timed_out);
+      if (d.e->gate[d.dir].take(d.w)) complete(s, d.w, wait_status::timed_out);
     } else {
-      complete(d.w, wait_status::ready);  // sleep_until edge
+      complete(s, d.w, wait_status::ready);  // sleep_until edge
     }
   }
 }
 
-void reactor::loop() {
+void reactor::loop(shard& s) {
+  // Completions fired from this thread stamp resume nodes with this lane,
+  // so spans can attribute the fire to reactor/<shard> (DESIGN.md §14).
+  rt::tl_completer_lane = s.index;
   constexpr int kMaxEvents = 64;
   epoll_event evs[kMaxEvents];
   bool running = true;
   while (running) {
-    const int n = ::epoll_wait(epfd_, evs, kMaxEvents, -1);
+    const int n = ::epoll_wait(s.epfd, evs, kMaxEvents, -1);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    s.wakeups.fetch_add(1, std::memory_order_relaxed);
     const auto batch = static_cast<std::uint64_t>(n);
-    if (batch > peak_batch_.load(std::memory_order_relaxed)) {
-      peak_batch_.store(batch, std::memory_order_relaxed);
+    if (batch > s.peak_batch.load(std::memory_order_relaxed)) {
+      s.peak_batch.store(batch, std::memory_order_relaxed);
     }
     bool timer_due = false;
     bool kicked = false;
@@ -319,31 +363,71 @@ void reactor::loop() {
       } else if (evs[i].data.u64 == kTimerTag) {
         timer_due = true;
       } else {
-        dispatch_fd(static_cast<fd_entry*>(evs[i].data.ptr), evs[i].events);
+        dispatch_fd(s, static_cast<fd_entry*>(evs[i].data.ptr), evs[i].events);
       }
     }
     if (timer_due) {
-      drain_fd(timerfd_);
-      fire_due_deadlines();
+      drain_fd(s.timerfd);
+      fire_due_deadlines(s);
     }
     if (kicked) {
-      drain_fd(wakefd_);
-      process_deregs();
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stop_) running = false;
+      drain_fd(s.wakefd);
+      process_deregs(s);
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.stop) running = false;
     }
   }
   // Drain once more so no deregister_fd caller is left waiting, then mark
   // the thread gone (later deregistrations run inline).
-  process_deregs();
+  process_deregs(s);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopped_ = true;
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.stopped = true;
   }
-  dereg_cv_.notify_all();
+  s.dereg_cv.notify_all();
+}
+
+obs::log_histogram reactor::delta_hist(op_kind k) const {
+  obs::log_histogram merged;
+  for (const auto& sp : shards_) {
+    merged.merge(sp->delta_hist[static_cast<std::size_t>(k)]);
+  }
+  return merged;
+}
+
+std::uint64_t reactor::epoll_wakeups() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sp : shards_) {
+    total += sp->wakeups.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t reactor::peak_ready_batch() const noexcept {
+  std::uint64_t peak = 0;
+  for (const auto& sp : shards_) {
+    const std::uint64_t b = sp->peak_batch.load(std::memory_order_relaxed);
+    if (b > peak) peak = b;
+  }
+  return peak;
+}
+
+std::uint64_t reactor::timeouts_fired() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sp : shards_) {
+    total += sp->timeouts.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t reactor::shard_registered_fds(unsigned shard_idx) const {
+  return shards_[shard_idx % nshards_]->registered.load(
+      std::memory_order_relaxed);
 }
 
 void reactor::export_metrics(obs::metrics_registry& reg) const {
+  reg.add_gauge("lhws_io_reactor_shards", "Reactor shards in the plane",
+                static_cast<double>(nshards_));
   reg.add_gauge("lhws_io_registered_fds", "Sockets currently registered",
                 static_cast<double>(registered_fds()));
   reg.add_gauge("lhws_io_registered_fds_peak", "Peak registered sockets",
@@ -358,11 +442,22 @@ void reactor::export_metrics(obs::metrics_registry& reg) const {
                 static_cast<double>(deadlines_pending()));
   reg.add_counter("lhws_io_timeouts_total", "with_deadline expirations fired",
                   timeouts_fired());
-  for (std::size_t k = 0; k < kNumOpKinds; ++k) {
-    reg.add_histogram(
-        "lhws_io_observed_delta_ns", "Observed delta (arm to completion)",
-        &delta_hist_[k],
-        std::string("op=\"") + op_name(static_cast<op_kind>(k)) + "\"");
+  for (const auto& sp : shards_) {
+    const std::string shard_label =
+        ",shard=\"" + std::to_string(sp->index) + "\"";
+    reg.add_gauge("lhws_io_shard_registered_fds",
+                  "Sockets registered on this shard (affinity skew)",
+                  static_cast<double>(
+                      sp->registered.load(std::memory_order_relaxed)),
+                  "shard=\"" + std::to_string(sp->index) + "\"");
+    for (std::size_t k = 0; k < kNumOpKinds; ++k) {
+      reg.add_histogram("lhws_io_observed_delta_ns",
+                        "Observed delta (arm to completion)",
+                        &sp->delta_hist[k],
+                        std::string("op=\"") +
+                            op_name(static_cast<op_kind>(k)) + "\"" +
+                            shard_label);
+    }
   }
 }
 

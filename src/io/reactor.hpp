@@ -1,5 +1,5 @@
-// io::reactor — real heavy edges: an epoll-backed event loop that turns
-// kernel readiness and timer expiry into LHWS resume deliveries.
+// io::reactor — real heavy edges: a sharded, epoll-backed event plane that
+// turns kernel readiness and timer expiry into LHWS resume deliveries.
 //
 // The paper models a heavy edge as any "latency-incurring operation such
 // as communication or I/O" (§1); until this subsystem, the runtime could
@@ -10,20 +10,34 @@
 // Lemma 7 deque economy, the direct-push/batched-resume split and the
 // parker's unconditional resume unpark (DESIGN.md §9) all apply unchanged.
 //
-// One background thread owns the epoll set. Three kinds of wakeup:
+// Sharding (DESIGN.md §14): the plane is N independent shards, each a
+// background thread owning its own epoll set, eventfd, timerfd deadline
+// wheel, registration table and mutex — no shared lock on any completion
+// path. An fd maps to a shard by the pure affinity function fd % N (or an
+// explicit shard hint from a SO_REUSEPORT listener), so a connection's
+// completions always fire on the same shard for its whole life, and with
+// shards == workers the completer is co-located with the worker that owns
+// the handler's deque: deliver_resume is a same-core direct push on the
+// common path instead of a cross-thread injection.
+//
+// Per shard, three kinds of wakeup:
 //   - eventfd:  shutdown + deregistration kicks (never holds user data),
-//   - timerfd:  the deadline wheel (sleep_until and with_deadline), always
-//               armed at the earliest pending deadline,
+//   - timerfd:  the shard's deadline wheel (sleep_until and with_deadline),
+//               always armed at the earliest pending deadline,
 //   - sockets:  edge-triggered (EPOLLIN|EPOLLOUT|EPOLLET|EPOLLRDHUP),
 //               registered once per fd and demultiplexed into a per-
 //               direction dir_gate (io/dir_gate.hpp).
 //
-// Everything the reactor thread does per event is O(1) and non-blocking:
-// claim the gate's waiter and fire its resume_handle (or latch the sticky
-// ready bit). The worker side of the handoff lives in io/async_ops.hpp.
+// Everything a shard thread does per event is O(1) and non-blocking: claim
+// the gate's waiter and fire its resume_handle (or latch the sticky ready
+// bit). The worker side of the handoff lives in io/async_ops.hpp. A
+// with_deadline deadline for an fd op is scheduled on the fd's own shard,
+// so the expiry fire and the io completion stay serialized on one thread
+// (the exact-claim protocol would be safe cross-thread, but same-thread
+// keeps the δ histograms single-writer and the reasoning local).
 //
 // Thread-safety: register_fd / schedule_* / cancel are callable from any
-// thread. deregister_fd is synchronous — it hands the entry to the reactor
+// thread. deregister_fd is synchronous — it hands the entry to its shard
 // thread and waits for the EPOLL_CTL_DEL + free, which serializes entry
 // teardown against in-flight deadline fires (a deadline fire may still
 // inspect the entry's gates after a cancel() raced it; see DESIGN.md §10).
@@ -32,6 +46,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -75,71 +90,92 @@ class reactor {
   static constexpr int kRead = 0;   // EPOLLIN-side gate index
   static constexpr int kWrite = 1;  // EPOLLOUT-side gate index
 
+  // Deadline tokens carry their shard in the top bits so cancel()/pending()
+  // route without a global table; the per-shard sequence starts at 1, so a
+  // live token is never 0 (0 = "no deadline attached").
+  static constexpr unsigned kTokenShardBits = 12;
+  static constexpr unsigned kTokenSeqBits = 64 - kTokenShardBits;
+  static constexpr unsigned kMaxShards = 1U << kTokenShardBits;
+
   // Per-registered-fd state. Stable address from register_fd until
-  // deregister_fd; freed only by the reactor thread.
+  // deregister_fd; freed only by the owning shard's thread. `shard` is the
+  // fd's affinity for its whole registration — every completion for this
+  // entry fires on that shard thread.
   struct fd_entry {
     int fd = -1;
+    std::uint32_t shard = 0;
     dir_gate<> gate[2];
   };
 
-  reactor();
+  // shards == 0 is clamped to 1; shards > kMaxShards is clamped down.
+  explicit reactor(unsigned shards = 1);
   ~reactor();
   reactor(const reactor&) = delete;
   reactor& operator=(const reactor&) = delete;
 
-  // Adds a non-blocking fd to the epoll set (edge-triggered, both
-  // directions, armed once for the fd's lifetime). Thread-safe.
-  fd_entry* register_fd(int fd);
+  [[nodiscard]] unsigned shards() const noexcept { return nshards_; }
 
-  // Removes the fd and frees the entry. Blocks until the reactor thread
-  // has performed the removal. Contract: no op may be suspended on either
-  // gate (complete or time out every op before closing its socket).
+  // The default fd→shard affinity. Pure function of the fd number, so a
+  // closed-and-reused fd lands on the same shard it had before — affinity
+  // is stable across reconnects without any table lookup.
+  [[nodiscard]] unsigned shard_of(int fd) const noexcept {
+    return static_cast<unsigned>(fd) % nshards_;
+  }
+
+  // Adds a non-blocking fd to its affinity shard's epoll set (edge-
+  // triggered, both directions, armed once for the fd's lifetime).
+  // Thread-safe. The hint overload pins the fd to a specific shard — used
+  // by SO_REUSEPORT accept so a connection inherits its listener's shard.
+  fd_entry* register_fd(int fd);
+  fd_entry* register_fd(int fd, unsigned shard_hint);
+
+  // Removes the fd and frees the entry. Blocks until the owning shard
+  // thread has performed the removal. Contract: no op may be suspended on
+  // either gate (complete or time out every op before closing its socket).
   void deregister_fd(fd_entry* e);
 
   // --- deadline wheel -----------------------------------------------------
   // Arms `w` to be fired with wait_status::timed_out at deadline_ns unless
   // the io completion claims it first; the fire only touches `w` after
   // winning an exact gate claim, so a completed (and freed) waiter is
-  // never dereferenced. Returns a token for cancel()/pending().
+  // never dereferenced. Scheduled on the entry's own shard. Returns a
+  // token for cancel()/pending().
   std::uint64_t schedule_deadline(std::int64_t deadline_ns, fd_entry* e,
                                   int dir, io_waiter* w);
 
   // Pure timer edge (sleep_until): fires `w` with wait_status::ready at or
   // after deadline_ns. The waiter must already be armed; scheduling is the
-  // publication point.
+  // publication point. Sleeps round-robin across shards so a timer storm
+  // spreads over all wheels.
   void schedule_sleep(std::int64_t deadline_ns, io_waiter* w);
 
   // True iff the entry was removed before its fire was collected. False
-  // means the fire already ran or is running on the reactor thread.
+  // means the fire already ran or is running on its shard thread.
   bool cancel(std::uint64_t token);
 
   // True while the entry is scheduled and its fire has not been collected.
   [[nodiscard]] bool pending(std::uint64_t token) const;
 
   // --- observability ------------------------------------------------------
-  // Observed δ (arm → completion) per op type. The reactor thread is the
-  // single writer; concurrent readers are safe (obs/histogram.hpp).
-  [[nodiscard]] const obs::log_histogram& delta_hist(op_kind k) const noexcept {
-    return delta_hist_[static_cast<std::size_t>(k)];
-  }
+  // Observed δ (arm → completion) per op type, merged across shards. Each
+  // shard thread is the single writer of its own histograms; the merge is
+  // a snapshot copy (obs/histogram.hpp), hence by value.
+  [[nodiscard]] obs::log_histogram delta_hist(op_kind k) const;
   [[nodiscard]] std::uint64_t registered_fds() const noexcept {
     return registered_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t peak_registered_fds() const noexcept {
     return peak_registered_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t epoll_wakeups() const noexcept {
-    return wakeups_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t peak_ready_batch() const noexcept {
-    return peak_batch_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t timeouts_fired() const noexcept {
-    return timeouts_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::uint64_t epoll_wakeups() const noexcept;
+  [[nodiscard]] std::uint64_t peak_ready_batch() const noexcept;
+  [[nodiscard]] std::uint64_t timeouts_fired() const noexcept;
   [[nodiscard]] std::size_t deadlines_pending() const;
+  // Per-shard registration gauge (affinity skew observability).
+  [[nodiscard]] std::uint64_t shard_registered_fds(unsigned shard) const;
 
-  // Registers lhws_io_* gauges/counters and the per-op δ histograms.
+  // Registers lhws_io_* gauges/counters and the per-op δ histograms
+  // (per-shard series, labelled op=...,shard=...).
   void export_metrics(obs::metrics_registry& reg) const;
 
  private:
@@ -155,46 +191,65 @@ class reactor {
     }
   };
 
-  void loop();
-  void dispatch_fd(fd_entry* e, std::uint32_t events);
-  void fire_gate(dir_gate<>& gate);
+  // One shard: a whole single-reactor's worth of state. No member is ever
+  // touched by another shard's thread; cross-shard callers go through mu.
+  struct shard {
+    unsigned index = 0;
+    int epfd = -1;
+    int wakefd = -1;
+    int timerfd = -1;
+    std::thread thread;
+
+    mutable std::mutex mu;
+    std::priority_queue<deadline_entry, std::vector<deadline_entry>,
+                        std::greater<>>
+        deadlines;
+    std::unordered_set<std::uint64_t> live_deadlines;  // full (shard|seq) tokens
+    std::uint64_t next_seq = 1;
+    std::int64_t armed_deadline_ns = 0;  // 0 = timerfd disarmed
+    std::unordered_set<fd_entry*> entries;
+    std::vector<fd_entry*> dereg_q;
+    std::uint64_t dereg_posted = 0;
+    std::uint64_t dereg_done = 0;
+    std::condition_variable dereg_cv;
+    bool stop = false;
+    bool stopped = false;  // shard thread has exited
+
+    obs::log_histogram delta_hist[kNumOpKinds];
+    std::atomic<std::uint64_t> registered{0};
+    std::atomic<std::uint64_t> wakeups{0};
+    std::atomic<std::uint64_t> peak_batch{0};
+    std::atomic<std::uint64_t> timeouts{0};
+  };
+
+  [[nodiscard]] std::uint64_t make_token(const shard& s,
+                                         std::uint64_t seq) const noexcept {
+    return (static_cast<std::uint64_t>(s.index) << kTokenSeqBits) | seq;
+  }
+  [[nodiscard]] shard& shard_of_token(std::uint64_t token) const noexcept {
+    return *shards_[static_cast<std::size_t>(token >> kTokenSeqBits)];
+  }
+
+  void loop(shard& s);
+  void dispatch_fd(shard& s, fd_entry* e, std::uint32_t events);
+  void fire_gate(shard& s, dir_gate<>& gate);
   // Completes `w` (exclusive ownership required): cancels an attached
-  // deadline on the ready path, records δ, fires the resume. Reactor
-  // thread only — the δ histograms are single-writer.
-  void complete(io_waiter* w, wait_status st);
-  void fire_due_deadlines();
-  void process_deregs();
-  std::uint64_t enqueue_deadline_locked(std::unique_lock<std::mutex>& lock,
-                                        deadline_entry e);
-  void arm_timerfd_locked(std::int64_t next_deadline_ns);
-  void kick();
+  // deadline on the ready path, records δ, fires the resume. Shard thread
+  // only — the δ histograms are single-writer per shard.
+  void complete(shard& s, io_waiter* w, wait_status st);
+  void fire_due_deadlines(shard& s);
+  void process_deregs(shard& s);
+  std::uint64_t enqueue_deadline(shard& s, deadline_entry e);
+  static void arm_timerfd_locked(shard& s, std::int64_t next_deadline_ns);
+  static void kick(shard& s);
 
-  int epfd_ = -1;
-  int wakefd_ = -1;
-  int timerfd_ = -1;
-  std::thread thread_;
+  unsigned nshards_ = 1;
+  std::vector<std::unique_ptr<shard>> shards_;
+  std::atomic<std::uint64_t> sleep_rr_{0};  // round-robin sleep placement
 
-  mutable std::mutex mu_;
-  std::priority_queue<deadline_entry, std::vector<deadline_entry>,
-                      std::greater<>>
-      deadlines_;
-  std::unordered_set<std::uint64_t> live_deadlines_;
-  std::uint64_t next_token_ = 1;
-  std::int64_t armed_deadline_ns_ = 0;  // 0 = timerfd disarmed
-  std::unordered_set<fd_entry*> entries_;
-  std::vector<fd_entry*> dereg_q_;
-  std::uint64_t dereg_posted_ = 0;
-  std::uint64_t dereg_done_ = 0;
-  std::condition_variable dereg_cv_;
-  bool stop_ = false;
-  bool stopped_ = false;  // reactor thread has exited
-
-  obs::log_histogram delta_hist_[kNumOpKinds];
+  // Aggregate registration gauge + high-water mark across all shards.
   std::atomic<std::uint64_t> registered_{0};
   std::atomic<std::uint64_t> peak_registered_{0};
-  std::atomic<std::uint64_t> wakeups_{0};
-  std::atomic<std::uint64_t> peak_batch_{0};
-  std::atomic<std::uint64_t> timeouts_{0};
 };
 
 }  // namespace lhws::io

@@ -34,6 +34,12 @@ socket::socket(reactor& r, int fd) : reactor_(&r), fd_(fd) {
   entry_ = r.register_fd(fd_);
 }
 
+socket::socket(reactor& r, int fd, unsigned shard_hint)
+    : reactor_(&r), fd_(fd) {
+  set_nonblocking(fd_);
+  entry_ = r.register_fd(fd_, shard_hint);
+}
+
 socket socket::create_tcp(reactor& r) {
   const int fd =
       ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
@@ -55,6 +61,32 @@ socket socket::listen_loopback(reactor& r, std::uint16_t port, int backlog) {
     return socket{};
   }
   return socket(r, fd);
+}
+
+socket socket::listen_reuseport(reactor& r, std::uint16_t port,
+                                unsigned shard, int backlog) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return socket{};
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    ::close(fd);
+    return socket{};
+  }
+  const sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return socket{};
+  }
+  return socket(r, fd, shard);
+}
+
+bool set_tcp_nodelay(int fd) {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
 }
 
 std::uint16_t socket::local_port() const {

@@ -20,8 +20,12 @@ class socket {
  public:
   socket() = default;
 
-  // Adopts `fd`: forces O_NONBLOCK and registers it with `r`.
+  // Adopts `fd`: forces O_NONBLOCK and registers it with `r` on its
+  // affinity shard (fd % shards). The hint overload pins the registration
+  // to a specific shard instead — used by sharded accept so a connection
+  // inherits its listener's shard (DESIGN.md §14).
   socket(reactor& r, int fd);
+  socket(reactor& r, int fd, unsigned shard_hint);
 
   socket(socket&& o) noexcept
       : reactor_(std::exchange(o.reactor_, nullptr)),
@@ -48,6 +52,19 @@ class socket {
   static socket listen_loopback(reactor& r, std::uint16_t port,
                                 int backlog = 128);
 
+  // A SO_REUSEPORT loopback listener pinned to reactor shard `shard`: one
+  // per shard on the same port gives kernel-sharded accept, and every
+  // connection accepted from this listener should be registered with the
+  // same shard hint so its completions stay on the accepting shard. Bind
+  // the first listener with port 0, read local_port(), then bind the rest
+  // to that port. Invalid on error.
+  static socket listen_reuseport(reactor& r, std::uint16_t port,
+                                 unsigned shard, int backlog = 128);
+
+  [[nodiscard]] unsigned shard() const noexcept {
+    return entry_ != nullptr ? entry_->shard : 0;
+  }
+
   [[nodiscard]] int fd() const noexcept { return fd_; }
   [[nodiscard]] reactor::fd_entry* entry() const noexcept { return entry_; }
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
@@ -64,6 +81,11 @@ class socket {
   reactor::fd_entry* entry_ = nullptr;
   int fd_ = -1;
 };
+
+// Disables Nagle batching on a TCP fd (returns false on error). Small
+// request/response protocols need this or every reply waits out the
+// delayed-ACK timer.
+bool set_tcp_nodelay(int fd);
 
 // --- blocking-side helpers (client threads outside the scheduler) ---------
 

@@ -1,0 +1,281 @@
+// Open-loop production load harness (EXPERIMENTS.md LOAD recipe).
+//
+// Drives the sharded rpc_server with thousands of concurrent connections,
+// each one a client coroutine on its own scheduler + reactor — no thread
+// per connection. Arrivals are open-loop Poisson: every connection draws
+// exponential inter-arrival gaps from a deterministic per-connection RNG
+// and latches the SCHEDULED arrival time before sleeping, and a request's
+// latency is measured from that scheduled arrival, not from the moment the
+// send actually happened. A slow server therefore inflates the recorded
+// tail instead of silently throttling the offered load — the coordinated
+// omission trap a closed-loop harness (bench_rpc_loopback's paced clients)
+// cannot see.
+//
+// Scenarios:
+//   steady         — N connections, Poisson arrivals, fixed duration.
+//   churn          — connections close and re-dial every `churn_every`
+//                    requests, hammering accept + fd recycling (and the
+//                    fd→shard affinity of reused descriptors).
+//   slow_client    — every `slow_every`-th connection dribbles its request
+//                    bytes with a pause mid-header; a sharded server must
+//                    not let the stragglers convoy everyone else.
+//   deadline_storm — every client op carries a with_deadline, keeping
+//                    thousands of armed deadlines cycling through the
+//                    per-shard wheels; timeouts force a reconnect (the
+//                    stream is ambiguous once a response may be in flight).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/scheduler.hpp"
+#include "load/rpc_server.hpp"
+#include "support/timing.hpp"
+
+namespace lhws::load {
+
+enum class scenario { steady, churn, slow_client, deadline_storm };
+
+[[nodiscard]] inline const char* scenario_name(scenario s) noexcept {
+  switch (s) {
+    case scenario::steady: return "steady";
+    case scenario::churn: return "churn";
+    case scenario::slow_client: return "slow_client";
+    case scenario::deadline_storm: return "deadline_storm";
+  }
+  return "?";
+}
+
+struct load_config {
+  scenario sc = scenario::steady;
+  // Server side.
+  unsigned server_workers = 2;
+  unsigned server_shards = 0;  // 0 → one per server worker
+  engine server_engine = engine::latency_hiding;
+  // Client side (always latency-hiding: one coroutine per connection).
+  unsigned client_workers = 2;
+  unsigned client_shards = 2;
+  // Offered load.
+  unsigned connections = 2000;
+  double rate_hz = 2.0;    // per-connection Poisson arrival rate
+  double duration_s = 3.0; // arrival window length
+  unsigned fib_n = 10;
+  unsigned rpc_depth = 0;
+  // Scenario knobs (0 = off).
+  unsigned churn_every = 0;  // reconnect after this many requests
+  unsigned slow_every = 0;   // every k-th connection dribbles its writes
+  std::chrono::milliseconds op_deadline{0};  // per-op client deadline
+  std::uint64_t seed = 42;
+};
+
+struct load_result {
+  const char* name = "";
+  unsigned connections = 0;
+  unsigned server_workers = 0;
+  unsigned server_shards = 0;
+  double duration_ms = 0;
+  std::uint64_t attempted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t reconnects = 0;
+  double rps = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  std::uint64_t max_us = 0;
+  std::uint64_t server_suspensions = 0;
+  std::uint64_t server_fd_peak = 0;
+  std::uint64_t server_served = 0;
+};
+
+[[nodiscard]] inline std::uint64_t quantile_us(
+    const std::vector<std::uint64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ns.size() - 1) + 0.5);
+  return sorted_ns[std::min(idx, sorted_ns.size() - 1)] / 1000;
+}
+
+namespace detail {
+
+struct conn_stats {
+  std::uint64_t attempted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t reconnects = 0;
+  std::vector<std::uint64_t> lat_ns;  // empty for slow connections
+};
+
+// (Re-)dials the server: fresh non-blocking TCP socket, TCP_NODELAY,
+// async connect. The socket is handed in by reference so the caller's
+// frame — which outlives this coroutine — owns the fd.
+inline task<long> redial(io::reactor& r, io::socket& s, std::uint16_t port) {
+  using namespace std::chrono_literals;
+  s.close();
+  s = io::socket::create_tcp(r);
+  if (!s.valid()) co_return -EBADF;
+  io::set_tcp_nodelay(s.fd());
+  co_return co_await io::async_connect(r, s, port, io::with_deadline(10s));
+}
+
+// One connection's life: dial lazily at the first arrival, then fire
+// requests on the Poisson schedule until the window closes. The schedule
+// never pauses for a slow response — if the next arrival is already due
+// when a request completes, the following send happens immediately and its
+// latency still counts from the scheduled instant.
+inline task<long> drive_connection(io::reactor& r, const load_config& cfg,
+                                   std::uint16_t port, unsigned idx,
+                                   std::int64_t t_start, std::int64_t t_end,
+                                   conn_stats& out) {
+  using namespace std::chrono_literals;
+  std::mt19937_64 rng(cfg.seed * 0x9E3779B97F4A7C15ull + idx);
+  std::exponential_distribution<double> gap(cfg.rate_hz);
+  const bool slow = cfg.slow_every != 0 && idx % cfg.slow_every == 0;
+  io::socket s;
+  unsigned since_dial = 0;
+
+  std::int64_t next = t_start;
+  for (;;) {
+    next += static_cast<std::int64_t>(gap(rng) * 1e9);
+    if (next >= t_end) break;
+    co_await io::sleep_until(r, next);
+    ++out.attempted;
+    if (!s.valid()) {
+      if (co_await redial(r, s, port) != 0) {
+        ++out.errors;
+        s.close();
+        continue;
+      }
+      since_dial = 0;
+    }
+    const io::op_deadline dl = cfg.op_deadline.count() > 0
+                                   ? io::with_deadline(cfg.op_deadline)
+                                   : io::op_deadline{};
+    unsigned char req[8];
+    unsigned char resp[8];
+    put_le32(req, cfg.fib_n);
+    put_le32(req + 4, cfg.rpc_depth);
+    long rc;
+    if (slow) {
+      // Dribble the header: half, a pause mid-request, then the rest.
+      rc = co_await write_exact(r, s, req, 4, dl);
+      if (rc > 0) {
+        co_await io::sleep_for(r, 2ms);
+        rc = co_await write_exact(r, s, req + 4, 4, dl);
+      }
+    } else {
+      rc = co_await write_exact(r, s, req, 8, dl);
+    }
+    if (rc > 0) rc = co_await read_exact(r, s, resp, 8, dl);
+    if (rc == -ETIMEDOUT) {
+      // A response may still be in flight; the stream is ambiguous, so a
+      // timed-out connection must re-dial before its next request.
+      ++out.timeouts;
+      ++out.reconnects;
+      s.close();
+      continue;
+    }
+    if (rc <= 0) {
+      ++out.errors;
+      ++out.reconnects;
+      s.close();
+      continue;
+    }
+    ++out.completed;
+    ++since_dial;
+    if (!slow) {
+      out.lat_ns.push_back(static_cast<std::uint64_t>(now_ns() - next));
+    }
+    if (cfg.churn_every != 0 && since_dial >= cfg.churn_every) {
+      ++out.reconnects;
+      s.close();
+    }
+  }
+  s.close();
+  co_return 0;
+}
+
+}  // namespace detail
+
+// Runs one scenario end to end: server scheduler on a helper thread,
+// client scheduler on the calling thread, Done token after the window
+// drains. Deterministic given cfg.seed (modulo real scheduling noise).
+[[nodiscard]] inline load_result run_load(const load_config& cfg) {
+  const unsigned nshards = cfg.server_shards != 0 ? cfg.server_shards
+                           : cfg.server_workers != 0 ? cfg.server_workers
+                                                     : 1;
+  rpc_server srv(nshards);
+  load_result res;
+  res.name = scenario_name(cfg.sc);
+  res.connections = cfg.connections;
+  res.server_workers = cfg.server_workers;
+  res.server_shards = nshards;
+  if (!srv.valid()) return res;
+
+  scheduler_options sopts;
+  sopts.workers = cfg.server_workers;
+  sopts.engine_kind = cfg.server_engine;
+  sopts.reactor_shards = nshards;
+  sopts.seed = 7;
+  scheduler ssched(sopts);
+  long server_rc = 0;
+  std::thread server([&] { server_rc = ssched.run(srv.root()); });
+
+  io::reactor cr(cfg.client_shards);
+  scheduler_options copts;
+  copts.workers = cfg.client_workers;
+  copts.engine_kind = engine::latency_hiding;
+  copts.seed = 11;
+  scheduler csched(copts);
+
+  std::vector<detail::conn_stats> stats(cfg.connections);
+  const std::int64_t t_start = now_ns();
+  const std::int64_t t_end =
+      t_start + static_cast<std::int64_t>(cfg.duration_s * 1e9);
+  const stopwatch timer;
+  // The leaf lambda is not a coroutine: it only binds one connection's
+  // arguments into drive_connection's own frame, so no closure state is
+  // held across a suspension point.
+  const std::uint16_t port = srv.port();
+  auto leaf = [&](std::size_t i) {
+    return detail::drive_connection(cr, cfg, port, static_cast<unsigned>(i),
+                                    t_start, t_end, stats[i]);
+  };
+  (void)csched.run(map_reduce<long>(0, cfg.connections, 0, leaf,
+                                    [](long a, long b) { return a + b; }));
+  res.duration_ms = timer.elapsed_ms();
+  send_done(srv.port());
+  server.join();
+  (void)server_rc;
+
+  std::vector<std::uint64_t> all;
+  for (const auto& cs : stats) {
+    res.attempted += cs.attempted;
+    res.completed += cs.completed;
+    res.timeouts += cs.timeouts;
+    res.errors += cs.errors;
+    res.reconnects += cs.reconnects;
+    all.insert(all.end(), cs.lat_ns.begin(), cs.lat_ns.end());
+  }
+  std::sort(all.begin(), all.end());
+  res.rps = res.duration_ms > 0 ? static_cast<double>(res.completed) *
+                                      1000.0 / res.duration_ms
+                                : 0;
+  res.p50_us = quantile_us(all, 0.50);
+  res.p99_us = quantile_us(all, 0.99);
+  res.p999_us = quantile_us(all, 0.999);
+  res.max_us = all.empty() ? 0 : all.back() / 1000;
+  res.server_suspensions = ssched.stats().suspensions;
+  res.server_fd_peak = srv.reactor().peak_registered_fds();
+  res.server_served = srv.served();
+  return res;
+}
+
+}  // namespace lhws::load

@@ -1,0 +1,221 @@
+// Shared sharded fib-RPC loopback server — the serving half of the load
+// harness (DESIGN.md §14, EXPERIMENTS.md LOAD).
+//
+// Speaks the examples/server --listen wire format: 8-byte little-endian
+// requests {u32 fib_n, u32 rpc_depth}, 8-byte u64 responses; fib_n == 0 is
+// the "Done" token that drains the accept loops. One SO_REUSEPORT listener
+// per reactor shard gives kernel-sharded accept, and every accepted
+// connection inherits its listener's shard so all of its completions fire
+// on one shard thread for its whole life. Used by bench_rpc_loopback,
+// bench_load, and tools/lhws_load so the three harnesses exercise exactly
+// the same serving path.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/fork_join.hpp"
+#include "io/async_ops.hpp"
+#include "io/buffer.hpp"
+#include "io/reactor.hpp"
+#include "io/socket.hpp"
+
+namespace lhws::load {
+
+// Little-endian wire helpers (the protocol is explicitly LE regardless of
+// host order).
+inline void put_le32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+inline void put_le64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+[[nodiscard]] inline std::uint32_t get_le32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t get_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline task<long> fib(unsigned n) {
+  if (n < 2) co_return n;
+  auto [a, b] = co_await fork2(fib(n - 1), fib(n - 2));
+  co_return a + b;
+}
+
+// Reads exactly n bytes (0 = clean EOF before any byte, -ETIMEDOUT
+// propagates a deadline expiry mid-read).
+inline task<long> read_exact(io::reactor& r, io::socket& s, void* buf,
+                             std::size_t n, io::op_deadline d = {}) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const long got = co_await io::async_read(r, s, p + done, n - done, d);
+    if (got == -ETIMEDOUT) co_return got;
+    if (got <= 0) co_return got == 0 && done == 0 ? 0 : -ECONNRESET;
+    done += static_cast<std::size_t>(got);
+  }
+  co_return static_cast<long>(done);
+}
+
+// Writes exactly n bytes, looping over short writes.
+inline task<long> write_exact(io::reactor& r, io::socket& s, const void* buf,
+                              std::size_t n, io::op_deadline d = {}) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const long put = co_await io::async_write(r, s, p + done, n - done, d);
+    if (put <= 0) co_return put;
+    done += static_cast<std::size_t>(put);
+  }
+  co_return static_cast<long>(done);
+}
+
+// Accept errors worth backing off on instead of aborting the loop: fd or
+// buffer exhaustion is a load condition, not a programming error.
+[[nodiscard]] inline bool accept_should_backoff(long err) {
+  return err == -EMFILE || err == -ENFILE || err == -ENOBUFS ||
+         err == -ENOMEM || err == -ECONNABORTED;
+}
+
+// The server: a reactor with N shards, one pinned SO_REUSEPORT listener
+// per shard, and a fork-tree of accept loops. Construct, check valid(),
+// then run root() on a scheduler of your choice (either engine); stop it
+// by sending the Done token to port().
+class rpc_server {
+ public:
+  explicit rpc_server(unsigned shards, std::uint16_t port = 0,
+                      int backlog = 1024)
+      : r_(shards) {
+    listeners_.reserve(r_.shards());
+    listeners_.push_back(io::socket::listen_reuseport(r_, port, 0, backlog));
+    if (!listeners_[0].valid()) return;
+    port_ = listeners_[0].local_port();
+    for (unsigned sh = 1; sh < r_.shards(); ++sh) {
+      listeners_.push_back(
+          io::socket::listen_reuseport(r_, port_, sh, backlog));
+      if (!listeners_.back().valid()) {
+        port_ = 0;
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return port_ != 0; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] io::reactor& reactor() noexcept { return r_; }
+  [[nodiscard]] std::uint64_t served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  // Root task: every shard's accept loop, joined. Returns 0 once the Done
+  // token has arrived and every in-flight connection has drained.
+  [[nodiscard]] task<long> root() {
+    return accept_all(0, static_cast<unsigned>(listeners_.size()));
+  }
+
+ private:
+  task<long> serve_connection(int cfd, unsigned shard) {
+    using namespace std::chrono_literals;
+    io::set_tcp_nodelay(cfd);
+    io::socket conn(r_, cfd, shard);
+    // One slab block carries all per-request scratch: request, downstream
+    // request, downstream response, response.
+    io::conn_buffer buf(32);
+    if (!buf.valid()) co_return -ENOMEM;
+    unsigned char* req = buf.span(0, 8);
+    unsigned char* sub = buf.span(8, 8);
+    unsigned char* dsr = buf.span(16, 8);
+    unsigned char* resp = buf.span(24, 8);
+    for (;;) {
+      const long got = co_await read_exact(r_, conn, req, 8);
+      if (got == 0) co_return 0;
+      if (got < 0) co_return got;
+      const std::uint32_t n = get_le32(req);
+      const std::uint32_t depth = get_le32(req + 4);
+      if (n == 0) {
+        stop_.store(true, std::memory_order_release);
+        co_return 0;
+      }
+      std::uint64_t result = static_cast<std::uint64_t>(co_await fib(n));
+      if (depth > 0) {
+        io::socket ds = io::socket::create_tcp(r_);
+        if (!ds.valid()) co_return -EBADF;
+        const auto dl = io::with_deadline(10s);
+        long rc = co_await io::async_connect(r_, ds, port_, dl);
+        if (rc != 0) co_return rc;
+        put_le32(sub, n);
+        put_le32(sub + 4, depth - 1);
+        rc = co_await write_exact(r_, ds, sub, 8, dl);
+        if (rc < 0) co_return rc;
+        rc = co_await read_exact(r_, ds, dsr, 8, dl);
+        if (rc <= 0) co_return rc == 0 ? -ECONNRESET : rc;
+        result += get_le64(dsr);
+      }
+      put_le64(resp, result);
+      const long put = co_await write_exact(r_, conn, resp, 8);
+      if (put < 0) co_return put;
+      served_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  task<long> accept_loop(unsigned shard) {
+    using namespace std::chrono_literals;
+    for (;;) {
+      if (stop_.load(std::memory_order_acquire)) co_return 0;
+      const long fd = co_await io::async_accept(r_, listeners_[shard],
+                                                io::with_deadline(100ms));
+      if (fd == -ETIMEDOUT) continue;
+      if (accept_should_backoff(fd)) {
+        co_await io::sleep_for(r_, 10ms);
+        continue;
+      }
+      if (fd < 0) co_return fd;
+      auto [rest, one] = co_await fork2(
+          accept_loop(shard), serve_connection(static_cast<int>(fd), shard));
+      co_return rest != 0 ? rest : one;
+    }
+  }
+
+  task<long> accept_all(unsigned lo, unsigned hi) {
+    if (hi - lo == 1) co_return co_await accept_loop(lo);
+    const unsigned mid = lo + (hi - lo) / 2;
+    auto [a, b] = co_await fork2(accept_all(lo, mid), accept_all(mid, hi));
+    co_return a != 0 ? a : b;
+  }
+
+  io::reactor r_;
+  std::vector<io::socket> listeners_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+// Sends the Done token {0,0} from a plain blocking socket (callable from
+// any thread, no scheduler needed).
+inline void send_done(std::uint16_t port) {
+  const int fd = io::connect_loopback_blocking(port);
+  if (fd < 0) return;
+  unsigned char done[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  io::write_full_fd(fd, done, sizeof done);
+  ::close(fd);
+}
+
+}  // namespace lhws::load

@@ -5,7 +5,7 @@
 // fork2, pfor batch nodes and their continuation buffers, and Chase-Lev
 // ring buffers) all funnel through this allocator:
 //
-//   - Sizes are rounded to power-of-two buckets (64..4096 payload bytes);
+//   - Sizes are rounded to power-of-two buckets (64..8192 payload bytes);
 //     anything larger takes a headered ::operator new fallback so free()
 //     can always dispatch from the block header alone.
 //   - Each thread owns a `magazine`: per-bucket intrusive free lists plus
@@ -61,8 +61,10 @@ inline constexpr std::size_t kBlockHeaderSize = sizeof(block_header);
 
 // Payload buckets: 64 << b for b in [0, kNumBuckets). 64 bytes floors the
 // batch-node/resume-node class; 4096 covers every coroutine frame and the
-// common ring sizes, beyond which the fallback path is cold anyway.
-inline constexpr unsigned kNumBuckets = 7;
+// common ring sizes; 8192 carries per-connection io buffers
+// (io/buffer.hpp) so connection churn recycles through magazines instead
+// of hitting ::operator new. Beyond that the fallback path is cold anyway.
+inline constexpr unsigned kNumBuckets = 8;
 [[nodiscard]] constexpr std::size_t bucket_payload(unsigned b) noexcept {
   return std::size_t{64} << b;
 }

@@ -140,6 +140,9 @@ struct span_record {
   std::uint8_t kind = 0;   // span_kind
   std::uint8_t arm_worker = 0;
   std::uint8_t exec_worker = 0;
+  // Reactor shard that fired the completion (0 for non-io completers);
+  // routes io-kind spans to their reactor/<shard> trace lane.
+  std::uint8_t fire_shard = 0;
 };
 
 // One completed request: the critical-path breakdown snapshot at
@@ -291,7 +294,7 @@ inline void commit_span(Sink& sink, trace_state* st, std::uint32_t span_id,
                         std::uint8_t arm_worker, std::uint8_t exec_worker,
                         std::uint16_t hops, std::int64_t arm_ns,
                         std::int64_t fire_ns, std::int64_t drain_ns,
-                        std::int64_t exec_ns) {
+                        std::int64_t exec_ns, std::uint8_t fire_shard = 0) {
   if (fire_ns < arm_ns) fire_ns = arm_ns;
   if (drain_ns < fire_ns) drain_ns = fire_ns;
   if (exec_ns < drain_ns) exec_ns = drain_ns;
@@ -312,6 +315,7 @@ inline void commit_span(Sink& sink, trace_state* st, std::uint32_t span_id,
   rec.kind = kind;
   rec.arm_worker = arm_worker;
   rec.exec_worker = exec_worker;
+  rec.fire_shard = fire_shard;
   sink.emit(rec);
 }
 

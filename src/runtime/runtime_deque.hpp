@@ -27,6 +27,13 @@ struct trace_state;
 
 namespace lhws::rt {
 
+// Identity of the completer lane running on the current thread: reactor
+// shard threads set this to their shard index at loop start (io/reactor.cpp)
+// so deliver_resume can stamp which lane fired the completion. Worker and
+// hub threads leave it 0; only io-kind spans route through reactor lanes in
+// the trace, so the default is never misattributed (DESIGN.md §14).
+inline thread_local std::uint32_t tl_completer_lane = 0;
+
 // Intrusive node used to deliver one resumed continuation (the paper's
 // callback(v, q) payload). Lives inside the awaitable that suspended, which
 // stays alive in the suspended coroutine's frame until it is resumed.
@@ -46,6 +53,9 @@ struct resume_node {
   std::uint32_t span_parent = 0;
   std::uint8_t span_kind = 0;
   std::uint8_t span_arm_worker = 0;
+  // Completer lane that fired this resume (reactor shard index); stamped by
+  // deliver_resume alongside fire_ns.
+  std::uint8_t fire_shard = 0;
 };
 
 class runtime_deque {
@@ -90,6 +100,7 @@ class runtime_deque {
     // One clock read per resume delivery; resumes are latency-completion
     // events, so this is never on the segment hot path.
     node->fire_ns = now_ns();
+    node->fire_shard = static_cast<std::uint8_t>(tl_completer_lane);
     const bool was_empty = resumed_.push(node);
     suspend_ctr_.fetch_sub(1, std::memory_order_release);
     return was_empty;

@@ -107,7 +107,8 @@ void worker::execute(work_item item) {
                            slot.kind, slot.arm_worker,
                            static_cast<std::uint8_t>(index_),
                            static_cast<std::uint16_t>(node->hops),
-                           slot.arm_ns, slot.fire_ns, blk->drain_ns, texec);
+                           slot.arm_ns, slot.fire_ns, blk->drain_ns, texec,
+                           slot.fire_shard);
         }
       }
     }
@@ -134,7 +135,8 @@ void worker::execute(work_item item) {
         obs::commit_span(spans, sc->state, sc->span_id, sc->parent_span,
                          sc->kind, sc->arm_worker,
                          static_cast<std::uint8_t>(index_), sc->hops,
-                         sc->arm_ns, sc->fire_ns, sc->drain_ns, texec);
+                         sc->arm_ns, sc->fire_ns, sc->drain_ns, texec,
+                         sc->fire_shard);
       }
       delete sc;
       stats.segments_executed += 1;
@@ -214,6 +216,7 @@ void worker::add_resumed_vertices() {
           sc->parent_span = chain->span_parent;
           sc->kind = chain->span_kind;
           sc->arm_worker = chain->span_arm_worker;
+          sc->fire_shard = chain->fire_shard;
           q->push_bottom(work_item::from_span(sc));
         } else {
           q->push_bottom(work_item::from_coroutine(chain->continuation));
@@ -235,7 +238,7 @@ void worker::add_resumed_vertices() {
             slots[i] = batch_span_slot{n->span_state,  n->span_arm_ns,
                                        n->fire_ns,     n->span_id,
                                        n->span_parent, n->span_kind,
-                                       n->span_arm_worker};
+                                       n->span_arm_worker, n->fire_shard};
           }
           ++i;
         }
@@ -640,11 +643,12 @@ void scheduler_core::write_trace(std::ostream& os) const {
   meta.spans = span_records_.empty() ? nullptr : &span_records_;
   meta.requests = request_records_.empty() ? nullptr : &request_records_;
   meta.span_records_dropped = stats_.span_records_dropped;
-  // I/O spans route their delivery step through the reactor's named row.
+  // I/O spans route their delivery step through their shard's named
+  // reactor/<shard> row; emit one lane per shard that actually fired.
   for (const auto& rec : span_records_) {
-    if (rec.kind >= static_cast<std::uint8_t>(obs::span_kind::io_accept)) {
-      meta.reactor_row = true;
-      break;
+    if (rec.kind >= static_cast<std::uint8_t>(obs::span_kind::io_accept) &&
+        static_cast<std::uint32_t>(rec.fire_shard) + 1 > meta.reactor_lanes) {
+      meta.reactor_lanes = static_cast<std::uint32_t>(rec.fire_shard) + 1;
     }
   }
   write_chrome_trace(os, buffers, run_start_ns_,

@@ -84,6 +84,9 @@ struct scheduler_config {
   std::uint32_t idle_spin_limit = 6;
   std::uint32_t idle_yield_limit = 16;
   std::uint32_t idle_park_timeout_us = 2000;
+  // Reactor shards serving this scheduler's io plane (informational here —
+  // the io::reactor is constructed by the embedder; 0 = one per worker).
+  unsigned reactor_shards = 0;
 };
 
 class scheduler_core;

@@ -75,13 +75,18 @@ void write_chrome_trace(std::ostream& os,
     os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
        << w << ",\"args\":{\"sort_index\":" << w << "}}";
   }
-  const std::size_t reactor_tid = workers.size();
-  const std::size_t requests_tid = workers.size() + 1;
-  if (meta != nullptr && meta->reactor_row) {
+  // One lane per reactor shard that fired an io completion; the requests
+  // row sits just past the last lane.
+  const std::size_t reactor_lanes =
+      meta != nullptr ? meta->reactor_lanes : 0;
+  const std::size_t reactor_tid_base = workers.size();
+  const std::size_t requests_tid = workers.size() + reactor_lanes;
+  for (std::size_t lane = 0; lane < reactor_lanes; ++lane) {
+    const std::size_t tid = reactor_tid_base + lane;
     os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
-       << reactor_tid << ",\"args\":{\"name\":\"reactor\"}}";
+       << tid << ",\"args\":{\"name\":\"reactor/" << lane << "\"}}";
     os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
-       << reactor_tid << ",\"args\":{\"sort_index\":" << reactor_tid << "}}";
+       << tid << ",\"args\":{\"sort_index\":" << tid << "}}";
   }
   if (meta != nullptr && meta->requests != nullptr &&
       !meta->requests->empty()) {
@@ -149,8 +154,10 @@ void write_chrome_trace(std::ostream& os,
          << flow_id << "}";
       if (sp.kind >= static_cast<std::uint8_t>(obs::span_kind::io_accept)) {
         os << ",\n{\"name\":\"" << name << "\",\"cat\":\"span\",\"ph\":\"t\","
-           << "\"pid\":1,\"tid\":" << reactor_tid << ",\"ts\":"
-           << to_us(sp.fire_ns - origin_ns) << ",\"id\":" << flow_id << "}";
+           << "\"pid\":1,\"tid\":"
+           << (reactor_tid_base + static_cast<std::size_t>(sp.fire_shard))
+           << ",\"ts\":" << to_us(sp.fire_ns - origin_ns) << ",\"id\":"
+           << flow_id << "}";
       }
       os << ",\n{\"name\":\"" << name << "\",\"cat\":\"span\",\"ph\":\"f\","
          << "\"bp\":\"e\",\"pid\":1,\"tid\":"
@@ -209,7 +216,7 @@ void write_chrome_trace(std::ostream& os,
            << (sp.exec_ns - origin_ns) << ",\"hops\":" << sp.hops
            << ",\"arm_worker\":" << static_cast<unsigned>(sp.arm_worker)
            << ",\"exec_worker\":" << static_cast<unsigned>(sp.exec_worker)
-           << "}";
+           << ",\"shard\":" << static_cast<unsigned>(sp.fire_shard) << "}";
       }
       os << "\n]";
     }

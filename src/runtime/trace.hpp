@@ -120,9 +120,11 @@ struct trace_meta {
   const std::vector<obs::span_record>* spans = nullptr;
   const std::vector<obs::request_record>* requests = nullptr;
   std::uint64_t span_records_dropped = 0;
-  // Adds a named "reactor" metadata row (tid = worker count); io-kind span
-  // flows route their delivery step through it.
-  bool reactor_row = false;
+  // Adds named "reactor/<shard>" metadata rows (tids = worker count ..
+  // worker count + lanes - 1); io-kind span flows route their delivery
+  // step through the lane of the shard that fired them. 0 = no io spans,
+  // no reactor rows.
+  std::uint32_t reactor_lanes = 0;
 };
 
 // Writes the per-worker buffers as a Chrome trace-event JSON document.

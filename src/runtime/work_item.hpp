@@ -32,6 +32,7 @@ struct batch_span_slot {
   std::uint32_t parent_span;
   std::uint8_t kind;
   std::uint8_t arm_worker;
+  std::uint8_t fire_shard;
 };
 
 // The shared continuation buffer behind a runtime pfor tree: one slab block
@@ -122,6 +123,7 @@ struct span_carrier {
   std::uint16_t hops = 0;
   std::uint8_t kind = 0;
   std::uint8_t arm_worker = 0;
+  std::uint8_t fire_shard = 0;
 
   static void* operator new(std::size_t n) { return mem::allocate(n); }
   static void operator delete(void* p) noexcept { mem::deallocate(p); }

@@ -27,12 +27,12 @@ struct enabled_guard {
 
 TEST(SlabBuckets, GeometryAndBoundaries) {
   static_assert(bucket_payload(0) == 64);
-  static_assert(bucket_payload(kNumBuckets - 1) == 4096);
+  static_assert(bucket_payload(kNumBuckets - 1) == 8192);
   static_assert(bucket_for(1) == 0);
   static_assert(bucket_for(64) == 0);
   static_assert(bucket_for(65) == 1);
-  static_assert(bucket_for(4096) == kNumBuckets - 1);
-  static_assert(bucket_for(4097) == kNumBuckets);  // oversize
+  static_assert(bucket_for(8192) == kNumBuckets - 1);
+  static_assert(bucket_for(8193) == kNumBuckets);  // oversize
   for (unsigned b = 0; b < kNumBuckets; ++b) {
     EXPECT_EQ(bucket_for(bucket_payload(b)), b);
     EXPECT_EQ(bucket_for(bucket_payload(b) - 1), b);
@@ -45,9 +45,10 @@ TEST(SlabBuckets, GeometryAndBoundaries) {
 TEST(SlabAlloc, RoundTripsEverySizeClassIncludingBoundaries) {
   enabled_guard guard;
   set_enabled(true);
-  const std::size_t sizes[] = {1,    8,    16,   63,   64,   65,  127,
-                               128,  129,  255,  256,  511,  512, 1023,
-                               1024, 2048, 4095, 4096, 4097, 65536};
+  const std::size_t sizes[] = {1,    8,    16,   63,   64,   65,   127,
+                               128,  129,  255,  256,  511,  512,  1023,
+                               1024, 2048, 4095, 4096, 4097, 8192, 8193,
+                               65536};
   for (const std::size_t n : sizes) {
     void* p = allocate(n);
     ASSERT_NE(p, nullptr) << "size " << n;

@@ -1,0 +1,171 @@
+// lhws_load — open-loop load generator CLI for the sharded reactor plane.
+//
+// Runs one scenario of the load harness (src/load/load_gen.hpp) with an
+// embedded sharded fib-RPC server and prints an SLO-style summary; the
+// same engine bench_load drives in CI, but with every knob on the command
+// line for interactive tail-chasing.
+//
+//   lhws_load [--scenario steady|churn|slow_client|deadline_storm]
+//             [--conns N] [--rate HZ] [--duration S]
+//             [--workers P] [--shards N] [--fib N] [--depth D]
+//             [--deadline-ms MS] [--churn-every K] [--slow-every K]
+//             [--seed S] [--json FILE]
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "load/load_gen.hpp"
+
+namespace {
+
+void raise_fd_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario steady|churn|slow_client|deadline_storm]\n"
+      "          [--conns N] [--rate HZ] [--duration S] [--workers P]\n"
+      "          [--shards N] [--fib N] [--depth D] [--deadline-ms MS]\n"
+      "          [--churn-every K] [--slow-every K] [--seed S] [--json FILE]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  raise_fd_limit();
+  lhws::load::load_config cfg;
+  cfg.connections = 512;
+  cfg.server_workers = 2;
+  cfg.server_shards = 0;
+  cfg.duration_s = 2.0;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--scenario") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "steady") == 0) {
+        cfg.sc = lhws::load::scenario::steady;
+      } else if (std::strcmp(v, "churn") == 0) {
+        cfg.sc = lhws::load::scenario::churn;
+        if (cfg.churn_every == 0) cfg.churn_every = 4;
+      } else if (std::strcmp(v, "slow_client") == 0) {
+        cfg.sc = lhws::load::scenario::slow_client;
+        if (cfg.slow_every == 0) cfg.slow_every = 10;
+      } else if (std::strcmp(v, "deadline_storm") == 0) {
+        cfg.sc = lhws::load::scenario::deadline_storm;
+        if (cfg.op_deadline.count() == 0) {
+          cfg.op_deadline = std::chrono::milliseconds(250);
+        }
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--conns") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.connections = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--rate") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.rate_hz = std::atof(v);
+    } else if (arg == "--duration") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.duration_s = std::atof(v);
+    } else if (arg == "--workers") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.server_workers = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--shards") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.server_shards = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--fib") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.fib_n = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--depth") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.rpc_depth = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--deadline-ms") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.op_deadline = std::chrono::milliseconds(std::atoi(v));
+    } else if (arg == "--churn-every") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.churn_every = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--slow-every") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.slow_every = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--seed") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--json") {
+      if ((v = next()) == nullptr) return usage(argv[0]);
+      json_path = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::printf("lhws_load: %s, %u conns x %.2f Hz for %.1fs, fib(%u) depth=%u, "
+              "%u workers / %u shards (hw=%u)\n",
+              lhws::load::scenario_name(cfg.sc), cfg.connections, cfg.rate_hz,
+              cfg.duration_s, cfg.fib_n, cfg.rpc_depth, cfg.server_workers,
+              cfg.server_shards != 0 ? cfg.server_shards : cfg.server_workers,
+              std::thread::hardware_concurrency());
+  std::fflush(stdout);
+
+  const lhws::load::load_result r = lhws::load::run_load(cfg);
+  const double ratio =
+      r.attempted > 0
+          ? static_cast<double>(r.completed) / static_cast<double>(r.attempted)
+          : 0;
+  std::printf("  wall=%.1fms  rps=%.1f  completed=%llu/%llu (%.1f%%)  "
+              "timeouts=%llu errors=%llu redials=%llu\n"
+              "  latency (from scheduled arrival): p50=%lluus p99=%lluus "
+              "p999=%lluus max=%lluus\n"
+              "  server: suspensions=%llu fd_peak=%llu served=%llu\n",
+              r.duration_ms, r.rps,
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.attempted), ratio * 100.0,
+              static_cast<unsigned long long>(r.timeouts),
+              static_cast<unsigned long long>(r.errors),
+              static_cast<unsigned long long>(r.reconnects),
+              static_cast<unsigned long long>(r.p50_us),
+              static_cast<unsigned long long>(r.p99_us),
+              static_cast<unsigned long long>(r.p999_us),
+              static_cast<unsigned long long>(r.max_us),
+              static_cast<unsigned long long>(r.server_suspensions),
+              static_cast<unsigned long long>(r.server_fd_peak),
+              static_cast<unsigned long long>(r.server_served));
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    out << "{\"bench\":\"load\",\"schema\":1,\"hw_concurrency\":"
+        << std::thread::hardware_concurrency() << ",\"runs\":[\n  {\"scenario\":\""
+        << r.name << "\",\"connections\":" << r.connections
+        << ",\"server_workers\":" << r.server_workers
+        << ",\"server_shards\":" << r.server_shards
+        << ",\"duration_ms\":" << r.duration_ms
+        << ",\"attempted\":" << r.attempted << ",\"completed\":" << r.completed
+        << ",\"completion_ratio\":" << ratio << ",\"timeouts\":" << r.timeouts
+        << ",\"errors\":" << r.errors << ",\"reconnects\":" << r.reconnects
+        << ",\"rps\":" << r.rps << ",\"p50_us\":" << r.p50_us
+        << ",\"p99_us\":" << r.p99_us << ",\"p999_us\":" << r.p999_us
+        << ",\"max_us\":" << r.max_us
+        << ",\"server_suspensions\":" << r.server_suspensions
+        << ",\"server_fd_peak\":" << r.server_fd_peak << "}\n]}\n";
+  }
+  return r.completed > 0 ? 0 : 1;
+}

@@ -327,6 +327,9 @@ struct span_entry {
   std::int64_t drain_ns = 0;
   std::int64_t exec_ns = 0;
   std::uint64_t hops = 0;
+  // Reactor shard whose thread delivered the completion (io kinds only;
+  // absent in pre-sharding traces and 0 for sim/event spans).
+  std::uint32_t shard = 0;
 };
 
 // One completed request scope from the "lhws".requests array.
@@ -440,6 +443,7 @@ bool build_model(const jvalue& root, trace_model& m, std::string& why) {
       e.drain_ns = static_cast<std::int64_t>(num_or(s.find("drain_ns"), 0));
       e.exec_ns = static_cast<std::int64_t>(num_or(s.find("exec_ns"), 0));
       e.hops = unum_or(s.find("hops"), 0);
+      e.shard = static_cast<std::uint32_t>(unum_or(s.find("shard"), 0));
       m.spans.push_back(std::move(e));
     }
   }
@@ -706,6 +710,23 @@ int audit_spans(const trace_model& m, std::uint64_t u, double steal_factor) {
                  "tree (need >= 99%%)\n",
                  100.0 * closed);
     rc = 1;
+  }
+
+  // --- Per-shard reactor lanes: io completions grouped by the shard
+  // thread that delivered them (sharded reactor, DESIGN.md §14). ---------
+  {
+    std::map<std::uint32_t, std::uint64_t> by_shard;
+    for (const span_entry& s : m.spans) {
+      if (s.kind.rfind("io_", 0) == 0) ++by_shard[s.shard];
+    }
+    if (!by_shard.empty()) {
+      std::printf("reactor lanes: %u shard(s) delivered io completions\n",
+                  static_cast<unsigned>(by_shard.size()));
+      for (const auto& [shard, count] : by_shard) {
+        std::printf("  reactor/%u: %llu io spans\n", shard,
+                    static_cast<unsigned long long>(count));
+      }
+    }
   }
 
   // --- Component sums: end-to-end latency must equal the critical-path
