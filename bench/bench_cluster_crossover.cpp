@@ -1,0 +1,247 @@
+// CLUSTER — the Gast/Khatiri/Trystram two-cluster crossover over a REAL
+// two-process mesh (DESIGN.md §15).
+//
+// Per sweep point this harness forks two lhws_node-style processes: node 0
+// submits every work item to its OWN queue (a deliberately unbalanced
+// cluster), node 1 starts idle, and cross-node stealing is the only way
+// work redistributes. Peer latency is injected in the wire layer
+// (cluster_config::injected_delta_ns — tc-free), so the sweep crosses
+//
+//   delta (injected per-peer latency)  x  grain (spin ns per item)
+//   x  remote_steal_policy in {never, threshold}
+//
+// The crossover the gate reproduces: at low delta the threshold policy
+// steals (RTT << batch x grain) and must beat `never` by the work node 1
+// absorbs; at high delta the threshold policy measures the RTT EWMA,
+// stops probing, and must collapse back to `never` within noise. Results
+// land in BENCH_cluster.json for scripts/bench_gate.py.
+//
+// Environment knobs:
+//   LHWS_CLUSTER_ITEMS     work items per point (default 32)
+//   LHWS_CLUSTER_GRAIN_US  large-grain microseconds (default 4000)
+//   LHWS_BENCH_SCALE       "large" doubles the item count
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/node_runner.hpp"
+#include "support/timing.hpp"
+
+namespace {
+
+using lhws::dist::cluster;
+using lhws::dist::remote_steal_policy;
+
+struct sweep_point {
+  remote_steal_policy policy = remote_steal_policy::never;
+  int delta_ms = 0;
+  int grain_us = 0;
+};
+
+struct sweep_result {
+  sweep_point pt;
+  double ms = 0.0;          // driver-measured submit -> all-joined wall
+  std::uint64_t items = 0;
+  std::uint64_t granted = 0;  // items node 0 handed to node 1
+  std::uint64_t probes = 0;   // probes node 0 received... (node-1 side sent)
+  bool ok = false;
+};
+
+// Submit tree: every item targets node 0 itself, so the queue is maximally
+// unbalanced and only a cross-node steal can move work.
+lhws::task<long> submit_tree(cluster& c, std::size_t lo, std::size_t hi,
+                             std::uint64_t grain_ns) {
+  if (hi - lo == 1) {
+    const std::uint64_t v =
+        co_await c.call(0, lhws::dist::kWorkSpin, grain_ns);
+    co_return v == grain_ns ? 0 : 1;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  auto [a, b] = co_await lhws::fork2(submit_tree(c, lo, mid, grain_ns),
+                                     submit_tree(c, mid, hi, grain_ns));
+  co_return a + b;
+}
+
+// One two-process run. The parent never runs a scheduler; node 0 reports
+// {ms, granted} over a pipe before exiting.
+sweep_result run_point(const sweep_point& pt, std::uint64_t items) {
+  sweep_result res;
+  res.pt = pt;
+  res.items = items;
+
+  char dir_tmpl[] = "/tmp/lhws_bench_cluster.XXXXXX";
+  if (::mkdtemp(dir_tmpl) == nullptr) return res;
+  const std::string dir = dir_tmpl;
+  const std::string port0 = dir + "/port.0";
+  int fds[2];
+  if (::pipe(fds) != 0) return res;
+
+  const std::int64_t delta_ns =
+      static_cast<std::int64_t>(pt.delta_ms) * 1'000'000;
+  const auto grain_ns = static_cast<std::uint64_t>(pt.grain_us) * 1000;
+
+  const pid_t pid0 = ::fork();
+  if (pid0 == 0) {
+    ::close(fds[0]);
+    lhws::dist::node_options no;
+    no.cfg.node_id = 0;
+    no.cfg.peers.push_back({1, 0});  // accept-side peer: no dial port
+    no.cfg.policy = pt.policy;
+    no.cfg.injected_delta_ns = delta_ns;
+    no.workers = 1;
+    no.spans = false;
+    no.port_file = port0;
+    double driver_ms = 0.0;
+    auto driver = [items, grain_ns, &driver_ms](cluster& c)
+        -> lhws::task<long> {
+      const std::int64_t t0 = lhws::now_ns();
+      const long bad = co_await submit_tree(c, 0, items, grain_ns);
+      driver_ms = static_cast<double>(lhws::now_ns() - t0) / 1e6;
+      co_return bad;
+    };
+    lhws::dist::node_report rep;
+    const int rc = lhws::dist::run_node(no, driver, &rep);
+    char line[128];
+    const int n = std::snprintf(
+        line, sizeof line, "%f %llu %llu\n", driver_ms,
+        static_cast<unsigned long long>(rep.stats.granted_items),
+        static_cast<unsigned long long>(rep.stats.probes));
+    if (n > 0) {
+      const ssize_t wrote = ::write(fds[1], line, static_cast<size_t>(n));
+      (void)wrote;
+    }
+    ::_exit(rc);
+  }
+  ::close(fds[1]);
+
+  const std::uint16_t p0 =
+      lhws::dist::wait_port_file(port0, std::chrono::seconds(10));
+  pid_t pid1 = -1;
+  if (p0 != 0) {
+    pid1 = ::fork();
+    if (pid1 == 0) {
+      ::close(fds[0]);
+      lhws::dist::node_options no;
+      no.cfg.node_id = 1;
+      no.cfg.peers.push_back({0, p0});
+      no.cfg.policy = pt.policy;
+      no.cfg.injected_delta_ns = delta_ns;
+      no.workers = 1;
+      no.spans = false;
+      ::_exit(lhws::dist::run_node(no));
+    }
+  }
+
+  // Read node 0's report; EOF without a line means it died.
+  std::string report;
+  char buf[128];
+  for (;;) {
+    const ssize_t got = ::read(fds[0], buf, sizeof buf);
+    if (got <= 0) break;
+    report.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fds[0]);
+
+  int status0 = -1, status1 = -1;
+  ::waitpid(pid0, &status0, 0);
+  if (pid1 > 0) ::waitpid(pid1, &status1, 0);
+  std::remove(port0.c_str());
+  ::rmdir(dir.c_str());
+
+  unsigned long long granted = 0, probes = 0;
+  if (std::sscanf(report.c_str(), "%lf %llu %llu", &res.ms, &granted,
+                  &probes) == 3 &&
+      p0 != 0 && WIFEXITED(status0) && WEXITSTATUS(status0) == 0 &&
+      WIFEXITED(status1) && WEXITSTATUS(status1) == 0) {
+    res.granted = granted;
+    res.probes = probes;
+    res.ok = true;
+  } else {
+    std::fprintf(stderr,
+                 "run_point: port=%u status0=%d status1=%d report=\"%s\"\n",
+                 p0, status0, status1, report.c_str());
+  }
+  return res;
+}
+
+void write_json(const std::vector<sweep_result>& rs, const char* path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "{\"bench\":\"cluster_crossover\",\"schema\":1,\"nodes\":2,"
+      << "\"hw_concurrency\":" << std::thread::hardware_concurrency()
+      << ",\"runs\":[";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    if (i != 0) out << ",";
+    out << "\n  {\"policy\":\"" << lhws::dist::policy_name(r.pt.policy)
+        << "\",\"delta_ms\":" << r.pt.delta_ms
+        << ",\"grain_us\":" << r.pt.grain_us << ",\"items\":" << r.items
+        << ",\"ms\":" << r.ms << ",\"granted\":" << r.granted
+        << ",\"probes\":" << r.probes << ",\"ok\":" << (r.ok ? 1 : 0)
+        << "}";
+  }
+  out << "\n]}\n";
+  std::printf("\nmachine-readable results: %s (%zu runs)\n", path, rs.size());
+}
+
+}  // namespace
+
+int main() {
+  const char* scale_env = std::getenv("LHWS_BENCH_SCALE");
+  const bool large = scale_env != nullptr && std::string(scale_env) == "large";
+  const char* items_env = std::getenv("LHWS_CLUSTER_ITEMS");
+  std::uint64_t items =
+      items_env != nullptr
+          ? static_cast<std::uint64_t>(std::strtoull(items_env, nullptr, 10))
+          : 32;
+  if (large) items *= 2;
+  const char* grain_env = std::getenv("LHWS_CLUSTER_GRAIN_US");
+  const int big_grain_us =
+      grain_env != nullptr ? std::atoi(grain_env) : 4000;
+
+  std::printf("=== CLUSTER: 2-process crossover, %llu items submitted to "
+              "node 0 only ===\n",
+              static_cast<unsigned long long>(items));
+
+  std::vector<sweep_result> results;
+  for (const int grain_us : {big_grain_us / 8, big_grain_us}) {
+    for (const int delta_ms : {0, 25}) {
+      for (const auto policy :
+           {remote_steal_policy::never, remote_steal_policy::threshold}) {
+        sweep_point pt;
+        pt.policy = policy;
+        pt.delta_ms = delta_ms;
+        pt.grain_us = grain_us;
+        const sweep_result r = run_point(pt, items);
+        results.push_back(r);
+        std::printf("  %-9s delta=%2dms grain=%5dus: %8.1f ms  "
+                    "granted=%llu probes=%llu  %s\n",
+                    lhws::dist::policy_name(policy), delta_ms, grain_us,
+                    r.ms, static_cast<unsigned long long>(r.granted),
+                    static_cast<unsigned long long>(r.probes),
+                    r.ok ? "ok" : "FAILED");
+        if (!r.ok) {
+          std::fprintf(stderr, "bench_cluster_crossover: point failed\n");
+          return 1;
+        }
+      }
+    }
+  }
+
+  write_json(results, "BENCH_cluster.json");
+
+  std::printf(
+      "\nShape check vs the WS-with-latency model: at low delta the\n"
+      "threshold policy moves roughly half the items to node 1 and the\n"
+      "wall clock drops accordingly (given a second hardware thread); at\n"
+      "high delta the measured RTT EWMA exceeds rtt_factor x batch x grain,\n"
+      "probing stops, and the run collapses to the never baseline.\n");
+  return 0;
+}

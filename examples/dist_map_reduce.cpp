@@ -5,6 +5,7 @@
 //
 //   build/examples/dist_map_reduce [n] [delta_ms] [fib_n] [workers]
 //                                  [--trace FILE]
+//                                  [--cluster NODES] [--policy P]
 //
 // Runs the identical program on the latency-hiding and blocking engines and
 // prints the comparison. With the defaults (n=64, delta=25ms, fib 20,
@@ -12,15 +13,29 @@
 // while the latency-hiding engine overlaps all fetches. --trace writes a
 // Chrome/Perfetto trace of the latency-hiding run (with counter tracks)
 // suitable for lhws_trace_stats.
+//
+// With --cluster N the "remote servers" become REAL: the process forks N
+// lhws_node-style children (ids 0..N-1, full loopback mesh, DESIGN.md §15),
+// node 0 drives the same map-reduce with each getValue(i) shipped to node
+// i % N as a remote spawn — the remote join is the heavy delta edge — and
+// delta_ms becomes the per-peer injected wire latency. --policy selects the
+// remote steal policy (default never); --trace FILE writes FILE.<id> per
+// node (merge with `lhws_trace_stats --spans FILE.0 FILE.1 ...`).
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/algorithms.hpp"
 #include "core/latency.hpp"
 #include "core/scheduler.hpp"
+#include "dist/node_runner.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -75,12 +90,154 @@ double run_once(lhws::engine eng, unsigned workers, std::size_t n,
   return sched.stats().elapsed_ms;
 }
 
+// ---------------------------------------------------------------------------
+// --cluster: the map over real processes. Node 0 owns the reduce; item i
+// executes on node i % N via cluster::call (a remote spawn whose join is
+// the heavy delta edge), so with N nodes the "simulated remote server" of
+// the single-process mode becomes an actual remote scheduler.
+
+unsigned long long fib_seq(unsigned n) {
+  unsigned long long a = 0, b = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned long long t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+lhws::task<long> cluster_map(lhws::dist::cluster& c, std::size_t lo,
+                             std::size_t hi, unsigned nodes, unsigned fib_n) {
+  if (hi - lo == 1) {
+    const bool traced = co_await lhws::obs::begin_request();
+    const std::uint64_t v = co_await c.call(
+        static_cast<std::uint32_t>(lo % nodes), lhws::dist::kWorkFib, fib_n);
+    if (traced) co_await lhws::obs::end_request();
+    co_return static_cast<long>(v % kModulus);
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  auto [a, b] = co_await lhws::fork2(cluster_map(c, lo, mid, nodes, fib_n),
+                                     cluster_map(c, mid, hi, nodes, fib_n));
+  co_return (a + b) % kModulus;
+}
+
+// Forks one node process; never returns in the child (it _exits with the
+// node's status so a failure can't fall back into the parent's main).
+pid_t spawn_node(const lhws::dist::node_options& no,
+                 lhws::dist::driver_fn driver) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  lhws::dist::node_report rep;
+  const int rc = lhws::dist::run_node(no, std::move(driver), &rep);
+  if (no.cfg.node_id == 0) {
+    const auto& s = rep.stats;
+    std::printf("  node 0: wall=%.1fms calls=%llu executed=%llu "
+                "(stolen=%llu) routed=%llu\n",
+                rep.elapsed_ms, static_cast<unsigned long long>(s.calls),
+                static_cast<unsigned long long>(s.executed),
+                static_cast<unsigned long long>(s.stolen_executed),
+                static_cast<unsigned long long>(s.results_routed));
+  }
+  ::_exit(rc);
+}
+
+int run_cluster(std::size_t n, std::chrono::milliseconds delta,
+                unsigned fib_n, unsigned workers, unsigned nodes,
+                lhws::dist::remote_steal_policy policy,
+                const std::string& trace_path) {
+  char tmpl[] = "/tmp/lhws_cluster.XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    return 2;
+  }
+  const std::string dir = tmpl;
+  const long expected = static_cast<long>(
+      static_cast<unsigned long long>(n) * (fib_seq(fib_n) % kModulus) %
+      kModulus);
+
+  std::printf("dist_map_reduce --cluster: n=%zu delta=%lldms fib(%u) "
+              "workers=%u nodes=%u policy=%s\n",
+              n, static_cast<long long>(delta.count()), fib_n, workers,
+              nodes, lhws::dist::policy_name(policy));
+  std::fflush(stdout);
+
+  auto options_for = [&](unsigned id,
+                         const std::vector<std::uint16_t>& ports) {
+    lhws::dist::node_options no;
+    no.cfg.node_id = id;
+    no.cfg.policy = policy;
+    no.cfg.injected_delta_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count();
+    for (unsigned j = 0; j < nodes; ++j) {
+      if (j == id) continue;
+      // Only lower ids are dialed; accept-side peers need no port.
+      no.cfg.peers.push_back({j, j < id ? ports[j] : std::uint16_t{0}});
+    }
+    no.workers = workers;
+    no.port_file = dir + "/port." + std::to_string(id);
+    if (!trace_path.empty()) {
+      no.trace_path = trace_path + "." + std::to_string(id);
+    }
+    return no;
+  };
+
+  std::vector<pid_t> pids;
+  std::vector<std::uint16_t> ports(nodes, 0);
+  for (unsigned id = 0; id < nodes; ++id) {
+    lhws::dist::node_options no = options_for(id, ports);
+    lhws::dist::driver_fn driver;
+    if (id == 0) {
+      driver = [n, nodes, fib_n, expected](
+                   lhws::dist::cluster& c) -> lhws::task<long> {
+        const long sum = co_await cluster_map(c, 0, n, nodes, fib_n);
+        co_return sum == expected ? 0 : 1;
+      };
+    }
+    const pid_t pid = spawn_node(no, std::move(driver));
+    if (pid < 0) {
+      std::perror("fork");
+      return 2;
+    }
+    pids.push_back(pid);
+    ports[id] = lhws::dist::wait_port_file(no.port_file,
+                                           std::chrono::seconds(10));
+    if (ports[id] == 0) {
+      std::fprintf(stderr, "node %u never published its port\n", id);
+      return 2;
+    }
+  }
+
+  int rc = 0;
+  for (unsigned id = 0; id < nodes; ++id) {
+    int status = 0;
+    if (::waitpid(pids[id], &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "node %u failed (status %d)\n", id, status);
+      rc = 1;
+    }
+    std::remove((dir + "/port." + std::to_string(id)).c_str());
+  }
+  ::rmdir(dir.c_str());
+  if (rc == 0) {
+    std::printf("  cluster result verified: %ld (n=%zu items over %u "
+                "nodes)\n",
+                expected, n, nodes);
+    if (!trace_path.empty()) {
+      std::printf("  per-node traces: %s.0 .. %s.%u\n", trace_path.c_str(),
+                  trace_path.c_str(), nodes - 1);
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   unsigned long positional[4] = {64, 25, 20, 2};
   int npos = 0;
   std::string trace_path;
+  unsigned cluster_nodes = 0;
+  auto policy = lhws::dist::remote_steal_policy::never;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
@@ -89,6 +246,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       trace_path = argv[i];
+    } else if (arg == "--cluster") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--cluster needs NODES\n");
+        return 2;
+      }
+      cluster_nodes = static_cast<unsigned>(std::strtoul(argv[i], nullptr, 10));
+      if (cluster_nodes < 2 || cluster_nodes > 16) {
+        std::fprintf(stderr, "--cluster wants 2..16 nodes\n");
+        return 2;
+      }
+    } else if (arg == "--policy") {
+      if (++i >= argc || !lhws::dist::parse_policy(argv[i], policy)) {
+        std::fprintf(stderr, "--policy needs never|threshold|always\n");
+        return 2;
+      }
     } else if (npos < 4) {
       positional[npos++] = std::strtoul(argv[i], nullptr, 10);
     } else {
@@ -100,6 +272,11 @@ int main(int argc, char** argv) {
   const auto delta = std::chrono::milliseconds(positional[1]);
   const auto fib_n = static_cast<unsigned>(positional[2]);
   const auto workers = static_cast<unsigned>(positional[3]);
+
+  if (cluster_nodes > 0) {
+    return run_cluster(n, delta, fib_n, workers, cluster_nodes, policy,
+                       trace_path);
+  }
 
   std::printf(
       "dist_map_reduce: n=%zu delta=%lldms fib(%u) workers=%u  (U = n = "

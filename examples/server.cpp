@@ -48,11 +48,17 @@
 //                        accepted connection stays on its accepting shard.
 //   --ws                 TCP mode only: use the blocking work-stealing
 //                        engine instead of latency hiding
+//
+// In TCP mode SIGTERM triggers a graceful drain: accept loops stop,
+// in-flight requests run to completion, idle keep-alive connections close
+// at their next header poll, and a hard 2-second deadline bounds shutdown
+// (exit code 3 if connections are still open when it expires).
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -183,8 +189,51 @@ struct tcp_state {
   std::vector<lhws::io::socket>& listeners;
   std::uint16_t port;
   std::atomic<bool> stop{false};
+  // SIGTERM drain: accept loops stop, in-flight requests complete, idle
+  // keep-alive connections close at their next header poll.
+  std::atomic<bool> draining{false};
+  std::atomic<long long> open{0};
   std::atomic<unsigned long long> served{0};
 };
+
+// SIGTERM lands here (async-signal-safe flag only); the drain watcher
+// thread in run_tcp turns it into the stop/draining transitions.
+volatile std::sig_atomic_t g_sigterm = 0;
+void on_sigterm(int) { g_sigterm = 1; }
+
+// Scopes one live connection for the drain accounting; the decrement runs
+// on every serve_connection exit path when its frame unwinds.
+struct conn_guard {
+  std::atomic<long long>& n;
+  explicit conn_guard(std::atomic<long long>& c) : n(c) {
+    n.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~conn_guard() { n.fetch_sub(1, std::memory_order_acq_rel); }
+  conn_guard(const conn_guard&) = delete;
+  conn_guard& operator=(const conn_guard&) = delete;
+};
+
+// Waits for the next 8-byte request header. The first byte is read under a
+// 100ms deadline so an idle keep-alive connection notices a drain promptly;
+// once a byte arrives the remainder is read without an interior timeout (a
+// mid-record timeout would desync the stream). Returns 8, 0 on clean
+// close / drain, or a negative errno.
+lhws::task<long> read_header(tcp_state& st, lhws::io::socket& conn,
+                             unsigned char* req) {
+  for (;;) {
+    const long got = co_await lhws::io::async_read(
+        st.r, conn, req, 1,
+        lhws::io::with_deadline(std::chrono::milliseconds(100)));
+    if (got == -ETIMEDOUT) {
+      if (st.draining.load(std::memory_order_acquire)) co_return 0;
+      continue;
+    }
+    if (got <= 0) co_return got;
+    const long rest = co_await read_exact(st.r, conn, req + 1, 7);
+    if (rest < 0) co_return rest;
+    co_return rest == 0 ? -ECONNRESET : 8;
+  }
+}
 
 // Per-connection scratch layout inside one smallest-bucket slab block:
 // request header, span wire extension, downstream request, downstream
@@ -211,6 +260,7 @@ lhws::task<long> serve_connection(tcp_state& st, int cfd, unsigned shard) {
   // Pin the connection to its accepting listener's shard so every
   // completion for it fires on the same reactor lane.
   lhws::io::socket conn(st.r, cfd, shard);
+  const conn_guard guard(st.open);
   lhws::io::conn_buffer buf(kConnScratch);
   if (!buf.valid()) co_return -ENOMEM;
   unsigned char* const req = buf.span(kReqOff, 8);
@@ -219,8 +269,8 @@ lhws::task<long> serve_connection(tcp_state& st, int cfd, unsigned shard) {
   unsigned char* const dsr = buf.span(kDsOff, 8);
   unsigned char* const resp = buf.span(kRespOff, 8);
   for (;;) {
-    const long got = co_await read_exact(st.r, conn, req, 8);
-    if (got == 0) co_return 0;  // peer closed: this connection is done
+    const long got = co_await read_header(st, conn, req);
+    if (got == 0) co_return 0;  // peer closed (or drain): connection done
     if (got < 0) co_return got;
     const std::uint32_t n_raw = get_le32(req);
     const std::uint32_t depth = get_le32(req + 4);
@@ -420,7 +470,42 @@ int run_tcp(unsigned requests, std::chrono::milliseconds gap, unsigned fib_n,
       }
     });
   }
+  // Graceful SIGTERM: stop accepting, let in-flight requests finish (idle
+  // keep-alives close at their next header poll), hard deadline 2s.
+  std::signal(SIGTERM, on_sigterm);
+  std::atomic<bool> run_done{false};
+  std::thread sig_watch([&st, &run_done] {
+    while (!run_done.load(std::memory_order_acquire)) {
+      if (g_sigterm != 0) {
+        std::fprintf(stderr,
+                     "server: SIGTERM: draining %lld open connection(s), "
+                     "2s deadline\n",
+                     st.open.load(std::memory_order_acquire));
+        st.draining.store(true, std::memory_order_release);
+        st.stop.store(true, std::memory_order_release);
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(2);
+        while (st.open.load(std::memory_order_acquire) > 0 &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        const long long left = st.open.load(std::memory_order_acquire);
+        if (left > 0) {
+          std::fprintf(stderr,
+                       "server: drain deadline exceeded; aborting %lld "
+                       "connection(s)\n",
+                       left);
+          std::_Exit(3);
+        }
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
   const long rc = sched.run(accept_all(st, 0, nshards));
+  run_done.store(true, std::memory_order_release);
+  sig_watch.join();
   if (controller.joinable()) controller.join();
 
   const auto& s = sched.stats();

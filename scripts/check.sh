@@ -2,7 +2,7 @@
 # Local mirror of the CI matrix: configure+build+ctest in the requested
 # mode, plus lint when the tools exist. Usage:
 #
-#   scripts/check.sh [plain|asan|tsan|tidy|format|bench|lint|all]
+#   scripts/check.sh [plain|asan|tsan|tidy|format|bench|lint|cluster|all]
 #
 # Each mode builds into its own directory (build-check-<mode>) so repeated
 # runs are incremental and don't disturb the default ./build tree.
@@ -43,7 +43,7 @@ run_bench_gate() {
     >/dev/null
   cmake --build "${dir}" -j "$(nproc)" \
     --target bench_fig11_runtime bench_steal_contention bench_rpc_loopback \
-    bench_alloc_churn bench_load
+    bench_alloc_churn bench_load bench_cluster_crossover
   # bench_load mirrors CI's load-gate shape: >= 512 open-loop connections
   # on 4 server workers/shards (the committed baseline is recorded at this
   # configuration).
@@ -53,7 +53,59 @@ run_bench_gate() {
     ./bench/bench_rpc_loopback &&
     ./bench/bench_alloc_churn &&
     LHWS_LOAD_CONNS=512 LHWS_LOAD_WORKERS=4 ./bench/bench_load &&
+    ./bench/bench_cluster_crossover &&
     python3 ../scripts/bench_gate.py --build-dir .)
+}
+
+# Cluster smoke (DESIGN.md §15), mirroring CI's cluster-smoke job: a
+# 3-process mesh driven by tools/lhws_node, the map-reduce example in
+# --cluster mode with per-node traces merged through the span audit, and
+# the server's SIGTERM drain path.
+run_cluster_smoke() {
+  local dir="build-check-cluster"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DLHWS_WERROR=ON \
+    -DLHWS_BUILD_EXAMPLES=ON >/dev/null
+  cmake --build "${dir}" -j "$(nproc)" \
+    --target lhws_node dist_map_reduce server lhws_trace_stats
+  (
+    cd "${dir}"
+    tmp=$(mktemp -d)
+    wait_port() {
+      for _ in $(seq 100); do
+        if [ -s "$1" ]; then cat "$1"; return 0; fi
+        sleep 0.1
+      done
+      return 1
+    }
+    ./tools/lhws_node --id 0 --peers 1:0,2:0 --workers 2 \
+      --port-file "${tmp}/port.0" &
+    node0=$!
+    p0=$(wait_port "${tmp}/port.0")
+    ./tools/lhws_node --id 1 --peers "0:${p0},2:0" --workers 2 \
+      --port-file "${tmp}/port.1" &
+    node1=$!
+    p1=$(wait_port "${tmp}/port.1")
+    ./tools/lhws_node --id 2 --peers "0:${p0},1:${p1}" --workers 2 \
+      --drive 24 --fib 12 &
+    node2=$!
+    wait "${node0}"
+    wait "${node1}"
+    wait "${node2}"
+    rm -rf "${tmp}"
+  )
+  (cd "${dir}" &&
+    ./examples/dist_map_reduce 12 0 12 2 --cluster 3 --policy threshold \
+      --trace trace_cluster_smoke.json &&
+    ./tools/lhws_trace_stats trace_cluster_smoke.json.0 \
+      trace_cluster_smoke.json.1 trace_cluster_smoke.json.2 --spans --u 16)
+  (
+    cd "${dir}"
+    ./examples/server 4 0 10 2 --listen 0 &
+    srv=$!
+    sleep 1
+    kill -TERM "${srv}"
+    wait "${srv}"
+  )
 }
 
 run_format() {
@@ -110,6 +162,9 @@ case "${mode}" in
   lint)
     run_invariant_lint
     ;;
+  cluster)
+    run_cluster_smoke
+    ;;
   all)
     run_format
     run_tidy
@@ -117,9 +172,10 @@ case "${mode}" in
     run_suite plain -DCMAKE_BUILD_TYPE=Release
     run_suite asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLHWS_ASAN_UBSAN=ON
     run_suite tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLHWS_TSAN=ON
+    run_cluster_smoke
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|asan|tsan|tidy|format|bench|lint|all]" >&2
+    echo "usage: scripts/check.sh [plain|asan|tsan|tidy|format|bench|lint|cluster|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,715 @@
+// dist::cluster implementation (DESIGN.md §15). See cluster.hpp for the
+// architecture; this file is the mesh plumbing: handshake, the combining
+// writer, the per-peer reader fork tree, the work pumps, and the
+// pending-call completion path that turns a RESULT frame into a
+// deliver_resume.
+#include "dist/cluster.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "io/async_ops.hpp"
+#include "load/rpc_server.hpp"
+#include "runtime/runtime_deque.hpp"
+#include "support/timing.hpp"
+
+namespace lhws::dist {
+
+using namespace std::chrono_literals;
+
+namespace {
+// Dial retry budget: worker nodes come up in any order, so the dialer
+// politely retries for ~10s before declaring the mesh unreachable.
+constexpr int kDialAttempts = 200;
+constexpr auto kDialRetryPause = 50ms;
+constexpr auto kHandshakeDeadline = 10s;
+// Reader poll period: how often a blocked peer read rechecks stopping_.
+constexpr auto kReadPoll = 100ms;
+// Local pump poll period while the queue is empty.
+constexpr auto kPumpPoll = 200us;
+
+void ewma_update(std::atomic<std::int64_t>& cell, std::int64_t sample) {
+  // α = 1/8 EWMA; racy read-modify-write is fine for a policy heuristic.
+  const std::int64_t old = cell.load(std::memory_order_relaxed);
+  cell.store(old == 0 ? sample : old + (sample - old) / 8,
+             std::memory_order_relaxed);
+}
+}  // namespace
+
+const char* policy_name(remote_steal_policy p) noexcept {
+  switch (p) {
+    case remote_steal_policy::never:
+      return "never";
+    case remote_steal_policy::threshold:
+      return "threshold";
+    case remote_steal_policy::always:
+      return "always";
+  }
+  return "unknown";
+}
+
+bool parse_policy(const char* s, remote_steal_policy& out) {
+  if (std::strcmp(s, "never") == 0) {
+    out = remote_steal_policy::never;
+  } else if (std::strcmp(s, "threshold") == 0) {
+    out = remote_steal_policy::threshold;
+  } else if (std::strcmp(s, "always") == 0) {
+    out = remote_steal_policy::always;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+cluster::cluster(io::reactor& r, cluster_config cfg)
+    : r_(r), cfg_(std::move(cfg)) {
+  listener_ = io::socket::listen_loopback(r_, cfg_.listen_port);
+  peers_.reserve(cfg_.peers.size());
+  for (std::size_t i = 0; i < cfg_.peers.size(); ++i) {
+    auto p = std::make_unique<peer>();
+    p->id = cfg_.peers[i].id;
+    p->dial_port = cfg_.peers[i].port;
+    peers_.push_back(std::move(p));
+  }
+}
+
+std::size_t cluster::slot_of(std::uint32_t node_id) const {
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i]->id == node_id) return i;
+  }
+  return peers_.size();
+}
+
+// --- handshake ----------------------------------------------------------
+
+task<bool> cluster::dial_peer(std::size_t slot) {
+  peer& p = *peers_[slot];
+  io::socket s;
+  for (int attempt = 0; attempt < kDialAttempts; ++attempt) {
+    const int fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) co_return false;
+    // Pin the link to its dedicated shard (slot % shards) so every
+    // completion for this peer fires on one shard thread for its life.
+    s = io::socket(r_, fd, static_cast<unsigned>(slot) % r_.shards());
+    const long rc =
+        co_await io::async_connect(r_, s, p.dial_port, io::with_deadline(1s));
+    if (rc == 0) break;
+    s.close();
+    if (attempt + 1 == kDialAttempts) co_return false;
+    co_await io::sleep_for(r_, kDialRetryPause);
+  }
+  if (!s.valid()) co_return false;
+  io::set_tcp_nodelay(s.fd());
+
+  std::vector<unsigned char> hello;
+  encode_hello(hello, hello_msg{cfg_.node_id});
+  const auto dl = io::with_deadline(kHandshakeDeadline);
+  if (co_await load::write_exact(r_, s, hello.data(), hello.size(), dl) < 0) {
+    co_return false;
+  }
+  unsigned char buf[kHeaderSize + kHelloSize];
+  if (co_await load::read_exact(r_, s, buf, sizeof buf, dl) !=
+      static_cast<long>(sizeof buf)) {
+    co_return false;
+  }
+  frame_reader fr;
+  fr.feed(buf, sizeof buf);
+  frame f;
+  hello_msg m;
+  if (fr.next(f) != frame_reader::status::ready ||
+      f.type != frame_type::hello || !decode_hello(f, m) || m.node_id != p.id) {
+    note_wire_error(p, fr.err() != wire_error::none ? fr.err()
+                                                    : wire_error::bad_payload);
+    co_return false;
+  }
+  p.sock = std::move(s);
+  p.up.store(true, std::memory_order_release);
+  co_return true;
+}
+
+task<bool> cluster::handshake_accepted(int fd) {
+  io::set_tcp_nodelay(fd);
+  // Register on a temporary entry to run the async HELLO read; once the
+  // peer id is known, re-home the fd (via dup) onto its dedicated shard.
+  io::socket tmp(r_, fd);
+  unsigned char buf[kHeaderSize + kHelloSize];
+  const auto dl = io::with_deadline(kHandshakeDeadline);
+  if (co_await load::read_exact(r_, tmp, buf, sizeof buf, dl) !=
+      static_cast<long>(sizeof buf)) {
+    co_return false;
+  }
+  frame_reader fr;
+  fr.feed(buf, sizeof buf);
+  frame f;
+  hello_msg m;
+  if (fr.next(f) != frame_reader::status::ready ||
+      f.type != frame_type::hello || !decode_hello(f, m)) {
+    co_return false;
+  }
+  const std::size_t slot = slot_of(m.node_id);
+  if (slot >= peers_.size() ||
+      peers_[slot]->up.load(std::memory_order_acquire)) {
+    co_return false;  // unknown peer, or a duplicate link
+  }
+  peer& p = *peers_[slot];
+  const int homed = ::dup(tmp.fd());
+  if (homed < 0) co_return false;
+  tmp.close();
+  p.sock = io::socket(r_, homed, static_cast<unsigned>(slot) % r_.shards());
+  std::vector<unsigned char> hello;
+  encode_hello(hello, hello_msg{cfg_.node_id});
+  if (co_await load::write_exact(r_, p.sock, hello.data(), hello.size(),
+                                 dl) < 0) {
+    co_return false;
+  }
+  p.up.store(true, std::memory_order_release);
+  co_return true;
+}
+
+task<bool> cluster::accept_peers(std::size_t remaining) {
+  while (remaining > 0) {
+    const long fd =
+        co_await io::async_accept(r_, listener_, io::with_deadline(100ms));
+    if (fd == -ETIMEDOUT) {
+      if (stopping_.load(std::memory_order_acquire)) co_return false;
+      continue;
+    }
+    if (load::accept_should_backoff(fd)) {
+      co_await io::sleep_for(r_, 10ms);
+      continue;
+    }
+    if (fd < 0) co_return false;
+    if (!co_await handshake_accepted(static_cast<int>(fd))) co_return false;
+    --remaining;
+  }
+  co_return true;
+}
+
+task<bool> cluster::start() {
+  if (!listener_.valid()) co_return false;
+  // The mesh convention: dial every peer with a lower id, accept every
+  // peer with a higher one. Sort order in cfg_.peers is caller-defined,
+  // so partition into dial slots first.
+  std::vector<std::size_t> dial_slots;
+  std::size_t accepts = 0;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i]->id < cfg_.node_id) {
+      dial_slots.push_back(i);
+    } else {
+      ++accepts;
+    }
+  }
+  bool ok;
+  if (dial_slots.empty()) {
+    ok = co_await accept_peers(accepts);
+  } else if (accepts == 0) {
+    ok = co_await dial_range(dial_slots, 0, dial_slots.size());
+  } else {
+    // A middle node does both at once so it cannot deadlock against its
+    // neighbours coming up in arbitrary order.
+    auto [a, b] = co_await fork2(dial_range(dial_slots, 0, dial_slots.size()),
+                                 accept_peers(accepts));
+    ok = a && b;
+  }
+  if (!ok) co_return false;
+  for (const auto& p : peers_) {
+    if (!p->up.load(std::memory_order_acquire)) co_return false;
+  }
+  co_return true;
+}
+
+task<bool> cluster::dial_range(const std::vector<std::size_t>& slots,
+                               std::size_t lo, std::size_t hi) {
+  if (lo >= hi) co_return true;
+  if (hi - lo == 1) co_return co_await dial_peer(slots[lo]);
+  const std::size_t mid = lo + (hi - lo) / 2;
+  auto [a, b] =
+      co_await fork2(dial_range(slots, lo, mid), dial_range(slots, mid, hi));
+  co_return a && b;
+}
+
+// --- send path (combining writer) ---------------------------------------
+
+task<void> cluster::send_bytes(std::size_t slot,
+                               std::vector<unsigned char> bytes) {
+  peer& p = *peers_[slot];
+  if (p.down.load(std::memory_order_acquire)) co_return;
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.outbox.insert(p.outbox.end(), bytes.begin(), bytes.end());
+    if (!p.writer_active) {
+      p.writer_active = true;
+      drain = true;
+    }
+  }
+  if (!drain) co_return;  // the active writer will flush our frame
+  std::vector<unsigned char> local;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(p.mu);
+      if (p.outbox.empty()) {
+        p.writer_active = false;
+        co_return;
+      }
+      local.clear();
+      local.swap(p.outbox);
+    }
+    const long rc =
+        co_await load::write_exact(r_, p.sock, local.data(), local.size());
+    if (rc < 0) {
+      p.down.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lk(p.mu);
+      p.writer_active = false;
+      co_return;
+    }
+    ctr_.bytes_tx.fetch_add(local.size(), std::memory_order_relaxed);
+  }
+}
+
+// --- receive path -------------------------------------------------------
+
+task<int> cluster::next_frame(peer& p, frame& f) {
+  // Once the cluster is stopping, peers tear down in arbitrary order: a
+  // reset link or a stream torn mid-frame is ordinary teardown, not a
+  // failure (only protocol corruption stays fatal). Before that, the same
+  // conditions mean a peer died and the serve loop must report it.
+  const auto teardown_rc = [this]() -> int {
+    return stopping_.load(std::memory_order_acquire) ? 0 : -1;
+  };
+  for (;;) {
+    if (p.down.load(std::memory_order_acquire)) co_return teardown_rc();
+    switch (p.reader.next(f)) {
+      case frame_reader::status::ready:
+        co_return 1;
+      case frame_reader::status::error:
+        note_wire_error(p, p.reader.err());
+        p.down.store(true, std::memory_order_release);
+        co_return -1;
+      case frame_reader::status::need_more:
+        break;
+    }
+    const long got = co_await io::async_read(
+        r_, p.sock, p.scratch, sizeof p.scratch, io::with_deadline(kReadPoll));
+    if (got == -ETIMEDOUT) {
+      if (stopping_.load(std::memory_order_acquire)) co_return 0;
+      continue;
+    }
+    if (got == 0) {
+      if (p.reader.finish() != wire_error::none) {
+        note_wire_error(p, wire_error::truncated);
+        co_return teardown_rc();
+      }
+      co_return 0;  // clean close at a frame boundary
+    }
+    if (got < 0) {
+      p.down.store(true, std::memory_order_release);
+      co_return teardown_rc();
+    }
+    ctr_.bytes_rx.fetch_add(static_cast<std::uint64_t>(got),
+                            std::memory_order_relaxed);
+    p.reader.feed(p.scratch, static_cast<std::size_t>(got));
+  }
+}
+
+task<long> cluster::peer_loop(std::size_t slot) {
+  peer& p = *peers_[slot];
+  frame f;
+  const int rc = co_await next_frame(p, f);
+  if (rc <= 0) co_return rc;
+  if (f.type == frame_type::shutdown) {
+    // Cluster-wide stop: drain the pumps and let every other peer loop
+    // notice on its next read poll.
+    stopping_.store(true, std::memory_order_release);
+    co_return 0;
+  }
+  // Keep reading while the frame is handled on a forked (stealable)
+  // child — reading never waits on handler execution, and an injected δ
+  // delays only its own frame, like real wire latency would.
+  auto [rest, one] = co_await fork2(peer_loop(slot),
+                                    handle_frame(slot, std::move(f)));
+  (void)one;
+  co_return rest;
+}
+
+task<long> cluster::all_peer_loops(std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1) co_return co_await peer_loop(lo);
+  const std::size_t mid = lo + (hi - lo) / 2;
+  auto [a, b] =
+      co_await fork2(all_peer_loops(lo, mid), all_peer_loops(mid, hi));
+  co_return a != 0 ? a : b;
+}
+
+task<long> cluster::peers_then_stop() {
+  const long rc = co_await all_peer_loops(0, peers_.size());
+  // Every link is closed; nothing can enqueue new work. Drain the pumps.
+  stopping_.store(true, std::memory_order_release);
+  co_return rc;
+}
+
+task<long> cluster::handle_frame(std::size_t slot, frame f) {
+  peer& p = *peers_[slot];
+  if (cfg_.injected_delta_ns > 0) {
+    // The artificial wire δ: the frame "arrives" this much later. Runs on
+    // the forked handler, so the link's throughput is unaffected — this
+    // models latency, not bandwidth.
+    co_await io::sleep_for(r_,
+                           std::chrono::nanoseconds(cfg_.injected_delta_ns));
+  }
+  switch (f.type) {
+    case frame_type::spawn: {
+      spawn_msg m;
+      if (!decode_spawn(f, m)) break;
+      {
+        std::lock_guard<std::mutex> lk(queue_mu_);
+        queue_.push_back(m);
+      }
+      co_return 0;
+    }
+    case frame_type::result: {
+      result_msg m;
+      if (!decode_result(f, m)) break;
+      complete_local(m, p.id);
+      co_return 0;
+    }
+    case frame_type::steal_request: {
+      steal_request_msg m;
+      if (!decode_steal_request(f, m)) break;
+      std::vector<spawn_msg> grant;
+      const std::uint32_t cap =
+          m.max_items < kMaxStealBatch ? m.max_items : kMaxStealBatch;
+      {
+        std::lock_guard<std::mutex> lk(queue_mu_);
+        while (grant.size() < cap && !queue_.empty()) {
+          // Grant from the back: the coldest work travels, exactly like an
+          // intra-node thief taking the top of a deque.
+          grant.push_back(queue_.back());
+          queue_.pop_back();
+        }
+      }
+      ctr_.granted_items.fetch_add(grant.size(), std::memory_order_relaxed);
+      std::vector<unsigned char> b;
+      encode_steal_grant(b, grant);
+      co_await send_bytes(slot, std::move(b));
+      co_return 0;
+    }
+    case frame_type::steal_grant: {
+      std::vector<spawn_msg> items;
+      if (!decode_steal_grant(f, items)) break;
+      const std::int64_t t0 =
+          p.probe_sent_ns.exchange(0, std::memory_order_relaxed);
+      if (t0 != 0) {
+        const std::int64_t rtt = now_ns() - t0;
+        {
+          std::lock_guard<std::mutex> lk(p.stats_mu);
+          p.rtt_hist.record(static_cast<std::uint64_t>(rtt > 0 ? rtt : 0));
+        }
+        ewma_update(p.rtt_ewma_ns, rtt);
+      }
+      if (items.empty()) {
+        ctr_.empty_grants.fetch_add(1, std::memory_order_relaxed);
+        co_return 0;
+      }
+      co_await execute_items(std::move(items), true);
+      co_return 0;
+    }
+    case frame_type::hello:
+    case frame_type::shutdown:
+      break;  // illegal mid-stream (SHUTDOWN is consumed by peer_loop)
+  }
+  // A verified frame whose payload does not parse (or a frame type that is
+  // illegal mid-stream, like HELLO): protocol violation, drop the peer.
+  note_wire_error(p, wire_error::bad_payload);
+  p.down.store(true, std::memory_order_release);
+  co_return -EPROTO;
+}
+
+// --- execution ----------------------------------------------------------
+
+task<void> cluster::execute_items(std::vector<spawn_msg> items, bool stolen) {
+  if (items.empty()) co_return;
+  if (items.size() == 1) {
+    co_await execute_item(items[0], stolen);
+    co_return;
+  }
+  const std::size_t mid = items.size() / 2;
+  std::vector<spawn_msg> right(items.begin() + static_cast<std::ptrdiff_t>(mid),
+                               items.end());
+  items.resize(mid);
+  co_await fork2(execute_items(std::move(items), stolen),
+                 execute_items(std::move(right), stolen));
+}
+
+task<void> cluster::execute_item(spawn_msg m, bool stolen) {
+  inflight_execs_.fetch_add(1, std::memory_order_relaxed);
+  ctr_.executed.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) ctr_.stolen_executed.fetch_add(1, std::memory_order_relaxed);
+  result_msg rm;
+  rm.call_id = m.call_id;
+  const std::int64_t t0 = now_ns();
+  auto it = handlers_.find(m.work_id);
+  if (it == handlers_.end()) {
+    rm.status = static_cast<std::uint32_t>(call_status::no_handler);
+  } else {
+    // Execute as a request of its own, joined to the caller's span tree
+    // through the wire-propagated (trace_id, parent_span) — this is what
+    // makes the merged multi-node trace close.
+    bool began = false;
+    if (m.trace_id != 0) {
+      began = co_await obs::begin_request(m.trace_id, m.parent_span);
+    }
+    rm.value = co_await it->second(m.arg);
+    if (began) co_await obs::end_request();
+    note_grain(now_ns() - t0);
+  }
+  inflight_execs_.fetch_sub(1, std::memory_order_relaxed);
+  co_await route_result(m.origin, rm);
+}
+
+task<void> cluster::route_result(std::uint32_t origin, result_msg rm) {
+  if (origin == cfg_.node_id) {
+    complete_local(rm, cfg_.node_id);
+    co_return;
+  }
+  const std::size_t slot = slot_of(origin);
+  if (slot >= peers_.size()) {
+    ctr_.dropped_results.fetch_add(1, std::memory_order_relaxed);
+    co_return;
+  }
+  ctr_.results_routed.fetch_add(1, std::memory_order_relaxed);
+  std::vector<unsigned char> b;
+  encode_result(b, rm);
+  co_await send_bytes(slot, std::move(b));
+}
+
+void cluster::complete_local(const result_msg& rm, std::uint32_t exec_node) {
+  pending_call* pc = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    auto it = pending_.find(rm.call_id);
+    if (it != pending_.end()) {
+      pc = it->second;
+      pending_.erase(it);
+    }
+  }
+  if (pc == nullptr) {
+    ctr_.dropped_results.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  pc->value = rm.value;
+  pc->status = rm.status;
+  pc->exec_node = exec_node;
+  const int prev =
+      pc->state.exchange(pending_call::done, std::memory_order_acq_rel);
+  if (prev == pending_call::armed) {
+    // Attribute the fire to the executing node: remote-kind spans route
+    // their delivery hop to the peer/<id> trace lane via fire_shard.
+    rt::tl_completer_lane = exec_node;
+    pc->resume.fire();
+    rt::tl_completer_lane = 0;
+  }
+}
+
+// --- pumps --------------------------------------------------------------
+
+task<long> cluster::pump_tree() {
+  if (cfg_.policy == remote_steal_policy::never) {
+    co_return co_await local_pump();
+  }
+  auto [a, b] = co_await fork2(local_pump(), steal_pump());
+  co_return a != 0 ? a : b;
+}
+
+task<long> cluster::local_pump() {
+  for (;;) {
+    spawn_msg m;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (!queue_.empty()) {
+        m = queue_.front();
+        queue_.pop_front();
+        have = true;
+      }
+    }
+    if (have) {
+      // Recurse on the left (keep pumping inline), execute on the right
+      // (stealable by the node's other workers) — the Fig. 3 shape.
+      auto [rest, one] = co_await fork2(local_pump(), execute_item(m, false));
+      (void)one;
+      co_return rest;
+    }
+    if (stopping_.load(std::memory_order_acquire)) co_return 0;
+    co_await io::sleep_for(r_, kPumpPoll);
+  }
+}
+
+bool cluster::should_probe(const peer& p) const {
+  switch (cfg_.policy) {
+    case remote_steal_policy::never:
+      return false;
+    case remote_steal_policy::always:
+      return true;
+    case remote_steal_policy::threshold:
+      break;
+  }
+  const std::int64_t rtt = p.rtt_ewma_ns.load(std::memory_order_relaxed);
+  if (rtt == 0) return true;  // no measurement yet: optimistic bootstrap
+  std::int64_t grain = grain_ewma_ns_.load(std::memory_order_relaxed);
+  if (grain == 0) grain = cfg_.assumed_grain_ns;
+  // Gast-style crossover: a probe is worth its latency while the RTT is
+  // below the work it is expected to transfer (batch × grain, with a
+  // configurable slack factor).
+  const double budget =
+      cfg_.rtt_factor * static_cast<double>(cfg_.steal_batch) *
+      static_cast<double>(grain);
+  return static_cast<double>(rtt) < budget;
+}
+
+task<long> cluster::steal_pump() {
+  std::size_t rr = 0;
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) co_return 0;
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      idle = queue_.empty();
+    }
+    idle = idle && inflight_execs_.load(std::memory_order_relaxed) == 0;
+    if (idle && !peers_.empty()) {
+      for (std::size_t i = 0; i < peers_.size(); ++i) {
+        peer& v = *peers_[(rr + i) % peers_.size()];
+        const std::size_t slot = (rr + i) % peers_.size();
+        if (!v.up.load(std::memory_order_acquire) ||
+            v.down.load(std::memory_order_acquire)) {
+          continue;
+        }
+        if (v.probe_sent_ns.load(std::memory_order_relaxed) != 0) continue;
+        if (!should_probe(v)) continue;
+        v.probe_sent_ns.store(now_ns(), std::memory_order_relaxed);
+        ctr_.probes.fetch_add(1, std::memory_order_relaxed);
+        std::vector<unsigned char> b;
+        encode_steal_request(b,
+                             steal_request_msg{cfg_.node_id, cfg_.steal_batch});
+        co_await send_bytes(slot, std::move(b));
+        break;
+      }
+      rr = (rr + 1) % peers_.size();
+    }
+    co_await io::sleep_for(r_,
+                           std::chrono::nanoseconds(cfg_.probe_backoff_ns));
+  }
+}
+
+// --- public entry points ------------------------------------------------
+
+task<long> cluster::serve() {
+  LHWS_ASSERT(!peers_.empty() && "a cluster of one has no one to serve");
+  auto [a, b] = co_await fork2(peers_then_stop(), pump_tree());
+  co_return a != 0 ? a : b;
+}
+
+task<std::uint64_t> cluster::call(std::uint32_t target, std::uint64_t work_id,
+                                  std::uint64_t arg) {
+  ctr_.calls.fetch_add(1, std::memory_order_relaxed);
+  pending_call pc;
+  const std::uint64_t id =
+      next_call_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    pending_[id] = &pc;
+  }
+  const obs::span_ref ref = co_await obs::current_span();
+  spawn_msg m;
+  m.call_id = id;
+  m.work_id = work_id;
+  m.arg = arg;
+  m.trace_id = ref.trace_id;
+  m.parent_span = ref.span_id;
+  m.origin = cfg_.node_id;
+  if (target == cfg_.node_id) {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    queue_.push_back(m);
+  } else {
+    const std::size_t slot = slot_of(target);
+    if (slot >= peers_.size() ||
+        peers_[slot]->down.load(std::memory_order_acquire)) {
+      // The link is gone: fail the call instead of waiting forever. (A
+      // link that dies *after* the send leaves the call pending — callers
+      // own cluster health; the fuzz/robustness paths never use call().)
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      pending_.erase(id);
+      co_return 0;
+    }
+    std::vector<unsigned char> b;
+    encode_spawn(b, m);
+    co_await send_bytes(slot, std::move(b));
+  }
+  co_await join_awaiter{pc};
+  co_return pc.status == static_cast<std::uint32_t>(call_status::ok)
+      ? pc.value
+      : 0;
+}
+
+task<void> cluster::stop() {
+  for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
+    peer& p = *peers_[slot];
+    if (!p.up.load(std::memory_order_acquire) ||
+        p.down.load(std::memory_order_acquire)) {
+      continue;
+    }
+    std::vector<unsigned char> b;
+    encode_shutdown(b);
+    co_await send_bytes(slot, std::move(b));
+  }
+  stopping_.store(true, std::memory_order_release);
+}
+
+// --- observability ------------------------------------------------------
+
+void cluster::note_wire_error(peer& p, wire_error e) {
+  {
+    std::lock_guard<std::mutex> lk(p.stats_mu);
+    p.errs.bump(e);
+  }
+  ctr_.wire_errors.fetch_add(1, std::memory_order_relaxed);
+}
+
+void cluster::note_grain(std::int64_t exec_ns) {
+  if (exec_ns > 0) ewma_update(grain_ewma_ns_, exec_ns);
+}
+
+cluster_stats cluster::stats() const {
+  cluster_stats s;
+  s.calls = ctr_.calls.load(std::memory_order_relaxed);
+  s.executed = ctr_.executed.load(std::memory_order_relaxed);
+  s.stolen_executed = ctr_.stolen_executed.load(std::memory_order_relaxed);
+  s.probes = ctr_.probes.load(std::memory_order_relaxed);
+  s.empty_grants = ctr_.empty_grants.load(std::memory_order_relaxed);
+  s.granted_items = ctr_.granted_items.load(std::memory_order_relaxed);
+  s.results_routed = ctr_.results_routed.load(std::memory_order_relaxed);
+  s.dropped_results = ctr_.dropped_results.load(std::memory_order_relaxed);
+  s.wire_errors = ctr_.wire_errors.load(std::memory_order_relaxed);
+  s.bytes_tx = ctr_.bytes_tx.load(std::memory_order_relaxed);
+  s.bytes_rx = ctr_.bytes_rx.load(std::memory_order_relaxed);
+  return s;
+}
+
+obs::log_histogram cluster::peer_rtt_hist(std::size_t slot) const {
+  std::lock_guard<std::mutex> lk(peers_[slot]->stats_mu);
+  return peers_[slot]->rtt_hist;
+}
+
+wire_error_counters cluster::peer_wire_errors(std::size_t slot) const {
+  std::lock_guard<std::mutex> lk(peers_[slot]->stats_mu);
+  return peers_[slot]->errs;
+}
+
+}  // namespace lhws::dist

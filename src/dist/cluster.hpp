@@ -1,0 +1,281 @@
+// dist::cluster — cross-process LHWS: N lhws_node processes, each running a
+// local scheduler, exchanging work over the sharded reactor (DESIGN.md §15).
+//
+// A remote join IS a heavy δ edge. cluster::call() registers a pending-call
+// slot, ships a SPAWN frame, and suspends on an rt::resume_handle exactly
+// like core/latency.hpp suspends on a timer: the worker's active deque is
+// charged (Lemma 7 economy unchanged), the RESULT frame's arrival fires the
+// resume through deliver_resume (direct-push/batch split unchanged), and
+// the span-aware arm opens a span_kind::remote span whose δ is the full
+// network round trip — so the paper's critical-path decomposition
+// end-begin = running + Σ(δ + wake + deque) holds across process
+// boundaries, and lhws_trace_stats can audit a *merged* multi-node trace.
+//
+// Work distribution is two-level, mirroring the Gast/Khatiri/Trystram
+// two-cluster WS-with-latency model:
+//   - inside a node, the ordinary LHWS scheduler steals between workers
+//     (the zero-latency cluster);
+//   - between nodes, an idle node that has drained its local queue probes
+//     a peer with STEAL_REQUEST (the latency-λ cluster edge), governed by
+//     remote_steal_policy:
+//       never      no cross-node steals (the baseline),
+//       always     probe whenever idle,
+//       threshold  probe only while the peer RTT EWMA is below
+//                  rtt_factor × steal_batch × observed grain EWMA — i.e.
+//                  only when the expected work transferred outweighs the
+//                  latency paid, which is exactly the crossover the
+//                  bench_cluster_crossover gate reproduces.
+//
+// Peer latency can be *injected* (cluster_config::injected_delta_ns): every
+// received frame is delayed by δ before dispatch, on a forked handler so
+// the delay models wire latency, not bandwidth. The δ lands inside the
+// measured steal RTT and inside the caller's remote-span δ, so the same
+// knob drives both the policy and the attribution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fork_join.hpp"
+#include "core/task.hpp"
+#include "dist/wire.hpp"
+#include "io/reactor.hpp"
+#include "io/socket.hpp"
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
+#include "runtime/resume_handle.hpp"
+
+namespace lhws::dist {
+
+enum class remote_steal_policy : std::uint8_t { never, threshold, always };
+
+[[nodiscard]] const char* policy_name(remote_steal_policy p) noexcept;
+// Parses "never"/"threshold"/"always"; false on anything else.
+[[nodiscard]] bool parse_policy(const char* s, remote_steal_policy& out);
+
+struct peer_endpoint {
+  std::uint32_t id = 0;
+  std::uint16_t port = 0;  // the peer's loopback listen port
+};
+
+struct cluster_config {
+  std::uint32_t node_id = 0;
+  std::uint16_t listen_port = 0;  // 0 = ephemeral (read back via port())
+  // Every other node in the cluster. The mesh is full: this node dials
+  // peers with id < node_id and accepts connections from id > node_id.
+  std::vector<peer_endpoint> peers;
+  remote_steal_policy policy = remote_steal_policy::never;
+  // Artificial per-peer one-way latency applied to every received frame
+  // (0 = real loopback only). Makes the crossover sweep tc-free.
+  std::int64_t injected_delta_ns = 0;
+  std::uint32_t steal_batch = 4;   // items requested per probe
+  double rtt_factor = 2.0;         // threshold-policy slack multiplier
+  std::int64_t probe_backoff_ns = 2'000'000;   // idle re-probe pacing
+  std::int64_t assumed_grain_ns = 1'000'000;   // grain prior before any
+                                               // local execution measured
+};
+
+// Aggregate counters, readable after (or during) a run.
+struct cluster_stats {
+  std::uint64_t calls = 0;            // cluster::call invocations
+  std::uint64_t executed = 0;         // work items executed on this node
+  std::uint64_t stolen_executed = 0;  // ... of which arrived via a grant
+  std::uint64_t probes = 0;           // STEAL_REQUESTs sent
+  std::uint64_t empty_grants = 0;     // probes answered with 0 items
+  std::uint64_t granted_items = 0;    // items this node handed to thieves
+  std::uint64_t results_routed = 0;   // RESULT frames sent to peers
+  std::uint64_t dropped_results = 0;  // RESULTs with no pending call
+  std::uint64_t wire_errors = 0;      // peers dropped, all categories
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+};
+
+class cluster {
+ public:
+  // A work handler: deterministic id -> task. Ids must agree across every
+  // node of the cluster (register the same table in the same binary).
+  using handler_fn = std::function<task<std::uint64_t>(std::uint64_t)>;
+
+  cluster(io::reactor& r, cluster_config cfg);
+  cluster(const cluster&) = delete;
+  cluster& operator=(const cluster&) = delete;
+
+  // Listener bound? (checked before start()).
+  [[nodiscard]] bool valid() const noexcept { return listener_.valid(); }
+  [[nodiscard]] std::uint16_t port() const { return listener_.local_port(); }
+  [[nodiscard]] const cluster_config& config() const noexcept { return cfg_; }
+
+  void handle(std::uint64_t work_id, handler_fn fn) {
+    handlers_[work_id] = std::move(fn);
+  }
+
+  // Establishes the full mesh: dials lower-id peers (with retry while they
+  // come up), accepts higher-id peers, exchanges HELLO both ways. Must
+  // complete (true) before serve()/call().
+  [[nodiscard]] task<bool> start();
+
+  // The node's serving root: per-peer reader loops + the local work pump +
+  // the steal pump, joined. Returns after stop() has been observed (driver
+  // side) or a SHUTDOWN frame arrived (everyone else) and in-flight work
+  // drained. Run it forked beside the driver workload, or alone on a
+  // worker node.
+  [[nodiscard]] task<long> serve();
+
+  // Submits work_id(arg) to `target` (may be this node: the item joins the
+  // local queue, where a remote thief can still steal it) and suspends
+  // until its RESULT arrives — the remote join heavy edge. Returns the
+  // handler's value; a missing handler on the executor yields 0 with
+  // stats().dropped_results untouched (call_status::no_handler).
+  [[nodiscard]] task<std::uint64_t> call(std::uint32_t target,
+                                         std::uint64_t work_id,
+                                         std::uint64_t arg);
+
+  // Driver-side teardown: broadcast SHUTDOWN to every peer, then drain the
+  // local pumps. Call only after every call() has joined.
+  [[nodiscard]] task<void> stop();
+
+  [[nodiscard]] cluster_stats stats() const;
+  // Per-peer observed round-trip δ (probe -> grant, includes injected δ on
+  // both legs). Snapshot by value; index = position in config().peers.
+  [[nodiscard]] obs::log_histogram peer_rtt_hist(std::size_t slot) const;
+  [[nodiscard]] wire_error_counters peer_wire_errors(std::size_t slot) const;
+
+ private:
+  // One mesh link. `slot` is the index into cfg_.peers; the socket lives
+  // on reactor shard slot % shards so each peer's completions stay on a
+  // dedicated shard thread.
+  struct peer {
+    std::uint32_t id = 0;
+    std::uint16_t dial_port = 0;
+    io::socket sock;
+    std::atomic<bool> up{false};
+    std::atomic<bool> down{false};
+
+    // Combining writer: senders append encoded frames under mu; the first
+    // sender to find no writer active becomes the writer and drains the
+    // outbox through async writes (never holding mu across a suspend).
+    std::mutex mu;
+    std::vector<unsigned char> outbox;
+    bool writer_active = false;
+
+    // Reader-side state (single reader: the peer_loop recursion).
+    frame_reader reader;
+    unsigned char scratch[4096] = {};
+
+    mutable std::mutex stats_mu;
+    wire_error_counters errs;
+    obs::log_histogram rtt_hist;
+    std::atomic<std::int64_t> rtt_ewma_ns{0};
+    std::atomic<std::int64_t> probe_sent_ns{0};  // 0 = no probe in flight
+  };
+
+  // One in-flight call() join. Lives in the call() coroutine frame; the
+  // table only ever holds a pointer. State machine mirrors event<T>:
+  // completer stores the value then exchanges -> done and fires if the
+  // waiter installed first; the waiter arms then CASes empty -> armed and
+  // cancels the arm if it lost the install race.
+  struct pending_call {
+    enum : int { empty = 0, armed = 1, done = 2 };
+    std::atomic<int> state{empty};
+    std::uint64_t value = 0;
+    std::uint32_t status = 0;       // call_status
+    std::uint32_t exec_node = 0;    // node that produced the RESULT
+    rt::resume_handle resume{};
+  };
+
+  struct join_awaiter {
+    pending_call& pc;
+
+    [[nodiscard]] bool await_ready() const noexcept {
+      return pc.state.load(std::memory_order_acquire) == pending_call::done;
+    }
+    template <typename Promise>
+    bool await_suspend(std::coroutine_handle<Promise> h) {
+      rt::worker* w = rt::worker::current();
+      LHWS_ASSERT(w != nullptr &&
+                  "cluster::call may only be awaited inside a scheduler run");
+      pc.resume.arm(w, h, obs::promise_span(h), obs::span_kind::remote);
+      int expected = pending_call::empty;
+      if (pc.state.compare_exchange_strong(expected, pending_call::armed,
+                                           std::memory_order_release,
+                                           std::memory_order_acquire)) {
+        return true;  // RESULT delivery will fire the resume
+      }
+      pc.resume.cancel();  // result won the install race
+      return false;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] task<bool> dial_peer(std::size_t slot);
+  [[nodiscard]] task<bool> dial_range(const std::vector<std::size_t>& slots,
+                                      std::size_t lo, std::size_t hi);
+  [[nodiscard]] task<bool> accept_peers(std::size_t remaining);
+  [[nodiscard]] task<bool> handshake_accepted(int fd);
+
+  [[nodiscard]] task<long> peer_loop(std::size_t slot);
+  [[nodiscard]] task<long> all_peer_loops(std::size_t lo, std::size_t hi);
+  [[nodiscard]] task<long> peers_then_stop();
+  // Reads until one verified frame (1), clean close (0) or error (<0,
+  // already counted). Polls stopping_ every 100ms like the accept loops.
+  [[nodiscard]] task<int> next_frame(peer& p, frame& f);
+  [[nodiscard]] task<long> handle_frame(std::size_t slot, frame f);
+
+  [[nodiscard]] task<long> pump_tree();
+  [[nodiscard]] task<long> local_pump();
+  [[nodiscard]] task<long> steal_pump();
+  [[nodiscard]] task<void> execute_item(spawn_msg m, bool stolen);
+  [[nodiscard]] task<void> execute_items(std::vector<spawn_msg> items,
+                                         bool stolen);
+  [[nodiscard]] task<void> route_result(std::uint32_t origin, result_msg rm);
+  [[nodiscard]] task<void> send_bytes(std::size_t slot,
+                                      std::vector<unsigned char> bytes);
+
+  void complete_local(const result_msg& rm, std::uint32_t exec_node);
+  void note_wire_error(peer& p, wire_error e);
+  void note_grain(std::int64_t exec_ns);
+  [[nodiscard]] bool should_probe(const peer& p) const;
+  [[nodiscard]] std::size_t slot_of(std::uint32_t node_id) const;
+
+  io::reactor& r_;
+  cluster_config cfg_;
+  io::socket listener_;
+  std::vector<std::unique_ptr<peer>> peers_;  // parallel to cfg_.peers
+  std::map<std::uint64_t, handler_fn> handlers_;
+
+  std::atomic<bool> stopping_{false};
+
+  std::mutex queue_mu_;
+  std::deque<spawn_msg> queue_;  // pump pops front; thieves are granted
+                                 // from the back (coldest work travels)
+  std::atomic<std::uint32_t> inflight_execs_{0};
+
+  std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, pending_call*> pending_;
+  std::atomic<std::uint64_t> next_call_id_{1};
+
+  std::atomic<std::int64_t> grain_ewma_ns_{0};
+
+  struct alignas(64) counters {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen_executed{0};
+    std::atomic<std::uint64_t> probes{0};
+    std::atomic<std::uint64_t> empty_grants{0};
+    std::atomic<std::uint64_t> granted_items{0};
+    std::atomic<std::uint64_t> results_routed{0};
+    std::atomic<std::uint64_t> dropped_results{0};
+    std::atomic<std::uint64_t> wire_errors{0};
+    std::atomic<std::uint64_t> bytes_tx{0};
+    std::atomic<std::uint64_t> bytes_rx{0};
+  } ctr_;
+};
+
+}  // namespace lhws::dist

@@ -1,0 +1,189 @@
+// dist::node_runner — the shared "one cluster node" harness behind
+// tools/lhws_node, examples/dist_map_reduce --cluster, and
+// bench_cluster_crossover: build the sharded reactor, bind the cluster
+// listener, seed the node's span-id partition, install the default handler
+// table, publish the bound port for sibling processes, then run
+// start() -> serve() (worker node) or start() -> fork2(serve, driver) ->
+// stop() (driver node) on a fresh scheduler.
+//
+// Header-only: every consumer is a standalone binary and the logic is a
+// thin composition of public APIs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "core/fork_join.hpp"
+#include "core/scheduler.hpp"
+#include "dist/cluster.hpp"
+#include "io/reactor.hpp"
+#include "obs/span.hpp"
+#include "support/timing.hpp"
+
+namespace lhws::dist {
+
+// The default work table. Ids are part of the wire contract: every node of
+// a cluster must map the same id to the same computation (deterministic
+// work ids — a stolen item executes identically anywhere).
+inline constexpr std::uint64_t kWorkFib = 1;   // arg = n, returns fib(n)
+inline constexpr std::uint64_t kWorkSpin = 2;  // arg = ns busy work, echoes
+
+inline task<std::uint64_t> node_fib(std::uint64_t n) {
+  if (n < 2) co_return n;
+  auto [a, b] = co_await fork2(node_fib(n - 1), node_fib(n - 2));
+  co_return a + b;
+}
+
+// Deterministic-duration grain for the crossover bench: burns `ns` of cpu
+// on one worker (no suspension) and echoes the argument.
+inline task<std::uint64_t> node_spin(std::uint64_t ns) {
+  const std::int64_t until = now_ns() + static_cast<std::int64_t>(ns);
+  std::uint64_t sink = ns;
+  while (now_ns() < until) {
+    sink = sink * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  // Keep the loop alive under optimization without making the result
+  // depend on iteration count.
+  co_return sink != 0 ? ns : ns + 1;
+}
+
+inline void install_default_handlers(cluster& c) {
+  c.handle(kWorkFib, [](std::uint64_t arg) { return node_fib(arg); });
+  c.handle(kWorkSpin, [](std::uint64_t arg) { return node_spin(arg); });
+}
+
+// Driver workload run forked beside serve() on the node that owns cluster
+// teardown; its return value becomes the node's exit status (0 = ok).
+using driver_fn = std::function<task<long>(cluster&)>;
+
+struct node_options {
+  cluster_config cfg;
+  unsigned workers = 2;
+  // Reactor shards; 0 = one per peer (min 1) so each mesh link keeps its
+  // own completion lane.
+  unsigned reactor_shards = 0;
+  bool spans = true;
+  std::string trace_path;  // write the run's Chrome trace here (optional)
+  std::string port_file;   // publish the bound port here (optional)
+};
+
+struct node_report {
+  double elapsed_ms = 0.0;
+  cluster_stats stats;
+  std::uint16_t port = 0;
+};
+
+// Publishes the bound port for sibling processes: write-then-rename so a
+// polling reader never sees a partial file.
+inline bool write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << port << "\n";
+    if (!out.flush()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+// Blocking poll for a sibling's port file (parent/launcher side, not a
+// coroutine). Returns 0 on timeout.
+inline std::uint16_t wait_port_file(const std::string& path,
+                                    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    {
+      std::ifstream in(path);
+      unsigned port = 0;
+      if (in && (in >> port) && port > 0 && port < 65536) {
+        return static_cast<std::uint16_t>(port);
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+namespace detail {
+
+inline task<long> drive_then_stop(cluster& c, const driver_fn& d) {
+  const long rc = co_await d(c);
+  co_await c.stop();
+  co_return rc;
+}
+
+inline task<long> node_root(cluster& c, const driver_fn* d) {
+  const bool up = co_await c.start();
+  if (!up) co_return -1;
+  if (d == nullptr) co_return co_await c.serve();
+  auto [served, drove] = co_await fork2(c.serve(), drive_then_stop(c, *d));
+  co_return drove != 0 ? drove : served;
+}
+
+}  // namespace detail
+
+// Runs one node to completion. Worker nodes (no driver) serve until a peer
+// broadcasts SHUTDOWN; the driver node runs `driver` beside serve() and
+// tears the mesh down when it returns. Exit codes: 0 ok, 1 mesh/driver
+// failure, 2 setup failure.
+inline int run_node(const node_options& no, driver_fn driver = {},
+                    node_report* report = nullptr) {
+  // Partition span ids by node so a merged multi-node trace keeps every
+  // span id unique within its trace tree.
+  obs::seed_span_ids(no.cfg.node_id);
+
+  unsigned shards = no.reactor_shards;
+  if (shards == 0) {
+    shards = no.cfg.peers.empty()
+                 ? 1u
+                 : static_cast<unsigned>(no.cfg.peers.size());
+  }
+  io::reactor r(shards);
+  cluster c(r, no.cfg);
+  if (!c.valid()) {
+    std::fprintf(stderr, "node %u: cannot listen on 127.0.0.1:%u\n",
+                 no.cfg.node_id, no.cfg.listen_port);
+    return 2;
+  }
+  install_default_handlers(c);
+  if (!no.port_file.empty() && !write_port_file(no.port_file, c.port())) {
+    std::fprintf(stderr, "node %u: cannot write port file %s\n",
+                 no.cfg.node_id, no.port_file.c_str());
+    return 2;
+  }
+
+  scheduler_options so;
+  so.workers = no.workers;
+  so.spans = no.spans;
+  if (!no.trace_path.empty()) {
+    so.trace = true;
+    so.sample_interval_us = 200;
+  }
+  scheduler sched(so);
+  const long rc =
+      sched.run(detail::node_root(c, driver ? &driver : nullptr));
+
+  if (!no.trace_path.empty()) {
+    std::ofstream out(no.trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "node %u: cannot write %s\n", no.cfg.node_id,
+                   no.trace_path.c_str());
+      return 2;
+    }
+    out << sched.trace_json();
+  }
+  if (report != nullptr) {
+    report->elapsed_ms = sched.stats().elapsed_ms;
+    report->stats = c.stats();
+    report->port = c.port();
+  }
+  return rc == 0 ? 0 : 1;
+}
+
+}  // namespace lhws::dist

@@ -1,0 +1,445 @@
+// Cluster wire protocol (DESIGN.md §15): length-prefixed frames carrying
+// remote spawn/join and cross-node steal traffic between lhws_node
+// processes.
+//
+// A frame is a 12-byte header followed by a little-endian payload:
+//
+//   [0..3]  u32le payload length (bytes after the header)
+//   [4]     u8   frame type (frame_type)
+//   [5]     u8   protocol version (kWireVersion)
+//   [6..7]  u16le reserved, must be 0
+//   [8..11] u32le FNV-1a checksum over (type, version, payload)
+//
+// The checksum is not cryptographic — it exists so a bit-flipped or
+// misframed byte stream is *detected* (the peer is dropped with a counted
+// wire_error) instead of being decoded into garbage call ids. Every
+// malformed input maps to exactly one wire_error category; the decoder is
+// a pure incremental state machine with no socket dependency, so the fuzz
+// tests (tests/dist/) can drive it byte-by-byte under ASan.
+//
+// Frames carry the PR 7 trace-context extension natively: SPAWN and
+// STEAL_GRANT records embed (trace_id, parent_span), so the remote
+// executor can open its request as a child of the caller's span and the
+// merged cluster trace closes ≥99% (lhws_trace_stats --spans).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lhws::dist {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 12;
+// Largest accepted payload. A STEAL_GRANT of kMaxStealBatch items is the
+// biggest frame we ever produce; anything near the cap is hostile or
+// corrupt and is rejected before buffering (oversized).
+inline constexpr std::uint32_t kMaxPayload = 1u << 16;
+
+enum class frame_type : std::uint8_t {
+  hello = 1,          // node_id introduction, first frame on every link
+  spawn = 2,          // execute work_id(arg), reply RESULT to origin
+  result = 3,         // completion value for call_id
+  steal_request = 4,  // idle thief probes for queued work
+  steal_grant = 5,    // 0..N queued items handed to the thief
+  shutdown = 6,       // orderly teardown; no payload
+};
+
+[[nodiscard]] inline bool known_frame_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(frame_type::hello) &&
+         t <= static_cast<std::uint8_t>(frame_type::shutdown);
+}
+
+[[nodiscard]] inline const char* frame_type_name(frame_type t) noexcept {
+  switch (t) {
+    case frame_type::hello:
+      return "HELLO";
+    case frame_type::spawn:
+      return "SPAWN";
+    case frame_type::result:
+      return "RESULT";
+    case frame_type::steal_request:
+      return "STEAL_REQUEST";
+    case frame_type::steal_grant:
+      return "STEAL_GRANT";
+    case frame_type::shutdown:
+      return "SHUTDOWN";
+  }
+  return "unknown";
+}
+
+// Why a peer had to be dropped. One category per failure mode so the fuzz
+// tests can assert the *right* error was counted, not just "some error".
+enum class wire_error : std::uint8_t {
+  none = 0,
+  truncated,     // stream ended mid-frame (EOF with bytes buffered)
+  oversized,     // header announces a payload larger than kMaxPayload
+  bad_type,      // unknown frame type byte
+  bad_version,   // protocol version mismatch
+  bad_checksum,  // payload bytes do not match the header checksum
+  bad_payload,   // frame verified but its payload does not parse
+};
+inline constexpr unsigned kNumWireErrors = 7;
+
+[[nodiscard]] inline const char* wire_error_name(wire_error e) noexcept {
+  switch (e) {
+    case wire_error::none:
+      return "none";
+    case wire_error::truncated:
+      return "truncated";
+    case wire_error::oversized:
+      return "oversized";
+    case wire_error::bad_type:
+      return "bad_type";
+    case wire_error::bad_version:
+      return "bad_version";
+    case wire_error::bad_checksum:
+      return "bad_checksum";
+    case wire_error::bad_payload:
+      return "bad_payload";
+  }
+  return "unknown";
+}
+
+// Per-peer (or per-cluster) tally of dropped-frame causes; exported into
+// the node's metrics and asserted by the robustness tests.
+struct wire_error_counters {
+  std::uint64_t counts[kNumWireErrors] = {};
+
+  void bump(wire_error e) noexcept {
+    ++counts[static_cast<unsigned>(e) % kNumWireErrors];
+  }
+  [[nodiscard]] std::uint64_t of(wire_error e) const noexcept {
+    return counts[static_cast<unsigned>(e) % kNumWireErrors];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (unsigned i = 1; i < kNumWireErrors; ++i) t += counts[i];
+    return t;
+  }
+};
+
+namespace detail {
+
+inline void put_le16(unsigned char* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<unsigned char>(v & 0xFFu);
+  p[1] = static_cast<unsigned char>((v >> 8) & 0xFFu);
+}
+
+inline void put_le32(unsigned char* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+inline void put_le64(unsigned char* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+[[nodiscard]] inline std::uint16_t get_le16(const unsigned char* p) noexcept {
+  return static_cast<std::uint16_t>(std::uint16_t{p[0]} |
+                                    (std::uint16_t{p[1]} << 8));
+}
+
+[[nodiscard]] inline std::uint32_t get_le32(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t get_le64(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace detail
+
+// FNV-1a over (type, version, payload). Seeding with the header fields
+// means a frame whose payload happens to checksum-match under a *different*
+// type byte is still rejected.
+[[nodiscard]] inline std::uint32_t wire_checksum(
+    std::uint8_t type, const unsigned char* payload,
+    std::size_t n) noexcept {
+  std::uint32_t h = 0x811c9dc5u;
+  const auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 0x01000193u;
+  };
+  mix(type);
+  mix(kWireVersion);
+  for (std::size_t i = 0; i < n; ++i) mix(payload[i]);
+  return h;
+}
+
+// One decoded frame. The payload is raw bytes; decode_* below parse it
+// into the typed messages.
+struct frame {
+  frame_type type = frame_type::hello;
+  std::vector<unsigned char> payload;
+};
+
+// --- typed messages -----------------------------------------------------
+
+struct hello_msg {
+  std::uint32_t node_id = 0;
+};
+inline constexpr std::size_t kHelloSize = 4;
+
+// One unit of remote work. Shared by SPAWN frames and STEAL_GRANT records:
+// a granted item is just a spawn whose RESULT must be routed back to
+// `origin` (the node that owns the pending call), which is not necessarily
+// the node the thief stole it from.
+struct spawn_msg {
+  std::uint64_t call_id = 0;   // origin-local pending-call key
+  std::uint64_t work_id = 0;   // deterministic handler id (cluster::handle)
+  std::uint64_t arg = 0;
+  std::uint64_t trace_id = 0;  // 0 = caller had no request scope
+  std::uint32_t parent_span = 0;
+  std::uint32_t origin = 0;    // node id owning call_id
+};
+inline constexpr std::size_t kSpawnSize = 40;
+
+enum class call_status : std::uint32_t { ok = 0, no_handler = 1 };
+
+struct result_msg {
+  std::uint64_t call_id = 0;
+  std::uint64_t value = 0;
+  std::uint32_t status = 0;  // call_status
+};
+inline constexpr std::size_t kResultSize = 20;
+
+struct steal_request_msg {
+  std::uint32_t thief = 0;      // node id to send the grant to
+  std::uint32_t max_items = 0;  // grant at most this many
+};
+inline constexpr std::size_t kStealRequestSize = 8;
+
+// The largest grant we ever encode; bounds the biggest legal frame.
+inline constexpr std::uint32_t kMaxStealBatch =
+    static_cast<std::uint32_t>((kMaxPayload - 4) / kSpawnSize);
+
+// --- encoders (append one complete frame to `out`) ----------------------
+
+namespace detail {
+
+inline void append_header(std::vector<unsigned char>& out, frame_type t,
+                          const unsigned char* payload, std::size_t n) {
+  unsigned char h[kHeaderSize];
+  put_le32(h, static_cast<std::uint32_t>(n));
+  h[4] = static_cast<std::uint8_t>(t);
+  h[5] = kWireVersion;
+  put_le16(h + 6, 0);
+  put_le32(h + 8, wire_checksum(static_cast<std::uint8_t>(t), payload, n));
+  out.insert(out.end(), h, h + kHeaderSize);
+}
+
+inline void append_frame(std::vector<unsigned char>& out, frame_type t,
+                         const unsigned char* payload, std::size_t n) {
+  out.reserve(out.size() + kHeaderSize + n);
+  append_header(out, t, payload, n);
+  out.insert(out.end(), payload, payload + n);
+}
+
+inline void put_spawn(unsigned char* p, const spawn_msg& m) noexcept {
+  put_le64(p, m.call_id);
+  put_le64(p + 8, m.work_id);
+  put_le64(p + 16, m.arg);
+  put_le64(p + 24, m.trace_id);
+  put_le32(p + 32, m.parent_span);
+  put_le32(p + 36, m.origin);
+}
+
+inline void get_spawn(const unsigned char* p, spawn_msg& m) noexcept {
+  m.call_id = get_le64(p);
+  m.work_id = get_le64(p + 8);
+  m.arg = get_le64(p + 16);
+  m.trace_id = get_le64(p + 24);
+  m.parent_span = get_le32(p + 32);
+  m.origin = get_le32(p + 36);
+}
+
+}  // namespace detail
+
+inline void encode_hello(std::vector<unsigned char>& out,
+                         const hello_msg& m) {
+  unsigned char p[kHelloSize];
+  detail::put_le32(p, m.node_id);
+  detail::append_frame(out, frame_type::hello, p, sizeof p);
+}
+
+inline void encode_spawn(std::vector<unsigned char>& out,
+                         const spawn_msg& m) {
+  unsigned char p[kSpawnSize];
+  detail::put_spawn(p, m);
+  detail::append_frame(out, frame_type::spawn, p, sizeof p);
+}
+
+inline void encode_result(std::vector<unsigned char>& out,
+                          const result_msg& m) {
+  unsigned char p[kResultSize];
+  detail::put_le64(p, m.call_id);
+  detail::put_le64(p + 8, m.value);
+  detail::put_le32(p + 16, m.status);
+  detail::append_frame(out, frame_type::result, p, sizeof p);
+}
+
+inline void encode_steal_request(std::vector<unsigned char>& out,
+                                 const steal_request_msg& m) {
+  unsigned char p[kStealRequestSize];
+  detail::put_le32(p, m.thief);
+  detail::put_le32(p + 4, m.max_items);
+  detail::append_frame(out, frame_type::steal_request, p, sizeof p);
+}
+
+inline void encode_steal_grant(std::vector<unsigned char>& out,
+                               const std::vector<spawn_msg>& items) {
+  const auto count = static_cast<std::uint32_t>(
+      items.size() > kMaxStealBatch ? kMaxStealBatch : items.size());
+  std::vector<unsigned char> p(4 + std::size_t{count} * kSpawnSize);
+  detail::put_le32(p.data(), count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    detail::put_spawn(p.data() + 4 + std::size_t{i} * kSpawnSize, items[i]);
+  }
+  detail::append_frame(out, frame_type::steal_grant, p.data(), p.size());
+}
+
+inline void encode_shutdown(std::vector<unsigned char>& out) {
+  detail::append_frame(out, frame_type::shutdown, nullptr, 0);
+}
+
+// --- typed decoders -----------------------------------------------------
+//
+// Each returns false on a size/shape mismatch; the caller counts
+// wire_error::bad_payload and drops the peer. The frame itself already
+// passed the checksum, so a false here means a peer speaking a different
+// dialect, not line noise.
+
+[[nodiscard]] inline bool decode_hello(const frame& f, hello_msg& m) {
+  if (f.payload.size() != kHelloSize) return false;
+  m.node_id = detail::get_le32(f.payload.data());
+  return true;
+}
+
+[[nodiscard]] inline bool decode_spawn(const frame& f, spawn_msg& m) {
+  if (f.payload.size() != kSpawnSize) return false;
+  detail::get_spawn(f.payload.data(), m);
+  return true;
+}
+
+[[nodiscard]] inline bool decode_result(const frame& f, result_msg& m) {
+  if (f.payload.size() != kResultSize) return false;
+  m.call_id = detail::get_le64(f.payload.data());
+  m.value = detail::get_le64(f.payload.data() + 8);
+  m.status = detail::get_le32(f.payload.data() + 16);
+  return m.status <= static_cast<std::uint32_t>(call_status::no_handler);
+}
+
+[[nodiscard]] inline bool decode_steal_request(const frame& f,
+                                               steal_request_msg& m) {
+  if (f.payload.size() != kStealRequestSize) return false;
+  m.thief = detail::get_le32(f.payload.data());
+  m.max_items = detail::get_le32(f.payload.data() + 4);
+  return true;
+}
+
+[[nodiscard]] inline bool decode_steal_grant(const frame& f,
+                                             std::vector<spawn_msg>& items) {
+  if (f.payload.size() < 4) return false;
+  const std::uint32_t count = detail::get_le32(f.payload.data());
+  if (count > kMaxStealBatch) return false;
+  if (f.payload.size() != 4 + std::size_t{count} * kSpawnSize) return false;
+  items.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    detail::get_spawn(f.payload.data() + 4 + std::size_t{i} * kSpawnSize,
+                      items[i]);
+  }
+  return true;
+}
+
+// --- incremental decoder ------------------------------------------------
+//
+// feed() buffers raw bytes; next() yields complete verified frames. The
+// header is validated as soon as 12 bytes are buffered — an oversized
+// length or bad type/version is rejected *before* the decoder commits to
+// buffering the announced payload, so a hostile length field cannot make
+// it allocate kMaxPayload of garbage. Once poisoned, the reader stays
+// poisoned (the transport contract is "drop the peer on first error"; a
+// stream that has lost framing cannot be resynchronized safely).
+class frame_reader {
+ public:
+  enum class status : std::uint8_t { need_more, ready, error };
+
+  // Appends raw bytes from the transport. Compacts the consumed prefix
+  // lazily so steady-state feeds don't reallocate.
+  void feed(const unsigned char* data, std::size_t n) {
+    if (err_ != wire_error::none) return;  // poisoned: discard input
+    if (pos_ > 0 && pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    } else if (pos_ >= kCompactThreshold) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  // Extracts the next verified frame into `out`. status::error poisons the
+  // reader; consult err() for the category.
+  status next(frame& out) {
+    if (err_ != wire_error::none) return status::error;
+    if (avail() < kHeaderSize) return status::need_more;
+    const unsigned char* h = buf_.data() + pos_;
+    const std::uint32_t len = detail::get_le32(h);
+    const std::uint8_t type = h[4];
+    const std::uint8_t version = h[5];
+    if (version != kWireVersion) return poison(wire_error::bad_version);
+    if (!known_frame_type(type) || detail::get_le16(h + 6) != 0) {
+      return poison(wire_error::bad_type);
+    }
+    if (len > kMaxPayload) return poison(wire_error::oversized);
+    if (avail() < kHeaderSize + len) return status::need_more;
+    const unsigned char* payload = h + kHeaderSize;
+    if (wire_checksum(type, payload, len) != detail::get_le32(h + 8)) {
+      return poison(wire_error::bad_checksum);
+    }
+    out.type = static_cast<frame_type>(type);
+    out.payload.assign(payload, payload + len);
+    pos_ += kHeaderSize + len;
+    return status::ready;
+  }
+
+  // EOF handling: a stream that ends between frames is a clean close; one
+  // that ends mid-frame is a truncation. Call when the transport reports
+  // EOF; returns the final verdict (and poisons on truncation).
+  wire_error finish() {
+    if (err_ == wire_error::none && avail() != 0) {
+      err_ = wire_error::truncated;
+    }
+    return err_;
+  }
+
+  [[nodiscard]] wire_error err() const noexcept { return err_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return avail(); }
+
+ private:
+  static constexpr std::size_t kCompactThreshold = 4096;
+
+  [[nodiscard]] std::size_t avail() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+  status poison(wire_error e) noexcept {
+    err_ = e;
+    return status::error;
+  }
+
+  std::vector<unsigned char> buf_;
+  std::size_t pos_ = 0;
+  wire_error err_ = wire_error::none;
+};
+
+}  // namespace lhws::dist

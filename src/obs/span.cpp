@@ -28,6 +28,8 @@ const char* span_kind_name(span_kind k) noexcept {
       return "io_write";
     case span_kind::io_sleep:
       return "io_sleep";
+    case span_kind::remote:
+      return "remote";
   }
   return "unknown";
 }
@@ -46,6 +48,10 @@ std::atomic<std::uint64_t> g_trace_seq{1};
 
 std::uint32_t next_span_id() noexcept {
   return g_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void seed_span_ids(std::uint32_t node_id) noexcept {
+  g_span_id.store((node_id << 24) + 1, std::memory_order_relaxed);
 }
 
 std::uint64_t next_trace_id() noexcept {

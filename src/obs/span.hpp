@@ -61,8 +61,9 @@ enum class span_kind : std::uint8_t {
   io_read = 5,
   io_write = 6,
   io_sleep = 7,
+  remote = 8,      // dist/cluster.hpp remote spawn/join (fire_shard = peer)
 };
-inline constexpr unsigned kNumSpanKinds = 8;
+inline constexpr unsigned kNumSpanKinds = 9;
 
 [[nodiscard]] const char* span_kind_name(span_kind k) noexcept;
 
@@ -71,6 +72,13 @@ inline constexpr unsigned kNumSpanKinds = 8;
 // requests in one process; per-request counters would collide in the
 // merged trace). 0 is reserved: "no span" / root parent.
 [[nodiscard]] std::uint32_t next_span_id() noexcept;
+
+// Cluster mode (DESIGN.md §15): partitions the span-id space by node so
+// ids stay unique across *processes* and a merged multi-node trace still
+// closes. Node k allocates from (k << 24) + 1 upward — 16M spans per node
+// before two nodes could collide, far past any trace we audit. Call once
+// at node startup, before any span is allocated.
+void seed_span_ids(std::uint32_t node_id) noexcept;
 
 // Fresh 64-bit trace id: a process-global counter mixed through
 // splitmix64 with a once-per-process time seed, never 0.

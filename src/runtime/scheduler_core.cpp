@@ -645,10 +645,16 @@ void scheduler_core::write_trace(std::ostream& os) const {
   meta.span_records_dropped = stats_.span_records_dropped;
   // I/O spans route their delivery step through their shard's named
   // reactor/<shard> row; emit one lane per shard that actually fired.
+  // Remote spans (dist/cluster.hpp) instead carry the executing node id in
+  // fire_shard and get their own peer/<id> lanes past the reactor rows.
   for (const auto& rec : span_records_) {
-    if (rec.kind >= static_cast<std::uint8_t>(obs::span_kind::io_accept) &&
-        static_cast<std::uint32_t>(rec.fire_shard) + 1 > meta.reactor_lanes) {
-      meta.reactor_lanes = static_cast<std::uint32_t>(rec.fire_shard) + 1;
+    const auto lane = static_cast<std::uint32_t>(rec.fire_shard) + 1;
+    if (rec.kind == static_cast<std::uint8_t>(obs::span_kind::remote)) {
+      if (lane > meta.peer_lanes) meta.peer_lanes = lane;
+    } else if (rec.kind >=
+                   static_cast<std::uint8_t>(obs::span_kind::io_accept) &&
+               lane > meta.reactor_lanes) {
+      meta.reactor_lanes = lane;
     }
   }
   write_chrome_trace(os, buffers, run_start_ns_,

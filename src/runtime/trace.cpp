@@ -75,16 +75,26 @@ void write_chrome_trace(std::ostream& os,
     os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
        << w << ",\"args\":{\"sort_index\":" << w << "}}";
   }
-  // One lane per reactor shard that fired an io completion; the requests
-  // row sits just past the last lane.
+  // One lane per reactor shard that fired an io completion, then one lane
+  // per cluster peer that completed a remote spawn; the requests row sits
+  // just past the last lane.
   const std::size_t reactor_lanes =
       meta != nullptr ? meta->reactor_lanes : 0;
+  const std::size_t peer_lanes = meta != nullptr ? meta->peer_lanes : 0;
   const std::size_t reactor_tid_base = workers.size();
-  const std::size_t requests_tid = workers.size() + reactor_lanes;
+  const std::size_t peer_tid_base = reactor_tid_base + reactor_lanes;
+  const std::size_t requests_tid = peer_tid_base + peer_lanes;
   for (std::size_t lane = 0; lane < reactor_lanes; ++lane) {
     const std::size_t tid = reactor_tid_base + lane;
     os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
        << tid << ",\"args\":{\"name\":\"reactor/" << lane << "\"}}";
+    os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << tid << ",\"args\":{\"sort_index\":" << tid << "}}";
+  }
+  for (std::size_t lane = 0; lane < peer_lanes; ++lane) {
+    const std::size_t tid = peer_tid_base + lane;
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << tid << ",\"args\":{\"name\":\"peer/" << lane << "\"}}";
     os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
        << tid << ",\"args\":{\"sort_index\":" << tid << "}}";
   }
@@ -152,10 +162,17 @@ void write_chrome_trace(std::ostream& os,
          << "\"pid\":1,\"tid\":" << static_cast<unsigned>(sp.arm_worker)
          << ",\"ts\":" << to_us(sp.arm_ns - origin_ns) << ",\"id\":"
          << flow_id << "}";
-      if (sp.kind >= static_cast<std::uint8_t>(obs::span_kind::io_accept)) {
+      const bool is_remote =
+          sp.kind == static_cast<std::uint8_t>(obs::span_kind::remote);
+      if (is_remote ||
+          sp.kind >= static_cast<std::uint8_t>(obs::span_kind::io_accept)) {
+        // io spans hop through the reactor shard that fired them; remote
+        // spans hop through the peer node that executed them.
+        const std::size_t hop_tid =
+            (is_remote ? peer_tid_base : reactor_tid_base) +
+            static_cast<std::size_t>(sp.fire_shard);
         os << ",\n{\"name\":\"" << name << "\",\"cat\":\"span\",\"ph\":\"t\","
-           << "\"pid\":1,\"tid\":"
-           << (reactor_tid_base + static_cast<std::size_t>(sp.fire_shard))
+           << "\"pid\":1,\"tid\":" << hop_tid
            << ",\"ts\":" << to_us(sp.fire_ns - origin_ns) << ",\"id\":"
            << flow_id << "}";
       }

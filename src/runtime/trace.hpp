@@ -125,6 +125,10 @@ struct trace_meta {
   // step through the lane of the shard that fired them. 0 = no io spans,
   // no reactor rows.
   std::uint32_t reactor_lanes = 0;
+  // Adds named "peer/<id>" metadata rows after the reactor lanes; remote
+  // span flows (dist/cluster.hpp) route their delivery step through the
+  // lane of the peer node that completed them. 0 = no remote spans.
+  std::uint32_t peer_lanes = 0;
 };
 
 // Writes the per-worker buffers as a Chrome trace-event JSON document.

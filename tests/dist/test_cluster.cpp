@@ -1,0 +1,112 @@
+// End-to-end cluster smoke tests: a real two-process mesh over loopback
+// (fork + run_node, no exec), plus the small pure helpers of the dist
+// layer. The heavier policy/crossover behaviour lives in
+// bench_cluster_crossover; here we only assert correctness of remote
+// spawn/join and the orchestration plumbing that ctest can rely on.
+#include "dist/node_runner.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace dist = lhws::dist;
+
+namespace {
+
+TEST(ClusterHelpers, PolicyNamesRoundTrip) {
+  for (const auto p :
+       {dist::remote_steal_policy::never, dist::remote_steal_policy::threshold,
+        dist::remote_steal_policy::always}) {
+    dist::remote_steal_policy back{};
+    ASSERT_TRUE(dist::parse_policy(dist::policy_name(p), back));
+    EXPECT_EQ(back, p);
+  }
+  dist::remote_steal_policy back{};
+  EXPECT_FALSE(dist::parse_policy("sometimes", back));
+}
+
+TEST(ClusterHelpers, PortFileRoundTrip) {
+  char tmpl[] = "/tmp/lhws_test_port.XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string path = std::string(tmpl) + "/port.0";
+  ASSERT_TRUE(dist::write_port_file(path, 43215));
+  EXPECT_EQ(dist::wait_port_file(path, std::chrono::milliseconds(100)), 43215);
+  std::remove(path.c_str());
+  // Missing file: times out with 0 rather than blocking or throwing.
+  EXPECT_EQ(dist::wait_port_file(path, std::chrono::milliseconds(30)), 0);
+  ::rmdir(tmpl);
+}
+
+// fib computed the way the node-side handler does, for expected values.
+std::uint64_t fib_seq(unsigned n) {
+  std::uint64_t a = 0, b = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+lhws::task<long> two_node_driver(dist::cluster& c) {
+  long bad = 0;
+  // Remote call to the peer: the join is a heavy delta edge.
+  if (co_await c.call(1, dist::kWorkFib, 10) != fib_seq(10)) ++bad;
+  // Self call: routed through the local queue, same completion path.
+  if (co_await c.call(0, dist::kWorkFib, 12) != fib_seq(12)) ++bad;
+  // A short burst so both result-routing directions see traffic.
+  for (unsigned i = 0; i < 8; ++i) {
+    if (co_await c.call(i % 2, dist::kWorkFib, 8) != fib_seq(8)) ++bad;
+  }
+  co_return bad;
+}
+
+// Forks two lhws nodes over loopback and verifies remote fib results.
+// The gtest parent never runs a scheduler; children _exit.
+TEST(ClusterEndToEnd, TwoNodeFibOverLoopback) {
+  char tmpl[] = "/tmp/lhws_test_cluster.XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string port0 = dir + "/port.0";
+
+  const pid_t pid0 = ::fork();
+  ASSERT_GE(pid0, 0);
+  if (pid0 == 0) {
+    dist::node_options no;
+    no.cfg.node_id = 0;
+    no.cfg.peers.push_back({1, 0});
+    no.workers = 2;
+    no.port_file = port0;
+    ::_exit(dist::run_node(no, two_node_driver));
+  }
+
+  const std::uint16_t p0 =
+      dist::wait_port_file(port0, std::chrono::seconds(10));
+  ASSERT_NE(p0, 0) << "node 0 never published its port";
+
+  const pid_t pid1 = ::fork();
+  ASSERT_GE(pid1, 0);
+  if (pid1 == 0) {
+    dist::node_options no;
+    no.cfg.node_id = 1;
+    no.cfg.peers.push_back({0, p0});
+    no.workers = 2;
+    ::_exit(dist::run_node(no));
+  }
+
+  int status0 = -1, status1 = -1;
+  ASSERT_EQ(::waitpid(pid0, &status0, 0), pid0);
+  ASSERT_EQ(::waitpid(pid1, &status1, 0), pid1);
+  std::remove(port0.c_str());
+  ::rmdir(dir.c_str());
+  ASSERT_TRUE(WIFEXITED(status0));
+  EXPECT_EQ(WEXITSTATUS(status0), 0) << "driver node saw bad fib results";
+  ASSERT_TRUE(WIFEXITED(status1));
+  EXPECT_EQ(WEXITSTATUS(status1), 0);
+}
+
+}  // namespace

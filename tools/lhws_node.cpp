@@ -1,0 +1,192 @@
+// lhws_node — one process of an LHWS cluster (DESIGN.md §15).
+//
+//   lhws_node --id N [--port P] [--peers id:port,id:port,...]
+//             [--workers W] [--policy never|threshold|always]
+//             [--delta-ms D] [--batch B] [--spans] [--trace FILE]
+//             [--port-file FILE] [--drive N] [--fib K]
+//
+//   --id N          this node's id (unique across the cluster)
+//   --port P        listen port (default 0 = ephemeral; see --port-file)
+//   --peers L       every other node as id:port pairs. Ports are only
+//                   dialed for ids < --id (the mesh rule: dial down,
+//                   accept up), so an accept-side peer may use port 0.
+//   --policy P      remote steal policy (default never)
+//   --delta-ms D    injected per-peer one-way latency in ms (default 0)
+//   --batch B       items requested per steal probe (default 4)
+//   --port-file F   write the bound port to F (write+rename, pollable)
+//   --drive N       driver mode: submit N fib calls round-robin across all
+//                   nodes (self included), verify every result, then
+//                   broadcast SHUTDOWN. Without --drive the node serves
+//                   until a SHUTDOWN frame arrives.
+//   --fib K         driver workload argument (default 20)
+//   --spans         record causal spans; with --trace the merged traces of
+//                   all nodes feed `lhws_trace_stats --spans a.json b.json`
+//
+// Exit codes: 0 ok, 1 mesh/driver failure, 2 bad usage or setup failure.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dist/node_runner.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using lhws::dist::cluster;
+
+unsigned long long fib_seq(unsigned n) {
+  unsigned long long a = 0, b = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned long long t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+// Driver workload: `count` remote fib calls spread round-robin over every
+// node of the cluster, as a fork-join tree so calls overlap (each remote
+// join is a heavy delta edge the local scheduler hides). Returns the number
+// of wrong answers.
+lhws::task<long> drive_calls(cluster& c,
+                             const std::vector<std::uint32_t>& targets,
+                             std::size_t lo, std::size_t hi, unsigned fib_n) {
+  if (hi - lo == 1) {
+    const bool traced = co_await lhws::obs::begin_request();
+    const std::uint64_t got = co_await c.call(
+        targets[lo % targets.size()], lhws::dist::kWorkFib, fib_n);
+    if (traced) co_await lhws::obs::end_request();
+    co_return got == fib_seq(fib_n) ? 0 : 1;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  auto [a, b] = co_await lhws::fork2(drive_calls(c, targets, lo, mid, fib_n),
+                                     drive_calls(c, targets, mid, hi, fib_n));
+  co_return a + b;
+}
+
+// --drive 0: own the shutdown without submitting any work.
+lhws::task<long> empty_driver() { co_return 0; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lhws_node --id N [--port P] [--peers id:port,...]\n"
+               "                 [--workers W] [--policy never|threshold|"
+               "always]\n"
+               "                 [--delta-ms D] [--batch B] [--spans]\n"
+               "                 [--trace FILE] [--port-file FILE]\n"
+               "                 [--drive N] [--fib K]\n");
+  return 2;
+}
+
+bool parse_peers(const char* s, std::vector<lhws::dist::peer_endpoint>& out) {
+  const std::string text(s);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) return false;
+    char* end = nullptr;
+    const unsigned long id = std::strtoul(item.c_str(), &end, 10);
+    if (end != item.c_str() + colon) return false;
+    const unsigned long port =
+        std::strtoul(item.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || port > 65535) return false;
+    out.push_back({static_cast<std::uint32_t>(id),
+                   static_cast<std::uint16_t>(port)});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lhws::dist::node_options no;
+  bool have_id = false;
+  long drive = -1;
+  unsigned fib_n = 20;
+
+  auto need = [&](int& i) -> const char* {
+    return ++i < argc ? argv[i] : nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--id" && (v = need(i)) != nullptr) {
+      no.cfg.node_id = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      have_id = true;
+    } else if (arg == "--port" && (v = need(i)) != nullptr) {
+      no.cfg.listen_port =
+          static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--peers" && (v = need(i)) != nullptr) {
+      if (!parse_peers(v, no.cfg.peers)) {
+        std::fprintf(stderr, "lhws_node: bad --peers list: %s\n", v);
+        return 2;
+      }
+    } else if (arg == "--workers" && (v = need(i)) != nullptr) {
+      no.workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--policy" && (v = need(i)) != nullptr) {
+      if (!lhws::dist::parse_policy(v, no.cfg.policy)) {
+        std::fprintf(stderr, "lhws_node: bad --policy: %s\n", v);
+        return 2;
+      }
+    } else if (arg == "--delta-ms" && (v = need(i)) != nullptr) {
+      no.cfg.injected_delta_ns =
+          static_cast<std::int64_t>(std::strtod(v, nullptr) * 1e6);
+    } else if (arg == "--batch" && (v = need(i)) != nullptr) {
+      no.cfg.steal_batch =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--spans") {
+      no.spans = true;
+    } else if (arg == "--trace" && (v = need(i)) != nullptr) {
+      no.trace_path = v;
+    } else if (arg == "--port-file" && (v = need(i)) != nullptr) {
+      no.port_file = v;
+    } else if (arg == "--drive" && (v = need(i)) != nullptr) {
+      drive = std::strtol(v, nullptr, 10);
+    } else if (arg == "--fib" && (v = need(i)) != nullptr) {
+      fib_n = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "lhws_node: bad argument: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (!have_id || no.workers == 0) return usage();
+
+  lhws::dist::driver_fn driver;
+  if (drive == 0) {
+    driver = [](cluster&) { return empty_driver(); };
+  } else if (drive > 0) {
+    std::vector<std::uint32_t> targets{no.cfg.node_id};
+    for (const auto& p : no.cfg.peers) targets.push_back(p.id);
+    const auto count = static_cast<std::size_t>(drive);
+    driver = [targets, count, fib_n](cluster& c) {
+      return drive_calls(c, targets, 0, count, fib_n);
+    };
+  }
+
+  lhws::dist::node_report rep;
+  const int rc = lhws::dist::run_node(no, std::move(driver), &rep);
+  const auto& s = rep.stats;
+  std::printf("node %u: rc=%d port=%u wall=%.1fms calls=%llu executed=%llu "
+              "(stolen=%llu) probes=%llu grants=%llu/%llu routed=%llu "
+              "wire_errors=%llu tx=%llu rx=%llu\n",
+              no.cfg.node_id, rc, rep.port, rep.elapsed_ms,
+              static_cast<unsigned long long>(s.calls),
+              static_cast<unsigned long long>(s.executed),
+              static_cast<unsigned long long>(s.stolen_executed),
+              static_cast<unsigned long long>(s.probes),
+              static_cast<unsigned long long>(s.granted_items),
+              static_cast<unsigned long long>(s.empty_grants),
+              static_cast<unsigned long long>(s.results_routed),
+              static_cast<unsigned long long>(s.wire_errors),
+              static_cast<unsigned long long>(s.bytes_tx),
+              static_cast<unsigned long long>(s.bytes_rx));
+  return rc;
+}

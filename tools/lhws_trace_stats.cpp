@@ -23,7 +23,14 @@
 // reported, and bound audits that need the (lost) metadata are skipped.
 // Inputs with no recoverable events still fail with exit 2.
 //
-//   lhws_trace_stats [trace.json|-] [--check-bounds] [--spans] [--u N]
+// Several trace files merge into one model (cluster mode writes FILE.<id>
+// per node): worker rows are offset per file so tids stay distinct, span
+// and request records concatenate, and the --spans audit then closes
+// cross-process trees — a remote_parent on node k resolves against spans
+// exported by node 0 because span ids are node-seeded (obs::seed_span_ids).
+// Remote spans are reported per peer/<id> lane alongside the reactor lanes.
+//
+//   lhws_trace_stats [trace.json|-]... [--check-bounds] [--spans] [--u N]
 //                    [--steal-factor F] [--json]
 //
 // Exit codes: 0 ok, 1 bound violation, 2 malformed/corrupt input.
@@ -665,9 +672,54 @@ std::optional<jvalue> salvage_truncated(const std::string& text,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lhws_trace_stats [trace.json|-] [--check-bounds] "
+               "usage: lhws_trace_stats [trace.json|-]... [--check-bounds] "
                "[--spans] [--u N] [--steal-factor F] [--json]\n");
   return 2;
+}
+
+// Folds `src` (one per-node trace of a cluster run) into `dst`. Worker rows
+// are re-keyed past `tid_base` so per-worker tables stay distinct; span and
+// request records concatenate unchanged (their ids are node-seeded and
+// globally unique, so the closure audit just works on the union).
+void merge_model(trace_model& dst, trace_model&& src, std::uint32_t tid_base) {
+  for (auto& [tid, ws] : src.workers) dst.workers[tid_base + tid] = ws;
+  dst.wake_ns.insert(dst.wake_ns.end(), src.wake_ns.begin(),
+                     src.wake_ns.end());
+  for (std::size_t op = 0; op < kNumIoOps; ++op) {
+    dst.io_wake_ns[op].insert(dst.io_wake_ns[op].end(),
+                              src.io_wake_ns[op].begin(),
+                              src.io_wake_ns[op].end());
+  }
+  dst.spans.insert(dst.spans.end(),
+                   std::make_move_iterator(src.spans.begin()),
+                   std::make_move_iterator(src.spans.end()));
+  dst.requests.insert(dst.requests.end(), src.requests.begin(),
+                      src.requests.end());
+  dst.span_records_dropped += src.span_records_dropped;
+  dst.dropped_events += src.dropped_events;
+  if (src.has_span) {
+    if (!dst.has_span || src.first_ts_us < dst.first_ts_us) {
+      dst.first_ts_us = src.first_ts_us;
+    }
+    if (!dst.has_span || src.last_ts_us > dst.last_ts_us) {
+      dst.last_ts_us = src.last_ts_us;
+    }
+    dst.has_span = true;
+  }
+  dst.meta_workers += src.meta_workers;
+  dst.max_concurrent_suspended =
+      std::max(dst.max_concurrent_suspended, src.max_concurrent_suspended);
+  dst.has_meta_stats = dst.has_meta_stats && src.has_meta_stats;
+  if (dst.engine != src.engine) dst.engine = "mixed";
+  if (src.has_alloc) {
+    dst.has_alloc = true;
+    dst.alloc_hits += src.alloc_hits;
+    dst.alloc_misses += src.alloc_misses;
+    dst.alloc_remote_pushes += src.alloc_remote_pushes;
+    dst.alloc_remote_drained += src.alloc_remote_drained;
+    dst.alloc_fallback += src.alloc_fallback;
+    dst.alloc_slab_bytes += src.alloc_slab_bytes;
+  }
 }
 
 // --spans audit (see the file header). Returns 0 ok / 1 violation.
@@ -725,6 +777,28 @@ int audit_spans(const trace_model& m, std::uint64_t u, double steal_factor) {
       for (const auto& [shard, count] : by_shard) {
         std::printf("  reactor/%u: %llu io spans\n", shard,
                     static_cast<unsigned long long>(count));
+      }
+    }
+  }
+
+  // --- Peer lanes: remote spans (cluster mode, DESIGN.md §15) grouped by
+  // the node that executed the work; shard carries the executing node id.
+  {
+    std::map<std::uint32_t, std::uint64_t> by_peer;
+    std::map<std::uint32_t, std::int64_t> delta_by_peer;
+    for (const span_entry& s : m.spans) {
+      if (s.kind != "remote") continue;
+      ++by_peer[s.shard];
+      delta_by_peer[s.shard] += s.fire_ns - s.arm_ns;
+    }
+    if (!by_peer.empty()) {
+      std::printf("peer lanes: remote spans executed on %u node(s)\n",
+                  static_cast<unsigned>(by_peer.size()));
+      for (const auto& [peer, count] : by_peer) {
+        std::printf("  peer/%u: %llu remote spans, mean delta %.1fus\n",
+                    peer, static_cast<unsigned long long>(count),
+                    static_cast<double>(delta_by_peer[peer]) /
+                        static_cast<double>(count) / 1000.0);
       }
     }
   }
@@ -812,7 +886,7 @@ int audit_spans(const trace_model& m, std::uint64_t u, double steal_factor) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path;
+  std::vector<std::string> paths;
   bool check_bounds = false;
   bool spans_mode = false;
   bool json_out = false;
@@ -841,54 +915,67 @@ int main(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::fprintf(stderr, "lhws_trace_stats: unknown flag %s\n", arg.c_str());
       return usage();
-    } else if (path.empty()) {
-      path = arg;
     } else {
-      return usage();
+      paths.push_back(arg);
     }
   }
-  if (path.empty()) return usage();
+  if (paths.empty()) return usage();
 
-  std::string text;
-  if (path == "-") {
-    std::ostringstream ss;
-    ss << std::cin.rdbuf();
-    text = ss.str();
-  } else {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "lhws_trace_stats: cannot open %s\n", path.c_str());
-      return 2;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    text = ss.str();
-  }
-
-  std::string why;
-  json_parser parser(text);
-  auto root = parser.parse(&why);
-  bool salvaged = false;
-  std::size_t salvaged_events = 0;
-  if (!root) {
-    // Truncated mid-write? Recover what parses before giving up.
-    root = salvage_truncated(text, &salvaged_events);
-    if (!root) {
-      std::fprintf(stderr, "lhws_trace_stats: invalid JSON: %s\n",
-                   why.c_str());
-      return 2;
-    }
-    salvaged = true;
-    std::fprintf(stderr,
-                 "lhws_trace_stats: warning: input is truncated; salvaged "
-                 "%zu complete events, run metadata lost\n",
-                 salvaged_events);
-  }
   trace_model m;
-  if (!build_model(*root, m, why)) {
-    std::fprintf(stderr, "lhws_trace_stats: schema check failed: %s\n",
-                 why.c_str());
-    return 2;
+  bool salvaged = false;
+  bool first_file = true;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (path == "-") {
+      std::ostringstream ss;
+      ss << std::cin.rdbuf();
+      text = ss.str();
+    } else {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "lhws_trace_stats: cannot open %s\n",
+                     path.c_str());
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    }
+
+    std::string why;
+    json_parser parser(text);
+    auto root = parser.parse(&why);
+    std::size_t salvaged_events = 0;
+    if (!root) {
+      // Truncated mid-write? Recover what parses before giving up.
+      root = salvage_truncated(text, &salvaged_events);
+      if (!root) {
+        std::fprintf(stderr, "lhws_trace_stats: %s: invalid JSON: %s\n",
+                     path.c_str(), why.c_str());
+        return 2;
+      }
+      salvaged = true;
+      std::fprintf(stderr,
+                   "lhws_trace_stats: warning: %s is truncated; salvaged "
+                   "%zu complete events, run metadata lost\n",
+                   path.c_str(), salvaged_events);
+    }
+    trace_model file_model;
+    if (!build_model(*root, file_model, why)) {
+      std::fprintf(stderr, "lhws_trace_stats: %s: schema check failed: %s\n",
+                   path.c_str(), why.c_str());
+      return 2;
+    }
+    if (first_file) {
+      m = std::move(file_model);
+      first_file = false;
+    } else {
+      // Re-key the new file's worker rows past the ones already merged so
+      // per-worker tables from different nodes never collide.
+      const std::uint32_t tid_base =
+          m.workers.empty() ? 0 : m.workers.rbegin()->first + 1;
+      merge_model(m, std::move(file_model), tid_base);
+    }
   }
 
   std::sort(m.wake_ns.begin(), m.wake_ns.end());
@@ -998,9 +1085,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.dropped_events),
                 io_ops_json.c_str(), alloc_json.c_str());
   } else {
+    std::string label = paths[0];
+    for (std::size_t i = 1; i < paths.size(); ++i) label += "," + paths[i];
     std::printf("trace: %s  engine=%s  workers=%llu  span=%.1fms  "
                 "dropped_events=%llu\n",
-                path.c_str(), m.engine.c_str(),
+                label.c_str(), m.engine.c_str(),
                 static_cast<unsigned long long>(m.meta_workers),
                 span_us / 1000.0,
                 static_cast<unsigned long long>(m.dropped_events));
